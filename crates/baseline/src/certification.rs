@@ -1,0 +1,133 @@
+//! RSU position certification (the trust anchor CPVSAD requires).
+//!
+//! Xiao/Yu's cooperative schemes assume each physical vehicle obtains a
+//! position certification when it passes a road-side unit; witnesses are
+//! only trusted if certified, which prevents Sybil identities (which never
+//! physically pass an RSU) from poisoning the witness set. The simulator
+//! marks physical witnesses as certified; this module provides the
+//! issue/verify registry a real deployment would carry, so the trust
+//! chain is represented explicitly rather than as a bare boolean.
+
+use std::collections::HashMap;
+
+/// Identity type shared with the simulator.
+pub type IdentityId = vp_sim::IdentityId;
+
+/// A position certification issued by an RSU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Certificate {
+    /// The certified identity.
+    pub holder: IdentityId,
+    /// Issue time, seconds.
+    pub issued_at_s: f64,
+    /// Validity duration, seconds.
+    pub valid_for_s: f64,
+}
+
+impl Certificate {
+    /// `true` while the certificate has not expired at `now_s`.
+    pub fn is_valid_at(&self, now_s: f64) -> bool {
+        now_s >= self.issued_at_s && now_s <= self.issued_at_s + self.valid_for_s
+    }
+}
+
+/// An in-memory RSU certification registry.
+///
+/// # Example
+///
+/// ```
+/// use vp_baseline::certification::CertificationAuthority;
+///
+/// let mut ca = CertificationAuthority::new(60.0);
+/// ca.issue(42, 10.0);
+/// assert!(ca.is_certified(42, 30.0));
+/// assert!(!ca.is_certified(42, 90.0)); // expired
+/// assert!(!ca.is_certified(7, 30.0)); // never certified
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CertificationAuthority {
+    validity_s: f64,
+    issued: HashMap<IdentityId, Certificate>,
+}
+
+impl CertificationAuthority {
+    /// Creates an authority issuing certificates valid for `validity_s`
+    /// seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `validity_s` is not strictly positive.
+    pub fn new(validity_s: f64) -> Self {
+        assert!(validity_s > 0.0, "validity must be positive");
+        CertificationAuthority {
+            validity_s,
+            issued: HashMap::new(),
+        }
+    }
+
+    /// Issues (or renews) a certificate for `holder` at `now_s` — called
+    /// when a vehicle physically passes an RSU.
+    pub fn issue(&mut self, holder: IdentityId, now_s: f64) -> Certificate {
+        let cert = Certificate {
+            holder,
+            issued_at_s: now_s,
+            valid_for_s: self.validity_s,
+        };
+        self.issued.insert(holder, cert);
+        cert
+    }
+
+    /// `true` when `holder` carries an unexpired certificate at `now_s`.
+    pub fn is_certified(&self, holder: IdentityId, now_s: f64) -> bool {
+        self.issued
+            .get(&holder)
+            .map_or(false, |c| c.is_valid_at(now_s))
+    }
+
+    /// Number of identities ever certified.
+    pub fn issued_count(&self) -> usize {
+        self.issued.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_and_verify() {
+        let mut ca = CertificationAuthority::new(100.0);
+        assert!(!ca.is_certified(1, 0.0));
+        ca.issue(1, 0.0);
+        assert!(ca.is_certified(1, 0.0));
+        assert!(ca.is_certified(1, 100.0));
+        assert!(!ca.is_certified(1, 100.1));
+        assert_eq!(ca.issued_count(), 1);
+    }
+
+    #[test]
+    fn renewal_extends_validity() {
+        let mut ca = CertificationAuthority::new(50.0);
+        ca.issue(1, 0.0);
+        ca.issue(1, 40.0);
+        assert!(ca.is_certified(1, 80.0));
+        assert_eq!(ca.issued_count(), 1);
+    }
+
+    #[test]
+    fn certificates_are_not_valid_before_issue() {
+        let cert = Certificate {
+            holder: 3,
+            issued_at_s: 10.0,
+            valid_for_s: 5.0,
+        };
+        assert!(!cert.is_valid_at(9.9));
+        assert!(cert.is_valid_at(12.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "validity must be positive")]
+    fn zero_validity_panics() {
+        CertificationAuthority::new(0.0);
+    }
+}

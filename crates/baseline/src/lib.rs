@@ -1,0 +1,34 @@
+//! CPVSAD — the Cooperative Position Verification based Sybil Attack
+//! Detection baseline (Yu, Xu & Xiao, reference [19] of the Voiceprint
+//! paper; compared against in Section V-C).
+//!
+//! CPVSAD is everything Voiceprint is not: **cooperative** (it consumes
+//! RSSI reports from witness vehicles), **model-dependent** (it tests
+//! those reports against a predefined shadowing propagation model), and
+//! **infrastructure-assisted** (witnesses must hold RSU-issued position
+//! certifications; only opposite-flow witnesses are trusted). That
+//! combination is why it *improves* with traffic density (more witnesses)
+//! and *collapses* when the propagation conditions drift from the
+//! predefined model (the paper's Figure 11b).
+//!
+//! Two complementary mechanisms:
+//!
+//! 1. **Position-consistency test** ([`cpvsad::CpvsadDetector`]): for each
+//!    claimer, the witnesses' mean RSSI values are compared against the
+//!    model's prediction at the claimed distances; after cancelling the
+//!    (unknown) TX power via the mean residual, the residual sum of
+//!    squares is χ²-tested at significance `α = 0.05`. A fabricated
+//!    position cannot be consistent with every witness at once.
+//! 2. **Co-location grouping**: each claimer's position is estimated from
+//!    the witness RSSI by a 1-D road search; identities whose estimates
+//!    coincide (within a resolution threshold) emanate from one physical
+//!    radio and are flagged together — this is what catches the malicious
+//!    node itself, whose own claim is truthful.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod certification;
+pub mod cpvsad;
+
+pub use cpvsad::{CpvsadConfig, CpvsadDetector};

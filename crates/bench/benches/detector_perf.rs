@@ -1,0 +1,34 @@
+//! Criterion benches for the full detection pipeline (comparison +
+//! confirmation) at realistic neighbourhood sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use voiceprint::threshold::ThresholdPolicy;
+use voiceprint::VoiceprintDetector;
+
+fn neighbourhood(n: usize) -> Vec<(u64, Vec<f64>)> {
+    (0..n as u64)
+        .map(|id| {
+            let series: Vec<f64> = (0..200)
+                .map(|k| ((k as f64 * 0.07 + id as f64 * 0.41).sin() * 4.0 - 72.0))
+                .collect();
+            (id, series)
+        })
+        .collect()
+}
+
+fn full_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_detection");
+    group.sample_size(10);
+    let detector = VoiceprintDetector::new(ThresholdPolicy::calibrated_simulation());
+    for n in [10usize, 40, 80] {
+        let series = neighbourhood(n);
+        group.bench_with_input(BenchmarkId::new("verdict", n), &n, |bench, _| {
+            bench.iter(|| black_box(detector.verdict(black_box(&series), 50.0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, full_detection);
+criterion_main!(benches);

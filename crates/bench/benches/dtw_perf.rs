@@ -1,0 +1,71 @@
+//! Criterion benches for the comparison kernel — the quantities behind
+//! the paper's Section VI complexity estimate (0.1995 ms per 200-sample
+//! pair; ~630 ms for an 80-neighbour scan).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vp_timeseries::dtw::{dtw, dtw_banded};
+use vp_timeseries::fastdtw::fast_dtw;
+use vp_timeseries::normalize::z_score_enhanced;
+
+fn series(n: usize, phase: f64) -> Vec<f64> {
+    z_score_enhanced(
+        &(0..n)
+            .map(|k| ((k as f64 * 0.11 + phase).sin() * 4.0 - 70.0))
+            .collect::<Vec<f64>>(),
+    )
+}
+
+fn pair_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pair_comparison_200_samples");
+    let a = series(200, 0.0);
+    let b = series(190, 0.7);
+    group.bench_function("fast_dtw_r1 (paper: 0.1995 ms)", |bench| {
+        bench.iter(|| fast_dtw(black_box(&a), black_box(&b), 1))
+    });
+    group.bench_function("banded_dtw_5pc (calibrated)", |bench| {
+        bench.iter(|| dtw_banded(black_box(&a), black_box(&b), 10))
+    });
+    group.bench_function("exact_dtw", |bench| {
+        bench.iter(|| dtw(black_box(&a), black_box(&b)))
+    });
+    group.finish();
+}
+
+fn scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtw_scaling");
+    group.sample_size(10);
+    for n in [200usize, 800, 3200] {
+        let a = series(n, 0.0);
+        let b = series(n, 0.7);
+        group.bench_with_input(BenchmarkId::new("fast_dtw_r1", n), &n, |bench, _| {
+            bench.iter(|| fast_dtw(black_box(&a), black_box(&b), 1))
+        });
+        group.bench_with_input(BenchmarkId::new("exact_dtw", n), &n, |bench, _| {
+            bench.iter(|| dtw(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn neighbourhood_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbourhood_scan");
+    group.sample_size(10);
+    // Paper: 80 neighbours, 3160 pairwise comparisons, ~630 ms total.
+    let neighbours: Vec<Vec<f64>> = (0..80).map(|k| series(200, k as f64 * 0.3)).collect();
+    group.bench_function("80_neighbours_fastdtw (paper: ~630 ms)", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..neighbours.len() {
+                for j in (i + 1)..neighbours.len() {
+                    acc += fast_dtw(&neighbours[i], &neighbours[j], 1);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pair_comparison, scaling, neighbourhood_scan);
+criterion_main!(benches);

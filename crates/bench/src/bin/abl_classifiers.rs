@@ -1,0 +1,63 @@
+//! Ablation — boundary classifiers. The paper names perceptrons, linear
+//! classifiers, logistic regression and SVMs as alternatives and uses
+//! LDA; this compares LDA, logistic regression and the pocket perceptron
+//! on identical Figure 10 training data (paper-strict pipeline).
+
+use vp_bench::{render_table, runs_per_point};
+use voiceprint::comparator::ComparisonConfig;
+use voiceprint::training::collect_training_points;
+use vp_classify::boundary::DecisionLine;
+use vp_classify::{Dataset, LinearDiscriminant, LogisticRegression, Perceptron};
+use vp_sim::{run_scenario, ScenarioConfig};
+
+fn main() {
+    let mut outcomes = Vec::new();
+    for (i, den) in [15.0, 45.0, 75.0].into_iter().enumerate() {
+        for s in 0..runs_per_point() {
+            let cfg = ScenarioConfig::builder()
+                .density_per_km(den)
+                .simulation_time_s(60.0)
+                .observer_count(2)
+                .seed(7400 + 10 * i as u64 + s)
+                .collect_inputs(true)
+                .build();
+            outcomes.push(run_scenario(&cfg, &[]));
+            eprintln!("  density {den} seed {s} done");
+        }
+    }
+    let points = collect_training_points(&outcomes, &ComparisonConfig::paper_strict());
+    let mut data = Dataset::new(2);
+    for p in &points {
+        data.push(&[p.density_per_km, p.distance], p.is_sybil_pair).unwrap();
+    }
+    println!(
+        "training pairs: {} ({} Sybil)\n",
+        data.len(),
+        data.count_positive()
+    );
+    let mut rows = Vec::new();
+    let mut push = |name: &str, rule: Option<&vp_classify::LinearRule>| {
+        match rule {
+            Some(rule) => {
+                let line = DecisionLine::from_rule(rule);
+                rows.push(vec![
+                    name.into(),
+                    format!("{:.4}", rule.accuracy(&data)),
+                    match line {
+                        Some(l) => format!("D <= {:.6}*den + {:.4}", l.k, l.b),
+                        None => "not a lower-threshold rule".into(),
+                    },
+                ]);
+            }
+            None => rows.push(vec![name.into(), "-".into(), "training failed".into()]),
+        }
+    };
+    let lda = LinearDiscriminant::fit(&data).ok();
+    push("LDA (paper)", lda.as_ref().map(|m| m.rule()));
+    let logistic = LogisticRegression::fit(&data).ok();
+    push("logistic regression", logistic.as_ref().map(|m| m.rule()));
+    let perceptron = Perceptron::fit(&data).ok();
+    push("pocket perceptron", perceptron.as_ref().map(|m| m.rule()));
+    println!("== Ablation: boundary classifier (pairwise training accuracy) ==\n");
+    println!("{}", render_table(&["classifier", "pair accuracy", "boundary"], &rows));
+}

@@ -1,0 +1,90 @@
+//! Ablation — distance measures: FastDTW (paper), banded DTW
+//! (calibrated), exact DTW, and lock-step Euclidean, on identical
+//! simulations. Shows why warping is needed under packet loss and what
+//! the band buys.
+
+use vp_bench::{render_table, runs_per_point};
+use voiceprint::comparator::{ComparisonConfig, DistanceMeasure};
+use voiceprint::threshold::ThresholdPolicy;
+use voiceprint::VoiceprintDetector;
+use vp_sim::{run_scenario, ScenarioConfig};
+
+fn main() {
+    let base = ComparisonConfig::default();
+    let variants: Vec<(&str, VoiceprintDetector)> = vec![
+        (
+            "banded DTW 5% (calibrated)",
+            VoiceprintDetector::with_comparison(
+                ThresholdPolicy::calibrated_simulation(),
+                base,
+                "banded",
+            ),
+        ),
+        (
+            "FastDTW r=1",
+            VoiceprintDetector::with_comparison(
+                ThresholdPolicy::calibrated_simulation(),
+                ComparisonConfig {
+                    measure: DistanceMeasure::FastDtw { radius: 1 },
+                    ..base
+                },
+                "fastdtw",
+            ),
+        ),
+        (
+            "exact DTW",
+            VoiceprintDetector::with_comparison(
+                ThresholdPolicy::calibrated_simulation(),
+                ComparisonConfig {
+                    measure: DistanceMeasure::ExactDtw,
+                    ..base
+                },
+                "exact",
+            ),
+        ),
+        (
+            "truncated Euclidean",
+            VoiceprintDetector::with_comparison(
+                ThresholdPolicy::calibrated_simulation(),
+                ComparisonConfig {
+                    measure: DistanceMeasure::TruncatedEuclidean,
+                    ..base
+                },
+                "euclid",
+            ),
+        ),
+    ];
+    let detectors: Vec<&dyn vp_sim::Detector> =
+        variants.iter().map(|(_, d)| d as &dyn vp_sim::Detector).collect();
+
+    let mut rows = Vec::new();
+    for den in [20.0, 60.0] {
+        let runs = runs_per_point();
+        let mut acc = vec![[0.0f64; 2]; variants.len()];
+        for s in 0..runs {
+            let cfg = ScenarioConfig::builder()
+                .density_per_km(den)
+                .seed(7000 + s)
+                .build();
+            let out = run_scenario(&cfg, &detectors);
+            for (d, stats) in out.detector_stats.iter().enumerate() {
+                acc[d][0] += stats.mean_detection_rate();
+                acc[d][1] += stats.mean_false_positive_rate();
+            }
+        }
+        for ((label, _), a) in variants.iter().zip(&acc) {
+            rows.push(vec![
+                format!("{den}"),
+                label.to_string(),
+                format!("{:.3}", a[0] / runs as f64),
+                format!("{:.3}", a[1] / runs as f64),
+            ]);
+        }
+        eprintln!("  density {den} done");
+    }
+    println!("== Ablation: distance measure ==\n");
+    println!(
+        "{}",
+        render_table(&["density", "measure", "DR", "FPR"], &rows)
+    );
+}

@@ -1,0 +1,42 @@
+//! Ablation — multi-period confirmation (the paper's Section VI
+//! suggestion: "making a final determination of the Sybil node after
+//! several detection periods so as to reduce the false positive rate").
+
+use vp_bench::{render_table, runs_per_point};
+use voiceprint::multi_period::MultiPeriodDetector;
+use voiceprint::threshold::ThresholdPolicy;
+use voiceprint::VoiceprintDetector;
+use vp_sim::{run_scenario, ScenarioConfig};
+
+fn main() {
+    let single = VoiceprintDetector::new(ThresholdPolicy::calibrated_simulation());
+    let two_of_three = MultiPeriodDetector::new(
+        VoiceprintDetector::new(ThresholdPolicy::calibrated_simulation()),
+        2,
+        3,
+    );
+    let mut rows = Vec::new();
+    for den in [20.0, 50.0] {
+        let runs = runs_per_point();
+        let mut acc = [[0.0f64; 2]; 2];
+        for s in 0..runs {
+            two_of_three.reset();
+            let cfg = ScenarioConfig::builder()
+                .density_per_km(den)
+                .simulation_time_s(160.0) // more periods for voting
+                .seed(7300 + s)
+                .build();
+            let out = run_scenario(&cfg, &[&single, &two_of_three]);
+            for (d, stats) in out.detector_stats.iter().enumerate() {
+                acc[d][0] += stats.mean_detection_rate();
+                acc[d][1] += stats.mean_false_positive_rate();
+            }
+        }
+        let n = runs as f64;
+        rows.push(vec![format!("{den}"), "single period".into(), format!("{:.3}", acc[0][0] / n), format!("{:.3}", acc[0][1] / n)]);
+        rows.push(vec![format!("{den}"), "2-of-3 voting".into(), format!("{:.3}", acc[1][0] / n), format!("{:.3}", acc[1][1] / n)]);
+        eprintln!("  density {den} done");
+    }
+    println!("== Ablation: multi-period confirmation ==\n");
+    println!("{}", render_table(&["density", "confirmation", "DR", "FPR"], &rows));
+}

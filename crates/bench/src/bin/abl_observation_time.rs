@@ -1,0 +1,48 @@
+//! Ablation — observation-time sweep (the paper's Section VII discussion:
+//! Voiceprint "needs longer observation time to collect more RSSI values
+//! since it only uses the local information").
+
+use vp_bench::{render_table, runs_per_point};
+use voiceprint::comparator::ComparisonConfig;
+use voiceprint::threshold::ThresholdPolicy;
+use voiceprint::VoiceprintDetector;
+use vp_sim::{run_scenario, ScenarioConfig};
+
+fn main() {
+    let mut rows = Vec::new();
+    for obs in [5.0, 10.0, 20.0, 30.0, 40.0] {
+        // Scale the neighbour requirement with the window (half the
+        // nominal beacon budget, as the default does for 20 s).
+        let min_samples = ((obs * 10.0) / 2.0) as usize;
+        let detector = VoiceprintDetector::with_comparison(
+            ThresholdPolicy::calibrated_simulation(),
+            ComparisonConfig {
+                min_series_len: min_samples,
+                ..ComparisonConfig::default()
+            },
+            "Voiceprint",
+        );
+        let runs = runs_per_point();
+        let mut dr = 0.0;
+        let mut fpr = 0.0;
+        for s in 0..runs {
+            let mut cfg = ScenarioConfig::builder()
+                .density_per_km(30.0)
+                .observation_time_s(obs)
+                .seed(7200 + s)
+                .build();
+            cfg.min_samples_per_series = min_samples;
+            let out = run_scenario(&cfg, &[&detector]);
+            dr += out.detector_stats[0].mean_detection_rate();
+            fpr += out.detector_stats[0].mean_false_positive_rate();
+        }
+        rows.push(vec![
+            format!("{obs}"),
+            format!("{:.3}", dr / runs as f64),
+            format!("{:.3}", fpr / runs as f64),
+        ]);
+        eprintln!("  observation {obs}s done");
+    }
+    println!("== Ablation: observation time (density 30) ==\n");
+    println!("{}", render_table(&["observation time s", "DR", "FPR"], &rows));
+}

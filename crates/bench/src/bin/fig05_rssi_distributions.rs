@@ -1,0 +1,67 @@
+//! Figure 5 + Observation 1 — stationary and moving RSSI distributions,
+//! and the distance estimates textbook models infer from them.
+
+use vp_bench::render_table;
+use vp_fieldtest::measurements::{moving_campaign, stationary_campaign, stationary_report};
+use vp_stats::histogram::Histogram;
+use vp_stats::descriptive::Summary;
+
+fn main() {
+    println!("== Figure 5a/5b: two stationary periods, 140 m apart, 10 min each ==\n");
+    // Site-specific extra loss differs between the paper's two periods
+    // (13.4 dB and 9.1 dB reproduce the reported means).
+    let mut rows = Vec::new();
+    for (label, extra_loss, seed, paper_mean, paper_std, paper_fspl, paper_trg) in [
+        ("period 1", 13.4, 1, -76.86, 2.3266, 281.5, 263.9),
+        ("period 2", 9.1, 2, -72.539, 0.7654, 171.2, 205.8),
+    ] {
+        let trace = stationary_campaign(140.0, 600.0, extra_loss, seed);
+        let r = stationary_report(&trace);
+        rows.push(vec![
+            label.to_string(),
+            format!("{}", r.samples),
+            format!("{:.2} / {paper_mean}", r.mean_dbm),
+            format!("{:.2} / {paper_std}", r.std_dbm),
+            format!("{:.0} / {paper_fspl}", r.fspl_distance_m),
+            format!("{:.0} / {paper_trg}", r.two_ray_distance_m),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["period", "samples", "mean dBm (ours/paper)", "std dB (ours/paper)",
+              "FSPL est. m (ours/paper)", "two-ray est. m (ours/paper)"],
+            &rows
+        )
+    );
+    println!("true distance: 140 m — both models misjudge it badly (Observation 1)\n");
+
+    let trace = stationary_campaign(140.0, 600.0, 13.4, 1);
+    let s = Summary::of(&trace);
+    let mut h = Histogram::new(s.min().floor() - 1.0, s.max().ceil() + 1.0, 24).unwrap();
+    h.extend(trace.iter().copied());
+    println!("stationary RSSI histogram (period 1):\n{}", h.render_ascii(48));
+    let (chi, bins) = h.chi_square_vs_normal(5.0);
+    println!("chi-square vs fitted normal: {chi:.1} over {bins} bins\n");
+
+    println!("== Figure 5c: four 1-minute moving segments (campus loop) ==\n");
+    let mut rows = Vec::new();
+    for (i, seg) in moving_campaign(4, 3).iter().enumerate() {
+        let s = Summary::of(seg);
+        let mut h = Histogram::new(-100.0, -40.0, 30).unwrap();
+        h.extend(seg.iter().copied());
+        let (chi, bins) = h.chi_square_vs_normal(5.0);
+        rows.push(vec![
+            format!("segment {}", i + 1),
+            format!("{:.2}", s.mean()),
+            format!("{:.2}", s.population_std_dev()),
+            format!("{:.1} ({} bins)", chi, bins),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["segment", "mean dBm", "std dB", "chi-square vs normal"], &rows)
+    );
+    println!("large chi-square statistics = the RSSI \"barely shows the normal distribution\"");
+    println!("when the vehicle keeps moving (Observation 1).");
+}

@@ -1,0 +1,25 @@
+//! Figure 9 — the paper's worked DTW example.
+//!
+//! `X = {1,1,4,1,1}`, `Y = {2,2,2,4,2,2}`. Applying the paper's own
+//! recursion (Eq. 4) with squared point costs (Eq. 3) yields an optimal
+//! accumulated cost of 5; the figure's caption quotes 9, which no
+//! monotone-optimal path reproduces (see EXPERIMENTS.md).
+
+use vp_timeseries::dtw::{dtw_with_path, is_valid_warp_path, point_cost};
+
+fn main() {
+    let x = [1.0, 1.0, 4.0, 1.0, 1.0];
+    let y = [2.0, 2.0, 2.0, 4.0, 2.0, 2.0];
+    let (distance, path) = dtw_with_path(&x, &y);
+    println!("X = {x:?}");
+    println!("Y = {y:?}");
+    println!("DTW distance (Eq. 4, squared costs): {distance}");
+    println!("paper's Figure 9 caption:            9 (not reachable by the recursion)");
+    println!("optimal warp path (1-based, as in the paper):");
+    for (i, j) in &path {
+        println!("  ({}, {})  cost {}", i + 1, j + 1, point_cost(x[*i], y[*j]));
+    }
+    assert!(is_valid_warp_path(&path, x.len(), y.len()));
+    let total: f64 = path.iter().map(|&(i, j)| point_cost(x[i], y[j])).sum();
+    assert_eq!(total, distance);
+}

@@ -1,0 +1,75 @@
+//! Figure 10 — threshold training in the (density, DTW-distance) plane.
+//!
+//! Trains two boundaries from the same simulation sweeps:
+//!  * the paper's LDA on the paper-strict pipeline (min–max normalised
+//!    FastDTW distances), reported next to the paper's k/b;
+//!  * the robust quantile line on the calibrated pipeline (per-step
+//!    banded-DTW distances) — the constants baked into
+//!    `ThresholdPolicy::calibrated_simulation()`.
+
+use vp_bench::{density_grid, render_table, runs_per_point};
+use voiceprint::comparator::ComparisonConfig;
+use voiceprint::training::{collect_training_points, train_decision_line, train_quantile_line};
+use vp_sim::{run_scenario, ScenarioConfig};
+
+fn main() {
+    let mut outcomes = Vec::new();
+    for (i, den) in density_grid().into_iter().enumerate() {
+        for s in 0..runs_per_point() {
+            let cfg = ScenarioConfig::builder()
+                .density_per_km(den)
+                .simulation_time_s(60.0)
+                .observer_count(2)
+                .seed(1000 + 10 * i as u64 + s)
+                .collect_inputs(true)
+                .build();
+            outcomes.push(run_scenario(&cfg, &[]));
+            eprintln!("  training run: density {den}, seed {s} done");
+        }
+    }
+
+    for (label, comparison) in [
+        ("calibrated (per-step banded DTW)", ComparisonConfig::default()),
+        ("paper-strict (min–max FastDTW)", ComparisonConfig::paper_strict()),
+    ] {
+        let points = collect_training_points(&outcomes, &comparison);
+        let sybil = points.iter().filter(|p| p.is_sybil_pair).count();
+        println!("\n== Figure 10 — {label} ==");
+        println!("training points: {} ({} Sybil pairs)", points.len(), sybil);
+
+        // Scatter summary: per-density-bin quantiles of both classes.
+        let mut rows = Vec::new();
+        for lo in [0.0, 20.0, 40.0, 60.0, 80.0] {
+            let hi = lo + 20.0;
+            let s: Vec<f64> = points.iter().filter(|p| p.is_sybil_pair && p.density_per_km >= lo && p.density_per_km < hi).map(|p| p.distance).collect();
+            let n: Vec<f64> = points.iter().filter(|p| !p.is_sybil_pair && p.density_per_km >= lo && p.density_per_km < hi).map(|p| p.distance).collect();
+            if s.is_empty() || n.is_empty() { continue; }
+            rows.push(vec![
+                format!("{lo}-{hi}"),
+                format!("{:.4}", vp_stats::descriptive::median(&s)),
+                format!("{:.4}", vp_stats::descriptive::quantile(&s, 0.9)),
+                format!("{:.4}", vp_stats::descriptive::quantile(&n, 0.01)),
+                format!("{:.4}", vp_stats::descriptive::median(&n)),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(
+                &["density bin", "sybil q50", "sybil q90", "normal q01", "normal q50"],
+                &rows
+            )
+        );
+
+        match train_decision_line(&points) {
+            Ok(line) => println!("LDA boundary:      D <= {:.6}*den + {:.4}   (paper: 0.00054*den + 0.0483)", line.k, line.b),
+            Err(e) => println!("LDA boundary:      {e}"),
+        }
+        match train_quantile_line(&points, 5, 0.75, 0.0015) {
+            Ok(line) => println!("quantile boundary: D <= {:.6}*den + {:.4}", line.k, line.b),
+            Err(e) => println!("quantile boundary: {e}"),
+        }
+    }
+    println!("\nNote: the calibrated pipeline's distances are per-warp-step costs, a");
+    println!("window-independent scale, so its k/b are not numerically comparable to");
+    println!("the paper's min–max-normalised boundary — only the construction is.");
+}

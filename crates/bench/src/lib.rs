@@ -1,0 +1,128 @@
+//! Shared infrastructure for the experiment-regeneration binaries.
+//!
+//! Every table and figure of the paper's evaluation has a dedicated
+//! binary in `src/bin/` (see DESIGN.md's experiment index); this library
+//! holds the bits they share — plain-text table rendering, the quick-mode
+//! switch, and the standard density grid.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// `true` when `VP_QUICK=1` is set: binaries shrink their sweeps for a
+/// fast smoke run.
+pub fn quick_mode() -> bool {
+    std::env::var("VP_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The density grid of the paper's Figure 11 sweeps (vehicles/km), or a
+/// three-point grid in quick mode.
+pub fn density_grid() -> Vec<f64> {
+    if quick_mode() {
+        vec![10.0, 50.0, 100.0]
+    } else {
+        vec![10.0, 25.0, 40.0, 55.0, 70.0, 85.0, 100.0]
+    }
+}
+
+/// Number of simulation runs (seeds) per configuration.
+pub fn runs_per_point() -> u64 {
+    if quick_mode() {
+        1
+    } else {
+        3
+    }
+}
+
+/// Renders a fixed-width text table.
+///
+/// # Panics
+///
+/// Panics if any row's width differs from the header's.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    line(&mut out);
+    for (h, w) in headers.iter().zip(&widths) {
+        out.push_str(&format!("| {h:<w$} "));
+    }
+    out.push_str("|\n");
+    line(&mut out);
+    for row in rows {
+        for (cell, w) in row.iter().zip(&widths) {
+            out.push_str(&format!("| {cell:<w$} "));
+        }
+        out.push_str("|\n");
+    }
+    line(&mut out);
+    out
+}
+
+/// Renders an ASCII sparkline of a series (for quick figure-shaped
+/// output in the terminal).
+pub fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['1', '2', '3', '4', '5', '6', '7', '8'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if hi == lo {
+                GLYPHS[0]
+            } else {
+                let idx = ((v - lo) / (hi - lo) * 7.0).round() as usize;
+                GLYPHS[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["density", "DR"],
+            &[
+                vec!["10".into(), "0.94".into()],
+                vec!["100".into(), "0.74".into()],
+            ],
+        );
+        assert!(t.contains("| density | DR   |"));
+        assert!(t.contains("| 100     | 0.74 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged table row")]
+    fn ragged_rows_panic() {
+        render_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('1'));
+        assert!(s.ends_with('8'));
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[2.0, 2.0]), "11");
+    }
+}

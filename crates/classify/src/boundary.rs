@@ -1,0 +1,192 @@
+//! Linear decision rules and the paper's `(k, b)` line form.
+
+use crate::dataset::Dataset;
+
+/// A linear decision rule: classify positive when `w·x + bias > 0`.
+///
+/// All classifiers in this crate train into this shared form so they are
+/// interchangeable in the detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRule {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LinearRule {
+    /// Creates a rule from weights and bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty.
+    pub fn new(weights: Vec<f64>, bias: f64) -> Self {
+        assert!(!weights.is_empty(), "rule needs at least one weight");
+        LinearRule { weights, bias }
+    }
+
+    /// The weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The bias term.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Raw score `w·x + bias`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimension.
+    pub fn score(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "dimension mismatch");
+        self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + self.bias
+    }
+
+    /// Classifies a sample (positive when the score is positive).
+    pub fn classify(&self, x: &[f64]) -> bool {
+        self.score(x) > 0.0
+    }
+
+    /// Fraction of a dataset classified correctly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset dimension does not match or is empty.
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        assert!(!data.is_empty(), "accuracy of an empty dataset is undefined");
+        let correct = data
+            .iter()
+            .filter(|(x, label)| self.classify(x) == *label)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// Confusion counts `(true_pos, false_pos, true_neg, false_neg)`.
+    pub fn confusion(&self, data: &Dataset) -> (usize, usize, usize, usize) {
+        let (mut tp, mut fp, mut tn, mut fneg) = (0, 0, 0, 0);
+        for (x, label) in data.iter() {
+            match (self.classify(x), label) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, false) => tn += 1,
+                (false, true) => fneg += 1,
+            }
+        }
+        (tp, fp, tn, fneg)
+    }
+}
+
+/// The paper's decision line in the (density, DTW-distance) plane:
+/// a pair is flagged Sybil when `D ≤ k·den + b` (Section IV-C).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionLine {
+    /// Slope `k` of the boundary.
+    pub k: f64,
+    /// Intercept `b` of the boundary.
+    pub b: f64,
+}
+
+impl DecisionLine {
+    /// Converts a 2-D [`LinearRule`] over `(density, distance)` into line
+    /// form, requiring that the rule's positive (Sybil) region lies
+    /// *below* the line — i.e. the distance coefficient is negative, which
+    /// every sensible Voiceprint training run produces (Sybil pairs have
+    /// *small* DTW distances).
+    ///
+    /// Returns `None` when the rule is not 2-D, is vertical in the
+    /// distance axis, or points the wrong way.
+    pub fn from_rule(rule: &LinearRule) -> Option<DecisionLine> {
+        let w = rule.weights();
+        if w.len() != 2 {
+            return None;
+        }
+        let (w_den, w_dist) = (w[0], w[1]);
+        if !(w_dist < 0.0) {
+            return None;
+        }
+        // w_den·den + w_dist·D + bias > 0  ⟺  D < (w_den·den + bias)/(−w_dist)
+        Some(DecisionLine {
+            k: w_den / -w_dist,
+            b: rule.bias() / -w_dist,
+        })
+    }
+
+    /// The paper's trained simulation boundary: `k = 0.00054`,
+    /// `b = 0.0483` (Section V-B2).
+    pub fn paper_simulation() -> Self {
+        DecisionLine {
+            k: 0.00054,
+            b: 0.0483,
+        }
+    }
+
+    /// Threshold value at a given density.
+    pub fn threshold_at(&self, density_per_km: f64) -> f64 {
+        self.k * density_per_km + self.b
+    }
+
+    /// The paper's confirmation test: is this normalised DTW distance a
+    /// Sybil pair at this density?
+    pub fn is_sybil_pair(&self, density_per_km: f64, distance: f64) -> bool {
+        distance <= self.threshold_at(density_per_km)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_and_classify() {
+        let r = LinearRule::new(vec![1.0, -2.0], 0.5);
+        assert!((r.score(&[1.0, 0.5]) - 0.5).abs() < 1e-12);
+        assert!(r.classify(&[1.0, 0.5]));
+        assert!(!r.classify(&[0.0, 1.0]));
+    }
+
+    #[test]
+    fn accuracy_and_confusion() {
+        let mut d = Dataset::new(1);
+        d.push(&[1.0], true).unwrap();
+        d.push(&[2.0], true).unwrap();
+        d.push(&[-1.0], false).unwrap();
+        d.push(&[0.5], false).unwrap(); // will be misclassified
+        let r = LinearRule::new(vec![1.0], 0.0);
+        assert_eq!(r.accuracy(&d), 0.75);
+        assert_eq!(r.confusion(&d), (2, 1, 1, 0));
+    }
+
+    #[test]
+    fn line_conversion() {
+        // Rule: 0.001·den − 1·D + 0.05 > 0  ⟺  D < 0.001·den + 0.05.
+        let r = LinearRule::new(vec![0.001, -1.0], 0.05);
+        let line = DecisionLine::from_rule(&r).unwrap();
+        assert!((line.k - 0.001).abs() < 1e-12);
+        assert!((line.b - 0.05).abs() < 1e-12);
+        assert!(line.is_sybil_pair(50.0, 0.09));
+        assert!(!line.is_sybil_pair(50.0, 0.11));
+    }
+
+    #[test]
+    fn line_conversion_rejects_bad_rules() {
+        assert!(DecisionLine::from_rule(&LinearRule::new(vec![1.0], 0.0)).is_none());
+        assert!(DecisionLine::from_rule(&LinearRule::new(vec![1.0, 1.0], 0.0)).is_none());
+        assert!(DecisionLine::from_rule(&LinearRule::new(vec![1.0, 0.0], 0.0)).is_none());
+    }
+
+    #[test]
+    fn paper_boundary_values() {
+        let line = DecisionLine::paper_simulation();
+        // At 100 vhls/km the threshold is 0.1023.
+        assert!((line.threshold_at(100.0) - 0.1023).abs() < 1e-9);
+        assert!(line.is_sybil_pair(100.0, 0.10));
+        assert!(!line.is_sybil_pair(10.0, 0.10));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn score_rejects_wrong_dim() {
+        LinearRule::new(vec![1.0, 2.0], 0.0).score(&[1.0]);
+    }
+}

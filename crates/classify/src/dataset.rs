@@ -1,0 +1,187 @@
+//! Labelled-sample container shared by all classifiers.
+
+/// A two-class dataset of `d`-dimensional points with boolean labels
+/// (`true` = positive class; for Voiceprint training, "Sybil pair").
+///
+/// # Example
+///
+/// ```
+/// use vp_classify::Dataset;
+///
+/// let mut data = Dataset::new(2);
+/// data.push(&[10.0, 0.02], true)?;
+/// data.push(&[10.0, 0.40], false)?;
+/// assert_eq!(data.len(), 2);
+/// assert_eq!(data.count_positive(), 1);
+/// # Ok::<(), vp_classify::dataset::DimensionError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    dim: usize,
+    features: Vec<f64>,
+    labels: Vec<bool>,
+}
+
+/// Error returned when a sample's dimension does not match the dataset's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimensionError {
+    expected: usize,
+    got: usize,
+}
+
+impl std::fmt::Display for DimensionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sample has dimension {}, dataset expects {}",
+            self.got, self.expected
+        )
+    }
+}
+
+impl std::error::Error for DimensionError {}
+
+impl Dataset {
+    /// Creates an empty dataset of `dim`-dimensional samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dataset dimension must be positive");
+        Dataset {
+            dim,
+            features: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Adds one labelled sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionError`] when `x.len() != dim`.
+    pub fn push(&mut self, x: &[f64], label: bool) -> Result<(), DimensionError> {
+        if x.len() != self.dim {
+            return Err(DimensionError {
+                expected: self.dim,
+                got: x.len(),
+            });
+        }
+        self.features.extend_from_slice(x);
+        self.labels.push(label);
+        Ok(())
+    }
+
+    /// Sample dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of positive samples.
+    pub fn count_positive(&self) -> usize {
+        self.labels.iter().filter(|&&l| l).count()
+    }
+
+    /// Feature vector of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn sample(&self, i: usize) -> &[f64] {
+        &self.features[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Label of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn label(&self, i: usize) -> bool {
+        self.labels[i]
+    }
+
+    /// Iterator over `(features, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], bool)> {
+        self.features.chunks(self.dim).zip(self.labels.iter().copied())
+    }
+
+    /// Per-dimension mean of one class (`None` when that class is empty).
+    pub fn class_mean(&self, label: bool) -> Option<Vec<f64>> {
+        let mut mean = vec![0.0; self.dim];
+        let mut n = 0usize;
+        for (x, l) in self.iter() {
+            if l == label {
+                for (m, v) in mean.iter_mut().zip(x) {
+                    *m += v;
+                }
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return None;
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        Some(mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut d = Dataset::new(2);
+        d.push(&[0.0, 0.0], false).unwrap();
+        d.push(&[1.0, 1.0], false).unwrap();
+        d.push(&[4.0, 4.0], true).unwrap();
+        d.push(&[6.0, 2.0], true).unwrap();
+        d
+    }
+
+    #[test]
+    fn push_and_access() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.sample(2), &[4.0, 4.0]);
+        assert!(d.label(2));
+        assert_eq!(d.count_positive(), 2);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut d = Dataset::new(2);
+        let err = d.push(&[1.0], true).unwrap_err();
+        assert!(err.to_string().contains("dimension 1"));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn class_means() {
+        let d = toy();
+        assert_eq!(d.class_mean(false).unwrap(), vec![0.5, 0.5]);
+        assert_eq!(d.class_mean(true).unwrap(), vec![5.0, 3.0]);
+        let empty = Dataset::new(2);
+        assert!(empty.class_mean(true).is_none());
+    }
+
+    #[test]
+    fn iteration_order() {
+        let d = toy();
+        let labels: Vec<bool> = d.iter().map(|(_, l)| l).collect();
+        assert_eq!(labels, vec![false, false, true, true]);
+    }
+}

@@ -1,0 +1,281 @@
+//! Two-class Linear Discriminant Analysis.
+//!
+//! Fisher's LDA under the shared-covariance Gaussian model: the
+//! discriminant direction is `w = Σ⁻¹(μ₊ − μ₋)` with the threshold placed
+//! at the midpoint of the projected class means adjusted by the log prior
+//! ratio — the Bayes-optimal linear rule when the model holds. The paper
+//! uses exactly this to find the `(k, b)` boundary of Figure 10.
+
+use crate::boundary::LinearRule;
+use crate::dataset::Dataset;
+use vp_stats::matrix::Matrix;
+
+/// A fitted two-class LDA model.
+///
+/// # Example
+///
+/// ```
+/// use vp_classify::{Dataset, LinearDiscriminant};
+///
+/// let mut data = Dataset::new(2);
+/// // Sybil pairs: low distance at any density.
+/// for i in 0..20 {
+///     let den = 10.0 + i as f64 * 4.0;
+///     data.push(&[den, 0.02 + 0.0002 * den], true)?;
+///     data.push(&[den, 0.30 + 0.001 * den], false)?;
+/// }
+/// let lda = LinearDiscriminant::fit(&data)?;
+/// assert!(lda.rule().classify(&[50.0, 0.03]));
+/// assert!(!lda.rule().classify(&[50.0, 0.35]));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearDiscriminant {
+    rule: LinearRule,
+    projected_means: (f64, f64),
+}
+
+/// Error returned when LDA cannot be fitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LdaError {
+    /// One of the classes has no samples.
+    EmptyClass,
+    /// The pooled covariance matrix is singular (e.g. a constant feature).
+    SingularCovariance,
+}
+
+impl std::fmt::Display for LdaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LdaError::EmptyClass => write!(f, "both classes need at least one sample"),
+            LdaError::SingularCovariance => {
+                write!(f, "pooled covariance is singular; add jitter or drop constant features")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LdaError {}
+
+impl LinearDiscriminant {
+    /// Fits LDA to a two-class dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LdaError::EmptyClass`] when either class is empty and
+    /// [`LdaError::SingularCovariance`] when the pooled within-class
+    /// covariance cannot be inverted.
+    pub fn fit(data: &Dataset) -> Result<Self, LdaError> {
+        let dim = data.dim();
+        let mu_pos = data.class_mean(true).ok_or(LdaError::EmptyClass)?;
+        let mu_neg = data.class_mean(false).ok_or(LdaError::EmptyClass)?;
+        let n_pos = data.count_positive();
+        let n_neg = data.len() - n_pos;
+
+        // Pooled within-class scatter (divided by n − 2, the usual pooled
+        // covariance estimator).
+        let mut scatter = Matrix::zeros(dim, dim);
+        for (x, label) in data.iter() {
+            let mu = if label { &mu_pos } else { &mu_neg };
+            for i in 0..dim {
+                for j in 0..dim {
+                    let v = scatter.get(i, j) + (x[i] - mu[i]) * (x[j] - mu[j]);
+                    scatter.set(i, j, v);
+                }
+            }
+        }
+        let denom = (data.len().saturating_sub(2)).max(1) as f64;
+        let cov = scatter.scale(1.0 / denom);
+
+        let diff = Matrix::column(
+            &mu_pos
+                .iter()
+                .zip(&mu_neg)
+                .map(|(p, n)| p - n)
+                .collect::<Vec<f64>>(),
+        );
+        let w = cov.solve(&diff).map_err(|_| LdaError::SingularCovariance)?;
+        let weights: Vec<f64> = (0..dim).map(|i| w.get(i, 0)).collect();
+
+        // Project every sample onto the discriminant and place the
+        // threshold where the two projected class Gaussians intersect.
+        // With equal projected variances this reduces to the classic
+        // prior-adjusted midpoint; with unequal variances (Voiceprint's
+        // Sybil cluster is far tighter than the normal cloud) it moves the
+        // boundary toward the tight cluster — matching the paper's small
+        // intercept in Figure 10.
+        let project =
+            |x: &[f64]| weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
+        let mut pos_proj = vp_stats::descriptive::Summary::new();
+        let mut neg_proj = vp_stats::descriptive::Summary::new();
+        for (x, label) in data.iter() {
+            if label {
+                pos_proj.push(project(x));
+            } else {
+                neg_proj.push(project(x));
+            }
+        }
+        let (m_pos, m_neg) = (pos_proj.mean(), neg_proj.mean());
+        let threshold = gaussian_intersection(
+            m_neg,
+            neg_proj.population_std_dev(),
+            n_neg as f64 / data.len() as f64,
+            m_pos,
+            pos_proj.population_std_dev(),
+            n_pos as f64 / data.len() as f64,
+        );
+        Ok(LinearDiscriminant {
+            rule: LinearRule::new(weights, -threshold),
+            projected_means: (m_neg, m_pos),
+        })
+    }
+
+    /// The fitted linear rule (positive score = positive class).
+    pub fn rule(&self) -> &LinearRule {
+        &self.rule
+    }
+
+    /// Projected class means `(negative, positive)` along the
+    /// discriminant direction — useful for inspecting separation.
+    pub fn projected_means(&self) -> (f64, f64) {
+        self.projected_means
+    }
+}
+
+/// Decision threshold between two 1-D Gaussians `N(m0, s0²)` (prior `p0`)
+/// and `N(m1, s1²)` (prior `p1`), with `m0 < m1` expected: the point where
+/// the weighted densities cross, constrained to `[m0, m1]`; degenerate
+/// spreads fall back to the prior-adjusted midpoint.
+fn gaussian_intersection(m0: f64, s0: f64, p0: f64, m1: f64, s1: f64, p1: f64) -> f64 {
+    let midpoint = |s: f64| {
+        // Equal-variance solution with prior correction.
+        let base = (m0 + m1) / 2.0;
+        if s > 0.0 && (m1 - m0).abs() > 0.0 {
+            base + s * s * (p0 / p1).ln() / (m1 - m0)
+        } else {
+            base
+        }
+    };
+    let s_pooled = ((s0 * s0 + s1 * s1) / 2.0).sqrt();
+    if s0 <= 0.0 || s1 <= 0.0 {
+        return midpoint(s_pooled);
+    }
+    if (s0 - s1).abs() < 1e-12 * s_pooled.max(1e-300) {
+        return midpoint(s0);
+    }
+    // Quadratic a·t² + b·t + c = 0 from equating the log densities.
+    let a = 1.0 / (2.0 * s1 * s1) - 1.0 / (2.0 * s0 * s0);
+    let b = m0 / (s0 * s0) - m1 / (s1 * s1);
+    let c = m1 * m1 / (2.0 * s1 * s1) - m0 * m0 / (2.0 * s0 * s0)
+        + (p0 * s1 / (p1 * s0)).ln();
+    let disc = b * b - 4.0 * a * c;
+    if disc < 0.0 {
+        return midpoint(s_pooled);
+    }
+    let r1 = (-b + disc.sqrt()) / (2.0 * a);
+    let r2 = (-b - disc.sqrt()) / (2.0 * a);
+    let (lo, hi) = (m0.min(m1), m0.max(m1));
+    for r in [r1, r2] {
+        if r >= lo && r <= hi {
+            return r;
+        }
+    }
+    midpoint(s_pooled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Builds a dataset shaped like the paper's Figure 10: Sybil pairs
+    /// hug small DTW distances with a mild density slope; non-Sybil pairs
+    /// sit well above.
+    fn figure10_like(seed: u64, n_per_density: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Dataset::new(2);
+        for step in 0..10 {
+            let den = 10.0 + 10.0 * step as f64;
+            for _ in 0..n_per_density {
+                let sybil_d = 0.01 + 0.0004 * den + rng.gen::<f64>() * 0.02;
+                data.push(&[den, sybil_d], true).unwrap();
+                let normal_d = 0.15 + rng.gen::<f64>() * 0.6;
+                data.push(&[den, normal_d], false).unwrap();
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn separates_figure10_like_data() {
+        let data = figure10_like(1, 30);
+        let lda = LinearDiscriminant::fit(&data).unwrap();
+        assert!(lda.rule().accuracy(&data) > 0.97);
+        let (m_neg, m_pos) = lda.projected_means();
+        assert!(m_pos > m_neg);
+    }
+
+    #[test]
+    fn boundary_line_has_positive_slope_and_small_intercept() {
+        let data = figure10_like(2, 50);
+        let lda = LinearDiscriminant::fit(&data).unwrap();
+        let line = crate::boundary::DecisionLine::from_rule(lda.rule()).unwrap();
+        // Shaped like the paper's k = 0.00054, b = 0.0483: positive slope,
+        // intercept between the classes.
+        assert!(line.k > 0.0, "slope {}", line.k);
+        assert!((0.0..0.2).contains(&line.b), "intercept {}", line.b);
+    }
+
+    #[test]
+    fn empty_class_is_an_error() {
+        let mut data = Dataset::new(2);
+        data.push(&[1.0, 1.0], true).unwrap();
+        data.push(&[2.0, 2.0], true).unwrap();
+        assert_eq!(LinearDiscriminant::fit(&data), Err(LdaError::EmptyClass));
+    }
+
+    #[test]
+    fn singular_covariance_is_an_error() {
+        // A constant feature makes the covariance singular.
+        let mut data = Dataset::new(2);
+        for i in 0..10 {
+            data.push(&[1.0, i as f64], i % 2 == 0).unwrap();
+        }
+        assert_eq!(
+            LinearDiscriminant::fit(&data),
+            Err(LdaError::SingularCovariance)
+        );
+    }
+
+    #[test]
+    fn one_dimensional_midpoint() {
+        // Classes at -1 and +1 with symmetric spread: threshold ≈ 0.
+        let mut data = Dataset::new(1);
+        for i in 0..100 {
+            let eps = (i % 10) as f64 * 0.01;
+            data.push(&[1.0 + eps], true).unwrap();
+            data.push(&[-1.0 - eps], false).unwrap();
+        }
+        let lda = LinearDiscriminant::fit(&data).unwrap();
+        assert!(lda.rule().classify(&[0.5]));
+        assert!(!lda.rule().classify(&[-0.5]));
+        assert!(lda.rule().accuracy(&data) == 1.0);
+    }
+
+    #[test]
+    fn prior_shifts_threshold_toward_rare_class() {
+        // 10:1 imbalance — the midpoint moves so the common class keeps
+        // its territory.
+        let mut data = Dataset::new(1);
+        for i in 0..200 {
+            data.push(&[-1.0 + (i % 7) as f64 * 0.02], false).unwrap();
+        }
+        for i in 0..20 {
+            data.push(&[1.0 + (i % 7) as f64 * 0.02], true).unwrap();
+        }
+        let lda = LinearDiscriminant::fit(&data).unwrap();
+        // Points near zero lean negative because negatives are 10× likelier.
+        assert!(!lda.rule().classify(&[0.0]));
+    }
+}

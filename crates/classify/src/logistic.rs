@@ -1,0 +1,218 @@
+//! Logistic regression via batch gradient descent.
+//!
+//! One of the alternative classifiers the paper mentions for threshold
+//! determination. Features are internally standardised (zero mean, unit
+//! variance) before optimisation so the fixed learning rate behaves across
+//! the very different scales of the density and DTW-distance axes; the
+//! returned rule is mapped back to raw feature space.
+
+use crate::boundary::LinearRule;
+use crate::dataset::Dataset;
+
+/// Training hyper-parameters for [`LogisticRegression`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogisticConfig {
+    /// Gradient-descent learning rate (on standardised features).
+    pub learning_rate: f64,
+    /// Number of full-batch iterations.
+    pub iterations: usize,
+    /// L2 regularisation strength.
+    pub l2: f64,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        LogisticConfig {
+            learning_rate: 0.5,
+            iterations: 500,
+            l2: 1e-4,
+        }
+    }
+}
+
+/// A fitted logistic-regression model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticRegression {
+    rule: LinearRule,
+}
+
+/// Error returned when logistic regression cannot be fitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogisticError {
+    what: &'static str,
+}
+
+impl std::fmt::Display for LogisticError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "logistic regression failed: {}", self.what)
+    }
+}
+
+impl std::error::Error for LogisticError {}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl LogisticRegression {
+    /// Fits the model with default hyper-parameters.
+    ///
+    /// # Errors
+    ///
+    /// See [`LogisticRegression::fit_with`].
+    pub fn fit(data: &Dataset) -> Result<Self, LogisticError> {
+        LogisticRegression::fit_with(data, LogisticConfig::default())
+    }
+
+    /// Fits the model with explicit hyper-parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when either class is empty or a feature is
+    /// constant (cannot be standardised).
+    pub fn fit_with(data: &Dataset, config: LogisticConfig) -> Result<Self, LogisticError> {
+        let n = data.len();
+        let dim = data.dim();
+        let pos = data.count_positive();
+        if pos == 0 || pos == n {
+            return Err(LogisticError {
+                what: "both classes need at least one sample",
+            });
+        }
+        // Standardise features.
+        let mut mean = vec![0.0; dim];
+        let mut var = vec![0.0; dim];
+        for (x, _) in data.iter() {
+            for (m, v) in mean.iter_mut().zip(x) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        for (x, _) in data.iter() {
+            for j in 0..dim {
+                var[j] += (x[j] - mean[j]).powi(2);
+            }
+        }
+        let mut sd = vec![0.0; dim];
+        for j in 0..dim {
+            sd[j] = (var[j] / n as f64).sqrt();
+            if sd[j] == 0.0 {
+                return Err(LogisticError {
+                    what: "a feature is constant",
+                });
+            }
+        }
+
+        let mut w = vec![0.0; dim];
+        let mut b = 0.0;
+        let mut grad = vec![0.0; dim];
+        for _ in 0..config.iterations {
+            grad.iter_mut().for_each(|g| *g = 0.0);
+            let mut gb = 0.0;
+            for (x, label) in data.iter() {
+                let mut z = b;
+                for j in 0..dim {
+                    z += w[j] * (x[j] - mean[j]) / sd[j];
+                }
+                let err = sigmoid(z) - if label { 1.0 } else { 0.0 };
+                for j in 0..dim {
+                    grad[j] += err * (x[j] - mean[j]) / sd[j];
+                }
+                gb += err;
+            }
+            for j in 0..dim {
+                w[j] -= config.learning_rate * (grad[j] / n as f64 + config.l2 * w[j]);
+            }
+            b -= config.learning_rate * gb / n as f64;
+        }
+
+        // Map back to raw feature space:
+        // z = Σ wj (xj − mj)/sj + b = Σ (wj/sj) xj + (b − Σ wj mj/sj).
+        let mut raw_w = vec![0.0; dim];
+        let mut raw_b = b;
+        for j in 0..dim {
+            raw_w[j] = w[j] / sd[j];
+            raw_b -= w[j] * mean[j] / sd[j];
+        }
+        Ok(LogisticRegression {
+            rule: LinearRule::new(raw_w, raw_b),
+        })
+    }
+
+    /// The fitted linear rule (positive score = positive class).
+    pub fn rule(&self) -> &LinearRule {
+        &self.rule
+    }
+
+    /// Predicted probability that `x` belongs to the positive class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimension.
+    pub fn probability(&self, x: &[f64]) -> f64 {
+        sigmoid(self.rule.score(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn separable(seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Dataset::new(2);
+        for _ in 0..200 {
+            let den = 10.0 + rng.gen::<f64>() * 90.0;
+            data.push(&[den, 0.02 + rng.gen::<f64>() * 0.04], true).unwrap();
+            data.push(&[den, 0.2 + rng.gen::<f64>() * 0.5], false).unwrap();
+        }
+        data
+    }
+
+    #[test]
+    fn fits_separable_data() {
+        let data = separable(1);
+        let lr = LogisticRegression::fit(&data).unwrap();
+        assert!(lr.rule().accuracy(&data) > 0.97);
+    }
+
+    #[test]
+    fn probabilities_are_calibrated_directionally() {
+        let data = separable(2);
+        let lr = LogisticRegression::fit(&data).unwrap();
+        assert!(lr.probability(&[50.0, 0.03]) > 0.9);
+        assert!(lr.probability(&[50.0, 0.5]) < 0.1);
+    }
+
+    #[test]
+    fn single_class_rejected() {
+        let mut data = Dataset::new(1);
+        data.push(&[1.0], true).unwrap();
+        data.push(&[2.0], true).unwrap();
+        assert!(LogisticRegression::fit(&data).is_err());
+    }
+
+    #[test]
+    fn constant_feature_rejected() {
+        let mut data = Dataset::new(2);
+        data.push(&[1.0, 5.0], true).unwrap();
+        data.push(&[1.0, 6.0], false).unwrap();
+        let err = LogisticRegression::fit(&data).unwrap_err();
+        assert!(err.to_string().contains("constant"));
+    }
+
+    #[test]
+    fn agrees_with_lda_on_gaussianish_data() {
+        let data = separable(3);
+        let lr = LogisticRegression::fit(&data).unwrap();
+        let lda = crate::lda::LinearDiscriminant::fit(&data).unwrap();
+        // Both should classify extreme prototypes identically.
+        for x in [[20.0, 0.03], [90.0, 0.03], [20.0, 0.6], [90.0, 0.6]] {
+            assert_eq!(lr.rule().classify(&x), lda.rule().classify(&x), "{x:?}");
+        }
+    }
+}

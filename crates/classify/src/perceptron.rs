@@ -1,0 +1,216 @@
+//! The classic mistake-driven perceptron.
+//!
+//! The simplest of the alternative classifiers the paper lists. Like the
+//! logistic model, features are standardised internally and the learned
+//! rule is mapped back to raw space. The pocket variant is used: the best
+//! rule seen across epochs (by training accuracy) is kept, so the
+//! algorithm also behaves on non-separable data.
+
+use crate::boundary::LinearRule;
+use crate::dataset::Dataset;
+
+/// Training hyper-parameters for [`Perceptron`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerceptronConfig {
+    /// Maximum training epochs (full passes).
+    pub max_epochs: usize,
+    /// Learning rate for weight updates (on standardised features).
+    pub learning_rate: f64,
+}
+
+impl Default for PerceptronConfig {
+    fn default() -> Self {
+        PerceptronConfig {
+            max_epochs: 200,
+            learning_rate: 0.1,
+        }
+    }
+}
+
+/// A fitted pocket perceptron.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Perceptron {
+    rule: LinearRule,
+    training_accuracy: f64,
+    converged: bool,
+}
+
+/// Error returned when the perceptron cannot be fitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerceptronError {
+    what: &'static str,
+}
+
+impl std::fmt::Display for PerceptronError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "perceptron training failed: {}", self.what)
+    }
+}
+
+impl std::error::Error for PerceptronError {}
+
+impl Perceptron {
+    /// Fits with default hyper-parameters.
+    ///
+    /// # Errors
+    ///
+    /// See [`Perceptron::fit_with`].
+    pub fn fit(data: &Dataset) -> Result<Self, PerceptronError> {
+        Perceptron::fit_with(data, PerceptronConfig::default())
+    }
+
+    /// Fits with explicit hyper-parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when either class is empty or a feature is
+    /// constant.
+    pub fn fit_with(data: &Dataset, config: PerceptronConfig) -> Result<Self, PerceptronError> {
+        let n = data.len();
+        let dim = data.dim();
+        let pos = data.count_positive();
+        if pos == 0 || pos == n {
+            return Err(PerceptronError {
+                what: "both classes need at least one sample",
+            });
+        }
+        let mut mean = vec![0.0; dim];
+        for (x, _) in data.iter() {
+            for (m, v) in mean.iter_mut().zip(x) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        let mut sd = vec![0.0; dim];
+        for (x, _) in data.iter() {
+            for j in 0..dim {
+                sd[j] += (x[j] - mean[j]).powi(2);
+            }
+        }
+        for s in &mut sd {
+            *s = (*s / n as f64).sqrt();
+            if *s == 0.0 {
+                return Err(PerceptronError {
+                    what: "a feature is constant",
+                });
+            }
+        }
+
+        let std_x = |x: &[f64], j: usize| (x[j] - mean[j]) / sd[j];
+        let mut w = vec![0.0; dim];
+        let mut b = 0.0;
+        let mut best = (w.clone(), b, 0usize);
+        let mut converged = false;
+        for _ in 0..config.max_epochs {
+            let mut mistakes = 0usize;
+            for (x, label) in data.iter() {
+                let mut z = b;
+                for j in 0..dim {
+                    z += w[j] * std_x(x, j);
+                }
+                let y = if label { 1.0 } else { -1.0 };
+                if z * y <= 0.0 {
+                    mistakes += 1;
+                    for j in 0..dim {
+                        w[j] += config.learning_rate * y * std_x(x, j);
+                    }
+                    b += config.learning_rate * y;
+                }
+            }
+            // Pocket: keep the epoch-end rule with the fewest mistakes.
+            let correct = n - mistakes;
+            if correct > best.2 {
+                best = (w.clone(), b, correct);
+            }
+            if mistakes == 0 {
+                converged = true;
+                break;
+            }
+        }
+        let (w, b, correct) = best;
+        let mut raw_w = vec![0.0; dim];
+        let mut raw_b = b;
+        for j in 0..dim {
+            raw_w[j] = w[j] / sd[j];
+            raw_b -= w[j] * mean[j] / sd[j];
+        }
+        Ok(Perceptron {
+            rule: LinearRule::new(raw_w, raw_b),
+            training_accuracy: correct as f64 / n as f64,
+            converged,
+        })
+    }
+
+    /// The fitted linear rule.
+    pub fn rule(&self) -> &LinearRule {
+        &self.rule
+    }
+
+    /// Training accuracy of the pocketed rule.
+    pub fn training_accuracy(&self) -> f64 {
+        self.training_accuracy
+    }
+
+    /// `true` when training reached zero mistakes (data separable).
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn separable(seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Dataset::new(2);
+        for _ in 0..150 {
+            let den = 10.0 + rng.gen::<f64>() * 90.0;
+            data.push(&[den, 0.02 + rng.gen::<f64>() * 0.03], true).unwrap();
+            data.push(&[den, 0.25 + rng.gen::<f64>() * 0.5], false).unwrap();
+        }
+        data
+    }
+
+    #[test]
+    fn converges_on_separable_data() {
+        let data = separable(1);
+        let p = Perceptron::fit(&data).unwrap();
+        assert!(p.converged());
+        assert_eq!(p.training_accuracy(), 1.0);
+        assert_eq!(p.rule().accuracy(&data), 1.0);
+    }
+
+    #[test]
+    fn pocket_handles_overlap() {
+        // Overlapping classes: pocket still finds a majority-correct rule.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut data = Dataset::new(1);
+        for _ in 0..300 {
+            data.push(&[rng.gen::<f64>() + 0.4], true).unwrap();
+            data.push(&[rng.gen::<f64>() - 0.4], false).unwrap();
+        }
+        let p = Perceptron::fit(&data).unwrap();
+        assert!(!p.converged());
+        assert!(p.training_accuracy() > 0.75, "{}", p.training_accuracy());
+    }
+
+    #[test]
+    fn single_class_rejected() {
+        let mut data = Dataset::new(1);
+        data.push(&[1.0], false).unwrap();
+        assert!(Perceptron::fit(&data).is_err());
+    }
+
+    #[test]
+    fn constant_feature_rejected() {
+        let mut data = Dataset::new(2);
+        data.push(&[3.0, 1.0], true).unwrap();
+        data.push(&[3.0, 2.0], false).unwrap();
+        assert!(Perceptron::fit(&data).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! Phase 1 — collection.
+//!
+//! "One vehicle monitors the CCH and records all the latest messages
+//! within a constant interval [the observation time]. For each packet,
+//! Voiceprint only needs to store a 2-tuple ⟨ID, RSSI⟩, and then generates
+//! RSSI time series for each received ID." (Section IV-C1)
+
+use std::collections::HashMap;
+
+use crate::IdentityId;
+
+/// Rolling per-identity RSSI collector with a fixed observation window.
+///
+/// # Example
+///
+/// ```
+/// use voiceprint::collector::Collector;
+///
+/// let mut c = Collector::new(20.0);
+/// c.record(42, 0.1, -71.5);
+/// c.record(42, 0.2, -71.0);
+/// assert_eq!(c.heard_identities(), 1);
+/// let series = c.series_at(0.2, 1);
+/// assert_eq!(series[0], (42, vec![-71.5, -71.0]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Collector {
+    window_s: f64,
+    samples: HashMap<IdentityId, Vec<(f64, f64)>>,
+}
+
+impl Collector {
+    /// Creates a collector with the given observation window (the paper
+    /// uses 20 s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_s` is not strictly positive.
+    pub fn new(window_s: f64) -> Self {
+        assert!(window_s > 0.0, "observation window must be positive");
+        Collector {
+            window_s,
+            samples: HashMap::new(),
+        }
+    }
+
+    /// Observation window length, seconds.
+    pub fn window_s(&self) -> f64 {
+        self.window_s
+    }
+
+    /// Records one decoded beacon's `⟨ID, RSSI⟩` tuple at `time_s`.
+    pub fn record(&mut self, identity: IdentityId, time_s: f64, rssi_dbm: f64) {
+        self.samples
+            .entry(identity)
+            .or_default()
+            .push((time_s, rssi_dbm));
+    }
+
+    /// Number of identities with at least one stored sample.
+    pub fn heard_identities(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Drops samples that have aged out of the window relative to `now_s`
+    /// and forgets silent identities. Call periodically to bound memory.
+    pub fn prune(&mut self, now_s: f64) {
+        let cutoff = now_s - self.window_s;
+        self.samples.retain(|_, v| {
+            v.retain(|&(t, _)| t >= cutoff);
+            !v.is_empty()
+        });
+    }
+
+    /// Extracts the RSSI series of every identity with at least
+    /// `min_samples` samples inside `[now_s − window, now_s]`,
+    /// time-ordered, sorted by identity.
+    pub fn series_at(&self, now_s: f64, min_samples: usize) -> Vec<(IdentityId, Vec<f64>)> {
+        let cutoff = now_s - self.window_s;
+        let mut out: Vec<(IdentityId, Vec<f64>)> = self
+            .samples
+            .iter()
+            .filter_map(|(&id, samples)| {
+                let mut kept: Vec<(f64, f64)> = samples
+                    .iter()
+                    .copied()
+                    .filter(|&(t, _)| t >= cutoff && t <= now_s)
+                    .collect();
+                if kept.len() < min_samples.max(1) {
+                    return None;
+                }
+                kept.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite timestamps"));
+                Some((id, kept.into_iter().map(|(_, r)| r).collect()))
+            })
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_filtering() {
+        let mut c = Collector::new(10.0);
+        for k in 0..30 {
+            c.record(1, k as f64, -70.0 - k as f64);
+        }
+        let series = c.series_at(29.0, 1);
+        assert_eq!(series[0].1.len(), 11);
+        assert_eq!(series[0].1[0], -89.0);
+        assert_eq!(*series[0].1.last().unwrap(), -99.0);
+    }
+
+    #[test]
+    fn min_samples_filter_and_sorting() {
+        let mut c = Collector::new(10.0);
+        c.record(9, 0.0, -60.0);
+        c.record(3, 0.0, -61.0);
+        c.record(3, 1.0, -62.0);
+        let series = c.series_at(1.0, 2);
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].0, 3);
+        let all = c.series_at(1.0, 1);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, 3);
+        assert_eq!(all[1].0, 9);
+    }
+
+    #[test]
+    fn out_of_order_arrival_is_sorted() {
+        let mut c = Collector::new(10.0);
+        c.record(1, 2.0, -72.0);
+        c.record(1, 1.0, -71.0);
+        let series = c.series_at(2.0, 1);
+        assert_eq!(series[0].1, vec![-71.0, -72.0]);
+    }
+
+    #[test]
+    fn prune_bounds_memory() {
+        let mut c = Collector::new(5.0);
+        c.record(1, 0.0, -70.0);
+        c.record(2, 0.0, -71.0);
+        c.record(1, 7.0, -70.0);
+        c.prune(7.0);
+        assert_eq!(c.heard_identities(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "observation window must be positive")]
+    fn zero_window_panics() {
+        Collector::new(0.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Phase 3 — confirmation.
+//!
+//! Every pair whose normalised distance falls under the (density-
+//! dependent) threshold is flagged as a Sybil pair (paper Algorithm 1,
+//! lines 12–20); flagged pairs are then merged into Sybil *groups* with a
+//! union–find, since all identities of one attacker are mutually similar.
+//! The union of all flagged identities is the suspect set.
+
+use std::collections::HashMap;
+
+use crate::comparator::PairwiseDistances;
+use crate::threshold::ThresholdPolicy;
+use crate::IdentityId;
+
+/// The confirmation phase's verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SybilVerdict {
+    suspects: Vec<IdentityId>,
+    groups: Vec<Vec<IdentityId>>,
+    flagged_pairs: Vec<(IdentityId, IdentityId, f64)>,
+    threshold: f64,
+}
+
+impl SybilVerdict {
+    /// All suspected identities, ascending.
+    pub fn suspects(&self) -> &[IdentityId] {
+        &self.suspects
+    }
+
+    /// Suspected Sybil groups (each is one inferred physical attacker),
+    /// each sorted ascending; groups ordered by their smallest member.
+    pub fn groups(&self) -> &[Vec<IdentityId>] {
+        &self.groups
+    }
+
+    /// The flagged pairs with their normalised distances.
+    pub fn flagged_pairs(&self) -> &[(IdentityId, IdentityId, f64)] {
+        &self.flagged_pairs
+    }
+
+    /// The threshold value that was in force.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// `true` when nothing was flagged.
+    pub fn is_clean(&self) -> bool {
+        self.suspects.is_empty()
+    }
+}
+
+/// Runs the confirmation phase.
+///
+/// With fewer than three compared identities the verdict is always clean:
+/// a single pairwise distance min–max-normalises to 0 by construction, so
+/// thresholding it would flag every two-vehicle neighbourhood. (The paper
+/// implicitly assumes richer neighbourhoods; its field test compares six
+/// identities.)
+pub fn confirm(
+    distances: &PairwiseDistances,
+    density_per_km: f64,
+    policy: &ThresholdPolicy,
+) -> SybilVerdict {
+    let threshold = policy.threshold_at(density_per_km);
+    if distances.len() < 3 {
+        return SybilVerdict {
+            suspects: Vec::new(),
+            groups: Vec::new(),
+            flagged_pairs: Vec::new(),
+            threshold,
+        };
+    }
+    let mut flagged = Vec::new();
+    let mut uf = UnionFind::new(distances.len());
+    let ids = distances.ids();
+    let index_of: HashMap<IdentityId, usize> =
+        ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    for (a, b, d) in distances.iter() {
+        if d <= threshold {
+            flagged.push((a, b, d));
+            uf.union(index_of[&a], index_of[&b]);
+        }
+    }
+    let mut groups_map: HashMap<usize, Vec<IdentityId>> = HashMap::new();
+    for (a, b, _) in &flagged {
+        for id in [a, b] {
+            let root = uf.find(index_of[id]);
+            let group = groups_map.entry(root).or_default();
+            if !group.contains(id) {
+                group.push(*id);
+            }
+        }
+    }
+    let mut groups: Vec<Vec<IdentityId>> = groups_map
+        .into_values()
+        .map(|mut g| {
+            g.sort_unstable();
+            g
+        })
+        .collect();
+    groups.sort_by_key(|g| g[0]);
+    let mut suspects: Vec<IdentityId> = groups.iter().flatten().copied().collect();
+    suspects.sort_unstable();
+    SybilVerdict {
+        suspects,
+        groups,
+        flagged_pairs: flagged,
+        threshold,
+    }
+}
+
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comparator::{compare, ComparisonConfig};
+
+    fn distances_with_two_sybil_clusters() -> PairwiseDistances {
+        // Attacker A: identities 100, 101; attacker B: 200, 201, 202;
+        // honest: 1, 2.
+        let shape_a: Vec<f64> = (0..100).map(|k| (k as f64 * 0.2).sin() * 4.0 - 70.0).collect();
+        let shape_b: Vec<f64> = (0..100).map(|k| (k as f64 * 0.13).cos() * 4.0 - 72.0).collect();
+        let mut series = vec![
+            (100, shape_a.clone()),
+            (101, shape_a.iter().map(|v| v + 5.0).collect()),
+            (200, shape_b.clone()),
+            (201, shape_b.iter().map(|v| v - 3.0).collect()),
+            (202, shape_b.iter().map(|v| v + 2.0).collect()),
+        ];
+        series.push((1, (0..100).map(|k| ((k as f64 * 0.07).sin() + (k as f64 * 0.31).cos()) * 3.0 - 75.0).collect()));
+        series.push((2, (0..100).map(|k| ((k as f64 * 0.047).cos() + (k as f64 * 0.23).sin()) * 3.0 - 68.0).collect()));
+        compare(&series, &ComparisonConfig::default())
+    }
+
+    #[test]
+    fn grouping_separates_attackers() {
+        let pd = distances_with_two_sybil_clusters();
+        let verdict = confirm(&pd, 10.0, &ThresholdPolicy::Constant(0.02));
+        assert_eq!(verdict.suspects(), &[100, 101, 200, 201, 202]);
+        assert_eq!(verdict.groups().len(), 2);
+        assert_eq!(verdict.groups()[0], vec![100, 101]);
+        assert_eq!(verdict.groups()[1], vec![200, 201, 202]);
+        assert!(!verdict.is_clean());
+    }
+
+    #[test]
+    fn loose_threshold_flags_more() {
+        let pd = distances_with_two_sybil_clusters();
+        let strict = confirm(&pd, 10.0, &ThresholdPolicy::Constant(0.02));
+        let loose = confirm(&pd, 10.0, &ThresholdPolicy::Constant(0.9));
+        assert!(loose.suspects().len() >= strict.suspects().len());
+        assert!(loose.flagged_pairs().len() > strict.flagged_pairs().len());
+    }
+
+    #[test]
+    fn zero_threshold_flags_only_exact_minimum() {
+        let pd = distances_with_two_sybil_clusters();
+        let verdict = confirm(&pd, 10.0, &ThresholdPolicy::Constant(0.0));
+        // Min–max guarantees at least one distance is exactly 0.
+        assert!(!verdict.flagged_pairs().is_empty());
+        for (_, _, d) in verdict.flagged_pairs() {
+            assert_eq!(*d, 0.0);
+        }
+    }
+
+    #[test]
+    fn tiny_neighbourhoods_are_never_flagged() {
+        let shape: Vec<f64> = (0..50).map(|k| (k as f64 * 0.2).sin() - 70.0).collect();
+        let series = vec![
+            (1, shape.clone()),
+            (2, shape.iter().map(|v| v + 3.0).collect()),
+        ];
+        let pd = compare(&series, &ComparisonConfig::default());
+        let verdict = confirm(&pd, 10.0, &ThresholdPolicy::Constant(0.5));
+        assert!(verdict.is_clean());
+        assert_eq!(verdict.threshold(), 0.5);
+    }
+
+    #[test]
+    fn threshold_respects_density_policy() {
+        let pd = distances_with_two_sybil_clusters();
+        let line = ThresholdPolicy::paper_simulation();
+        let lo = confirm(&pd, 10.0, &line);
+        let hi = confirm(&pd, 100.0, &line);
+        assert!(hi.threshold() > lo.threshold());
+    }
+
+    #[test]
+    fn union_find_transitivity() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert_eq!(uf.find(0), uf.find(2));
+        assert_ne!(uf.find(0), uf.find(3));
+        uf.union(3, 4);
+        uf.union(2, 3);
+        for i in 1..5 {
+            assert_eq!(uf.find(0), uf.find(i));
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Multi-period confirmation (the paper's Section VI suggestion).
+//!
+//! "We suggest making a final determination of the Sybil node after
+//! several detection periods so as to reduce the false positive rate."
+//!
+//! [`MultiPeriodDetector`] wraps any inner [`Detector`] and only reports
+//! an identity once it has been suspected in at least `m` of the last `n`
+//! detection periods *at the same observer*. Transient look-alikes (two
+//! vehicles stopped side by side at a red light — the paper's one field-
+//! test false positive) rarely stay similar across periods, while a real
+//! Sybil group is similar in every period.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Mutex;
+
+use vp_sim::detector::{DetectionInput, Detector};
+
+use crate::IdentityId;
+
+/// An `m`-of-`n` voting wrapper around any detector.
+///
+/// Interior state (the per-observer suspicion history) lives behind a
+/// mutex because [`Detector::detect`] takes `&self`; the detector remains
+/// deterministic because the simulator invokes it sequentially in time
+/// order.
+#[derive(Debug)]
+pub struct MultiPeriodDetector<D> {
+    inner: D,
+    min_votes: usize,
+    window: usize,
+    name: String,
+    history: Mutex<HashMap<IdentityId, VecDeque<HashSet<IdentityId>>>>,
+}
+
+impl<D: Detector> MultiPeriodDetector<D> {
+    /// Wraps `inner`, requiring suspicion in at least `min_votes` of the
+    /// last `window` periods.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= min_votes <= window`.
+    pub fn new(inner: D, min_votes: usize, window: usize) -> Self {
+        assert!(min_votes >= 1, "need at least one vote");
+        assert!(min_votes <= window, "votes cannot exceed the window");
+        let name = format!("{}-{}of{}", inner.name(), min_votes, window);
+        MultiPeriodDetector {
+            inner,
+            min_votes,
+            window,
+            name,
+            history: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The wrapped detector.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Clears all remembered history (e.g. between simulation runs).
+    pub fn reset(&self) {
+        self.history.lock().expect("history lock").clear();
+    }
+}
+
+impl<D: Detector> Detector for MultiPeriodDetector<D> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn detect(&self, input: &DetectionInput) -> Vec<IdentityId> {
+        let raw: HashSet<IdentityId> = self.inner.detect(input).into_iter().collect();
+        let mut history = self.history.lock().expect("history lock");
+        let periods = history.entry(input.observer).or_default();
+        periods.push_back(raw);
+        while periods.len() > self.window {
+            periods.pop_front();
+        }
+        // Count votes per identity over the retained periods.
+        let mut votes: HashMap<IdentityId, usize> = HashMap::new();
+        for period in periods.iter() {
+            for &id in period {
+                *votes.entry(id).or_insert(0) += 1;
+            }
+        }
+        let mut confirmed: Vec<IdentityId> = votes
+            .into_iter()
+            .filter(|&(_, v)| v >= self.min_votes)
+            .map(|(id, _)| id)
+            .collect();
+        confirmed.sort_unstable();
+        confirmed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scripted inner detector: returns a fixed sequence of suspect sets.
+    struct Scripted {
+        outputs: Mutex<VecDeque<Vec<IdentityId>>>,
+    }
+
+    impl Scripted {
+        fn new(outputs: Vec<Vec<IdentityId>>) -> Self {
+            Scripted {
+                outputs: Mutex::new(outputs.into()),
+            }
+        }
+    }
+
+    impl Detector for Scripted {
+        fn name(&self) -> &str {
+            "scripted"
+        }
+        fn detect(&self, _input: &DetectionInput) -> Vec<IdentityId> {
+            self.outputs
+                .lock()
+                .unwrap()
+                .pop_front()
+                .unwrap_or_default()
+        }
+    }
+
+    fn input(observer: IdentityId, time_s: f64) -> DetectionInput {
+        DetectionInput {
+            observer,
+            time_s,
+            observer_position_m: (0.0, 0.0),
+            observer_forward: true,
+            series: Vec::new(),
+            estimated_density_per_km: 10.0,
+            claims: Vec::new(),
+            witness_reports: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn persistent_suspect_confirmed_transient_suppressed() {
+        // Identity 100 suspected every period; identity 7 only once.
+        let inner = Scripted::new(vec![
+            vec![100, 7],
+            vec![100],
+            vec![100],
+        ]);
+        let d = MultiPeriodDetector::new(inner, 2, 3);
+        assert!(d.detect(&input(0, 20.0)).is_empty()); // one vote each
+        assert_eq!(d.detect(&input(0, 40.0)), vec![100]);
+        assert_eq!(d.detect(&input(0, 60.0)), vec![100]); // 7 aged to 1 vote
+    }
+
+    #[test]
+    fn window_slides() {
+        let inner = Scripted::new(vec![vec![5], vec![5], vec![], vec![]]);
+        let d = MultiPeriodDetector::new(inner, 2, 2);
+        let _ = d.detect(&input(0, 20.0));
+        assert_eq!(d.detect(&input(0, 40.0)), vec![5]);
+        // One empty period: 5 has one vote in the last two.
+        assert!(d.detect(&input(0, 60.0)).is_empty());
+        assert!(d.detect(&input(0, 80.0)).is_empty());
+    }
+
+    #[test]
+    fn observers_are_independent() {
+        let inner = Scripted::new(vec![vec![9], vec![9]]);
+        let d = MultiPeriodDetector::new(inner, 2, 2);
+        let _ = d.detect(&input(0, 20.0));
+        // Second vote lands at a DIFFERENT observer: neither confirms.
+        assert!(d.detect(&input(1, 20.0)).is_empty());
+    }
+
+    #[test]
+    fn one_of_one_is_passthrough() {
+        let inner = Scripted::new(vec![vec![3, 1], vec![]]);
+        let d = MultiPeriodDetector::new(inner, 1, 1);
+        assert_eq!(d.detect(&input(0, 20.0)), vec![1, 3]);
+        assert!(d.detect(&input(0, 40.0)).is_empty());
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let inner = Scripted::new(vec![vec![4], vec![4]]);
+        let d = MultiPeriodDetector::new(inner, 2, 2);
+        let _ = d.detect(&input(0, 20.0));
+        d.reset();
+        assert!(d.detect(&input(0, 40.0)).is_empty());
+    }
+
+    #[test]
+    fn name_encodes_voting() {
+        let d = MultiPeriodDetector::new(Scripted::new(vec![]), 2, 3);
+        assert_eq!(d.name(), "scripted-2of3");
+    }
+
+    #[test]
+    #[should_panic(expected = "votes cannot exceed the window")]
+    fn invalid_voting_panics() {
+        let _ = MultiPeriodDetector::new(Scripted::new(vec![]), 3, 2);
+    }
+}

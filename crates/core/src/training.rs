@@ -1,0 +1,264 @@
+//! Threshold training (paper Section V-B2, Figure 10).
+//!
+//! "We first conduct several simulations for different traffic densities
+//! and record all measured DTW distances. Then, we use these DTW distances
+//! as the training data to compute the optimal decision boundary."
+//!
+//! [`collect_training_points`] turns simulation outcomes (run with
+//! `collect_inputs`) into labelled `(density, distance)` points —
+//! positive when the pair's identities share a physical radio — and
+//! [`train_decision_line`] fits the LDA boundary.
+
+use vp_classify::boundary::DecisionLine;
+use vp_classify::dataset::Dataset;
+use vp_classify::lda::{LdaError, LinearDiscriminant};
+use vp_sim::engine::SimulationOutcome;
+
+use crate::comparator::{compare, ComparisonConfig};
+
+/// One labelled training point in the density–distance plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingPoint {
+    /// The observer's estimated traffic density, vehicles/km.
+    pub density_per_km: f64,
+    /// The pair's min–max-normalised DTW distance.
+    pub distance: f64,
+    /// Ground truth: `true` when the two identities share a radio.
+    pub is_sybil_pair: bool,
+}
+
+/// Extracts labelled `(density, distance)` points from simulation
+/// outcomes (their `collected` inputs) by re-running the comparison phase
+/// and labelling each pair with ground truth.
+pub fn collect_training_points(
+    outcomes: &[SimulationOutcome],
+    comparison: &ComparisonConfig,
+) -> Vec<TrainingPoint> {
+    let mut points = Vec::new();
+    for outcome in outcomes {
+        for input in &outcome.collected {
+            let distances = compare(&input.series, comparison);
+            for (a, b, d) in distances.iter() {
+                points.push(TrainingPoint {
+                    density_per_km: input.estimated_density_per_km,
+                    distance: d,
+                    is_sybil_pair: outcome.ground_truth.same_radio(a, b),
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Error returned when boundary training fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainingError {
+    /// LDA could not be fitted (empty class or singular covariance).
+    Lda(LdaError),
+    /// The fitted rule does not describe a "small distance ⇒ Sybil"
+    /// boundary (distance weight not negative) — training data is
+    /// degenerate.
+    NotAThresholdRule,
+}
+
+impl std::fmt::Display for TrainingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainingError::Lda(e) => write!(f, "boundary training failed: {e}"),
+            TrainingError::NotAThresholdRule => {
+                write!(f, "fitted rule is not a lower-distance threshold")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainingError {}
+
+impl From<LdaError> for TrainingError {
+    fn from(e: LdaError) -> Self {
+        TrainingError::Lda(e)
+    }
+}
+
+/// Fits the LDA decision line `D = k·den + b` on labelled points — the
+/// paper's training method (Section V-B2).
+///
+/// LDA models both classes as Gaussians; on heavily imbalanced,
+/// heavy-tailed pair data it tends to place the boundary very
+/// conservatively. [`train_quantile_line`] is the robust alternative the
+/// calibrated pipeline uses.
+///
+/// # Errors
+///
+/// Returns [`TrainingError`] when a class is empty, the covariance is
+/// singular, or the fitted rule is not a lower-threshold on distance.
+pub fn train_decision_line(points: &[TrainingPoint]) -> Result<DecisionLine, TrainingError> {
+    let mut data = Dataset::new(2);
+    for p in points {
+        data.push(&[p.density_per_km, p.distance], p.is_sybil_pair)
+            .expect("dimension is fixed at 2");
+    }
+    let lda = LinearDiscriminant::fit(&data)?;
+    DecisionLine::from_rule(lda.rule()).ok_or(TrainingError::NotAThresholdRule)
+}
+
+/// Robust quantile-based boundary training.
+///
+/// The training points are split into `bins` density bins; in each bin the
+/// threshold is set to
+/// `min(quantile(sybil, sybil_q), quantile(normal, normal_q))` —
+/// "catch `sybil_q` of the Sybil pairs, but never intrude past the
+/// `normal_q` left tail of the normal pairs" — and a least-squares line is
+/// fitted through the per-bin `(density, threshold)` anchors.
+///
+/// `normal_q` should be small: a normal *identity* is falsely accused if
+/// **any** of its ~N pairs crosses the threshold, so the per-pair false
+/// rate must stay roughly `FPR_target / N`.
+///
+/// # Errors
+///
+/// Returns [`TrainingError::Lda`]'s `EmptyClass` variant when either class
+/// is missing entirely.
+pub fn train_quantile_line(
+    points: &[TrainingPoint],
+    bins: usize,
+    sybil_q: f64,
+    normal_q: f64,
+) -> Result<DecisionLine, TrainingError> {
+    let bins = bins.max(1);
+    let sybils: Vec<&TrainingPoint> = points.iter().filter(|p| p.is_sybil_pair).collect();
+    let normals: Vec<&TrainingPoint> = points.iter().filter(|p| !p.is_sybil_pair).collect();
+    if sybils.is_empty() || normals.is_empty() {
+        return Err(TrainingError::Lda(LdaError::EmptyClass));
+    }
+    let densities: Vec<f64> = points.iter().map(|p| p.density_per_km).collect();
+    let lo = densities.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = densities.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let width = ((hi - lo) / bins as f64).max(1e-9);
+    let mut anchors: Vec<(f64, f64)> = Vec::new();
+    for b in 0..bins {
+        let (b_lo, b_hi) = (lo + b as f64 * width, lo + (b + 1) as f64 * width);
+        let in_bin = |p: &&&TrainingPoint| {
+            p.density_per_km >= b_lo && (p.density_per_km < b_hi || b == bins - 1)
+        };
+        let s: Vec<f64> = sybils.iter().filter(in_bin).map(|p| p.distance).collect();
+        let n: Vec<f64> = normals.iter().filter(in_bin).map(|p| p.distance).collect();
+        if s.len() < 5 || n.len() < 20 {
+            continue;
+        }
+        let threshold = vp_stats::descriptive::quantile(&s, sybil_q)
+            .min(vp_stats::descriptive::quantile(&n, normal_q));
+        anchors.push(((b_lo + b_hi) / 2.0, threshold));
+    }
+    match anchors.len() {
+        0 => Err(TrainingError::Lda(LdaError::EmptyClass)),
+        1 => Ok(DecisionLine {
+            k: 0.0,
+            b: anchors[0].1,
+        }),
+        _ => {
+            let (x, y): (Vec<f64>, Vec<f64>) = anchors.into_iter().unzip();
+            let fit = vp_stats::regression::fit_line(&x, &y);
+            Ok(DecisionLine {
+                k: fit.slope,
+                b: fit.intercept,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn synthetic_points(seed: u64) -> Vec<TrainingPoint> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut points = Vec::new();
+        for step in 0..10 {
+            let den = 10.0 + 10.0 * step as f64;
+            for _ in 0..40 {
+                points.push(TrainingPoint {
+                    density_per_km: den,
+                    distance: 0.01 + 0.0003 * den + rng.gen::<f64>() * 0.03,
+                    is_sybil_pair: true,
+                });
+                points.push(TrainingPoint {
+                    density_per_km: den,
+                    distance: 0.2 + rng.gen::<f64>() * 0.6,
+                    is_sybil_pair: false,
+                });
+            }
+        }
+        points
+    }
+
+    #[test]
+    fn trains_a_paperlike_boundary() {
+        let line = train_decision_line(&synthetic_points(1)).unwrap();
+        // Positive slope (threshold loosens with density), intercept
+        // between the Sybil cloud (≈0.03) and the normal cloud (≥0.2).
+        assert!(line.k > 0.0, "k = {}", line.k);
+        assert!((0.02..0.2).contains(&line.b), "b = {}", line.b);
+        // The boundary separates prototypes at every density.
+        for den in [10.0, 50.0, 100.0] {
+            assert!(line.is_sybil_pair(den, 0.02));
+            assert!(!line.is_sybil_pair(den, 0.5));
+        }
+    }
+
+    #[test]
+    fn single_class_fails() {
+        let points: Vec<TrainingPoint> = (0..50)
+            .map(|i| TrainingPoint {
+                density_per_km: 10.0 + i as f64,
+                distance: 0.3,
+                is_sybil_pair: false,
+            })
+            .collect();
+        assert!(matches!(
+            train_decision_line(&points),
+            Err(TrainingError::Lda(_))
+        ));
+    }
+
+    #[test]
+    fn inverted_labels_are_rejected() {
+        // Label LARGE distances as Sybil: the fitted rule points the wrong
+        // way and must be refused rather than silently misused.
+        let mut points = synthetic_points(2);
+        for p in &mut points {
+            p.is_sybil_pair = !p.is_sybil_pair;
+        }
+        assert_eq!(
+            train_decision_line(&points),
+            Err(TrainingError::NotAThresholdRule)
+        );
+    }
+    #[test]
+    fn quantile_line_tracks_per_bin_separation() {
+        let points = synthetic_points(4);
+        let line = train_quantile_line(&points, 5, 0.85, 0.01).unwrap();
+        // Threshold must sit between the Sybil cloud and the normal cloud
+        // at every density.
+        for den in [15.0, 50.0, 95.0] {
+            let t = line.threshold_at(den);
+            assert!(t > 0.01 + 0.0003 * den, "too strict at {den}: {t}");
+            assert!(t < 0.25, "too loose at {den}: {t}");
+        }
+    }
+
+    #[test]
+    fn quantile_line_requires_both_classes() {
+        let points: Vec<TrainingPoint> = (0..200)
+            .map(|i| TrainingPoint {
+                density_per_km: 10.0 + i as f64 * 0.3,
+                distance: 0.3,
+                is_sybil_pair: false,
+            })
+            .collect();
+        assert!(train_quantile_line(&points, 5, 0.85, 0.01).is_err());
+    }
+}
+

@@ -1,0 +1,210 @@
+//! Section III measurement campaigns (Figure 5, Table IV, Observation 1).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vp_radio::channel::{Channel, ChannelConfig};
+use vp_radio::fit::RangeSample;
+use vp_radio::propagation::{DualSlope, DualSlopeParams};
+use vp_stats::descriptive::Summary;
+
+use crate::scenario::Environment;
+
+fn measurement_channel(params: DualSlopeParams) -> Channel<DualSlope> {
+    let mut cfg = ChannelConfig::default();
+    cfg.rx_sensitivity_dbm = -95.0; // Table II hardware
+    cfg.fast_fading_sigma_db = 0.4;
+    cfg.shadow_correlation_time_s = 2.0;
+    Channel::new(DualSlope::dsrc(params), cfg)
+}
+
+/// Scenario 1, stationary: two vehicles parked `distance_m` apart for
+/// `duration_s` seconds, 10 beacons per second at 20 dBm EIRP.
+///
+/// `extra_loss_db` models site-specific obstructions (buildings, parked
+/// cars) beyond the clean Table IV fit — the paper's stationary campus
+/// spot measured ~13 dB below the campus model's open-path prediction,
+/// which is precisely Observation 1's point: predefined models miss
+/// site-specific attenuation, so distance estimates inverted from them
+/// are badly wrong.
+pub fn stationary_campaign(
+    distance_m: f64,
+    duration_s: f64,
+    extra_loss_db: f64,
+    seed: u64,
+) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut channel = measurement_channel(DualSlopeParams::campus());
+    let steps = (duration_s * 10.0) as usize;
+    (0..steps)
+        .map(|k| {
+            channel.sample_rssi(0, 1, 20.0, distance_m, k as f64 * 0.1, &mut rng) - extra_loss_db
+        })
+        .collect()
+}
+
+/// Scenario 1, moving: one vehicle loops a rectangular schoolyard course
+/// at ~10–15 km/h while the receiver stays parked at the centre-offset
+/// position; returns `minutes` separate 1-minute RSSI segments like the
+/// paper's Figure 5c.
+pub fn moving_campaign(minutes: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut channel = measurement_channel(DualSlopeParams::campus());
+    // Rectangular 300 m × 120 m loop, receiver parked 40 m inside.
+    let (rx, ry) = (150.0, -40.0);
+    let perimeter = 2.0 * (300.0 + 120.0);
+    let speed = 3.5; // ~12.6 km/h
+    let mut segments = Vec::with_capacity(minutes);
+    let mut t = 0.0;
+    for _ in 0..minutes {
+        let mut seg = Vec::with_capacity(600);
+        for _ in 0..600 {
+            t += 0.1;
+            let s = (speed * t) % perimeter;
+            let (x, y): (f64, f64) = if s < 300.0 {
+                (s, 0.0)
+            } else if s < 420.0 {
+                (300.0, s - 300.0)
+            } else if s < 720.0 {
+                (300.0 - (s - 420.0), 120.0)
+            } else {
+                (0.0, 120.0 - (s - 720.0))
+            };
+            let d = ((x - rx).powi(2) + (y - ry).powi(2)).sqrt();
+            seg.push(channel.sample_rssi(0, 1, 20.0, d, t, &mut rng));
+        }
+        segments.push(seg);
+    }
+    segments
+}
+
+/// Scenario 2: a ranging campaign through one environment's channel —
+/// log-spaced stops from 5 m out to 500 m, `packets_per_stop` beacons at
+/// each, with long pauses between stops so shadowing decorrelates.
+/// The samples feed [`vp_radio::fit::fit_dual_slope_model`] to regenerate
+/// Table IV.
+pub fn range_campaign(
+    environment: Environment,
+    packets_per_stop: usize,
+    seed: u64,
+) -> Vec<RangeSample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut channel = measurement_channel(environment.channel_params());
+    let mut out = Vec::new();
+    let mut t = 0.0;
+    for i in 0..120 {
+        let d = 5.0 * 10f64.powf(2.0 * i as f64 / 119.0);
+        for _ in 0..packets_per_stop {
+            t += 5.0;
+            let rssi = channel.sample_rssi(0, 1, 20.0, d, t, &mut rng);
+            if rssi >= -95.0 {
+                out.push(RangeSample {
+                    distance_m: d,
+                    rssi_dbm: rssi,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Summary of one stationary period, in the form the paper reports
+/// (Figure 5a/5b captions + Observation 1 distance estimates).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StationaryReport {
+    /// Sample mean, dBm.
+    pub mean_dbm: f64,
+    /// Sample standard deviation, dBm.
+    pub std_dbm: f64,
+    /// Distance the free-space model infers from the mean, metres.
+    pub fspl_distance_m: f64,
+    /// Distance the two-ray ground model infers from the mean, metres.
+    pub two_ray_distance_m: f64,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+/// Computes the Figure 5a/5b-style report for a stationary trace.
+pub fn stationary_report(samples: &[f64]) -> StationaryReport {
+    let s = Summary::of(samples);
+    StationaryReport {
+        mean_dbm: s.mean(),
+        std_dbm: s.population_std_dev(),
+        fspl_distance_m: vp_radio::inversion::free_space_distance_dsrc_m(20.0, s.mean()),
+        two_ray_distance_m: vp_radio::inversion::two_ray_distance_dsrc_m(20.0, s.mean()),
+        samples: samples.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_radio::fit::fit_dual_slope_model;
+
+    #[test]
+    fn stationary_campaign_shape() {
+        // Paper: 10 min at 10 Hz = 6000 samples.
+        let trace = stationary_campaign(140.0, 600.0, 13.4, 1);
+        assert_eq!(trace.len(), 6000);
+        let report = stationary_report(&trace);
+        // With 13.4 dB of site loss the mean lands near the paper's
+        // −76.86 dBm and the inverted distances overshoot the true 140 m.
+        assert!((report.mean_dbm - -76.9).abs() < 1.5, "mean {}", report.mean_dbm);
+        assert!(report.fspl_distance_m > 2.0 * 140.0 * 0.8, "{}", report.fspl_distance_m);
+        assert!(report.two_ray_distance_m > 1.5 * 140.0, "{}", report.two_ray_distance_m);
+    }
+
+    #[test]
+    fn observation1_distance_estimates_are_far_off() {
+        // Without any site loss the estimates are still off because the
+        // textbook models have the wrong exponent for this channel.
+        let trace = stationary_campaign(140.0, 600.0, 0.0, 2);
+        let report = stationary_report(&trace);
+        let err_fspl = (report.fspl_distance_m - 140.0).abs() / 140.0;
+        let err_trg = (report.two_ray_distance_m - 140.0).abs() / 140.0;
+        assert!(
+            err_fspl > 0.25 || err_trg > 0.25,
+            "both models estimated well: {} {}",
+            report.fspl_distance_m,
+            report.two_ray_distance_m
+        );
+    }
+
+    #[test]
+    fn moving_segments_have_one_minute_of_samples() {
+        let segments = moving_campaign(4, 3);
+        assert_eq!(segments.len(), 4);
+        for seg in &segments {
+            assert_eq!(seg.len(), 600);
+        }
+        // Moving segments have visibly larger spread than a stationary one
+        // (distance varies around the loop).
+        let stationary = stationary_campaign(140.0, 60.0, 0.0, 3);
+        let s_moving = Summary::of(&segments[0]);
+        let s_stat = Summary::of(&stationary);
+        assert!(s_moving.population_std_dev() > s_stat.population_std_dev());
+    }
+
+    #[test]
+    fn range_campaign_fits_back_to_table_iv() {
+        let samples = range_campaign(Environment::Rural, 20, 4);
+        assert!(samples.len() > 1000);
+        let fitted = fit_dual_slope_model(&samples, 1.0).unwrap();
+        let truth = Environment::Rural.channel_params();
+        assert!((fitted.gamma1 - truth.gamma1).abs() < 0.3, "γ1 {}", fitted.gamma1);
+        assert!(
+            (fitted.dc_m - truth.dc_m).abs() / truth.dc_m < 0.3,
+            "dc {}",
+            fitted.dc_m
+        );
+    }
+
+    #[test]
+    fn urban_campaign_loses_more_far_samples() {
+        // Urban attenuation censors more far samples at −95 dBm than the
+        // campus channel does.
+        let urban = range_campaign(Environment::Urban, 20, 5).len();
+        let campus = range_campaign(Environment::Campus, 20, 5).len();
+        assert!(urban < campus, "urban {urban} vs campus {campus}");
+    }
+}

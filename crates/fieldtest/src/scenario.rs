@@ -1,0 +1,406 @@
+//! The four-vehicle field-test scenario (paper Figure 4 / Section VI-A).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vp_mobility::waypoint::Trajectory;
+use vp_radio::channel::{Channel, ChannelConfig};
+use vp_radio::propagation::{DualSlope, DualSlopeParams};
+
+/// The four test environments of Section VI, with the paper's test
+/// durations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Environment {
+    /// University campus (13 min 21 s).
+    Campus,
+    /// Rural area (22 min 40 s).
+    Rural,
+    /// Urban area (34 min 46 s) — includes red-light stops.
+    Urban,
+    /// Highway (11 min 12 s).
+    Highway,
+}
+
+impl Environment {
+    /// All four environments in the paper's order.
+    pub fn all() -> [Environment; 4] {
+        [
+            Environment::Campus,
+            Environment::Rural,
+            Environment::Urban,
+            Environment::Highway,
+        ]
+    }
+
+    /// Test duration in seconds (paper Section VI-B).
+    pub fn duration_s(&self) -> f64 {
+        match self {
+            Environment::Campus => 13.0 * 60.0 + 21.0,
+            Environment::Rural => 22.0 * 60.0 + 40.0,
+            Environment::Urban => 34.0 * 60.0 + 46.0,
+            Environment::Highway => 11.0 * 60.0 + 12.0,
+        }
+    }
+
+    /// Cruise speed of the convoy, m/s.
+    pub fn cruise_speed_mps(&self) -> f64 {
+        match self {
+            Environment::Campus => 4.0,   // ~14 km/h schoolyard speed
+            Environment::Rural => 14.0,   // ~50 km/h
+            Environment::Urban => 10.0,   // ~36 km/h between lights
+            Environment::Highway => 27.0, // ~97 km/h
+        }
+    }
+
+    /// Channel parameters: Table IV fits (highway extends the table; see
+    /// `DualSlopeParams::highway`).
+    pub fn channel_params(&self) -> DualSlopeParams {
+        match self {
+            Environment::Campus => DualSlopeParams::campus(),
+            Environment::Rural => DualSlopeParams::rural(),
+            Environment::Urban => DualSlopeParams::urban(),
+            Environment::Highway => DualSlopeParams::highway(),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Environment::Campus => "campus",
+            Environment::Rural => "rural",
+            Environment::Urban => "urban",
+            Environment::Highway => "highway",
+        }
+    }
+}
+
+/// One transmitting identity in the field test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FieldNode {
+    /// Identity carried in beacons (paper: 1–4 physical, 101/102 Sybil).
+    pub identity: u64,
+    /// Index of the physical vehicle transmitting (0-based into
+    /// [`FieldScenario::trajectories`]).
+    pub vehicle: usize,
+    /// EIRP, dBm (paper: 20 for physical nodes, 23/17 for the Sybils).
+    pub eirp_dbm: f64,
+    /// Ground truth: fabricated identity?
+    pub is_sybil: bool,
+}
+
+/// The full four-vehicle scenario in one environment.
+#[derive(Debug, Clone)]
+pub struct FieldScenario {
+    environment: Environment,
+    trajectories: Vec<Trajectory>,
+    nodes: Vec<FieldNode>,
+    /// Time ranges during which the convoy is stopped (urban red lights).
+    stops: Vec<(f64, f64)>,
+}
+
+impl FieldScenario {
+    /// Builds the Section VI scenario for an environment.
+    ///
+    /// Formation (paper Figure 4): vehicle 0 = normal node 1, 150 m ahead;
+    /// vehicle 1 = malicious node (IDs 1, 101, 102); vehicle 2 = normal
+    /// node 2 driving side-by-side (3 m lateral); vehicle 3 = normal node
+    /// 3, 200 m behind. The urban route stops at a red light around 60%
+    /// of the way, reproducing the paper's Figure 14 false-positive
+    /// conditions (nodes 1 and 2 stationary 3.8 m apart, node 3 stationary
+    /// ~198 m behind).
+    pub fn new(environment: Environment) -> Self {
+        let duration = environment.duration_s();
+        let speed = environment.cruise_speed_mps();
+        let mut stops = Vec::new();
+
+        let malicious = match environment {
+            Environment::Urban => {
+                // Drive, stop at two red lights, drive on.
+                let leg = duration / 3.0;
+                let stop1 = (leg, leg + 45.0);
+                let stop2 = (2.0 * leg, 2.0 * leg + 60.0);
+                stops.push(stop1);
+                stops.push(stop2);
+                Trajectory::builder(0.0, 0.0)
+                    .travel_to(speed * leg, 0.0, leg)
+                    .hold(45.0)
+                    .travel_to(speed * (2.0 * leg - 45.0), 0.0, leg - 45.0)
+                    .hold(60.0)
+                    .travel_to(speed * (duration - 105.0), 0.0, leg - 60.0)
+                    .build()
+            }
+            _ => Trajectory::builder(0.0, 0.0)
+                .travel_to(speed * duration, 0.0, duration)
+                .build(),
+        };
+        // Urban traffic packs tighter: the convoy gaps shrink so the far
+        // links sit at (not under) the urban channel's sensitivity edge —
+        // the regime the paper's Figure 14 analysis describes.
+        let (ahead_m, behind_m) = match environment {
+            Environment::Urban => (110.0, -150.0),
+            _ => (150.0, -198.0),
+        };
+        let trajectories = vec![
+            malicious.translated(ahead_m, 0.0), // node 1, ahead
+            malicious.clone(),                  // malicious node
+            malicious.translated(0.0, 3.0),     // node 2, side by side
+            malicious.translated(behind_m, 0.0), // node 3, behind
+        ];
+        let nodes = vec![
+            FieldNode {
+                identity: 2,
+                vehicle: 0,
+                eirp_dbm: 20.0,
+                is_sybil: false,
+            },
+            FieldNode {
+                identity: 1,
+                vehicle: 1,
+                eirp_dbm: 20.0,
+                is_sybil: false,
+            },
+            FieldNode {
+                identity: 101,
+                vehicle: 1,
+                eirp_dbm: 23.0,
+                is_sybil: true,
+            },
+            FieldNode {
+                identity: 102,
+                vehicle: 1,
+                eirp_dbm: 17.0,
+                is_sybil: true,
+            },
+            FieldNode {
+                identity: 3,
+                vehicle: 2,
+                eirp_dbm: 20.0,
+                is_sybil: false,
+            },
+            FieldNode {
+                identity: 4,
+                vehicle: 3,
+                eirp_dbm: 20.0,
+                is_sybil: false,
+            },
+        ];
+        FieldScenario {
+            environment,
+            trajectories,
+            nodes,
+            stops,
+        }
+    }
+
+    /// The environment of this scenario.
+    pub fn environment(&self) -> Environment {
+        self.environment
+    }
+
+    /// Per-vehicle trajectories (index = vehicle).
+    pub fn trajectories(&self) -> &[Trajectory] {
+        &self.trajectories
+    }
+
+    /// All transmitting identities.
+    pub fn nodes(&self) -> &[FieldNode] {
+        &self.nodes
+    }
+
+    /// Stationary periods (start, end) of the convoy, seconds.
+    pub fn stops(&self) -> &[(f64, f64)] {
+        &self.stops
+    }
+
+    /// `true` when the convoy is stopped at time `t_s`.
+    pub fn is_stopped_at(&self, t_s: f64) -> bool {
+        self.stops.iter().any(|&(a, b)| t_s >= a && t_s <= b)
+    }
+
+    /// Generates the RSSI trace one receiving vehicle records: for each
+    /// identity, the `(time, rssi)` samples of the beacons it decodes at
+    /// 10 Hz through the environment's Table IV channel.
+    ///
+    /// Three pieces of radio realism matter for Section VI's findings and
+    /// are modelled here:
+    ///
+    /// * **Motion-gated channel dynamics.** Shadowing and multipath are
+    ///   functions of geometry; they evolve with distance travelled, not
+    ///   wall-clock time. While the convoy waits at a red light the
+    ///   channel freezes (up to a small residual flicker), which is what
+    ///   makes two stationary neighbours' series indistinguishable — the
+    ///   root cause of the paper's single false positive (Figure 14).
+    /// * **Quantised reporting.** The IWCU radio reports RSSI in whole
+    ///   dBm.
+    /// * **Sensitivity clipping.** Packets arriving at the −95 dBm edge
+    ///   report the floor value — the paper: "most of RSSI values are
+    ///   −95 dBm which reaches the RX Sensitivity of our radio".
+    ///
+    /// Fully deterministic per seed.
+    pub fn trace_at_receiver(
+        &self,
+        receiver_vehicle: usize,
+        seed: u64,
+    ) -> Vec<(u64, Vec<(f64, f64)>)> {
+        use vp_stats::distributions::{Distribution, Normal};
+        assert!(
+            receiver_vehicle < self.trajectories.len(),
+            "receiver vehicle out of range"
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ (receiver_vehicle as u64) << 32);
+        let mut cfg = ChannelConfig::default();
+        cfg.rx_sensitivity_dbm = -95.0; // Table II hardware
+        cfg.fast_fading_sigma_db = 0.0; // applied manually, motion-gated
+        cfg.shadow_correlation_time_s = 2.0;
+        let mut channel = Channel::new(
+            DualSlope::dsrc(self.environment.channel_params()),
+            cfg,
+        );
+        let fast_sigma_db = 0.4;
+        let cruise = self.environment.cruise_speed_mps();
+        let duration = self.environment.duration_s();
+        let rx_traj = &self.trajectories[receiver_vehicle];
+        let mut out: Vec<(u64, Vec<(f64, f64)>)> = self
+            .nodes
+            .iter()
+            .filter(|n| n.vehicle != receiver_vehicle)
+            .map(|n| (n.identity, Vec::new()))
+            .collect();
+        let steps = (duration * 10.0) as usize;
+        // The channel clock only advances while the convoy moves.
+        let mut channel_time = 0.0;
+        for k in 0..steps {
+            let t = k as f64 * 0.1;
+            // Motion factor: all four scripts share the same speed
+            // profile, so one gate applies to every link.
+            let speed = self.trajectories[1].speed_at(t);
+            let motion = (speed / cruise).clamp(0.0, 1.0);
+            channel_time += 0.1 * motion;
+            let (rx, ry) = rx_traj.position_at(t);
+            let mut slot = 0.0;
+            for node in &self.nodes {
+                if node.vehicle == receiver_vehicle {
+                    continue;
+                }
+                // Beacons from one radio are serialised ~1.4 ms apart.
+                slot += 0.0014;
+                let (tx, ty) = self.trajectories[node.vehicle].position_at(t);
+                let d = ((tx - rx).powi(2) + (ty - ry).powi(2)).sqrt();
+                let mut rssi = channel.sample_rssi(
+                    node.vehicle as u64,
+                    receiver_vehicle as u64,
+                    node.eirp_dbm,
+                    d,
+                    channel_time + slot * motion,
+                    &mut rng,
+                );
+                // Motion-gated multipath flicker (small residual when
+                // stationary: pedestrians, other traffic).
+                let sigma = fast_sigma_db * motion + 0.05;
+                rssi += Normal::new(0.0, sigma)
+                    .expect("valid sigma")
+                    .sample(&mut rng);
+                if channel.is_receivable(rssi) {
+                    // Whole-dBm reporting, clipped at the sensitivity
+                    // floor.
+                    let reported = rssi.round().max(-95.0);
+                    let series = out
+                        .iter_mut()
+                        .find(|(id, _)| *id == node.identity)
+                        .expect("initialised above");
+                    series.1.push((t + slot, reported));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_match_the_paper() {
+        assert_eq!(Environment::Campus.duration_s(), 801.0);
+        assert_eq!(Environment::Rural.duration_s(), 1360.0);
+        assert_eq!(Environment::Urban.duration_s(), 2086.0);
+        assert_eq!(Environment::Highway.duration_s(), 672.0);
+    }
+
+    #[test]
+    fn formation_distances() {
+        let s = FieldScenario::new(Environment::Rural);
+        let t = 100.0;
+        let m = &s.trajectories()[1];
+        assert!((m.distance_to(&s.trajectories()[0], t) - 150.0).abs() < 1e-9);
+        assert!((m.distance_to(&s.trajectories()[2], t) - 3.0).abs() < 1e-9);
+        assert!((m.distance_to(&s.trajectories()[3], t) - 198.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn six_identities_two_sybil() {
+        let s = FieldScenario::new(Environment::Campus);
+        assert_eq!(s.nodes().len(), 6);
+        assert_eq!(s.nodes().iter().filter(|n| n.is_sybil).count(), 2);
+        // Sybils ride on the malicious vehicle with spoofed powers.
+        for n in s.nodes().iter().filter(|n| n.is_sybil) {
+            assert_eq!(n.vehicle, 1);
+            assert!(n.eirp_dbm == 23.0 || n.eirp_dbm == 17.0);
+        }
+    }
+
+    #[test]
+    fn urban_route_stops_others_do_not() {
+        let urban = FieldScenario::new(Environment::Urban);
+        assert_eq!(urban.stops().len(), 2);
+        assert!(urban.is_stopped_at(urban.stops()[0].0 + 10.0));
+        assert!(!urban.is_stopped_at(1.0));
+        for env in [Environment::Campus, Environment::Rural, Environment::Highway] {
+            assert!(FieldScenario::new(env).stops().is_empty());
+        }
+    }
+
+    #[test]
+    fn traces_have_ten_hertz_rate_for_near_nodes() {
+        let s = FieldScenario::new(Environment::Highway);
+        let traces = s.trace_at_receiver(3, 1); // node 3, behind
+        // Malicious node is 198 m ahead of vehicle 3: well within range.
+        let malicious = traces.iter().find(|(id, _)| *id == 1).unwrap();
+        let expected = Environment::Highway.duration_s() * 10.0;
+        assert!(
+            malicious.1.len() as f64 > 0.97 * expected,
+            "only {} of ~{expected} beacons decoded",
+            malicious.1.len()
+        );
+        // Timestamps strictly increasing.
+        assert!(malicious.1.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn far_node_weaker_than_near_node() {
+        let s = FieldScenario::new(Environment::Campus);
+        let traces = s.trace_at_receiver(3, 2);
+        let near = traces.iter().find(|(id, _)| *id == 1).unwrap(); // 198 m
+        let far = traces.iter().find(|(id, _)| *id == 2).unwrap(); // 348 m
+        let mean = |v: &Vec<(f64, f64)>| v.iter().map(|s| s.1).sum::<f64>() / v.len() as f64;
+        assert!(mean(&near.1) > mean(&far.1) + 5.0);
+    }
+
+    #[test]
+    fn receiver_does_not_hear_itself_or_co_located_ids() {
+        let s = FieldScenario::new(Environment::Rural);
+        let traces = s.trace_at_receiver(1, 3); // the malicious vehicle
+        let ids: Vec<u64> = traces.iter().map(|(id, _)| *id).collect();
+        assert!(!ids.contains(&1));
+        assert!(!ids.contains(&101));
+        assert!(!ids.contains(&102));
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = FieldScenario::new(Environment::Highway);
+        assert_eq!(s.trace_at_receiver(0, 9), s.trace_at_receiver(0, 9));
+    }
+}

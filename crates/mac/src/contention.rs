@@ -1,0 +1,375 @@
+//! Event-driven CSMA/CA contention resolution.
+//!
+//! Beacon requests are processed as a time-ordered event queue. When a
+//! radio's attempt time arrives it senses the channel: any already
+//! scheduled transmission that (a) overlaps the attempt instant, (b)
+//! started strictly earlier, and (c) is either its own radio (half-duplex)
+//! or heard above the carrier-sense threshold, marks the channel busy. A
+//! busy radio defers to the end of the blocking transmission plus SIFS
+//! plus a uniform random backoff, then retries. Attempts that cannot start
+//! before their expiry (the next beacon interval) are dropped — this is
+//! the congestion loss that grows with traffic density.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::Rng;
+
+use crate::params::MacParams;
+use crate::{IdentityId, RadioId};
+
+/// A request to broadcast one beacon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeaconRequest {
+    /// Physical radio that will transmit.
+    pub tx_radio: RadioId,
+    /// Identity claimed in the beacon (equals the vehicle ID for normal
+    /// nodes; a pseudonym for Sybil beacons).
+    pub identity: IdentityId,
+    /// Effective isotropic radiated power, dBm.
+    pub eirp_dbm: f64,
+    /// Earliest transmission time, seconds.
+    pub requested_at_s: f64,
+    /// Drop the beacon if it cannot start by this time, seconds.
+    pub expires_at_s: f64,
+}
+
+/// A transmission that made it onto the air.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnAirPacket {
+    /// Physical radio transmitting.
+    pub tx_radio: RadioId,
+    /// Claimed identity carried in the packet.
+    pub identity: IdentityId,
+    /// EIRP, dBm.
+    pub eirp_dbm: f64,
+    /// Transmission start, seconds.
+    pub start_s: f64,
+    /// Transmission end, seconds.
+    pub end_s: f64,
+}
+
+impl OnAirPacket {
+    /// `true` when two packets overlap in time.
+    pub fn overlaps(&self, other: &OnAirPacket) -> bool {
+        self.start_s < other.end_s && other.start_s < self.end_s
+    }
+
+    /// `true` when the packet is on air at instant `t_s`.
+    pub fn on_air_at(&self, t_s: f64) -> bool {
+        self.start_s <= t_s && t_s < self.end_s
+    }
+}
+
+/// Result of one contention round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentionResult {
+    /// Packets that transmitted, sorted by start time.
+    pub on_air: Vec<OnAirPacket>,
+    /// Requests dropped because the channel stayed busy past their expiry.
+    pub expired: Vec<BeaconRequest>,
+}
+
+impl ContentionResult {
+    /// Fraction of requests that expired (channel-busy loss rate).
+    pub fn expiry_rate(&self) -> f64 {
+        let total = self.on_air.len() + self.expired.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.expired.len() as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Attempt {
+    time_bits: u64, // total-ordered f64 for the heap
+    seq: usize,
+    retries: u32,
+    request: BeaconRequest,
+}
+
+fn order_key(t: f64) -> u64 {
+    // All attempt times are non-negative finite, so the IEEE-754 bit
+    // pattern orders them correctly.
+    debug_assert!(t >= 0.0 && t.is_finite());
+    t.to_bits()
+}
+
+impl PartialEq for Attempt {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time_bits, self.seq) == (other.time_bits, other.seq)
+    }
+}
+impl Eq for Attempt {}
+impl PartialOrd for Attempt {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Attempt {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time_bits, self.seq).cmp(&(other.time_bits, other.seq))
+    }
+}
+
+/// Resolves channel access for a batch of beacon requests.
+///
+/// `mean_power_dbm(tx_radio, eirp_dbm, listener)` must return the mean
+/// received power of `tx_radio`'s transmission at the `listener` radio —
+/// carrier sensing is a mean-power energy detector here.
+///
+/// The returned packets are sorted by start time.
+///
+/// # Panics
+///
+/// Panics if `params` fail validation or a request expires before it is
+/// requested.
+pub fn resolve_contention<R, F>(
+    requests: &[BeaconRequest],
+    params: &MacParams,
+    mut mean_power_dbm: F,
+    rng: &mut R,
+) -> ContentionResult
+where
+    R: Rng + ?Sized,
+    F: FnMut(RadioId, f64, RadioId) -> f64,
+{
+    params.validate().expect("invalid MAC parameters");
+    let airtime = params.airtime_s();
+    let mut heap: BinaryHeap<Reverse<Attempt>> = BinaryHeap::with_capacity(requests.len());
+    for (seq, &request) in requests.iter().enumerate() {
+        assert!(
+            request.expires_at_s >= request.requested_at_s,
+            "beacon expires before it is requested"
+        );
+        heap.push(Reverse(Attempt {
+            time_bits: order_key(request.requested_at_s.max(0.0)),
+            seq,
+            retries: 0,
+            request,
+        }));
+    }
+
+    let mut on_air: Vec<OnAirPacket> = Vec::with_capacity(requests.len());
+    let mut expired = Vec::new();
+
+    while let Some(Reverse(attempt)) = heap.pop() {
+        let t = f64::from_bits(attempt.time_bits);
+        let req = attempt.request;
+        if t > req.expires_at_s {
+            expired.push(req);
+            continue;
+        }
+        // Sense: find the latest-ending blocking transmission at instant t.
+        // Scan backwards — on_air is sorted by start and old packets can't
+        // block once their end has passed; stop early when starts are so
+        // old they cannot overlap.
+        let mut blocker_end: Option<f64> = None;
+        for p in on_air.iter().rev() {
+            if p.end_s <= t {
+                // Packets are pushed in start order; an earlier packet may
+                // still overlap, so only stop once starts precede t by more
+                // than one airtime.
+                if p.start_s + airtime <= t {
+                    break;
+                }
+                continue;
+            }
+            if p.start_s < t {
+                let hears = p.tx_radio == req.tx_radio
+                    || mean_power_dbm(p.tx_radio, p.eirp_dbm, req.tx_radio)
+                        >= params.cs_threshold_dbm;
+                if hears {
+                    blocker_end = Some(blocker_end.map_or(p.end_s, |e: f64| e.max(p.end_s)));
+                }
+            }
+        }
+        match blocker_end {
+            None => {
+                // Channel idle: transmit now.
+                on_air.push(OnAirPacket {
+                    tx_radio: req.tx_radio,
+                    identity: req.identity,
+                    eirp_dbm: req.eirp_dbm,
+                    start_s: t,
+                    end_s: t + airtime,
+                });
+            }
+            Some(end) => {
+                // Binary exponential backoff: the contention window doubles
+                // with each failed attempt (capped), which thins out
+                // same-slot ties when many stations defer to the same
+                // transmission end — the behaviour a per-station backoff
+                // counter produces in the full 802.11 DCF.
+                let cw = ((params.cw_slots + 1) << attempt.retries.min(6)) - 1;
+                let backoff = rng.gen_range(0..=cw) as f64 * params.slot_time_s;
+                let retry = end + params.sifs_s + backoff;
+                heap.push(Reverse(Attempt {
+                    time_bits: order_key(retry),
+                    seq: attempt.seq,
+                    retries: attempt.retries + 1,
+                    request: req,
+                }));
+            }
+        }
+        // Keep on_air sorted by start (pushes are monotone because the heap
+        // pops in time order).
+        debug_assert!(on_air.windows(2).all(|w| w[0].start_s <= w[1].start_s));
+    }
+
+    ContentionResult { on_air, expired }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Everyone hears everyone.
+    fn all_hear(_tx: RadioId, _eirp: f64, _rx: RadioId) -> f64 {
+        -60.0
+    }
+
+    /// Nobody hears anybody (infinitely far apart).
+    fn none_hear(_tx: RadioId, _eirp: f64, _rx: RadioId) -> f64 {
+        -150.0
+    }
+
+    fn request(tx: RadioId, id: IdentityId, at: f64) -> BeaconRequest {
+        BeaconRequest {
+            tx_radio: tx,
+            identity: id,
+            eirp_dbm: 20.0,
+            requested_at_s: at,
+            expires_at_s: at + 0.1,
+        }
+    }
+
+    #[test]
+    fn single_request_transmits_immediately() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = MacParams::paper_default();
+        let res = resolve_contention(&[request(1, 1, 0.005)], &p, all_hear, &mut rng);
+        assert_eq!(res.on_air.len(), 1);
+        assert_eq!(res.on_air[0].start_s, 0.005);
+        assert!((res.on_air[0].end_s - 0.005 - p.airtime_s()).abs() < 1e-12);
+        assert!(res.expired.is_empty());
+    }
+
+    #[test]
+    fn overlapping_requests_serialise_when_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = MacParams::paper_default();
+        let reqs = [request(1, 1, 0.000), request(2, 2, 0.0005)];
+        let res = resolve_contention(&reqs, &p, all_hear, &mut rng);
+        assert_eq!(res.on_air.len(), 2);
+        let (a, b) = (&res.on_air[0], &res.on_air[1]);
+        assert!(!a.overlaps(b), "CSMA should serialise in-range packets");
+        assert!(b.start_s >= a.end_s + p.sifs_s - 1e-12);
+    }
+
+    #[test]
+    fn hidden_terminals_overlap() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = MacParams::paper_default();
+        let reqs = [request(1, 1, 0.000), request(2, 2, 0.0005)];
+        let res = resolve_contention(&reqs, &p, none_hear, &mut rng);
+        assert_eq!(res.on_air.len(), 2);
+        assert!(res.on_air[0].overlaps(&res.on_air[1]));
+    }
+
+    #[test]
+    fn same_radio_serialises_even_out_of_range() {
+        // Half-duplex: a malicious radio sending several Sybil beacons
+        // cannot overlap itself.
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = MacParams::paper_default();
+        let reqs = [request(7, 100, 0.0), request(7, 101, 0.0002), request(7, 102, 0.0004)];
+        let res = resolve_contention(&reqs, &p, none_hear, &mut rng);
+        assert_eq!(res.on_air.len(), 3);
+        for w in res.on_air.windows(2) {
+            assert!(!w[0].overlaps(&w[1]));
+        }
+    }
+
+    #[test]
+    fn simultaneous_starts_collide() {
+        // Two radios whose attempts land at exactly the same instant both
+        // sense an idle channel.
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = MacParams::paper_default();
+        let reqs = [request(1, 1, 0.01), request(2, 2, 0.01)];
+        let res = resolve_contention(&reqs, &p, all_hear, &mut rng);
+        assert_eq!(res.on_air.len(), 2);
+        assert!(res.on_air[0].overlaps(&res.on_air[1]));
+    }
+
+    #[test]
+    fn saturated_channel_expires_requests() {
+        // 200 in-range requests in one 100 ms interval: only ~72 fit.
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = MacParams::paper_default();
+        let reqs: Vec<BeaconRequest> = (0..200)
+            .map(|i| request(i as RadioId, i as IdentityId, (i as f64) * 0.0004))
+            .collect();
+        let res = resolve_contention(&reqs, &p, all_hear, &mut rng);
+        // Requests arrive staggered over 80 ms and expire 100 ms after
+        // their request, so the airtime budget is ~180 ms / 1.45 ms ≈ 124
+        // serialised packets; the rest must expire.
+        assert!(res.on_air.len() <= 140, "too many fit: {}", res.on_air.len());
+        assert!(res.on_air.len() >= 100, "too few fit: {}", res.on_air.len());
+        assert_eq!(res.on_air.len() + res.expired.len(), 200);
+        assert!(res.expiry_rate() > 0.25);
+        // CSMA serialises almost everything; only same-slot ties (true
+        // collisions) may overlap, and they must be rare.
+        let overlapping = res
+            .on_air
+            .windows(2)
+            .filter(|w| w[0].overlaps(&w[1]))
+            .count();
+        assert!(
+            (overlapping as f64) < 0.1 * res.on_air.len() as f64,
+            "{overlapping} overlapping pairs among {}",
+            res.on_air.len()
+        );
+    }
+
+    #[test]
+    fn light_load_all_delivered() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = MacParams::paper_default();
+        let reqs: Vec<BeaconRequest> = (0..20)
+            .map(|i| request(i as RadioId, i as IdentityId, (i as f64) * 0.005))
+            .collect();
+        let res = resolve_contention(&reqs, &p, all_hear, &mut rng);
+        assert_eq!(res.on_air.len(), 20);
+        assert_eq!(res.expiry_rate(), 0.0);
+    }
+
+    #[test]
+    fn results_sorted_by_start() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = MacParams::paper_default();
+        let reqs: Vec<BeaconRequest> = (0..50)
+            .map(|i| request((i % 10) as RadioId, i as IdentityId, ((i * 7) % 50) as f64 * 0.002))
+            .collect();
+        let res = resolve_contention(&reqs, &p, all_hear, &mut rng);
+        assert!(res.on_air.windows(2).all(|w| w[0].start_s <= w[1].start_s));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let p = MacParams::paper_default();
+        let reqs: Vec<BeaconRequest> = (0..30)
+            .map(|i| request(i as RadioId, i as IdentityId, (i as f64) * 0.001))
+            .collect();
+        let mut rng_a = StdRng::seed_from_u64(8);
+        let mut rng_b = StdRng::seed_from_u64(8);
+        let a = resolve_contention(&reqs, &p, all_hear, &mut rng_a);
+        let b = resolve_contention(&reqs, &p, all_hear, &mut rng_b);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,45 @@
+//! Simplified DSRC control-channel MAC for the Voiceprint reproduction.
+//!
+//! The paper's NS-2 setup broadcasts 10 Hz safety beacons on the CCH with
+//! 802.11p CSMA/CA (Table V: 13 µs slots, 32 µs SIFS, 3 Mbps, 500-byte
+//! packets). What the detectors downstream actually consume is *which
+//! packets each receiver decodes and at what RSSI*; this crate produces
+//! exactly that, with the three loss mechanisms that shape the paper's
+//! Figure 11 trends:
+//!
+//! * **channel congestion** — a beacon that cannot win the channel before
+//!   its beacon interval expires is dropped (CCH saturation at high
+//!   density);
+//! * **collisions** — overlapping transmissions from radios that could not
+//!   hear each other (hidden terminals, simultaneous starts) destroy
+//!   packets unless the desired signal captures the receiver (SINR
+//!   threshold);
+//! * **sensitivity** — packets arriving below −95 dBm are undecodable
+//!   (Table II).
+//!
+//! The MAC is deliberately power-model-agnostic: callers supply closures
+//! for mean power (carrier sensing, interference) and sampled power
+//! (the RSSI actually recorded), so the stateful correlated channel of
+//! `vp-radio` plugs in without this crate owning any radio state.
+//!
+//! * [`params`] — timing/rate parameters and airtime computation.
+//! * [`contention`] — event-driven CSMA/CA: sense, defer, backoff, expire.
+//! * [`reception`] — per-receiver outcomes with SINR capture.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod contention;
+pub mod params;
+pub mod reception;
+
+pub use contention::{resolve_contention, BeaconRequest, ContentionResult, OnAirPacket};
+pub use params::MacParams;
+pub use reception::{resolve_receptions, Reception, ReceptionOutcome};
+
+/// Identifier of a physical radio (shared with `vp-radio`).
+pub type RadioId = vp_radio::channel::RadioId;
+
+/// Identifier of a claimed identity (a normal vehicle's real ID or a
+/// Sybil pseudonym).
+pub type IdentityId = u64;

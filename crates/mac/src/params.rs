@@ -1,0 +1,131 @@
+//! MAC timing and rate parameters (Tables III and V of the paper).
+
+/// Parameters of the simplified 802.11p CCH MAC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MacParams {
+    /// Contention slot time, seconds (Table V: 13 µs).
+    pub slot_time_s: f64,
+    /// Short inter-frame space, seconds (Table V: 32 µs).
+    pub sifs_s: f64,
+    /// PHY data rate, bits per second (Table III/V: 3 Mbps).
+    pub data_rate_bps: f64,
+    /// Beacon payload size in bytes (Table III/V: 500 B).
+    pub payload_bytes: usize,
+    /// Fixed PHY preamble + header airtime, seconds.
+    pub phy_overhead_s: f64,
+    /// Contention window: backoff is a uniform draw of `0..=cw_slots`
+    /// slots (802.11p CCH uses CW = 15 for broadcast).
+    pub cw_slots: u32,
+    /// Carrier-sense threshold, dBm: a transmission heard at or above this
+    /// mean power marks the channel busy.
+    pub cs_threshold_dbm: f64,
+    /// Receiver sensitivity, dBm (Table II: −95 dBm).
+    pub rx_sensitivity_dbm: f64,
+    /// SINR capture threshold, dB: the desired packet survives overlap if
+    /// it exceeds the summed interference by at least this margin.
+    pub capture_threshold_db: f64,
+    /// Mean-power prefilter margin, dB: receivers whose *mean* power is
+    /// below `rx_sensitivity − margin` skip stochastic sampling entirely
+    /// (the decode probability there is negligible). Purely a performance
+    /// device; 12 dB is ≳4σ of the combined shadowing + fast fading.
+    pub prefilter_margin_db: f64,
+}
+
+impl MacParams {
+    /// The paper's configuration (Tables II, III and V).
+    pub fn paper_default() -> Self {
+        MacParams {
+            slot_time_s: 13e-6,
+            sifs_s: 32e-6,
+            data_rate_bps: 3e6,
+            payload_bytes: 500,
+            phy_overhead_s: 40e-6,
+            cw_slots: 15,
+            cs_threshold_dbm: -85.0,
+            rx_sensitivity_dbm: -95.0,
+            capture_threshold_db: 10.0,
+            prefilter_margin_db: 12.0,
+        }
+    }
+
+    /// Time on air of one beacon, seconds: payload serialisation at the
+    /// data rate plus PHY overhead.
+    pub fn airtime_s(&self) -> f64 {
+        self.payload_bytes as f64 * 8.0 / self.data_rate_bps + self.phy_overhead_s
+    }
+
+    /// Validates the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if !(self.slot_time_s > 0.0) {
+            return Err("slot time must be positive");
+        }
+        if !(self.sifs_s >= 0.0) {
+            return Err("SIFS must be non-negative");
+        }
+        if !(self.data_rate_bps > 0.0) {
+            return Err("data rate must be positive");
+        }
+        if self.payload_bytes == 0 {
+            return Err("payload must be non-empty");
+        }
+        if !(self.phy_overhead_s >= 0.0) {
+            return Err("PHY overhead must be non-negative");
+        }
+        if !(self.capture_threshold_db >= 0.0) {
+            return Err("capture threshold must be non-negative");
+        }
+        if !(self.prefilter_margin_db >= 0.0) {
+            return Err("prefilter margin must be non-negative");
+        }
+        Ok(())
+    }
+}
+
+impl Default for MacParams {
+    fn default() -> Self {
+        MacParams::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_airtime_is_about_1_4_ms() {
+        let p = MacParams::paper_default();
+        // 500 B × 8 / 3 Mbps = 1.333 ms + 40 µs overhead.
+        assert!((p.airtime_s() - 1.3733e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_params_validate() {
+        assert!(MacParams::paper_default().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut p = MacParams::paper_default();
+        p.slot_time_s = 0.0;
+        assert_eq!(p.validate(), Err("slot time must be positive"));
+        let mut p = MacParams::paper_default();
+        p.payload_bytes = 0;
+        assert!(p.validate().is_err());
+        let mut p = MacParams::paper_default();
+        p.capture_threshold_db = -1.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn channel_capacity_sanity() {
+        // ~72 back-to-back beacons fit in one 100 ms beacon interval —
+        // why the CCH saturates around 70–200 heard identities.
+        let p = MacParams::paper_default();
+        let per_interval = (0.1 / p.airtime_s()).floor();
+        assert!((70.0..80.0).contains(&per_interval), "{per_interval}");
+    }
+}

@@ -1,0 +1,335 @@
+//! Per-receiver reception outcomes with SINR capture.
+
+use crate::contention::OnAirPacket;
+use crate::params::MacParams;
+use crate::RadioId;
+use vp_radio::units::{dbm_to_mw, mw_to_dbm};
+
+/// Why a packet was or was not decoded at one receiver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReceptionOutcome {
+    /// Decoded; the RSSI the receiver records, dBm.
+    Received {
+        /// Measured RSSI of the decoded packet, dBm.
+        rssi_dbm: f64,
+    },
+    /// Arrived below the receiver sensitivity.
+    BelowSensitivity,
+    /// Destroyed by overlapping transmissions (SINR under the capture
+    /// threshold).
+    Collided,
+    /// The receiver's own radio was transmitting during the packet
+    /// (half-duplex).
+    ReceiverBusy,
+}
+
+impl ReceptionOutcome {
+    /// `true` for [`ReceptionOutcome::Received`].
+    pub fn is_received(&self) -> bool {
+        matches!(self, ReceptionOutcome::Received { .. })
+    }
+}
+
+/// One `(packet, receiver)` outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reception {
+    /// Index of the packet in the `on_air` slice passed to
+    /// [`resolve_receptions`].
+    pub packet_index: usize,
+    /// The receiving radio.
+    pub rx_radio: RadioId,
+    /// What happened.
+    pub outcome: ReceptionOutcome,
+}
+
+/// Resolves what every receiver decodes from a batch of on-air packets.
+///
+/// * `mean_power_dbm(tx_radio, eirp, rx_radio)` — deterministic mean
+///   received power; used for the cheap sensitivity prefilter and for
+///   interference summation.
+/// * `sample_power_dbm(packet, rx_radio)` — stochastic received power of
+///   the *desired* packet (the value recorded as RSSI when decoding
+///   succeeds). Called at most once per `(packet, receiver)` pair that
+///   survives the prefilter.
+///
+/// Outcomes below the mean-power prefilter margin are reported as
+/// [`ReceptionOutcome::BelowSensitivity`] without sampling.
+///
+/// The `on_air` slice must be sorted by `start_s` (as produced by
+/// [`crate::contention::resolve_contention`]).
+///
+/// # Panics
+///
+/// Panics if `params` fail validation or `on_air` is unsorted.
+pub fn resolve_receptions<F, G>(
+    on_air: &[OnAirPacket],
+    receivers: &[RadioId],
+    params: &MacParams,
+    mut mean_power_dbm: F,
+    mut sample_power_dbm: G,
+) -> Vec<Reception>
+where
+    F: FnMut(RadioId, f64, RadioId) -> f64,
+    G: FnMut(&OnAirPacket, RadioId) -> f64,
+{
+    params.validate().expect("invalid MAC parameters");
+    assert!(
+        on_air.windows(2).all(|w| w[0].start_s <= w[1].start_s),
+        "on_air packets must be sorted by start time"
+    );
+    let mut out = Vec::new();
+    for (idx, packet) in on_air.iter().enumerate() {
+        // Find the overlap neighbourhood once per packet (sorted input).
+        let overlap_range = overlapping_indices(on_air, idx);
+        for &rx in receivers {
+            if rx == packet.tx_radio {
+                continue;
+            }
+            // Half-duplex: the receiver must not transmit during the packet.
+            let busy = overlap_range
+                .clone()
+                .filter(|&j| j != idx)
+                .any(|j| on_air[j].tx_radio == rx && on_air[j].overlaps(packet));
+            if busy {
+                out.push(Reception {
+                    packet_index: idx,
+                    rx_radio: rx,
+                    outcome: ReceptionOutcome::ReceiverBusy,
+                });
+                continue;
+            }
+            let mean = mean_power_dbm(packet.tx_radio, packet.eirp_dbm, rx);
+            if mean < params.rx_sensitivity_dbm - params.prefilter_margin_db {
+                out.push(Reception {
+                    packet_index: idx,
+                    rx_radio: rx,
+                    outcome: ReceptionOutcome::BelowSensitivity,
+                });
+                continue;
+            }
+            let desired = sample_power_dbm(packet, rx);
+            if desired < params.rx_sensitivity_dbm {
+                out.push(Reception {
+                    packet_index: idx,
+                    rx_radio: rx,
+                    outcome: ReceptionOutcome::BelowSensitivity,
+                });
+                continue;
+            }
+            // Sum mean interference from every overlapping other-radio
+            // packet as heard at rx.
+            let mut interference_mw = 0.0;
+            for j in overlap_range.clone() {
+                if j == idx {
+                    continue;
+                }
+                let q = &on_air[j];
+                if q.tx_radio == packet.tx_radio || !q.overlaps(packet) {
+                    continue;
+                }
+                let p_dbm = mean_power_dbm(q.tx_radio, q.eirp_dbm, rx);
+                // Negligible interferers can be skipped cheaply.
+                if p_dbm > desired - 40.0 {
+                    interference_mw += dbm_to_mw(p_dbm);
+                }
+            }
+            let outcome = if interference_mw > 0.0
+                && desired - mw_to_dbm(interference_mw) < params.capture_threshold_db
+            {
+                ReceptionOutcome::Collided
+            } else {
+                ReceptionOutcome::Received { rssi_dbm: desired }
+            };
+            out.push(Reception {
+                packet_index: idx,
+                rx_radio: rx,
+                outcome,
+            });
+        }
+    }
+    out
+}
+
+/// Indices of packets that can overlap `on_air[idx]` in a start-sorted
+/// slice (inclusive range around `idx`).
+fn overlapping_indices(on_air: &[OnAirPacket], idx: usize) -> std::ops::Range<usize> {
+    let me = &on_air[idx];
+    let mut lo = idx;
+    while lo > 0 && on_air[lo - 1].end_s > me.start_s {
+        lo -= 1;
+    }
+    let mut hi = idx + 1;
+    while hi < on_air.len() && on_air[hi].start_s < me.end_s {
+        hi += 1;
+    }
+    lo..hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet(tx: RadioId, id: u64, start: f64) -> OnAirPacket {
+        OnAirPacket {
+            tx_radio: tx,
+            identity: id,
+            eirp_dbm: 20.0,
+            start_s: start,
+            end_s: start + 0.0014,
+        }
+    }
+
+    /// Power model where every link has the given constant power.
+    fn const_power(p: f64) -> impl FnMut(RadioId, f64, RadioId) -> f64 {
+        move |_, _, _| p
+    }
+
+    #[test]
+    fn clean_packet_is_received_with_sampled_rssi() {
+        let on_air = [packet(1, 1, 0.0)];
+        let params = MacParams::paper_default();
+        let recs = resolve_receptions(&on_air, &[2, 3], &params, const_power(-70.0), |_, rx| {
+            -70.0 - rx as f64
+        });
+        assert_eq!(recs.len(), 2);
+        assert_eq!(
+            recs[0].outcome,
+            ReceptionOutcome::Received { rssi_dbm: -72.0 }
+        );
+        assert_eq!(
+            recs[1].outcome,
+            ReceptionOutcome::Received { rssi_dbm: -73.0 }
+        );
+    }
+
+    #[test]
+    fn transmitter_does_not_receive_itself() {
+        let on_air = [packet(1, 1, 0.0)];
+        let params = MacParams::paper_default();
+        let recs = resolve_receptions(&on_air, &[1, 2], &params, const_power(-70.0), |_, _| -70.0);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].rx_radio, 2);
+    }
+
+    #[test]
+    fn below_sensitivity_prefilter_skips_sampling() {
+        let on_air = [packet(1, 1, 0.0)];
+        let params = MacParams::paper_default();
+        let mut sampled = 0;
+        let recs = resolve_receptions(
+            &on_air,
+            &[2],
+            &params,
+            const_power(-120.0),
+            |_, _| {
+                sampled += 1;
+                -120.0
+            },
+        );
+        assert_eq!(recs[0].outcome, ReceptionOutcome::BelowSensitivity);
+        assert_eq!(sampled, 0, "prefilter must avoid sampling");
+    }
+
+    #[test]
+    fn marginal_mean_still_sampled() {
+        // Mean just below sensitivity but above prefilter: sampling decides.
+        let on_air = [packet(1, 1, 0.0)];
+        let params = MacParams::paper_default();
+        let recs = resolve_receptions(&on_air, &[2], &params, const_power(-100.0), |_, _| -94.0);
+        assert_eq!(recs[0].outcome, ReceptionOutcome::Received { rssi_dbm: -94.0 });
+        let recs = resolve_receptions(&on_air, &[2], &params, const_power(-100.0), |_, _| -96.0);
+        assert_eq!(recs[0].outcome, ReceptionOutcome::BelowSensitivity);
+    }
+
+    #[test]
+    fn overlapping_equal_power_packets_collide() {
+        let on_air = [packet(1, 1, 0.0), packet(2, 2, 0.0005)];
+        let params = MacParams::paper_default();
+        let recs = resolve_receptions(&on_air, &[3], &params, const_power(-70.0), |_, _| -70.0);
+        assert_eq!(recs.len(), 2);
+        for r in &recs {
+            assert_eq!(r.outcome, ReceptionOutcome::Collided);
+        }
+    }
+
+    #[test]
+    fn capture_effect_saves_strong_packet() {
+        let on_air = [packet(1, 1, 0.0), packet(2, 2, 0.0005)];
+        let params = MacParams::paper_default();
+        // tx 1 heard at −60, tx 2 at −80: 20 dB SINR for packet 1, −20 for 2.
+        let recs = resolve_receptions(
+            &on_air,
+            &[3],
+            &params,
+            |tx, _, _| if tx == 1 { -60.0 } else { -80.0 },
+            |p, _| if p.tx_radio == 1 { -60.0 } else { -80.0 },
+        );
+        assert_eq!(recs[0].outcome, ReceptionOutcome::Received { rssi_dbm: -60.0 });
+        assert_eq!(recs[1].outcome, ReceptionOutcome::Collided);
+    }
+
+    #[test]
+    fn receiver_busy_while_transmitting() {
+        let on_air = [packet(1, 1, 0.0), packet(2, 2, 0.0005)];
+        let params = MacParams::paper_default();
+        let recs = resolve_receptions(&on_air, &[2], &params, const_power(-70.0), |_, _| -70.0);
+        // Radio 2 cannot decode packet 0 (it transmits during it).
+        let r0 = recs.iter().find(|r| r.packet_index == 0).unwrap();
+        assert_eq!(r0.outcome, ReceptionOutcome::ReceiverBusy);
+    }
+
+    #[test]
+    fn non_overlapping_packets_do_not_interfere() {
+        let on_air = [packet(1, 1, 0.0), packet(2, 2, 0.01)];
+        let params = MacParams::paper_default();
+        let recs = resolve_receptions(&on_air, &[3], &params, const_power(-70.0), |_, _| -70.0);
+        for r in &recs {
+            assert!(r.outcome.is_received());
+        }
+    }
+
+    #[test]
+    fn multiple_weak_interferers_accumulate() {
+        // Desired at −70; three interferers at −78 each sum to ~−73.2,
+        // SINR ≈ 3.2 dB < 10 dB capture threshold → collision.
+        let mut on_air = vec![packet(1, 1, 0.0)];
+        for k in 0..3 {
+            on_air.push(packet(10 + k, 10 + k as u64, 0.0002 + 0.0001 * k as f64));
+        }
+        let params = MacParams::paper_default();
+        let recs = resolve_receptions(
+            &on_air,
+            &[5],
+            &params,
+            |tx, _, _| if tx == 1 { -70.0 } else { -78.0 },
+            |p, _| if p.tx_radio == 1 { -70.0 } else { -78.0 },
+        );
+        let r0 = recs.iter().find(|r| r.packet_index == 0).unwrap();
+        assert_eq!(r0.outcome, ReceptionOutcome::Collided);
+    }
+
+    #[test]
+    fn same_radio_packets_do_not_interfere_with_each_other() {
+        // Cannot physically overlap from one radio, but even if handed in,
+        // own-radio packets are excluded from interference.
+        let on_air = [packet(1, 1, 0.0), packet(1, 2, 0.0005)];
+        let params = MacParams::paper_default();
+        let recs = resolve_receptions(&on_air, &[3], &params, const_power(-70.0), |_, _| -70.0);
+        for r in &recs {
+            assert!(r.outcome.is_received(), "{:?}", r.outcome);
+        }
+    }
+
+    #[test]
+    fn overlap_index_range() {
+        let on_air = [
+            packet(1, 1, 0.0),
+            packet(2, 2, 0.0005),
+            packet(3, 3, 0.01),
+            packet(4, 4, 0.0105),
+        ];
+        assert_eq!(overlapping_indices(&on_air, 0), 0..2);
+        assert_eq!(overlapping_indices(&on_air, 1), 0..2);
+        assert_eq!(overlapping_indices(&on_air, 2), 2..4);
+    }
+}

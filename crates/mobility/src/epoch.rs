@@ -1,0 +1,218 @@
+//! The paper's continuous-time stochastic mobility model (Section V-A).
+//!
+//! "Each vehicle's movement is divided into a sequence of random time
+//! intervals called mobility epochs. The epoch lengths are identically,
+//! independently distributed exponentially with mean `1/λ_e`. During each
+//! epoch, the vehicle moves at a constant speed which is an i.i.d. normal
+//! distributed random variable with mean `μ_v` and standard deviation
+//! `σ_v`."
+//!
+//! Speeds are truncated at zero (a VANET vehicle does not reverse into
+//! oncoming traffic) and at `μ_v + 4σ_v`.
+
+use rand::Rng;
+use vp_stats::distributions::{Distribution, Exponential, TruncatedNormal};
+
+/// Per-vehicle epoch mobility state machine.
+///
+/// Call [`EpochMobility::speed_and_advance`] once per simulation step; it
+/// returns the speed in force over the next `dt` seconds, drawing new
+/// epochs as they expire. Epoch boundaries that fall inside a step take
+/// effect at the next step — with the paper's `λ_e = 0.2 s⁻¹` (mean epoch
+/// 5 s) and the simulator's 100 ms steps the discretisation error is
+/// negligible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochMobility {
+    epoch_length: Exponential,
+    speed: TruncatedNormal,
+    current_speed_mps: f64,
+    remaining_s: f64,
+}
+
+/// Error returned for invalid mobility parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidMobilityError {
+    what: &'static str,
+}
+
+impl std::fmt::Display for InvalidMobilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid mobility parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for InvalidMobilityError {}
+
+impl EpochMobility {
+    /// Creates a mobility process with epoch rate `lambda_e` (s⁻¹) and a
+    /// truncated-normal speed `N(mu_v, sigma_v²)` on `[0, μ + 4σ]`,
+    /// drawing the first epoch immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `lambda_e <= 0`, `mu_v < 0`, or `sigma_v < 0`.
+    pub fn new<R: Rng + ?Sized>(
+        lambda_e: f64,
+        mu_v: f64,
+        sigma_v: f64,
+        rng: &mut R,
+    ) -> Result<Self, InvalidMobilityError> {
+        let epoch_length = Exponential::new(lambda_e).map_err(|_| InvalidMobilityError {
+            what: "epoch rate must be positive",
+        })?;
+        if mu_v < 0.0 {
+            return Err(InvalidMobilityError {
+                what: "mean speed must be non-negative",
+            });
+        }
+        let hi = (mu_v + 4.0 * sigma_v).max(mu_v + 1e-6).max(1e-6);
+        let speed = TruncatedNormal::new(mu_v, sigma_v.max(0.0), 0.0, hi).map_err(|_| {
+            InvalidMobilityError {
+                what: "speed distribution parameters invalid",
+            }
+        })?;
+        let mut m = EpochMobility {
+            epoch_length,
+            speed,
+            current_speed_mps: 0.0,
+            remaining_s: 0.0,
+        };
+        m.new_epoch(rng);
+        Ok(m)
+    }
+
+    /// The paper's Table V parameters: `λ_e = 0.2 s⁻¹`, `μ_v = 25 m/s`,
+    /// `σ_v = 5 m/s`.
+    pub fn paper_default<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        EpochMobility::new(0.2, 25.0, 5.0, rng).expect("paper parameters are valid")
+    }
+
+    fn new_epoch<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.remaining_s = self.epoch_length.sample(rng);
+        self.current_speed_mps = self.speed.sample(rng);
+    }
+
+    /// Speed currently in force, m/s.
+    pub fn current_speed_mps(&self) -> f64 {
+        self.current_speed_mps
+    }
+
+    /// Time left in the current epoch, seconds.
+    pub fn remaining_s(&self) -> f64 {
+        self.remaining_s
+    }
+
+    /// Returns the speed to apply for the next `dt_s` seconds and advances
+    /// the epoch clock, drawing a new epoch (speed) when the current one
+    /// has expired.
+    pub fn speed_and_advance<R: Rng + ?Sized>(&mut self, dt_s: f64, rng: &mut R) -> f64 {
+        let speed = self.current_speed_mps;
+        self.remaining_s -= dt_s.max(0.0);
+        while self.remaining_s <= 0.0 {
+            let deficit = self.remaining_s;
+            self.new_epoch(rng);
+            self.remaining_s += deficit;
+        }
+        speed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vp_stats::descriptive::Summary;
+
+    #[test]
+    fn parameter_validation() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(EpochMobility::new(0.0, 25.0, 5.0, &mut rng).is_err());
+        assert!(EpochMobility::new(0.2, -1.0, 5.0, &mut rng).is_err());
+        assert!(EpochMobility::new(0.2, 25.0, 5.0, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn speeds_match_truncated_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = EpochMobility::paper_default(&mut rng);
+        // Sample epoch speeds by stepping through many epochs.
+        let mut speeds = Vec::new();
+        let mut last = f64::NAN;
+        for _ in 0..2_000_000 {
+            let s = m.speed_and_advance(0.1, &mut rng);
+            if s != last {
+                speeds.push(s);
+                last = s;
+            }
+            if speeds.len() >= 20_000 {
+                break;
+            }
+        }
+        let s = Summary::of(&speeds);
+        assert!((s.mean() - 25.0).abs() < 0.3, "mean speed {}", s.mean());
+        assert!(
+            (s.population_std_dev() - 5.0).abs() < 0.3,
+            "std {}",
+            s.population_std_dev()
+        );
+        assert!(s.min() >= 0.0);
+    }
+
+    #[test]
+    fn epoch_lengths_have_mean_five_seconds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = EpochMobility::paper_default(&mut rng);
+        let mut durations = Vec::new();
+        let mut current = 0.0;
+        let mut last_speed = m.current_speed_mps();
+        for _ in 0..3_000_000 {
+            let s = m.speed_and_advance(0.01, &mut rng);
+            if s != last_speed {
+                durations.push(current);
+                current = 0.0;
+                last_speed = s;
+            } else {
+                current += 0.01;
+            }
+            if durations.len() >= 10_000 {
+                break;
+            }
+        }
+        let mean = Summary::of(&durations).mean();
+        assert!((mean - 5.0).abs() < 0.3, "mean epoch {mean}");
+    }
+
+    #[test]
+    fn speed_constant_within_epoch() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = EpochMobility::new(0.001, 20.0, 3.0, &mut rng).unwrap(); // very long epochs
+        let s0 = m.speed_and_advance(0.1, &mut rng);
+        for _ in 0..50 {
+            assert_eq!(m.speed_and_advance(0.1, &mut rng), s0);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a_rng = StdRng::seed_from_u64(9);
+        let mut b_rng = StdRng::seed_from_u64(9);
+        let mut a = EpochMobility::paper_default(&mut a_rng);
+        let mut b = EpochMobility::paper_default(&mut b_rng);
+        for _ in 0..200 {
+            assert_eq!(
+                a.speed_and_advance(0.1, &mut a_rng),
+                b.speed_and_advance(0.1, &mut b_rng)
+            );
+        }
+    }
+
+    #[test]
+    fn zero_sigma_gives_constant_speed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut m = EpochMobility::new(0.2, 25.0, 0.0, &mut rng).unwrap();
+        for _ in 0..100 {
+            assert!((m.speed_and_advance(0.5, &mut rng) - 25.0).abs() < 1e-9);
+        }
+    }
+}

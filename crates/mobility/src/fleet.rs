@@ -1,0 +1,258 @@
+//! A fleet of epoch-driven vehicles on a highway.
+
+use rand::Rng;
+
+use crate::epoch::EpochMobility;
+use crate::highway::{Direction, Highway, LanePosition};
+
+/// Kinematic state of one physical vehicle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VehicleState {
+    position: LanePosition,
+    speed_mps: f64,
+    mobility: EpochMobility,
+}
+
+impl VehicleState {
+    /// Current lane position.
+    pub fn position(&self) -> LanePosition {
+        self.position
+    }
+
+    /// Speed currently in force, m/s.
+    pub fn speed_mps(&self) -> f64 {
+        self.speed_mps
+    }
+}
+
+/// A population of vehicles advancing on a shared [`Highway`].
+///
+/// Vehicles are spawned uniformly along the road, alternating directions
+/// and round-robining lanes, which yields the paper's bi-directional flow
+/// with an (approximately) uniform density. Density is expressed as in the
+/// paper: vehicles per km of road (both directions combined).
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use vp_mobility::fleet::Fleet;
+/// use vp_mobility::highway::Highway;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut fleet = Fleet::spawn_uniform(Highway::paper_default(), 40, &mut rng);
+/// assert_eq!(fleet.len(), 40); // 20 vhls/km on the 2 km road
+/// fleet.step(0.1, &mut rng);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    highway: Highway,
+    vehicles: Vec<VehicleState>,
+}
+
+impl Fleet {
+    /// Spawns `count` vehicles uniformly along the highway with the
+    /// paper's default epoch mobility, alternating directions and cycling
+    /// lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn spawn_uniform<R: Rng + ?Sized>(highway: Highway, count: usize, rng: &mut R) -> Self {
+        assert!(count > 0, "fleet must contain at least one vehicle");
+        let lanes = highway.lanes_per_direction();
+        let vehicles = (0..count)
+            .map(|i| {
+                // Jittered uniform placement avoids lockstep artifacts.
+                let base = (i as f64 + rng.gen::<f64>()) / count as f64;
+                let position = LanePosition {
+                    x_m: (base * highway.length_m()).min(highway.length_m() - 1e-9),
+                    direction: if i % 2 == 0 {
+                        Direction::Forward
+                    } else {
+                        Direction::Backward
+                    },
+                    lane: (i / 2) % lanes,
+                };
+                let mobility = EpochMobility::paper_default(rng);
+                let speed_mps = mobility.current_speed_mps();
+                VehicleState {
+                    position,
+                    speed_mps,
+                    mobility,
+                }
+            })
+            .collect();
+        Fleet { highway, vehicles }
+    }
+
+    /// Spawns the number of vehicles that realises `density_per_km`
+    /// vehicles per km of road (Table V sweeps 10–100 vhls/km on the 2 km
+    /// highway, i.e. 20–200 vehicles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the density rounds to zero vehicles.
+    pub fn spawn_density<R: Rng + ?Sized>(
+        highway: Highway,
+        density_per_km: f64,
+        rng: &mut R,
+    ) -> Self {
+        let count = (density_per_km * highway.length_m() / 1000.0).round() as usize;
+        Fleet::spawn_uniform(highway, count, rng)
+    }
+
+    /// The highway the fleet drives on.
+    pub fn highway(&self) -> Highway {
+        self.highway
+    }
+
+    /// Number of vehicles.
+    pub fn len(&self) -> usize {
+        self.vehicles.len()
+    }
+
+    /// `true` when the fleet is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.vehicles.is_empty()
+    }
+
+    /// Density in vehicles per km of road.
+    pub fn density_per_km(&self) -> f64 {
+        self.vehicles.len() as f64 / (self.highway.length_m() / 1000.0)
+    }
+
+    /// State of vehicle `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn vehicle(&self, idx: usize) -> &VehicleState {
+        &self.vehicles[idx]
+    }
+
+    /// Iterator over all vehicle states.
+    pub fn iter(&self) -> impl Iterator<Item = &VehicleState> {
+        self.vehicles.iter()
+    }
+
+    /// Distance between vehicles `a` and `b`, metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn distance_m(&self, a: usize, b: usize) -> f64 {
+        self.highway
+            .distance_m(self.vehicles[a].position, self.vehicles[b].position)
+    }
+
+    /// Advances every vehicle by `dt_s` seconds.
+    pub fn step<R: Rng + ?Sized>(&mut self, dt_s: f64, rng: &mut R) {
+        for v in &mut self.vehicles {
+            let speed = v.mobility.speed_and_advance(dt_s, rng);
+            v.speed_mps = speed;
+            v.position = self.highway.advance(v.position, speed, dt_s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fleet(n: usize, seed: u64) -> (Fleet, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = Fleet::spawn_uniform(Highway::paper_default(), n, &mut rng);
+        (f, rng)
+    }
+
+    #[test]
+    fn density_spawning_matches_table_v() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for density in [10.0, 40.0, 100.0] {
+            let f = Fleet::spawn_density(Highway::paper_default(), density, &mut rng);
+            assert_eq!(f.len(), (density * 2.0) as usize);
+            assert!((f.density_per_km() - density).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn spawn_covers_both_directions_and_all_lanes() {
+        let (f, _) = fleet(40, 1);
+        let fwd = f
+            .iter()
+            .filter(|v| v.position().direction == Direction::Forward)
+            .count();
+        assert_eq!(fwd, 20);
+        let lanes: std::collections::HashSet<usize> =
+            f.iter().map(|v| v.position().lane).collect();
+        assert_eq!(lanes.len(), 2);
+    }
+
+    #[test]
+    fn positions_stay_on_the_road() {
+        let (mut f, mut rng) = fleet(60, 2);
+        for _ in 0..600 {
+            f.step(0.1, &mut rng);
+        }
+        for v in f.iter() {
+            assert!((0.0..2000.0).contains(&v.position().x_m));
+        }
+    }
+
+    #[test]
+    fn vehicles_actually_move() {
+        let (mut f, mut rng) = fleet(10, 3);
+        let before: Vec<f64> = f.iter().map(|v| v.position().x_m).collect();
+        f.step(1.0, &mut rng);
+        let moved = f
+            .iter()
+            .zip(&before)
+            .filter(|(v, &x)| (v.position().x_m - x).abs() > 1.0)
+            .count();
+        assert!(moved >= 9, "only {moved} of 10 vehicles moved");
+    }
+
+    #[test]
+    fn spread_remains_roughly_uniform() {
+        // After a long run, wraparound keeps density roughly uniform:
+        // every 500 m quarter should hold a nontrivial share.
+        let (mut f, mut rng) = fleet(200, 4);
+        for _ in 0..1000 {
+            f.step(0.1, &mut rng);
+        }
+        let mut quarters = [0usize; 4];
+        for v in f.iter() {
+            quarters[(v.position().x_m / 500.0) as usize % 4] += 1;
+        }
+        for (i, &q) in quarters.iter().enumerate() {
+            assert!(q > 20, "quarter {i} nearly empty: {q}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (mut a, mut ra) = fleet(20, 7);
+        let (mut b, mut rb) = fleet(20, 7);
+        for _ in 0..50 {
+            a.step(0.1, &mut ra);
+            b.step(0.1, &mut rb);
+        }
+        for i in 0..20 {
+            assert_eq!(a.vehicle(i).position(), b.vehicle(i).position());
+        }
+    }
+
+    #[test]
+    fn pairwise_distance_is_symmetric() {
+        let (f, _) = fleet(8, 8);
+        for i in 0..8 {
+            for j in 0..8 {
+                assert!((f.distance_m(i, j) - f.distance_m(j, i)).abs() < 1e-12);
+            }
+            assert_eq!(f.distance_m(i, i), 0.0);
+        }
+    }
+}

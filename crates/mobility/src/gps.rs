@@ -1,0 +1,112 @@
+//! GPS position-report error model.
+//!
+//! Beacons carry GPS coordinates (Table II: horizontal accuracy < 2.5 m
+//! autonomous). Claimed positions in the simulator pass through this model
+//! so position-verification detectors (the CPVSAD baseline) see realistic
+//! measurement noise, and Sybil nodes' *fabricated* positions are noised
+//! the same way — a malicious node mimics plausible GPS output.
+
+use rand::Rng;
+use vp_stats::distributions::{Distribution, Normal};
+
+/// Isotropic Gaussian horizontal GPS error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpsError {
+    sigma_m: f64,
+}
+
+impl GpsError {
+    /// Error with the given per-axis standard deviation in metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_m` is negative or not finite.
+    pub fn new(sigma_m: f64) -> Self {
+        assert!(
+            sigma_m.is_finite() && sigma_m >= 0.0,
+            "GPS sigma must be non-negative and finite"
+        );
+        GpsError { sigma_m }
+    }
+
+    /// Error calibrated so ~95% of horizontal errors stay below
+    /// `accuracy_m` (2D radial error is Rayleigh; its 95th percentile is
+    /// `σ·√(−2·ln 0.05) ≈ 2.448σ`).
+    pub fn from_accuracy_95(accuracy_m: f64) -> Self {
+        GpsError::new(accuracy_m / (-2.0 * 0.05f64.ln()).sqrt())
+    }
+
+    /// The receiver from the paper's Table II: < 2.5 m horizontal
+    /// accuracy.
+    pub fn paper_receiver() -> Self {
+        GpsError::from_accuracy_95(2.5)
+    }
+
+    /// A perfect (noise-free) GPS, useful in unit tests.
+    pub fn perfect() -> Self {
+        GpsError::new(0.0)
+    }
+
+    /// Per-axis standard deviation in metres.
+    pub fn sigma_m(&self) -> f64 {
+        self.sigma_m
+    }
+
+    /// Applies one error realisation to a true plane position.
+    pub fn perturb<R: Rng + ?Sized>(&self, x_m: f64, y_m: f64, rng: &mut R) -> (f64, f64) {
+        if self.sigma_m == 0.0 {
+            return (x_m, y_m);
+        }
+        let n = Normal::new(0.0, self.sigma_m).expect("validated sigma");
+        (x_m + n.sample(rng), y_m + n.sample(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_gps_is_exact() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(GpsError::perfect().perturb(3.0, 4.0, &mut rng), (3.0, 4.0));
+    }
+
+    #[test]
+    fn accuracy_calibration_hits_95th_percentile() {
+        let gps = GpsError::paper_receiver();
+        let mut rng = StdRng::seed_from_u64(1);
+        let within = (0..100_000)
+            .filter(|_| {
+                let (x, y) = gps.perturb(0.0, 0.0, &mut rng);
+                (x * x + y * y).sqrt() < 2.5
+            })
+            .count();
+        let frac = within as f64 / 100_000.0;
+        assert!((frac - 0.95).abs() < 0.01, "within-accuracy fraction {frac}");
+    }
+
+    #[test]
+    fn errors_are_unbiased() {
+        let gps = GpsError::new(1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sx = 0.0;
+        let mut sy = 0.0;
+        let n = 50_000;
+        for _ in 0..n {
+            let (x, y) = gps.perturb(10.0, -20.0, &mut rng);
+            sx += x;
+            sy += y;
+        }
+        assert!((sx / n as f64 - 10.0).abs() < 0.05);
+        assert!((sy / n as f64 + 20.0).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sigma_panics() {
+        GpsError::new(-1.0);
+    }
+}

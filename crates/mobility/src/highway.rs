@@ -1,0 +1,277 @@
+//! Highway geometry (paper Section V-A).
+//!
+//! The simulation road is a straight bi-directional highway. Positions are
+//! expressed as a longitudinal coordinate plus a lane; [`Highway`] converts
+//! them to plane coordinates so distances between any two vehicles (also
+//! across directions) are exact.
+//!
+//! "Vehicles re-enter the highway at the beginning of the other direction
+//! when they arrive at the end of one direction" — implemented by
+//! [`Highway::advance`].
+
+/// Travel direction along the highway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Travelling toward increasing longitudinal coordinate.
+    Forward,
+    /// Travelling toward decreasing longitudinal coordinate.
+    Backward,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::Forward => Direction::Backward,
+            Direction::Backward => Direction::Forward,
+        }
+    }
+
+    /// Signed unit velocity along the longitudinal axis.
+    pub fn sign(self) -> f64 {
+        match self {
+            Direction::Forward => 1.0,
+            Direction::Backward => -1.0,
+        }
+    }
+}
+
+/// A position on the highway: longitudinal coordinate, direction, and lane
+/// index within that direction (0 = innermost, adjacent to the median).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LanePosition {
+    /// Longitudinal coordinate along the road, metres, in `[0, length)`.
+    pub x_m: f64,
+    /// Travel direction.
+    pub direction: Direction,
+    /// Lane index within the direction, `0..lanes_per_direction`.
+    pub lane: usize,
+}
+
+/// Geometry of a straight bi-directional highway.
+///
+/// # Example
+///
+/// ```
+/// use vp_mobility::highway::{Direction, Highway, LanePosition};
+///
+/// let hw = Highway::paper_default();
+/// assert_eq!(hw.length_m(), 2000.0);
+/// let a = LanePosition { x_m: 0.0, direction: Direction::Forward, lane: 0 };
+/// let b = LanePosition { x_m: 100.0, direction: Direction::Forward, lane: 0 };
+/// assert!((hw.distance_m(a, b) - 100.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Highway {
+    length_m: f64,
+    lanes_per_direction: usize,
+    lane_width_m: f64,
+}
+
+impl Highway {
+    /// Creates a highway.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length, lane count, or lane width is not positive.
+    pub fn new(length_m: f64, lanes_per_direction: usize, lane_width_m: f64) -> Self {
+        assert!(length_m > 0.0, "highway length must be positive");
+        assert!(lanes_per_direction > 0, "need at least one lane per direction");
+        assert!(lane_width_m > 0.0, "lane width must be positive");
+        Highway {
+            length_m,
+            lanes_per_direction,
+            lane_width_m,
+        }
+    }
+
+    /// The paper's simulation road: 2 km, 2 lanes per direction, 3.6 m
+    /// lanes (Table V).
+    pub fn paper_default() -> Self {
+        Highway::new(2000.0, 2, 3.6)
+    }
+
+    /// Longitudinal length in metres.
+    pub fn length_m(&self) -> f64 {
+        self.length_m
+    }
+
+    /// Lanes per direction.
+    pub fn lanes_per_direction(&self) -> usize {
+        self.lanes_per_direction
+    }
+
+    /// Lane width in metres.
+    pub fn lane_width_m(&self) -> f64 {
+        self.lane_width_m
+    }
+
+    /// Plane coordinates `(x, y)` of a lane position. Forward lanes sit at
+    /// positive `y` (lane 0 closest to the median at `y = w/2`), backward
+    /// lanes mirror below the median.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane index is out of range.
+    pub fn plane_coordinates(&self, pos: LanePosition) -> (f64, f64) {
+        assert!(
+            pos.lane < self.lanes_per_direction,
+            "lane index out of range"
+        );
+        let offset = (pos.lane as f64 + 0.5) * self.lane_width_m;
+        let y = match pos.direction {
+            Direction::Forward => offset,
+            Direction::Backward => -offset,
+        };
+        (pos.x_m, y)
+    }
+
+    /// Euclidean distance between two lane positions, metres.
+    pub fn distance_m(&self, a: LanePosition, b: LanePosition) -> f64 {
+        let (ax, ay) = self.plane_coordinates(a);
+        let (bx, by) = self.plane_coordinates(b);
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+
+    /// Advances a position by `speed_mps · dt_s` metres along its travel
+    /// direction. On reaching the end of the road the vehicle re-enters at
+    /// the beginning of the *other* direction (paper Section V-A), keeping
+    /// its lane index.
+    pub fn advance(&self, pos: LanePosition, speed_mps: f64, dt_s: f64) -> LanePosition {
+        let mut x = pos.x_m + pos.direction.sign() * speed_mps * dt_s;
+        let mut direction = pos.direction;
+        // A very fast vehicle may wrap more than once in a long step.
+        loop {
+            if x >= self.length_m {
+                // Ran off the forward end; re-enter backward from that end.
+                x = self.length_m - (x - self.length_m);
+                direction = direction.opposite();
+                if x >= 0.0 {
+                    break;
+                }
+            } else if x < 0.0 {
+                // Ran off the backward end; re-enter forward from 0.
+                x = -x;
+                direction = direction.opposite();
+                if x < self.length_m {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        LanePosition {
+            x_m: x.clamp(0.0, self.length_m - f64::EPSILON * self.length_m),
+            direction,
+            lane: pos.lane,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fwd(x: f64, lane: usize) -> LanePosition {
+        LanePosition {
+            x_m: x,
+            direction: Direction::Forward,
+            lane,
+        }
+    }
+
+    fn bwd(x: f64, lane: usize) -> LanePosition {
+        LanePosition {
+            x_m: x,
+            direction: Direction::Backward,
+            lane,
+        }
+    }
+
+    #[test]
+    fn paper_geometry() {
+        let hw = Highway::paper_default();
+        assert_eq!(hw.length_m(), 2000.0);
+        assert_eq!(hw.lanes_per_direction(), 2);
+        assert_eq!(hw.lane_width_m(), 3.6);
+    }
+
+    #[test]
+    fn plane_coordinates_mirror_directions() {
+        let hw = Highway::paper_default();
+        let (x, y) = hw.plane_coordinates(fwd(100.0, 0));
+        assert_eq!((x, y), (100.0, 1.8));
+        let (x, y) = hw.plane_coordinates(bwd(100.0, 0));
+        assert_eq!((x, y), (100.0, -1.8));
+        let (_, y) = hw.plane_coordinates(fwd(0.0, 1));
+        assert!((y - 5.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longitudinal_distance() {
+        let hw = Highway::paper_default();
+        assert!((hw.distance_m(fwd(0.0, 0), fwd(140.0, 0)) - 140.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_direction_distance_includes_lateral_gap() {
+        let hw = Highway::paper_default();
+        let d = hw.distance_m(fwd(500.0, 0), bwd(500.0, 0));
+        assert!((d - 3.6).abs() < 1e-12);
+        let d2 = hw.distance_m(fwd(500.0, 1), bwd(500.0, 1));
+        assert!((d2 - 10.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn side_by_side_lanes() {
+        // The field test's "normal node 2 moves side by side with the
+        // malicious node": adjacent lanes, same x.
+        let hw = Highway::paper_default();
+        let d = hw.distance_m(fwd(300.0, 0), fwd(300.0, 1));
+        assert!((d - 3.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advance_moves_along_direction() {
+        let hw = Highway::paper_default();
+        let p = hw.advance(fwd(100.0, 0), 25.0, 2.0);
+        assert!((p.x_m - 150.0).abs() < 1e-12);
+        assert_eq!(p.direction, Direction::Forward);
+        let q = hw.advance(bwd(100.0, 1), 10.0, 3.0);
+        assert!((q.x_m - 70.0).abs() < 1e-12);
+        assert_eq!(q.lane, 1);
+    }
+
+    #[test]
+    fn wraparound_reverses_direction() {
+        let hw = Highway::paper_default();
+        let p = hw.advance(fwd(1990.0, 0), 25.0, 1.0); // 2015 → reflect to 1985 backward
+        assert_eq!(p.direction, Direction::Backward);
+        assert!((p.x_m - 1985.0).abs() < 1e-9);
+        let q = hw.advance(bwd(5.0, 0), 25.0, 1.0); // -20 → reflect to 20 forward
+        assert_eq!(q.direction, Direction::Forward);
+        assert!((q.x_m - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiple_wraps_terminate() {
+        let hw = Highway::new(100.0, 1, 3.6);
+        // 1 km step on a 100 m road: must terminate and stay in range.
+        let p = hw.advance(fwd(50.0, 0), 1000.0, 1.0);
+        assert!((0.0..100.0).contains(&p.x_m));
+    }
+
+    #[test]
+    fn zero_speed_is_stationary() {
+        let hw = Highway::paper_default();
+        let p0 = fwd(123.0, 1);
+        let p = hw.advance(p0, 0.0, 10.0);
+        assert_eq!(p, p0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane index out of range")]
+    fn invalid_lane_panics() {
+        Highway::paper_default().plane_coordinates(fwd(0.0, 2));
+    }
+}

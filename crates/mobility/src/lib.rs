@@ -1,0 +1,32 @@
+//! Vehicular mobility substrate for the Voiceprint reproduction.
+//!
+//! Implements the motion models the paper's evaluation uses:
+//!
+//! * [`highway`] — the simulation scenario's road geometry: a 2 km
+//!   bi-directional highway with 2 lanes per direction and 3.6 m lane
+//!   width (Section V-A / Figure 10), with wraparound re-entry.
+//! * [`epoch`] — the continuous-time stochastic mobility model: motion is
+//!   a sequence of *mobility epochs* with i.i.d. exponential durations
+//!   (rate `λ_e`), each driven at a constant speed drawn i.i.d. from a
+//!   truncated `N(μ_v, σ_v²)` (Table V: `λ_e = 0.2 s⁻¹`, `μ_v = 25 m/s`,
+//!   `σ_v = 5 m/s`).
+//! * [`fleet`] — a population of epoch-driven vehicles on a highway.
+//! * [`waypoint`] — scripted piecewise trajectories (with stops) for the
+//!   Section III/VI measurement scenarios and field test.
+//! * [`gps`] — the GPS position-report error model (Table II: < 2.5 m
+//!   horizontal accuracy).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod epoch;
+pub mod fleet;
+pub mod gps;
+pub mod highway;
+pub mod waypoint;
+
+pub use epoch::EpochMobility;
+pub use fleet::{Fleet, VehicleState};
+pub use gps::GpsError;
+pub use highway::{Direction, Highway, LanePosition};
+pub use waypoint::Trajectory;

@@ -1,0 +1,238 @@
+//! Scripted piecewise-linear trajectories.
+//!
+//! The Section III measurement scenarios and the Section VI field test use
+//! four specific vehicles driving choreographed routes (convoy with a
+//! side-by-side companion, stationary periods at a red light, loops around
+//! a campus). [`Trajectory`] plays such scripts back: a time-ordered list
+//! of plane-coordinate keyframes with linear interpolation, so a repeated
+//! position is a stop and position is defined (clamped) for all times.
+
+/// A keyframed plane trajectory.
+///
+/// # Example
+///
+/// ```
+/// use vp_mobility::waypoint::Trajectory;
+///
+/// // Drive 100 m east in 10 s, then hold for 5 s.
+/// let t = Trajectory::builder(0.0, 0.0)
+///     .travel_to(100.0, 0.0, 10.0)
+///     .hold(5.0)
+///     .build();
+/// assert_eq!(t.position_at(5.0), (50.0, 0.0));
+/// assert_eq!(t.position_at(12.0), (100.0, 0.0));
+/// assert_eq!(t.duration_s(), 15.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    // (time_s, x_m, y_m), strictly increasing in time after the first.
+    keyframes: Vec<(f64, f64, f64)>,
+}
+
+impl Trajectory {
+    /// Starts building a trajectory at plane position `(x_m, y_m)` at
+    /// time 0.
+    pub fn builder(x_m: f64, y_m: f64) -> TrajectoryBuilder {
+        TrajectoryBuilder {
+            keyframes: vec![(0.0, x_m, y_m)],
+        }
+    }
+
+    /// A trajectory that never moves.
+    pub fn stationary(x_m: f64, y_m: f64) -> Self {
+        Trajectory {
+            keyframes: vec![(0.0, x_m, y_m)],
+        }
+    }
+
+    /// Total scripted duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.keyframes.last().expect("non-empty by construction").0
+    }
+
+    /// Position at time `t_s`, clamped to the script's endpoints.
+    pub fn position_at(&self, t_s: f64) -> (f64, f64) {
+        let kf = &self.keyframes;
+        if t_s <= kf[0].0 {
+            return (kf[0].1, kf[0].2);
+        }
+        let last = kf[kf.len() - 1];
+        if t_s >= last.0 {
+            return (last.1, last.2);
+        }
+        // Binary search for the segment containing t_s.
+        let idx = kf.partition_point(|&(t, _, _)| t <= t_s);
+        let (t0, x0, y0) = kf[idx - 1];
+        let (t1, x1, y1) = kf[idx];
+        let f = (t_s - t0) / (t1 - t0);
+        (x0 + f * (x1 - x0), y0 + f * (y1 - y0))
+    }
+
+    /// Instantaneous speed at time `t_s` (m/s); zero outside the script
+    /// and during holds.
+    pub fn speed_at(&self, t_s: f64) -> f64 {
+        let kf = &self.keyframes;
+        if t_s < kf[0].0 || t_s >= self.duration_s() {
+            return 0.0;
+        }
+        let idx = kf.partition_point(|&(t, _, _)| t <= t_s).min(kf.len() - 1);
+        let (t0, x0, y0) = kf[idx - 1];
+        let (t1, x1, y1) = kf[idx];
+        let dist = ((x1 - x0).powi(2) + (y1 - y0).powi(2)).sqrt();
+        dist / (t1 - t0)
+    }
+
+    /// Returns a copy translated by `(dx_m, dy_m)` — convenient for convoy
+    /// formations where companions repeat a lead trajectory at an offset.
+    pub fn translated(&self, dx_m: f64, dy_m: f64) -> Trajectory {
+        Trajectory {
+            keyframes: self
+                .keyframes
+                .iter()
+                .map(|&(t, x, y)| (t, x + dx_m, y + dy_m))
+                .collect(),
+        }
+    }
+
+    /// Distance in metres between two trajectories at time `t_s`.
+    pub fn distance_to(&self, other: &Trajectory, t_s: f64) -> f64 {
+        let (ax, ay) = self.position_at(t_s);
+        let (bx, by) = other.position_at(t_s);
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+}
+
+/// Builder for [`Trajectory`] (see [`Trajectory::builder`]).
+#[derive(Debug, Clone)]
+pub struct TrajectoryBuilder {
+    keyframes: Vec<(f64, f64, f64)>,
+}
+
+impl TrajectoryBuilder {
+    /// Travels in a straight line to `(x_m, y_m)` over `duration_s`
+    /// seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_s` is not strictly positive.
+    pub fn travel_to(mut self, x_m: f64, y_m: f64, duration_s: f64) -> Self {
+        assert!(duration_s > 0.0, "travel duration must be positive");
+        let (t, _, _) = *self.keyframes.last().expect("non-empty");
+        self.keyframes.push((t + duration_s, x_m, y_m));
+        self
+    }
+
+    /// Travels in a straight line to `(x_m, y_m)` at `speed_mps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed_mps` is not strictly positive or the destination
+    /// equals the current position.
+    pub fn travel_to_at(self, x_m: f64, y_m: f64, speed_mps: f64) -> Self {
+        assert!(speed_mps > 0.0, "speed must be positive");
+        let (_, cx, cy) = *self.keyframes.last().expect("non-empty");
+        let dist = ((x_m - cx).powi(2) + (y_m - cy).powi(2)).sqrt();
+        assert!(dist > 0.0, "destination equals current position");
+        self.travel_to(x_m, y_m, dist / speed_mps)
+    }
+
+    /// Holds the current position for `duration_s` seconds (a stop, e.g.
+    /// waiting at a red light).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_s` is not strictly positive.
+    pub fn hold(mut self, duration_s: f64) -> Self {
+        assert!(duration_s > 0.0, "hold duration must be positive");
+        let (t, x, y) = *self.keyframes.last().expect("non-empty");
+        self.keyframes.push((t + duration_s, x, y));
+        self
+    }
+
+    /// Finishes the script.
+    pub fn build(self) -> Trajectory {
+        Trajectory {
+            keyframes: self.keyframes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_never_moves() {
+        let t = Trajectory::stationary(5.0, -3.0);
+        for time in [0.0, 1.0, 100.0] {
+            assert_eq!(t.position_at(time), (5.0, -3.0));
+            assert_eq!(t.speed_at(time), 0.0);
+        }
+        assert_eq!(t.duration_s(), 0.0);
+    }
+
+    #[test]
+    fn linear_interpolation() {
+        let t = Trajectory::builder(0.0, 0.0).travel_to(10.0, 20.0, 10.0).build();
+        assert_eq!(t.position_at(0.0), (0.0, 0.0));
+        assert_eq!(t.position_at(5.0), (5.0, 10.0));
+        assert_eq!(t.position_at(10.0), (10.0, 20.0));
+    }
+
+    #[test]
+    fn clamping_outside_script() {
+        let t = Trajectory::builder(1.0, 1.0).travel_to(2.0, 1.0, 1.0).build();
+        assert_eq!(t.position_at(-5.0), (1.0, 1.0));
+        assert_eq!(t.position_at(50.0), (2.0, 1.0));
+        assert_eq!(t.speed_at(50.0), 0.0);
+    }
+
+    #[test]
+    fn hold_is_a_stop() {
+        let t = Trajectory::builder(0.0, 0.0)
+            .travel_to(10.0, 0.0, 2.0)
+            .hold(3.0)
+            .travel_to(20.0, 0.0, 2.0)
+            .build();
+        assert_eq!(t.duration_s(), 7.0);
+        assert_eq!(t.position_at(3.5), (10.0, 0.0));
+        assert_eq!(t.speed_at(3.5), 0.0);
+        assert!((t.speed_at(1.0) - 5.0).abs() < 1e-12);
+        assert!((t.speed_at(6.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn travel_to_at_derives_duration() {
+        let t = Trajectory::builder(0.0, 0.0).travel_to_at(100.0, 0.0, 25.0).build();
+        assert_eq!(t.duration_s(), 4.0);
+        assert!((t.speed_at(2.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn translation_preserves_shape() {
+        let lead = Trajectory::builder(0.0, 0.0).travel_to(50.0, 0.0, 5.0).build();
+        let companion = lead.translated(0.0, 3.0); // side-by-side, 3 m apart
+        for time in [0.0, 2.5, 5.0] {
+            assert!((lead.distance_to(&companion, time) - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn convoy_distances() {
+        // Field-test formation: node ahead (+50 m), side-by-side (+3 m
+        // lateral), node behind (−50 m).
+        let malicious = Trajectory::builder(0.0, 0.0).travel_to(1000.0, 0.0, 100.0).build();
+        let ahead = malicious.translated(50.0, 0.0);
+        let side = malicious.translated(0.0, 3.0);
+        let behind = malicious.translated(-50.0, 0.0);
+        assert!((malicious.distance_to(&ahead, 42.0) - 50.0).abs() < 1e-9);
+        assert!((malicious.distance_to(&side, 42.0) - 3.0).abs() < 1e-9);
+        assert!((ahead.distance_to(&behind, 42.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn zero_duration_travel_panics() {
+        let _ = Trajectory::builder(0.0, 0.0).travel_to(1.0, 0.0, 0.0);
+    }
+}

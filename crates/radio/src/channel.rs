@@ -1,0 +1,314 @@
+//! Stateful per-physical-link channel.
+//!
+//! [`Channel`] turns a deterministic [`PathLoss`] model into RSSI samples
+//! by adding two noise layers:
+//!
+//! * a temporally correlated [`GaussMarkov`] shadowing process **per
+//!   physical link** `(transmitter radio, receiver radio)`, scaled by the
+//!   model's σ at the current distance; and
+//! * independent per-packet fast fading (Gaussian in dB by default,
+//!   optionally Rayleigh).
+//!
+//! The link key uses the *physical* transmitter. A Sybil identity's
+//! packets are keyed by its parent radio, so all identities fabricated by
+//! one malicious node share a single shadowing realisation — the paper's
+//! Observation 3 and the signal Voiceprint detects. Two co-located but
+//! distinct radios get independent processes, which is why a genuinely
+//! nearby normal vehicle remains distinguishable while moving.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use vp_stats::distributions::{Distribution, Normal};
+
+use crate::fading::{GaussMarkov, Rayleigh};
+use crate::propagation::PathLoss;
+
+/// Identifier of a physical radio (not a claimed identity).
+pub type RadioId = u64;
+
+/// Noise configuration of a [`Channel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelConfig {
+    /// Correlation time of the shadowing process, seconds. At highway
+    /// speeds (25 m/s) a value near 1 s corresponds to a shadowing
+    /// decorrelation distance of ~25 m.
+    pub shadow_correlation_time_s: f64,
+    /// Standard deviation of per-packet Gaussian fast fading, dB.
+    pub fast_fading_sigma_db: f64,
+    /// Replace Gaussian fast fading with Rayleigh power fading.
+    pub rayleigh_fast_fading: bool,
+    /// Receiver sensitivity in dBm; packets below this are undecodable
+    /// (Table II: −95 dBm).
+    pub rx_sensitivity_dbm: f64,
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        ChannelConfig {
+            shadow_correlation_time_s: 1.0,
+            fast_fading_sigma_db: 1.0,
+            rayleigh_fast_fading: false,
+            rx_sensitivity_dbm: -95.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LinkState {
+    process: GaussMarkov,
+    last_time_s: f64,
+}
+
+/// A stochastic channel over a [`PathLoss`] model with per-physical-link
+/// correlated shadowing.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use vp_radio::channel::{Channel, ChannelConfig};
+/// use vp_radio::propagation::{DualSlope, DualSlopeParams};
+///
+/// let model = DualSlope::dsrc(DualSlopeParams::campus());
+/// let mut channel = Channel::new(model, ChannelConfig::default());
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let rssi = channel.sample_rssi(1, 2, 20.0, 140.0, 0.0, &mut rng);
+/// assert!(rssi < -40.0 && rssi > -120.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Channel<M> {
+    model: M,
+    config: ChannelConfig,
+    links: HashMap<(RadioId, RadioId), LinkState>,
+}
+
+impl<M: PathLoss> Channel<M> {
+    /// Creates a channel over `model` with the given noise configuration.
+    pub fn new(model: M, config: ChannelConfig) -> Self {
+        Channel {
+            model,
+            config,
+            links: HashMap::new(),
+        }
+    }
+
+    /// Borrows the underlying path-loss model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Replaces the path-loss model while **keeping** every link's
+    /// shadowing state — the paper's periodic propagation-model change
+    /// alters large-scale parameters, not the identity of the obstacles
+    /// around each link.
+    pub fn set_model(&mut self, model: M) {
+        self.model = model;
+    }
+
+    /// The channel's noise configuration.
+    pub fn config(&self) -> ChannelConfig {
+        self.config
+    }
+
+    /// Number of links with materialised shadowing state.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Drops the shadowing state of links involving radio `id` (e.g. a
+    /// vehicle that left the simulation).
+    pub fn forget_radio(&mut self, id: RadioId) {
+        self.links.retain(|&(tx, rx), _| tx != id && rx != id);
+    }
+
+    /// Mean (noise-free) received power for the current model.
+    pub fn mean_rx_dbm(&self, tx_eirp_dbm: f64, distance_m: f64) -> f64 {
+        self.model.mean_rx_dbm(tx_eirp_dbm, distance_m)
+    }
+
+    /// Samples the RSSI of one packet sent at `time_s` over the physical
+    /// link `tx_radio → rx_radio` at `distance_m`, for EIRP `tx_eirp_dbm`.
+    ///
+    /// Calls for the same link must use non-decreasing `time_s`; an older
+    /// timestamp reuses the current shadowing state (the process never
+    /// rewinds).
+    pub fn sample_rssi<R: Rng + ?Sized>(
+        &mut self,
+        tx_radio: RadioId,
+        rx_radio: RadioId,
+        tx_eirp_dbm: f64,
+        distance_m: f64,
+        time_s: f64,
+        rng: &mut R,
+    ) -> f64 {
+        let mean = self.model.mean_rx_dbm(tx_eirp_dbm, distance_m);
+        let sigma = self.model.shadow_sigma_db(distance_m);
+        let link = self
+            .links
+            .entry((tx_radio, rx_radio))
+            .or_insert_with(|| LinkState {
+                process: GaussMarkov::new(self.config.shadow_correlation_time_s, rng)
+                    .expect("config validated at construction"),
+                last_time_s: time_s,
+            });
+        let dt = time_s - link.last_time_s;
+        link.last_time_s = link.last_time_s.max(time_s);
+        let shadow = link.process.advance(dt, rng) * sigma;
+        let fast = if self.config.rayleigh_fast_fading {
+            Rayleigh::new().sample_db(rng)
+        } else {
+            Normal::new(0.0, self.config.fast_fading_sigma_db)
+                .expect("non-negative sigma")
+                .sample(rng)
+        };
+        mean + shadow + fast
+    }
+
+    /// `true` when an RSSI value is decodable by the receiver (at or above
+    /// the configured sensitivity).
+    pub fn is_receivable(&self, rssi_dbm: f64) -> bool {
+        rssi_dbm >= self.config.rx_sensitivity_dbm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagation::{DualSlope, DualSlopeParams, FreeSpace};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vp_stats::descriptive::{pearson, Summary};
+
+    fn campus_channel() -> Channel<DualSlope> {
+        Channel::new(
+            DualSlope::dsrc(DualSlopeParams::campus()),
+            ChannelConfig::default(),
+        )
+    }
+
+    /// Generates a beacon-rate (10 Hz) RSSI series over a link.
+    fn series(
+        ch: &mut Channel<DualSlope>,
+        tx: RadioId,
+        rx: RadioId,
+        eirp: f64,
+        n: usize,
+        rng: &mut StdRng,
+    ) -> Vec<f64> {
+        (0..n)
+            .map(|k| ch.sample_rssi(tx, rx, eirp, 120.0, k as f64 * 0.1, rng))
+            .collect()
+    }
+
+    #[test]
+    fn rssi_is_centred_on_model_mean() {
+        let mut ch = campus_channel();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mean_model = ch.mean_rx_dbm(20.0, 120.0);
+        let s: Summary = (0..20_000)
+            .map(|k| ch.sample_rssi(1, 2, 20.0, 120.0, k as f64 * 0.1, &mut rng))
+            .collect();
+        assert!((s.mean() - mean_model).abs() < 0.2, "{} vs {}", s.mean(), mean_model);
+        // Total sigma ≈ sqrt(σ_shadow² + σ_fast²).
+        let expected_sigma = (2.8f64.powi(2) + 1.0).sqrt();
+        assert!((s.population_std_dev() - expected_sigma).abs() < 0.2);
+    }
+
+    #[test]
+    fn sybil_identities_share_the_voiceprint() {
+        // Two identities transmitted by the SAME radio (tx=1) toward rx=2,
+        // interleaved in time exactly like alternating beacons, track each
+        // other; a different radio (tx=3) at the same distance does not.
+        let mut ch = campus_channel();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 400;
+        let mut id_a = Vec::new();
+        let mut id_b = Vec::new();
+        let mut other = Vec::new();
+        for k in 0..n {
+            let t = k as f64 * 0.1;
+            id_a.push(ch.sample_rssi(1, 2, 20.0, 120.0, t, &mut rng));
+            id_b.push(ch.sample_rssi(1, 2, 23.0, 120.0, t + 0.01, &mut rng));
+            other.push(ch.sample_rssi(3, 2, 20.0, 120.0, t + 0.02, &mut rng));
+        }
+        let corr_sybil = pearson(&id_a, &id_b);
+        let corr_other = pearson(&id_a, &other);
+        assert!(corr_sybil > 0.75, "sybil correlation too low: {corr_sybil}");
+        assert!(corr_other < 0.4, "independent link too correlated: {corr_other}");
+    }
+
+    #[test]
+    fn tx_power_offset_shifts_mean_only() {
+        let mut ch = campus_channel();
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = series(&mut ch, 1, 2, 17.0, 2000, &mut rng);
+        let mut ch2 = campus_channel();
+        let mut rng2 = StdRng::seed_from_u64(3);
+        let b = series(&mut ch2, 1, 2, 23.0, 2000, &mut rng2);
+        let sa = Summary::of(&a);
+        let sb = Summary::of(&b);
+        assert!((sb.mean() - sa.mean() - 6.0).abs() < 1e-9);
+        assert!((sb.population_std_dev() - sa.population_std_dev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn direction_matters_for_links() {
+        let mut ch = campus_channel();
+        let mut rng = StdRng::seed_from_u64(4);
+        let fwd = series(&mut ch, 1, 2, 20.0, 500, &mut rng);
+        let rev = series(&mut ch, 2, 1, 20.0, 500, &mut rng);
+        assert!(pearson(&fwd, &rev).abs() < 0.35);
+        assert_eq!(ch.link_count(), 2);
+    }
+
+    #[test]
+    fn set_model_keeps_link_state() {
+        let mut ch = campus_channel();
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = series(&mut ch, 1, 2, 20.0, 10, &mut rng);
+        assert_eq!(ch.link_count(), 1);
+        ch.set_model(DualSlope::dsrc(DualSlopeParams::urban()));
+        assert_eq!(ch.link_count(), 1);
+        assert_eq!(ch.model().params(), DualSlopeParams::urban());
+    }
+
+    #[test]
+    fn forget_radio_drops_links() {
+        let mut ch = campus_channel();
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = series(&mut ch, 1, 2, 20.0, 2, &mut rng);
+        let _ = series(&mut ch, 3, 2, 20.0, 2, &mut rng);
+        let _ = series(&mut ch, 3, 4, 20.0, 2, &mut rng);
+        assert_eq!(ch.link_count(), 3);
+        ch.forget_radio(3);
+        assert_eq!(ch.link_count(), 1);
+    }
+
+    #[test]
+    fn sensitivity_threshold() {
+        let ch = Channel::new(FreeSpace::dsrc(), ChannelConfig::default());
+        assert!(ch.is_receivable(-95.0));
+        assert!(ch.is_receivable(-60.0));
+        assert!(!ch.is_receivable(-95.01));
+    }
+
+    #[test]
+    fn rayleigh_config_increases_spread() {
+        let mut cfg = ChannelConfig::default();
+        cfg.fast_fading_sigma_db = 0.0;
+        let mut gauss = Channel::new(FreeSpace::dsrc(), cfg);
+        cfg.rayleigh_fast_fading = true;
+        let mut ray = Channel::new(FreeSpace::dsrc(), cfg);
+        let mut rng = StdRng::seed_from_u64(7);
+        let g: Summary = (0..5000)
+            .map(|k| gauss.sample_rssi(1, 2, 20.0, 100.0, k as f64, &mut rng))
+            .collect();
+        let r: Summary = (0..5000)
+            .map(|k| ray.sample_rssi(1, 2, 20.0, 100.0, k as f64, &mut rng))
+            .collect();
+        // FreeSpace has zero shadow sigma, so all spread is fast fading.
+        assert!(g.population_std_dev() < 0.01);
+        assert!(r.population_std_dev() > 3.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Stochastic fading processes.
+//!
+//! Two time scales matter for the Voiceprint mechanism:
+//!
+//! * **Correlated shadowing** ([`GaussMarkov`]): obstructions, reflections
+//!   and multi-path evolve over hundreds of milliseconds to seconds as
+//!   vehicles move. This process is a property of the *physical link*
+//!   (transmitter radio → receiver radio); every Sybil identity riding on
+//!   the same radio experiences the same realisation — the "voiceprint".
+//! * **Fast fading** ([`Rayleigh`], or per-packet Gaussian noise in
+//!   [`crate::channel::Channel`]): per-packet, independent, and therefore
+//!   *not* shared between packets even of the same identity.
+
+use rand::Rng;
+use vp_stats::distributions::{Distribution, Normal};
+
+/// First-order Gauss–Markov (discretised Ornstein–Uhlenbeck) process in
+/// dB with zero mean, unit stationary variance, and exponential
+/// autocorrelation `exp(−Δt/τ)`.
+///
+/// The unit variance is deliberate: the channel scales the state by the
+/// path-loss model's (possibly distance-dependent) σ at sampling time, so
+/// one process serves even as a vehicle crosses the dual-slope breakpoint.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use vp_radio::fading::GaussMarkov;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut p = GaussMarkov::new(0.5, &mut rng)?;
+/// let a = p.advance(0.1, &mut rng);
+/// let b = p.advance(0.1, &mut rng);
+/// assert!(a.is_finite() && b.is_finite());
+/// # Ok::<(), vp_radio::fading::InvalidFadingError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussMarkov {
+    correlation_time_s: f64,
+    state: f64,
+}
+
+/// Error returned for invalid fading-process parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidFadingError {
+    what: &'static str,
+}
+
+impl std::fmt::Display for InvalidFadingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid fading parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for InvalidFadingError {}
+
+impl GaussMarkov {
+    /// Creates a process with the given correlation time, drawing the
+    /// initial state from the stationary `N(0, 1)` distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `correlation_time_s` is not strictly positive.
+    pub fn new<R: Rng + ?Sized>(
+        correlation_time_s: f64,
+        rng: &mut R,
+    ) -> Result<Self, InvalidFadingError> {
+        if !(correlation_time_s.is_finite() && correlation_time_s > 0.0) {
+            return Err(InvalidFadingError {
+                what: "correlation time must be positive",
+            });
+        }
+        Ok(GaussMarkov {
+            correlation_time_s,
+            state: Normal::standard().sample(rng),
+        })
+    }
+
+    /// Correlation time τ in seconds.
+    pub fn correlation_time_s(&self) -> f64 {
+        self.correlation_time_s
+    }
+
+    /// Current state (unit-variance dB units).
+    pub fn state(&self) -> f64 {
+        self.state
+    }
+
+    /// Advances the process by `dt` seconds and returns the new state.
+    ///
+    /// `dt = 0` returns the current state unchanged; negative `dt` is
+    /// treated as zero (clock jitter should never rewind the channel).
+    pub fn advance<R: Rng + ?Sized>(&mut self, dt: f64, rng: &mut R) -> f64 {
+        let dt = dt.max(0.0);
+        if dt > 0.0 {
+            let rho = (-dt / self.correlation_time_s).exp();
+            let noise = Normal::standard().sample(rng);
+            self.state = rho * self.state + (1.0 - rho * rho).sqrt() * noise;
+        }
+        self.state
+    }
+}
+
+/// Rayleigh fast fading: per-packet multiplicative power fade whose linear
+/// power gain is exponentially distributed with unit mean (so it is
+/// zero-dB on average in the linear domain).
+///
+/// This is the fading assumed by Wang et al. (paper reference [15]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Rayleigh;
+
+impl Rayleigh {
+    /// Creates the unit-mean Rayleigh power fading source.
+    pub fn new() -> Self {
+        Rayleigh
+    }
+
+    /// Samples one per-packet fade in dB (negative infinity is impossible;
+    /// deep fades are strongly negative).
+    pub fn sample_db<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Linear power gain ~ Exp(1); dB = 10·log10(gain).
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        10.0 * (-u.ln()).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vp_stats::descriptive::Summary;
+
+    #[test]
+    fn rejects_bad_correlation_time() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(GaussMarkov::new(0.0, &mut rng).is_err());
+        assert!(GaussMarkov::new(-1.0, &mut rng).is_err());
+        assert!(GaussMarkov::new(f64::NAN, &mut rng).is_err());
+    }
+
+    #[test]
+    fn stationary_variance_is_unit() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut p = GaussMarkov::new(0.5, &mut rng).unwrap();
+        let s: Summary = (0..200_000).map(|_| p.advance(0.1, &mut rng)).collect();
+        assert!(s.mean().abs() < 0.05, "mean {}", s.mean());
+        assert!(
+            (s.population_std_dev() - 1.0).abs() < 0.05,
+            "std {}",
+            s.population_std_dev()
+        );
+    }
+
+    #[test]
+    fn autocorrelation_decays_exponentially() {
+        let tau = 1.0;
+        let dt = 0.1;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut p = GaussMarkov::new(tau, &mut rng).unwrap();
+        let xs: Vec<f64> = (0..100_000).map(|_| p.advance(dt, &mut rng)).collect();
+        // lag-1 autocorrelation should be ≈ exp(−dt/τ).
+        let lag1 = vp_stats::descriptive::pearson(&xs[..xs.len() - 1], &xs[1..]);
+        let expected = (-dt / tau as f64).exp();
+        assert!((lag1 - expected).abs() < 0.02, "lag1 {lag1} vs {expected}");
+        // lag-10 ≈ exp(−1).
+        let lag10 = vp_stats::descriptive::pearson(&xs[..xs.len() - 10], &xs[10..]);
+        assert!((lag10 - (-1.0f64).exp()).abs() < 0.05, "lag10 {lag10}");
+    }
+
+    #[test]
+    fn zero_dt_does_not_advance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut p = GaussMarkov::new(1.0, &mut rng).unwrap();
+        let s0 = p.state();
+        assert_eq!(p.advance(0.0, &mut rng), s0);
+        assert_eq!(p.advance(-1.0, &mut rng), s0);
+    }
+
+    #[test]
+    fn two_processes_with_same_seed_are_identical() {
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let mut rng_b = StdRng::seed_from_u64(11);
+        let mut a = GaussMarkov::new(0.7, &mut rng_a).unwrap();
+        let mut b = GaussMarkov::new(0.7, &mut rng_b).unwrap();
+        for _ in 0..50 {
+            assert_eq!(a.advance(0.1, &mut rng_a), b.advance(0.1, &mut rng_b));
+        }
+    }
+
+    #[test]
+    fn independent_processes_decorrelate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut a = GaussMarkov::new(0.5, &mut rng).unwrap();
+        let mut b = GaussMarkov::new(0.5, &mut rng).unwrap();
+        let xs: Vec<f64> = (0..20_000).map(|_| a.advance(0.1, &mut rng)).collect();
+        let ys: Vec<f64> = (0..20_000).map(|_| b.advance(0.1, &mut rng)).collect();
+        assert!(vp_stats::descriptive::pearson(&xs, &ys).abs() < 0.05);
+    }
+
+    #[test]
+    fn rayleigh_mean_linear_gain_is_unit() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let r = Rayleigh::new();
+        let mean_linear: f64 = (0..100_000)
+            .map(|_| 10f64.powf(r.sample_db(&mut rng) / 10.0))
+            .sum::<f64>()
+            / 100_000.0;
+        assert!((mean_linear - 1.0).abs() < 0.02, "mean gain {mean_linear}");
+    }
+
+    #[test]
+    fn rayleigh_produces_deep_fades() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let r = Rayleigh::new();
+        let deep = (0..10_000).filter(|_| r.sample_db(&mut rng) < -10.0).count();
+        // P(gain < 0.1) = 1 − exp(−0.1) ≈ 9.5%.
+        assert!((800..1100).contains(&deep), "deep fades: {deep}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Least-squares fitting of the dual-slope empirical model (reproduces
+//! the paper's Table IV).
+//!
+//! The paper regression-fits Equation (1) to `(distance, RSSI)` samples
+//! measured in three environments. In the variable `u = log10(d/d0)` the
+//! model is continuous piecewise-linear, so the fit reduces to
+//! [`vp_stats::regression::fit_dual_slope`]; this module performs the
+//! change of variables and maps the fitted slopes back to the path-loss
+//! exponents `γ1`, `γ2`, the breakpoint back to `dc`, and the per-segment
+//! residual deviations to `σ1`, `σ2`.
+
+use crate::propagation::DualSlopeParams;
+use vp_stats::regression::fit_dual_slope;
+
+/// One RSSI measurement at a known transmitter–receiver distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeSample {
+    /// Transmitter–receiver distance, metres.
+    pub distance_m: f64,
+    /// Measured RSSI, dBm.
+    pub rssi_dbm: f64,
+}
+
+/// Error returned when a fit cannot be performed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FitError {
+    what: &'static str,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dual-slope fit failed: {}", self.what)
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Fits the dual-slope model of Eq. (1) to measured samples.
+///
+/// `d0_m` is the reference distance (1 m in Table IV). The breakpoint is
+/// scanned over the central 90% of the observed log-distance range with
+/// 200 candidates.
+///
+/// # Errors
+///
+/// Returns an error when fewer than 16 samples are provided or all
+/// distances fall below `d0_m` (nothing to regress on).
+pub fn fit_dual_slope_model(samples: &[RangeSample], d0_m: f64) -> Result<DualSlopeParams, FitError> {
+    if samples.len() < 16 {
+        return Err(FitError {
+            what: "need at least 16 samples",
+        });
+    }
+    if d0_m <= 0.0 {
+        return Err(FitError {
+            what: "reference distance must be positive",
+        });
+    }
+    let mut u = Vec::with_capacity(samples.len());
+    let mut y = Vec::with_capacity(samples.len());
+    for s in samples {
+        if s.distance_m > d0_m {
+            u.push((s.distance_m / d0_m).log10());
+            y.push(s.rssi_dbm);
+        }
+    }
+    if u.len() < 16 {
+        return Err(FitError {
+            what: "too few samples beyond the reference distance",
+        });
+    }
+    let fit = fit_dual_slope(&u, &y, 200, 0.05, 0.95);
+    Ok(DualSlopeParams {
+        d0_m,
+        dc_m: d0_m * 10f64.powf(fit.breakpoint),
+        gamma1: -fit.slope1 / 10.0,
+        gamma2: -fit.slope2 / 10.0,
+        sigma1_db: fit.sigma1,
+        sigma2_db: fit.sigma2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{Channel, ChannelConfig};
+    use crate::propagation::{DualSlope, PathLoss};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Generates a synthetic measurement campaign through a ground-truth
+    /// channel: log-spaced distances from 5 m to 500 m, several packets
+    /// per distance.
+    fn campaign(truth: DualSlopeParams, seed: u64) -> Vec<RangeSample> {
+        let mut cfg = ChannelConfig::default();
+        cfg.fast_fading_sigma_db = 0.5;
+        // Short correlation so samples decorrelate between stops.
+        cfg.shadow_correlation_time_s = 0.5;
+        let mut ch = Channel::new(DualSlope::dsrc(truth), cfg);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        for i in 0..120 {
+            let d = 5.0 * 10f64.powf(2.0 * i as f64 / 119.0); // 5 m → 500 m
+            for _ in 0..20 {
+                t += 5.0; // long gaps: fresh shadowing per packet
+                out.push(RangeSample {
+                    distance_m: d,
+                    rssi_dbm: ch.sample_rssi(1, 2, 20.0, d, t, &mut rng),
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn recovers_campus_parameters() {
+        let truth = DualSlopeParams::campus();
+        let fitted = fit_dual_slope_model(&campaign(truth, 1), 1.0).unwrap();
+        assert!((fitted.gamma1 - truth.gamma1).abs() < 0.25, "γ1 {}", fitted.gamma1);
+        assert!((fitted.gamma2 - truth.gamma2).abs() < 0.6, "γ2 {}", fitted.gamma2);
+        assert!(
+            (fitted.dc_m - truth.dc_m).abs() / truth.dc_m < 0.25,
+            "dc {}",
+            fitted.dc_m
+        );
+        assert!(fitted.sigma1_db > 1.0 && fitted.sigma1_db < 5.0);
+    }
+
+    #[test]
+    fn recovers_urban_breakpoint_is_shorter() {
+        let campus = fit_dual_slope_model(&campaign(DualSlopeParams::campus(), 2), 1.0).unwrap();
+        let urban = fit_dual_slope_model(&campaign(DualSlopeParams::urban(), 3), 1.0).unwrap();
+        // Observation 2 / Table IV ordering: urban breakpoint much shorter,
+        // urban exponents larger.
+        assert!(urban.dc_m < campus.dc_m);
+        assert!(urban.gamma1 > campus.gamma1);
+    }
+
+    #[test]
+    fn fitted_model_predicts_within_noise() {
+        let truth = DualSlopeParams::rural();
+        let fitted = fit_dual_slope_model(&campaign(truth, 4), 1.0).unwrap();
+        let truth_model = DualSlope::dsrc(truth);
+        let fitted_model = DualSlope::dsrc(fitted);
+        for d in [20.0, 80.0, 150.0, 300.0, 450.0] {
+            let gap = (truth_model.mean_rx_dbm(20.0, d) - fitted_model.mean_rx_dbm(20.0, d)).abs();
+            assert!(gap < 3.0, "prediction gap {gap} dB at {d} m");
+        }
+    }
+
+    #[test]
+    fn rejects_insufficient_data() {
+        let few: Vec<RangeSample> = (0..10)
+            .map(|i| RangeSample {
+                distance_m: 10.0 + i as f64,
+                rssi_dbm: -70.0,
+            })
+            .collect();
+        assert!(fit_dual_slope_model(&few, 1.0).is_err());
+        // All samples below reference distance.
+        let below: Vec<RangeSample> = (0..30)
+            .map(|_| RangeSample {
+                distance_m: 0.5,
+                rssi_dbm: -30.0,
+            })
+            .collect();
+        let err = fit_dual_slope_model(&below, 1.0).unwrap_err();
+        assert!(err.to_string().contains("reference distance"));
+    }
+}

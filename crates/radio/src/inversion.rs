@@ -1,0 +1,112 @@
+//! Distance estimation from mean RSSI under textbook models.
+//!
+//! This is what previous RSSI-based detectors do and what the paper's
+//! Observation 1 shows to be unreliable: inverting the free-space or
+//! two-ray formulas on the measured campus data estimates 281.5 m / 263.9 m
+//! (first period) and 171.2 m / 205.8 m (second period) for a true
+//! distance of 140 m. These functions reproduce those numbers exactly from
+//! the paper's reported means (−76.86 dBm and −72.539 dBm at 20 dBm EIRP).
+
+use crate::units::{wavelength_m, DSRC_FREQUENCY_HZ};
+
+/// Distance (m) that free-space path loss implies for a mean RSSI.
+///
+/// Inverts `Pr = EIRP − 20·log10(4πd/λ)`:
+/// `d = λ/(4π) · 10^((EIRP − Pr)/20)`.
+///
+/// # Panics
+///
+/// Panics if `frequency_hz` is not positive.
+pub fn free_space_distance_m(tx_eirp_dbm: f64, mean_rssi_dbm: f64, frequency_hz: f64) -> f64 {
+    let lambda = wavelength_m(frequency_hz);
+    lambda / (4.0 * std::f64::consts::PI) * 10f64.powf((tx_eirp_dbm - mean_rssi_dbm) / 20.0)
+}
+
+/// Distance (m) that the two-ray ground model implies for a mean RSSI.
+///
+/// Inverts `Pr = EIRP + 20·log10(ht·hr) − 40·log10(d)`:
+/// `d = 10^((EIRP + 20·log10(ht·hr) − Pr)/40)`.
+///
+/// # Panics
+///
+/// Panics if either antenna height is not positive.
+pub fn two_ray_distance_m(
+    tx_eirp_dbm: f64,
+    mean_rssi_dbm: f64,
+    tx_height_m: f64,
+    rx_height_m: f64,
+) -> f64 {
+    assert!(
+        tx_height_m > 0.0 && rx_height_m > 0.0,
+        "antenna heights must be positive"
+    );
+    let exponent =
+        (tx_eirp_dbm + 20.0 * (tx_height_m * rx_height_m).log10() - mean_rssi_dbm) / 40.0;
+    10f64.powf(exponent)
+}
+
+/// Convenience: free-space inversion on the DSRC control channel.
+pub fn free_space_distance_dsrc_m(tx_eirp_dbm: f64, mean_rssi_dbm: f64) -> f64 {
+    free_space_distance_m(tx_eirp_dbm, mean_rssi_dbm, DSRC_FREQUENCY_HZ)
+}
+
+/// Convenience: two-ray inversion with the paper's 1 m antenna convention.
+pub fn two_ray_distance_dsrc_m(tx_eirp_dbm: f64, mean_rssi_dbm: f64) -> f64 {
+    two_ray_distance_m(tx_eirp_dbm, mean_rssi_dbm, 1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagation::{FreeSpace, PathLoss, TwoRayGround};
+
+    /// Paper Section III-C, first stationary period: mean −76.86 dBm.
+    #[test]
+    fn observation1_first_period() {
+        let d_fspl = free_space_distance_dsrc_m(20.0, -76.86);
+        let d_trg = two_ray_distance_dsrc_m(20.0, -76.86);
+        assert!((d_fspl - 281.5).abs() < 1.5, "FSPL estimate {d_fspl}");
+        assert!((d_trg - 263.9).abs() < 1.5, "TRG estimate {d_trg}");
+    }
+
+    /// Paper Section III-C, second stationary period: mean −72.539 dBm.
+    #[test]
+    fn observation1_second_period() {
+        let d_fspl = free_space_distance_dsrc_m(20.0, -72.539);
+        let d_trg = two_ray_distance_dsrc_m(20.0, -72.539);
+        assert!((d_fspl - 171.2).abs() < 1.5, "FSPL estimate {d_fspl}");
+        assert!((d_trg - 205.8).abs() < 1.5, "TRG estimate {d_trg}");
+    }
+
+    #[test]
+    fn inversion_roundtrips_the_forward_model() {
+        let fs = FreeSpace::dsrc();
+        for d in [10.0, 140.0, 400.0] {
+            let rssi = fs.mean_rx_dbm(20.0, d);
+            let est = free_space_distance_dsrc_m(20.0, rssi);
+            assert!((est - d).abs() / d < 1e-9, "FSPL roundtrip at {d}");
+        }
+        let trg = TwoRayGround::dsrc_roof_antennas();
+        for d in [300.0, 500.0, 1000.0] {
+            // Beyond crossover only.
+            let rssi = trg.mean_rx_dbm(20.0, d);
+            let est = two_ray_distance_dsrc_m(20.0, rssi);
+            assert!((est - d).abs() / d < 1e-9, "TRG roundtrip at {d}");
+        }
+    }
+
+    #[test]
+    fn stronger_signal_means_shorter_estimate() {
+        assert!(
+            free_space_distance_dsrc_m(20.0, -60.0) < free_space_distance_dsrc_m(20.0, -80.0)
+        );
+        assert!(two_ray_distance_dsrc_m(20.0, -60.0) < two_ray_distance_dsrc_m(20.0, -80.0));
+    }
+
+    #[test]
+    fn higher_tx_power_means_longer_estimate() {
+        assert!(
+            free_space_distance_dsrc_m(23.0, -70.0) > free_space_distance_dsrc_m(17.0, -70.0)
+        );
+    }
+}

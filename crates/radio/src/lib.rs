@@ -1,0 +1,38 @@
+//! Radio-propagation substrate for the Voiceprint reproduction.
+//!
+//! The paper's entire premise is physical: RSSI is produced by a radio
+//! channel that (a) no predefined model captures reliably (Observations
+//! 1–2) and (b) is *shared* by all identities transmitted from the same
+//! physical radio (Observation 3). This crate models that channel:
+//!
+//! * [`units`] — dBm/milliwatt conversions and wavelength helpers.
+//! * [`propagation`] — the [`propagation::PathLoss`] trait and the models
+//!   the paper references: free space, two-ray ground, log-normal
+//!   shadowing, and the dual-slope empirical VANET model of Eq. (1) with
+//!   presets from Table IV.
+//! * [`fading`] — temporally correlated (Gauss–Markov / Ornstein–Uhlenbeck)
+//!   shadowing processes and Rayleigh fast fading.
+//! * [`channel`] — a stateful per-*physical-link* channel that produces
+//!   RSSI samples; Sybil identities share their parent's link state, which
+//!   is exactly what makes their RSSI series near-identical.
+//! * [`fit`] — least-squares fitting of the dual-slope model to measured
+//!   `(distance, RSSI)` samples (reproduces Table IV).
+//! * [`inversion`] — distance estimation from mean RSSI under FSPL and
+//!   two-ray assumptions (reproduces the erroneous estimates of
+//!   Observation 1: 281.5 m / 263.9 m for a true distance of 140 m).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod channel;
+pub mod fading;
+pub mod fit;
+pub mod inversion;
+pub mod propagation;
+pub mod units;
+
+pub use channel::{Channel, ChannelConfig};
+pub use fading::GaussMarkov;
+pub use propagation::{
+    DualSlope, DualSlopeParams, FreeSpace, LogNormalShadowing, PathLoss, TwoRayGround,
+};

@@ -1,0 +1,511 @@
+//! Path-loss models.
+//!
+//! Every model answers "what is the *mean* received power at distance `d`
+//! for a transmitter radiating `EIRP` dBm", plus the standard deviation of
+//! its log-normal shadowing term at that distance (zero for the
+//! deterministic textbook models). Randomness is applied on top by
+//! [`crate::channel::Channel`], never inside the models, so the same model
+//! serves both trace generation and the detectors that *assume* it.
+
+use crate::units::{wavelength_m, DSRC_FREQUENCY_HZ};
+
+/// A large-scale path-loss model.
+///
+/// Implementations must be pure: the same inputs always produce the same
+/// mean. `shadow_sigma_db` exposes the model's own log-normal spread so
+/// stochastic channels know how much correlated noise to add.
+pub trait PathLoss {
+    /// Mean received power in dBm at `distance_m` metres for a transmitter
+    /// radiating `tx_eirp_dbm` (EIRP, i.e. TX power + antenna gain).
+    ///
+    /// Distances below 1 m are clamped to 1 m: the models are measured
+    /// far-field models and the reproduction never needs sub-metre links.
+    fn mean_rx_dbm(&self, tx_eirp_dbm: f64, distance_m: f64) -> f64;
+
+    /// Standard deviation (dB) of the shadowing term at `distance_m`.
+    ///
+    /// Defaults to zero (deterministic model).
+    fn shadow_sigma_db(&self, _distance_m: f64) -> f64 {
+        0.0
+    }
+}
+
+impl<M: PathLoss + ?Sized> PathLoss for &M {
+    fn mean_rx_dbm(&self, tx_eirp_dbm: f64, distance_m: f64) -> f64 {
+        (**self).mean_rx_dbm(tx_eirp_dbm, distance_m)
+    }
+    fn shadow_sigma_db(&self, distance_m: f64) -> f64 {
+        (**self).shadow_sigma_db(distance_m)
+    }
+}
+
+impl<M: PathLoss + ?Sized> PathLoss for Box<M> {
+    fn mean_rx_dbm(&self, tx_eirp_dbm: f64, distance_m: f64) -> f64 {
+        (**self).mean_rx_dbm(tx_eirp_dbm, distance_m)
+    }
+    fn shadow_sigma_db(&self, distance_m: f64) -> f64 {
+        (**self).shadow_sigma_db(distance_m)
+    }
+}
+
+fn clamp_distance(d: f64) -> f64 {
+    if d.is_finite() {
+        d.max(1.0)
+    } else {
+        1.0
+    }
+}
+
+/// Free-space path loss (Friis), the model assumed by Demirbas & Song
+/// (paper reference [14]) and Bouassida et al. [17].
+///
+/// `Pr = EIRP − 20·log10(4πd/λ)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FreeSpace {
+    frequency_hz: f64,
+}
+
+impl FreeSpace {
+    /// Free-space model at the given carrier frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is not positive.
+    pub fn new(frequency_hz: f64) -> Self {
+        assert!(frequency_hz > 0.0, "frequency must be positive");
+        FreeSpace { frequency_hz }
+    }
+
+    /// Free-space model on the DSRC control channel (5.890 GHz).
+    pub fn dsrc() -> Self {
+        FreeSpace::new(DSRC_FREQUENCY_HZ)
+    }
+
+    /// One-way free-space loss in dB at `distance_m`.
+    pub fn path_loss_db(&self, distance_m: f64) -> f64 {
+        let d = clamp_distance(distance_m);
+        let lambda = wavelength_m(self.frequency_hz);
+        20.0 * (4.0 * std::f64::consts::PI * d / lambda).log10()
+    }
+}
+
+impl PathLoss for FreeSpace {
+    fn mean_rx_dbm(&self, tx_eirp_dbm: f64, distance_m: f64) -> f64 {
+        tx_eirp_dbm - self.path_loss_db(distance_m)
+    }
+}
+
+/// Two-ray ground-reflection model, the model assumed by Lv et al.
+/// (paper reference [16]).
+///
+/// Beyond the crossover distance `dc = 4π·ht·hr/λ` the received power is
+/// `Pr = EIRP + 20·log10(ht·hr) − 40·log10(d)`; below it free space
+/// applies (the ground reflection has not yet formed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoRayGround {
+    frequency_hz: f64,
+    tx_height_m: f64,
+    rx_height_m: f64,
+}
+
+impl TwoRayGround {
+    /// Two-ray model with the given antenna heights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency or either height is not positive.
+    pub fn new(frequency_hz: f64, tx_height_m: f64, rx_height_m: f64) -> Self {
+        assert!(frequency_hz > 0.0, "frequency must be positive");
+        assert!(
+            tx_height_m > 0.0 && rx_height_m > 0.0,
+            "antenna heights must be positive"
+        );
+        TwoRayGround {
+            frequency_hz,
+            tx_height_m,
+            rx_height_m,
+        }
+    }
+
+    /// Two-ray model on the DSRC channel with 1 m antennas — the
+    /// convention that reproduces the paper's Observation-1 distance
+    /// estimates exactly.
+    pub fn dsrc_roof_antennas() -> Self {
+        TwoRayGround::new(DSRC_FREQUENCY_HZ, 1.0, 1.0)
+    }
+
+    /// Crossover distance where the two-ray asymptote takes over from free
+    /// space.
+    pub fn crossover_distance_m(&self) -> f64 {
+        4.0 * std::f64::consts::PI * self.tx_height_m * self.rx_height_m
+            / wavelength_m(self.frequency_hz)
+    }
+}
+
+impl PathLoss for TwoRayGround {
+    fn mean_rx_dbm(&self, tx_eirp_dbm: f64, distance_m: f64) -> f64 {
+        let d = clamp_distance(distance_m);
+        if d < self.crossover_distance_m() {
+            FreeSpace::new(self.frequency_hz).mean_rx_dbm(tx_eirp_dbm, d)
+        } else {
+            tx_eirp_dbm + 20.0 * (self.tx_height_m * self.rx_height_m).log10() - 40.0 * d.log10()
+        }
+    }
+}
+
+/// Log-normal shadowing model, the model assumed by Chen et al. [18],
+/// Xiao et al. [20] and Yu et al. [19] (the CPVSAD baseline).
+///
+/// `Pr = EIRP − PL(d0) − 10·γ·log10(d/d0)` with an `N(0, σ²)` shadowing
+/// term, where `PL(d0)` is free-space loss at the reference distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormalShadowing {
+    frequency_hz: f64,
+    path_loss_exponent: f64,
+    reference_distance_m: f64,
+    sigma_db: f64,
+}
+
+impl LogNormalShadowing {
+    /// Creates a log-normal shadowing model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive (σ may be zero).
+    pub fn new(
+        frequency_hz: f64,
+        path_loss_exponent: f64,
+        reference_distance_m: f64,
+        sigma_db: f64,
+    ) -> Self {
+        assert!(frequency_hz > 0.0, "frequency must be positive");
+        assert!(path_loss_exponent > 0.0, "path-loss exponent must be positive");
+        assert!(reference_distance_m > 0.0, "reference distance must be positive");
+        assert!(sigma_db >= 0.0, "sigma must be non-negative");
+        LogNormalShadowing {
+            frequency_hz,
+            path_loss_exponent,
+            reference_distance_m,
+            sigma_db,
+        }
+    }
+
+    /// The baseline detector's configuration in the paper's Section V-C:
+    /// σ = 3.9 dB on the DSRC channel with exponent `gamma`.
+    pub fn dsrc_with_exponent(gamma: f64) -> Self {
+        LogNormalShadowing::new(DSRC_FREQUENCY_HZ, gamma, 1.0, 3.9)
+    }
+
+    /// Path-loss exponent γ.
+    pub fn path_loss_exponent(&self) -> f64 {
+        self.path_loss_exponent
+    }
+}
+
+impl PathLoss for LogNormalShadowing {
+    fn mean_rx_dbm(&self, tx_eirp_dbm: f64, distance_m: f64) -> f64 {
+        let d = clamp_distance(distance_m).max(self.reference_distance_m);
+        let fs = FreeSpace::new(self.frequency_hz);
+        tx_eirp_dbm
+            - fs.path_loss_db(self.reference_distance_m)
+            - 10.0 * self.path_loss_exponent * (d / self.reference_distance_m).log10()
+    }
+
+    fn shadow_sigma_db(&self, _distance_m: f64) -> f64 {
+        self.sigma_db
+    }
+}
+
+/// Parameters of the dual-slope piecewise-linear empirical model (Eq. 1),
+/// as fitted in the paper's Table IV.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DualSlopeParams {
+    /// Reference distance `d0` (m), 1 m in Table IV.
+    pub d0_m: f64,
+    /// Critical (breakpoint) distance `dc` (m).
+    pub dc_m: f64,
+    /// Near path-loss exponent γ1 (valid `d0 ≤ d ≤ dc`).
+    pub gamma1: f64,
+    /// Far path-loss exponent γ2 (valid `d > dc`).
+    pub gamma2: f64,
+    /// Shadowing standard deviation before the breakpoint (dB).
+    pub sigma1_db: f64,
+    /// Shadowing standard deviation beyond the breakpoint (dB).
+    pub sigma2_db: f64,
+}
+
+impl DualSlopeParams {
+    /// Table IV, campus column.
+    pub fn campus() -> Self {
+        DualSlopeParams {
+            d0_m: 1.0,
+            dc_m: 218.0,
+            gamma1: 1.66,
+            gamma2: 5.53,
+            sigma1_db: 2.8,
+            sigma2_db: 3.2,
+        }
+    }
+
+    /// Table IV, rural-area column.
+    pub fn rural() -> Self {
+        DualSlopeParams {
+            d0_m: 1.0,
+            dc_m: 182.0,
+            gamma1: 1.89,
+            gamma2: 5.86,
+            sigma1_db: 3.1,
+            sigma2_db: 3.6,
+        }
+    }
+
+    /// Table IV, urban-area column.
+    pub fn urban() -> Self {
+        DualSlopeParams {
+            d0_m: 1.0,
+            dc_m: 102.0,
+            gamma1: 2.56,
+            gamma2: 6.34,
+            sigma1_db: 3.9,
+            sigma2_db: 5.2,
+        }
+    }
+
+    /// Highway environment. Table IV does not include a highway column;
+    /// these values extend it with a LOS-dominant profile between the
+    /// campus and rural fits (long breakpoint, low near exponent), which is
+    /// what the paper's Section VI field test describes qualitatively.
+    pub fn highway() -> Self {
+        DualSlopeParams {
+            d0_m: 1.0,
+            dc_m: 230.0,
+            gamma1: 1.80,
+            gamma2: 5.40,
+            sigma1_db: 2.9,
+            sigma2_db: 3.3,
+        }
+    }
+
+    /// Returns a copy with every continuous parameter scaled by
+    /// `1 + magnitude·u` for per-parameter perturbations `u ∈ [−1, 1]`
+    /// provided by the caller. Used by the simulator's periodic
+    /// propagation-model change (Section V-A: "modify the parameters of
+    /// the propagation model periodically").
+    pub fn perturbed(&self, u: [f64; 5], magnitude: f64) -> DualSlopeParams {
+        let f = |base: f64, ui: f64| base * (1.0 + magnitude * ui.clamp(-1.0, 1.0));
+        DualSlopeParams {
+            d0_m: self.d0_m,
+            dc_m: f(self.dc_m, u[0]).max(2.0 * self.d0_m),
+            gamma1: f(self.gamma1, u[1]).max(0.1),
+            gamma2: f(self.gamma2, u[2]).max(0.1),
+            sigma1_db: f(self.sigma1_db, u[3]).max(0.0),
+            sigma2_db: f(self.sigma2_db, u[4]).max(0.0),
+        }
+    }
+}
+
+/// The dual-slope piecewise-linear empirical VANET model of Eq. (1)
+/// (Cheng et al., paper reference [22]), anchored at free-space loss at
+/// the reference distance `d0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DualSlope {
+    frequency_hz: f64,
+    params: DualSlopeParams,
+}
+
+impl DualSlope {
+    /// Creates the model from explicit parameters on a carrier frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is non-positive, `d0 <= 0`, or `dc <= d0`.
+    pub fn new(frequency_hz: f64, params: DualSlopeParams) -> Self {
+        assert!(frequency_hz > 0.0, "frequency must be positive");
+        assert!(params.d0_m > 0.0, "reference distance must be positive");
+        assert!(params.dc_m > params.d0_m, "breakpoint must exceed d0");
+        DualSlope {
+            frequency_hz,
+            params,
+        }
+    }
+
+    /// Dual-slope model on the DSRC channel.
+    pub fn dsrc(params: DualSlopeParams) -> Self {
+        DualSlope::new(DSRC_FREQUENCY_HZ, params)
+    }
+
+    /// The model's parameters.
+    pub fn params(&self) -> DualSlopeParams {
+        self.params
+    }
+
+    /// Replaces the parameters (used by the simulator's periodic
+    /// propagation-model change).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new parameters are invalid (see [`DualSlope::new`]).
+    pub fn set_params(&mut self, params: DualSlopeParams) {
+        *self = DualSlope::new(self.frequency_hz, params);
+    }
+
+    /// Received power at the reference distance, `P(d0)` in Eq. (1):
+    /// free-space at `d0`.
+    pub fn p_at_d0(&self, tx_eirp_dbm: f64) -> f64 {
+        tx_eirp_dbm - FreeSpace::new(self.frequency_hz).path_loss_db(self.params.d0_m)
+    }
+}
+
+impl PathLoss for DualSlope {
+    fn mean_rx_dbm(&self, tx_eirp_dbm: f64, distance_m: f64) -> f64 {
+        let p = &self.params;
+        let d = clamp_distance(distance_m).max(p.d0_m);
+        let p_d0 = self.p_at_d0(tx_eirp_dbm);
+        if d <= p.dc_m {
+            p_d0 - 10.0 * p.gamma1 * (d / p.d0_m).log10()
+        } else {
+            p_d0 - 10.0 * p.gamma1 * (p.dc_m / p.d0_m).log10()
+                - 10.0 * p.gamma2 * (d / p.dc_m).log10()
+        }
+    }
+
+    fn shadow_sigma_db(&self, distance_m: f64) -> f64 {
+        if clamp_distance(distance_m) <= self.params.dc_m {
+            self.params.sigma1_db
+        } else {
+            self.params.sigma2_db
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EIRP: f64 = 20.0; // Table III
+
+    #[test]
+    fn free_space_follows_inverse_square() {
+        let m = FreeSpace::dsrc();
+        let p100 = m.mean_rx_dbm(EIRP, 100.0);
+        let p200 = m.mean_rx_dbm(EIRP, 200.0);
+        // Doubling distance loses 20·log10(2) ≈ 6.02 dB.
+        assert!((p100 - p200 - 6.0206).abs() < 1e-3);
+    }
+
+    #[test]
+    fn free_space_observation1_consistency() {
+        // Paper: mean RSSI −76.86 dBm ⇒ FSPL distance estimate 281.5 m.
+        let m = FreeSpace::dsrc();
+        let rx = m.mean_rx_dbm(EIRP, 281.5);
+        assert!((rx - -76.86).abs() < 0.05, "got {rx}");
+    }
+
+    #[test]
+    fn two_ray_observation1_consistency() {
+        // Paper: mean RSSI −76.86 dBm ⇒ two-ray estimate 263.9 m (1 m antennas).
+        let m = TwoRayGround::dsrc_roof_antennas();
+        let rx = m.mean_rx_dbm(EIRP, 263.9);
+        assert!((rx - -76.86).abs() < 0.05, "got {rx}");
+    }
+
+    #[test]
+    fn two_ray_reduces_to_free_space_below_crossover() {
+        let m = TwoRayGround::dsrc_roof_antennas();
+        let fs = FreeSpace::dsrc();
+        let d = m.crossover_distance_m() * 0.5;
+        assert_eq!(m.mean_rx_dbm(EIRP, d), fs.mean_rx_dbm(EIRP, d));
+    }
+
+    #[test]
+    fn two_ray_is_continuousish_and_steeper() {
+        let m = TwoRayGround::dsrc_roof_antennas();
+        let dc = m.crossover_distance_m();
+        // Beyond crossover, doubling distance costs ~12 dB (fourth power).
+        let p1 = m.mean_rx_dbm(EIRP, dc * 2.0);
+        let p2 = m.mean_rx_dbm(EIRP, dc * 4.0);
+        assert!((p1 - p2 - 12.0412).abs() < 1e-3);
+    }
+
+    #[test]
+    fn log_shadowing_exponent_scaling() {
+        let m = LogNormalShadowing::dsrc_with_exponent(3.0);
+        let p10 = m.mean_rx_dbm(EIRP, 10.0);
+        let p100 = m.mean_rx_dbm(EIRP, 100.0);
+        assert!((p10 - p100 - 30.0).abs() < 1e-9);
+        assert_eq!(m.shadow_sigma_db(50.0), 3.9);
+    }
+
+    #[test]
+    fn dual_slope_is_continuous_at_breakpoint() {
+        for params in [
+            DualSlopeParams::campus(),
+            DualSlopeParams::rural(),
+            DualSlopeParams::urban(),
+            DualSlopeParams::highway(),
+        ] {
+            let m = DualSlope::dsrc(params);
+            let below = m.mean_rx_dbm(EIRP, params.dc_m - 1e-6);
+            let above = m.mean_rx_dbm(EIRP, params.dc_m + 1e-6);
+            assert!((below - above).abs() < 1e-3, "discontinuity at {}", params.dc_m);
+        }
+    }
+
+    #[test]
+    fn dual_slope_slopes_match_gammas() {
+        let params = DualSlopeParams::campus();
+        let m = DualSlope::dsrc(params);
+        // Near segment: slope −10·γ1 per decade.
+        let near = m.mean_rx_dbm(EIRP, 10.0) - m.mean_rx_dbm(EIRP, 100.0);
+        assert!((near - 10.0 * params.gamma1).abs() < 1e-9);
+        // Far segment: slope −10·γ2 per decade.
+        let far = m.mean_rx_dbm(EIRP, 300.0) - m.mean_rx_dbm(EIRP, 3000.0);
+        assert!((far - 10.0 * params.gamma2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dual_slope_sigma_switches_at_breakpoint() {
+        let params = DualSlopeParams::urban();
+        let m = DualSlope::dsrc(params);
+        assert_eq!(m.shadow_sigma_db(50.0), params.sigma1_db);
+        assert_eq!(m.shadow_sigma_db(150.0), params.sigma2_db);
+    }
+
+    #[test]
+    fn urban_attenuates_more_than_campus() {
+        // Observation 2: channel conditions differ by environment.
+        let campus = DualSlope::dsrc(DualSlopeParams::campus());
+        let urban = DualSlope::dsrc(DualSlopeParams::urban());
+        for d in [50.0, 150.0, 300.0] {
+            assert!(
+                urban.mean_rx_dbm(EIRP, d) < campus.mean_rx_dbm(EIRP, d),
+                "urban should be weaker at {d} m"
+            );
+        }
+    }
+
+    #[test]
+    fn perturbed_params_stay_valid() {
+        let p = DualSlopeParams::campus().perturbed([1.0, -1.0, 1.0, -1.0, 1.0], 0.3);
+        assert!(p.dc_m > p.d0_m);
+        assert!(p.gamma1 > 0.0 && p.gamma2 > 0.0);
+        assert!(p.sigma1_db >= 0.0 && p.sigma2_db >= 0.0);
+        // Construction must accept it.
+        let _ = DualSlope::dsrc(p);
+    }
+
+    #[test]
+    fn distances_below_one_metre_are_clamped() {
+        let m = FreeSpace::dsrc();
+        assert_eq!(m.mean_rx_dbm(EIRP, 0.0), m.mean_rx_dbm(EIRP, 1.0));
+        assert_eq!(m.mean_rx_dbm(EIRP, -5.0), m.mean_rx_dbm(EIRP, 1.0));
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let boxed: Box<dyn PathLoss> = Box::new(FreeSpace::dsrc());
+        assert_eq!(boxed.mean_rx_dbm(EIRP, 100.0), FreeSpace::dsrc().mean_rx_dbm(EIRP, 100.0));
+        let by_ref: &dyn PathLoss = &TwoRayGround::dsrc_roof_antennas();
+        assert_eq!(by_ref.shadow_sigma_db(10.0), 0.0);
+    }
+}

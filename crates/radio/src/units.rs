@@ -1,0 +1,117 @@
+//! Power and frequency unit helpers.
+//!
+//! Powers are expressed in dBm throughout the workspace (the unit DSRC
+//! radios report RSSI in); these helpers convert to and from linear
+//! milliwatts for interference summation, and derive wavelengths from
+//! carrier frequencies.
+
+/// Speed of light in vacuum, m/s.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// The DSRC control-channel carrier frequency used throughout the paper
+/// (CH 178, 5.890 GHz).
+pub const DSRC_FREQUENCY_HZ: f64 = 5.890e9;
+
+/// Converts a power in dBm to linear milliwatts.
+///
+/// # Example
+///
+/// ```
+/// use vp_radio::units::dbm_to_mw;
+///
+/// assert!((dbm_to_mw(0.0) - 1.0).abs() < 1e-12);
+/// assert!((dbm_to_mw(30.0) - 1000.0).abs() < 1e-9);
+/// ```
+pub fn dbm_to_mw(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0)
+}
+
+/// Converts a power in linear milliwatts to dBm.
+///
+/// # Panics
+///
+/// Panics if `mw` is not strictly positive.
+pub fn mw_to_dbm(mw: f64) -> f64 {
+    assert!(mw > 0.0, "power in milliwatts must be positive");
+    10.0 * mw.log10()
+}
+
+/// Converts a dimensionless ratio in dB to a linear factor.
+pub fn db_to_linear(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts a linear power ratio to dB.
+///
+/// # Panics
+///
+/// Panics if `ratio` is not strictly positive.
+pub fn linear_to_db(ratio: f64) -> f64 {
+    assert!(ratio > 0.0, "power ratio must be positive");
+    10.0 * ratio.log10()
+}
+
+/// Wavelength in metres for a carrier frequency in Hz.
+///
+/// # Panics
+///
+/// Panics if `frequency_hz` is not strictly positive.
+pub fn wavelength_m(frequency_hz: f64) -> f64 {
+    assert!(frequency_hz > 0.0, "frequency must be positive");
+    SPEED_OF_LIGHT / frequency_hz
+}
+
+/// Sums a set of powers given in dBm, returning the total in dBm.
+///
+/// Returns negative infinity for an empty iterator (zero power).
+pub fn sum_powers_dbm<I: IntoIterator<Item = f64>>(powers: I) -> f64 {
+    let total_mw: f64 = powers.into_iter().map(dbm_to_mw).sum();
+    if total_mw == 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        mw_to_dbm(total_mw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbm_mw_roundtrip() {
+        for dbm in [-95.0, -76.86, -30.0, 0.0, 20.0, 32.0] {
+            assert!((mw_to_dbm(dbm_to_mw(dbm)) - dbm).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn known_conversions() {
+        assert!((dbm_to_mw(20.0) - 100.0).abs() < 1e-9); // Table III TX power
+        assert!((dbm_to_mw(-30.0) - 0.001).abs() < 1e-12);
+        assert!((db_to_linear(3.0) - 1.995).abs() < 0.01);
+        assert!((linear_to_db(2.0) - 3.0103).abs() < 1e-3);
+    }
+
+    #[test]
+    fn dsrc_wavelength() {
+        let lambda = wavelength_m(DSRC_FREQUENCY_HZ);
+        assert!((lambda - 0.0509).abs() < 1e-3);
+    }
+
+    #[test]
+    fn summing_powers() {
+        // Two equal powers add 3 dB.
+        let total = sum_powers_dbm([-80.0, -80.0]);
+        assert!((total - -76.9897).abs() < 1e-3);
+        assert_eq!(sum_powers_dbm(std::iter::empty()), f64::NEG_INFINITY);
+        // A dominant power barely moves.
+        let dom = sum_powers_dbm([-60.0, -100.0]);
+        assert!((dom - -60.0).abs() < 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn mw_to_dbm_rejects_zero() {
+        mw_to_dbm(0.0);
+    }
+}

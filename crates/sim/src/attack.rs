@@ -1,0 +1,268 @@
+//! Sybil attack injection (paper Section V-A).
+//!
+//! "We randomly set 5% vehicles as malicious nodes, and each one generates
+//! 3–6 Sybil nodes. [...] The initial transmission power can be randomly
+//! selected from 17–23 dBm for each node, but remains constant during the
+//! simulation."
+//!
+//! Fabricated identities claim positions at a fixed offset from their
+//! parent (they "drive along" with it, like the field test's Figure 4) and
+//! broadcast at their own constant EIRP — the spoofed-power degree of
+//! freedom the enhanced Z-score normalisation must defeat. The optional
+//! *smart attacker* randomises power per packet instead (Section VII's
+//! stated limitation), which is exercised by the ablation experiments.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::config::ScenarioConfig;
+use crate::identity::{NodeInfo, NodeKind, Roster};
+use crate::{IdentityId, RadioId};
+
+/// Identity offset where Sybil pseudonyms start (physical vehicles use
+/// their radio id as identity, so pseudonyms live far above).
+pub const SYBIL_IDENTITY_BASE: IdentityId = 1_000_000;
+
+/// Builds the scenario roster: every physical vehicle beacons under its
+/// own identity, a random `malicious_fraction` of them additionally
+/// fabricate Sybil identities.
+///
+/// `vehicle_count` is the number of physical vehicles (fleet size). At
+/// least one vehicle stays normal so observers exist.
+pub fn build_roster<R: Rng + ?Sized>(
+    config: &ScenarioConfig,
+    vehicle_count: usize,
+    rng: &mut R,
+) -> Roster {
+    let mut roster = Roster::new();
+    let mut indices: Vec<usize> = (0..vehicle_count).collect();
+    indices.shuffle(rng);
+    let malicious_count = ((vehicle_count as f64 * config.malicious_fraction).round() as usize)
+        .min(vehicle_count.saturating_sub(1));
+    let malicious: std::collections::HashSet<usize> =
+        indices.into_iter().take(malicious_count).collect();
+
+    let (power_lo, power_hi) = config.tx_power_range_dbm;
+    let draw_power = |rng: &mut R| {
+        if power_hi > power_lo {
+            rng.gen_range(power_lo..=power_hi)
+        } else {
+            power_lo
+        }
+    };
+    let mut next_sybil_identity = SYBIL_IDENTITY_BASE;
+
+    for vehicle in 0..vehicle_count {
+        let radio = vehicle as RadioId;
+        let is_malicious = malicious.contains(&vehicle);
+        let (lo, hi) = config.sybils_per_malicious;
+        let count = if !is_malicious {
+            0
+        } else if hi > lo {
+            rng.gen_range(lo..=hi)
+        } else {
+            lo
+        };
+        // A malicious radio must fit its whole burst (own beacon + count
+        // Sybil beacons, serialised by CSMA) before the beacon deadline,
+        // so it schedules the burst early enough in the interval; normal
+        // nodes draw any phase.
+        let burst_slack_s = (count + 1) as f64 * 0.0035;
+        let phase_span = (config.beacon_interval_s() - burst_slack_s).max(0.001);
+        let parent_phase = rng.gen::<f64>() * phase_span;
+        roster.push(NodeInfo {
+            identity: vehicle as IdentityId,
+            kind: if is_malicious {
+                NodeKind::Malicious
+            } else {
+                NodeKind::Normal
+            },
+            radio,
+            vehicle_index: vehicle,
+            eirp_dbm: draw_power(rng),
+            position_offset_m: (0.0, 0.0),
+            beacon_phase_s: if is_malicious {
+                parent_phase
+            } else {
+                rng.gen::<f64>() * config.beacon_interval_s()
+            },
+        });
+        if is_malicious {
+            for _ in 0..count {
+                let (off_lo, off_hi) = config.sybil_offset_range_m;
+                let magnitude = if off_hi > off_lo {
+                    rng.gen_range(off_lo..=off_hi)
+                } else {
+                    off_lo
+                };
+                let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                let lateral = rng.gen_range(-1.8..=1.8);
+                roster.push(NodeInfo {
+                    identity: next_sybil_identity,
+                    kind: NodeKind::Sybil { parent: radio },
+                    radio,
+                    vehicle_index: vehicle,
+                    eirp_dbm: draw_power(rng),
+                    position_offset_m: (sign * magnitude, lateral),
+                    // The attacker fabricates its Sybil beacons in a burst
+                    // right after its own (one radio must serialise its
+                    // transmissions regardless); CSMA spaces them by one
+                    // airtime each. All of the radio's beacons therefore
+                    // sample nearly the same shadowing state — the physical
+                    // root of Observation 3's "very similar patterns".
+                    beacon_phase_s: parent_phase,
+                });
+                next_sybil_identity += 1;
+            }
+        }
+    }
+    roster
+}
+
+/// Per-packet EIRP for one beacon of `node`: constant by default; under
+/// the power-control smart attack, malicious radios draw a fresh power
+/// from the configured range for every packet of every identity they
+/// transmit.
+pub fn packet_eirp_dbm<R: Rng + ?Sized>(
+    config: &ScenarioConfig,
+    node: &NodeInfo,
+    rng: &mut R,
+) -> f64 {
+    if config.power_control_attack && node.kind != NodeKind::Normal {
+        let (lo, hi) = config.tx_power_range_dbm;
+        if hi > lo {
+            return rng.gen_range(lo..=hi);
+        }
+    }
+    node.eirp_dbm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config() -> ScenarioConfig {
+        ScenarioConfig::paper_default(50.0)
+    }
+
+    #[test]
+    fn five_percent_malicious_with_3_to_6_sybils() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let roster = build_roster(&config(), 100, &mut rng);
+        assert_eq!(roster.malicious_count(), 5);
+        let sybils = roster.sybil_count();
+        assert!((15..=30).contains(&sybils), "sybils: {sybils}");
+        // Identities: 100 physical + sybils.
+        assert_eq!(roster.len(), 100 + sybils);
+        // Per-malicious counts within 3–6.
+        let mut per_parent = std::collections::HashMap::new();
+        for n in roster.iter() {
+            if let NodeKind::Sybil { parent } = n.kind {
+                *per_parent.entry(parent).or_insert(0u32) += 1;
+            }
+        }
+        assert_eq!(per_parent.len(), 5);
+        for (&parent, &count) in &per_parent {
+            assert!((3..=6).contains(&count), "parent {parent} has {count}");
+        }
+    }
+
+    #[test]
+    fn sybils_share_parent_radio_and_vehicle() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let roster = build_roster(&config(), 60, &mut rng);
+        for n in roster.iter() {
+            if let NodeKind::Sybil { parent } = n.kind {
+                assert_eq!(n.radio, parent);
+                let parent_info = roster.get(parent as IdentityId).unwrap();
+                assert_eq!(parent_info.vehicle_index, n.vehicle_index);
+                assert_eq!(parent_info.kind, NodeKind::Malicious);
+                let (dx, _) = n.position_offset_m;
+                assert!((20.0..=150.0).contains(&dx.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn tx_powers_in_range_and_varied() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let roster = build_roster(&config(), 100, &mut rng);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for n in roster.iter() {
+            assert!((17.0..=23.0).contains(&n.eirp_dbm));
+            min = min.min(n.eirp_dbm);
+            max = max.max(n.eirp_dbm);
+        }
+        assert!(max - min > 2.0, "powers should vary: {min}..{max}");
+    }
+
+    #[test]
+    fn beacon_phases_spread_over_interval() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let roster = build_roster(&config(), 100, &mut rng);
+        let early = roster.iter().filter(|n| n.beacon_phase_s < 0.05).count();
+        let total = roster.len();
+        assert!(
+            (0.3..0.7).contains(&(early as f64 / total as f64)),
+            "phases bunched: {early}/{total}"
+        );
+    }
+
+    #[test]
+    fn constant_power_without_smart_attack() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let roster = build_roster(&config(), 40, &mut rng);
+        let node = roster.iter().next().unwrap().clone();
+        let p1 = packet_eirp_dbm(&config(), &node, &mut rng);
+        let p2 = packet_eirp_dbm(&config(), &node, &mut rng);
+        assert_eq!(p1, p2);
+        assert_eq!(p1, node.eirp_dbm);
+    }
+
+    #[test]
+    fn smart_attack_varies_power_for_attackers_only() {
+        let mut cfg = config();
+        cfg.power_control_attack = true;
+        let mut rng = StdRng::seed_from_u64(6);
+        let roster = build_roster(&cfg, 100, &mut rng);
+        let sybil = roster
+            .iter()
+            .find(|n| matches!(n.kind, NodeKind::Sybil { .. }))
+            .unwrap()
+            .clone();
+        let normal = roster
+            .iter()
+            .find(|n| n.kind == NodeKind::Normal)
+            .unwrap()
+            .clone();
+        let draws: Vec<f64> = (0..8)
+            .map(|_| packet_eirp_dbm(&cfg, &sybil, &mut rng))
+            .collect();
+        assert!(draws.windows(2).any(|w| w[0] != w[1]), "power never varied");
+        for _ in 0..8 {
+            assert_eq!(packet_eirp_dbm(&cfg, &normal, &mut rng), normal.eirp_dbm);
+        }
+    }
+
+    #[test]
+    fn at_least_one_normal_vehicle_survives() {
+        let mut cfg = config();
+        cfg.malicious_fraction = 1.0;
+        let mut rng = StdRng::seed_from_u64(7);
+        let roster = build_roster(&cfg, 10, &mut rng);
+        assert!(roster.iter().any(|n| n.kind == NodeKind::Normal));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(8);
+        let mut b = StdRng::seed_from_u64(8);
+        assert_eq!(
+            build_roster(&config(), 50, &mut a),
+            build_roster(&config(), 50, &mut b)
+        );
+    }
+}

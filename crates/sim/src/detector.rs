@@ -1,0 +1,180 @@
+//! The detector interface.
+//!
+//! A [`Detector`] is invoked once per detection period at each observer
+//! vehicle and sees only what a real OBU would: the RSSI time series it
+//! decoded, its own density estimate, the position claims it received,
+//! and (for cooperative schemes) witness reports. It returns the set of
+//! identities it suspects of being Sybil/malicious.
+
+use crate::IdentityId;
+
+/// A claimed position decoded from a beacon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PositionClaim {
+    /// The claiming identity.
+    pub identity: IdentityId,
+    /// Claimed plane position, metres (GPS-noised; fabricated for Sybils).
+    pub position_m: (f64, f64),
+    /// Claimed travel heading: `true` = forward along the road.
+    pub forward: bool,
+    /// Time of the most recent claim, seconds.
+    pub time_s: f64,
+}
+
+/// Aggregated RSSI evidence one witness holds about one claimer over the
+/// current detection window (what a cooperative detector would receive
+/// over V2V).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WitnessReport {
+    /// The reporting (witness) identity — always a physical vehicle.
+    pub witness: IdentityId,
+    /// Witness position at report time, metres.
+    pub witness_position_m: (f64, f64),
+    /// Witness travel heading: `true` = forward.
+    pub witness_forward: bool,
+    /// `true` when the witness holds an RSU position certification
+    /// (the trust anchor CPVSAD requires).
+    pub certified: bool,
+    /// The identity the witness reports about.
+    pub claimer: IdentityId,
+    /// Mean RSSI of the claimer's beacons at this witness, dBm.
+    pub mean_rssi_dbm: f64,
+    /// Mean distance between the witness and the positions the claimer
+    /// *claimed* in those beacons, metres.
+    pub mean_claimed_distance_m: f64,
+    /// Number of beacons in the mean.
+    pub samples: u32,
+}
+
+/// Everything an observer knows at one detection instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionInput {
+    /// The observing vehicle's own identity.
+    pub observer: IdentityId,
+    /// Detection time, seconds.
+    pub time_s: f64,
+    /// Observer position, metres.
+    pub observer_position_m: (f64, f64),
+    /// Observer travel heading: `true` = forward.
+    pub observer_forward: bool,
+    /// RSSI time series per heard identity within the observation window,
+    /// time-ordered, sorted by identity. Only identities with at least the
+    /// configured minimum number of samples appear.
+    pub series: Vec<(IdentityId, Vec<f64>)>,
+    /// The observer's traffic-density estimate, vehicles per km (Eq. 9).
+    pub estimated_density_per_km: f64,
+    /// Latest decoded position claims of the heard identities.
+    pub claims: Vec<PositionClaim>,
+    /// Witness reports for the current window (cooperative schemes only;
+    /// an independent detector simply ignores them).
+    pub witness_reports: Vec<WitnessReport>,
+}
+
+impl DetectionInput {
+    /// Identities heard in this window, in series order.
+    pub fn neighbour_ids(&self) -> impl Iterator<Item = IdentityId> + '_ {
+        self.series.iter().map(|(id, _)| *id)
+    }
+
+    /// RSSI series of one identity, if heard.
+    pub fn series_of(&self, identity: IdentityId) -> Option<&[f64]> {
+        self.series
+            .binary_search_by_key(&identity, |(id, _)| *id)
+            .ok()
+            .map(|i| self.series[i].1.as_slice())
+    }
+
+    /// Latest claim of one identity, if decoded.
+    pub fn claim_of(&self, identity: IdentityId) -> Option<&PositionClaim> {
+        self.claims.iter().find(|c| c.identity == identity)
+    }
+}
+
+/// A Sybil-attack detector.
+///
+/// Implementations must be deterministic functions of the input (any
+/// internal randomness should be seeded at construction) so experiment
+/// runs reproduce bit-for-bit.
+pub trait Detector {
+    /// Short display name for experiment output (e.g. `"Voiceprint"`).
+    fn name(&self) -> &str;
+
+    /// Returns the identities this detector suspects, given one observer's
+    /// view. The observer's own identity is never a valid suspect.
+    fn detect(&self, input: &DetectionInput) -> Vec<IdentityId>;
+}
+
+impl<D: Detector + ?Sized> Detector for &D {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn detect(&self, input: &DetectionInput) -> Vec<IdentityId> {
+        (**self).detect(input)
+    }
+}
+
+impl<D: Detector + ?Sized> Detector for Box<D> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn detect(&self, input: &DetectionInput) -> Vec<IdentityId> {
+        (**self).detect(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input() -> DetectionInput {
+        DetectionInput {
+            observer: 7,
+            time_s: 20.0,
+            observer_position_m: (100.0, 1.8),
+            observer_forward: true,
+            series: vec![(1, vec![-70.0, -71.0]), (5, vec![-80.0]), (9, vec![-60.0])],
+            estimated_density_per_km: 42.0,
+            claims: vec![PositionClaim {
+                identity: 5,
+                position_m: (150.0, -1.8),
+                forward: false,
+                time_s: 19.9,
+            }],
+            witness_reports: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn series_lookup_uses_sorted_order() {
+        let i = input();
+        assert_eq!(i.series_of(5), Some(&[-80.0][..]));
+        assert!(i.series_of(2).is_none());
+        let ids: Vec<IdentityId> = i.neighbour_ids().collect();
+        assert_eq!(ids, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn claim_lookup() {
+        let i = input();
+        assert_eq!(i.claim_of(5).unwrap().position_m, (150.0, -1.8));
+        assert!(i.claim_of(1).is_none());
+    }
+
+    #[test]
+    fn trait_objects_are_usable() {
+        struct Never;
+        impl Detector for Never {
+            fn name(&self) -> &str {
+                "never"
+            }
+            fn detect(&self, _input: &DetectionInput) -> Vec<IdentityId> {
+                Vec::new()
+            }
+        }
+        let boxed: Box<dyn Detector> = Box::new(Never);
+        assert_eq!(boxed.name(), "never");
+        assert!(boxed.detect(&input()).is_empty());
+        let by_ref: &dyn Detector = &Never;
+        assert!(by_ref.detect(&input()).is_empty());
+    }
+}

@@ -1,0 +1,529 @@
+//! The simulation loop.
+//!
+//! Time advances in beacon intervals (100 ms at the paper's 10 Hz rate).
+//! Each interval: the fleet moves, the propagation model may switch
+//! parameters (Fig. 11b condition), every identity requests one beacon,
+//! the MAC resolves contention and receptions over the stateful correlated
+//! channel, and observers/witnesses log what they decode. At every
+//! detection period each observer's view is assembled into a
+//! [`DetectionInput`] and handed to every attached [`Detector`]; outputs
+//! are scored against ground truth (Eq. 10–13).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use vp_mac::contention::{resolve_contention, BeaconRequest};
+use vp_mac::reception::{resolve_receptions, ReceptionOutcome};
+use vp_mobility::fleet::Fleet;
+use vp_mobility::gps::GpsError;
+use vp_mobility::highway::{Direction, Highway};
+use vp_radio::channel::Channel;
+use vp_radio::propagation::{DualSlope, PathLoss};
+
+use crate::attack::{build_roster, packet_eirp_dbm};
+use crate::config::ScenarioConfig;
+use crate::detector::{DetectionInput, Detector, PositionClaim, WitnessReport};
+use crate::identity::{GroundTruth, NodeKind};
+use crate::metrics::{score_detection, DetectorStats, PacketStats};
+use crate::observations::{DensityEstimator, ObserverLog, WitnessAggregates};
+use crate::{IdentityId, RadioId};
+
+/// Result of one scenario run.
+#[derive(Debug, Clone)]
+pub struct SimulationOutcome {
+    /// Per-detector aggregated DR/FPR over all observers and periods.
+    pub detector_stats: Vec<DetectorStats>,
+    /// Packet-level accounting.
+    pub packet_stats: PacketStats,
+    /// Ground truth of the run (for offline analysis / training labels).
+    pub ground_truth: GroundTruth,
+    /// Detection inputs retained when `config.collect_inputs` is set
+    /// (one per observer per detection period).
+    pub collected: Vec<DetectionInput>,
+    /// Number of identities in the roster (physical + Sybil).
+    pub identity_count: usize,
+    /// Number of Sybil identities.
+    pub sybil_count: usize,
+}
+
+/// Runs one scenario with the given detectors attached.
+///
+/// Fully deterministic for a given `config.seed`.
+///
+/// # Panics
+///
+/// Panics if the configuration fails validation.
+pub fn run_scenario(config: &ScenarioConfig, detectors: &[&dyn Detector]) -> SimulationOutcome {
+    if let Err(why) = config.validate() {
+        panic!("invalid scenario configuration: {why}");
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let highway = Highway::paper_default();
+    let mut fleet = Fleet::spawn_uniform(highway, config.vehicle_count(), &mut rng);
+    let roster = build_roster(config, fleet.len(), &mut rng);
+    let ground_truth = roster.ground_truth();
+    let mut channel = Channel::new(DualSlope::dsrc(config.base_params), config.channel);
+    let gps = GpsError::paper_receiver();
+
+    // Observer and witness-pool selection among normal vehicles.
+    let mut normal_ids: Vec<IdentityId> = roster
+        .iter()
+        .filter(|n| n.kind == NodeKind::Normal)
+        .map(|n| n.identity)
+        .collect();
+    normal_ids.shuffle(&mut rng);
+    let observers: Vec<IdentityId> = normal_ids
+        .iter()
+        .copied()
+        .take(config.observer_count.min(normal_ids.len()))
+        .collect();
+    let witness_pool: Vec<IdentityId> = normal_ids
+        .iter()
+        .copied()
+        .skip(observers.len())
+        .take(config.witness_pool_size)
+        .collect();
+    let observer_set: std::collections::HashMap<RadioId, usize> = observers
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id as RadioId, i))
+        .collect();
+    let witness_set: std::collections::HashSet<RadioId> =
+        witness_pool.iter().map(|&id| id as RadioId).collect();
+
+    let mut logs: Vec<ObserverLog> = observers.iter().map(|_| ObserverLog::new()).collect();
+    let mut density: Vec<DensityEstimator> = observers
+        .iter()
+        .map(|_| DensityEstimator::new(config.density_estimate_period_s, config.assumed_max_range_m))
+        .collect();
+    let mut witness_aggregates = WitnessAggregates::new();
+    let mut latest_claims: std::collections::HashMap<IdentityId, PositionClaim> =
+        std::collections::HashMap::new();
+
+    let mut detector_stats: Vec<DetectorStats> =
+        detectors.iter().map(|d| DetectorStats::new(d.name())).collect();
+    let mut packet_stats = PacketStats::default();
+    let mut collected = Vec::new();
+
+    let interval = config.beacon_interval_s();
+    let intervals = (config.simulation_time_s / interval).round() as usize;
+    let mut next_detection = config.observation_time_s;
+    let mut next_model_switch = config.model_change_period_s;
+
+    // Per-vehicle position snapshot, refreshed each interval.
+    let mut positions: Vec<(f64, f64)> = Vec::with_capacity(fleet.len());
+    let mut forwards: Vec<bool> = Vec::with_capacity(fleet.len());
+
+    for k in 0..intervals {
+        let t0 = k as f64 * interval;
+        if k > 0 {
+            fleet.step(interval, &mut rng);
+        }
+        positions.clear();
+        forwards.clear();
+        for v in fleet.iter() {
+            positions.push(highway.plane_coordinates(v.position()));
+            forwards.push(v.position().direction == Direction::Forward);
+        }
+
+        // Periodic propagation-model parameter change (Section V-A).
+        if let Some(switch_at) = next_model_switch {
+            if t0 + 1e-9 >= switch_at {
+                let u = [(); 5].map(|_| rng.gen_range(-1.0..=1.0));
+                let params = config
+                    .base_params
+                    .perturbed(u, config.model_change_magnitude);
+                channel.set_model(DualSlope::dsrc(params));
+                next_model_switch =
+                    Some(switch_at + config.model_change_period_s.expect("switch enabled"));
+            }
+        }
+        let model = *channel.model(); // copy for the pure-mean closures
+
+        // Beacon requests for every identity.
+        let mut requests: Vec<BeaconRequest> = Vec::with_capacity(roster.len());
+        for node in roster.iter() {
+            let jitter = rng.gen_range(-0.0005..=0.0005);
+            let at = (t0 + node.beacon_phase_s + jitter).clamp(t0, t0 + interval - 1e-6);
+            requests.push(BeaconRequest {
+                tx_radio: node.radio,
+                identity: node.identity,
+                eirp_dbm: packet_eirp_dbm(config, node, &mut rng),
+                requested_at_s: at,
+                expires_at_s: t0 + interval,
+            });
+        }
+        packet_stats.offered += requests.len() as u64;
+
+        let mean_power = |tx: RadioId, eirp: f64, rx: RadioId| {
+            model.mean_rx_dbm(eirp, distance(&positions, tx, rx))
+        };
+        let contention = resolve_contention(&requests, &config.mac, mean_power, &mut rng);
+        packet_stats.on_air += contention.on_air.len() as u64;
+        packet_stats.expired += contention.expired.len() as u64;
+
+        // Update the claimed-position map from what actually went on air,
+        // remembering each packet's claimed position for witness records.
+        let mut packet_claims: Vec<(f64, f64)> = Vec::with_capacity(contention.on_air.len());
+        for packet in &contention.on_air {
+            let node = roster.get(packet.identity).expect("roster identity");
+            let (px, py) = positions[node.vehicle_index];
+            let forward = forwards[node.vehicle_index];
+            let sign = if forward { 1.0 } else { -1.0 };
+            let (dx, dy) = node.position_offset_m;
+            let (cx, cy) = gps.perturb(px + sign * dx, py + dy, &mut rng);
+            packet_claims.push((cx, cy));
+            latest_claims.insert(
+                packet.identity,
+                PositionClaim {
+                    identity: packet.identity,
+                    position_m: (cx, cy),
+                    forward,
+                    time_s: packet.start_s,
+                },
+            );
+        }
+
+        let receivers: Vec<RadioId> = (0..fleet.len() as RadioId).collect();
+        let receptions = {
+            let channel = &mut channel;
+            let rng = &mut rng;
+            let positions = &positions;
+            resolve_receptions(
+                &contention.on_air,
+                &receivers,
+                &config.mac,
+                |tx, eirp, rx| model.mean_rx_dbm(eirp, distance(positions, tx, rx)),
+                |packet, rx| {
+                    channel.sample_rssi(
+                        packet.tx_radio,
+                        rx,
+                        packet.eirp_dbm,
+                        distance(positions, packet.tx_radio, rx),
+                        packet.start_s,
+                        rng,
+                    )
+                },
+            )
+        };
+
+        for reception in &receptions {
+            match reception.outcome {
+                ReceptionOutcome::Received { rssi_dbm } => {
+                    packet_stats.received += 1;
+                    let packet = &contention.on_air[reception.packet_index];
+                    if let Some(&obs_idx) = observer_set.get(&reception.rx_radio) {
+                        logs[obs_idx].record(packet.identity, packet.start_s, rssi_dbm);
+                        density[obs_idx].record(packet.identity, packet.start_s);
+                    }
+                    if witness_set.contains(&reception.rx_radio) {
+                        let (wx, wy) = positions[reception.rx_radio as usize];
+                        let (cx, cy) = packet_claims[reception.packet_index];
+                        let claimed_dist =
+                            ((wx - cx).powi(2) + (wy - cy).powi(2)).sqrt();
+                        witness_aggregates.record(
+                            reception.rx_radio as IdentityId,
+                            packet.identity,
+                            rssi_dbm,
+                            claimed_dist,
+                        );
+                    }
+                }
+                ReceptionOutcome::Collided => packet_stats.collided += 1,
+                ReceptionOutcome::BelowSensitivity => packet_stats.below_sensitivity += 1,
+                ReceptionOutcome::ReceiverBusy => packet_stats.receiver_busy += 1,
+            }
+        }
+
+        // Detection boundary reached?
+        while next_detection <= t0 + interval + 1e-9
+            && next_detection <= config.simulation_time_s + 1e-9
+        {
+            let t_d = next_detection;
+            let witness_reports = build_witness_reports(
+                &witness_pool,
+                &witness_aggregates,
+                &positions,
+                &forwards,
+            );
+            for (obs_idx, &observer) in observers.iter().enumerate() {
+                logs[obs_idx].prune(t_d, config.observation_time_s + 1.0);
+                let series = logs[obs_idx].series_in_window(
+                    t_d,
+                    config.observation_time_s,
+                    config.min_samples_per_series,
+                );
+                if series.is_empty() {
+                    continue;
+                }
+                let heard: Vec<IdentityId> = series.iter().map(|(id, _)| *id).collect();
+                let claims: Vec<PositionClaim> = heard
+                    .iter()
+                    .filter_map(|id| latest_claims.get(id).copied())
+                    .collect();
+                let vehicle_index = roster.get(observer).expect("observer in roster").vehicle_index;
+                let input = DetectionInput {
+                    observer,
+                    time_s: t_d,
+                    observer_position_m: positions[vehicle_index],
+                    observer_forward: forwards[vehicle_index],
+                    series,
+                    estimated_density_per_km: density[obs_idx].density_per_km(),
+                    claims,
+                    witness_reports: witness_reports.clone(),
+                };
+                for (d_idx, detector) in detectors.iter().enumerate() {
+                    let suspects = detector.detect(&input);
+                    let score = score_detection(&heard, &suspects, &ground_truth);
+                    detector_stats[d_idx].push(score);
+                }
+                if config.collect_inputs {
+                    collected.push(input);
+                }
+            }
+            witness_aggregates.reset();
+            next_detection += config.detection_period_s;
+        }
+    }
+
+    SimulationOutcome {
+        detector_stats,
+        packet_stats,
+        ground_truth,
+        collected,
+        identity_count: roster.len(),
+        sybil_count: roster.sybil_count(),
+    }
+}
+
+fn distance(positions: &[(f64, f64)], a: RadioId, b: RadioId) -> f64 {
+    let (ax, ay) = positions[a as usize];
+    let (bx, by) = positions[b as usize];
+    ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+}
+
+fn build_witness_reports(
+    witness_pool: &[IdentityId],
+    aggregates: &WitnessAggregates,
+    positions: &[(f64, f64)],
+    forwards: &[bool],
+) -> Vec<WitnessReport> {
+    let mut reports: Vec<WitnessReport> = aggregates
+        .iter()
+        .map(
+            |(witness, claimer, mean_rssi, mean_dist, samples)| WitnessReport {
+                witness,
+                witness_position_m: positions[witness as usize],
+                witness_forward: forwards[witness as usize],
+                certified: true,
+                claimer,
+                mean_rssi_dbm: mean_rssi,
+                mean_claimed_distance_m: mean_dist,
+                samples,
+            },
+        )
+        .collect();
+    // Deterministic order regardless of hash-map iteration.
+    reports.sort_by_key(|r| (r.witness, r.claimer));
+    let _ = witness_pool;
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_stats::descriptive::pearson;
+
+    /// A detector that never flags anything.
+    struct Silent;
+    impl Detector for Silent {
+        fn name(&self) -> &str {
+            "silent"
+        }
+        fn detect(&self, _input: &DetectionInput) -> Vec<IdentityId> {
+            Vec::new()
+        }
+    }
+
+    /// A detector that flags everything it hears.
+    struct Paranoid;
+    impl Detector for Paranoid {
+        fn name(&self) -> &str {
+            "paranoid"
+        }
+        fn detect(&self, input: &DetectionInput) -> Vec<IdentityId> {
+            input.neighbour_ids().collect()
+        }
+    }
+
+    fn small_config(seed: u64) -> ScenarioConfig {
+        ScenarioConfig::builder()
+            .density_per_km(15.0)
+            .simulation_time_s(45.0)
+            .observer_count(2)
+            .witness_pool_size(6)
+            .malicious_fraction(0.1)
+            .seed(seed)
+            .collect_inputs(true)
+            .build()
+    }
+
+    #[test]
+    fn run_produces_traffic_and_detections() {
+        let outcome = run_scenario(&small_config(1), &[&Silent, &Paranoid]);
+        assert!(outcome.packet_stats.offered > 0);
+        assert!(outcome.packet_stats.received > 1000, "{:?}", outcome.packet_stats);
+        assert!(outcome.sybil_count >= 3);
+        // 45 s sim, first detection at 20 s, period 20 s → 2 boundaries × 2 observers.
+        assert!(!outcome.collected.is_empty());
+        assert!(outcome.collected.len() <= 4);
+
+        // Silent detector: DR 0, FPR 0. Paranoid: DR 1, FPR 1.
+        let silent = &outcome.detector_stats[0];
+        let paranoid = &outcome.detector_stats[1];
+        assert_eq!(silent.mean_detection_rate(), 0.0);
+        assert_eq!(silent.mean_false_positive_rate(), 0.0);
+        assert_eq!(paranoid.mean_detection_rate(), 1.0);
+        assert_eq!(paranoid.mean_false_positive_rate(), 1.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = run_scenario(&small_config(7), &[&Silent]);
+        let b = run_scenario(&small_config(7), &[&Silent]);
+        assert_eq!(a.packet_stats, b.packet_stats);
+        assert_eq!(a.collected.len(), b.collected.len());
+        for (x, y) in a.collected.iter().zip(&b.collected) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_scenario(&small_config(1), &[&Silent]);
+        let b = run_scenario(&small_config(2), &[&Silent]);
+        assert_ne!(a.packet_stats, b.packet_stats);
+    }
+
+    #[test]
+    fn observation_series_look_like_beacon_logs() {
+        let outcome = run_scenario(&small_config(3), &[&Silent]);
+        for input in &outcome.collected {
+            assert!(input.estimated_density_per_km > 0.0);
+            for (id, series) in &input.series {
+                // 20 s window at 10 Hz: at most ~205 samples with jitter.
+                assert!(series.len() <= 210, "identity {id}: {}", series.len());
+                assert!(series.len() >= 10);
+                for &rssi in series {
+                    assert!((-96.0..-20.0).contains(&rssi), "rssi {rssi}");
+                }
+            }
+            // Claims exist for (almost) all heard identities.
+            assert!(input.claims.len() + 2 >= input.series.len());
+        }
+    }
+
+    #[test]
+    fn sybil_series_correlate_with_parent_end_to_end() {
+        // The paper's Observation 3, reproduced through the full stack:
+        // mobility + MAC + correlated channel.
+        let mut checked = 0;
+        let mut correlated = 0;
+        for seed in [4, 5, 6] {
+        let outcome = run_scenario(&small_config(seed), &[&Silent]);
+        let truth = &outcome.ground_truth;
+        for input in &outcome.collected {
+            let sybils: Vec<&(IdentityId, Vec<f64>)> = input
+                .series
+                .iter()
+                .filter(|(id, s)| {
+                    matches!(truth.kind(*id), Some(NodeKind::Sybil { .. })) && s.len() >= 100
+                })
+                .collect();
+            for s in &sybils {
+                let parent_radio = truth.radio(s.0).unwrap();
+                if let Some(parent_series) = input.series_of(parent_radio as IdentityId) {
+                    // Pearson needs aligned samples; packet drops shift one
+                    // series against the other (the very warping DTW exists
+                    // to absorb), so only equal-length pairs — which at low
+                    // density means no drops — are meaningfully comparable
+                    // sample-by-sample.
+                    if parent_series.len() != s.1.len() || parent_series.len() < 100 {
+                        continue;
+                    }
+                    let c = pearson(&s.1, parent_series);
+                    checked += 1;
+                    if c > 0.6 {
+                        correlated += 1;
+                    }
+                }
+            }
+        }
+        }
+        assert!(checked >= 2, "not enough sybil/parent pairs heard: {checked}");
+        assert!(
+            correlated as f64 / checked as f64 > 0.7,
+            "only {correlated}/{checked} pairs correlated"
+        );
+    }
+
+    #[test]
+    fn witness_reports_present_and_certified() {
+        let outcome = run_scenario(&small_config(5), &[&Silent]);
+        let with_reports = outcome
+            .collected
+            .iter()
+            .filter(|i| !i.witness_reports.is_empty())
+            .count();
+        assert!(with_reports > 0, "no witness reports at all");
+        for input in &outcome.collected {
+            for r in &input.witness_reports {
+                assert!(r.certified);
+                assert!(r.samples > 0);
+                assert!((-96.0..-20.0).contains(&r.mean_rssi_dbm));
+            }
+        }
+    }
+
+    #[test]
+    fn congestion_grows_with_density() {
+        let lo = ScenarioConfig::builder()
+            .density_per_km(10.0)
+            .simulation_time_s(25.0)
+            .observer_count(1)
+            .seed(11)
+            .build();
+        let hi = ScenarioConfig::builder()
+            .density_per_km(90.0)
+            .simulation_time_s(25.0)
+            .observer_count(1)
+            .seed(11)
+            .build();
+        let out_lo = run_scenario(&lo, &[]);
+        let out_hi = run_scenario(&hi, &[]);
+        assert!(out_lo.packet_stats.expiry_rate() < 0.02, "{}", out_lo.packet_stats.expiry_rate());
+        assert!(
+            out_hi.packet_stats.expiry_rate() > out_lo.packet_stats.expiry_rate(),
+            "expiry did not grow: {} vs {}",
+            out_hi.packet_stats.expiry_rate(),
+            out_lo.packet_stats.expiry_rate()
+        );
+        assert!(out_hi.packet_stats.collision_rate() > out_lo.packet_stats.collision_rate());
+    }
+
+    #[test]
+    fn model_switching_runs() {
+        let config = ScenarioConfig::builder()
+            .density_per_km(10.0)
+            .simulation_time_s(35.0)
+            .observer_count(1)
+            .model_change_period_s(Some(10.0))
+            .seed(13)
+            .collect_inputs(true)
+            .build();
+        let outcome = run_scenario(&config, &[&Silent]);
+        assert!(outcome.packet_stats.received > 0);
+        assert!(!outcome.collected.is_empty());
+    }
+}

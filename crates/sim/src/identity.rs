@@ -1,0 +1,225 @@
+//! Node roster: which identities exist, who transmits them, and the
+//! ground truth used for scoring.
+
+use std::collections::HashMap;
+
+use crate::{IdentityId, RadioId};
+
+/// What an identity really is (ground truth; never shown to detectors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A legitimate vehicle with its own radio.
+    Normal,
+    /// A physical attacker vehicle (it also beacons under its own ID).
+    Malicious,
+    /// A fabricated identity transmitted by a malicious radio.
+    Sybil {
+        /// The malicious radio that fabricates this identity.
+        parent: RadioId,
+    },
+}
+
+impl NodeKind {
+    /// `true` for malicious and Sybil identities — the numerator classes
+    /// of the paper's detection rate (Eq. 10).
+    pub fn is_illegitimate(&self) -> bool {
+        !matches!(self, NodeKind::Normal)
+    }
+}
+
+/// One entry of the roster: an identity that broadcasts beacons.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeInfo {
+    /// The identity carried in beacons.
+    pub identity: IdentityId,
+    /// Ground-truth kind.
+    pub kind: NodeKind,
+    /// The physical radio transmitting this identity's beacons.
+    pub radio: RadioId,
+    /// Index of the physical vehicle in the fleet.
+    pub vehicle_index: usize,
+    /// Default EIRP for this identity, dBm.
+    pub eirp_dbm: f64,
+    /// Claimed-position offset from the physical vehicle, metres
+    /// `(longitudinal, lateral)`: zero for physical identities, the
+    /// fabricated offset for Sybil identities.
+    pub position_offset_m: (f64, f64),
+    /// Beacon phase within the beacon interval, seconds.
+    pub beacon_phase_s: f64,
+}
+
+/// The complete set of identities in a scenario.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Roster {
+    nodes: Vec<NodeInfo>,
+    by_identity: HashMap<IdentityId, usize>,
+}
+
+impl Roster {
+    /// Creates an empty roster.
+    pub fn new() -> Self {
+        Roster::default()
+    }
+
+    /// Adds one identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identity already exists.
+    pub fn push(&mut self, node: NodeInfo) {
+        let prev = self.by_identity.insert(node.identity, self.nodes.len());
+        assert!(prev.is_none(), "duplicate identity {}", node.identity);
+        self.nodes.push(node);
+    }
+
+    /// All identities, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &NodeInfo> {
+        self.nodes.iter()
+    }
+
+    /// Number of identities (physical + Sybil).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when no identities exist.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Looks up an identity.
+    pub fn get(&self, identity: IdentityId) -> Option<&NodeInfo> {
+        self.by_identity.get(&identity).map(|&i| &self.nodes[i])
+    }
+
+    /// Number of physical vehicles that are malicious.
+    pub fn malicious_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Malicious)
+            .count()
+    }
+
+    /// Number of Sybil identities.
+    pub fn sybil_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Sybil { .. }))
+            .count()
+    }
+
+    /// Extracts the scoring ground truth.
+    pub fn ground_truth(&self) -> GroundTruth {
+        GroundTruth {
+            kind: self
+                .nodes
+                .iter()
+                .map(|n| (n.identity, n.kind))
+                .collect(),
+            radio: self
+                .nodes
+                .iter()
+                .map(|n| (n.identity, n.radio))
+                .collect(),
+        }
+    }
+}
+
+/// Ground-truth oracle for scoring detections (Eq. 10–13). Detectors never
+/// see this.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GroundTruth {
+    kind: HashMap<IdentityId, NodeKind>,
+    radio: HashMap<IdentityId, RadioId>,
+}
+
+impl GroundTruth {
+    /// Kind of an identity (`None` for unknown identities).
+    pub fn kind(&self, identity: IdentityId) -> Option<NodeKind> {
+        self.kind.get(&identity).copied()
+    }
+
+    /// `true` when the identity is malicious or Sybil.
+    pub fn is_illegitimate(&self, identity: IdentityId) -> bool {
+        self.kind
+            .get(&identity)
+            .map_or(false, NodeKind::is_illegitimate)
+    }
+
+    /// The physical radio transmitting this identity.
+    pub fn radio(&self, identity: IdentityId) -> Option<RadioId> {
+        self.radio.get(&identity).copied()
+    }
+
+    /// `true` when two identities share a physical radio (a true Sybil
+    /// pair — including the malicious node's own identity).
+    pub fn same_radio(&self, a: IdentityId, b: IdentityId) -> bool {
+        match (self.radio(a), self.radio(b)) {
+            (Some(ra), Some(rb)) => ra == rb,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(identity: IdentityId, kind: NodeKind, radio: RadioId) -> NodeInfo {
+        NodeInfo {
+            identity,
+            kind,
+            radio,
+            vehicle_index: radio as usize,
+            eirp_dbm: 20.0,
+            position_offset_m: (0.0, 0.0),
+            beacon_phase_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn roster_counts() {
+        let mut r = Roster::new();
+        r.push(node(0, NodeKind::Normal, 0));
+        r.push(node(1, NodeKind::Malicious, 1));
+        r.push(node(100, NodeKind::Sybil { parent: 1 }, 1));
+        r.push(node(101, NodeKind::Sybil { parent: 1 }, 1));
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.malicious_count(), 1);
+        assert_eq!(r.sybil_count(), 2);
+        assert_eq!(r.get(100).unwrap().radio, 1);
+        assert!(r.get(999).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate identity")]
+    fn duplicate_identity_panics() {
+        let mut r = Roster::new();
+        r.push(node(0, NodeKind::Normal, 0));
+        r.push(node(0, NodeKind::Normal, 1));
+    }
+
+    #[test]
+    fn ground_truth_relations() {
+        let mut r = Roster::new();
+        r.push(node(0, NodeKind::Normal, 0));
+        r.push(node(1, NodeKind::Malicious, 1));
+        r.push(node(100, NodeKind::Sybil { parent: 1 }, 1));
+        let gt = r.ground_truth();
+        assert!(!gt.is_illegitimate(0));
+        assert!(gt.is_illegitimate(1));
+        assert!(gt.is_illegitimate(100));
+        assert!(gt.same_radio(1, 100));
+        assert!(!gt.same_radio(0, 100));
+        assert!(!gt.same_radio(0, 999));
+        assert_eq!(gt.kind(100), Some(NodeKind::Sybil { parent: 1 }));
+        assert_eq!(gt.kind(999), None);
+    }
+
+    #[test]
+    fn node_kind_predicates() {
+        assert!(!NodeKind::Normal.is_illegitimate());
+        assert!(NodeKind::Malicious.is_illegitimate());
+        assert!(NodeKind::Sybil { parent: 3 }.is_illegitimate());
+    }
+}

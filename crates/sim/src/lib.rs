@@ -1,0 +1,46 @@
+//! VANET discrete-event simulator with Sybil attack injection.
+//!
+//! This crate reproduces the paper's NS-2 evaluation setup (Section V-A,
+//! Table V): a 2 km bi-directional highway, stochastic epoch mobility,
+//! 10 Hz CCH beaconing through a CSMA/CA MAC over the dual-slope empirical
+//! channel — with 5% of vehicles malicious, each fabricating 3–6 Sybil
+//! identities at spoofed positions and TX powers.
+//!
+//! The simulator is detector-agnostic: anything implementing
+//! [`detector::Detector`] can be attached and is invoked once per
+//! detection period at every observer vehicle with exactly the information
+//! a real OBU would have (its RSSI logs, its density estimate, the claims
+//! it decoded, witness reports). Ground truth never leaks into detectors;
+//! it is used only for scoring (Eq. 10–13).
+//!
+//! * [`config`] — scenario parameters (Table V defaults) with a builder.
+//! * [`identity`] — node roster: normal / malicious / Sybil identities.
+//! * [`attack`] — attack injection (who is malicious, Sybil offsets and
+//!   powers, optional per-packet power-control smart attacker).
+//! * [`observations`] — per-observer RSSI logs, density estimation
+//!   (Eq. 9), witness aggregates, claimed positions.
+//! * [`detector`] — the [`detector::Detector`] trait and its input types.
+//! * [`metrics`] — detection rate / false positive rate (Eq. 10–13).
+//! * [`engine`] — the simulation loop.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod attack;
+pub mod config;
+pub mod detector;
+pub mod engine;
+pub mod identity;
+pub mod metrics;
+pub mod observations;
+
+pub use config::ScenarioConfig;
+pub use detector::{DetectionInput, Detector, PositionClaim, WitnessReport};
+pub use engine::{run_scenario, SimulationOutcome};
+pub use identity::{GroundTruth, NodeKind, Roster};
+pub use metrics::{DetectorStats, PacketStats};
+
+/// Identifier of a physical radio.
+pub type RadioId = vp_radio::channel::RadioId;
+/// Identifier of a claimed identity.
+pub type IdentityId = vp_mac::IdentityId;

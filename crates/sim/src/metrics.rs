@@ -1,0 +1,333 @@
+//! Detection metrics: the paper's Eq. 10–13.
+
+use std::collections::HashSet;
+
+use crate::identity::GroundTruth;
+use crate::IdentityId;
+
+/// One observer-detection's scores (Eq. 10 and 11).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionScore {
+    /// `DR_{i,k}`: detected illegitimate / total illegitimate neighbours.
+    /// `None` when no illegitimate neighbour was in range (the ratio is
+    /// undefined and excluded from the average, matching Eq. 12's
+    /// per-detection averaging of defined terms).
+    pub detection_rate: Option<f64>,
+    /// `FPR_{i,k}`: wrongly flagged normals / normal neighbours. `None`
+    /// when no normal neighbour was heard.
+    pub false_positive_rate: Option<f64>,
+    /// Count of illegitimate neighbours in this window.
+    pub illegitimate_neighbours: usize,
+    /// Count of normal neighbours in this window.
+    pub normal_neighbours: usize,
+}
+
+/// Scores one detection against ground truth (Eq. 10/11).
+///
+/// `neighbours` are the identities the observer heard this window (the
+/// population both rates are defined over); `suspects` is the detector's
+/// output. Suspects outside the neighbourhood are ignored.
+pub fn score_detection(
+    neighbours: &[IdentityId],
+    suspects: &[IdentityId],
+    truth: &GroundTruth,
+) -> DetectionScore {
+    let suspect_set: HashSet<IdentityId> = suspects.iter().copied().collect();
+    let mut illegitimate = 0usize;
+    let mut normal = 0usize;
+    let mut true_pos = 0usize;
+    let mut false_pos = 0usize;
+    for &id in neighbours {
+        if truth.is_illegitimate(id) {
+            illegitimate += 1;
+            if suspect_set.contains(&id) {
+                true_pos += 1;
+            }
+        } else {
+            normal += 1;
+            if suspect_set.contains(&id) {
+                false_pos += 1;
+            }
+        }
+    }
+    DetectionScore {
+        detection_rate: (illegitimate > 0).then(|| true_pos as f64 / illegitimate as f64),
+        false_positive_rate: (normal > 0).then(|| false_pos as f64 / normal as f64),
+        illegitimate_neighbours: illegitimate,
+        normal_neighbours: normal,
+    }
+}
+
+/// Running averages over observers and detection periods (Eq. 12/13).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorStats {
+    name: String,
+    dr_sum: f64,
+    dr_count: usize,
+    fpr_sum: f64,
+    fpr_count: usize,
+    detections: usize,
+}
+
+impl DetectorStats {
+    /// Creates empty statistics for a named detector.
+    pub fn new(name: &str) -> Self {
+        DetectorStats {
+            name: name.to_owned(),
+            dr_sum: 0.0,
+            dr_count: 0,
+            fpr_sum: 0.0,
+            fpr_count: 0,
+            detections: 0,
+        }
+    }
+
+    /// Detector display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Accumulates one detection's score.
+    pub fn push(&mut self, score: DetectionScore) {
+        self.detections += 1;
+        if let Some(dr) = score.detection_rate {
+            self.dr_sum += dr;
+            self.dr_count += 1;
+        }
+        if let Some(fpr) = score.false_positive_rate {
+            self.fpr_sum += fpr;
+            self.fpr_count += 1;
+        }
+    }
+
+    /// Merges statistics from another run of the same detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the detector names differ.
+    pub fn merge(&mut self, other: &DetectorStats) {
+        assert_eq!(self.name, other.name, "merging different detectors");
+        self.dr_sum += other.dr_sum;
+        self.dr_count += other.dr_count;
+        self.fpr_sum += other.fpr_sum;
+        self.fpr_count += other.fpr_count;
+        self.detections += other.detections;
+    }
+
+    /// Average detection rate `DR` (Eq. 12); `NaN` when never defined.
+    pub fn mean_detection_rate(&self) -> f64 {
+        if self.dr_count == 0 {
+            f64::NAN
+        } else {
+            self.dr_sum / self.dr_count as f64
+        }
+    }
+
+    /// Average false positive rate `FPR` (Eq. 13); `NaN` when never
+    /// defined.
+    pub fn mean_false_positive_rate(&self) -> f64 {
+        if self.fpr_count == 0 {
+            f64::NAN
+        } else {
+            self.fpr_sum / self.fpr_count as f64
+        }
+    }
+
+    /// Number of observer-detections accumulated.
+    pub fn detections(&self) -> usize {
+        self.detections
+    }
+}
+
+/// Aggregate packet accounting over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PacketStats {
+    /// Beacons requested by all identities.
+    pub offered: u64,
+    /// Beacons that won the channel.
+    pub on_air: u64,
+    /// Beacons dropped by channel congestion (expiry).
+    pub expired: u64,
+    /// `(packet, receiver)` pairs decoded.
+    pub received: u64,
+    /// `(packet, receiver)` pairs destroyed by collisions.
+    pub collided: u64,
+    /// `(packet, receiver)` pairs below sensitivity.
+    pub below_sensitivity: u64,
+    /// `(packet, receiver)` pairs lost to a transmitting receiver.
+    pub receiver_busy: u64,
+}
+
+impl PacketStats {
+    /// Fraction of offered beacons that never got on air.
+    pub fn expiry_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.expired as f64 / self.offered as f64
+        }
+    }
+
+    /// Collision rate among in-range reception opportunities (received +
+    /// collided).
+    pub fn collision_rate(&self) -> f64 {
+        let opportunities = self.received + self.collided;
+        if opportunities == 0 {
+            0.0
+        } else {
+            self.collided as f64 / opportunities as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::{NodeInfo, NodeKind, Roster};
+
+    fn truth() -> GroundTruth {
+        let mut r = Roster::new();
+        for id in 0..4u64 {
+            r.push(NodeInfo {
+                identity: id,
+                kind: NodeKind::Normal,
+                radio: id,
+                vehicle_index: id as usize,
+                eirp_dbm: 20.0,
+                position_offset_m: (0.0, 0.0),
+                beacon_phase_s: 0.0,
+            });
+        }
+        r.push(NodeInfo {
+            identity: 4,
+            kind: NodeKind::Malicious,
+            radio: 4,
+            vehicle_index: 4,
+            eirp_dbm: 20.0,
+            position_offset_m: (0.0, 0.0),
+            beacon_phase_s: 0.0,
+        });
+        for (k, id) in [100u64, 101].iter().enumerate() {
+            r.push(NodeInfo {
+                identity: *id,
+                kind: NodeKind::Sybil { parent: 4 },
+                radio: 4,
+                vehicle_index: 4,
+                eirp_dbm: 20.0,
+                position_offset_m: (50.0 + k as f64, 0.0),
+                beacon_phase_s: 0.0,
+            });
+        }
+        r.ground_truth()
+    }
+
+    #[test]
+    fn perfect_detection() {
+        let t = truth();
+        let neighbours = [0, 1, 4, 100, 101];
+        let score = score_detection(&neighbours, &[4, 100, 101], &t);
+        assert_eq!(score.detection_rate, Some(1.0));
+        assert_eq!(score.false_positive_rate, Some(0.0));
+        assert_eq!(score.illegitimate_neighbours, 3);
+        assert_eq!(score.normal_neighbours, 2);
+    }
+
+    #[test]
+    fn partial_detection_and_false_positive() {
+        let t = truth();
+        let neighbours = [0, 1, 2, 4, 100, 101];
+        // Caught 2 of 3 illegitimate, flagged one normal.
+        let score = score_detection(&neighbours, &[100, 101, 2], &t);
+        assert!((score.detection_rate.unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((score.false_positive_rate.unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undefined_rates_are_none() {
+        let t = truth();
+        let score = score_detection(&[0, 1], &[], &t);
+        assert_eq!(score.detection_rate, None);
+        assert_eq!(score.false_positive_rate, Some(0.0));
+        let score = score_detection(&[100, 101], &[100], &t);
+        assert_eq!(score.false_positive_rate, None);
+        assert_eq!(score.detection_rate, Some(0.5));
+    }
+
+    #[test]
+    fn out_of_neighbourhood_suspects_ignored() {
+        let t = truth();
+        let score = score_detection(&[0, 4], &[999, 100], &t);
+        assert_eq!(score.detection_rate, Some(0.0));
+        assert_eq!(score.false_positive_rate, Some(0.0));
+    }
+
+    #[test]
+    fn stats_averaging_eq_12_13() {
+        let mut stats = DetectorStats::new("test");
+        stats.push(DetectionScore {
+            detection_rate: Some(1.0),
+            false_positive_rate: Some(0.0),
+            illegitimate_neighbours: 3,
+            normal_neighbours: 10,
+        });
+        stats.push(DetectionScore {
+            detection_rate: Some(0.5),
+            false_positive_rate: Some(0.2),
+            illegitimate_neighbours: 2,
+            normal_neighbours: 10,
+        });
+        stats.push(DetectionScore {
+            detection_rate: None,
+            false_positive_rate: Some(0.1),
+            illegitimate_neighbours: 0,
+            normal_neighbours: 10,
+        });
+        assert!((stats.mean_detection_rate() - 0.75).abs() < 1e-12);
+        assert!((stats.mean_false_positive_rate() - 0.1).abs() < 1e-12);
+        assert_eq!(stats.detections(), 3);
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = DetectorStats::new("d");
+        a.push(DetectionScore {
+            detection_rate: Some(1.0),
+            false_positive_rate: Some(0.0),
+            illegitimate_neighbours: 1,
+            normal_neighbours: 1,
+        });
+        let mut b = DetectorStats::new("d");
+        b.push(DetectionScore {
+            detection_rate: Some(0.0),
+            false_positive_rate: Some(1.0),
+            illegitimate_neighbours: 1,
+            normal_neighbours: 1,
+        });
+        a.merge(&b);
+        assert!((a.mean_detection_rate() - 0.5).abs() < 1e-12);
+        assert!((a.mean_false_positive_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_nan() {
+        let s = DetectorStats::new("x");
+        assert!(s.mean_detection_rate().is_nan());
+        assert!(s.mean_false_positive_rate().is_nan());
+    }
+
+    #[test]
+    fn packet_stats_rates() {
+        let p = PacketStats {
+            offered: 100,
+            on_air: 80,
+            expired: 20,
+            received: 60,
+            collided: 20,
+            below_sensitivity: 300,
+            receiver_busy: 5,
+        };
+        assert!((p.expiry_rate() - 0.2).abs() < 1e-12);
+        assert!((p.collision_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(PacketStats::default().expiry_rate(), 0.0);
+    }
+}

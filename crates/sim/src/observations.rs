@@ -1,0 +1,282 @@
+//! Per-observer observation state: RSSI logs, density estimation (Eq. 9),
+//! witness aggregates and claimed positions.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::IdentityId;
+
+/// Rolling RSSI log of one observer: per heard identity, the timestamped
+/// samples within the observation window.
+#[derive(Debug, Clone, Default)]
+pub struct ObserverLog {
+    samples: HashMap<IdentityId, Vec<(f64, f64)>>,
+}
+
+impl ObserverLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        ObserverLog::default()
+    }
+
+    /// Records one decoded beacon.
+    pub fn record(&mut self, identity: IdentityId, time_s: f64, rssi_dbm: f64) {
+        self.samples
+            .entry(identity)
+            .or_default()
+            .push((time_s, rssi_dbm));
+    }
+
+    /// Drops samples older than `horizon_s` before `now_s` and forgets
+    /// identities that fall silent entirely.
+    pub fn prune(&mut self, now_s: f64, horizon_s: f64) {
+        let cutoff = now_s - horizon_s;
+        self.samples.retain(|_, v| {
+            v.retain(|&(t, _)| t >= cutoff);
+            !v.is_empty()
+        });
+    }
+
+    /// Number of identities with at least one sample.
+    pub fn heard_count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Extracts the RSSI series (values only, time-ordered) of every
+    /// identity with at least `min_samples` samples in
+    /// `[now_s − window_s, now_s]`, sorted by identity.
+    pub fn series_in_window(
+        &self,
+        now_s: f64,
+        window_s: f64,
+        min_samples: usize,
+    ) -> Vec<(IdentityId, Vec<f64>)> {
+        let cutoff = now_s - window_s;
+        let mut out: Vec<(IdentityId, Vec<f64>)> = self
+            .samples
+            .iter()
+            .filter_map(|(&id, samples)| {
+                let mut values: Vec<(f64, f64)> = samples
+                    .iter()
+                    .copied()
+                    .filter(|&(t, _)| t >= cutoff && t <= now_s)
+                    .collect();
+                if values.len() < min_samples.max(1) {
+                    return None;
+                }
+                values.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+                Some((id, values.into_iter().map(|(_, r)| r).collect()))
+            })
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+}
+
+/// Density estimator implementing the paper's Eq. 9:
+/// `den = N_heard / (2 · Dist_max)`, where `N_heard` is the number of
+/// distinct identities decoded during one density-estimation period.
+///
+/// (The paper notes the first estimate cannot exclude Sybil identities;
+/// this estimator never excludes them, a conservative simplification that
+/// is consistent between threshold training and detection.)
+#[derive(Debug, Clone)]
+pub struct DensityEstimator {
+    period_s: f64,
+    max_range_m: f64,
+    bucket_start_s: f64,
+    heard: HashSet<IdentityId>,
+    latest_estimate: Option<f64>,
+}
+
+impl DensityEstimator {
+    /// Creates an estimator with the given period and `Dist_max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not positive.
+    pub fn new(period_s: f64, max_range_m: f64) -> Self {
+        assert!(period_s > 0.0, "estimation period must be positive");
+        assert!(max_range_m > 0.0, "max range must be positive");
+        DensityEstimator {
+            period_s,
+            max_range_m,
+            bucket_start_s: 0.0,
+            heard: HashSet::new(),
+            latest_estimate: None,
+        }
+    }
+
+    /// Records a decoded identity at `time_s`, rolling the estimation
+    /// bucket when the period elapses.
+    pub fn record(&mut self, identity: IdentityId, time_s: f64) {
+        while time_s >= self.bucket_start_s + self.period_s {
+            self.roll();
+        }
+        self.heard.insert(identity);
+    }
+
+    fn roll(&mut self) {
+        self.latest_estimate = Some(self.estimate_from(self.heard.len()));
+        self.heard.clear();
+        self.bucket_start_s += self.period_s;
+    }
+
+    fn estimate_from(&self, heard: usize) -> f64 {
+        heard as f64 / (2.0 * self.max_range_m / 1000.0)
+    }
+
+    /// Current density estimate, vehicles per km: the last completed
+    /// bucket, or the running bucket when none has completed yet.
+    pub fn density_per_km(&self) -> f64 {
+        self.latest_estimate
+            .unwrap_or_else(|| self.estimate_from(self.heard.len()))
+    }
+}
+
+/// Per-window witness aggregates: per `(witness, claimer)` pair, the mean
+/// RSSI of the claimer's beacons at the witness **and** the mean distance
+/// between the witness and the position the claimer *claimed in each
+/// beacon*. Reset at each detection boundary.
+///
+/// The mean claimed distance is what a real cooperative witness would
+/// report: both vehicles move during the window, so a verifier comparing
+/// mean RSSI against a propagation model must evaluate the model at the
+/// distance that actually prevailed, not at the final snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct WitnessAggregates {
+    sums: HashMap<(IdentityId, IdentityId), (f64, f64, u32)>,
+}
+
+impl WitnessAggregates {
+    /// Creates an empty aggregate store.
+    pub fn new() -> Self {
+        WitnessAggregates::default()
+    }
+
+    /// Records one beacon decoded by a witness, with the distance between
+    /// the witness and the beacon's claimed position.
+    pub fn record(
+        &mut self,
+        witness: IdentityId,
+        claimer: IdentityId,
+        rssi_dbm: f64,
+        claimed_distance_m: f64,
+    ) {
+        let e = self.sums.entry((witness, claimer)).or_insert((0.0, 0.0, 0));
+        e.0 += rssi_dbm;
+        e.1 += claimed_distance_m;
+        e.2 += 1;
+    }
+
+    /// Mean RSSI, mean claimed distance and sample count for a pair, if
+    /// any samples exist.
+    pub fn mean(&self, witness: IdentityId, claimer: IdentityId) -> Option<(f64, f64, u32)> {
+        self.sums
+            .get(&(witness, claimer))
+            .map(|&(rssi, dist, n)| (rssi / n as f64, dist / n as f64, n))
+    }
+
+    /// Iterates over `(witness, claimer, mean_rssi, mean_distance,
+    /// samples)`.
+    pub fn iter(&self) -> impl Iterator<Item = (IdentityId, IdentityId, f64, f64, u32)> + '_ {
+        self.sums
+            .iter()
+            .map(|(&(w, c), &(rssi, dist, n))| (w, c, rssi / n as f64, dist / n as f64, n))
+    }
+
+    /// Clears all aggregates (detection-window boundary).
+    pub fn reset(&mut self) {
+        self.sums.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_window_extraction() {
+        let mut log = ObserverLog::new();
+        for k in 0..30 {
+            log.record(1, k as f64, -70.0 - k as f64);
+        }
+        log.record(2, 25.0, -80.0);
+        let series = log.series_in_window(29.0, 10.0, 1);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].0, 1);
+        assert_eq!(series[0].1.len(), 11); // t in [19, 29]
+        assert_eq!(series[0].1[0], -89.0);
+        assert_eq!(series[1].1, vec![-80.0]);
+    }
+
+    #[test]
+    fn log_min_samples_filter() {
+        let mut log = ObserverLog::new();
+        log.record(1, 0.0, -70.0);
+        log.record(1, 1.0, -70.0);
+        log.record(2, 0.5, -75.0);
+        let series = log.series_in_window(1.0, 5.0, 2);
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].0, 1);
+    }
+
+    #[test]
+    fn log_series_time_ordered_even_if_recorded_out_of_order() {
+        let mut log = ObserverLog::new();
+        log.record(1, 2.0, -72.0);
+        log.record(1, 1.0, -71.0);
+        log.record(1, 3.0, -73.0);
+        let series = log.series_in_window(3.0, 10.0, 1);
+        assert_eq!(series[0].1, vec![-71.0, -72.0, -73.0]);
+    }
+
+    #[test]
+    fn prune_drops_old_samples_and_empty_ids() {
+        let mut log = ObserverLog::new();
+        log.record(1, 0.0, -70.0);
+        log.record(1, 10.0, -70.0);
+        log.record(2, 0.0, -75.0);
+        log.prune(10.0, 5.0);
+        assert_eq!(log.heard_count(), 1);
+        assert_eq!(log.series_in_window(10.0, 100.0, 1).len(), 1);
+    }
+
+    #[test]
+    fn density_estimate_eq9() {
+        // 70 identities heard with Dist_max = 700 m ⇒ 70 / 1.4 = 50 vhls/km.
+        let mut est = DensityEstimator::new(10.0, 700.0);
+        for id in 0..70 {
+            est.record(id, 0.5);
+        }
+        assert!((est.density_per_km() - 50.0).abs() < 1e-9);
+        // Rolling the bucket: the completed bucket becomes the estimate.
+        est.record(0, 10.5);
+        assert!((est.density_per_km() - 50.0).abs() < 1e-9);
+        // Next roll with only one identity heard.
+        est.record(0, 20.5);
+        assert!((est.density_per_km() - 1.0 / 1.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn density_counts_distinct_identities() {
+        let mut est = DensityEstimator::new(10.0, 700.0);
+        for _ in 0..100 {
+            est.record(42, 1.0);
+        }
+        assert!((est.density_per_km() - 1.0 / 1.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn witness_aggregates_mean_and_reset() {
+        let mut w = WitnessAggregates::new();
+        w.record(1, 9, -70.0, 100.0);
+        w.record(1, 9, -72.0, 120.0);
+        w.record(2, 9, -80.0, 300.0);
+        assert_eq!(w.mean(1, 9), Some((-71.0, 110.0, 2)));
+        assert_eq!(w.mean(2, 9), Some((-80.0, 300.0, 1)));
+        assert_eq!(w.mean(3, 9), None);
+        assert_eq!(w.iter().count(), 2);
+        w.reset();
+        assert_eq!(w.mean(1, 9), None);
+    }
+}

@@ -1,0 +1,344 @@
+//! Streaming and batch descriptive statistics.
+//!
+//! The central type is [`Summary`], a Welford-style online accumulator that
+//! computes count, mean, variance, and extrema in a single numerically
+//! stable pass. Batch helpers ([`mean`], [`std_dev`], [`median`],
+//! [`quantile`], ...) operate on slices.
+
+/// Single-pass (Welford) accumulator for count, mean, variance and extrema.
+///
+/// Values can be pushed one at a time or collected from an iterator. All
+/// statistics are available at any point; querying an empty summary yields
+/// `NaN` for moments and extrema.
+///
+/// # Example
+///
+/// ```
+/// use vp_stats::descriptive::Summary;
+///
+/// let mut s = Summary::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 5.0);
+/// assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::NAN,
+            max: f64::NAN,
+        }
+    }
+
+    /// Builds a summary over every element of a slice.
+    pub fn of(values: &[f64]) -> Self {
+        values.iter().copied().collect()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        if self.count == 1 {
+            self.min = x;
+            self.max = x;
+        } else {
+            if x < self.min {
+                self.min = x;
+            }
+            if x > self.max {
+                self.max = x;
+            }
+        }
+    }
+
+    /// Merges another summary into this one (parallel Welford combine).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations pushed so far.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` if no observations have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, dividing by `n` (`NaN` when empty).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance, dividing by `n - 1` (`NaN` when fewer than two
+    /// observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation (`NaN` when empty).
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample standard deviation (`NaN` when fewer than two observations).
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation (`NaN` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`NaN` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Range `max - min` (`NaN` when empty).
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Summary::new()
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// Arithmetic mean of a slice (`NaN` when empty).
+pub fn mean(values: &[f64]) -> f64 {
+    Summary::of(values).mean()
+}
+
+/// Population standard deviation of a slice (`NaN` when empty).
+pub fn std_dev(values: &[f64]) -> f64 {
+    Summary::of(values).population_std_dev()
+}
+
+/// Population variance of a slice (`NaN` when empty).
+pub fn variance(values: &[f64]) -> f64 {
+    Summary::of(values).population_variance()
+}
+
+/// Linear-interpolation quantile (`q` in `[0, 1]`) of a slice.
+///
+/// Returns `NaN` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or any value is `NaN`.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile q must lie in [0, 1]");
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median of a slice (`NaN` when empty).
+pub fn median(values: &[f64]) -> f64 {
+    quantile(values, 0.5)
+}
+
+/// Pearson correlation coefficient between two equal-length slices.
+///
+/// Returns `NaN` if either slice has zero variance or the slices are empty.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "pearson requires equal-length slices");
+    if x.is_empty() {
+        return f64::NAN;
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx) * (a - mx);
+        syy += (b - my) * (b - my);
+    }
+    sxy / (sxx.sqrt() * syy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_nan() {
+        let s = Summary::new();
+        assert!(s.is_empty());
+        assert!(s.mean().is_nan());
+        assert!(s.population_variance().is_nan());
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.population_variance(), 0.0);
+        assert!(s.sample_variance().is_nan());
+        assert_eq!(s.min(), 3.5);
+        assert_eq!(s.max(), 3.5);
+    }
+
+    #[test]
+    fn known_variance() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean(), 5.0);
+        assert!((s.population_variance() - 4.0).abs() < 1e-12);
+        assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.range(), 7.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let all = [1.0, -2.0, 3.5, 8.0, 0.25, -7.75, 4.0];
+        let mut left = Summary::of(&all[..3]);
+        let right = Summary::of(&all[3..]);
+        left.merge(&right);
+        let seq = Summary::of(&all);
+        assert!((left.mean() - seq.mean()).abs() < 1e-12);
+        assert!((left.population_variance() - seq.population_variance()).abs() < 1e-12);
+        assert_eq!(left.len(), seq.len());
+        assert_eq!(left.min(), seq.min());
+        assert_eq!(left.max(), seq.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = Summary::of(&[1.0, 2.0]);
+        let before = s;
+        s.merge(&Summary::new());
+        assert_eq!(s, before);
+
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn quantiles_and_median() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 4.0);
+        assert_eq!(median(&v), 2.5);
+        assert_eq!(median(&[5.0]), 5.0);
+        assert!(median(&[]).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile q must lie in [0, 1]")]
+    fn quantile_rejects_out_of_range() {
+        quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn pearson_perfectly_correlated() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extend_and_collect() {
+        let mut s: Summary = [1.0, 2.0].into_iter().collect();
+        s.extend([3.0, 4.0]);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.mean(), 2.5);
+    }
+}

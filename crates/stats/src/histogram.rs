@@ -1,0 +1,323 @@
+//! Fixed-width binned histograms.
+//!
+//! Used to reproduce the RSSI distributions of the paper's Figure 5 and to
+//! run simple shape checks (e.g. "RSSI values barely show the normal
+//! distribution", Observation 1).
+
+use crate::descriptive::Summary;
+use crate::special::normal_cdf;
+
+/// A histogram with uniform-width bins over `[lo, hi)`.
+///
+/// Out-of-range samples are counted in underflow/overflow buckets so no
+/// observation is silently lost.
+///
+/// # Example
+///
+/// ```
+/// use vp_stats::histogram::Histogram;
+///
+/// let mut h = Histogram::new(-100.0, -60.0, 40)?;
+/// h.extend([-76.5, -77.0, -76.9, -95.0]);
+/// assert_eq!(h.total_count(), 4);
+/// assert_eq!(h.count_in_range(), 4);
+/// # Ok::<(), vp_stats::histogram::InvalidHistogramError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    summary: Summary,
+}
+
+/// Error returned for invalid histogram construction parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidHistogramError {
+    what: &'static str,
+}
+
+impl std::fmt::Display for InvalidHistogramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid histogram parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for InvalidHistogramError {}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` uniform bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `lo >= hi`, the bounds are not finite, or
+    /// `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, InvalidHistogramError> {
+        if !(lo.is_finite() && hi.is_finite()) {
+            return Err(InvalidHistogramError {
+                what: "bounds must be finite",
+            });
+        }
+        if lo >= hi {
+            return Err(InvalidHistogramError {
+                what: "lower bound must be below upper bound",
+            });
+        }
+        if bins == 0 {
+            return Err(InvalidHistogramError {
+                what: "bin count must be positive",
+            });
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            summary: Summary::new(),
+        })
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.summary.push(x);
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.bins.len() as f64
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.bins.len(), "bin index out of range");
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Iterator over `(bin_center, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        (0..self.bins.len()).map(move |i| (self.bin_center(i), self.bins[i]))
+    }
+
+    /// Total observations including under/overflow.
+    pub fn total_count(&self) -> u64 {
+        self.summary.len()
+    }
+
+    /// Observations that landed inside `[lo, hi)`.
+    pub fn count_in_range(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Streaming summary (mean, std dev, extrema) of all observations.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// Fraction of in-range mass in each bin (empty histogram → all zeros).
+    pub fn normalized(&self) -> Vec<f64> {
+        let total = self.count_in_range() as f64;
+        if total == 0.0 {
+            return vec![0.0; self.bins.len()];
+        }
+        self.bins.iter().map(|&c| c as f64 / total).collect()
+    }
+
+    /// Chi-square goodness-of-fit statistic against a normal distribution
+    /// with the histogram's own mean and standard deviation, together with
+    /// the number of bins that entered the statistic.
+    ///
+    /// Bins whose expected count falls below `min_expected` are pooled with
+    /// their neighbours (standard practice for the chi-square test). A large
+    /// statistic relative to the returned bin count signals a non-normal
+    /// sample — the quantitative form of the paper's Observation 1.
+    pub fn chi_square_vs_normal(&self, min_expected: f64) -> (f64, usize) {
+        let n = self.count_in_range() as f64;
+        if n == 0.0 {
+            return (0.0, 0);
+        }
+        let mu = self.summary.mean();
+        let sigma = self.summary.population_std_dev();
+        if sigma == 0.0 {
+            return (f64::INFINITY, 1);
+        }
+        // Expected probability mass per bin under N(mu, sigma^2).
+        let w = self.bin_width();
+        let mut groups: Vec<(f64, f64)> = Vec::new(); // (observed, expected)
+        let mut acc_obs = 0.0;
+        let mut acc_exp = 0.0;
+        for i in 0..self.bins.len() {
+            let a = self.lo + i as f64 * w;
+            let b = a + w;
+            let p = normal_cdf((b - mu) / sigma) - normal_cdf((a - mu) / sigma);
+            acc_obs += self.bins[i] as f64;
+            acc_exp += p * n;
+            if acc_exp >= min_expected {
+                groups.push((acc_obs, acc_exp));
+                acc_obs = 0.0;
+                acc_exp = 0.0;
+            }
+        }
+        if acc_exp > 0.0 || acc_obs > 0.0 {
+            if let Some(last) = groups.last_mut() {
+                last.0 += acc_obs;
+                last.1 += acc_exp;
+            } else {
+                groups.push((acc_obs, acc_exp.max(min_expected)));
+            }
+        }
+        let stat = groups
+            .iter()
+            .filter(|(_, e)| *e > 0.0)
+            .map(|(o, e)| (o - e) * (o - e) / e)
+            .sum();
+        (stat, groups.len())
+    }
+
+    /// Renders a simple ASCII bar chart, one row per bin, for terminal
+    /// experiment output.
+    pub fn render_ascii(&self, max_width: usize) -> String {
+        let peak = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (center, count) in self.iter() {
+            let bar = (count as usize * max_width) / peak as usize;
+            out.push_str(&format!("{center:9.2} | {:<width$} {count}\n", "#".repeat(bar), width = max_width));
+        }
+        out
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 0.0, 4).is_err());
+        assert!(Histogram::new(0.0, 0.0, 4).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 4).is_ok());
+    }
+
+    #[test]
+    fn binning_is_correct() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.extend([0.0, 0.5, 1.0, 9.99, 5.5]);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.count(5), 1);
+        assert_eq!(h.count_in_range(), 5);
+    }
+
+    #[test]
+    fn under_and_overflow_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.extend([-0.5, 0.5, 1.0, 2.0]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total_count(), 4);
+        assert_eq!(h.count_in_range(), 1);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.bin_center(0), 1.0);
+        assert_eq!(h.bin_center(4), 9.0);
+        assert_eq!(h.bin_width(), 2.0);
+    }
+
+    #[test]
+    fn normalized_sums_to_one() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        h.extend([0.5, 1.5, 1.6, 3.2]);
+        let n = h.normalized();
+        assert!((n.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(n[1], 0.5);
+    }
+
+    #[test]
+    fn normalized_empty_is_zero() {
+        let h = Histogram::new(0.0, 4.0, 4).unwrap();
+        assert_eq!(h.normalized(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn chi_square_detects_bimodal_sample() {
+        // A clearly bimodal sample should have a much larger statistic than
+        // a (quasi-)normal one with the same count.
+        let mut bimodal = Histogram::new(-10.0, 10.0, 20).unwrap();
+        let mut normal_ish = Histogram::new(-10.0, 10.0, 20).unwrap();
+        for i in 0..500 {
+            let t = i as f64 / 500.0;
+            bimodal.push(if i % 2 == 0 { -5.0 + t } else { 5.0 - t });
+            // Roughly normal via sum of uniforms (Irwin–Hall ≈ Gaussian).
+            let u = ((i * 2654435761u64 as usize) % 1000) as f64 / 1000.0;
+            let v = ((i * 40503) % 1000) as f64 / 1000.0;
+            let w = ((i * 69069) % 1000) as f64 / 1000.0;
+            normal_ish.push((u + v + w - 1.5) * 4.0);
+        }
+        let (chi_bi, _) = bimodal.chi_square_vs_normal(5.0);
+        let (chi_no, _) = normal_ish.chi_square_vs_normal(5.0);
+        assert!(chi_bi > 4.0 * chi_no, "bimodal {chi_bi} vs normal {chi_no}");
+    }
+
+    #[test]
+    fn ascii_render_contains_counts() {
+        let mut h = Histogram::new(0.0, 2.0, 2).unwrap();
+        h.extend([0.5, 0.6, 1.5]);
+        let art = h.render_ascii(10);
+        assert!(art.contains('#'));
+        assert!(art.lines().count() == 2);
+    }
+}

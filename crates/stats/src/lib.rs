@@ -1,0 +1,46 @@
+//! Statistics substrate for the Voiceprint reproduction.
+//!
+//! This crate collects the numerical building blocks the rest of the
+//! workspace needs so that the reproduction only depends on [`rand`] for
+//! entropy:
+//!
+//! * [`descriptive`] — streaming and batch descriptive statistics
+//!   (Welford-style mean/variance, quantiles, summaries).
+//! * [`distributions`] — random samplers (normal, truncated normal,
+//!   exponential) built on top of any [`rand::Rng`].
+//! * [`special`] — special functions: `erf`, log-gamma, regularised
+//!   incomplete gamma, and the normal / chi-square CDFs required by the
+//!   CPVSAD baseline's statistical test.
+//! * [`regression`] — ordinary least squares and the segmented
+//!   ("dual-slope") regression used to fit the empirical VANET path-loss
+//!   model of the paper's Table IV.
+//! * [`histogram`] — fixed-width binned histograms for reproducing the RSSI
+//!   distributions of the paper's Figure 5.
+//! * [`matrix`] — small dense matrices with Gaussian-elimination solve and
+//!   inverse, enough for Linear Discriminant Analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use vp_stats::descriptive::Summary;
+//!
+//! let summary: Summary = [1.0, 2.0, 3.0, 4.0].iter().copied().collect();
+//! assert_eq!(summary.mean(), 2.5);
+//! assert_eq!(summary.len(), 4);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod descriptive;
+pub mod distributions;
+pub mod histogram;
+pub mod matrix;
+pub mod regression;
+pub mod special;
+
+pub use descriptive::Summary;
+pub use distributions::{Exponential, Normal, TruncatedNormal};
+pub use histogram::Histogram;
+pub use matrix::Matrix;
+pub use regression::{DualSlopeFit, LinearFit};

@@ -1,0 +1,359 @@
+//! Small dense matrices with just enough linear algebra for Linear
+//! Discriminant Analysis: multiplication, transpose, Gaussian-elimination
+//! solve and inverse.
+//!
+//! This is intentionally not a general-purpose linear-algebra library; the
+//! classifiers in `vp-classify` work in low dimension (the paper's decision
+//! boundary lives in the 2-D density × DTW-distance plane).
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+///
+/// # Example
+///
+/// ```
+/// use vp_stats::matrix::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]);
+/// let inv = a.inverse().expect("diagonal matrix is invertible");
+/// assert!((inv.get(0, 0) - 0.5).abs() < 1e-12);
+/// assert!((inv.get(1, 1) - 0.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Error returned when an operation requires an invertible / non-singular
+/// matrix but the input is (numerically) singular.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SingularMatrixError;
+
+impl std::fmt::Display for SingularMatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular or numerically ill-conditioned")
+    }
+}
+
+impl std::error::Error for SingularMatrixError {}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are empty or ragged.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix needs at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Builds a column vector from a slice.
+    pub fn column(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "column vector needs at least one entry");
+        Matrix {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on incompatible dimensions.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "incompatible dimensions for multiply");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    out.data[r * rhs.cols + c] += a * rhs.get(k, c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Scales every element.
+    pub fn scale(&self, s: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v * s).collect(),
+        }
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched dimensions.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "dimension mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+        }
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched dimensions.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "dimension mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+        }
+    }
+
+    /// Solves `self · x = b` via Gaussian elimination with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] when the matrix is singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not square or `b` has mismatched rows.
+    pub fn solve(&self, b: &Matrix) -> Result<Matrix, SingularMatrixError> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(b.rows, self.rows, "rhs row count mismatch");
+        let n = self.rows;
+        let m = b.cols;
+        let mut a = self.data.clone();
+        let mut x = b.data.clone();
+        for col in 0..n {
+            let pivot = (col..n)
+                .max_by(|&i, &j| {
+                    a[i * n + col]
+                        .abs()
+                        .partial_cmp(&a[j * n + col].abs())
+                        .unwrap()
+                })
+                .unwrap();
+            if a[pivot * n + col].abs() < 1e-12 {
+                return Err(SingularMatrixError);
+            }
+            if pivot != col {
+                for k in 0..n {
+                    a.swap(col * n + k, pivot * n + k);
+                }
+                for k in 0..m {
+                    x.swap(col * m + k, pivot * m + k);
+                }
+            }
+            for row in col + 1..n {
+                let f = a[row * n + col] / a[col * n + col];
+                if f == 0.0 {
+                    continue;
+                }
+                for k in col..n {
+                    a[row * n + k] -= f * a[col * n + k];
+                }
+                for k in 0..m {
+                    x[row * m + k] -= f * x[col * m + k];
+                }
+            }
+        }
+        for col in (0..n).rev() {
+            for k in 0..m {
+                let mut sum = x[col * m + k];
+                for j in col + 1..n {
+                    sum -= a[col * n + j] * x[j * m + k];
+                }
+                x[col * m + k] = sum / a[col * n + col];
+            }
+        }
+        Ok(Matrix {
+            rows: n,
+            cols: m,
+            data: x,
+        })
+    }
+
+    /// Matrix inverse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] when the matrix is singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not square.
+    pub fn inverse(&self) -> Result<Matrix, SingularMatrixError> {
+        self.solve(&Matrix::identity(self.rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_multiplication() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = Matrix::identity(2);
+        assert_eq!(a.mul(&i), a);
+        assert_eq!(i.mul(&a), a);
+    }
+
+    #[test]
+    fn known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.mul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().rows(), 3);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5; x - y = 1  =>  x = 2, y = 1
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, -1.0]]);
+        let b = Matrix::column(&[5.0, 1.0]);
+        let x = a.solve(&b).unwrap();
+        assert!((x.get(0, 0) - 2.0).abs() < 1e-12);
+        assert!((x.get(1, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_self_is_identity() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]);
+        let inv = a.inverse().unwrap();
+        let prod = a.mul(&inv);
+        for r in 0..2 {
+            for c in 0..2 {
+                let expected = if r == c { 1.0 } else { 0.0 };
+                assert!((prod.get(r, c) - expected).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(a.inverse().unwrap_err(), SingularMatrixError);
+        assert!(SingularMatrixError.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn solve_3x3_with_pivoting() {
+        // First pivot is zero; requires row exchange.
+        let a = Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, -2.0, -3.0], &[-1.0, 1.0, 2.0]]);
+        let b = Matrix::column(&[-8.0, 0.0, 3.0]);
+        let x = a.solve(&b).unwrap();
+        // Verify by substitution.
+        for r in 0..3 {
+            let lhs: f64 = (0..3).map(|c| a.get(r, c) * x.get(c, 0)).sum();
+            assert!((lhs - b.get(r, 0)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, -1.0]]);
+        assert_eq!(a.add(&b), Matrix::from_rows(&[&[4.0, 1.0]]));
+        assert_eq!(a.sub(&b), Matrix::from_rows(&[&[-2.0, 3.0]]));
+        assert_eq!(a.scale(2.0), Matrix::from_rows(&[&[2.0, 4.0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix index out of bounds")]
+    fn out_of_bounds_get_panics() {
+        Matrix::zeros(2, 2).get(2, 0);
+    }
+}

@@ -1,0 +1,324 @@
+//! Least-squares regression, including the segmented ("dual-slope") fit
+//! used for the paper's empirical path-loss model (Table IV).
+//!
+//! The paper fits Equation (1):
+//!
+//! ```text
+//! Pr(d) = P(d0) − 10·γ1·log10(d/d0) + Xσ1                      d0 ≤ d ≤ dc
+//! Pr(d) = P(d0) − 10·γ1·log10(dc/d0) − 10·γ2·log10(d/dc) + Xσ2     d > dc
+//! ```
+//!
+//! In the regressor variable `u = log10(d/d0)` this is a continuous
+//! piecewise-linear function with breakpoint `uc = log10(dc/d0)`; fitting
+//! reduces to a breakpoint scan with an anchored two-segment least-squares
+//! solve at each candidate. [`fit_dual_slope`] performs exactly that.
+
+/// Result of an ordinary least-squares line fit `y ≈ slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R² (1 for a perfect fit; `NaN` when the
+    /// response is constant).
+    pub r_squared: f64,
+    /// Residual standard deviation (population convention).
+    pub residual_std_dev: f64,
+}
+
+impl LinearFit {
+    /// Predicted response at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Ordinary least squares fit of `y` on `x`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or contain fewer than two points,
+/// or if all `x` values coincide.
+pub fn fit_line(x: &[f64], y: &[f64]) -> LinearFit {
+    assert_eq!(x.len(), y.len(), "fit_line requires equal-length slices");
+    assert!(x.len() >= 2, "fit_line requires at least two points");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        sxx += (a - mx) * (a - mx);
+        sxy += (a - mx) * (b - my);
+        syy += (b - my) * (b - my);
+    }
+    assert!(sxx > 0.0, "fit_line requires non-degenerate x values");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let mut ss_res = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let r = b - (slope * a + intercept);
+        ss_res += r * r;
+    }
+    let r_squared = if syy == 0.0 { f64::NAN } else { 1.0 - ss_res / syy };
+    LinearFit {
+        slope,
+        intercept,
+        r_squared,
+        residual_std_dev: (ss_res / n as f64).sqrt(),
+    }
+}
+
+/// Result of a continuous two-segment ("dual-slope") least-squares fit.
+///
+/// In path-loss terms (with `u = log10(d/d0)`): `slope1 = −10·γ1`,
+/// `slope2 = −10·γ2`, the breakpoint is `uc = log10(dc/d0)` and `intercept`
+/// is the received power at the reference distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DualSlopeFit {
+    /// Intercept of the first segment (value at `x = 0`).
+    pub intercept: f64,
+    /// Slope of the first segment (`x <= breakpoint`).
+    pub slope1: f64,
+    /// Slope of the second segment (`x > breakpoint`), continuous at the
+    /// breakpoint.
+    pub slope2: f64,
+    /// Breakpoint location on the x axis.
+    pub breakpoint: f64,
+    /// Residual standard deviation over points in the first segment.
+    pub sigma1: f64,
+    /// Residual standard deviation over points in the second segment.
+    pub sigma2: f64,
+    /// Total residual sum of squares of the chosen fit.
+    pub rss: f64,
+}
+
+impl DualSlopeFit {
+    /// Predicted response at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        if x <= self.breakpoint {
+            self.intercept + self.slope1 * x
+        } else {
+            self.intercept + self.slope1 * self.breakpoint + self.slope2 * (x - self.breakpoint)
+        }
+    }
+}
+
+/// Fits a continuous two-segment piecewise-linear model by scanning
+/// candidate breakpoints over a grid between the `lo_quantile` and
+/// `hi_quantile` of the observed `x` values.
+///
+/// For each candidate breakpoint `c` the model
+/// `y = a + b1·x` (for `x ≤ c`) and `y = a + b1·c + b2·(x − c)` (for `x > c`)
+/// is linear in `(a, b1, b2)` and solved in closed form via the normal
+/// equations; the candidate with minimal residual sum of squares wins.
+///
+/// # Panics
+///
+/// Panics if slices differ in length, fewer than four points are supplied,
+/// or the quantile window is empty.
+pub fn fit_dual_slope(
+    x: &[f64],
+    y: &[f64],
+    candidates: usize,
+    lo_quantile: f64,
+    hi_quantile: f64,
+) -> DualSlopeFit {
+    assert_eq!(x.len(), y.len(), "fit_dual_slope requires equal-length slices");
+    assert!(x.len() >= 4, "fit_dual_slope requires at least four points");
+    assert!(candidates >= 2, "need at least two breakpoint candidates");
+    let lo = crate::descriptive::quantile(x, lo_quantile);
+    let hi = crate::descriptive::quantile(x, hi_quantile);
+    assert!(lo < hi, "breakpoint search window is empty");
+
+    let mut best: Option<DualSlopeFit> = None;
+    for i in 0..candidates {
+        let c = lo + (hi - lo) * i as f64 / (candidates - 1) as f64;
+        if let Some(fit) = fit_with_breakpoint(x, y, c) {
+            if best.as_ref().map_or(true, |b| fit.rss < b.rss) {
+                best = Some(fit);
+            }
+        }
+    }
+    best.expect("no valid breakpoint produced a solvable fit")
+}
+
+/// Fits the continuous two-segment model for one fixed breakpoint `c`.
+///
+/// Returns `None` when either segment holds fewer than two points or the
+/// normal equations are singular.
+pub fn fit_with_breakpoint(x: &[f64], y: &[f64], c: f64) -> Option<DualSlopeFit> {
+    let n1 = x.iter().filter(|&&v| v <= c).count();
+    let n2 = x.len() - n1;
+    if n1 < 2 || n2 < 2 {
+        return None;
+    }
+    // Design matrix columns: [1, min(x, c), max(x - c, 0)] for parameters
+    // (a, b1, b2). Accumulate the 3x3 normal equations.
+    let mut ata = [[0.0f64; 3]; 3];
+    let mut atb = [0.0f64; 3];
+    for (&xi, &yi) in x.iter().zip(y) {
+        let row = [1.0, xi.min(c), (xi - c).max(0.0)];
+        for i in 0..3 {
+            for j in 0..3 {
+                ata[i][j] += row[i] * row[j];
+            }
+            atb[i] += row[i] * yi;
+        }
+    }
+    let params = solve3(ata, atb)?;
+    let (a, b1, b2) = (params[0], params[1], params[2]);
+    let mut rss = 0.0;
+    let mut ss1 = 0.0;
+    let mut ss2 = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        let pred = if xi <= c {
+            a + b1 * xi
+        } else {
+            a + b1 * c + b2 * (xi - c)
+        };
+        let r = yi - pred;
+        rss += r * r;
+        if xi <= c {
+            ss1 += r * r;
+        } else {
+            ss2 += r * r;
+        }
+    }
+    Some(DualSlopeFit {
+        intercept: a,
+        slope1: b1,
+        slope2: b2,
+        breakpoint: c,
+        sigma1: (ss1 / n1 as f64).sqrt(),
+        sigma2: (ss2 / n2 as f64).sqrt(),
+        rss,
+    })
+}
+
+/// Solves a 3×3 linear system by Gaussian elimination with partial
+/// pivoting. Returns `None` for a singular system.
+fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
+    for col in 0..3 {
+        let pivot = (col..3)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .unwrap();
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..3 {
+            let f = a[row][col] / a[col][col];
+            for k in col..3 {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = [0.0; 3];
+    for col in (0..3).rev() {
+        let mut sum = b[col];
+        for k in col + 1..3 {
+            sum -= a[col][k] * x[k];
+        }
+        x[col] = sum / a[col][col];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_fit_exact() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let fit = fit_line(&x, &y);
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!(fit.residual_std_dev < 1e-12);
+        assert!((fit.predict(10.0) - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn line_fit_with_noise_has_reasonable_r2() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        // y = -2x + 5 with deterministic "noise".
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&v| -2.0 * v + 5.0 + 0.1 * (v * 13.7).sin())
+            .collect();
+        let fit = fit_line(&x, &y);
+        assert!((fit.slope + 2.0).abs() < 0.05);
+        assert!((fit.intercept - 5.0).abs() < 0.1);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    #[should_panic(expected = "fit_line requires at least two points")]
+    fn line_fit_rejects_single_point() {
+        fit_line(&[1.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-degenerate")]
+    fn line_fit_rejects_constant_x() {
+        fit_line(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn dual_slope_recovers_exact_breakpoint_model() {
+        // Piecewise: y = 10 - 1.5 x for x <= 2, then slope -5 beyond.
+        let truth = DualSlopeFit {
+            intercept: 10.0,
+            slope1: -1.5,
+            slope2: -5.0,
+            breakpoint: 2.0,
+            sigma1: 0.0,
+            sigma2: 0.0,
+            rss: 0.0,
+        };
+        let x: Vec<f64> = (0..80).map(|i| i as f64 * 0.05).collect();
+        let y: Vec<f64> = x.iter().map(|&v| truth.predict(v)).collect();
+        let fit = fit_dual_slope(&x, &y, 161, 0.05, 0.95);
+        assert!((fit.intercept - 10.0).abs() < 0.05, "intercept {}", fit.intercept);
+        assert!((fit.slope1 + 1.5).abs() < 0.05, "slope1 {}", fit.slope1);
+        assert!((fit.slope2 + 5.0).abs() < 0.1, "slope2 {}", fit.slope2);
+        assert!((fit.breakpoint - 2.0).abs() < 0.1, "breakpoint {}", fit.breakpoint);
+    }
+
+    #[test]
+    fn dual_slope_prediction_is_continuous() {
+        let x: Vec<f64> = (0..40).map(|i| i as f64 * 0.1).collect();
+        let y: Vec<f64> = x.iter().map(|&v| if v < 2.0 { -v } else { -2.0 - 3.0 * (v - 2.0) }).collect();
+        let fit = fit_dual_slope(&x, &y, 101, 0.1, 0.9);
+        let eps = 1e-9;
+        let below = fit.predict(fit.breakpoint - eps);
+        let above = fit.predict(fit.breakpoint + eps);
+        assert!((below - above).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_with_breakpoint_rejects_tiny_segments() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [0.0, 1.0, 2.0, 3.0];
+        assert!(fit_with_breakpoint(&x, &y, -1.0).is_none());
+        assert!(fit_with_breakpoint(&x, &y, 10.0).is_none());
+    }
+
+    #[test]
+    fn solve3_identity() {
+        let sol = solve3([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]], [3.0, -1.0, 2.0]).unwrap();
+        assert_eq!(sol, [3.0, -1.0, 2.0]);
+    }
+
+    #[test]
+    fn solve3_singular_returns_none() {
+        assert!(solve3([[1.0, 1.0, 1.0], [1.0, 1.0, 1.0], [0.0, 0.0, 1.0]], [1.0, 2.0, 3.0]).is_none());
+    }
+}

@@ -1,0 +1,349 @@
+//! Special functions: `erf`, log-gamma, regularised incomplete gamma, and
+//! the derived normal and chi-square CDFs.
+//!
+//! The CPVSAD baseline (paper Section V-C, reference [19]) runs a
+//! statistical consistency test at significance level 0.05; the chi-square
+//! CDF implemented here supplies its p-values. The normal CDF/quantile are
+//! used when reasoning about the paper's shadowing models.
+
+use std::f64::consts::PI;
+
+/// Error function `erf(x)`, accurate to ~1.2e-7 (Abramowitz & Stegun 7.1.26
+/// refined with the Numerical Recipes `erfc` rational approximation).
+pub fn erf(x: f64) -> f64 {
+    1.0 - erfc(x)
+}
+
+/// Complementary error function `erfc(x) = 1 - erf(x)`.
+///
+/// Uses the Numerical Recipes Chebyshev-fitted approximation, relative
+/// error below 1.2e-7 everywhere.
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Natural log of the gamma function, Lanczos approximation (g = 5, n = 6).
+///
+/// # Panics
+///
+/// Panics if `x <= 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument");
+    const COEF: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_9e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for c in COEF {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+/// Regularised lower incomplete gamma function `P(a, x)`.
+///
+/// Computed by series expansion for `x < a + 1` and by continued fraction
+/// otherwise (Numerical Recipes `gammp`).
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_p requires a > 0");
+    assert!(x >= 0.0, "gamma_p requires x >= 0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_series(a, x)
+    } else {
+        1.0 - gamma_cont_frac(a, x)
+    }
+}
+
+/// Regularised upper incomplete gamma function `Q(a, x) = 1 - P(a, x)`.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_q requires a > 0");
+    assert!(x >= 0.0, "gamma_q requires x >= 0");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_series(a, x)
+    } else {
+        gamma_cont_frac(a, x)
+    }
+}
+
+fn gamma_series(a: f64, x: f64) -> f64 {
+    const ITMAX: usize = 500;
+    const EPS: f64 = 3.0e-14;
+    let gln = ln_gamma(a);
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..ITMAX {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - gln).exp()
+}
+
+fn gamma_cont_frac(a: f64, x: f64) -> f64 {
+    const ITMAX: usize = 500;
+    const EPS: f64 = 3.0e-14;
+    const FPMIN: f64 = 1.0e-300;
+    let gln = ln_gamma(a);
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=ITMAX {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    (-x + a * x.ln() - gln).exp() * h
+}
+
+/// Standard normal cumulative distribution function `Φ(z)`.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * erfc(-z / std::f64::consts::SQRT_2)
+}
+
+/// Standard normal probability density function `φ(z)`.
+pub fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * PI).sqrt()
+}
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// refined with one Halley step; absolute error below 1e-12).
+///
+/// # Panics
+///
+/// Panics if `p` is outside the open interval `(0, 1)`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal_quantile requires p in (0, 1)");
+    // Acklam's coefficients.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Halley refinement step.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Chi-square cumulative distribution function with `k` degrees of freedom.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `x < 0`.
+pub fn chi_square_cdf(x: f64, k: u32) -> f64 {
+    assert!(k > 0, "chi-square requires at least one degree of freedom");
+    assert!(x >= 0.0, "chi-square CDF requires x >= 0");
+    gamma_p(k as f64 / 2.0, x / 2.0)
+}
+
+/// Upper-tail probability of the chi-square distribution,
+/// `P(X > x)` with `k` degrees of freedom — the p-value of a chi-square
+/// goodness-of-fit statistic.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `x < 0`.
+pub fn chi_square_sf(x: f64, k: u32) -> f64 {
+    assert!(k > 0, "chi-square requires at least one degree of freedom");
+    assert!(x >= 0.0, "chi-square survival requires x >= 0");
+    gamma_q(k as f64 / 2.0, x / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from Abramowitz & Stegun tables.
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(0.5) - 0.5204998778).abs() < 1e-6);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(2.0) - 0.9953222650).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+    }
+
+    #[test]
+    fn erfc_symmetry() {
+        for x in [-3.0, -1.5, -0.1, 0.0, 0.7, 2.2] {
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+            assert!((erf(-x) + erf(x)).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        let facts = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
+        for (n, f) in facts.iter().enumerate() {
+            let x = (n + 1) as f64;
+            assert!(
+                (ln_gamma(x) - f64::ln(*f)).abs() < 1e-9,
+                "ln_gamma({x}) mismatch"
+            );
+        }
+        // Γ(1/2) = sqrt(π)
+        assert!((ln_gamma(0.5) - (std::f64::consts::PI).sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_p_q_complementary() {
+        for a in [0.5, 1.0, 2.5, 10.0] {
+            for x in [0.0, 0.3, 1.0, 4.0, 20.0] {
+                assert!((gamma_p(a, x) + gamma_q(a, x) - 1.0).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.9750021049).abs() < 1e-6);
+        assert!((normal_cdf(-1.96) - 0.0249978951).abs() < 1e-6);
+        // The "three sigma" rule the paper's enhanced Z-score relies on:
+        // 99.73% of mass within ±3σ.
+        let within_3_sigma = normal_cdf(3.0) - normal_cdf(-3.0);
+        assert!((within_3_sigma - 0.9973).abs() < 1e-4);
+    }
+
+    #[test]
+    fn normal_quantile_roundtrip() {
+        for p in [0.001, 0.025, 0.3, 0.5, 0.77, 0.975, 0.999] {
+            let z = normal_quantile(p);
+            assert!((normal_cdf(z) - p).abs() < 1e-9, "roundtrip failed for {p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "normal_quantile requires p in (0, 1)")]
+    fn normal_quantile_rejects_endpoint() {
+        normal_quantile(1.0);
+    }
+
+    #[test]
+    fn chi_square_reference_values() {
+        // P(X <= k) at the distribution's mean grows toward 0.5 with k.
+        // Spot values from standard chi-square tables:
+        // CDF(3.841, 1) = 0.95, CDF(5.991, 2) = 0.95, CDF(18.307, 10) = 0.95.
+        assert!((chi_square_cdf(3.841, 1) - 0.95).abs() < 1e-3);
+        assert!((chi_square_cdf(5.991, 2) - 0.95).abs() < 1e-3);
+        assert!((chi_square_cdf(18.307, 10) - 0.95).abs() < 1e-3);
+    }
+
+    #[test]
+    fn chi_square_sf_complement() {
+        for k in [1u32, 3, 8, 30] {
+            for x in [0.0, 1.0, 7.5, 40.0] {
+                assert!((chi_square_cdf(x, k) + chi_square_sf(x, k) - 1.0).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn chi_square_monotone_in_x() {
+        let mut prev = -1.0;
+        for i in 0..50 {
+            let x = i as f64 * 0.8;
+            let c = chi_square_cdf(x, 5);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+}

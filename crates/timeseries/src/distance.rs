@@ -1,0 +1,144 @@
+//! Lock-step distance measures (paper Eq. 2).
+//!
+//! These match series point-to-point and therefore require equal lengths —
+//! the limitation that motivates DTW in the presence of VANET packet loss
+//! (paper Section IV-B). They remain useful as the fast path when two
+//! series happen to align, and as the ablation baseline
+//! (`abl_distance_measures` experiment).
+
+/// Lp norm distance (Eq. 2): `(Σ |xᵢ − yᵢ|^p)^(1/p)`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or `p == 0`.
+pub fn lp_norm(x: &[f64], y: &[f64], p: u32) -> f64 {
+    assert_eq!(x.len(), y.len(), "lp_norm requires equal-length series");
+    assert!(p > 0, "lp_norm requires p >= 1");
+    let sum: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(&a, &b)| (a - b).abs().powi(p as i32))
+        .sum();
+    sum.powf(1.0 / p as f64)
+}
+
+/// Euclidean (L2) distance.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn euclidean(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "euclidean requires equal-length series");
+    x.iter()
+        .zip(y)
+        .map(|(&a, &b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Squared Euclidean distance — the same accumulated-cost convention DTW
+/// uses (Eq. 3/6), so the two are directly comparable:
+/// `dtw(x, y) <= squared_euclidean(x, y)` for equal-length series.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn squared_euclidean(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "squared_euclidean requires equal-length series"
+    );
+    x.iter().zip(y).map(|(&a, &b)| (a - b) * (a - b)).sum()
+}
+
+/// Manhattan (L1) distance.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn manhattan(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "manhattan requires equal-length series");
+    x.iter().zip(y).map(|(&a, &b)| (a - b).abs()).sum()
+}
+
+/// Chebyshev (L∞) distance: the largest point-wise gap.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn chebyshev(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "chebyshev requires equal-length series");
+    x.iter()
+        .zip(y)
+        .map(|(&a, &b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const X: [f64; 4] = [0.0, 1.0, 2.0, 3.0];
+    const Y: [f64; 4] = [1.0, 1.0, 4.0, 0.0];
+
+    #[test]
+    fn euclidean_known_value() {
+        // diffs: 1, 0, -2, 3 -> sum sq = 1 + 0 + 4 + 9 = 14
+        assert!((euclidean(&X, &Y) - 14.0f64.sqrt()).abs() < 1e-12);
+        assert!((squared_euclidean(&X, &Y) - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lp_specialisations_agree() {
+        assert!((lp_norm(&X, &Y, 2) - euclidean(&X, &Y)).abs() < 1e-12);
+        assert!((lp_norm(&X, &Y, 1) - manhattan(&X, &Y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_and_chebyshev_known_values() {
+        assert_eq!(manhattan(&X, &Y), 6.0);
+        assert_eq!(chebyshev(&X, &Y), 3.0);
+    }
+
+    #[test]
+    fn identical_series_have_zero_distance() {
+        for p in 1..5 {
+            assert_eq!(lp_norm(&X, &X, p), 0.0);
+        }
+        assert_eq!(euclidean(&X, &X), 0.0);
+        assert_eq!(chebyshev(&X, &X), 0.0);
+    }
+
+    #[test]
+    fn distances_are_symmetric() {
+        assert_eq!(euclidean(&X, &Y), euclidean(&Y, &X));
+        assert_eq!(manhattan(&X, &Y), manhattan(&Y, &X));
+        assert_eq!(chebyshev(&X, &Y), chebyshev(&Y, &X));
+    }
+
+    #[test]
+    fn norm_ordering() {
+        // L1 >= L2 >= Linf for any pair.
+        assert!(manhattan(&X, &Y) >= euclidean(&X, &Y));
+        assert!(euclidean(&X, &Y) >= chebyshev(&X, &Y));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn length_mismatch_panics() {
+        euclidean(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "p >= 1")]
+    fn lp_zero_p_panics() {
+        lp_norm(&X, &Y, 0);
+    }
+
+    #[test]
+    fn empty_series_distance_is_zero() {
+        assert_eq!(euclidean(&[], &[]), 0.0);
+        assert_eq!(manhattan(&[], &[]), 0.0);
+    }
+}

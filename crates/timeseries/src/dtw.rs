@@ -1,0 +1,349 @@
+//! Exact Dynamic Time Warping (paper Eq. 3–6).
+//!
+//! The cost of aligning points `xᵢ` and `yⱼ` is the squared difference
+//! `c(i,j) = (xᵢ − yⱼ)²` (Eq. 3); the DTW distance is the minimum total
+//! accumulated cost `D(N,M)` of a monotone warp path from `(1,1)` to
+//! `(N,M)` (Eq. 4–6). No square root is taken, matching the paper's
+//! convention.
+//!
+//! Note on the paper's Figure 9: applying recursion (4) to the figure's
+//! series `X = {1,1,4,1,1}`, `Y = {2,2,2,4,2,2}` yields an optimal
+//! accumulated cost of **5** (path `(1,1),(2,2),(2,3),(3,4),(4,5),(5,6)`
+//! with costs `1+1+1+0+1+1`), not the 9 quoted in the figure caption. The
+//! unit tests here pin the recursion's true value; the discrepancy is
+//! recorded in `EXPERIMENTS.md`.
+
+use crate::window::SearchWindow;
+
+/// Squared point cost `c(i,j) = (xᵢ − yⱼ)²` (paper Eq. 3).
+#[inline]
+pub fn point_cost(a: f64, b: f64) -> f64 {
+    (a - b) * (a - b)
+}
+
+/// Exact DTW distance between two non-empty series (paper Eq. 6).
+///
+/// Runs the full `O(N·M)` dynamic program with two rolling rows, so memory
+/// is `O(min(N, M))`-ish (`O(M)` as written).
+///
+/// # Panics
+///
+/// Panics if either series is empty.
+///
+/// # Example
+///
+/// ```
+/// use vp_timeseries::dtw::dtw;
+///
+/// // Warping absorbs a temporal shift that Euclidean distance cannot.
+/// let a = [0.0, 0.0, 1.0, 2.0, 1.0, 0.0];
+/// let b = [0.0, 1.0, 2.0, 1.0, 0.0, 0.0];
+/// assert_eq!(dtw(&a, &b), 0.0);
+/// ```
+pub fn dtw(x: &[f64], y: &[f64]) -> f64 {
+    assert!(!x.is_empty() && !y.is_empty(), "dtw requires non-empty series");
+    let m = y.len();
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut curr = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for &xi in x {
+        curr[0] = f64::INFINITY;
+        for (j, &yj) in y.iter().enumerate() {
+            let c = point_cost(xi, yj);
+            let best = prev[j].min(prev[j + 1]).min(curr[j]);
+            curr[j + 1] = c + best;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// DTW distance restricted to a Sakoe–Chiba band of half-width `radius`.
+///
+/// With a radius at least `max(N, M)` this equals [`dtw`]. Narrow bands
+/// are faster but may overestimate the distance when the optimal path
+/// strays from the diagonal.
+///
+/// # Panics
+///
+/// Panics if either series is empty.
+pub fn dtw_banded(x: &[f64], y: &[f64], radius: usize) -> f64 {
+    assert!(!x.is_empty() && !y.is_empty(), "dtw requires non-empty series");
+    let w = SearchWindow::sakoe_chiba(x.len(), y.len(), radius);
+    dtw_windowed(x, y, &w)
+}
+
+/// DTW distance evaluated only on the cells of `window`.
+///
+/// This is the inner kernel of FastDTW. The window must have one row per
+/// element of `x` and `window.cols() == y.len()`.
+///
+/// # Panics
+///
+/// Panics if either series is empty or the window's shape does not match.
+pub fn dtw_windowed(x: &[f64], y: &[f64], window: &SearchWindow) -> f64 {
+    let (dist, _) = windowed_dp(x, y, window, false);
+    dist
+}
+
+/// Exact DTW distance plus one optimal warp path.
+///
+/// The path runs from `(0, 0)` to `(N−1, M−1)` in matrix coordinates and
+/// satisfies the paper's monotonicity constraint (Eq. 5). Ties are broken
+/// in favour of the diagonal move.
+///
+/// # Panics
+///
+/// Panics if either series is empty.
+pub fn dtw_with_path(x: &[f64], y: &[f64]) -> (f64, Vec<(usize, usize)>) {
+    let w = SearchWindow::full(x.len().max(1), y.len().max(1));
+    dtw_windowed_with_path(x, y, &w)
+}
+
+/// Windowed DTW returning both distance and warp path (FastDTW's kernel).
+///
+/// # Panics
+///
+/// Panics if either series is empty or the window's shape does not match.
+pub fn dtw_windowed_with_path(
+    x: &[f64],
+    y: &[f64],
+    window: &SearchWindow,
+) -> (f64, Vec<(usize, usize)>) {
+    let (dist, path) = windowed_dp(x, y, window, true);
+    (dist, path.expect("path requested"))
+}
+
+/// Shared windowed dynamic program. When `want_path` is set, the full DP
+/// table (restricted to the window) is retained for backtracking.
+fn windowed_dp(
+    x: &[f64],
+    y: &[f64],
+    window: &SearchWindow,
+    want_path: bool,
+) -> (f64, Option<Vec<(usize, usize)>>) {
+    assert!(!x.is_empty() && !y.is_empty(), "dtw requires non-empty series");
+    assert_eq!(window.rows(), x.len(), "window row count must match x");
+    assert_eq!(window.cols(), y.len(), "window column count must match y");
+    let n = x.len();
+
+    // Per-row storage holding only the windowed cells.
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(if want_path { n } else { 2 });
+    let mut prev_range = (0usize, 0usize);
+    let mut prev_row: Vec<f64> = Vec::new();
+
+    for i in 0..n {
+        let (lo, hi) = window.range(i);
+        let mut row = vec![f64::INFINITY; hi - lo + 1];
+        for j in lo..=hi {
+            let c = point_cost(x[i], y[j]);
+            let best = if i == 0 && j == 0 {
+                0.0
+            } else {
+                let up = cell(&prev_row, prev_range, j, i > 0);
+                let diag = if j > 0 {
+                    cell(&prev_row, prev_range, j - 1, i > 0)
+                } else {
+                    f64::INFINITY
+                };
+                let left = if j > lo { row[j - lo - 1] } else { f64::INFINITY };
+                up.min(diag).min(left)
+            };
+            row[j - lo] = c + best;
+        }
+        if want_path {
+            rows.push(row.clone());
+        }
+        prev_row = row;
+        prev_range = (lo, hi);
+    }
+
+    let (last_lo, _) = window.range(n - 1);
+    let dist = prev_row[y.len() - 1 - last_lo];
+
+    if !want_path {
+        return (dist, None);
+    }
+
+    // Backtrack from (n-1, m-1), preferring the diagonal predecessor.
+    let mut path = Vec::new();
+    let mut i = n - 1;
+    let mut j = y.len() - 1;
+    path.push((i, j));
+    while i > 0 || j > 0 {
+        let up = if i > 0 {
+            cell(&rows[i - 1], window.range(i - 1), j, true)
+        } else {
+            f64::INFINITY
+        };
+        let diag = if i > 0 && j > 0 {
+            cell(&rows[i - 1], window.range(i - 1), j - 1, true)
+        } else {
+            f64::INFINITY
+        };
+        let left = if j > 0 {
+            cell(&rows[i], window.range(i), j - 1, true)
+        } else {
+            f64::INFINITY
+        };
+        if diag <= up && diag <= left {
+            i -= 1;
+            j -= 1;
+        } else if up <= left {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+        path.push((i, j));
+    }
+    path.reverse();
+    (dist, Some(path))
+}
+
+/// Reads DP cell `j` from a stored row covering `range`, returning infinity
+/// outside the window (or when there is no previous row).
+#[inline]
+fn cell(row: &[f64], range: (usize, usize), j: usize, exists: bool) -> f64 {
+    if !exists || j < range.0 || j > range.1 {
+        f64::INFINITY
+    } else {
+        row[j - range.0]
+    }
+}
+
+/// Validates that `path` is a legal warp path for series of lengths `n`
+/// and `m`: starts at `(0,0)`, ends at `(n−1,m−1)`, and each step advances
+/// every index by at most one without moving backwards (paper Eq. 5).
+pub fn is_valid_warp_path(path: &[(usize, usize)], n: usize, m: usize) -> bool {
+    if path.is_empty() || path[0] != (0, 0) || *path.last().unwrap() != (n - 1, m - 1) {
+        return false;
+    }
+    path.windows(2).all(|w| {
+        let (i, j) = w[0];
+        let (i2, j2) = w[1];
+        i2 >= i && i2 <= i + 1 && j2 >= j && j2 <= j + 1 && (i2, j2) != (i, j)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 9 series.
+    const FIG9_X: [f64; 5] = [1.0, 1.0, 4.0, 1.0, 1.0];
+    const FIG9_Y: [f64; 6] = [2.0, 2.0, 2.0, 4.0, 2.0, 2.0];
+
+    #[test]
+    fn fig9_example_value() {
+        // Recursion (4) applied by hand yields 5 (see module docs); the
+        // figure's caption states 9 — we pin the recursion's true value.
+        assert_eq!(dtw(&FIG9_X, &FIG9_Y), 5.0);
+    }
+
+    #[test]
+    fn fig9_path_is_valid_and_matches_distance() {
+        let (d, path) = dtw_with_path(&FIG9_X, &FIG9_Y);
+        assert_eq!(d, 5.0);
+        assert!(is_valid_warp_path(&path, 5, 6));
+        let total: f64 = path
+            .iter()
+            .map(|&(i, j)| point_cost(FIG9_X[i], FIG9_Y[j]))
+            .sum();
+        assert_eq!(total, d);
+    }
+
+    #[test]
+    fn identity_distance_is_zero() {
+        let x = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+        assert_eq!(dtw(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let x = [0.0, 2.0, 5.0, 1.0];
+        let y = [1.0, 1.0, 6.0];
+        assert_eq!(dtw(&x, &y), dtw(&y, &x));
+    }
+
+    #[test]
+    fn single_element_series() {
+        assert_eq!(dtw(&[2.0], &[5.0]), 9.0);
+        assert_eq!(dtw(&[2.0], &[2.0, 2.0, 2.0]), 0.0);
+        assert_eq!(dtw(&[2.0], &[2.0, 3.0]), 1.0);
+    }
+
+    #[test]
+    fn warping_absorbs_time_shift() {
+        let a = [0.0, 0.0, 1.0, 2.0, 1.0, 0.0, 0.0];
+        let b = [0.0, 1.0, 2.0, 1.0, 0.0, 0.0, 0.0];
+        assert_eq!(dtw(&a, &b), 0.0);
+        // Lock-step distance sees a large gap.
+        assert!(crate::distance::squared_euclidean(&a, &b) > 0.0);
+    }
+
+    #[test]
+    fn dtw_bounded_by_squared_euclidean() {
+        let a = [1.0, 5.0, -2.0, 0.5, 3.0];
+        let b = [0.0, 4.0, -1.0, 2.5, 2.0];
+        assert!(dtw(&a, &b) <= crate::distance::squared_euclidean(&a, &b) + 1e-12);
+    }
+
+    #[test]
+    fn wide_band_equals_full_dtw() {
+        let a = [1.0, 3.0, 2.0, 8.0, 4.0, 4.5, 1.0];
+        let b = [1.5, 2.5, 9.0, 3.0, 4.0, 2.0];
+        let full = dtw(&a, &b);
+        assert_eq!(dtw_banded(&a, &b, 10), full);
+    }
+
+    #[test]
+    fn narrow_band_overestimates() {
+        // Optimal path strays from the diagonal: banded must be >= exact.
+        let a = [0.0, 0.0, 0.0, 5.0, 5.0, 5.0, 0.0, 0.0];
+        let b = [5.0, 5.0, 5.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let exact = dtw(&a, &b);
+        let banded = dtw_banded(&a, &b, 1);
+        assert!(banded >= exact);
+    }
+
+    #[test]
+    fn windowed_full_window_matches() {
+        let a = [1.0, 2.0, 0.0, 4.0];
+        let b = [0.0, 2.0, 2.0, 3.0, 4.0];
+        let w = SearchWindow::full(a.len(), b.len());
+        assert_eq!(dtw_windowed(&a, &b, &w), dtw(&a, &b));
+    }
+
+    #[test]
+    fn path_endpoints_and_monotonicity_random_inputs() {
+        // Deterministic pseudo-random inputs, no rand dependency needed.
+        let mut seed = 42u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / u32::MAX as f64) * 10.0 - 5.0
+        };
+        for (n, m) in [(1, 1), (1, 7), (9, 3), (17, 23)] {
+            let x: Vec<f64> = (0..n).map(|_| next()).collect();
+            let y: Vec<f64> = (0..m).map(|_| next()).collect();
+            let (d, path) = dtw_with_path(&x, &y);
+            assert!(is_valid_warp_path(&path, n, m), "invalid path for {n}x{m}");
+            let total: f64 = path.iter().map(|&(i, j)| point_cost(x[i], y[j])).sum();
+            assert!((total - d).abs() < 1e-9, "path cost mismatch for {n}x{m}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_series_panics() {
+        dtw(&[], &[1.0]);
+    }
+
+    #[test]
+    fn is_valid_warp_path_rejects_bad_paths() {
+        assert!(!is_valid_warp_path(&[], 2, 2));
+        assert!(!is_valid_warp_path(&[(0, 0)], 2, 2)); // doesn't reach end
+        assert!(!is_valid_warp_path(&[(0, 0), (1, 1), (0, 1), (1, 1)], 2, 2)); // backwards
+        assert!(!is_valid_warp_path(&[(0, 0), (0, 0), (1, 1)], 2, 2)); // stall
+        assert!(is_valid_warp_path(&[(0, 0), (1, 1)], 2, 2));
+    }
+}

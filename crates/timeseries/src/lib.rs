@@ -1,0 +1,43 @@
+//! Time-series similarity substrate for the Voiceprint reproduction.
+//!
+//! The Voiceprint detector treats each neighbour's RSSI samples as a
+//! "vehicular speech" signal and compares signals pairwise. This crate
+//! provides everything that comparison needs:
+//!
+//! * [`series`] — a lightweight owned series container.
+//! * [`normalize`] — the paper's *enhanced Z-score* (`(x − μ) / 3σ`,
+//!   Eq. 7) and the min–max normalisation of pairwise distances (Eq. 8).
+//! * [`distance`] — Lp norms (Eq. 2), Euclidean, Manhattan, Chebyshev.
+//! * [`dtw`] — exact Dynamic Time Warping with squared point costs
+//!   (Eq. 3–6), optional Sakoe–Chiba band, and warp-path extraction.
+//! * [`window`] — sparse search windows for constrained DTW.
+//! * [`fastdtw`] — the linear-time FastDTW approximation
+//!   (Salvador & Chan, reference [24] of the paper) used by the detector.
+//!
+//! # Example
+//!
+//! ```
+//! use vp_timeseries::{dtw::dtw, fastdtw::fast_dtw, normalize::z_score_enhanced};
+//!
+//! let a = [-70.0, -71.0, -69.5, -75.0, -74.0];
+//! let b = [-67.0, -68.0, -66.5, -72.0, -71.0]; // same shape, +3 dB offset
+//! let (na, nb) = (z_score_enhanced(&a), z_score_enhanced(&b));
+//! assert!(dtw(&na, &nb) < 1e-9); // offset removed, identical voiceprints
+//! assert!(fast_dtw(&na, &nb, 1) < 1e-9);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod distance;
+pub mod dtw;
+pub mod fastdtw;
+pub mod normalize;
+pub mod series;
+pub mod window;
+
+pub use dtw::{dtw, dtw_with_path};
+pub use fastdtw::{fast_dtw, fast_dtw_with_path};
+pub use normalize::{min_max_normalize, z_score_enhanced};
+pub use series::Series;
+pub use window::SearchWindow;

@@ -1,0 +1,155 @@
+//! Normalisation used by the Voiceprint comparison phase.
+//!
+//! Two steps from the paper's Section IV-B/IV-C:
+//!
+//! 1. **Enhanced Z-score** (Eq. 7): `x' = (x − μ) / 3σ`. Applied to each
+//!    RSSI series before DTW so that a malicious node spoofing a different
+//!    TX power per Sybil identity cannot break the similarity — a constant
+//!    dB offset and gain are both removed, while the series *shape* (the
+//!    voiceprint) is preserved. The `3σ` denominator maps 99.7% of values
+//!    of a Gaussian series into `(−1, 1)`.
+//! 2. **Min–max normalisation** (Eq. 8): applied to the collection of all
+//!    pairwise DTW distances, mapping them into `[0, 1]` so a single
+//!    density-dependent threshold can be compared against them.
+
+use vp_stats::descriptive::Summary;
+
+/// Plain Z-score normalisation `(x − μ) / σ`.
+///
+/// A constant series (σ = 0) maps to all zeros, as does the empty series.
+pub fn z_score(values: &[f64]) -> Vec<f64> {
+    scale_by_sigma(values, 1.0)
+}
+
+/// The paper's *enhanced* Z-score normalisation (Eq. 7): `(x − μ) / 3σ`.
+///
+/// Maps ~99.7% of a Gaussian series into `(−1, 1)`. A constant series
+/// (σ = 0) maps to all zeros: its shape carries no voiceprint information.
+///
+/// # Example
+///
+/// ```
+/// use vp_timeseries::normalize::z_score_enhanced;
+///
+/// // A 3 dB TX-power offset disappears after normalisation.
+/// let a = z_score_enhanced(&[-70.0, -72.0, -68.0]);
+/// let b = z_score_enhanced(&[-67.0, -69.0, -65.0]);
+/// assert_eq!(a, b);
+/// ```
+pub fn z_score_enhanced(values: &[f64]) -> Vec<f64> {
+    scale_by_sigma(values, 3.0)
+}
+
+fn scale_by_sigma(values: &[f64], sigma_factor: f64) -> Vec<f64> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let s = Summary::of(values);
+    let mu = s.mean();
+    let sigma = s.population_std_dev();
+    if sigma == 0.0 {
+        return vec![0.0; values.len()];
+    }
+    let denom = sigma_factor * sigma;
+    values.iter().map(|&x| (x - mu) / denom).collect()
+}
+
+/// Min–max normalisation (Eq. 8): maps each value to
+/// `(x − min) / (max − min)`, i.e. into `[0, 1]`.
+///
+/// When all values coincide (`max == min`) every value maps to `0.0`; for
+/// the detector this is the conservative choice, because an
+/// all-equal-distance neighbourhood carries no separability information and
+/// zero distances are then resolved by the threshold rule alone.
+pub fn min_max_normalize(values: &[f64]) -> Vec<f64> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let s = Summary::of(values);
+    let (lo, hi) = (s.min(), s.max());
+    if hi == lo {
+        return vec![0.0; values.len()];
+    }
+    values.iter().map(|&x| (x - lo) / (hi - lo)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_score_enhanced_mean_zero() {
+        let out = z_score_enhanced(&[-76.0, -74.0, -78.0, -75.0, -77.0]);
+        let mean: f64 = out.iter().sum::<f64>() / out.len() as f64;
+        assert!(mean.abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_score_enhanced_is_scale_and_offset_invariant() {
+        let base = [-70.0, -72.5, -68.0, -75.0, -71.0];
+        let shifted: Vec<f64> = base.iter().map(|x| x + 6.0).collect();
+        let scaled: Vec<f64> = base.iter().map(|x| 2.0 * x - 3.0).collect();
+        let nb = z_score_enhanced(&base);
+        for (a, b) in nb.iter().zip(z_score_enhanced(&shifted)) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        for (a, b) in nb.iter().zip(z_score_enhanced(&scaled)) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn z_score_enhanced_three_sigma_bound() {
+        // For a Gaussian-ish spread sample almost everything lands in (-1, 1).
+        let values: Vec<f64> = (0..1000)
+            .map(|i| ((i as f64 * 0.7).sin() + (i as f64 * 1.3).cos()) * 2.0)
+            .collect();
+        let out = z_score_enhanced(&values);
+        let inside = out.iter().filter(|v| v.abs() < 1.0).count();
+        assert!(inside as f64 / out.len() as f64 > 0.99);
+    }
+
+    #[test]
+    fn constant_series_maps_to_zeros() {
+        assert_eq!(z_score_enhanced(&[5.0, 5.0, 5.0]), vec![0.0; 3]);
+        assert_eq!(z_score(&[5.0, 5.0]), vec![0.0; 2]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(z_score_enhanced(&[]).is_empty());
+        assert!(min_max_normalize(&[]).is_empty());
+    }
+
+    #[test]
+    fn z_score_is_three_times_enhanced() {
+        let v = [1.0, 4.0, 2.0, 8.0];
+        let plain = z_score(&v);
+        let enhanced = z_score_enhanced(&v);
+        for (p, e) in plain.iter().zip(enhanced) {
+            assert!((p / 3.0 - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn min_max_maps_to_unit_interval() {
+        let out = min_max_normalize(&[3.0, 9.0, 6.0]);
+        assert_eq!(out, vec![0.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn min_max_constant_input_is_zero() {
+        assert_eq!(min_max_normalize(&[2.0, 2.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn min_max_preserves_order() {
+        let v = [0.7, 0.1, 0.4, 0.9, 0.2];
+        let out = min_max_normalize(&v);
+        for i in 0..v.len() {
+            for j in 0..v.len() {
+                assert_eq!(v[i] < v[j], out[i] < out[j]);
+            }
+        }
+    }
+}

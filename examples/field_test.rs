@@ -1,0 +1,36 @@
+//! The Section VI field test: the four-vehicle convoy in all four
+//! environments, with the paper's constant-threshold detection once per
+//! minute and the false-positive forensics of Figure 14.
+//!
+//! Run with: `cargo run --release --example field_test`
+
+use vp_fieldtest::harness::run_field_test;
+use vp_fieldtest::scenario::Environment;
+
+fn main() {
+    println!("four-vehicle field test (1 malicious node, 2 Sybil identities at 23/17 dBm),");
+    println!("observed from normal node 3, detection every minute, threshold 0.05046\n");
+    let mut total_fp = 0;
+    let mut total_detections = 0;
+    for env in Environment::all() {
+        let outcome = run_field_test(env, 1);
+        println!(
+            "{:>8}: {:>2} detections | DR {:.3} | FPR {:.4}",
+            env.name(),
+            outcome.detections.len(),
+            outcome.detection_rate,
+            outcome.false_positive_rate
+        );
+        for fp in outcome.false_positive_events() {
+            total_fp += fp.false_positives.len();
+            println!(
+                "          false alarm at detection #{} (t = {:.0} s, convoy stopped: {}) — ids {:?}",
+                fp.index, fp.time_s, fp.convoy_stopped, fp.false_positives
+            );
+        }
+        total_detections += outcome.detections.len();
+    }
+    println!(
+        "\noverall: {total_fp} false alarm(s) across {total_detections} detections — the paper reports exactly one, at a red light, where every stationary node's RSSI pins to the −95 dBm sensitivity floor."
+    );
+}

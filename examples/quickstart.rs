@@ -1,0 +1,52 @@
+//! Quickstart: feed raw `⟨ID, RSSI⟩` tuples into the three Voiceprint
+//! phases by hand and watch a Sybil cluster fall out.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use voiceprint::collector::Collector;
+use voiceprint::comparator::{compare, ComparisonConfig};
+use voiceprint::confirm::confirm;
+use voiceprint::threshold::ThresholdPolicy;
+
+fn main() {
+    // ── Phase 1: collection ──────────────────────────────────────────
+    // A vehicle listens to the control channel for 20 s. Three physical
+    // neighbours broadcast; one of them (radio "M") fabricates two extra
+    // identities, 901 and 902, with spoofed TX powers (+6 dB / −3 dB).
+    let mut collector = Collector::new(20.0);
+    for k in 0..200 {
+        let t = k as f64 * 0.1;
+        // Each physical radio has its own channel realisation: a slow
+        // fading pattern the receiver observes.
+        let channel_m = (t * 0.9).sin() * 4.0 + (t * 0.23).cos() * 2.0;
+        let channel_a = (t * 0.7 + 1.0).sin() * 4.0 + (t * 0.31).cos() * 2.0;
+        let channel_b = (t * 1.1 + 2.5).cos() * 4.0 + (t * 0.17).sin() * 2.0;
+        let noise = |seed: u64| ((k as u64 * 2654435761 + seed) % 100) as f64 / 100.0 - 0.5;
+
+        collector.record(7, t, -72.0 + channel_m + noise(1)); // radio M, own ID
+        collector.record(901, t, -66.0 + channel_m + noise(2)); // Sybil, +6 dB
+        collector.record(902, t, -75.0 + channel_m + noise(3)); // Sybil, −3 dB
+        collector.record(11, t, -70.0 + channel_a + noise(4)); // honest A
+        collector.record(13, t, -78.0 + channel_b + noise(5)); // honest B
+    }
+    let series = collector.series_at(20.0, 10);
+    println!("collected {} identities", series.len());
+
+    // ── Phase 2: comparison ──────────────────────────────────────────
+    // Enhanced Z-score (defeats the spoofed powers), pairwise DTW,
+    // per-step costs.
+    let distances = compare(&series, &ComparisonConfig::default());
+    println!("\npairwise distances:");
+    for (a, b, d) in distances.iter() {
+        println!("  D({a:>3}, {b:>3}) = {d:.5}");
+    }
+
+    // ── Phase 3: confirmation ────────────────────────────────────────
+    let verdict = confirm(&distances, 5.0, &ThresholdPolicy::Constant(0.01));
+    println!("\nthreshold: {:.5}", verdict.threshold());
+    println!("suspects:  {:?}", verdict.suspects());
+    println!("groups:    {:?}", verdict.groups());
+    assert_eq!(verdict.suspects(), &[7, 901, 902]);
+    println!("\nthe whole Sybil group — including the attacker's own identity 7 —");
+    println!("shares one radio voiceprint; the honest neighbours 11 and 13 do not.");
+}

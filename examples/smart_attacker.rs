@@ -1,0 +1,39 @@
+//! The paper's stated limitation (Section VII): "Voiceprint cannot
+//! identify the malicious node if it adopts power control."
+//!
+//! This example runs the same highway scenario twice — once against the
+//! standard attacker (constant spoofed TX power per Sybil identity) and
+//! once against a smart attacker that re-randomises its TX power on
+//! every packet, scrambling the shape of its own voiceprint.
+//!
+//! Run with: `cargo run --release --example smart_attacker`
+
+use voiceprint::threshold::ThresholdPolicy;
+use voiceprint::VoiceprintDetector;
+use vp_sim::{run_scenario, ScenarioConfig};
+
+fn main() {
+    let detector = VoiceprintDetector::new(ThresholdPolicy::calibrated_simulation());
+    for (label, power_control) in [
+        ("standard attacker (constant spoofed power)", false),
+        ("smart attacker (per-packet power control)", true),
+    ] {
+        let config = ScenarioConfig::builder()
+            .density_per_km(30.0)
+            .simulation_time_s(100.0)
+            .power_control_attack(power_control)
+            .seed(99)
+            .build();
+        let outcome = run_scenario(&config, &[&detector]);
+        let stats = &outcome.detector_stats[0];
+        println!(
+            "{label}:\n  DR {:.3}  FPR {:.3}\n",
+            stats.mean_detection_rate(),
+            stats.mean_false_positive_rate()
+        );
+    }
+    println!("the per-packet randomisation injects independent noise into every sample of");
+    println!("every fabricated series, so the shared-channel similarity that Voiceprint");
+    println!("detects disappears — the detection rate collapses, exactly the limitation");
+    println!("the paper concedes and defers to future work.");
+}

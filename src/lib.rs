@@ -1,0 +1,34 @@
+//! Umbrella crate for the Voiceprint reproduction workspace.
+//!
+//! This crate exists to host the runnable `examples/` and the cross-crate
+//! integration tests in `tests/`; it re-exports every workspace crate under
+//! one roof so examples can write `use voiceprint_repro::prelude::*;`.
+//!
+//! The actual library code lives in the member crates:
+//!
+//! * [`voiceprint`] — the paper's contribution (the detector).
+//! * [`vp_sim`] — the VANET simulator and Sybil attack injection.
+//! * [`vp_baseline`] — the CPVSAD cooperative baseline.
+//! * [`vp_fieldtest`] — Section III/VI measurement and field-test harnesses.
+//! * plus the substrates [`vp_stats`], [`vp_timeseries`], [`vp_radio`],
+//!   [`vp_mobility`], [`vp_mac`], and [`vp_classify`].
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use vp_baseline;
+pub use vp_classify;
+pub use vp_fieldtest;
+pub use vp_mac;
+pub use vp_mobility;
+pub use vp_radio;
+pub use vp_sim;
+pub use vp_stats;
+pub use vp_timeseries;
+pub use voiceprint;
+
+/// Convenience re-exports for examples and quick experiments.
+pub mod prelude {
+    pub use vp_sim::config::ScenarioConfig;
+    pub use voiceprint::VoiceprintDetector;
+}

@@ -1,0 +1,74 @@
+//! Integration of the CPVSAD baseline with the simulator: the structural
+//! properties behind Figure 11's comparison.
+
+use vp_baseline::CpvsadDetector;
+use vp_sim::{run_scenario, ScenarioConfig};
+
+fn run(density: f64, model_change: bool, seed: u64) -> (f64, f64) {
+    let mut builder = ScenarioConfig::builder()
+        .density_per_km(density)
+        .simulation_time_s(100.0)
+        .observer_count(4)
+        .seed(seed);
+    if model_change {
+        builder = builder
+            .model_change_period_s(Some(30.0))
+            .model_change_magnitude(0.4);
+    }
+    let cfg = builder.build();
+    let detector = CpvsadDetector::new(cfg.base_params);
+    let outcome = run_scenario(&cfg, &[&detector]);
+    let stats = &outcome.detector_stats[0];
+    (
+        stats.mean_detection_rate(),
+        stats.mean_false_positive_rate(),
+    )
+}
+
+#[test]
+fn cpvsad_detects_with_enough_witnesses() {
+    let mut dr_sum = 0.0;
+    let mut fpr_sum = 0.0;
+    for seed in [71, 72] {
+        let (dr, fpr) = run(50.0, false, seed);
+        dr_sum += dr;
+        fpr_sum += fpr;
+    }
+    assert!(dr_sum / 2.0 > 0.5, "CPVSAD DR too low: {}", dr_sum / 2.0);
+    assert!(fpr_sum / 2.0 < 0.2, "CPVSAD FPR too high: {}", fpr_sum / 2.0);
+}
+
+#[test]
+fn cpvsad_degrades_when_the_model_changes() {
+    // Figure 11b's mechanism: the predefined-model assumption breaks.
+    let mut stable_fpr = 0.0;
+    let mut changing_fpr = 0.0;
+    for seed in [81, 82] {
+        stable_fpr += run(55.0, false, seed).1 / 2.0;
+        changing_fpr += run(55.0, true, seed).1 / 2.0;
+    }
+    // The degradation manifests as an FPR explosion: the χ² test is
+    // calibrated against the assumed model, so honest claimers start
+    // failing it once the real channel drifts.
+    assert!(
+        changing_fpr > stable_fpr + 0.08,
+        "model change should inflate CPVSAD's FPR: stable {stable_fpr:.2} vs changing {changing_fpr:.2}"
+    );
+}
+
+#[test]
+fn cpvsad_improves_with_density() {
+    // More traffic = more certified opposite-flow witnesses = more
+    // statistical power (the paper's explanation for CPVSAD's upward
+    // trend in Figure 11a).
+    let mut sparse = 0.0;
+    let mut dense = 0.0;
+    for seed in [91, 92] {
+        sparse += run(10.0, false, seed).0;
+        dense += run(60.0, false, seed).0;
+    }
+    assert!(
+        dense >= sparse - 0.05,
+        "density should not hurt CPVSAD: sparse {sparse:.2} vs dense {dense:.2}"
+    );
+}

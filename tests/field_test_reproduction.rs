@@ -1,0 +1,85 @@
+//! Integration of the Section VI field-test reproduction: the paper's
+//! headline field results hold across environments and seeds.
+
+use vp_fieldtest::harness::run_field_test;
+use vp_fieldtest::scenario::Environment;
+
+#[test]
+fn moving_environments_reach_paper_level_detection() {
+    // Paper: DR = 100% in all scenarios; FPR 0 everywhere except one
+    // urban alarm. Campus, rural and highway keep the convoy moving, so
+    // they should be clean.
+    for env in [Environment::Campus, Environment::Rural, Environment::Highway] {
+        for seed in [1, 2] {
+            let outcome = run_field_test(env, seed);
+            assert!(
+                outcome.detection_rate > 0.95,
+                "{} seed {seed}: DR {}",
+                env.name(),
+                outcome.detection_rate
+            );
+            assert!(
+                outcome.false_positive_rate < 0.05,
+                "{} seed {seed}: FPR {}",
+                env.name(),
+                outcome.false_positive_rate
+            );
+        }
+    }
+}
+
+#[test]
+fn urban_environment_is_harder_but_workable() {
+    let outcome = run_field_test(Environment::Urban, 1);
+    assert!(
+        outcome.detection_rate > 0.6,
+        "urban DR {}",
+        outcome.detection_rate
+    );
+    assert!(
+        outcome.false_positive_rate < 0.10,
+        "urban FPR {}",
+        outcome.false_positive_rate
+    );
+}
+
+#[test]
+fn urban_false_positives_cluster_at_stops() {
+    // The paper's Figure 14: its single false alarm happened while every
+    // vehicle waited at a red light. Across seeds, our urban false
+    // positives must be predominantly at (or adjacent to) the scripted
+    // stops.
+    let mut at_stop = 0;
+    let mut total = 0;
+    for seed in 1..=4 {
+        let outcome = run_field_test(Environment::Urban, seed);
+        for fp in outcome.false_positive_events() {
+            total += 1;
+            if fp.convoy_stopped {
+                at_stop += 1;
+            }
+        }
+    }
+    if total > 0 {
+        assert!(
+            at_stop * 2 >= total,
+            "only {at_stop}/{total} false positives at stops"
+        );
+    }
+}
+
+#[test]
+fn detection_counts_match_durations() {
+    // Paper Section VI-B: 14/23/35/11 detections for one-minute periods
+    // over 13:21 / 22:40 / 34:46 / 11:12. With detection at each full
+    // minute we get the floor of the durations: 13/22/34/11.
+    let expect = [
+        (Environment::Campus, 13),
+        (Environment::Rural, 22),
+        (Environment::Urban, 34),
+        (Environment::Highway, 11),
+    ];
+    for (env, n) in expect {
+        assert_eq!(run_field_test(env, 1).detections.len(), n, "{}", env.name());
+    }
+}

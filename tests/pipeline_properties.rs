@@ -1,0 +1,132 @@
+//! Property-based integration tests over the detection pipeline:
+//! invariants that must hold for arbitrary inputs, spanning
+//! vp-timeseries, vp-classify and voiceprint.
+
+use proptest::prelude::*;
+use voiceprint::comparator::{compare, ComparisonConfig, DistanceMeasure};
+use voiceprint::confirm::confirm;
+use voiceprint::threshold::ThresholdPolicy;
+use vp_timeseries::dtw::{dtw, dtw_banded, dtw_with_path, is_valid_warp_path};
+use vp_timeseries::fastdtw::fast_dtw;
+use vp_timeseries::normalize::{min_max_normalize, z_score_enhanced};
+
+fn series_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-95.0..-40.0f64, 2..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dtw_is_symmetric_nonnegative_and_zero_on_self(
+        x in series_strategy(40),
+        y in series_strategy(40),
+    ) {
+        let d = dtw(&x, &y);
+        prop_assert!(d >= 0.0);
+        prop_assert!((d - dtw(&y, &x)).abs() < 1e-9);
+        prop_assert_eq!(dtw(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn constrained_variants_never_underestimate_exact_dtw(
+        x in series_strategy(40),
+        y in series_strategy(40),
+    ) {
+        let exact = dtw(&x, &y);
+        prop_assert!(fast_dtw(&x, &y, 1) >= exact - 1e-9);
+        prop_assert!(dtw_banded(&x, &y, 3) >= exact - 1e-9);
+        // And a maximal band equals exact DTW.
+        prop_assert!((dtw_banded(&x, &y, x.len().max(y.len())) - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warp_paths_are_valid_and_account_for_the_distance(
+        x in series_strategy(30),
+        y in series_strategy(30),
+    ) {
+        let (d, path) = dtw_with_path(&x, &y);
+        prop_assert!(is_valid_warp_path(&path, x.len(), y.len()));
+        let total: f64 = path
+            .iter()
+            .map(|&(i, j)| (x[i] - y[j]) * (x[i] - y[j]))
+            .sum();
+        prop_assert!((total - d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn z_score_makes_tx_power_irrelevant(
+        x in series_strategy(60),
+        offset in -10.0..10.0f64,
+    ) {
+        let shifted: Vec<f64> = x.iter().map(|v| v + offset).collect();
+        let a = z_score_enhanced(&x);
+        let b = z_score_enhanced(&shifted);
+        for (p, q) in a.iter().zip(&b) {
+            prop_assert!((p - q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn min_max_is_monotone_and_bounded(values in prop::collection::vec(0.0..1e6f64, 1..60)) {
+        let n = min_max_normalize(&values);
+        for v in &n {
+            prop_assert!((0.0..=1.0).contains(v));
+        }
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                if values[i] < values[j] {
+                    prop_assert!(n[i] <= n[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comparison_output_is_input_order_invariant(
+        seed in 0u64..1000,
+    ) {
+        // Build a deterministic neighbourhood from the seed and compare it
+        // in two different input orders.
+        let series: Vec<(u64, Vec<f64>)> = (0..5u64)
+            .map(|id| {
+                let s: Vec<f64> = (0..120)
+                    .map(|k| ((k as f64 * 0.1 + (seed + id) as f64).sin() * 4.0 - 70.0))
+                    .collect();
+                (id, s)
+            })
+            .collect();
+        let mut reversed = series.clone();
+        reversed.reverse();
+        let cfg = ComparisonConfig::default();
+        let a = compare(&series, &cfg);
+        let b = compare(&reversed, &cfg);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn confirmation_is_monotone_in_threshold(
+        seed in 0u64..500,
+        t1 in 0.0..0.5f64,
+        t2 in 0.0..0.5f64,
+    ) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let series: Vec<(u64, Vec<f64>)> = (0..6u64)
+            .map(|id| {
+                let s: Vec<f64> = (0..120)
+                    .map(|k| ((k as f64 * 0.07 + (seed * 7 + id * 3) as f64).sin() * 5.0 - 72.0))
+                    .collect();
+                (id, s)
+            })
+            .collect();
+        let distances = compare(&series, &ComparisonConfig {
+            measure: DistanceMeasure::FastDtw { radius: 1 },
+            ..ComparisonConfig::default()
+        });
+        let strict = confirm(&distances, 10.0, &ThresholdPolicy::Constant(lo));
+        let loose = confirm(&distances, 10.0, &ThresholdPolicy::Constant(hi));
+        for id in strict.suspects() {
+            prop_assert!(loose.suspects().contains(id), "suspect lost when loosening");
+        }
+    }
+}
