@@ -81,7 +81,7 @@ impl CertificationAuthority {
     pub fn is_certified(&self, holder: IdentityId, now_s: f64) -> bool {
         self.issued
             .get(&holder)
-            .map_or(false, |c| c.is_valid_at(now_s))
+            .is_some_and(|c| c.is_valid_at(now_s))
     }
 
     /// Number of identities ever certified.

@@ -133,22 +133,19 @@ impl CpvsadDetector {
     /// around the claimed position for the point whose model predictions
     /// best explain the witness RSSI (variance of residuals after mean
     /// removal — TX power cancels again).
-    fn estimate_position(
-        &self,
-        witnesses: &[&WitnessReport],
-        claimed: (f64, f64),
-    ) -> (f64, f64) {
+    fn estimate_position(&self, witnesses: &[&WitnessReport], claimed: (f64, f64)) -> (f64, f64) {
         let steps = (2.0 * self.config.search_half_width_m / self.config.search_step_m) as usize;
         let mut best = (f64::INFINITY, claimed.0);
         for i in 0..=steps {
-            let x = claimed.0 - self.config.search_half_width_m
-                + i as f64 * self.config.search_step_m;
+            let x =
+                claimed.0 - self.config.search_half_width_m + i as f64 * self.config.search_step_m;
             let mut residuals = Vec::with_capacity(witnesses.len());
             for w in witnesses {
                 let (wx, wy) = w.witness_position_m;
                 let d = ((wx - x).powi(2) + (wy - claimed.1).powi(2)).sqrt();
-                residuals
-                    .push(w.mean_rssi_dbm - self.model.mean_rx_dbm(self.config.assumed_eirp_dbm, d));
+                residuals.push(
+                    w.mean_rssi_dbm - self.model.mean_rx_dbm(self.config.assumed_eirp_dbm, d),
+                );
             }
             let mean = residuals.iter().sum::<f64>() / residuals.len() as f64;
             let var: f64 = residuals.iter().map(|r| (r - mean) * (r - mean)).sum();
@@ -184,7 +181,10 @@ impl Detector for CpvsadDetector {
             }
             // Mechanism 2: estimate the true position for co-location
             // grouping.
-            estimates.insert(*claimer, self.estimate_position(&witnesses, claim.position_m));
+            estimates.insert(
+                *claimer,
+                self.estimate_position(&witnesses, claim.position_m),
+            );
         }
         // Co-location grouping: an identity whose estimated position
         // coincides with that of an identity already caught lying shares
@@ -201,9 +201,8 @@ impl Detector for CpvsadDetector {
             }
             let (ax, ay) = estimates[&id];
             let co_located_with_liar = caught.iter().any(|liar| {
-                estimates.get(liar).map_or(false, |&(bx, by)| {
-                    ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
-                        <= self.config.group_resolution_m
+                estimates.get(liar).is_some_and(|&(bx, by)| {
+                    ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt() <= self.config.group_resolution_m
                 })
             });
             if co_located_with_liar {
@@ -233,15 +232,15 @@ mod tests {
     /// claimer (id 2, physically at x=200 but claiming x=500).
     fn synthetic_input(lying_offset_m: f64, noise: &[f64]) -> DetectionInput {
         let m = DualSlope::dsrc(model());
-        let witness_xs = [0.0, 80.0, 160.0, 240.0, 320.0, 400.0];
+        let witness_xs = [0.0f64, 80.0, 160.0, 240.0, 320.0, 400.0];
         let mut reports = Vec::new();
         for (w, &wx) in witness_xs.iter().enumerate() {
             let witness = 100 + w as IdentityId;
             for (claimer, true_x, claim_x) in
                 [(1, 200.0, 200.0), (2, 200.0, 200.0 + lying_offset_m)]
             {
-                let true_d = ((wx - true_x) as f64).abs().max(1.0);
-                let claimed_d = ((wx - claim_x) as f64).abs().max(1.0);
+                let true_d = (wx - true_x).abs().max(1.0);
+                let claimed_d = (wx - claim_x).abs().max(1.0);
                 reports.push(WitnessReport {
                     witness,
                     witness_position_m: (wx, -1.8),
@@ -285,7 +284,10 @@ mod tests {
         let noise = [0.4, -0.6, 0.2, -0.3, 0.5, -0.2];
         let input = synthetic_input(150.0, &noise);
         let suspects = detector.detect(&input);
-        assert!(suspects.contains(&2), "lying claimer not flagged: {suspects:?}");
+        assert!(
+            suspects.contains(&2),
+            "lying claimer not flagged: {suspects:?}"
+        );
         // Note id 1 may be caught by co-location grouping with id 2 (both
         // estimates near x=200) — that is by design: they share a radio.
         assert!(suspects.contains(&1) || !suspects.contains(&1));

@@ -1,8 +1,10 @@
 //! Criterion benches for the full detection pipeline (comparison +
-//! confirmation) at realistic neighbourhood sizes.
+//! confirmation) at realistic neighbourhood sizes, plus the pairwise
+//! comparison engine in its sequential, parallel and pruned forms.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use voiceprint::comparator::{compare, compare_sequential, ComparisonConfig};
 use voiceprint::threshold::ThresholdPolicy;
 use voiceprint::VoiceprintDetector;
 
@@ -10,7 +12,7 @@ fn neighbourhood(n: usize) -> Vec<(u64, Vec<f64>)> {
     (0..n as u64)
         .map(|id| {
             let series: Vec<f64> = (0..200)
-                .map(|k| ((k as f64 * 0.07 + id as f64 * 0.41).sin() * 4.0 - 72.0))
+                .map(|k| (k as f64 * 0.07 + id as f64 * 0.41).sin() * 4.0 - 72.0)
                 .collect();
             (id, series)
         })
@@ -30,5 +32,28 @@ fn full_detection(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, full_detection);
+fn pairwise_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairwise_comparison");
+    group.sample_size(10);
+    let cfg = ComparisonConfig::default();
+    let pruned = ComparisonConfig {
+        prune_threshold: Some(0.05),
+        ..cfg
+    };
+    for n in [16usize, 48, 96] {
+        let series = neighbourhood(n);
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |bench, _| {
+            bench.iter(|| black_box(compare_sequential(black_box(&series), &cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |bench, _| {
+            bench.iter(|| black_box(compare(black_box(&series), &cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel_pruned", n), &n, |bench, _| {
+            bench.iter(|| black_box(compare(black_box(&series), &pruned)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, full_detection, pairwise_comparison);
 criterion_main!(benches);

@@ -11,7 +11,7 @@ use vp_timeseries::normalize::z_score_enhanced;
 fn series(n: usize, phase: f64) -> Vec<f64> {
     z_score_enhanced(
         &(0..n)
-            .map(|k| ((k as f64 * 0.11 + phase).sin() * 4.0 - 70.0))
+            .map(|k| (k as f64 * 0.11 + phase).sin() * 4.0 - 70.0)
             .collect::<Vec<f64>>(),
     )
 }

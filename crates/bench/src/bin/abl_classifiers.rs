@@ -3,9 +3,9 @@
 //! LDA; this compares LDA, logistic regression and the pocket perceptron
 //! on identical Figure 10 training data (paper-strict pipeline).
 
-use vp_bench::{render_table, runs_per_point};
 use voiceprint::comparator::ComparisonConfig;
 use voiceprint::training::collect_training_points;
+use vp_bench::{render_table, runs_per_point};
 use vp_classify::boundary::DecisionLine;
 use vp_classify::{Dataset, LinearDiscriminant, LogisticRegression, Perceptron};
 use vp_sim::{run_scenario, ScenarioConfig};
@@ -28,7 +28,8 @@ fn main() {
     let points = collect_training_points(&outcomes, &ComparisonConfig::paper_strict());
     let mut data = Dataset::new(2);
     for p in &points {
-        data.push(&[p.density_per_km, p.distance], p.is_sybil_pair).unwrap();
+        data.push(&[p.density_per_km, p.distance], p.is_sybil_pair)
+            .unwrap();
     }
     println!(
         "training pairs: {} ({} Sybil)\n",
@@ -36,21 +37,19 @@ fn main() {
         data.count_positive()
     );
     let mut rows = Vec::new();
-    let mut push = |name: &str, rule: Option<&vp_classify::LinearRule>| {
-        match rule {
-            Some(rule) => {
-                let line = DecisionLine::from_rule(rule);
-                rows.push(vec![
-                    name.into(),
-                    format!("{:.4}", rule.accuracy(&data)),
-                    match line {
-                        Some(l) => format!("D <= {:.6}*den + {:.4}", l.k, l.b),
-                        None => "not a lower-threshold rule".into(),
-                    },
-                ]);
-            }
-            None => rows.push(vec![name.into(), "-".into(), "training failed".into()]),
+    let mut push = |name: &str, rule: Option<&vp_classify::LinearRule>| match rule {
+        Some(rule) => {
+            let line = DecisionLine::from_rule(rule);
+            rows.push(vec![
+                name.into(),
+                format!("{:.4}", rule.accuracy(&data)),
+                match line {
+                    Some(l) => format!("D <= {:.6}*den + {:.4}", l.k, l.b),
+                    None => "not a lower-threshold rule".into(),
+                },
+            ]);
         }
+        None => rows.push(vec![name.into(), "-".into(), "training failed".into()]),
     };
     let lda = LinearDiscriminant::fit(&data).ok();
     push("LDA (paper)", lda.as_ref().map(|m| m.rule()));
@@ -59,5 +58,8 @@ fn main() {
     let perceptron = Perceptron::fit(&data).ok();
     push("pocket perceptron", perceptron.as_ref().map(|m| m.rule()));
     println!("== Ablation: boundary classifier (pairwise training accuracy) ==\n");
-    println!("{}", render_table(&["classifier", "pair accuracy", "boundary"], &rows));
+    println!(
+        "{}",
+        render_table(&["classifier", "pair accuracy", "boundary"], &rows)
+    );
 }

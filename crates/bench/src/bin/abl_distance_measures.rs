@@ -3,10 +3,10 @@
 //! simulations. Shows why warping is needed under packet loss and what
 //! the band buys.
 
-use vp_bench::{render_table, runs_per_point};
 use voiceprint::comparator::{ComparisonConfig, DistanceMeasure};
 use voiceprint::threshold::ThresholdPolicy;
 use voiceprint::VoiceprintDetector;
+use vp_bench::{render_table, runs_per_point};
 use vp_sim::{run_scenario, ScenarioConfig};
 
 fn main() {
@@ -54,8 +54,10 @@ fn main() {
             ),
         ),
     ];
-    let detectors: Vec<&dyn vp_sim::Detector> =
-        variants.iter().map(|(_, d)| d as &dyn vp_sim::Detector).collect();
+    let detectors: Vec<&dyn vp_sim::Detector> = variants
+        .iter()
+        .map(|(_, d)| d as &dyn vp_sim::Detector)
+        .collect();
 
     let mut rows = Vec::new();
     for den in [20.0, 60.0] {

@@ -2,10 +2,10 @@
 //! suggestion: "making a final determination of the Sybil node after
 //! several detection periods so as to reduce the false positive rate").
 
-use vp_bench::{render_table, runs_per_point};
 use voiceprint::multi_period::MultiPeriodDetector;
 use voiceprint::threshold::ThresholdPolicy;
 use voiceprint::VoiceprintDetector;
+use vp_bench::{render_table, runs_per_point};
 use vp_sim::{run_scenario, ScenarioConfig};
 
 fn main() {
@@ -33,10 +33,23 @@ fn main() {
             }
         }
         let n = runs as f64;
-        rows.push(vec![format!("{den}"), "single period".into(), format!("{:.3}", acc[0][0] / n), format!("{:.3}", acc[0][1] / n)]);
-        rows.push(vec![format!("{den}"), "2-of-3 voting".into(), format!("{:.3}", acc[1][0] / n), format!("{:.3}", acc[1][1] / n)]);
+        rows.push(vec![
+            format!("{den}"),
+            "single period".into(),
+            format!("{:.3}", acc[0][0] / n),
+            format!("{:.3}", acc[0][1] / n),
+        ]);
+        rows.push(vec![
+            format!("{den}"),
+            "2-of-3 voting".into(),
+            format!("{:.3}", acc[1][0] / n),
+            format!("{:.3}", acc[1][1] / n),
+        ]);
         eprintln!("  density {den} done");
     }
     println!("== Ablation: multi-period confirmation ==\n");
-    println!("{}", render_table(&["density", "confirmation", "DR", "FPR"], &rows));
+    println!(
+        "{}",
+        render_table(&["density", "confirmation", "DR", "FPR"], &rows)
+    );
 }

@@ -4,10 +4,10 @@
 //! paper's stated limitation (Section VII): a *per-packet* power-control
 //! attacker defeats Voiceprint even with normalisation.
 
-use vp_bench::{render_table, runs_per_point};
 use voiceprint::comparator::ComparisonConfig;
 use voiceprint::threshold::ThresholdPolicy;
 use voiceprint::VoiceprintDetector;
+use vp_bench::{render_table, runs_per_point};
 use vp_sim::{run_scenario, ScenarioConfig};
 
 fn main() {
@@ -21,7 +21,10 @@ fn main() {
         "no-zscore",
     );
     let mut rows = Vec::new();
-    for (attack, power_control) in [("constant spoofed TX power", false), ("per-packet power control", true)] {
+    for (attack, power_control) in [
+        ("constant spoofed TX power", false),
+        ("per-packet power control", true),
+    ] {
         let runs = runs_per_point();
         let mut acc = [[0.0f64; 2]; 2];
         for s in 0..runs {
@@ -37,12 +40,25 @@ fn main() {
             }
         }
         let n = runs as f64;
-        rows.push(vec![attack.into(), "with Z-score (Eq. 7)".into(), format!("{:.3}", acc[0][0] / n), format!("{:.3}", acc[0][1] / n)]);
-        rows.push(vec![attack.into(), "without Z-score".into(), format!("{:.3}", acc[1][0] / n), format!("{:.3}", acc[1][1] / n)]);
+        rows.push(vec![
+            attack.into(),
+            "with Z-score (Eq. 7)".into(),
+            format!("{:.3}", acc[0][0] / n),
+            format!("{:.3}", acc[0][1] / n),
+        ]);
+        rows.push(vec![
+            attack.into(),
+            "without Z-score".into(),
+            format!("{:.3}", acc[1][0] / n),
+            format!("{:.3}", acc[1][1] / n),
+        ]);
         eprintln!("  {attack} done");
     }
     println!("== Ablation: enhanced Z-score vs power-spoofing (density 30) ==\n");
-    println!("{}", render_table(&["attacker", "pipeline", "DR", "FPR"], &rows));
+    println!(
+        "{}",
+        render_table(&["attacker", "pipeline", "DR", "FPR"], &rows)
+    );
     println!("\npaper Section VII: \"Voiceprint cannot identify the malicious node if it");
     println!("adopts power control\" — visible as the DR collapse in the last rows.");
 }

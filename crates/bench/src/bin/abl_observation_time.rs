@@ -2,10 +2,10 @@
 //! Voiceprint "needs longer observation time to collect more RSSI values
 //! since it only uses the local information").
 
-use vp_bench::{render_table, runs_per_point};
 use voiceprint::comparator::ComparisonConfig;
 use voiceprint::threshold::ThresholdPolicy;
 use voiceprint::VoiceprintDetector;
+use vp_bench::{render_table, runs_per_point};
 use vp_sim::{run_scenario, ScenarioConfig};
 
 fn main() {
@@ -44,5 +44,8 @@ fn main() {
         eprintln!("  observation {obs}s done");
     }
     println!("== Ablation: observation time (density 30) ==\n");
-    println!("{}", render_table(&["observation time s", "DR", "FPR"], &rows));
+    println!(
+        "{}",
+        render_table(&["observation time s", "DR", "FPR"], &rows)
+    );
 }

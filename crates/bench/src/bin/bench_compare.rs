@@ -1,0 +1,108 @@
+//! Pairwise-comparison engine benchmark — sequential vs parallel vs
+//! lower-bound-pruned, at paper-scale neighbourhoods (Section VI measures
+//! the comparison phase; 200 samples ≈ 20 s observation at 10 Hz).
+//!
+//! Writes `results/BENCH_compare.json` with per-size wall-clock medians
+//! and the parallel speedup. Thread count follows `VP_NUM_THREADS` /
+//! `RAYON_NUM_THREADS` (default: all cores).
+
+use std::time::Instant;
+
+use voiceprint::comparator::{compare, compare_sequential, ComparisonConfig};
+
+fn neighbourhood(n: usize, samples: usize) -> Vec<(u64, Vec<f64>)> {
+    (0..n as u64)
+        .map(|id| {
+            let series: Vec<f64> = (0..samples)
+                .map(|k| {
+                    ((k as f64 * 0.07 + id as f64 * 0.41).sin()
+                        + (k as f64 * 0.019 + id as f64 * 1.3).cos())
+                        * 4.0
+                        - 72.0
+                })
+                .collect();
+            (id, series)
+        })
+        .collect()
+}
+
+/// Median wall-clock seconds of `reps` runs of `f`.
+fn median_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    let samples = 200;
+    let cfg = ComparisonConfig::default();
+    let pruned_cfg = ComparisonConfig {
+        prune_threshold: Some(0.05),
+        ..cfg
+    };
+    let threads = vp_par::max_threads();
+
+    let mut rows = Vec::new();
+    println!("pairwise comparison, {samples}-sample series, {threads} worker thread(s)");
+    println!(
+        "{:>4} {:>12} {:>12} {:>12} {:>8}",
+        "n", "seq ms", "par ms", "pruned ms", "speedup"
+    );
+    for n in [16usize, 48, 96] {
+        let series = neighbourhood(n, samples);
+        // Warm-up: fault in the pages and spin up the thread pool once.
+        let baseline = compare_sequential(&series, &cfg);
+        assert_eq!(compare(&series, &cfg), baseline, "parallel result diverged");
+
+        let reps = if n >= 96 { 5 } else { 9 };
+        let seq = median_secs(reps, || {
+            std::hint::black_box(compare_sequential(std::hint::black_box(&series), &cfg));
+        });
+        let par = median_secs(reps, || {
+            std::hint::black_box(compare(std::hint::black_box(&series), &cfg));
+        });
+        let pru = median_secs(reps, || {
+            std::hint::black_box(compare(std::hint::black_box(&series), &pruned_cfg));
+        });
+        let speedup = seq / par;
+        println!(
+            "{:>4} {:>12.3} {:>12.3} {:>12.3} {:>7.2}x",
+            n,
+            seq * 1e3,
+            par * 1e3,
+            pru * 1e3,
+            speedup
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"identities\": {}, \"pairs\": {}, \"sequential_ms\": {:.4}, ",
+                "\"parallel_ms\": {:.4}, \"parallel_pruned_ms\": {:.4}, \"speedup\": {:.3}}}"
+            ),
+            n,
+            n * (n - 1) / 2,
+            seq * 1e3,
+            par * 1e3,
+            pru * 1e3,
+            speedup
+        ));
+    }
+
+    let note = if threads == 1 {
+        "\n  \"note\": \"single worker thread (1 CPU or *_NUM_THREADS=1): parallel speedup is bounded at 1x on this machine; the pruned column shows the lower-bound gain\","
+    } else {
+        ""
+    };
+    let json = format!(
+        "{{\n  \"samples_per_series\": {samples},\n  \"threads\": {threads},{note}\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_compare.json", &json).expect("write BENCH_compare.json");
+    println!("wrote results/BENCH_compare.json");
+}

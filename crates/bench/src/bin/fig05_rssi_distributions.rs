@@ -3,8 +3,8 @@
 
 use vp_bench::render_table;
 use vp_fieldtest::measurements::{moving_campaign, stationary_campaign, stationary_report};
-use vp_stats::histogram::Histogram;
 use vp_stats::descriptive::Summary;
+use vp_stats::histogram::Histogram;
 
 fn main() {
     println!("== Figure 5a/5b: two stationary periods, 140 m apart, 10 min each ==\n");
@@ -29,8 +29,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["period", "samples", "mean dBm (ours/paper)", "std dB (ours/paper)",
-              "FSPL est. m (ours/paper)", "two-ray est. m (ours/paper)"],
+            &[
+                "period",
+                "samples",
+                "mean dBm (ours/paper)",
+                "std dB (ours/paper)",
+                "FSPL est. m (ours/paper)",
+                "two-ray est. m (ours/paper)"
+            ],
             &rows
         )
     );
@@ -40,7 +46,10 @@ fn main() {
     let s = Summary::of(&trace);
     let mut h = Histogram::new(s.min().floor() - 1.0, s.max().ceil() + 1.0, 24).unwrap();
     h.extend(trace.iter().copied());
-    println!("stationary RSSI histogram (period 1):\n{}", h.render_ascii(48));
+    println!(
+        "stationary RSSI histogram (period 1):\n{}",
+        h.render_ascii(48)
+    );
     let (chi, bins) = h.chi_square_vs_normal(5.0);
     println!("chi-square vs fitted normal: {chi:.1} over {bins} bins\n");
 
@@ -60,7 +69,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["segment", "mean dBm", "std dB", "chi-square vs normal"], &rows)
+        render_table(
+            &["segment", "mean dBm", "std dB", "chi-square vs normal"],
+            &rows
+        )
     );
     println!("large chi-square statistics = the RSSI \"barely shows the normal distribution\"");
     println!("when the vehicle keeps moving (Observation 1).");

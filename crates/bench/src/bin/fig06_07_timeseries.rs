@@ -49,6 +49,12 @@ fn main() {
     println!("Observation 3: the Sybil series track the malicious node's series");
     println!("(same radio, same channel realisation); the side-by-side normal node");
     println!("is close in mean but follows its own fading pattern.\n");
-    show(0, "Figure 6 — recorded by normal node 1 (ahead of the malicious node)");
-    show(3, "Figure 7 — recorded by normal node 3 (behind the malicious node)");
+    show(
+        0,
+        "Figure 6 — recorded by normal node 1 (ahead of the malicious node)",
+    );
+    show(
+        3,
+        "Figure 7 — recorded by normal node 3 (behind the malicious node)",
+    );
 }

@@ -17,7 +17,12 @@ fn main() {
     println!("paper's Figure 9 caption:            9 (not reachable by the recursion)");
     println!("optimal warp path (1-based, as in the paper):");
     for (i, j) in &path {
-        println!("  ({}, {})  cost {}", i + 1, j + 1, point_cost(x[*i], y[*j]));
+        println!(
+            "  ({}, {})  cost {}",
+            i + 1,
+            j + 1,
+            point_cost(x[*i], y[*j])
+        );
     }
     assert!(is_valid_warp_path(&path, x.len(), y.len()));
     let total: f64 = path.iter().map(|&(i, j)| point_cost(x[i], y[j])).sum();

@@ -7,9 +7,9 @@
 //!    banded-DTW distances) — the constants baked into
 //!    `ThresholdPolicy::calibrated_simulation()`.
 
-use vp_bench::{density_grid, render_table, runs_per_point};
 use voiceprint::comparator::ComparisonConfig;
 use voiceprint::training::{collect_training_points, train_decision_line, train_quantile_line};
+use vp_bench::{density_grid, render_table, runs_per_point};
 use vp_sim::{run_scenario, ScenarioConfig};
 
 fn main() {
@@ -29,8 +29,14 @@ fn main() {
     }
 
     for (label, comparison) in [
-        ("calibrated (per-step banded DTW)", ComparisonConfig::default()),
-        ("paper-strict (min–max FastDTW)", ComparisonConfig::paper_strict()),
+        (
+            "calibrated (per-step banded DTW)",
+            ComparisonConfig::default(),
+        ),
+        (
+            "paper-strict (min–max FastDTW)",
+            ComparisonConfig::paper_strict(),
+        ),
     ] {
         let points = collect_training_points(&outcomes, &comparison);
         let sybil = points.iter().filter(|p| p.is_sybil_pair).count();
@@ -41,9 +47,19 @@ fn main() {
         let mut rows = Vec::new();
         for lo in [0.0, 20.0, 40.0, 60.0, 80.0] {
             let hi = lo + 20.0;
-            let s: Vec<f64> = points.iter().filter(|p| p.is_sybil_pair && p.density_per_km >= lo && p.density_per_km < hi).map(|p| p.distance).collect();
-            let n: Vec<f64> = points.iter().filter(|p| !p.is_sybil_pair && p.density_per_km >= lo && p.density_per_km < hi).map(|p| p.distance).collect();
-            if s.is_empty() || n.is_empty() { continue; }
+            let s: Vec<f64> = points
+                .iter()
+                .filter(|p| p.is_sybil_pair && p.density_per_km >= lo && p.density_per_km < hi)
+                .map(|p| p.distance)
+                .collect();
+            let n: Vec<f64> = points
+                .iter()
+                .filter(|p| !p.is_sybil_pair && p.density_per_km >= lo && p.density_per_km < hi)
+                .map(|p| p.distance)
+                .collect();
+            if s.is_empty() || n.is_empty() {
+                continue;
+            }
             rows.push(vec![
                 format!("{lo}-{hi}"),
                 format!("{:.4}", vp_stats::descriptive::median(&s)),
@@ -55,13 +71,22 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &["density bin", "sybil q50", "sybil q90", "normal q01", "normal q50"],
+                &[
+                    "density bin",
+                    "sybil q50",
+                    "sybil q90",
+                    "normal q01",
+                    "normal q50"
+                ],
                 &rows
             )
         );
 
         match train_decision_line(&points) {
-            Ok(line) => println!("LDA boundary:      D <= {:.6}*den + {:.4}   (paper: 0.00054*den + 0.0483)", line.k, line.b),
+            Ok(line) => println!(
+                "LDA boundary:      D <= {:.6}*den + {:.4}   (paper: 0.00054*den + 0.0483)",
+                line.k, line.b
+            ),
             Err(e) => println!("LDA boundary:      {e}"),
         }
         match train_quantile_line(&points, 5, 0.75, 0.0015) {

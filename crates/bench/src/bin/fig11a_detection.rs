@@ -2,10 +2,10 @@
 //! density, WITHOUT propagation-model change: Voiceprint vs the CPVSAD
 //! cooperative baseline.
 
-use vp_baseline::CpvsadDetector;
-use vp_bench::{density_grid, render_table, runs_per_point, sparkline};
 use voiceprint::threshold::ThresholdPolicy;
 use voiceprint::VoiceprintDetector;
+use vp_baseline::CpvsadDetector;
+use vp_bench::{density_grid, render_table, runs_per_point, sparkline};
 use vp_sim::{run_scenario, ScenarioConfig};
 
 fn main() {
@@ -44,7 +44,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["density (vhls/km)", "Voiceprint DR", "Voiceprint FPR", "CPVSAD DR", "CPVSAD FPR"],
+            &[
+                "density (vhls/km)",
+                "Voiceprint DR",
+                "Voiceprint FPR",
+                "CPVSAD DR",
+                "CPVSAD FPR"
+            ],
             &rows
         )
     );

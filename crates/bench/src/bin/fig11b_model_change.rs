@@ -3,10 +3,10 @@
 //! model-free and barely moves; CPVSAD's statistical test and position
 //! estimation lose calibration.
 
-use vp_baseline::CpvsadDetector;
-use vp_bench::{density_grid, render_table, runs_per_point};
 use voiceprint::threshold::ThresholdPolicy;
 use voiceprint::VoiceprintDetector;
+use vp_baseline::CpvsadDetector;
+use vp_bench::{density_grid, render_table, runs_per_point};
 use vp_sim::{run_scenario, ScenarioConfig};
 
 fn main() {
@@ -44,7 +44,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["density (vhls/km)", "Voiceprint DR", "Voiceprint FPR", "CPVSAD DR", "CPVSAD FPR"],
+            &[
+                "density (vhls/km)",
+                "Voiceprint DR",
+                "Voiceprint FPR",
+                "CPVSAD DR",
+                "CPVSAD FPR"
+            ],
             &rows
         )
     );

@@ -30,8 +30,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["environment", "detections (ours/paper)", "DR (paper: 1.000)",
-              "FPR (paper overall: 0.0095)"],
+            &[
+                "environment",
+                "detections (ours/paper)",
+                "DR (paper: 1.000)",
+                "FPR (paper overall: 0.0095)"
+            ],
             &rows
         )
     );

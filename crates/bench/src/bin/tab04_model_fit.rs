@@ -26,8 +26,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["environment", "samples", "dc m (fit/true)", "γ1 (fit/true)",
-              "γ2 (fit/true)", "σ1 dB (fit/true)", "σ2 dB (fit/true)"],
+            &[
+                "environment",
+                "samples",
+                "dc m (fit/true)",
+                "γ1 (fit/true)",
+                "γ2 (fit/true)",
+                "σ1 dB (fit/true)",
+                "σ2 dB (fit/true)"
+            ],
             &rows
         )
     );

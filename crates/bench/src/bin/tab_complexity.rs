@@ -26,7 +26,10 @@ fn main() {
         acc += fast_dtw(&a, &b, 1);
     }
     let per_pair = t0.elapsed().as_secs_f64() / reps as f64;
-    println!("pair comparison (200-sample FastDTW r=1): {:.4} ms  [paper: 0.1995 ms]", per_pair * 1e3);
+    println!(
+        "pair comparison (200-sample FastDTW r=1): {:.4} ms  [paper: 0.1995 ms]",
+        per_pair * 1e3
+    );
 
     // 80 neighbours → 80·79/2 = 3160 pairwise comparisons.
     let neighbours: Vec<Vec<f64>> = (0..80)
@@ -39,6 +42,9 @@ fn main() {
         }
     }
     let scan = t0.elapsed().as_secs_f64();
-    println!("80-neighbour full scan (3160 pairs):      {:.1} ms  [paper: ~630 ms]", scan * 1e3);
+    println!(
+        "80-neighbour full scan (3160 pairs):      {:.1} ms  [paper: ~630 ms]",
+        scan * 1e3
+    );
     println!("(accumulator {acc:.3e} — prevents the optimiser from eliding the work)");
 }

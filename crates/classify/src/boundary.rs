@@ -54,7 +54,10 @@ impl LinearRule {
     ///
     /// Panics if the dataset dimension does not match or is empty.
     pub fn accuracy(&self, data: &Dataset) -> f64 {
-        assert!(!data.is_empty(), "accuracy of an empty dataset is undefined");
+        assert!(
+            !data.is_empty(),
+            "accuracy of an empty dataset is undefined"
+        );
         let correct = data
             .iter()
             .filter(|(x, label)| self.classify(x) == *label)
@@ -96,6 +99,8 @@ impl DecisionLine {
     ///
     /// Returns `None` when the rule is not 2-D, is vertical in the
     /// distance axis, or points the wrong way.
+    // The negated comparison is deliberate: a NaN weight must yield None.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn from_rule(rule: &LinearRule) -> Option<DecisionLine> {
         let w = rule.weights();
         if w.len() != 2 {

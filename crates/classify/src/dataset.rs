@@ -113,7 +113,9 @@ impl Dataset {
 
     /// Iterator over `(features, label)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&[f64], bool)> {
-        self.features.chunks(self.dim).zip(self.labels.iter().copied())
+        self.features
+            .chunks(self.dim)
+            .zip(self.labels.iter().copied())
     }
 
     /// Per-dimension mean of one class (`None` when that class is empty).

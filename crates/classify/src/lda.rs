@@ -49,7 +49,10 @@ impl std::fmt::Display for LdaError {
         match self {
             LdaError::EmptyClass => write!(f, "both classes need at least one sample"),
             LdaError::SingularCovariance => {
-                write!(f, "pooled covariance is singular; add jitter or drop constant features")
+                write!(
+                    f,
+                    "pooled covariance is singular; add jitter or drop constant features"
+                )
             }
         }
     }
@@ -104,8 +107,7 @@ impl LinearDiscriminant {
         // Sybil cluster is far tighter than the normal cloud) it moves the
         // boundary toward the tight cluster — matching the paper's small
         // intercept in Figure 10.
-        let project =
-            |x: &[f64]| weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
+        let project = |x: &[f64]| weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
         let mut pos_proj = vp_stats::descriptive::Summary::new();
         let mut neg_proj = vp_stats::descriptive::Summary::new();
         for (x, label) in data.iter() {
@@ -166,8 +168,7 @@ fn gaussian_intersection(m0: f64, s0: f64, p0: f64, m1: f64, s1: f64, p1: f64) -
     // Quadratic a·t² + b·t + c = 0 from equating the log densities.
     let a = 1.0 / (2.0 * s1 * s1) - 1.0 / (2.0 * s0 * s0);
     let b = m0 / (s0 * s0) - m1 / (s1 * s1);
-    let c = m1 * m1 / (2.0 * s1 * s1) - m0 * m0 / (2.0 * s0 * s0)
-        + (p0 * s1 / (p1 * s0)).ln();
+    let c = m1 * m1 / (2.0 * s1 * s1) - m0 * m0 / (2.0 * s0 * s0) + (p0 * s1 / (p1 * s0)).ln();
     let disc = b * b - 4.0 * a * c;
     if disc < 0.0 {
         return midpoint(s_pooled);

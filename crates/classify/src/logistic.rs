@@ -167,8 +167,10 @@ mod tests {
         let mut data = Dataset::new(2);
         for _ in 0..200 {
             let den = 10.0 + rng.gen::<f64>() * 90.0;
-            data.push(&[den, 0.02 + rng.gen::<f64>() * 0.04], true).unwrap();
-            data.push(&[den, 0.2 + rng.gen::<f64>() * 0.5], false).unwrap();
+            data.push(&[den, 0.02 + rng.gen::<f64>() * 0.04], true)
+                .unwrap();
+            data.push(&[den, 0.2 + rng.gen::<f64>() * 0.5], false)
+                .unwrap();
         }
         data
     }

@@ -107,14 +107,14 @@ impl Perceptron {
             let mut mistakes = 0usize;
             for (x, label) in data.iter() {
                 let mut z = b;
-                for j in 0..dim {
-                    z += w[j] * std_x(x, j);
+                for (j, wj) in w.iter().enumerate() {
+                    z += wj * std_x(x, j);
                 }
                 let y = if label { 1.0 } else { -1.0 };
                 if z * y <= 0.0 {
                     mistakes += 1;
-                    for j in 0..dim {
-                        w[j] += config.learning_rate * y * std_x(x, j);
+                    for (j, wj) in w.iter_mut().enumerate() {
+                        *wj += config.learning_rate * y * std_x(x, j);
                     }
                     b += config.learning_rate * y;
                 }
@@ -170,8 +170,10 @@ mod tests {
         let mut data = Dataset::new(2);
         for _ in 0..150 {
             let den = 10.0 + rng.gen::<f64>() * 90.0;
-            data.push(&[den, 0.02 + rng.gen::<f64>() * 0.03], true).unwrap();
-            data.push(&[den, 0.25 + rng.gen::<f64>() * 0.5], false).unwrap();
+            data.push(&[den, 0.02 + rng.gen::<f64>() * 0.03], true)
+                .unwrap();
+            data.push(&[den, 0.25 + rng.gen::<f64>() * 0.5], false)
+                .unwrap();
         }
         data
     }

@@ -63,8 +63,12 @@ mod tests {
     fn series() -> (Vec<Vec<f64>>, Vec<u64>) {
         let shape: Vec<f64> = (0..120).map(|t| (t as f64 * 0.13).sin() * 4.0).collect();
         let rssi = vec![
-            (0..120).map(|t| ((t as f64 * 0.05).cos() + (t as f64 * 0.19).sin()) * 3.0 - 75.0).collect(),
-            (0..120).map(|t| ((t as f64 * 0.033).sin() - (t as f64 * 0.27).cos()) * 3.0 - 71.0).collect(),
+            (0..120)
+                .map(|t| ((t as f64 * 0.05).cos() + (t as f64 * 0.19).sin()) * 3.0 - 75.0)
+                .collect(),
+            (0..120)
+                .map(|t| ((t as f64 * 0.033).sin() - (t as f64 * 0.27).cos()) * 3.0 - 71.0)
+                .collect(),
             shape.iter().map(|v| v - 70.0).collect(),
             shape.iter().map(|v| v - 65.0).collect(),
         ];

@@ -6,10 +6,17 @@
 //! measure and both normalisations are configurable so the ablation
 //! experiments can quantify what each step buys.
 
+use std::borrow::Cow;
+
+use vp_par::par_fill_with_threads;
 use vp_timeseries::distance::squared_euclidean;
-use vp_timeseries::dtw::{dtw, dtw_banded};
-use vp_timeseries::fastdtw::fast_dtw;
+use vp_timeseries::dtw::{
+    dtw_banded_prunable_with_scratch, dtw_banded_with_scratch, dtw_with_scratch,
+};
+use vp_timeseries::fastdtw::fast_dtw_with_scratch;
+use vp_timeseries::lowerbound::lb_keogh_banded_with_scratch;
 use vp_timeseries::normalize::{min_max_normalize, z_score_enhanced};
+use vp_timeseries::scratch::DtwScratch;
 
 use crate::IdentityId;
 
@@ -77,6 +84,22 @@ pub struct ComparisonConfig {
     pub per_step_cost: bool,
     /// Series shorter than this are excluded from comparison.
     pub min_series_len: usize,
+    /// Opt-in lower-bound pruning for [`DistanceMeasure::BandedDtw`].
+    ///
+    /// When set, pairs whose distance provably exceeds this threshold are
+    /// not computed exactly: the engine first checks the cheap LB_Keogh
+    /// lower bound, then runs the banded DP with early abandoning. A
+    /// pruned pair's stored distance is a lower bound on its true distance
+    /// that is itself strictly above the threshold, so any detector that
+    /// classifies by `distance <= prune_threshold` decides identically to
+    /// the unpruned engine. The value is in the same units as the reported
+    /// distances (i.e. *after* the `per_step_cost` division when that is
+    /// enabled) — use the detector's match threshold.
+    ///
+    /// Ignored for non-banded measures, and ignored when
+    /// `min_max_normalize` is on (Eq. 8 rescales by the window maximum,
+    /// which a pruned lower bound would distort for every pair).
+    pub prune_threshold: Option<f64>,
 }
 
 impl Default for ComparisonConfig {
@@ -87,6 +110,7 @@ impl Default for ComparisonConfig {
             min_max_normalize: false,
             per_step_cost: true,
             min_series_len: 100,
+            prune_threshold: None,
         }
     }
 }
@@ -102,6 +126,18 @@ impl ComparisonConfig {
             min_max_normalize: true,
             per_step_cost: false,
             min_series_len: 10,
+            prune_threshold: None,
+        }
+    }
+
+    /// The pruning threshold if it is sound to apply under this
+    /// configuration: pruning is only implemented for the banded measure
+    /// and is disabled under min–max normalisation (see
+    /// [`ComparisonConfig::prune_threshold`]).
+    fn effective_prune_threshold(&self) -> Option<f64> {
+        match self.measure {
+            DistanceMeasure::BandedDtw { .. } if !self.min_max_normalize => self.prune_threshold,
+            _ => None,
         }
     }
 }
@@ -173,12 +209,36 @@ impl PairwiseDistances {
     }
 }
 
-/// Runs the comparison phase over collected series.
+/// Runs the comparison phase over collected series, fanning the pairwise
+/// distance computations out over the available cores.
 ///
 /// Series shorter than `config.min_series_len` are dropped; if fewer than
 /// two remain, the result is empty. Input order does not matter; the
 /// output identities are sorted.
+///
+/// The result is **bit-identical** to [`compare_sequential`] for every
+/// configuration and thread count: each upper-triangle slot is written by
+/// a pure function of its pair, so scheduling cannot affect values (see
+/// DESIGN.md, "Parallel comparison engine"). The thread budget follows
+/// `VP_NUM_THREADS` / `RAYON_NUM_THREADS` (see [`vp_par::max_threads`]).
 pub fn compare(series: &[(IdentityId, Vec<f64>)], config: &ComparisonConfig) -> PairwiseDistances {
+    compare_with_threads(series, config, vp_par::max_threads())
+}
+
+/// Single-threaded reference form of [`compare`]: same results,
+/// bit-for-bit, computed on the calling thread only.
+pub fn compare_sequential(
+    series: &[(IdentityId, Vec<f64>)],
+    config: &ComparisonConfig,
+) -> PairwiseDistances {
+    compare_with_threads(series, config, 1)
+}
+
+fn compare_with_threads(
+    series: &[(IdentityId, Vec<f64>)],
+    config: &ComparisonConfig,
+    threads: usize,
+) -> PairwiseDistances {
     let mut kept: Vec<(IdentityId, &[f64])> = series
         .iter()
         .filter(|(_, s)| s.len() >= config.min_series_len.max(1))
@@ -193,41 +253,106 @@ pub fn compare(series: &[(IdentityId, Vec<f64>)], config: &ComparisonConfig) -> 
         };
     }
 
-    let prepared: Vec<Vec<f64>> = kept
+    // Without Eq. 7 the series go into the kernels as-is — borrow them
+    // instead of copying.
+    let prepared: Vec<Cow<'_, [f64]>> = kept
         .iter()
         .map(|(_, s)| {
             if config.z_score_normalize {
-                z_score_enhanced(s)
+                Cow::Owned(z_score_enhanced(s))
             } else {
-                s.to_vec()
+                Cow::Borrowed(*s)
             }
         })
         .collect();
 
     let n = prepared.len();
-    let mut raw = Vec::with_capacity(n * (n - 1) / 2);
+    let mut pairs = Vec::with_capacity(n * (n - 1) / 2);
     for i in 0..n {
         for j in (i + 1)..n {
-            let (a, b) = (&prepared[i], &prepared[j]);
-            let mut d = match config.measure {
-                DistanceMeasure::FastDtw { radius } => fast_dtw(a, b, radius),
-                DistanceMeasure::BandedDtw { band_fraction } => {
-                    let band = ((a.len().max(b.len()) as f64 * band_fraction).ceil() as usize)
-                        .max(3);
-                    dtw_banded(a, b, band)
-                }
-                DistanceMeasure::ExactDtw => dtw(a, b),
-                DistanceMeasure::TruncatedEuclidean => {
-                    let m = a.len().min(b.len());
-                    squared_euclidean(&a[..m], &b[..m])
-                }
-            };
-            if config.per_step_cost {
-                d /= a.len().max(b.len()) as f64;
-            }
-            raw.push(d);
+            pairs.push((i as u32, j as u32));
         }
     }
+    let mut raw = vec![0.0f64; pairs.len()];
+
+    // The measure is dispatched once, outside the pair loop; each arm
+    // hands a monomorphised kernel to the branch-free fill below.
+    match config.measure {
+        DistanceMeasure::FastDtw { radius } => {
+            fill_pairs(
+                &mut raw,
+                &pairs,
+                &prepared,
+                config,
+                threads,
+                |a, b, _, s| fast_dtw_with_scratch(a, b, radius, s),
+            );
+        }
+        DistanceMeasure::BandedDtw { band_fraction } => {
+            match config.effective_prune_threshold() {
+                None => {
+                    fill_pairs(
+                        &mut raw,
+                        &pairs,
+                        &prepared,
+                        config,
+                        threads,
+                        |a, b, max_len, s| {
+                            let band = band_width(max_len, band_fraction);
+                            dtw_banded_with_scratch(a, b, band, s)
+                        },
+                    );
+                }
+                Some(t) => {
+                    let per_step = config.per_step_cost;
+                    fill_pairs(
+                        &mut raw,
+                        &pairs,
+                        &prepared,
+                        config,
+                        threads,
+                        move |a, b, max_len, s| {
+                            let band = band_width(max_len, band_fraction);
+                            // The threshold is in reported-distance units;
+                            // undo the per-step division for the raw-cost
+                            // kernels.
+                            let t_raw = if per_step { t * max_len as f64 } else { t };
+                            let lb = lb_keogh_banded_with_scratch(a, b, band, s);
+                            if lb > t_raw {
+                                lb
+                            } else {
+                                dtw_banded_prunable_with_scratch(a, b, band, t_raw, s).value()
+                            }
+                        },
+                    );
+                }
+            }
+        }
+        DistanceMeasure::ExactDtw => {
+            fill_pairs(
+                &mut raw,
+                &pairs,
+                &prepared,
+                config,
+                threads,
+                |a, b, _, s| dtw_with_scratch(a, b, s),
+            );
+        }
+        DistanceMeasure::TruncatedEuclidean => {
+            fill_pairs(
+                &mut raw,
+                &pairs,
+                &prepared,
+                config,
+                threads,
+                |a, b, _, _| {
+                    let m = a.len().min(b.len());
+                    squared_euclidean(&a[..m], &b[..m])
+                },
+            );
+        }
+    }
+
     let normalized = if config.min_max_normalize {
         min_max_normalize(&raw)
     } else {
@@ -240,6 +365,42 @@ pub fn compare(series: &[(IdentityId, Vec<f64>)], config: &ComparisonConfig) -> 
     }
 }
 
+/// Sakoe–Chiba half-width for a pair whose longer series has `max_len`
+/// samples (the per-pair part of the band bookkeeping; the fraction is
+/// fixed per call).
+#[inline]
+fn band_width(max_len: usize, band_fraction: f64) -> usize {
+    ((max_len as f64 * band_fraction).ceil() as usize).max(3)
+}
+
+/// Fills the upper-triangle `raw` slots by evaluating `kernel` on every
+/// pair, in parallel over `threads` workers with one [`DtwScratch`] per
+/// worker. Slot `k` depends only on pair `k`, so results are bit-identical
+/// to the `threads == 1` sequential loop.
+fn fill_pairs<K>(
+    raw: &mut [f64],
+    pairs: &[(u32, u32)],
+    prepared: &[Cow<'_, [f64]>],
+    config: &ComparisonConfig,
+    threads: usize,
+    kernel: K,
+) where
+    K: Fn(&[f64], &[f64], usize, &mut DtwScratch) -> f64 + Sync,
+{
+    let per_step = config.per_step_cost;
+    par_fill_with_threads(raw, threads, DtwScratch::new, |k, slot, scratch| {
+        let (i, j) = pairs[k];
+        let a = prepared[i as usize].as_ref();
+        let b = prepared[j as usize].as_ref();
+        let max_len = a.len().max(b.len());
+        let mut d = kernel(a, b, max_len, scratch);
+        if per_step {
+            d /= max_len as f64;
+        }
+        *slot = d;
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,8 +409,12 @@ mod tests {
     /// distinct honest series.
     fn synthetic() -> Vec<(IdentityId, Vec<f64>)> {
         let shape: Vec<f64> = (0..120).map(|k| (k as f64 * 0.17).sin() * 4.0).collect();
-        let honest1: Vec<f64> = (0..120).map(|k| (k as f64 * 0.05).cos() * 4.0 - 75.0).collect();
-        let honest2: Vec<f64> = (0..118).map(|k| ((k as f64 * 0.11).sin() + (k as f64 * 0.029).cos()) * 3.0 - 80.0).collect();
+        let honest1: Vec<f64> = (0..120)
+            .map(|k| (k as f64 * 0.05).cos() * 4.0 - 75.0)
+            .collect();
+        let honest2: Vec<f64> = (0..118)
+            .map(|k| ((k as f64 * 0.11).sin() + (k as f64 * 0.029).cos()) * 3.0 - 80.0)
+            .collect();
         vec![
             (100, shape.iter().map(|v| v - 70.0).collect()),
             (101, shape.iter().map(|v| v - 64.0).collect()),
@@ -298,8 +463,10 @@ mod tests {
     fn power_spoofing_defeated_only_with_z_score() {
         let series = synthetic();
         let with = compare(&series, &ComparisonConfig::default());
-        let mut cfg = ComparisonConfig::default();
-        cfg.z_score_normalize = false;
+        let cfg = ComparisonConfig {
+            z_score_normalize: false,
+            ..ComparisonConfig::default()
+        };
         let without = compare(&series, &cfg);
         // With normalisation the offset Sybil pair (100, 101) is nearly
         // identical; without it the 6 dB offset dominates.
@@ -338,7 +505,10 @@ mod tests {
         let series: Vec<(IdentityId, Vec<f64>)> = vec![
             (1, (0..100).map(|k| (k as f64 * 0.2).sin() - 70.0).collect()),
             (2, (0..100).map(|k| (k as f64 * 0.2).sin() - 60.0).collect()),
-            (3, (0..100).map(|k| (k as f64 * 0.07).cos() - 75.0).collect()),
+            (
+                3,
+                (0..100).map(|k| (k as f64 * 0.07).cos() - 75.0).collect(),
+            ),
         ];
         for measure in [
             DistanceMeasure::FastDtw { radius: 1 },
@@ -361,6 +531,121 @@ mod tests {
         assert_eq!(pd.iter().count(), 10);
         for (a, b, _) in pd.iter() {
             assert!(a < b);
+        }
+    }
+
+    /// A larger population exercising the parallel fan-out (24 identities
+    /// → 276 pairs, past the inline-execution threshold).
+    fn population(n_ids: usize) -> Vec<(IdentityId, Vec<f64>)> {
+        (0..n_ids)
+            .map(|v| {
+                let len = 110 + (v * 7) % 30;
+                let series = (0..len)
+                    .map(|k| {
+                        let t = k as f64 * 0.1;
+                        (t * (1.0 + v as f64 * 0.13)).sin() * 4.0 - 70.0 - v as f64
+                    })
+                    .collect();
+                (v as IdentityId, series)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential() {
+        let series = population(24);
+        for config in [
+            ComparisonConfig::default(),
+            ComparisonConfig::paper_strict(),
+            ComparisonConfig {
+                measure: DistanceMeasure::ExactDtw,
+                z_score_normalize: false,
+                ..ComparisonConfig::default()
+            },
+            ComparisonConfig {
+                prune_threshold: Some(0.05),
+                ..ComparisonConfig::default()
+            },
+        ] {
+            let par = compare(&series, &config);
+            let seq = compare_sequential(&series, &config);
+            assert_eq!(par.ids(), seq.ids());
+            for i in 0..par.len() {
+                for j in (i + 1)..par.len() {
+                    assert_eq!(
+                        par.raw_between(i, j).to_bits(),
+                        seq.raw_between(i, j).to_bits(),
+                        "raw mismatch at ({i},{j}) for {config:?}"
+                    );
+                    assert_eq!(
+                        par.normalized_between(i, j).to_bits(),
+                        seq.normalized_between(i, j).to_bits(),
+                        "normalized mismatch at ({i},{j}) for {config:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_classifies_identically_and_never_underestimates() {
+        let series = population(20);
+        let exact = compare(&series, &ComparisonConfig::default());
+        for threshold in [0.001, 0.01, 0.1, 1.0, 10.0] {
+            let pruned = compare(
+                &series,
+                &ComparisonConfig {
+                    prune_threshold: Some(threshold),
+                    ..ComparisonConfig::default()
+                },
+            );
+            for i in 0..exact.len() {
+                for j in (i + 1)..exact.len() {
+                    let e = exact.raw_between(i, j);
+                    let p = pruned.raw_between(i, j);
+                    // Same side of the threshold…
+                    assert_eq!(
+                        e <= threshold,
+                        p <= threshold,
+                        "classification flip at ({i},{j}), t={threshold}: exact {e}, pruned {p}"
+                    );
+                    // …and a pruned value is a lower bound, never above
+                    // the true distance, never below threshold.
+                    assert!(p <= e + 1e-12, "pruned {p} above exact {e}");
+                    if p.to_bits() != e.to_bits() {
+                        assert!(p > threshold, "replaced value {p} not above {threshold}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_ignored_under_min_max_and_non_banded_measures() {
+        let series = population(12);
+        for base in [
+            ComparisonConfig {
+                min_max_normalize: true,
+                ..ComparisonConfig::default()
+            },
+            ComparisonConfig {
+                measure: DistanceMeasure::FastDtw { radius: 1 },
+                ..ComparisonConfig::default()
+            },
+            ComparisonConfig {
+                measure: DistanceMeasure::ExactDtw,
+                ..ComparisonConfig::default()
+            },
+        ] {
+            let without = compare(&series, &base);
+            let with = compare(
+                &series,
+                &ComparisonConfig {
+                    prune_threshold: Some(1e-6),
+                    ..base
+                },
+            );
+            assert_eq!(without, with, "pruning leaked into {base:?}");
         }
     }
 

@@ -145,8 +145,12 @@ mod tests {
     fn distances_with_two_sybil_clusters() -> PairwiseDistances {
         // Attacker A: identities 100, 101; attacker B: 200, 201, 202;
         // honest: 1, 2.
-        let shape_a: Vec<f64> = (0..100).map(|k| (k as f64 * 0.2).sin() * 4.0 - 70.0).collect();
-        let shape_b: Vec<f64> = (0..100).map(|k| (k as f64 * 0.13).cos() * 4.0 - 72.0).collect();
+        let shape_a: Vec<f64> = (0..100)
+            .map(|k| (k as f64 * 0.2).sin() * 4.0 - 70.0)
+            .collect();
+        let shape_b: Vec<f64> = (0..100)
+            .map(|k| (k as f64 * 0.13).cos() * 4.0 - 72.0)
+            .collect();
         let mut series = vec![
             (100, shape_a.clone()),
             (101, shape_a.iter().map(|v| v + 5.0).collect()),
@@ -154,8 +158,18 @@ mod tests {
             (201, shape_b.iter().map(|v| v - 3.0).collect()),
             (202, shape_b.iter().map(|v| v + 2.0).collect()),
         ];
-        series.push((1, (0..100).map(|k| ((k as f64 * 0.07).sin() + (k as f64 * 0.31).cos()) * 3.0 - 75.0).collect()));
-        series.push((2, (0..100).map(|k| ((k as f64 * 0.047).cos() + (k as f64 * 0.23).sin()) * 3.0 - 68.0).collect()));
+        series.push((
+            1,
+            (0..100)
+                .map(|k| ((k as f64 * 0.07).sin() + (k as f64 * 0.31).cos()) * 3.0 - 75.0)
+                .collect(),
+        ));
+        series.push((
+            2,
+            (0..100)
+                .map(|k| ((k as f64 * 0.047).cos() + (k as f64 * 0.23).sin()) * 3.0 - 68.0)
+                .collect(),
+        ));
         compare(&series, &ComparisonConfig::default())
     }
 

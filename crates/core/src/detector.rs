@@ -27,6 +27,7 @@ pub struct VoiceprintDetector {
     policy: ThresholdPolicy,
     comparison: ComparisonConfig,
     name: String,
+    prune_from_policy: bool,
 }
 
 impl VoiceprintDetector {
@@ -38,6 +39,7 @@ impl VoiceprintDetector {
             policy,
             comparison: ComparisonConfig::default(),
             name: "Voiceprint".to_owned(),
+            prune_from_policy: false,
         }
     }
 
@@ -49,6 +51,7 @@ impl VoiceprintDetector {
             policy,
             comparison: ComparisonConfig::paper_strict(),
             name: "Voiceprint-strict".to_owned(),
+            prune_from_policy: false,
         }
     }
 
@@ -64,7 +67,23 @@ impl VoiceprintDetector {
             policy,
             comparison,
             name: name.to_owned(),
+            prune_from_policy: false,
         }
+    }
+
+    /// Enables lower-bound pruning driven by the threshold policy: at each
+    /// detection the comparison threshold
+    /// [`ComparisonConfig::prune_threshold`] is set from
+    /// [`ThresholdPolicy::threshold_at`] for the observed density, letting
+    /// the banded-DTW kernel abandon pairs that provably land above the
+    /// decision threshold. Confirmation flags `distance <= threshold`
+    /// pairs, and a pruned pair's stored lower bound is strictly above the
+    /// threshold, so the suspect set (and every flagged pair) is identical
+    /// to the unpruned run. No effect for measures/normalisations where
+    /// pruning is unsound (see [`ComparisonConfig::prune_threshold`]).
+    pub fn with_pruning(mut self) -> Self {
+        self.prune_from_policy = true;
+        self
     }
 
     /// The threshold policy in force.
@@ -79,12 +98,14 @@ impl VoiceprintDetector {
 
     /// Runs comparison + confirmation on raw series, returning the full
     /// verdict (groups, flagged pairs) rather than just the suspect list.
-    pub fn verdict(
-        &self,
-        series: &[(IdentityId, Vec<f64>)],
-        density_per_km: f64,
-    ) -> SybilVerdict {
-        let distances = compare(series, &self.comparison);
+    pub fn verdict(&self, series: &[(IdentityId, Vec<f64>)], density_per_km: f64) -> SybilVerdict {
+        let distances = if self.prune_from_policy && self.comparison.prune_threshold.is_none() {
+            let mut comparison = self.comparison;
+            comparison.prune_threshold = Some(self.policy.threshold_at(density_per_km));
+            compare(series, &comparison)
+        } else {
+            compare(series, &self.comparison)
+        };
         confirm(&distances, density_per_km, &self.policy)
     }
 }
@@ -113,9 +134,24 @@ mod tests {
             observer_position_m: (0.0, 0.0),
             observer_forward: true,
             series: vec![
-                (1, (0..150).map(|k| ((k as f64 * 0.045).cos() + (k as f64 * 0.21).sin()) * 3.5 - 74.0).collect()),
-                (2, (0..150).map(|k| ((k as f64 * 0.083).sin() + (k as f64 * 0.29).cos()) * 3.5 - 69.0).collect()),
-                (3, (0..150).map(|k| ((k as f64 * 0.031).sin() - (k as f64 * 0.17).cos()) * 3.5 - 80.0).collect()),
+                (
+                    1,
+                    (0..150)
+                        .map(|k| ((k as f64 * 0.045).cos() + (k as f64 * 0.21).sin()) * 3.5 - 74.0)
+                        .collect(),
+                ),
+                (
+                    2,
+                    (0..150)
+                        .map(|k| ((k as f64 * 0.083).sin() + (k as f64 * 0.29).cos()) * 3.5 - 69.0)
+                        .collect(),
+                ),
+                (
+                    3,
+                    (0..150)
+                        .map(|k| ((k as f64 * 0.031).sin() - (k as f64 * 0.17).cos()) * 3.5 - 80.0)
+                        .collect(),
+                ),
                 (100, shape.iter().map(|v| v - 70.0).collect()),
                 (101, shape.iter().map(|v| v - 64.5).collect()),
                 (102, shape.iter().take(140).map(|v| v - 75.5).collect()),
@@ -150,6 +186,19 @@ mod tests {
             "Voiceprint-euclid",
         );
         assert_eq!(detector.name(), "Voiceprint-euclid");
+    }
+
+    #[test]
+    fn pruning_yields_identical_verdicts() {
+        let policy = ThresholdPolicy::paper_simulation();
+        let plain = VoiceprintDetector::new(policy);
+        let pruned = VoiceprintDetector::new(policy).with_pruning();
+        let input = input_with_sybils();
+        let v_plain = plain.verdict(&input.series, input.estimated_density_per_km);
+        let v_pruned = pruned.verdict(&input.series, input.estimated_density_per_km);
+        assert_eq!(v_plain.suspects(), v_pruned.suspects());
+        assert_eq!(v_plain.groups(), v_pruned.groups());
+        assert_eq!(pruned.detect(&input), vec![100, 101, 102]);
     }
 
     #[test]

@@ -66,7 +66,9 @@ pub mod threshold;
 pub mod training;
 
 pub use collector::Collector;
-pub use comparator::{compare, ComparisonConfig, DistanceMeasure, PairwiseDistances};
+pub use comparator::{
+    compare, compare_sequential, ComparisonConfig, DistanceMeasure, PairwiseDistances,
+};
 pub use confirm::{confirm, SybilVerdict};
 pub use detector::VoiceprintDetector;
 pub use multi_period::MultiPeriodDetector;

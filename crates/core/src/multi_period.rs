@@ -20,9 +20,11 @@ use crate::IdentityId;
 /// An `m`-of-`n` voting wrapper around any detector.
 ///
 /// Interior state (the per-observer suspicion history) lives behind a
-/// mutex because [`Detector::detect`] takes `&self`; the detector remains
-/// deterministic because the simulator invokes it sequentially in time
-/// order.
+/// mutex because [`Detector::detect`] takes `&self` and the simulator may
+/// call it from a worker thread (detectors are evaluated concurrently
+/// *across* detectors, never concurrently with themselves); the detector
+/// remains deterministic because each detector still sees its inputs
+/// strictly sequentially in time order.
 #[derive(Debug)]
 pub struct MultiPeriodDetector<D> {
     inner: D,
@@ -97,6 +99,15 @@ impl<D: Detector> Detector for MultiPeriodDetector<D> {
 mod tests {
     use super::*;
 
+    #[test]
+    fn multi_period_detector_is_sync() {
+        // The simulator evaluates detectors on worker threads; the Mutex
+        // around the history must make the wrapper Sync whenever the
+        // inner detector is.
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<MultiPeriodDetector<crate::VoiceprintDetector>>();
+    }
+
     /// Scripted inner detector: returns a fixed sequence of suspect sets.
     struct Scripted {
         outputs: Mutex<VecDeque<Vec<IdentityId>>>,
@@ -115,11 +126,7 @@ mod tests {
             "scripted"
         }
         fn detect(&self, _input: &DetectionInput) -> Vec<IdentityId> {
-            self.outputs
-                .lock()
-                .unwrap()
-                .pop_front()
-                .unwrap_or_default()
+            self.outputs.lock().unwrap().pop_front().unwrap_or_default()
         }
     }
 
@@ -139,11 +146,7 @@ mod tests {
     #[test]
     fn persistent_suspect_confirmed_transient_suppressed() {
         // Identity 100 suspected every period; identity 7 only once.
-        let inner = Scripted::new(vec![
-            vec![100, 7],
-            vec![100],
-            vec![100],
-        ]);
+        let inner = Scripted::new(vec![vec![100, 7], vec![100], vec![100]]);
         let d = MultiPeriodDetector::new(inner, 2, 3);
         assert!(d.detect(&input(0, 20.0)).is_empty()); // one vote each
         assert_eq!(d.detect(&input(0, 40.0)), vec![100]);

@@ -14,7 +14,7 @@ use vp_classify::dataset::Dataset;
 use vp_classify::lda::{LdaError, LinearDiscriminant};
 use vp_sim::engine::SimulationOutcome;
 
-use crate::comparator::{compare, ComparisonConfig};
+use crate::comparator::{compare_sequential, ComparisonConfig};
 
 /// One labelled training point in the density–distance plane.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,24 +30,34 @@ pub struct TrainingPoint {
 /// Extracts labelled `(density, distance)` points from simulation
 /// outcomes (their `collected` inputs) by re-running the comparison phase
 /// and labelling each pair with ground truth.
+///
+/// The comparison phases of all collected inputs run concurrently (one
+/// worker per input, comparisons inside each input sequential); results
+/// are concatenated in input order, so the returned points are identical
+/// to the fully sequential sweep.
 pub fn collect_training_points(
     outcomes: &[SimulationOutcome],
     comparison: &ComparisonConfig,
 ) -> Vec<TrainingPoint> {
-    let mut points = Vec::new();
-    for outcome in outcomes {
-        for input in &outcome.collected {
-            let distances = compare(&input.series, comparison);
-            for (a, b, d) in distances.iter() {
-                points.push(TrainingPoint {
-                    density_per_km: input.estimated_density_per_km,
-                    distance: d,
-                    is_sybil_pair: outcome.ground_truth.same_radio(a, b),
-                });
-            }
-        }
-    }
-    points
+    let inputs: Vec<(&vp_sim::detector::DetectionInput, &SimulationOutcome)> = outcomes
+        .iter()
+        .flat_map(|outcome| outcome.collected.iter().map(move |input| (input, outcome)))
+        .collect();
+    let per_input = vp_par::par_map_coarse(&inputs, |&(input, outcome)| {
+        // Sequential comparison: the parallelism budget is already spent
+        // at the per-input level, and nested regions would run inline
+        // anyway — being explicit avoids even the attempt.
+        let distances = compare_sequential(&input.series, comparison);
+        distances
+            .iter()
+            .map(|(a, b, d)| TrainingPoint {
+                density_per_km: input.estimated_density_per_km,
+                distance: d,
+                is_sybil_pair: outcome.ground_truth.same_radio(a, b),
+            })
+            .collect::<Vec<_>>()
+    });
+    per_input.into_iter().flatten().collect()
 }
 
 /// Error returned when boundary training fails.
@@ -261,4 +271,3 @@ mod tests {
         assert!(train_quantile_line(&points, 5, 0.85, 0.01).is_err());
     }
 }
-

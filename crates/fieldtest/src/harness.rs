@@ -123,7 +123,7 @@ pub fn run_field_test_with(
                 .nodes()
                 .iter()
                 .find(|n| n.identity == *id)
-                .map_or(false, |n| n.is_sybil || n.vehicle == 1);
+                .is_some_and(|n| n.is_sybil || n.vehicle == 1);
             if is_bad {
                 illegitimate += 1;
                 if suspects.contains(id) {
@@ -196,12 +196,20 @@ mod tests {
     fn rural_field_test_is_clean() {
         let outcome = run_field_test(Environment::Rural, 2);
         assert_eq!(outcome.detections.len(), 22);
-        assert!(outcome.detection_rate > 0.95, "DR {}", outcome.detection_rate);
-        assert!(outcome.false_positive_rate < 0.05, "FPR {}", outcome.false_positive_rate);
+        assert!(
+            outcome.detection_rate > 0.95,
+            "DR {}",
+            outcome.detection_rate
+        );
+        assert!(
+            outcome.false_positive_rate < 0.05,
+            "FPR {}",
+            outcome.false_positive_rate
+        );
     }
 
     #[test]
-    fn sybil_pair_distance_is_smallest(){
+    fn sybil_pair_distance_is_smallest() {
         let outcome = run_field_test(Environment::Campus, 3);
         for d in &outcome.detections {
             // Distance between the two Sybil identities should be among

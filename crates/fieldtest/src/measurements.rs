@@ -11,10 +11,12 @@ use vp_stats::descriptive::Summary;
 use crate::scenario::Environment;
 
 fn measurement_channel(params: DualSlopeParams) -> Channel<DualSlope> {
-    let mut cfg = ChannelConfig::default();
-    cfg.rx_sensitivity_dbm = -95.0; // Table II hardware
-    cfg.fast_fading_sigma_db = 0.4;
-    cfg.shadow_correlation_time_s = 2.0;
+    let cfg = ChannelConfig {
+        rx_sensitivity_dbm: -95.0, // Table II hardware
+        fast_fading_sigma_db: 0.4,
+        shadow_correlation_time_s: 2.0,
+        ..ChannelConfig::default()
+    };
     Channel::new(DualSlope::dsrc(params), cfg)
 }
 
@@ -149,9 +151,21 @@ mod tests {
         let report = stationary_report(&trace);
         // With 13.4 dB of site loss the mean lands near the paper's
         // −76.86 dBm and the inverted distances overshoot the true 140 m.
-        assert!((report.mean_dbm - -76.9).abs() < 1.5, "mean {}", report.mean_dbm);
-        assert!(report.fspl_distance_m > 2.0 * 140.0 * 0.8, "{}", report.fspl_distance_m);
-        assert!(report.two_ray_distance_m > 1.5 * 140.0, "{}", report.two_ray_distance_m);
+        assert!(
+            (report.mean_dbm - -76.9).abs() < 1.5,
+            "mean {}",
+            report.mean_dbm
+        );
+        assert!(
+            report.fspl_distance_m > 2.0 * 140.0 * 0.8,
+            "{}",
+            report.fspl_distance_m
+        );
+        assert!(
+            report.two_ray_distance_m > 1.5 * 140.0,
+            "{}",
+            report.two_ray_distance_m
+        );
     }
 
     #[test]
@@ -191,7 +205,11 @@ mod tests {
         assert!(samples.len() > 1000);
         let fitted = fit_dual_slope_model(&samples, 1.0).unwrap();
         let truth = Environment::Rural.channel_params();
-        assert!((fitted.gamma1 - truth.gamma1).abs() < 0.3, "γ1 {}", fitted.gamma1);
+        assert!(
+            (fitted.gamma1 - truth.gamma1).abs() < 0.3,
+            "γ1 {}",
+            fitted.gamma1
+        );
         assert!(
             (fitted.dc_m - truth.dc_m).abs() / truth.dc_m < 0.3,
             "dc {}",

@@ -141,9 +141,9 @@ impl FieldScenario {
             _ => (150.0, -198.0),
         };
         let trajectories = vec![
-            malicious.translated(ahead_m, 0.0), // node 1, ahead
-            malicious.clone(),                  // malicious node
-            malicious.translated(0.0, 3.0),     // node 2, side by side
+            malicious.translated(ahead_m, 0.0),  // node 1, ahead
+            malicious.clone(),                   // malicious node
+            malicious.translated(0.0, 3.0),      // node 2, side by side
             malicious.translated(behind_m, 0.0), // node 3, behind
         ];
         let nodes = vec![
@@ -248,14 +248,13 @@ impl FieldScenario {
             "receiver vehicle out of range"
         );
         let mut rng = StdRng::seed_from_u64(seed ^ (receiver_vehicle as u64) << 32);
-        let mut cfg = ChannelConfig::default();
-        cfg.rx_sensitivity_dbm = -95.0; // Table II hardware
-        cfg.fast_fading_sigma_db = 0.0; // applied manually, motion-gated
-        cfg.shadow_correlation_time_s = 2.0;
-        let mut channel = Channel::new(
-            DualSlope::dsrc(self.environment.channel_params()),
-            cfg,
-        );
+        let cfg = ChannelConfig {
+            rx_sensitivity_dbm: -95.0, // Table II hardware
+            fast_fading_sigma_db: 0.0, // applied manually, motion-gated
+            shadow_correlation_time_s: 2.0,
+            ..ChannelConfig::default()
+        };
+        let mut channel = Channel::new(DualSlope::dsrc(self.environment.channel_params()), cfg);
         let fast_sigma_db = 0.4;
         let cruise = self.environment.cruise_speed_mps();
         let duration = self.environment.duration_s();
@@ -356,7 +355,11 @@ mod tests {
         assert_eq!(urban.stops().len(), 2);
         assert!(urban.is_stopped_at(urban.stops()[0].0 + 10.0));
         assert!(!urban.is_stopped_at(1.0));
-        for env in [Environment::Campus, Environment::Rural, Environment::Highway] {
+        for env in [
+            Environment::Campus,
+            Environment::Rural,
+            Environment::Highway,
+        ] {
             assert!(FieldScenario::new(env).stops().is_empty());
         }
     }
@@ -365,7 +368,7 @@ mod tests {
     fn traces_have_ten_hertz_rate_for_near_nodes() {
         let s = FieldScenario::new(Environment::Highway);
         let traces = s.trace_at_receiver(3, 1); // node 3, behind
-        // Malicious node is 198 m ahead of vehicle 3: well within range.
+                                                // Malicious node is 198 m ahead of vehicle 3: well within range.
         let malicious = traces.iter().find(|(id, _)| *id == 1).unwrap();
         let expected = Environment::Highway.duration_s() * 10.0;
         assert!(

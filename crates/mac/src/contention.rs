@@ -287,7 +287,11 @@ mod tests {
         // cannot overlap itself.
         let mut rng = StdRng::seed_from_u64(3);
         let p = MacParams::paper_default();
-        let reqs = [request(7, 100, 0.0), request(7, 101, 0.0002), request(7, 102, 0.0004)];
+        let reqs = [
+            request(7, 100, 0.0),
+            request(7, 101, 0.0002),
+            request(7, 102, 0.0004),
+        ];
         let res = resolve_contention(&reqs, &p, none_hear, &mut rng);
         assert_eq!(res.on_air.len(), 3);
         for w in res.on_air.windows(2) {
@@ -319,7 +323,11 @@ mod tests {
         // Requests arrive staggered over 80 ms and expire 100 ms after
         // their request, so the airtime budget is ~180 ms / 1.45 ms ≈ 124
         // serialised packets; the rest must expire.
-        assert!(res.on_air.len() <= 140, "too many fit: {}", res.on_air.len());
+        assert!(
+            res.on_air.len() <= 140,
+            "too many fit: {}",
+            res.on_air.len()
+        );
         assert!(res.on_air.len() >= 100, "too few fit: {}", res.on_air.len());
         assert_eq!(res.on_air.len() + res.expired.len(), 200);
         assert!(res.expiry_rate() > 0.25);
@@ -354,7 +362,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let p = MacParams::paper_default();
         let reqs: Vec<BeaconRequest> = (0..50)
-            .map(|i| request((i % 10) as RadioId, i as IdentityId, ((i * 7) % 50) as f64 * 0.002))
+            .map(|i| {
+                request(
+                    (i % 10) as RadioId,
+                    i as IdentityId,
+                    ((i * 7) % 50) as f64 * 0.002,
+                )
+            })
             .collect();
         let res = resolve_contention(&reqs, &p, all_hear, &mut rng);
         assert!(res.on_air.windows(2).all(|w| w[0].start_s <= w[1].start_s));

@@ -59,6 +59,8 @@ impl MacParams {
     /// # Errors
     ///
     /// Returns a description of the first violated constraint.
+    // Negated comparisons are deliberate: NaN must fail every check.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), &'static str> {
         if !(self.slot_time_s > 0.0) {
             return Err("slot time must be positive");

@@ -216,16 +216,10 @@ mod tests {
         let on_air = [packet(1, 1, 0.0)];
         let params = MacParams::paper_default();
         let mut sampled = 0;
-        let recs = resolve_receptions(
-            &on_air,
-            &[2],
-            &params,
-            const_power(-120.0),
-            |_, _| {
-                sampled += 1;
-                -120.0
-            },
-        );
+        let recs = resolve_receptions(&on_air, &[2], &params, const_power(-120.0), |_, _| {
+            sampled += 1;
+            -120.0
+        });
         assert_eq!(recs[0].outcome, ReceptionOutcome::BelowSensitivity);
         assert_eq!(sampled, 0, "prefilter must avoid sampling");
     }
@@ -236,7 +230,10 @@ mod tests {
         let on_air = [packet(1, 1, 0.0)];
         let params = MacParams::paper_default();
         let recs = resolve_receptions(&on_air, &[2], &params, const_power(-100.0), |_, _| -94.0);
-        assert_eq!(recs[0].outcome, ReceptionOutcome::Received { rssi_dbm: -94.0 });
+        assert_eq!(
+            recs[0].outcome,
+            ReceptionOutcome::Received { rssi_dbm: -94.0 }
+        );
         let recs = resolve_receptions(&on_air, &[2], &params, const_power(-100.0), |_, _| -96.0);
         assert_eq!(recs[0].outcome, ReceptionOutcome::BelowSensitivity);
     }
@@ -264,7 +261,10 @@ mod tests {
             |tx, _, _| if tx == 1 { -60.0 } else { -80.0 },
             |p, _| if p.tx_radio == 1 { -60.0 } else { -80.0 },
         );
-        assert_eq!(recs[0].outcome, ReceptionOutcome::Received { rssi_dbm: -60.0 });
+        assert_eq!(
+            recs[0].outcome,
+            ReceptionOutcome::Received { rssi_dbm: -60.0 }
+        );
         assert_eq!(recs[1].outcome, ReceptionOutcome::Collided);
     }
 
@@ -294,7 +294,7 @@ mod tests {
         // SINR ≈ 3.2 dB < 10 dB capture threshold → collision.
         let mut on_air = vec![packet(1, 1, 0.0)];
         for k in 0..3 {
-            on_air.push(packet(10 + k, 10 + k as u64, 0.0002 + 0.0001 * k as f64));
+            on_air.push(packet(10 + k, 10 + k, 0.0002 + 0.0001 * k as f64));
         }
         let params = MacParams::paper_default();
         let recs = resolve_receptions(

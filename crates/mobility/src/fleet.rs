@@ -186,8 +186,7 @@ mod tests {
             .filter(|v| v.position().direction == Direction::Forward)
             .count();
         assert_eq!(fwd, 20);
-        let lanes: std::collections::HashSet<usize> =
-            f.iter().map(|v| v.position().lane).collect();
+        let lanes: std::collections::HashSet<usize> = f.iter().map(|v| v.position().lane).collect();
         assert_eq!(lanes.len(), 2);
     }
 

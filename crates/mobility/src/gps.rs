@@ -85,7 +85,10 @@ mod tests {
             })
             .count();
         let frac = within as f64 / 100_000.0;
-        assert!((frac - 0.95).abs() < 0.01, "within-accuracy fraction {frac}");
+        assert!(
+            (frac - 0.95).abs() < 0.01,
+            "within-accuracy fraction {frac}"
+        );
     }
 
     #[test]

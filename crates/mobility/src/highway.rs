@@ -76,7 +76,10 @@ impl Highway {
     /// Panics if the length, lane count, or lane width is not positive.
     pub fn new(length_m: f64, lanes_per_direction: usize, lane_width_m: f64) -> Self {
         assert!(length_m > 0.0, "highway length must be positive");
-        assert!(lanes_per_direction > 0, "need at least one lane per direction");
+        assert!(
+            lanes_per_direction > 0,
+            "need at least one lane per direction"
+        );
         assert!(lane_width_m > 0.0, "lane width must be positive");
         Highway {
             length_m,

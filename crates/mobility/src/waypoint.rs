@@ -173,7 +173,9 @@ mod tests {
 
     #[test]
     fn linear_interpolation() {
-        let t = Trajectory::builder(0.0, 0.0).travel_to(10.0, 20.0, 10.0).build();
+        let t = Trajectory::builder(0.0, 0.0)
+            .travel_to(10.0, 20.0, 10.0)
+            .build();
         assert_eq!(t.position_at(0.0), (0.0, 0.0));
         assert_eq!(t.position_at(5.0), (5.0, 10.0));
         assert_eq!(t.position_at(10.0), (10.0, 20.0));
@@ -181,7 +183,9 @@ mod tests {
 
     #[test]
     fn clamping_outside_script() {
-        let t = Trajectory::builder(1.0, 1.0).travel_to(2.0, 1.0, 1.0).build();
+        let t = Trajectory::builder(1.0, 1.0)
+            .travel_to(2.0, 1.0, 1.0)
+            .build();
         assert_eq!(t.position_at(-5.0), (1.0, 1.0));
         assert_eq!(t.position_at(50.0), (2.0, 1.0));
         assert_eq!(t.speed_at(50.0), 0.0);
@@ -203,14 +207,18 @@ mod tests {
 
     #[test]
     fn travel_to_at_derives_duration() {
-        let t = Trajectory::builder(0.0, 0.0).travel_to_at(100.0, 0.0, 25.0).build();
+        let t = Trajectory::builder(0.0, 0.0)
+            .travel_to_at(100.0, 0.0, 25.0)
+            .build();
         assert_eq!(t.duration_s(), 4.0);
         assert!((t.speed_at(2.0) - 25.0).abs() < 1e-12);
     }
 
     #[test]
     fn translation_preserves_shape() {
-        let lead = Trajectory::builder(0.0, 0.0).travel_to(50.0, 0.0, 5.0).build();
+        let lead = Trajectory::builder(0.0, 0.0)
+            .travel_to(50.0, 0.0, 5.0)
+            .build();
         let companion = lead.translated(0.0, 3.0); // side-by-side, 3 m apart
         for time in [0.0, 2.5, 5.0] {
             assert!((lead.distance_to(&companion, time) - 3.0).abs() < 1e-12);
@@ -221,7 +229,9 @@ mod tests {
     fn convoy_distances() {
         // Field-test formation: node ahead (+50 m), side-by-side (+3 m
         // lateral), node behind (−50 m).
-        let malicious = Trajectory::builder(0.0, 0.0).travel_to(1000.0, 0.0, 100.0).build();
+        let malicious = Trajectory::builder(0.0, 0.0)
+            .travel_to(1000.0, 0.0, 100.0)
+            .build();
         let ahead = malicious.translated(50.0, 0.0);
         let side = malicious.translated(0.0, 3.0);
         let behind = malicious.translated(-50.0, 0.0);

@@ -1,0 +1,380 @@
+//! Minimal data-parallelism substrate for the Voiceprint reproduction.
+//!
+//! The comparison phase is an embarrassingly parallel set of independent
+//! pair computations whose results land in disjoint, preallocated slots.
+//! This crate provides exactly that shape — [`par_fill_with`] — plus the
+//! conveniences built on it, with three properties the detector relies
+//! on:
+//!
+//! 1. **Determinism.** Work item `k` writes only slot `k` and is computed
+//!    by a pure function of `k`, so results are bit-identical to a
+//!    sequential loop regardless of thread count or scheduling.
+//! 2. **Per-worker scratch.** Each worker owns one scratch value for its
+//!    whole lifetime (the `rayon::map_with` pattern), so hot kernels can
+//!    reuse allocations across items instead of allocating per call.
+//! 3. **No nested oversubscription.** A parallel region entered from
+//!    inside another parallel region runs sequentially on the calling
+//!    worker, so `compare()` inside a parallelised training sweep does
+//!    not multiply thread counts.
+//!
+//! The default backend spawns scoped `std::thread`s per region — no
+//! external dependencies, no `unsafe`. Enabling the `rayon` feature
+//! routes regions through a shared rayon pool instead (lower fan-out
+//! latency for many small regions); both backends honour
+//! `VP_NUM_THREADS` / `RAYON_NUM_THREADS` and both produce bit-identical
+//! results, so the feature is purely a performance switch.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+
+thread_local! {
+    /// `true` while the current thread is a worker inside a parallel
+    /// region; nested regions then run inline instead of fanning out.
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// `true` when called from inside a parallel region's worker, in which
+/// case further `par_*` calls run sequentially on this thread.
+pub fn in_parallel_region() -> bool {
+    IN_PARALLEL.with(|f| f.get())
+}
+
+/// The thread budget for parallel regions.
+///
+/// Resolution order: `VP_NUM_THREADS`, then `RAYON_NUM_THREADS` (both as
+/// positive integers), then [`std::thread::available_parallelism`].
+/// Always at least 1.
+pub fn max_threads() -> usize {
+    for var in ["VP_NUM_THREADS", "RAYON_NUM_THREADS"] {
+        if let Ok(v) = std::env::var(var) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Fills every slot of `slots` by calling `f(k, &mut slots[k], &mut
+/// scratch)` for each index `k`, fanning the indices out over at most
+/// [`max_threads`] workers.
+///
+/// Each worker calls `init()` exactly once and reuses the resulting
+/// scratch value for every item it processes. Slot `k`'s value depends
+/// only on `k` (and the data `f` captures immutably), so the result is
+/// bit-identical to the sequential loop `for k in 0..slots.len() { f(k,
+/// &mut slots[k], &mut scratch) }` for any thread count.
+///
+/// Runs inline (sequentially) when the region is nested inside another
+/// parallel region, when the budget is one thread, or when `slots` is
+/// small enough that fan-out costs more than it saves.
+pub fn par_fill_with<T, S, FI, F>(slots: &mut [T], init: FI, f: F)
+where
+    T: Send,
+    FI: Fn() -> S + Sync,
+    F: Fn(usize, &mut T, &mut S) + Sync,
+{
+    par_fill_with_threads(slots, max_threads(), init, f);
+}
+
+/// [`par_fill_with`] with an explicit thread budget (mainly for tests
+/// and benchmarks that pin `threads = 1` as the sequential reference).
+pub fn par_fill_with_threads<T, S, FI, F>(slots: &mut [T], threads: usize, init: FI, f: F)
+where
+    T: Send,
+    FI: Fn() -> S + Sync,
+    F: Fn(usize, &mut T, &mut S) + Sync,
+{
+    // Fan-out threshold: spawning threads for a handful of cheap items
+    // costs more than it saves; 4 items per worker is the break-even
+    // neighbourhood for DTW-sized work.
+    par_fill_with_min_fanout(slots, threads, 8, init, f);
+}
+
+/// [`par_fill_with_threads`] with an explicit fan-out floor: parallel
+/// execution is used whenever `slots.len() >= min_fanout` (and the budget
+/// allows). Use a small floor only when each item is expensive enough to
+/// amortise a thread spawn — e.g. whole-detector evaluations rather than
+/// single DTW pairs.
+pub fn par_fill_with_min_fanout<T, S, FI, F>(
+    slots: &mut [T],
+    threads: usize,
+    min_fanout: usize,
+    init: FI,
+    f: F,
+) where
+    T: Send,
+    FI: Fn() -> S + Sync,
+    F: Fn(usize, &mut T, &mut S) + Sync,
+{
+    let n = slots.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 || n < min_fanout.max(2) || in_parallel_region() {
+        let mut scratch = init();
+        for (k, slot) in slots.iter_mut().enumerate() {
+            f(k, slot, &mut scratch);
+        }
+        return;
+    }
+    backend::fill(slots, threads, &init, &f);
+}
+
+#[cfg(not(feature = "rayon"))]
+mod backend {
+    use super::IN_PARALLEL;
+
+    /// Scoped-thread backend: split `slots` into blocks, deal the blocks
+    /// round-robin across `threads` workers (static, deterministic
+    /// assignment), run one worker per scoped thread.
+    pub(super) fn fill<T, S, FI, F>(slots: &mut [T], threads: usize, init: &FI, f: &F)
+    where
+        T: Send,
+        FI: Fn() -> S + Sync,
+        F: Fn(usize, &mut T, &mut S) + Sync,
+    {
+        let n = slots.len();
+        // Several blocks per worker smooth over per-item cost variance
+        // (e.g. pruned vs unpruned pairs) without an atomic work queue.
+        let block = (n / (threads * 8)).max(1);
+        let blocks: Vec<(usize, &mut [T])> = {
+            let mut out = Vec::with_capacity(n / block + 1);
+            let mut rest = slots;
+            let mut offset = 0;
+            while !rest.is_empty() {
+                let take = block.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                out.push((offset, head));
+                offset += take;
+                rest = tail;
+            }
+            out
+        };
+        // Deal blocks round-robin: worker w gets blocks w, w+T, w+2T, …
+        let mut assignments: Vec<Vec<(usize, &mut [T])>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (b, item) in blocks.into_iter().enumerate() {
+            assignments[b % threads].push(item);
+        }
+        std::thread::scope(|scope| {
+            for work in assignments {
+                scope.spawn(move || {
+                    IN_PARALLEL.with(|flag| flag.set(true));
+                    let mut scratch = init();
+                    for (offset, chunk) in work {
+                        for (k, slot) in chunk.iter_mut().enumerate() {
+                            f(offset + k, slot, &mut scratch);
+                        }
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(feature = "rayon")]
+mod backend {
+    use super::IN_PARALLEL;
+    use rayon::prelude::*;
+
+    /// Rayon backend: same block decomposition, scheduled on the shared
+    /// rayon pool. Still bit-identical — slot `k` is still written by a
+    /// pure function of `k`.
+    pub(super) fn fill<T, S, FI, F>(slots: &mut [T], threads: usize, init: &FI, f: &F)
+    where
+        T: Send,
+        FI: Fn() -> S + Sync,
+        F: Fn(usize, &mut T, &mut S) + Sync,
+    {
+        let n = slots.len();
+        let block = (n / (threads * 8)).max(1);
+        slots
+            .par_chunks_mut(block)
+            .enumerate()
+            .for_each(|(b, chunk)| {
+                IN_PARALLEL.with(|flag| flag.set(true));
+                let mut scratch = init();
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    f(b * block + k, slot, &mut scratch);
+                }
+                IN_PARALLEL.with(|flag| flag.set(false));
+            });
+    }
+}
+
+/// Maps `f` over `items` in parallel, preserving order.
+///
+/// Convenience wrapper over [`par_fill_with`]; same determinism and
+/// nesting rules.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let mut out: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    par_fill_with(&mut out, || (), |k, slot, ()| *slot = Some(f(&items[k])));
+    out.into_iter().map(|v| v.expect("slot filled")).collect()
+}
+
+/// [`par_map`] for *coarse* items: fans out from two items upward instead
+/// of eight, for work where each item is orders of magnitude more
+/// expensive than a thread spawn (a whole detector pass, a whole training
+/// outcome). Same determinism and nesting rules as [`par_map`].
+pub fn par_map_coarse<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let mut out: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    par_fill_with_min_fanout(
+        &mut out,
+        max_threads(),
+        2,
+        || (),
+        |k, slot, ()| *slot = Some(f(&items[k])),
+    );
+    out.into_iter().map(|v| v.expect("slot filled")).collect()
+}
+
+/// Maps `f` over `items` in parallel with per-worker scratch state,
+/// preserving order (the `rayon::map_with` pattern).
+pub fn par_map_with<T, U, S, FI, F>(items: &[T], init: FI, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    FI: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> U + Sync,
+{
+    let mut out: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    par_fill_with(&mut out, init, |k, slot, scratch| {
+        *slot = Some(f(scratch, &items[k]))
+    });
+    out.into_iter().map(|v| v.expect("slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fills_every_slot_in_order() {
+        let mut slots = vec![0usize; 1000];
+        par_fill_with(&mut slots, || (), |k, slot, ()| *slot = k * k);
+        for (k, &v) in slots.iter().enumerate() {
+            assert_eq!(v, k * k);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let f = |k: usize| ((k as f64) * 0.731).sin() / ((k + 1) as f64);
+        let mut seq = vec![0.0f64; 513];
+        par_fill_with_threads(&mut seq, 1, || (), |k, s, ()| *s = f(k));
+        for threads in [2, 3, 8] {
+            let mut par = vec![0.0f64; 513];
+            par_fill_with_threads(&mut par, threads, || (), |k, s, ()| *s = f(k));
+            assert!(
+                seq.iter()
+                    .zip(&par)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "threads={threads} not bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_is_initialised_at_most_once_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let mut slots = vec![0usize; 64];
+        par_fill_with_threads(
+            &mut slots,
+            4,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |k, slot, scratch| {
+                *scratch += 1;
+                *slot = k;
+            },
+        );
+        assert!(inits.load(Ordering::Relaxed) <= 4);
+    }
+
+    #[test]
+    fn nested_region_runs_inline() {
+        let outer_threads = 4;
+        let mut slots = vec![false; 64];
+        par_fill_with_threads(
+            &mut slots,
+            outer_threads,
+            || (),
+            |_, slot, ()| {
+                // From inside a worker, a nested region must not fan out.
+                assert!(in_parallel_region());
+                let mut inner = vec![0usize; 32];
+                par_fill_with(&mut inner, || (), |k, s, ()| *s = k);
+                *slot = inner.iter().enumerate().all(|(k, &v)| v == k);
+            },
+        );
+        assert!(slots.iter().all(|&ok| ok));
+        // Back on the caller thread, we are no longer inside a region.
+        assert!(!in_parallel_region());
+    }
+
+    #[test]
+    fn empty_and_single_slot() {
+        let mut empty: Vec<u32> = Vec::new();
+        par_fill_with(&mut empty, || (), |_, _, ()| unreachable!());
+        let mut one = vec![0u32];
+        par_fill_with(&mut one, || (), |k, s, ()| *s = k as u32 + 7);
+        assert_eq!(one, vec![7]);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map(&items, |&x| x * 3);
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_with_reuses_scratch() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map_with(&items, Vec::<usize>::new, |scratch, &x| {
+            scratch.push(x);
+            x + scratch.capacity().min(1)
+        });
+        assert_eq!(out.len(), 100);
+        assert!(out.iter().enumerate().all(|(k, &v)| v == k + 1));
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn coarse_map_fans_out_small_lists() {
+        // Two expensive items: par_map_coarse must still produce ordered,
+        // correct results (and actually runs them on workers when the
+        // budget allows — observable via the region flag).
+        let items = [10usize, 20];
+        let out = par_map_coarse(&items, |&x| {
+            (x * 2, in_parallel_region() || max_threads() == 1)
+        });
+        assert_eq!(out[0].0, 20);
+        assert_eq!(out[1].0, 40);
+        for (_, on_worker) in out {
+            assert!(on_worker, "coarse map item ran inline despite budget");
+        }
+    }
+}

@@ -209,7 +209,12 @@ mod tests {
         let s: Summary = (0..20_000)
             .map(|k| ch.sample_rssi(1, 2, 20.0, 120.0, k as f64 * 0.1, &mut rng))
             .collect();
-        assert!((s.mean() - mean_model).abs() < 0.2, "{} vs {}", s.mean(), mean_model);
+        assert!(
+            (s.mean() - mean_model).abs() < 0.2,
+            "{} vs {}",
+            s.mean(),
+            mean_model
+        );
         // Total sigma ≈ sqrt(σ_shadow² + σ_fast²).
         let expected_sigma = (2.8f64.powi(2) + 1.0).sqrt();
         assert!((s.population_std_dev() - expected_sigma).abs() < 0.2);
@@ -235,7 +240,10 @@ mod tests {
         let corr_sybil = pearson(&id_a, &id_b);
         let corr_other = pearson(&id_a, &other);
         assert!(corr_sybil > 0.75, "sybil correlation too low: {corr_sybil}");
-        assert!(corr_other < 0.4, "independent link too correlated: {corr_other}");
+        assert!(
+            corr_other < 0.4,
+            "independent link too correlated: {corr_other}"
+        );
     }
 
     #[test]
@@ -295,8 +303,10 @@ mod tests {
 
     #[test]
     fn rayleigh_config_increases_spread() {
-        let mut cfg = ChannelConfig::default();
-        cfg.fast_fading_sigma_db = 0.0;
+        let mut cfg = ChannelConfig {
+            fast_fading_sigma_db: 0.0,
+            ..ChannelConfig::default()
+        };
         let mut gauss = Channel::new(FreeSpace::dsrc(), cfg);
         cfg.rayleigh_fast_fading = true;
         let mut ray = Channel::new(FreeSpace::dsrc(), cfg);

@@ -162,7 +162,7 @@ mod tests {
         let xs: Vec<f64> = (0..100_000).map(|_| p.advance(dt, &mut rng)).collect();
         // lag-1 autocorrelation should be ≈ exp(−dt/τ).
         let lag1 = vp_stats::descriptive::pearson(&xs[..xs.len() - 1], &xs[1..]);
-        let expected = (-dt / tau as f64).exp();
+        let expected = (-dt / tau).exp();
         assert!((lag1 - expected).abs() < 0.02, "lag1 {lag1} vs {expected}");
         // lag-10 ≈ exp(−1).
         let lag10 = vp_stats::descriptive::pearson(&xs[..xs.len() - 10], &xs[10..]);
@@ -214,7 +214,9 @@ mod tests {
     fn rayleigh_produces_deep_fades() {
         let mut rng = StdRng::seed_from_u64(13);
         let r = Rayleigh::new();
-        let deep = (0..10_000).filter(|_| r.sample_db(&mut rng) < -10.0).count();
+        let deep = (0..10_000)
+            .filter(|_| r.sample_db(&mut rng) < -10.0)
+            .count();
         // P(gain < 0.1) = 1 − exp(−0.1) ≈ 9.5%.
         assert!((800..1100).contains(&deep), "deep fades: {deep}");
     }

@@ -45,7 +45,10 @@ impl std::error::Error for FitError {}
 ///
 /// Returns an error when fewer than 16 samples are provided or all
 /// distances fall below `d0_m` (nothing to regress on).
-pub fn fit_dual_slope_model(samples: &[RangeSample], d0_m: f64) -> Result<DualSlopeParams, FitError> {
+pub fn fit_dual_slope_model(
+    samples: &[RangeSample],
+    d0_m: f64,
+) -> Result<DualSlopeParams, FitError> {
     if samples.len() < 16 {
         return Err(FitError {
             what: "need at least 16 samples",
@@ -92,10 +95,12 @@ mod tests {
     /// channel: log-spaced distances from 5 m to 500 m, several packets
     /// per distance.
     fn campaign(truth: DualSlopeParams, seed: u64) -> Vec<RangeSample> {
-        let mut cfg = ChannelConfig::default();
-        cfg.fast_fading_sigma_db = 0.5;
-        // Short correlation so samples decorrelate between stops.
-        cfg.shadow_correlation_time_s = 0.5;
+        let cfg = ChannelConfig {
+            fast_fading_sigma_db: 0.5,
+            // Short correlation so samples decorrelate between stops.
+            shadow_correlation_time_s: 0.5,
+            ..ChannelConfig::default()
+        };
         let mut ch = Channel::new(DualSlope::dsrc(truth), cfg);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut out = Vec::new();
@@ -117,8 +122,16 @@ mod tests {
     fn recovers_campus_parameters() {
         let truth = DualSlopeParams::campus();
         let fitted = fit_dual_slope_model(&campaign(truth, 1), 1.0).unwrap();
-        assert!((fitted.gamma1 - truth.gamma1).abs() < 0.25, "γ1 {}", fitted.gamma1);
-        assert!((fitted.gamma2 - truth.gamma2).abs() < 0.6, "γ2 {}", fitted.gamma2);
+        assert!(
+            (fitted.gamma1 - truth.gamma1).abs() < 0.25,
+            "γ1 {}",
+            fitted.gamma1
+        );
+        assert!(
+            (fitted.gamma2 - truth.gamma2).abs() < 0.6,
+            "γ2 {}",
+            fitted.gamma2
+        );
         assert!(
             (fitted.dc_m - truth.dc_m).abs() / truth.dc_m < 0.25,
             "dc {}",

@@ -97,16 +97,12 @@ mod tests {
 
     #[test]
     fn stronger_signal_means_shorter_estimate() {
-        assert!(
-            free_space_distance_dsrc_m(20.0, -60.0) < free_space_distance_dsrc_m(20.0, -80.0)
-        );
+        assert!(free_space_distance_dsrc_m(20.0, -60.0) < free_space_distance_dsrc_m(20.0, -80.0));
         assert!(two_ray_distance_dsrc_m(20.0, -60.0) < two_ray_distance_dsrc_m(20.0, -80.0));
     }
 
     #[test]
     fn higher_tx_power_means_longer_estimate() {
-        assert!(
-            free_space_distance_dsrc_m(23.0, -70.0) > free_space_distance_dsrc_m(17.0, -70.0)
-        );
+        assert!(free_space_distance_dsrc_m(23.0, -70.0) > free_space_distance_dsrc_m(17.0, -70.0));
     }
 }

@@ -179,8 +179,14 @@ impl LogNormalShadowing {
         sigma_db: f64,
     ) -> Self {
         assert!(frequency_hz > 0.0, "frequency must be positive");
-        assert!(path_loss_exponent > 0.0, "path-loss exponent must be positive");
-        assert!(reference_distance_m > 0.0, "reference distance must be positive");
+        assert!(
+            path_loss_exponent > 0.0,
+            "path-loss exponent must be positive"
+        );
+        assert!(
+            reference_distance_m > 0.0,
+            "reference distance must be positive"
+        );
         assert!(sigma_db >= 0.0, "sigma must be non-negative");
         LogNormalShadowing {
             frequency_hz,
@@ -447,7 +453,11 @@ mod tests {
             let m = DualSlope::dsrc(params);
             let below = m.mean_rx_dbm(EIRP, params.dc_m - 1e-6);
             let above = m.mean_rx_dbm(EIRP, params.dc_m + 1e-6);
-            assert!((below - above).abs() < 1e-3, "discontinuity at {}", params.dc_m);
+            assert!(
+                (below - above).abs() < 1e-3,
+                "discontinuity at {}",
+                params.dc_m
+            );
         }
     }
 
@@ -504,7 +514,10 @@ mod tests {
     #[test]
     fn trait_objects_work() {
         let boxed: Box<dyn PathLoss> = Box::new(FreeSpace::dsrc());
-        assert_eq!(boxed.mean_rx_dbm(EIRP, 100.0), FreeSpace::dsrc().mean_rx_dbm(EIRP, 100.0));
+        assert_eq!(
+            boxed.mean_rx_dbm(EIRP, 100.0),
+            FreeSpace::dsrc().mean_rx_dbm(EIRP, 100.0)
+        );
         let by_ref: &dyn PathLoss = &TwoRayGround::dsrc_roof_antennas();
         assert_eq!(by_ref.shadow_sigma_db(10.0), 0.0);
     }

@@ -100,10 +100,12 @@ impl ScenarioConfig {
         // be 3.9 dB during the simulation" (Fig. 11a conditions).
         base.sigma1_db = 3.9;
         base.sigma2_db = 3.9;
-        let mut channel = ChannelConfig::default();
-        channel.rx_sensitivity_dbm = -81.0;
-        channel.fast_fading_sigma_db = 0.4;
-        channel.shadow_correlation_time_s = 2.0;
+        let channel = ChannelConfig {
+            rx_sensitivity_dbm: -81.0,
+            fast_fading_sigma_db: 0.4,
+            shadow_correlation_time_s: 2.0,
+            ..ChannelConfig::default()
+        };
         let mut mac = MacParams::paper_default();
         mac.rx_sensitivity_dbm = -81.0;
         mac.capture_threshold_db = 3.0;
@@ -159,6 +161,8 @@ impl ScenarioConfig {
     /// # Errors
     ///
     /// Returns a description of the first violated constraint.
+    // Negated comparisons are deliberate: NaN must fail every check.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), &'static str> {
         if !(self.density_per_km > 0.0) {
             return Err("density must be positive");

@@ -95,7 +95,15 @@ impl DetectionInput {
 /// Implementations must be deterministic functions of the input (any
 /// internal randomness should be seeded at construction) so experiment
 /// runs reproduce bit-for-bit.
-pub trait Detector {
+///
+/// `Sync` is a supertrait because the simulator evaluates the attached
+/// detectors concurrently at each detection instant: `detect` may be
+/// called from a worker thread, though never concurrently *with itself*
+/// for the same detector — each detector still sees its inputs strictly
+/// sequentially in time order, so stateful wrappers (e.g. multi-period
+/// voting) keep their semantics. Guard any interior mutability with a
+/// `Mutex` rather than `RefCell`.
+pub trait Detector: Sync {
     /// Short display name for experiment output (e.g. `"Voiceprint"`).
     fn name(&self) -> &str;
 

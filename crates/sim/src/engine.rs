@@ -95,14 +95,18 @@ pub fn run_scenario(config: &ScenarioConfig, detectors: &[&dyn Detector]) -> Sim
     let mut logs: Vec<ObserverLog> = observers.iter().map(|_| ObserverLog::new()).collect();
     let mut density: Vec<DensityEstimator> = observers
         .iter()
-        .map(|_| DensityEstimator::new(config.density_estimate_period_s, config.assumed_max_range_m))
+        .map(|_| {
+            DensityEstimator::new(config.density_estimate_period_s, config.assumed_max_range_m)
+        })
         .collect();
     let mut witness_aggregates = WitnessAggregates::new();
     let mut latest_claims: std::collections::HashMap<IdentityId, PositionClaim> =
         std::collections::HashMap::new();
 
-    let mut detector_stats: Vec<DetectorStats> =
-        detectors.iter().map(|d| DetectorStats::new(d.name())).collect();
+    let mut detector_stats: Vec<DetectorStats> = detectors
+        .iter()
+        .map(|d| DetectorStats::new(d.name()))
+        .collect();
     let mut packet_stats = PacketStats::default();
     let mut collected = Vec::new();
 
@@ -220,8 +224,7 @@ pub fn run_scenario(config: &ScenarioConfig, detectors: &[&dyn Detector]) -> Sim
                     if witness_set.contains(&reception.rx_radio) {
                         let (wx, wy) = positions[reception.rx_radio as usize];
                         let (cx, cy) = packet_claims[reception.packet_index];
-                        let claimed_dist =
-                            ((wx - cx).powi(2) + (wy - cy).powi(2)).sqrt();
+                        let claimed_dist = ((wx - cx).powi(2) + (wy - cy).powi(2)).sqrt();
                         witness_aggregates.record(
                             reception.rx_radio as IdentityId,
                             packet.identity,
@@ -241,12 +244,8 @@ pub fn run_scenario(config: &ScenarioConfig, detectors: &[&dyn Detector]) -> Sim
             && next_detection <= config.simulation_time_s + 1e-9
         {
             let t_d = next_detection;
-            let witness_reports = build_witness_reports(
-                &witness_pool,
-                &witness_aggregates,
-                &positions,
-                &forwards,
-            );
+            let witness_reports =
+                build_witness_reports(&witness_pool, &witness_aggregates, &positions, &forwards);
             for (obs_idx, &observer) in observers.iter().enumerate() {
                 logs[obs_idx].prune(t_d, config.observation_time_s + 1.0);
                 let series = logs[obs_idx].series_in_window(
@@ -262,7 +261,10 @@ pub fn run_scenario(config: &ScenarioConfig, detectors: &[&dyn Detector]) -> Sim
                     .iter()
                     .filter_map(|id| latest_claims.get(id).copied())
                     .collect();
-                let vehicle_index = roster.get(observer).expect("observer in roster").vehicle_index;
+                let vehicle_index = roster
+                    .get(observer)
+                    .expect("observer in roster")
+                    .vehicle_index;
                 let input = DetectionInput {
                     observer,
                     time_s: t_d,
@@ -273,9 +275,14 @@ pub fn run_scenario(config: &ScenarioConfig, detectors: &[&dyn Detector]) -> Sim
                     claims,
                     witness_reports: witness_reports.clone(),
                 };
-                for (d_idx, detector) in detectors.iter().enumerate() {
-                    let suspects = detector.detect(&input);
-                    let score = score_detection(&heard, &suspects, &ground_truth);
+                // Evaluate all attached detectors concurrently on this
+                // input. Inputs themselves stay strictly sequential, so a
+                // stateful detector still sees time-ordered calls; scores
+                // are folded back in detector order, keeping the outcome
+                // identical to the sequential loop.
+                let suspect_sets = vp_par::par_map_coarse(detectors, |d| d.detect(&input));
+                for (d_idx, suspects) in suspect_sets.iter().enumerate() {
+                    let score = score_detection(&heard, suspects, &ground_truth);
                     detector_stats[d_idx].push(score);
                 }
                 if config.collect_inputs {
@@ -373,7 +380,11 @@ mod tests {
     fn run_produces_traffic_and_detections() {
         let outcome = run_scenario(&small_config(1), &[&Silent, &Paranoid]);
         assert!(outcome.packet_stats.offered > 0);
-        assert!(outcome.packet_stats.received > 1000, "{:?}", outcome.packet_stats);
+        assert!(
+            outcome.packet_stats.received > 1000,
+            "{:?}",
+            outcome.packet_stats
+        );
         assert!(outcome.sybil_count >= 3);
         // 45 s sim, first detection at 20 s, period 20 s → 2 boundaries × 2 observers.
         assert!(!outcome.collected.is_empty());
@@ -431,37 +442,40 @@ mod tests {
         let mut checked = 0;
         let mut correlated = 0;
         for seed in [4, 5, 6] {
-        let outcome = run_scenario(&small_config(seed), &[&Silent]);
-        let truth = &outcome.ground_truth;
-        for input in &outcome.collected {
-            let sybils: Vec<&(IdentityId, Vec<f64>)> = input
-                .series
-                .iter()
-                .filter(|(id, s)| {
-                    matches!(truth.kind(*id), Some(NodeKind::Sybil { .. })) && s.len() >= 100
-                })
-                .collect();
-            for s in &sybils {
-                let parent_radio = truth.radio(s.0).unwrap();
-                if let Some(parent_series) = input.series_of(parent_radio as IdentityId) {
-                    // Pearson needs aligned samples; packet drops shift one
-                    // series against the other (the very warping DTW exists
-                    // to absorb), so only equal-length pairs — which at low
-                    // density means no drops — are meaningfully comparable
-                    // sample-by-sample.
-                    if parent_series.len() != s.1.len() || parent_series.len() < 100 {
-                        continue;
-                    }
-                    let c = pearson(&s.1, parent_series);
-                    checked += 1;
-                    if c > 0.6 {
-                        correlated += 1;
+            let outcome = run_scenario(&small_config(seed), &[&Silent]);
+            let truth = &outcome.ground_truth;
+            for input in &outcome.collected {
+                let sybils: Vec<&(IdentityId, Vec<f64>)> = input
+                    .series
+                    .iter()
+                    .filter(|(id, s)| {
+                        matches!(truth.kind(*id), Some(NodeKind::Sybil { .. })) && s.len() >= 100
+                    })
+                    .collect();
+                for s in &sybils {
+                    let parent_radio = truth.radio(s.0).unwrap();
+                    if let Some(parent_series) = input.series_of(parent_radio as IdentityId) {
+                        // Pearson needs aligned samples; packet drops shift one
+                        // series against the other (the very warping DTW exists
+                        // to absorb), so only equal-length pairs — which at low
+                        // density means no drops — are meaningfully comparable
+                        // sample-by-sample.
+                        if parent_series.len() != s.1.len() || parent_series.len() < 100 {
+                            continue;
+                        }
+                        let c = pearson(&s.1, parent_series);
+                        checked += 1;
+                        if c > 0.6 {
+                            correlated += 1;
+                        }
                     }
                 }
             }
         }
-        }
-        assert!(checked >= 2, "not enough sybil/parent pairs heard: {checked}");
+        assert!(
+            checked >= 2,
+            "not enough sybil/parent pairs heard: {checked}"
+        );
         assert!(
             correlated as f64 / checked as f64 > 0.7,
             "only {correlated}/{checked} pairs correlated"
@@ -502,7 +516,11 @@ mod tests {
             .build();
         let out_lo = run_scenario(&lo, &[]);
         let out_hi = run_scenario(&hi, &[]);
-        assert!(out_lo.packet_stats.expiry_rate() < 0.02, "{}", out_lo.packet_stats.expiry_rate());
+        assert!(
+            out_lo.packet_stats.expiry_rate() < 0.02,
+            "{}",
+            out_lo.packet_stats.expiry_rate()
+        );
         assert!(
             out_hi.packet_stats.expiry_rate() > out_lo.packet_stats.expiry_rate(),
             "expiry did not grow: {} vs {}",

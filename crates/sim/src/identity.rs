@@ -111,16 +111,8 @@ impl Roster {
     /// Extracts the scoring ground truth.
     pub fn ground_truth(&self) -> GroundTruth {
         GroundTruth {
-            kind: self
-                .nodes
-                .iter()
-                .map(|n| (n.identity, n.kind))
-                .collect(),
-            radio: self
-                .nodes
-                .iter()
-                .map(|n| (n.identity, n.radio))
-                .collect(),
+            kind: self.nodes.iter().map(|n| (n.identity, n.kind)).collect(),
+            radio: self.nodes.iter().map(|n| (n.identity, n.radio)).collect(),
         }
     }
 }
@@ -143,7 +135,7 @@ impl GroundTruth {
     pub fn is_illegitimate(&self, identity: IdentityId) -> bool {
         self.kind
             .get(&identity)
-            .map_or(false, NodeKind::is_illegitimate)
+            .is_some_and(NodeKind::is_illegitimate)
     }
 
     /// The physical radio transmitting this identity.

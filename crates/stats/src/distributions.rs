@@ -131,7 +131,14 @@ impl TruncatedNormal {
     ///
     /// Returns an error for invalid Gaussian parameters or an empty
     /// interval (`lo >= hi`).
-    pub fn new(mean: f64, std_dev: f64, lo: f64, hi: f64) -> Result<Self, InvalidDistributionError> {
+    // The negated comparison is deliberate: NaN bounds must be rejected.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn new(
+        mean: f64,
+        std_dev: f64,
+        lo: f64,
+        hi: f64,
+    ) -> Result<Self, InvalidDistributionError> {
         let inner = Normal::new(mean, std_dev)?;
         if !(lo < hi) {
             return Err(InvalidDistributionError {

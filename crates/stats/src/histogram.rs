@@ -221,7 +221,11 @@ impl Histogram {
         let mut out = String::new();
         for (center, count) in self.iter() {
             let bar = (count as usize * max_width) / peak as usize;
-            out.push_str(&format!("{center:9.2} | {:<width$} {count}\n", "#".repeat(bar), width = max_width));
+            out.push_str(&format!(
+                "{center:9.2} | {:<width$} {count}\n",
+                "#".repeat(bar),
+                width = max_width
+            ));
         }
         out
     }

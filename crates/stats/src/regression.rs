@@ -62,12 +62,16 @@ pub fn fit_line(x: &[f64], y: &[f64]) -> LinearFit {
         let r = b - (slope * a + intercept);
         ss_res += r * r;
     }
-    let r_squared = if syy == 0.0 { f64::NAN } else { 1.0 - ss_res / syy };
+    let r_squared = if syy == 0.0 {
+        f64::NAN
+    } else {
+        1.0 - ss_res / syy
+    };
     LinearFit {
         slope,
         intercept,
         r_squared,
-        residual_std_dev: (ss_res / n as f64).sqrt(),
+        residual_std_dev: (ss_res / n).sqrt(),
     }
 }
 
@@ -126,7 +130,11 @@ pub fn fit_dual_slope(
     lo_quantile: f64,
     hi_quantile: f64,
 ) -> DualSlopeFit {
-    assert_eq!(x.len(), y.len(), "fit_dual_slope requires equal-length slices");
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "fit_dual_slope requires equal-length slices"
+    );
     assert!(x.len() >= 4, "fit_dual_slope requires at least four points");
     assert!(candidates >= 2, "need at least two breakpoint candidates");
     let lo = crate::descriptive::quantile(x, lo_quantile);
@@ -137,7 +145,7 @@ pub fn fit_dual_slope(
     for i in 0..candidates {
         let c = lo + (hi - lo) * i as f64 / (candidates - 1) as f64;
         if let Some(fit) = fit_with_breakpoint(x, y, c) {
-            if best.as_ref().map_or(true, |b| fit.rss < b.rss) {
+            if best.as_ref().is_none_or(|b| fit.rss < b.rss) {
                 best = Some(fit);
             }
         }
@@ -212,8 +220,9 @@ fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
         b.swap(col, pivot);
         for row in col + 1..3 {
             let f = a[row][col] / a[col][col];
-            for k in col..3 {
-                a[row][k] -= f * a[col][k];
+            let pivot_row = a[col];
+            for (dst, src) in a[row].iter_mut().zip(pivot_row.iter()).skip(col) {
+                *dst -= f * src;
             }
             b[row] -= f * b[col];
         }
@@ -286,16 +295,27 @@ mod tests {
         let x: Vec<f64> = (0..80).map(|i| i as f64 * 0.05).collect();
         let y: Vec<f64> = x.iter().map(|&v| truth.predict(v)).collect();
         let fit = fit_dual_slope(&x, &y, 161, 0.05, 0.95);
-        assert!((fit.intercept - 10.0).abs() < 0.05, "intercept {}", fit.intercept);
+        assert!(
+            (fit.intercept - 10.0).abs() < 0.05,
+            "intercept {}",
+            fit.intercept
+        );
         assert!((fit.slope1 + 1.5).abs() < 0.05, "slope1 {}", fit.slope1);
         assert!((fit.slope2 + 5.0).abs() < 0.1, "slope2 {}", fit.slope2);
-        assert!((fit.breakpoint - 2.0).abs() < 0.1, "breakpoint {}", fit.breakpoint);
+        assert!(
+            (fit.breakpoint - 2.0).abs() < 0.1,
+            "breakpoint {}",
+            fit.breakpoint
+        );
     }
 
     #[test]
     fn dual_slope_prediction_is_continuous() {
         let x: Vec<f64> = (0..40).map(|i| i as f64 * 0.1).collect();
-        let y: Vec<f64> = x.iter().map(|&v| if v < 2.0 { -v } else { -2.0 - 3.0 * (v - 2.0) }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&v| if v < 2.0 { -v } else { -2.0 - 3.0 * (v - 2.0) })
+            .collect();
         let fit = fit_dual_slope(&x, &y, 101, 0.1, 0.9);
         let eps = 1e-9;
         let below = fit.predict(fit.breakpoint - eps);
@@ -313,12 +333,20 @@ mod tests {
 
     #[test]
     fn solve3_identity() {
-        let sol = solve3([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]], [3.0, -1.0, 2.0]).unwrap();
+        let sol = solve3(
+            [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+            [3.0, -1.0, 2.0],
+        )
+        .unwrap();
         assert_eq!(sol, [3.0, -1.0, 2.0]);
     }
 
     #[test]
     fn solve3_singular_returns_none() {
-        assert!(solve3([[1.0, 1.0, 1.0], [1.0, 1.0, 1.0], [0.0, 0.0, 1.0]], [1.0, 2.0, 3.0]).is_none());
+        assert!(solve3(
+            [[1.0, 1.0, 1.0], [1.0, 1.0, 1.0], [0.0, 0.0, 1.0]],
+            [1.0, 2.0, 3.0]
+        )
+        .is_none());
     }
 }

@@ -13,7 +13,8 @@
 //! unit tests here pin the recursion's true value; the discrepancy is
 //! recorded in `EXPERIMENTS.md`.
 
-use crate::window::SearchWindow;
+use crate::scratch::DtwScratch;
+use crate::window::{sakoe_chiba_range, SearchWindow};
 
 /// Squared point cost `c(i,j) = (xᵢ − yⱼ)²` (paper Eq. 3).
 #[inline]
@@ -41,7 +42,10 @@ pub fn point_cost(a: f64, b: f64) -> f64 {
 /// assert_eq!(dtw(&a, &b), 0.0);
 /// ```
 pub fn dtw(x: &[f64], y: &[f64]) -> f64 {
-    assert!(!x.is_empty() && !y.is_empty(), "dtw requires non-empty series");
+    assert!(
+        !x.is_empty() && !y.is_empty(),
+        "dtw requires non-empty series"
+    );
     let m = y.len();
     let mut prev = vec![f64::INFINITY; m + 1];
     let mut curr = vec![f64::INFINITY; m + 1];
@@ -68,7 +72,10 @@ pub fn dtw(x: &[f64], y: &[f64]) -> f64 {
 ///
 /// Panics if either series is empty.
 pub fn dtw_banded(x: &[f64], y: &[f64], radius: usize) -> f64 {
-    assert!(!x.is_empty() && !y.is_empty(), "dtw requires non-empty series");
+    assert!(
+        !x.is_empty() && !y.is_empty(),
+        "dtw requires non-empty series"
+    );
     let w = SearchWindow::sakoe_chiba(x.len(), y.len(), radius);
     dtw_windowed(x, y, &w)
 }
@@ -122,7 +129,10 @@ fn windowed_dp(
     window: &SearchWindow,
     want_path: bool,
 ) -> (f64, Option<Vec<(usize, usize)>>) {
-    assert!(!x.is_empty() && !y.is_empty(), "dtw requires non-empty series");
+    assert!(
+        !x.is_empty() && !y.is_empty(),
+        "dtw requires non-empty series"
+    );
     assert_eq!(window.rows(), x.len(), "window row count must match x");
     assert_eq!(window.cols(), y.len(), "window column count must match y");
     let n = x.len();
@@ -132,11 +142,11 @@ fn windowed_dp(
     let mut prev_range = (0usize, 0usize);
     let mut prev_row: Vec<f64> = Vec::new();
 
-    for i in 0..n {
+    for (i, &xi) in x.iter().enumerate() {
         let (lo, hi) = window.range(i);
         let mut row = vec![f64::INFINITY; hi - lo + 1];
         for j in lo..=hi {
-            let c = point_cost(x[i], y[j]);
+            let c = point_cost(xi, y[j]);
             let best = if i == 0 && j == 0 {
                 0.0
             } else {
@@ -146,7 +156,11 @@ fn windowed_dp(
                 } else {
                     f64::INFINITY
                 };
-                let left = if j > lo { row[j - lo - 1] } else { f64::INFINITY };
+                let left = if j > lo {
+                    row[j - lo - 1]
+                } else {
+                    f64::INFINITY
+                };
                 up.min(diag).min(left)
             };
             row[j - lo] = c + best;
@@ -209,6 +223,199 @@ fn cell(row: &[f64], range: (usize, usize), j: usize, exists: bool) -> f64 {
     } else {
         row[j - range.0]
     }
+}
+
+/// Outcome of a threshold-aware banded DTW evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BoundedDistance {
+    /// The dynamic program ran to completion; the value is the exact
+    /// banded DTW distance.
+    Exact(f64),
+    /// The evaluation was abandoned because the distance is provably above
+    /// the threshold. The carried value is a *lower bound* on the true
+    /// distance that is itself strictly above the threshold, so comparing
+    /// it against the threshold classifies the pair identically to the
+    /// exact distance.
+    AboveThreshold(f64),
+}
+
+impl BoundedDistance {
+    /// The carried value: exact distance or the proven lower bound.
+    pub fn value(self) -> f64 {
+        match self {
+            BoundedDistance::Exact(d) | BoundedDistance::AboveThreshold(d) => d,
+        }
+    }
+
+    /// `true` when the evaluation was abandoned early.
+    pub fn is_pruned(self) -> bool {
+        matches!(self, BoundedDistance::AboveThreshold(_))
+    }
+}
+
+/// Allocation-free form of [`dtw`]: identical result (bit-for-bit), with
+/// working memory taken from `scratch`.
+///
+/// # Panics
+///
+/// Panics if either series is empty.
+pub fn dtw_with_scratch(x: &[f64], y: &[f64], scratch: &mut DtwScratch) -> f64 {
+    assert!(
+        !x.is_empty() && !y.is_empty(),
+        "dtw requires non-empty series"
+    );
+    let m = y.len();
+    let (prev, curr) = scratch.rows(m + 1);
+    // Same initial state as `dtw`: the previous row is all-infinite except
+    // the origin sentinel. `curr` needs no reset — every cell read is
+    // written first within the loop.
+    for p in prev[..=m].iter_mut() {
+        *p = f64::INFINITY;
+    }
+    prev[0] = 0.0;
+    for &xi in x {
+        curr[0] = f64::INFINITY;
+        for (j, &yj) in y.iter().enumerate() {
+            let c = point_cost(xi, yj);
+            let best = prev[j].min(prev[j + 1]).min(curr[j]);
+            curr[j + 1] = c + best;
+        }
+        std::mem::swap(prev, curr);
+    }
+    prev[m]
+}
+
+/// Allocation-free form of [`dtw_windowed`]: identical result
+/// (bit-for-bit), with working memory taken from `scratch`.
+///
+/// # Panics
+///
+/// Panics if either series is empty or the window's shape does not match.
+pub fn dtw_windowed_with_scratch(
+    x: &[f64],
+    y: &[f64],
+    window: &SearchWindow,
+    scratch: &mut DtwScratch,
+) -> f64 {
+    assert_eq!(window.rows(), x.len(), "window row count must match x");
+    assert_eq!(window.cols(), y.len(), "window column count must match y");
+    match rolling_windowed_dp(x, y, |i| window.range(i), None, scratch) {
+        BoundedDistance::Exact(d) => d,
+        BoundedDistance::AboveThreshold(_) => unreachable!("no threshold given"),
+    }
+}
+
+/// Allocation-free form of [`dtw_banded`]: identical result (bit-for-bit),
+/// with the band ranges computed on the fly instead of materialising a
+/// [`SearchWindow`].
+///
+/// # Panics
+///
+/// Panics if either series is empty.
+pub fn dtw_banded_with_scratch(
+    x: &[f64],
+    y: &[f64],
+    radius: usize,
+    scratch: &mut DtwScratch,
+) -> f64 {
+    let (n, m) = (x.len(), y.len());
+    assert!(n > 0 && m > 0, "dtw requires non-empty series");
+    match rolling_windowed_dp(x, y, |i| sakoe_chiba_range(n, m, radius, i), None, scratch) {
+        BoundedDistance::Exact(d) => d,
+        BoundedDistance::AboveThreshold(_) => unreachable!("no threshold given"),
+    }
+}
+
+/// Banded DTW with early abandoning against `threshold`.
+///
+/// Runs the same dynamic program as [`dtw_banded_with_scratch`], but after
+/// each row checks the row's minimum accumulated cost. Every monotone warp
+/// path visits at least one in-band cell of every row, and point costs are
+/// non-negative, so the row minimum is a lower bound on the final
+/// distance; once it exceeds `threshold` (strictly) the evaluation stops
+/// and returns [`BoundedDistance::AboveThreshold`] carrying that bound.
+///
+/// When the result is [`BoundedDistance::Exact`] it is bit-identical to
+/// [`dtw_banded`].
+///
+/// # Panics
+///
+/// Panics if either series is empty.
+pub fn dtw_banded_prunable_with_scratch(
+    x: &[f64],
+    y: &[f64],
+    radius: usize,
+    threshold: f64,
+    scratch: &mut DtwScratch,
+) -> BoundedDistance {
+    let (n, m) = (x.len(), y.len());
+    assert!(n > 0 && m > 0, "dtw requires non-empty series");
+    rolling_windowed_dp(
+        x,
+        y,
+        |i| sakoe_chiba_range(n, m, radius, i),
+        Some(threshold),
+        scratch,
+    )
+}
+
+/// Rolling-row windowed dynamic program shared by the scratch kernels.
+///
+/// `range_at(i)` yields row `i`'s inclusive column range; ranges must obey
+/// the [`SearchWindow`] invariants. Rows are stored at absolute column
+/// indices in the scratch buffers; cells outside the previous row's range
+/// are treated as infinite via range checks, so stale buffer contents are
+/// never observed. The per-cell arithmetic — `up.min(diag).min(left)`,
+/// then one addition — mirrors `windowed_dp` exactly, which is what makes
+/// the scratch kernels bit-identical to their allocating counterparts.
+fn rolling_windowed_dp(
+    x: &[f64],
+    y: &[f64],
+    range_at: impl Fn(usize) -> (usize, usize),
+    abandon_above: Option<f64>,
+    scratch: &mut DtwScratch,
+) -> BoundedDistance {
+    assert!(
+        !x.is_empty() && !y.is_empty(),
+        "dtw requires non-empty series"
+    );
+    let m = y.len();
+    let (prev, curr) = scratch.rows(m);
+    let mut prev_range = (0usize, 0usize);
+    for (i, &xi) in x.iter().enumerate() {
+        let (lo, hi) = range_at(i);
+        let mut row_min = f64::INFINITY;
+        for j in lo..=hi {
+            let c = point_cost(xi, y[j]);
+            let best = if i == 0 && j == 0 {
+                0.0
+            } else {
+                let up = if i > 0 && j >= prev_range.0 && j <= prev_range.1 {
+                    prev[j]
+                } else {
+                    f64::INFINITY
+                };
+                let diag = if i > 0 && j > prev_range.0 && j - 1 <= prev_range.1 {
+                    prev[j - 1]
+                } else {
+                    f64::INFINITY
+                };
+                let left = if j > lo { curr[j - 1] } else { f64::INFINITY };
+                up.min(diag).min(left)
+            };
+            let cell = c + best;
+            curr[j] = cell;
+            row_min = row_min.min(cell);
+        }
+        if let Some(t) = abandon_above {
+            if row_min > t {
+                return BoundedDistance::AboveThreshold(row_min);
+            }
+        }
+        std::mem::swap(prev, curr);
+        prev_range = (lo, hi);
+    }
+    BoundedDistance::Exact(prev[m - 1])
 }
 
 /// Validates that `path` is a legal warp path for series of lengths `n`
@@ -319,7 +526,9 @@ mod tests {
         // Deterministic pseudo-random inputs, no rand dependency needed.
         let mut seed = 42u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / u32::MAX as f64) * 10.0 - 5.0
         };
         for (n, m) in [(1, 1), (1, 7), (9, 3), (17, 23)] {
@@ -336,6 +545,91 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_series_panics() {
         dtw(&[], &[1.0]);
+    }
+
+    #[test]
+    fn scratch_kernels_bit_identical_to_allocating_kernels() {
+        let mut seed = 7u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / u32::MAX as f64) * 10.0 - 5.0
+        };
+        let mut scratch = DtwScratch::new();
+        for (n, m) in [
+            (1, 1),
+            (1, 9),
+            (9, 1),
+            (12, 12),
+            (40, 31),
+            (31, 40),
+            (80, 77),
+        ] {
+            let x: Vec<f64> = (0..n).map(|_| next()).collect();
+            let y: Vec<f64> = (0..m).map(|_| next()).collect();
+            assert_eq!(
+                dtw_with_scratch(&x, &y, &mut scratch).to_bits(),
+                dtw(&x, &y).to_bits(),
+                "dtw mismatch at {n}x{m}"
+            );
+            for radius in [0usize, 1, 3, 10] {
+                assert_eq!(
+                    dtw_banded_with_scratch(&x, &y, radius, &mut scratch).to_bits(),
+                    dtw_banded(&x, &y, radius).to_bits(),
+                    "banded mismatch at {n}x{m} r={radius}"
+                );
+            }
+            let w = SearchWindow::sakoe_chiba(n, m, 2);
+            assert_eq!(
+                dtw_windowed_with_scratch(&x, &y, &w, &mut scratch).to_bits(),
+                dtw_windowed(&x, &y, &w).to_bits(),
+                "windowed mismatch at {n}x{m}"
+            );
+        }
+    }
+
+    #[test]
+    fn prunable_exact_below_threshold() {
+        let mut scratch = DtwScratch::new();
+        let a = [1.0, 3.0, 2.0, 8.0, 4.0, 4.5, 1.0];
+        let b = [1.5, 2.5, 9.0, 3.0, 4.0, 2.0];
+        let exact = dtw_banded(&a, &b, 3);
+        // Threshold above the distance: no pruning, bit-identical value.
+        match dtw_banded_prunable_with_scratch(&a, &b, 3, exact + 1.0, &mut scratch) {
+            BoundedDistance::Exact(d) => assert_eq!(d.to_bits(), exact.to_bits()),
+            other => panic!("unexpected pruning: {other:?}"),
+        }
+        // Threshold exactly at the distance: row minima never *exceed* it,
+        // so the exact value must still come back (strict inequality).
+        match dtw_banded_prunable_with_scratch(&a, &b, 3, exact, &mut scratch) {
+            BoundedDistance::Exact(d) => assert_eq!(d.to_bits(), exact.to_bits()),
+            other => panic!("unexpected pruning at equality: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prunable_abandons_with_sound_lower_bound() {
+        let mut scratch = DtwScratch::new();
+        let a: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..50).map(|i| 50.0 + i as f64 * 0.1).collect();
+        let exact = dtw_banded(&a, &b, 3);
+        let threshold = exact / 10.0;
+        match dtw_banded_prunable_with_scratch(&a, &b, 3, threshold, &mut scratch) {
+            BoundedDistance::AboveThreshold(lb) => {
+                assert!(lb > threshold, "bound {lb} not above threshold {threshold}");
+                assert!(lb <= exact, "bound {lb} exceeds true distance {exact}");
+            }
+            other => panic!("expected pruning, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bounded_distance_accessors() {
+        assert_eq!(BoundedDistance::Exact(2.0).value(), 2.0);
+        assert_eq!(BoundedDistance::AboveThreshold(3.0).value(), 3.0);
+        assert!(!BoundedDistance::Exact(2.0).is_pruned());
+        assert!(BoundedDistance::AboveThreshold(3.0).is_pruned());
     }
 
     #[test]

@@ -14,8 +14,11 @@
 //! figure the paper quotes when arguing FastDTW is accurate enough for
 //! Sybil detection.
 
-use crate::dtw::{dtw_with_path, dtw_windowed_with_path};
-use crate::series::coarsen;
+use crate::dtw::{
+    dtw_windowed_with_path, dtw_windowed_with_scratch, dtw_with_path, dtw_with_scratch,
+};
+use crate::scratch::DtwScratch;
+use crate::series::{coarsen, coarsen_into};
 use crate::window::SearchWindow;
 
 /// Minimum series length below which FastDTW falls back to exact DTW.
@@ -78,6 +81,44 @@ pub fn fast_dtw_with_path(x: &[f64], y: &[f64], radius: usize) -> (f64, Vec<(usi
     dtw_windowed_with_path(x, y, &window)
 }
 
+/// Reduced-allocation form of [`fast_dtw`]: identical result
+/// (bit-for-bit), with the final (largest) resolution level running the
+/// rolling-row windowed DP out of `scratch` instead of retaining the full
+/// windowed table, and the top-level coarsened copies of both series
+/// living in pooled scratch buffers.
+///
+/// The recursion below the top level still allocates (it must retain DP
+/// tables to backtrack warp paths), but those levels are geometrically
+/// smaller — the top level dominates both time and memory, and it is the
+/// level this variant makes allocation-free.
+///
+/// # Panics
+///
+/// Panics if either series is empty.
+pub fn fast_dtw_with_scratch(x: &[f64], y: &[f64], radius: usize, scratch: &mut DtwScratch) -> f64 {
+    assert!(
+        !x.is_empty() && !y.is_empty(),
+        "fast_dtw requires non-empty series"
+    );
+    let min_size = min_ts_size(radius);
+    if x.len() <= min_size || y.len() <= min_size {
+        // `fast_dtw` falls back to `dtw_with_path`; its distance equals the
+        // rolling-row `dtw` bit-for-bit (the DP visits the same cells with
+        // the same per-cell arithmetic), so the scratch kernel can stand in.
+        return dtw_with_scratch(x, y, scratch);
+    }
+    let mut coarse_x = std::mem::take(&mut scratch.coarse_x);
+    let mut coarse_y = std::mem::take(&mut scratch.coarse_y);
+    coarsen_into(x, &mut coarse_x);
+    coarsen_into(y, &mut coarse_y);
+    let (_, coarse_path) = fast_dtw_with_path(&coarse_x, &coarse_y, radius);
+    let coarse_window = window_from_path(&coarse_path, coarse_y.len());
+    scratch.coarse_x = coarse_x;
+    scratch.coarse_y = coarse_y;
+    let window = coarse_window.expand_from_half_resolution(x.len(), y.len(), radius);
+    dtw_windowed_with_scratch(x, y, &window, scratch)
+}
+
 /// Converts a coarse warp path into a per-row search window covering
 /// exactly the path's cells.
 fn window_from_path(path: &[(usize, usize)], cols: usize) -> SearchWindow {
@@ -119,7 +160,12 @@ mod tests {
 
     #[test]
     fn fast_dtw_never_underestimates_exact() {
-        for (n, m, p) in [(50, 50, 0.3), (100, 90, 1.0), (200, 200, 0.0), (33, 67, 2.0)] {
+        for (n, m, p) in [
+            (50, 50, 0.3),
+            (100, 90, 1.0),
+            (200, 200, 0.0),
+            (33, 67, 2.0),
+        ] {
             let x = wave(n, 0.0);
             let y = wave(m, p);
             let exact = dtw(&x, &y);
@@ -150,7 +196,10 @@ mod tests {
         let mut prev = f64::INFINITY;
         for radius in [0usize, 1, 2, 4, 8] {
             let fast = fast_dtw(&x, &y, radius);
-            assert!(fast <= prev + 1e-9, "radius {radius} got worse: {fast} > {prev}");
+            assert!(
+                fast <= prev + 1e-9,
+                "radius {radius} got worse: {fast} > {prev}"
+            );
             assert!(fast >= exact - 1e-9);
             prev = fast;
         }

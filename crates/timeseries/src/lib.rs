@@ -13,6 +13,10 @@
 //! * [`window`] — sparse search windows for constrained DTW.
 //! * [`fastdtw`] — the linear-time FastDTW approximation
 //!   (Salvador & Chan, reference [24] of the paper) used by the detector.
+//! * [`scratch`] — reusable working memory ([`DtwScratch`]) backing the
+//!   allocation-free `*_with_scratch` kernel variants.
+//! * [`lowerbound`] — LB_Keogh-style lower bounds that let a comparison
+//!   engine skip or abandon provably above-threshold DTW evaluations.
 //!
 //! # Example
 //!
@@ -32,12 +36,16 @@
 pub mod distance;
 pub mod dtw;
 pub mod fastdtw;
+pub mod lowerbound;
 pub mod normalize;
+pub mod scratch;
 pub mod series;
 pub mod window;
 
-pub use dtw::{dtw, dtw_with_path};
-pub use fastdtw::{fast_dtw, fast_dtw_with_path};
+pub use dtw::{dtw, dtw_with_path, dtw_with_scratch, BoundedDistance};
+pub use fastdtw::{fast_dtw, fast_dtw_with_path, fast_dtw_with_scratch};
+pub use lowerbound::lb_keogh_banded;
 pub use normalize::{min_max_normalize, z_score_enhanced};
+pub use scratch::DtwScratch;
 pub use series::Series;
 pub use window::SearchWindow;

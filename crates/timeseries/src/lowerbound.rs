@@ -1,0 +1,170 @@
+//! LB_Keogh-style lower bounds for banded DTW.
+//!
+//! LB_Keogh (Keogh & Ratanamahatana) bounds DTW from below using an
+//! *envelope* of one series: if row `i` of the banded DTW matrix may only
+//! visit columns `band(i) = [lo_i, hi_i]`, then any monotone warp path
+//! must align `xᵢ` with some `y_j`, `j ∈ band(i)`. The cheapest such
+//! alignment costs at least the squared distance from `xᵢ` to the interval
+//! `[Lᵢ, Uᵢ]` where `Uᵢ = max y[band(i)]` and `Lᵢ = min y[band(i)]`.
+//! Because a path visits at least one in-band cell of **every** row and
+//! the squared point costs (paper Eq. 3) are non-negative, the per-row
+//! contributions sum to a lower bound on the banded DTW distance.
+//!
+//! This generalises the textbook equal-length LB_Keogh to the
+//! unequal-length, corner-anchored Sakoe–Chiba bands used by
+//! [`crate::dtw::dtw_banded`]: the envelope is taken over exactly the band
+//! the DP will search, so the bound is sound for that kernel by
+//! construction. It is **not** a bound for unconstrained [`crate::dtw::dtw`]
+//! (a wider search could find a cheaper path than the band allows).
+//!
+//! The envelope is computed in `O(N + M)` total with monotonic deques —
+//! band endpoints are non-decreasing in the row index, so each column
+//! enters and leaves each deque at most once.
+
+use crate::dtw::point_cost;
+use crate::scratch::DtwScratch;
+use crate::window::sakoe_chiba_range;
+
+/// LB_Keogh lower bound on [`crate::dtw::dtw_banded`]`(x, y, radius)`.
+///
+/// Guarantees `lb_keogh_banded(x, y, radius) <= dtw_banded(x, y, radius)`;
+/// the bound is cheap (`O(N + M)`) and is used to skip the quadratic
+/// dynamic program entirely when the bound already exceeds a pruning
+/// threshold.
+///
+/// # Panics
+///
+/// Panics if either series is empty.
+pub fn lb_keogh_banded(x: &[f64], y: &[f64], radius: usize) -> f64 {
+    lb_keogh_banded_with_scratch(x, y, radius, &mut DtwScratch::new())
+}
+
+/// Allocation-free form of [`lb_keogh_banded`]: identical result, with the
+/// envelope deques taken from `scratch`.
+///
+/// # Panics
+///
+/// Panics if either series is empty.
+pub fn lb_keogh_banded_with_scratch(
+    x: &[f64],
+    y: &[f64],
+    radius: usize,
+    scratch: &mut DtwScratch,
+) -> f64 {
+    let n = x.len();
+    let m = y.len();
+    assert!(n > 0 && m > 0, "lb_keogh requires non-empty series");
+    let deq_max = &mut scratch.deq_max;
+    let deq_min = &mut scratch.deq_min;
+    deq_max.clear();
+    deq_min.clear();
+
+    let mut sum = 0.0;
+    let mut next = 0usize; // first column not yet pushed into the deques
+    for (i, &xi) in x.iter().enumerate() {
+        let (lo, hi) = sakoe_chiba_range(n, m, radius, i);
+        // Admit new columns on the right (hi is non-decreasing).
+        while next <= hi {
+            while deq_max.back().is_some_and(|&b| y[b] <= y[next]) {
+                deq_max.pop_back();
+            }
+            deq_max.push_back(next);
+            while deq_min.back().is_some_and(|&b| y[b] >= y[next]) {
+                deq_min.pop_back();
+            }
+            deq_min.push_back(next);
+            next += 1;
+        }
+        // Expire columns on the left (lo is non-decreasing).
+        while deq_max.front().is_some_and(|&f| f < lo) {
+            deq_max.pop_front();
+        }
+        while deq_min.front().is_some_and(|&f| f < lo) {
+            deq_min.pop_front();
+        }
+        let upper = y[*deq_max.front().expect("band is non-empty")];
+        let lower = y[*deq_min.front().expect("band is non-empty")];
+        if xi > upper {
+            sum += point_cost(xi, upper);
+        } else if xi < lower {
+            sum += point_cost(xi, lower);
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtw::dtw_banded;
+
+    fn pseudo_random(seed: u64, n: usize, scale: f64) -> Vec<f64> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((s >> 33) as f64 / u32::MAX as f64) * scale - scale / 2.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bound_never_exceeds_banded_dtw() {
+        for (n, m, radius) in [
+            (1usize, 1usize, 0usize),
+            (1, 20, 2),
+            (20, 1, 2),
+            (50, 50, 0),
+            (50, 50, 3),
+            (80, 61, 5),
+            (61, 80, 1),
+            (33, 200, 4),
+        ] {
+            let x = pseudo_random(n as u64 * 31 + m as u64, n, 10.0);
+            let y = pseudo_random(m as u64 * 17 + 5, m, 10.0);
+            let lb = lb_keogh_banded(&x, &y, radius);
+            let d = dtw_banded(&x, &y, radius);
+            assert!(lb <= d + 1e-9, "lb {lb} > dtw {d} for ({n},{m},r={radius})");
+            assert!(lb >= 0.0);
+        }
+    }
+
+    #[test]
+    fn identical_series_have_zero_bound() {
+        let x = pseudo_random(9, 64, 6.0);
+        assert_eq!(lb_keogh_banded(&x, &x, 2), 0.0);
+    }
+
+    #[test]
+    fn distant_series_have_positive_bound() {
+        let x: Vec<f64> = (0..40).map(|i| i as f64 * 0.05).collect();
+        let y: Vec<f64> = (0..40).map(|i| 30.0 + i as f64 * 0.05).collect();
+        let lb = lb_keogh_banded(&x, &y, 3);
+        assert!(lb > 0.0);
+        // Each of the 40 rows is ~30 off: the bound should be substantial.
+        assert!(lb > 40.0 * 25.0 * 25.0);
+    }
+
+    #[test]
+    fn scratch_and_allocating_forms_agree() {
+        let x = pseudo_random(3, 77, 8.0);
+        let y = pseudo_random(4, 70, 8.0);
+        let mut scratch = DtwScratch::new();
+        // Dirty the deques with a prior call on other lengths.
+        let _ = lb_keogh_banded_with_scratch(&y, &x, 2, &mut scratch);
+        for radius in [0usize, 1, 4, 16] {
+            assert_eq!(
+                lb_keogh_banded(&x, &y, radius).to_bits(),
+                lb_keogh_banded_with_scratch(&x, &y, radius, &mut scratch).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_input_panics() {
+        lb_keogh_banded(&[], &[1.0], 1);
+    }
+}

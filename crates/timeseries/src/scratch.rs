@@ -1,0 +1,142 @@
+//! Reusable scratch storage for the DTW kernels.
+//!
+//! Every DTW variant in this crate needs a small amount of working
+//! memory: two rolling DP rows, monotonic deques for the LB_Keogh
+//! envelope, and (for FastDTW) buffers holding the coarsened series. A
+//! [`DtwScratch`] owns all of it, so a caller that measures many pairs —
+//! the comparison phase visits `n·(n−1)/2` of them per detection period —
+//! allocates once per worker thread instead of once per pair.
+//!
+//! # Lifetime rules
+//!
+//! * A scratch is **not** tied to any series length: buffers grow to the
+//!   largest problem seen and are reused (never shrunk) afterwards, so
+//!   interleaving calls with mismatched lengths is fine.
+//! * Kernels leave no observable state behind: every `*_with_scratch`
+//!   call produces results bit-identical to its allocating wrapper no
+//!   matter what was computed before. (Internally the rolling rows are
+//!   *not* cleared between calls — the dynamic programs write every cell
+//!   they later read — which is exactly why reuse is free.)
+//! * A scratch is plain owned data (`Send`), but not shared: give each
+//!   worker thread its own (see `vp-par`'s per-worker `init`), never one
+//!   scratch to two threads.
+
+use std::collections::VecDeque;
+
+/// Reusable working memory for the DTW kernels; see the module docs for
+/// the lifetime rules.
+#[derive(Debug, Clone, Default)]
+pub struct DtwScratch {
+    /// Previous rolling DP row.
+    pub(crate) prev: Vec<f64>,
+    /// Current rolling DP row.
+    pub(crate) curr: Vec<f64>,
+    /// Monotonic deque of candidate minima for the LB_Keogh envelope.
+    pub(crate) deq_min: VecDeque<usize>,
+    /// Monotonic deque of candidate maxima for the LB_Keogh envelope.
+    pub(crate) deq_max: VecDeque<usize>,
+    /// FastDTW coarsened copy of the first series.
+    pub(crate) coarse_x: Vec<f64>,
+    /// FastDTW coarsened copy of the second series.
+    pub(crate) coarse_y: Vec<f64>,
+}
+
+impl DtwScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        DtwScratch::default()
+    }
+
+    /// A scratch preallocated for series up to `max_len` samples, so the
+    /// first calls do not grow buffers either.
+    pub fn with_capacity(max_len: usize) -> Self {
+        DtwScratch {
+            prev: Vec::with_capacity(max_len + 1),
+            curr: Vec::with_capacity(max_len + 1),
+            deq_min: VecDeque::with_capacity(max_len),
+            deq_max: VecDeque::with_capacity(max_len),
+            coarse_x: Vec::with_capacity(max_len / 2 + 1),
+            coarse_y: Vec::with_capacity(max_len / 2 + 1),
+        }
+    }
+
+    /// Ensures the rolling rows can hold `len` cells each and returns
+    /// them. Existing contents are unspecified — callers must write every
+    /// cell they read (all kernels here do).
+    pub(crate) fn rows(&mut self, len: usize) -> (&mut Vec<f64>, &mut Vec<f64>) {
+        if self.prev.len() < len {
+            self.prev.resize(len, f64::INFINITY);
+        }
+        if self.curr.len() < len {
+            self.curr.resize(len, f64::INFINITY);
+        }
+        (&mut self.prev, &mut self.curr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtw::{dtw, dtw_banded, dtw_banded_with_scratch, dtw_with_scratch};
+    use crate::fastdtw::{fast_dtw, fast_dtw_with_scratch};
+
+    fn wave(n: usize, phase: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.13 + phase).sin() * 3.0 - 70.0)
+            .collect()
+    }
+
+    #[test]
+    fn reuse_across_mismatched_lengths_matches_fresh_results() {
+        // Grow, shrink, grow again: stale buffer contents must never leak
+        // into a later result.
+        let mut scratch = DtwScratch::new();
+        let shapes = [(120, 95), (8, 160), (33, 33), (1, 200), (200, 1), (64, 63)];
+        for (idx, &(n, m)) in shapes.iter().enumerate() {
+            let x = wave(n, idx as f64 * 0.7);
+            let y = wave(m, idx as f64 * 0.7 + 1.1);
+            assert_eq!(
+                dtw_with_scratch(&x, &y, &mut scratch).to_bits(),
+                dtw(&x, &y).to_bits(),
+                "exact dtw diverged at shape {n}x{m}"
+            );
+            assert_eq!(
+                dtw_banded_with_scratch(&x, &y, 5, &mut scratch).to_bits(),
+                dtw_banded(&x, &y, 5).to_bits(),
+                "banded dtw diverged at shape {n}x{m}"
+            );
+            assert_eq!(
+                fast_dtw_with_scratch(&x, &y, 1, &mut scratch).to_bits(),
+                fast_dtw(&x, &y, 1).to_bits(),
+                "fast dtw diverged at shape {n}x{m}"
+            );
+        }
+    }
+
+    #[test]
+    fn buffers_grow_and_are_retained() {
+        let mut scratch = DtwScratch::new();
+        let x = wave(300, 0.0);
+        let y = wave(280, 0.4);
+        let _ = dtw_with_scratch(&x, &y, &mut scratch);
+        let cap = scratch.prev.capacity();
+        assert!(cap >= 281);
+        // A smaller problem must not shrink the buffers.
+        let _ = dtw_with_scratch(&wave(5, 0.0), &wave(4, 0.1), &mut scratch);
+        assert!(scratch.prev.capacity() >= cap);
+    }
+
+    #[test]
+    fn with_capacity_avoids_growth() {
+        let mut scratch = DtwScratch::with_capacity(256);
+        let before = scratch.prev.capacity();
+        let _ = dtw_with_scratch(&wave(256, 0.0), &wave(256, 0.3), &mut scratch);
+        assert_eq!(scratch.prev.capacity(), before);
+    }
+
+    #[test]
+    fn scratch_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<DtwScratch>();
+    }
+}

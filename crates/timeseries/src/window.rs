@@ -53,27 +53,19 @@ impl SearchWindow {
     /// The Sakoe–Chiba band of half-width `radius` around the (resampled)
     /// diagonal.
     ///
+    /// Row `i`'s range is exactly [`sakoe_chiba_range`]`(rows, cols,
+    /// radius, i)`, so the allocation-free banded kernel
+    /// ([`crate::dtw::dtw_banded_with_scratch`]) visits the same cells as
+    /// a DP over this window.
+    ///
     /// # Panics
     ///
     /// Panics if either dimension is zero.
     pub fn sakoe_chiba(rows: usize, cols: usize, radius: usize) -> Self {
         assert!(rows > 0 && cols > 0, "window dimensions must be positive");
-        let mut ranges = Vec::with_capacity(rows);
-        for i in 0..rows {
-            // Diagonal position scaled for unequal lengths.
-            let centre = if rows == 1 {
-                0.0
-            } else {
-                i as f64 * (cols - 1) as f64 / (rows - 1) as f64
-            };
-            let lo = (centre - radius as f64).ceil().max(0.0) as usize;
-            let hi = ((centre + radius as f64).floor() as usize).min(cols - 1);
-            ranges.push((lo.min(cols - 1), hi.max(lo.min(cols - 1))));
-        }
-        // Band construction is monotone and diagonal-connected by design,
-        // but anchor the corners defensively.
-        ranges[0].0 = 0;
-        ranges[rows - 1].1 = cols - 1;
+        let ranges = (0..rows)
+            .map(|i| sakoe_chiba_range(rows, cols, radius, i))
+            .collect();
         SearchWindow { cols, ranges }
     }
 
@@ -83,7 +75,10 @@ impl SearchWindow {
     ///
     /// Returns [`InvalidWindowError`] when the invariants documented on
     /// [`SearchWindow`] do not hold.
-    pub fn from_ranges(cols: usize, ranges: Vec<(usize, usize)>) -> Result<Self, InvalidWindowError> {
+    pub fn from_ranges(
+        cols: usize,
+        ranges: Vec<(usize, usize)>,
+    ) -> Result<Self, InvalidWindowError> {
         if ranges.is_empty() || cols == 0 {
             return Err(InvalidWindowError {
                 what: "window must be non-empty",
@@ -159,7 +154,12 @@ impl SearchWindow {
     /// [`crate::series::coarsen`]) back to full resolution `rows × cols`,
     /// inflating every cell to its 2×2 block and then growing the result by
     /// `radius` cells in every direction (FastDTW's expansion step).
-    pub fn expand_from_half_resolution(&self, rows: usize, cols: usize, radius: usize) -> SearchWindow {
+    pub fn expand_from_half_resolution(
+        &self,
+        rows: usize,
+        cols: usize,
+        radius: usize,
+    ) -> SearchWindow {
         assert!(rows > 0 && cols > 0, "window dimensions must be positive");
         let mut ranges = vec![(usize::MAX, 0usize); rows];
         for (ci, &(clo, chi)) in self.ranges.iter().enumerate() {
@@ -190,9 +190,9 @@ impl SearchWindow {
                     let hi_row = (i + radius).min(rows - 1);
                     let mut lo = usize::MAX;
                     let mut hi = 0;
-                    for r in lo_row..=hi_row {
-                        lo = lo.min(ranges[r].0);
-                        hi = hi.max(ranges[r].1);
+                    for &(r_lo, r_hi) in &ranges[lo_row..=hi_row] {
+                        lo = lo.min(r_lo);
+                        hi = hi.max(r_hi);
                     }
                     (lo.saturating_sub(radius), (hi + radius).min(cols - 1))
                 })
@@ -202,7 +202,7 @@ impl SearchWindow {
         // Re-establish monotonicity (expansion preserves it, but make the
         // invariant unconditional) and anchor the corners.
         for i in 1..rows {
-            ranges[i].0 = ranges[i].0.max(0).min(cols - 1);
+            ranges[i].0 = ranges[i].0.min(cols - 1);
             if ranges[i].0 < ranges[i - 1].0 {
                 ranges[i].0 = ranges[i - 1].0;
             }
@@ -214,6 +214,41 @@ impl SearchWindow {
         ranges[rows - 1].1 = cols - 1;
         SearchWindow { cols, ranges }
     }
+}
+
+/// Row `i`'s inclusive column range in the Sakoe–Chiba band of half-width
+/// `radius` over a `rows × cols` DTW matrix.
+///
+/// The band is centred on the length-rescaled diagonal, and the corner
+/// rows are anchored so `(0, 0)` and `(rows−1, cols−1)` are always
+/// inside. [`SearchWindow::sakoe_chiba`] materialises these ranges; the
+/// scratch-based banded kernels compute them on the fly from this
+/// function, which is what keeps the two paths cell-for-cell identical.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero or `i >= rows`.
+pub fn sakoe_chiba_range(rows: usize, cols: usize, radius: usize, i: usize) -> (usize, usize) {
+    assert!(rows > 0 && cols > 0, "window dimensions must be positive");
+    assert!(i < rows, "row index out of bounds");
+    // Diagonal position scaled for unequal lengths.
+    let centre = if rows == 1 {
+        0.0
+    } else {
+        i as f64 * (cols - 1) as f64 / (rows - 1) as f64
+    };
+    let lo = (centre - radius as f64).ceil().max(0.0) as usize;
+    let hi = ((centre + radius as f64).floor() as usize).min(cols - 1);
+    let (mut lo, mut hi) = (lo.min(cols - 1), hi.max(lo.min(cols - 1)));
+    // Band construction is monotone and diagonal-connected by design,
+    // but anchor the corners defensively.
+    if i == 0 {
+        lo = 0;
+    }
+    if i == rows - 1 {
+        hi = cols - 1;
+    }
+    (lo, hi)
 }
 
 #[cfg(test)]

@@ -3,9 +3,9 @@
 //!
 //! Run with: `cargo run --release --example highway_sybil`
 
-use vp_baseline::CpvsadDetector;
 use voiceprint::threshold::ThresholdPolicy;
 use voiceprint::VoiceprintDetector;
+use vp_baseline::CpvsadDetector;
 use vp_sim::{run_scenario, ScenarioConfig};
 
 fn main() {

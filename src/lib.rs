@@ -16,6 +16,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use voiceprint;
 pub use vp_baseline;
 pub use vp_classify;
 pub use vp_fieldtest;
@@ -25,10 +26,9 @@ pub use vp_radio;
 pub use vp_sim;
 pub use vp_stats;
 pub use vp_timeseries;
-pub use voiceprint;
 
 /// Convenience re-exports for examples and quick experiments.
 pub mod prelude {
-    pub use vp_sim::config::ScenarioConfig;
     pub use voiceprint::VoiceprintDetector;
+    pub use vp_sim::config::ScenarioConfig;
 }

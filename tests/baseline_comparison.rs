@@ -35,7 +35,11 @@ fn cpvsad_detects_with_enough_witnesses() {
         fpr_sum += fpr;
     }
     assert!(dr_sum / 2.0 > 0.5, "CPVSAD DR too low: {}", dr_sum / 2.0);
-    assert!(fpr_sum / 2.0 < 0.2, "CPVSAD FPR too high: {}", fpr_sum / 2.0);
+    assert!(
+        fpr_sum / 2.0 < 0.2,
+        "CPVSAD FPR too high: {}",
+        fpr_sum / 2.0
+    );
 }
 
 #[test]

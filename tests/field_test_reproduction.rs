@@ -9,7 +9,11 @@ fn moving_environments_reach_paper_level_detection() {
     // Paper: DR = 100% in all scenarios; FPR 0 everywhere except one
     // urban alarm. Campus, rural and highway keep the convoy moving, so
     // they should be clean.
-    for env in [Environment::Campus, Environment::Rural, Environment::Highway] {
+    for env in [
+        Environment::Campus,
+        Environment::Rural,
+        Environment::Highway,
+    ] {
         for seed in [1, 2] {
             let outcome = run_field_test(env, seed);
             assert!(

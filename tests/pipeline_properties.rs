@@ -3,12 +3,13 @@
 //! vp-timeseries, vp-classify and voiceprint.
 
 use proptest::prelude::*;
-use voiceprint::comparator::{compare, ComparisonConfig, DistanceMeasure};
+use voiceprint::comparator::{compare, compare_sequential, ComparisonConfig, DistanceMeasure};
 use voiceprint::confirm::confirm;
 use voiceprint::threshold::ThresholdPolicy;
 use vp_timeseries::dtw::{dtw, dtw_banded, dtw_with_path, is_valid_warp_path};
 use vp_timeseries::fastdtw::fast_dtw;
 use vp_timeseries::normalize::{min_max_normalize, z_score_enhanced};
+use vp_timeseries::scratch::DtwScratch;
 
 fn series_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-95.0..-40.0f64, 2..max_len)
@@ -91,7 +92,7 @@ proptest! {
         let series: Vec<(u64, Vec<f64>)> = (0..5u64)
             .map(|id| {
                 let s: Vec<f64> = (0..120)
-                    .map(|k| ((k as f64 * 0.1 + (seed + id) as f64).sin() * 4.0 - 70.0))
+                    .map(|k| (k as f64 * 0.1 + (seed + id) as f64).sin() * 4.0 - 70.0)
                     .collect();
                 (id, s)
             })
@@ -105,6 +106,91 @@ proptest! {
     }
 
     #[test]
+    fn parallel_comparison_is_bit_identical_to_sequential(
+        seed in 0u64..500,
+        n_ids in 3u64..10,
+    ) {
+        // The parallel engine must be indistinguishable from the
+        // sequential sweep: same pairs, bitwise-equal distances.
+        let series: Vec<(u64, Vec<f64>)> = (0..n_ids)
+            .map(|id| {
+                let len = 100 + ((seed + id * 13) % 40) as usize;
+                let s: Vec<f64> = (0..len)
+                    .map(|k| (k as f64 * 0.09 + (seed * 3 + id * 11) as f64).sin() * 4.5 - 71.0)
+                    .collect();
+                (id, s)
+            })
+            .collect();
+        for cfg in [
+            ComparisonConfig::default(),
+            ComparisonConfig::paper_strict(),
+            ComparisonConfig {
+                measure: DistanceMeasure::ExactDtw,
+                ..ComparisonConfig::default()
+            },
+        ] {
+            let par = compare(&series, &cfg);
+            let seq = compare_sequential(&series, &cfg);
+            prop_assert_eq!(par, seq);
+        }
+    }
+
+    #[test]
+    fn pruned_comparison_classifies_identically(
+        seed in 0u64..500,
+        threshold in 0.001..0.5f64,
+    ) {
+        // Lower-bound pruning may replace a distance with a lower bound,
+        // but only when both sit strictly above the prune threshold: every
+        // pair keeps its side of the threshold, and no stored value ever
+        // underestimates the true distance.
+        let series: Vec<(u64, Vec<f64>)> = (0..8u64)
+            .map(|id| {
+                let s: Vec<f64> = (0..130)
+                    .map(|k| (k as f64 * 0.08 + (seed * 5 + id * 7) as f64).sin() * 5.0 - 73.0)
+                    .collect();
+                (id, s)
+            })
+            .collect();
+        let exact_cfg = ComparisonConfig::default();
+        let pruned_cfg = ComparisonConfig {
+            prune_threshold: Some(threshold),
+            ..exact_cfg
+        };
+        let exact = compare(&series, &exact_cfg);
+        let pruned = compare(&series, &pruned_cfg);
+        let exact_pairs: Vec<(u64, u64, f64)> = exact.iter().collect();
+        let pruned_pairs: Vec<(u64, u64, f64)> = pruned.iter().collect();
+        prop_assert_eq!(exact_pairs.len(), pruned_pairs.len());
+        for (&(a1, b1, de), &(a2, b2, dp)) in exact_pairs.iter().zip(&pruned_pairs) {
+            prop_assert_eq!((a1, b1), (a2, b2));
+            prop_assert_eq!(de <= threshold, dp <= threshold, "classification changed");
+            prop_assert!(dp <= de + 1e-12, "stored value overestimates: {} > {}", dp, de);
+            if dp != de {
+                prop_assert!(dp > threshold, "replaced value not above threshold");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_kernels_match_allocating_kernels(
+        x in series_strategy(50),
+        y in series_strategy(50),
+        radius in 0usize..6,
+    ) {
+        let mut scratch = DtwScratch::new();
+        // Dirty the scratch with an unrelated computation first: reuse
+        // must not leak state between calls.
+        let _ = vp_timeseries::dtw::dtw_with_scratch(&y, &x, &mut scratch);
+        let d = vp_timeseries::dtw::dtw_with_scratch(&x, &y, &mut scratch);
+        prop_assert_eq!(d.to_bits(), dtw(&x, &y).to_bits());
+        let b = vp_timeseries::dtw::dtw_banded_with_scratch(&x, &y, radius, &mut scratch);
+        prop_assert_eq!(b.to_bits(), dtw_banded(&x, &y, radius).to_bits());
+        let f = vp_timeseries::fastdtw::fast_dtw_with_scratch(&x, &y, 1, &mut scratch);
+        prop_assert_eq!(f.to_bits(), fast_dtw(&x, &y, 1).to_bits());
+    }
+
+    #[test]
     fn confirmation_is_monotone_in_threshold(
         seed in 0u64..500,
         t1 in 0.0..0.5f64,
@@ -114,7 +200,7 @@ proptest! {
         let series: Vec<(u64, Vec<f64>)> = (0..6u64)
             .map(|id| {
                 let s: Vec<f64> = (0..120)
-                    .map(|k| ((k as f64 * 0.07 + (seed * 7 + id * 3) as f64).sin() * 5.0 - 72.0))
+                    .map(|k| (k as f64 * 0.07 + (seed * 7 + id * 3) as f64).sin() * 5.0 - 72.0)
                     .collect();
                 (id, s)
             })
