@@ -16,6 +16,12 @@ use vp_timeseries::normalize::{min_max_normalize, z_score_enhanced};
 /// traffic density, and `k`/`b` the decision boundary. The output is the
 /// list of suspect IDs (deduplicated, in first-flagged order).
 ///
+/// Non-finite samples do not panic: the hardened normalisation kernels
+/// pass them through, the affected pairs' distances come out NaN, and a
+/// NaN distance never satisfies the `≤ threshold` test — so such pairs
+/// are simply never flagged. (The production path in
+/// [`crate::comparator`] additionally quarantines and reports them.)
+///
 /// # Panics
 ///
 /// Panics if `rssi` and `ids` differ in length or any series is empty.
@@ -115,5 +121,19 @@ mod tests {
     #[should_panic(expected = "one ID per series")]
     fn mismatched_inputs_panic() {
         algorithm_1(&[vec![1.0]], &[1, 2], 10.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn non_finite_series_never_flag_and_never_panic() {
+        let (mut rssi, mut ids) = series();
+        rssi.push(vec![f64::NAN; 120]);
+        ids.push(666);
+        rssi.push(vec![f64::INFINITY; 120]);
+        ids.push(667);
+        let suspects = algorithm_1(&rssi, &ids, 10.0, 0.00054, 0.0483);
+        assert!(!suspects.contains(&666));
+        assert!(!suspects.contains(&667));
+        // The clean Sybil pair is still caught despite the poison.
+        assert!(suspects.contains(&100) && suspects.contains(&101));
     }
 }

@@ -4,8 +4,16 @@
 //! within a constant interval [the observation time]. For each packet,
 //! Voiceprint only needs to store a 2-tuple ⟨ID, RSSI⟩, and then generates
 //! RSSI time series for each received ID." (Section IV-C1)
+//!
+//! Collection is the pipeline's ingest gate: whatever the radio decodes
+//! lands here first, so this is where non-finite timestamps and RSSI
+//! values are quarantined. A quarantined beacon is dropped and counted
+//! ([`Collector::rejected_samples`]) — it can neither poison the stored
+//! series nor panic a later sorting step.
 
 use std::collections::HashMap;
+
+use vp_fault::{Beacon, VpError};
 
 use crate::IdentityId;
 
@@ -19,7 +27,9 @@ use crate::IdentityId;
 /// let mut c = Collector::new(20.0);
 /// c.record(42, 0.1, -71.5);
 /// c.record(42, 0.2, -71.0);
+/// c.record(42, f64::NAN, -70.0); // quarantined, not stored
 /// assert_eq!(c.heard_identities(), 1);
+/// assert_eq!(c.rejected_samples(), 1);
 /// let series = c.series_at(0.2, 1);
 /// assert_eq!(series[0], (42, vec![-71.5, -71.0]));
 /// ```
@@ -27,6 +37,7 @@ use crate::IdentityId;
 pub struct Collector {
     window_s: f64,
     samples: HashMap<IdentityId, Vec<(f64, f64)>>,
+    rejected: u64,
 }
 
 impl Collector {
@@ -41,6 +52,7 @@ impl Collector {
         Collector {
             window_s,
             samples: HashMap::new(),
+            rejected: 0,
         }
     }
 
@@ -50,11 +62,41 @@ impl Collector {
     }
 
     /// Records one decoded beacon's `⟨ID, RSSI⟩` tuple at `time_s`.
+    ///
+    /// Beacons with a non-finite timestamp or RSSI are quarantined: they
+    /// are not stored, and [`Collector::rejected_samples`] is bumped.
+    /// Use [`Collector::try_record`] to learn *why* a beacon was
+    /// rejected.
     pub fn record(&mut self, identity: IdentityId, time_s: f64, rssi_dbm: f64) {
+        let _ = self.try_record(identity, time_s, rssi_dbm);
+    }
+
+    /// Fallible form of [`Collector::record`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`VpError`] describing the offending field when the
+    /// beacon is quarantined; the rejection is counted either way.
+    pub fn try_record(
+        &mut self,
+        identity: IdentityId,
+        time_s: f64,
+        rssi_dbm: f64,
+    ) -> Result<(), VpError> {
+        if let Err(e) = Beacon::new(identity, time_s, rssi_dbm).validate() {
+            self.rejected += 1;
+            return Err(e);
+        }
         self.samples
             .entry(identity)
             .or_default()
             .push((time_s, rssi_dbm));
+        Ok(())
+    }
+
+    /// Number of beacons quarantined at ingest so far.
+    pub fn rejected_samples(&self) -> u64 {
+        self.rejected
     }
 
     /// Number of identities with at least one stored sample.
@@ -75,6 +117,10 @@ impl Collector {
     /// Extracts the RSSI series of every identity with at least
     /// `min_samples` samples inside `[now_s − window, now_s]`,
     /// time-ordered, sorted by identity.
+    ///
+    /// Stored timestamps are always finite (ingest quarantines the
+    /// rest), but the sort uses [`f64::total_cmp`] anyway so this method
+    /// is total even if an invariant is ever violated upstream.
     pub fn series_at(&self, now_s: f64, min_samples: usize) -> Vec<(IdentityId, Vec<f64>)> {
         let cutoff = now_s - self.window_s;
         let mut out: Vec<(IdentityId, Vec<f64>)> = self
@@ -89,7 +135,7 @@ impl Collector {
                 if kept.len() < min_samples.max(1) {
                     return None;
                 }
-                kept.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite timestamps"));
+                kept.sort_by(|a, b| a.0.total_cmp(&b.0));
                 Some((id, kept.into_iter().map(|(_, r)| r).collect()))
             })
             .collect();
@@ -152,5 +198,40 @@ mod tests {
     #[should_panic(expected = "observation window must be positive")]
     fn zero_window_panics() {
         Collector::new(0.0);
+    }
+
+    #[test]
+    fn non_finite_samples_are_quarantined_not_stored() {
+        // Regression: a single NaN timestamp used to panic series_at
+        // ("finite timestamps"); ±∞ RSSI poisoned normalisation.
+        let mut c = Collector::new(10.0);
+        c.record(1, 0.0, -70.0);
+        for (t, r) in [
+            (f64::NAN, -70.0),
+            (f64::INFINITY, -70.0),
+            (1.0, f64::NAN),
+            (2.0, f64::NEG_INFINITY),
+        ] {
+            c.record(1, t, r);
+        }
+        c.record(1, 1.0, -71.0);
+        assert_eq!(c.rejected_samples(), 4);
+        let series = c.series_at(1.0, 1);
+        assert_eq!(series[0].1, vec![-70.0, -71.0]);
+    }
+
+    #[test]
+    fn try_record_reports_the_offending_field() {
+        let mut c = Collector::new(10.0);
+        assert!(matches!(
+            c.try_record(7, f64::NAN, -70.0),
+            Err(VpError::NonFiniteTime { identity: 7, .. })
+        ));
+        assert!(matches!(
+            c.try_record(7, 0.0, f64::INFINITY),
+            Err(VpError::NonFiniteRssi { identity: 7, .. })
+        ));
+        assert!(c.try_record(7, 0.0, -70.0).is_ok());
+        assert_eq!(c.rejected_samples(), 2);
     }
 }

@@ -8,6 +8,7 @@
 
 use std::borrow::Cow;
 
+use vp_fault::DegradationCounters;
 use vp_par::par_fill_with_threads;
 use vp_timeseries::distance::squared_euclidean;
 use vp_timeseries::dtw::{
@@ -152,12 +153,38 @@ pub struct PairwiseDistances {
     normalized: Vec<f64>,
     /// Upper-triangle raw distances (before min–max).
     raw: Vec<f64>,
+    /// Identities excluded before comparison because their series
+    /// contained non-finite values, ascending.
+    quarantined: Vec<IdentityId>,
+    /// Pairs whose distance came out non-finite (and which confirmation
+    /// must therefore skip).
+    pairs_skipped: u64,
 }
 
 impl PairwiseDistances {
     /// Identities that entered the comparison, ascending.
     pub fn ids(&self) -> &[IdentityId] {
         &self.ids
+    }
+
+    /// Identities quarantined before comparison (non-finite samples in
+    /// their collected series), ascending. Quarantined identities have
+    /// no distances; they are reported so the caller can treat "we could
+    /// not compare this identity" differently from "this identity looks
+    /// honest".
+    pub fn quarantined_ids(&self) -> &[IdentityId] {
+        &self.quarantined
+    }
+
+    /// Degradation tally for this comparison: identities quarantined and
+    /// non-finite pairs that confirmation will skip. Ingest-level sample
+    /// rejections live in the collector, not here.
+    pub fn degradation(&self) -> DegradationCounters {
+        DegradationCounters {
+            samples_rejected: 0,
+            identities_quarantined: self.quarantined.len() as u64,
+            pairs_skipped: self.pairs_skipped,
+        }
     }
 
     /// Number of compared identities.
@@ -244,12 +271,28 @@ fn compare_with_threads(
         .filter(|(_, s)| s.len() >= config.min_series_len.max(1))
         .map(|(id, s)| (*id, s.as_slice()))
         .collect();
+    // Quarantine identities whose series carry non-finite samples: their
+    // distances would be meaningless (and, min–max normalised, used to
+    // poison every other pair's distance too). Ingest filtering makes
+    // this a no-op on the normal path — all-finite input takes the
+    // `retain` fast path untouched, keeping results bit-identical.
+    let mut quarantined: Vec<IdentityId> = Vec::new();
+    kept.retain(|(id, s)| {
+        let finite = s.iter().all(|v| v.is_finite());
+        if !finite {
+            quarantined.push(*id);
+        }
+        finite
+    });
     kept.sort_by_key(|(id, _)| *id);
+    quarantined.sort_unstable();
     if kept.len() < 2 {
         return PairwiseDistances {
             ids: kept.into_iter().map(|(id, _)| id).collect(),
             normalized: Vec::new(),
             raw: Vec::new(),
+            quarantined,
+            pairs_skipped: 0,
         };
     }
 
@@ -358,10 +401,16 @@ fn compare_with_threads(
     } else {
         raw.clone()
     };
+    // Finite input series can still overflow to a non-finite distance
+    // (e.g. z-score on values near f64::MAX); count those pairs so the
+    // verdict reports the skip instead of silently ignoring it.
+    let pairs_skipped = normalized.iter().filter(|d| !d.is_finite()).count() as u64;
     PairwiseDistances {
         ids: kept.into_iter().map(|(id, _)| id).collect(),
         normalized,
         raw,
+        quarantined,
+        pairs_skipped,
     }
 }
 
@@ -654,5 +703,85 @@ mod tests {
     fn self_distance_panics() {
         let pd = compare(&synthetic(), &ComparisonConfig::default());
         pd.normalized_between(1, 1);
+    }
+
+    #[test]
+    fn clean_input_reports_no_degradation() {
+        let pd = compare(&synthetic(), &ComparisonConfig::default());
+        assert!(pd.quarantined_ids().is_empty());
+        assert!(pd.degradation().is_clean());
+    }
+
+    #[test]
+    fn non_finite_series_is_quarantined_without_poisoning_the_rest() {
+        // Regression for the silent-clean failure: one NaN series used to
+        // turn every min–max-normalised distance into NaN, so nothing was
+        // ever flagged. Now the offending identity is quarantined and the
+        // remaining population's distances are identical to a run that
+        // never saw it.
+        let mut series = synthetic();
+        let mut poisoned = vec![-70.0; 120];
+        poisoned[60] = f64::NAN;
+        series.push((666, poisoned));
+
+        for config in [
+            ComparisonConfig::default(),
+            ComparisonConfig::paper_strict(),
+        ] {
+            let pd = compare(&series, &config);
+            assert_eq!(pd.quarantined_ids(), &[666]);
+            assert_eq!(pd.degradation().identities_quarantined, 1);
+            assert!(!pd.ids().contains(&666));
+            for (_, _, d) in pd.iter() {
+                assert!(d.is_finite(), "poisoned distance survived: {d}");
+            }
+            let clean = compare(&synthetic(), &config);
+            for i in 0..clean.len() {
+                for j in (i + 1)..clean.len() {
+                    assert_eq!(
+                        pd.normalized_between(i, j).to_bits(),
+                        clean.normalized_between(i, j).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infinite_series_is_quarantined_too() {
+        let mut series = synthetic();
+        series.push((667, vec![f64::INFINITY; 120]));
+        let pd = compare(&series, &ComparisonConfig::default());
+        assert_eq!(pd.quarantined_ids(), &[667]);
+    }
+
+    #[test]
+    fn overflowing_finite_input_counts_skipped_pairs() {
+        // Finite but extreme values overflow the z-score/DTW arithmetic to
+        // a non-finite distance; the pair must be counted as skipped, not
+        // silently kept.
+        let series: Vec<(IdentityId, Vec<f64>)> = vec![
+            (1, (0..120).map(|k| (k as f64 * 0.1).sin()).collect()),
+            (
+                2,
+                (0..120)
+                    .map(|k| if k % 2 == 0 { f64::MAX } else { f64::MIN })
+                    .collect(),
+            ),
+            (3, (0..120).map(|k| (k as f64 * 0.2).cos()).collect()),
+        ];
+        let cfg = ComparisonConfig {
+            z_score_normalize: false,
+            ..ComparisonConfig::default()
+        };
+        let pd = compare(&series, &cfg);
+        assert!(pd.quarantined_ids().is_empty(), "input itself is finite");
+        assert!(
+            pd.degradation().pairs_skipped >= 2,
+            "expected overflowing pairs to be counted: {:?}",
+            pd.degradation()
+        );
+        // The clean pair keeps a finite distance.
+        assert!(pd.normalized_between(0, 2).is_finite());
     }
 }

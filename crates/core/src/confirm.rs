@@ -8,6 +8,8 @@
 
 use std::collections::HashMap;
 
+use vp_fault::DegradationCounters;
+
 use crate::comparator::PairwiseDistances;
 use crate::threshold::ThresholdPolicy;
 use crate::IdentityId;
@@ -19,6 +21,8 @@ pub struct SybilVerdict {
     groups: Vec<Vec<IdentityId>>,
     flagged_pairs: Vec<(IdentityId, IdentityId, f64)>,
     threshold: f64,
+    quarantined: Vec<IdentityId>,
+    degradation: DegradationCounters,
 }
 
 impl SybilVerdict {
@@ -47,6 +51,20 @@ impl SybilVerdict {
     pub fn is_clean(&self) -> bool {
         self.suspects.is_empty()
     }
+
+    /// Identities the comparison phase quarantined (non-finite series),
+    /// ascending. They never reach comparison or confirmation, so a
+    /// malformed stream degrades to an explicit quarantine verdict rather
+    /// than a panic or a silently clean one.
+    pub fn quarantined(&self) -> &[IdentityId] {
+        &self.quarantined
+    }
+
+    /// Degradation counters accumulated through comparison and
+    /// confirmation (identities quarantined, pairs skipped).
+    pub fn degradation(&self) -> DegradationCounters {
+        self.degradation
+    }
 }
 
 /// Runs the confirmation phase.
@@ -68,6 +86,8 @@ pub fn confirm(
             groups: Vec::new(),
             flagged_pairs: Vec::new(),
             threshold,
+            quarantined: distances.quarantined_ids().to_vec(),
+            degradation: distances.degradation(),
         };
     }
     let mut flagged = Vec::new();
@@ -76,7 +96,10 @@ pub fn confirm(
     let index_of: HashMap<IdentityId, usize> =
         ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
     for (a, b, d) in distances.iter() {
-        if d <= threshold {
+        // A NaN distance would fail `d <= threshold` anyway, but the
+        // explicit guard documents that non-finite pairs are skipped — the
+        // comparator already counted them in `pairs_skipped`.
+        if d.is_finite() && d <= threshold {
             flagged.push((a, b, d));
             uf.union(index_of[&a], index_of[&b]);
         }
@@ -106,6 +129,8 @@ pub fn confirm(
         groups,
         flagged_pairs: flagged,
         threshold,
+        quarantined: distances.quarantined_ids().to_vec(),
+        degradation: distances.degradation(),
     }
 }
 
@@ -224,6 +249,45 @@ mod tests {
         let lo = confirm(&pd, 10.0, &line);
         let hi = confirm(&pd, 100.0, &line);
         assert!(hi.threshold() > lo.threshold());
+    }
+
+    #[test]
+    fn quarantined_identities_surface_in_the_verdict() {
+        let mut series = vec![
+            (1, (0..100).map(|k| (k as f64 * 0.1).sin() - 70.0).collect()),
+            (2, (0..100).map(|k| (k as f64 * 0.2).cos() - 72.0).collect()),
+            (3, (0..100).map(|k| (k as f64 * 0.3).sin() - 74.0).collect()),
+        ];
+        series.push((9, vec![f64::NAN; 100]));
+        let pd = compare(&series, &ComparisonConfig::default());
+        let verdict = confirm(&pd, 10.0, &ThresholdPolicy::Constant(0.5));
+        assert_eq!(verdict.quarantined(), &[9]);
+        assert_eq!(verdict.degradation().identities_quarantined, 1);
+        assert!(!verdict.suspects().contains(&9));
+    }
+
+    #[test]
+    fn quarantine_survives_the_tiny_neighbourhood_early_return() {
+        // Two clean identities + one quarantined → fewer than three reach
+        // confirmation, yet the verdict must still report the quarantine.
+        let series = vec![
+            (1, (0..100).map(|k| (k as f64 * 0.2).sin() - 70.0).collect()),
+            (2, (0..100).map(|k| (k as f64 * 0.3).cos() - 72.0).collect()),
+            (9, vec![f64::INFINITY; 100]),
+        ];
+        let pd = compare(&series, &ComparisonConfig::default());
+        let verdict = confirm(&pd, 10.0, &ThresholdPolicy::Constant(0.5));
+        assert!(verdict.is_clean());
+        assert_eq!(verdict.quarantined(), &[9]);
+        assert!(!verdict.degradation().is_clean());
+    }
+
+    #[test]
+    fn clean_input_has_clean_degradation() {
+        let pd = distances_with_two_sybil_clusters();
+        let verdict = confirm(&pd, 10.0, &ThresholdPolicy::Constant(0.02));
+        assert!(verdict.quarantined().is_empty());
+        assert!(verdict.degradation().is_clean());
     }
 
     #[test]

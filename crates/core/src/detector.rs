@@ -208,4 +208,27 @@ mod tests {
         input.series.clear();
         assert!(detector.detect(&input).is_empty());
     }
+
+    #[test]
+    fn malformed_series_are_quarantined_not_fatal() {
+        // A NaN series must neither panic the detector nor suppress the
+        // verdict on the clean part of the neighbourhood.
+        let detector = VoiceprintDetector::new(ThresholdPolicy::paper_simulation());
+        let mut input = input_with_sybils();
+        input.series.push((999, vec![f64::NAN; 150]));
+        let verdict = detector.verdict(&input.series, input.estimated_density_per_km);
+        assert_eq!(verdict.quarantined(), &[999]);
+        assert_eq!(verdict.degradation().identities_quarantined, 1);
+        assert_eq!(detector.detect(&input), vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn non_finite_density_degrades_to_clean_not_panic() {
+        // A poisoned density estimate yields a NaN threshold; nothing can
+        // sit under it, so the verdict is clean rather than garbage.
+        let detector = VoiceprintDetector::new(ThresholdPolicy::paper_simulation());
+        let input = input_with_sybils();
+        let verdict = detector.verdict(&input.series, f64::NAN);
+        assert!(verdict.is_clean());
+    }
 }

@@ -73,6 +73,7 @@ pub use confirm::{confirm, SybilVerdict};
 pub use detector::VoiceprintDetector;
 pub use multi_period::MultiPeriodDetector;
 pub use threshold::ThresholdPolicy;
+pub use vp_fault::{DegradationCounters, VpError};
 
 /// Identity type shared with the simulator.
 pub type IdentityId = vp_sim::IdentityId;

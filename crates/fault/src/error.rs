@@ -1,0 +1,173 @@
+//! Structured errors and degradation accounting for the hardened pipeline.
+//!
+//! The hardening contract has two halves. First, bad input produces a
+//! [`VpError`] instead of a panic, so callers can decide what to do with
+//! it. Second, when a component chooses to *quarantine* (drop the bad
+//! sample and keep going — the right call for a detector that must keep
+//! running under attack), the drop is tallied in [`DegradationCounters`]
+//! so the operator can see that the verdict was computed on degraded
+//! input.
+
+use core::fmt;
+
+use crate::IdentityId;
+
+/// Structured error for rejected input anywhere in the collection →
+/// comparison → confirmation → simulation pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VpError {
+    /// A beacon carried a non-finite timestamp.
+    NonFiniteTime {
+        /// Claimed sender of the offending beacon.
+        identity: IdentityId,
+        /// The offending timestamp (NaN or ±∞).
+        time_s: f64,
+    },
+    /// A beacon carried a non-finite RSSI sample.
+    NonFiniteRssi {
+        /// Claimed sender of the offending beacon.
+        identity: IdentityId,
+        /// The offending RSSI value (NaN or ±∞).
+        rssi_dbm: f64,
+    },
+    /// A scenario or fault-plan configuration failed validation.
+    InvalidConfig(&'static str),
+    /// A lower pipeline layer rejected its inputs.
+    Layer {
+        /// Which layer rejected the input (e.g. `"mac"`).
+        layer: &'static str,
+        /// What the layer objected to.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for VpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VpError::NonFiniteTime { identity, time_s } => {
+                write!(f, "non-finite timestamp {time_s} from identity {identity}")
+            }
+            VpError::NonFiniteRssi { identity, rssi_dbm } => {
+                write!(f, "non-finite RSSI {rssi_dbm} dBm from identity {identity}")
+            }
+            VpError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+            VpError::Layer { layer, what } => write!(f, "{layer} layer rejected input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for VpError {}
+
+/// Per-phase accounting of quarantined input.
+///
+/// * `samples_rejected` — beacons dropped at ingest (collection phase)
+///   because a field was non-finite.
+/// * `identities_quarantined` — identities excluded from the pairwise
+///   comparison because their collected series contained non-finite
+///   values despite ingest filtering (e.g. a caller bypassed the gate,
+///   or normalisation overflowed on extreme finite input).
+/// * `pairs_skipped` — pairwise distances that came out non-finite and
+///   were therefore excluded from threshold confirmation.
+///
+/// All-zero counters (see [`DegradationCounters::is_clean`]) mean the
+/// verdict was computed on pristine input.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DegradationCounters {
+    /// Beacons rejected at ingest.
+    pub samples_rejected: u64,
+    /// Identities excluded from comparison.
+    pub identities_quarantined: u64,
+    /// Pairwise distances excluded from confirmation.
+    pub pairs_skipped: u64,
+}
+
+impl DegradationCounters {
+    /// True when nothing was rejected, quarantined, or skipped.
+    pub fn is_clean(&self) -> bool {
+        self.samples_rejected == 0 && self.identities_quarantined == 0 && self.pairs_skipped == 0
+    }
+
+    /// Accumulate another set of counters into this one.
+    pub fn merge(&mut self, other: &DegradationCounters) {
+        self.samples_rejected += other.samples_rejected;
+        self.identities_quarantined += other.identities_quarantined;
+        self.pairs_skipped += other.pairs_skipped;
+    }
+}
+
+impl fmt::Display for DegradationCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} samples rejected, {} identities quarantined, {} pairs skipped",
+            self.samples_rejected, self.identities_quarantined, self.pairs_skipped
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_counters_are_clean() {
+        assert!(DegradationCounters::default().is_clean());
+    }
+
+    #[test]
+    fn any_nonzero_counter_is_degraded() {
+        for c in [
+            DegradationCounters {
+                samples_rejected: 1,
+                ..Default::default()
+            },
+            DegradationCounters {
+                identities_quarantined: 1,
+                ..Default::default()
+            },
+            DegradationCounters {
+                pairs_skipped: 1,
+                ..Default::default()
+            },
+        ] {
+            assert!(!c.is_clean(), "{c}");
+        }
+    }
+
+    #[test]
+    fn merge_sums_fieldwise() {
+        let mut a = DegradationCounters {
+            samples_rejected: 1,
+            identities_quarantined: 2,
+            pairs_skipped: 3,
+        };
+        a.merge(&DegradationCounters {
+            samples_rejected: 10,
+            identities_quarantined: 20,
+            pairs_skipped: 30,
+        });
+        assert_eq!(
+            a,
+            DegradationCounters {
+                samples_rejected: 11,
+                identities_quarantined: 22,
+                pairs_skipped: 33,
+            }
+        );
+    }
+
+    #[test]
+    fn errors_display_their_payload() {
+        let e = VpError::NonFiniteRssi {
+            identity: 9,
+            rssi_dbm: f64::NAN,
+        };
+        let s = e.to_string();
+        assert!(s.contains("NaN") && s.contains('9'), "{s}");
+        let e = VpError::Layer {
+            layer: "mac",
+            what: "unsorted packets",
+        };
+        assert!(e.to_string().contains("mac"));
+    }
+}

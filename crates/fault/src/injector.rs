@@ -1,0 +1,394 @@
+//! The stream-level fault injector.
+//!
+//! [`FaultInjector`] wraps a beacon stream: feed it each beacon the
+//! observer *would* have ingested and it returns the beacons to ingest
+//! instead — possibly corrupted, duplicated, or dropped, according to the
+//! plan. Injection is deterministic in the plan's seed, so a faulted
+//! scenario is exactly reproducible.
+//!
+//! Faults are applied to each beacon in plan order. Corruption faults
+//! mutate the primary beacon in place; duplication faults
+//! ([`FaultKind::DuplicateBeacon`], [`FaultKind::BeaconStorm`]) append
+//! extra beacons derived from the primary's current (already corrupted)
+//! state; a [`FaultKind::BurstLoss`] drop discards the beacon and
+//! everything derived from it.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::plan::{FaultKind, FaultPlan};
+use crate::{Beacon, IdentityId};
+
+/// What the injector did to the stream so far.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Beacons whose fields were corrupted (non-finite, reordered,
+    /// far-future, relabelled, or skewed).
+    pub corrupted: u64,
+    /// Beacons swallowed by burst loss.
+    pub dropped: u64,
+    /// Extra beacons synthesised by duplication or storms.
+    pub injected: u64,
+}
+
+impl FaultStats {
+    /// True when the injector has not touched the stream.
+    pub fn is_clean(&self) -> bool {
+        self.corrupted == 0 && self.dropped == 0 && self.injected == 0
+    }
+}
+
+/// Deterministic per-stream fault injector built from a [`FaultPlan`].
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+    /// Identities heard on this stream, for collision relabelling.
+    seen: Vec<IdentityId>,
+    /// Beacons still to swallow in the current loss burst.
+    burst_remaining: u32,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Build an injector for one stream. Observers each get their own
+    /// injector (and should vary the seed per observer) so their fault
+    /// sequences are independent.
+    pub fn new(plan: &FaultPlan) -> Self {
+        Self {
+            plan: plan.clone(),
+            rng: StdRng::seed_from_u64(plan.seed),
+            seen: Vec::new(),
+            burst_remaining: 0,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Injection statistics accumulated so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Pass one beacon through the plan; returns the beacons to ingest
+    /// in its place (empty if the beacon was dropped). With an empty
+    /// plan this returns the input untouched.
+    pub fn inject(&mut self, beacon: Beacon) -> Vec<Beacon> {
+        if !self.seen.contains(&beacon.identity) {
+            self.seen.push(beacon.identity);
+        }
+        let mut primary = beacon;
+        let mut extras: Vec<Beacon> = Vec::new();
+        let faults = std::mem::take(&mut self.plan.faults);
+        let mut dropped = false;
+        for fault in &faults {
+            if self.apply(fault, &mut primary, &mut extras) {
+                dropped = true;
+                break;
+            }
+        }
+        self.plan.faults = faults;
+        if dropped {
+            self.stats.dropped += 1 + extras.len() as u64;
+            self.stats.injected -= extras.len() as u64;
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(1 + extras.len());
+        out.push(primary);
+        out.extend(extras);
+        out
+    }
+
+    /// Apply one fault; returns `true` if the beacon must be dropped.
+    fn apply(&mut self, fault: &FaultKind, primary: &mut Beacon, extras: &mut Vec<Beacon>) -> bool {
+        const NON_FINITE: [f64; 3] = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY];
+        match *fault {
+            FaultKind::NonFiniteRssi { probability } => {
+                if self.rng.gen_bool(probability) {
+                    primary.rssi_dbm = *NON_FINITE.choose(&mut self.rng).expect("non-empty");
+                    self.stats.corrupted += 1;
+                }
+            }
+            FaultKind::NonFiniteTime { probability } => {
+                if self.rng.gen_bool(probability) {
+                    primary.time_s = *NON_FINITE.choose(&mut self.rng).expect("non-empty");
+                    self.stats.corrupted += 1;
+                }
+            }
+            FaultKind::DuplicateBeacon { probability } => {
+                if self.rng.gen_bool(probability) {
+                    extras.push(*primary);
+                    self.stats.injected += 1;
+                }
+            }
+            FaultKind::IdentityCollision { probability } => {
+                if self.rng.gen_bool(probability) {
+                    let others: Vec<IdentityId> = self
+                        .seen
+                        .iter()
+                        .copied()
+                        .filter(|&id| id != primary.identity)
+                        .collect();
+                    if let Some(&id) = others.choose(&mut self.rng) {
+                        primary.identity = id;
+                        self.stats.corrupted += 1;
+                    }
+                }
+            }
+            FaultKind::OutOfOrder {
+                probability,
+                max_delay_s,
+            } => {
+                if self.rng.gen_bool(probability) {
+                    let delay = if max_delay_s > 0.0 {
+                        self.rng.gen_range(0.0..max_delay_s)
+                    } else {
+                        0.0
+                    };
+                    primary.time_s -= delay;
+                    self.stats.corrupted += 1;
+                }
+            }
+            FaultKind::FarFuture {
+                probability,
+                offset_s,
+            } => {
+                if self.rng.gen_bool(probability) {
+                    primary.time_s += offset_s;
+                    self.stats.corrupted += 1;
+                }
+            }
+            FaultKind::BurstLoss {
+                probability,
+                burst_len,
+            } => {
+                if self.burst_remaining > 0 {
+                    self.burst_remaining -= 1;
+                    return true;
+                }
+                if self.rng.gen_bool(probability) {
+                    self.burst_remaining = burst_len - 1;
+                    return true;
+                }
+            }
+            FaultKind::BeaconStorm {
+                probability,
+                extra_copies,
+            } => {
+                if self.rng.gen_bool(probability) {
+                    for i in 1..=extra_copies {
+                        let mut copy = *primary;
+                        // Nudge each copy forward so the storm is a flood
+                        // of distinct samples, not exact duplicates.
+                        copy.time_s += f64::from(i) * 1e-3;
+                        extras.push(copy);
+                    }
+                    self.stats.injected += u64::from(extra_copies);
+                }
+            }
+            FaultKind::ClockSkew {
+                offset_s,
+                drift_per_s,
+            } => {
+                let skewed = primary.time_s + offset_s + drift_per_s * primary.time_s;
+                if skewed.to_bits() != primary.time_s.to_bits() {
+                    primary.time_s = skewed;
+                    self.stats.corrupted += 1;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(n: usize) -> Vec<Beacon> {
+        (0..n)
+            .map(|i| {
+                Beacon::new(
+                    1 + (i % 3) as IdentityId,
+                    i as f64 * 0.1,
+                    -70.0 - i as f64 * 0.01,
+                )
+            })
+            .collect()
+    }
+
+    fn run(plan: FaultPlan, n: usize) -> (Vec<Beacon>, FaultStats) {
+        let mut inj = FaultInjector::new(&plan);
+        let mut out = Vec::new();
+        for b in stream(n) {
+            out.extend(inj.inject(b));
+        }
+        (out, inj.stats())
+    }
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let (out, stats) = run(FaultPlan::none(), 50);
+        assert_eq!(out, stream(50));
+        assert!(stats.is_clean());
+    }
+
+    #[test]
+    fn same_seed_is_reproducible() {
+        let plan = FaultPlan::new(99)
+            .with(FaultKind::NonFiniteRssi { probability: 0.3 })
+            .with(FaultKind::BurstLoss {
+                probability: 0.05,
+                burst_len: 3,
+            });
+        let (a, sa) = run(plan.clone(), 200);
+        let (b, sb) = run(plan, 200);
+        assert_eq!(sa, sb);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.identity, y.identity);
+            assert_eq!(x.time_s.to_bits(), y.time_s.to_bits());
+            assert_eq!(x.rssi_dbm.to_bits(), y.rssi_dbm.to_bits());
+        }
+    }
+
+    #[test]
+    fn non_finite_rssi_corrupts_every_beacon_at_p1() {
+        let plan = FaultPlan::new(1).with(FaultKind::NonFiniteRssi { probability: 1.0 });
+        let (out, stats) = run(plan, 20);
+        assert_eq!(out.len(), 20);
+        assert!(out.iter().all(|b| !b.rssi_dbm.is_finite()));
+        assert!(out.iter().all(|b| b.time_s.is_finite()));
+        assert_eq!(stats.corrupted, 20);
+    }
+
+    #[test]
+    fn non_finite_time_corrupts_every_beacon_at_p1() {
+        let plan = FaultPlan::new(2).with(FaultKind::NonFiniteTime { probability: 1.0 });
+        let (out, stats) = run(plan, 20);
+        assert!(out.iter().all(|b| !b.time_s.is_finite()));
+        assert_eq!(stats.corrupted, 20);
+    }
+
+    #[test]
+    fn duplicate_beacon_doubles_the_stream_at_p1() {
+        let plan = FaultPlan::new(3).with(FaultKind::DuplicateBeacon { probability: 1.0 });
+        let (out, stats) = run(plan, 10);
+        assert_eq!(out.len(), 20);
+        assert_eq!(stats.injected, 10);
+        for pair in out.chunks(2) {
+            assert_eq!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn identity_collision_relabels_to_a_heard_identity() {
+        let plan = FaultPlan::new(4).with(FaultKind::IdentityCollision { probability: 1.0 });
+        let (out, stats) = run(plan, 30);
+        // First beacon has no other identity to collide with.
+        assert!(stats.corrupted >= 29 - 2, "stats: {stats:?}");
+        let original = stream(30);
+        let relabelled = out
+            .iter()
+            .zip(&original)
+            .filter(|(o, i)| o.identity != i.identity)
+            .count();
+        assert!(relabelled > 0);
+        // Relabels only ever use identities that exist on the stream.
+        assert!(out.iter().all(|b| (1..=3).contains(&b.identity)));
+    }
+
+    #[test]
+    fn out_of_order_shifts_times_backwards() {
+        let plan = FaultPlan::new(5).with(FaultKind::OutOfOrder {
+            probability: 1.0,
+            max_delay_s: 5.0,
+        });
+        let (out, stats) = run(plan, 20);
+        assert_eq!(stats.corrupted, 20);
+        let original = stream(20);
+        assert!(out.iter().zip(&original).all(|(o, i)| o.time_s <= i.time_s));
+        // With delays up to 5 s over a 2 s stream, order must break.
+        assert!(out.windows(2).any(|w| w[1].time_s < w[0].time_s));
+    }
+
+    #[test]
+    fn far_future_jumps_times_forward() {
+        let plan = FaultPlan::new(6).with(FaultKind::FarFuture {
+            probability: 1.0,
+            offset_s: 1e6,
+        });
+        let (out, _) = run(plan, 5);
+        assert!(out.iter().all(|b| b.time_s >= 1e6));
+    }
+
+    #[test]
+    fn burst_loss_drops_consecutive_runs() {
+        let plan = FaultPlan::new(7).with(FaultKind::BurstLoss {
+            probability: 0.2,
+            burst_len: 4,
+        });
+        let (out, stats) = run(plan, 100);
+        assert_eq!(out.len() as u64 + stats.dropped, 100);
+        assert!(stats.dropped >= 4, "no burst fired: {stats:?}");
+    }
+
+    #[test]
+    fn burst_loss_at_p1_swallows_everything() {
+        let plan = FaultPlan::new(8).with(FaultKind::BurstLoss {
+            probability: 1.0,
+            burst_len: 2,
+        });
+        let (out, stats) = run(plan, 40);
+        assert!(out.is_empty());
+        assert_eq!(stats.dropped, 40);
+    }
+
+    #[test]
+    fn beacon_storm_multiplies_the_stream() {
+        let plan = FaultPlan::new(9).with(FaultKind::BeaconStorm {
+            probability: 1.0,
+            extra_copies: 3,
+        });
+        let (out, stats) = run(plan, 10);
+        assert_eq!(out.len(), 40);
+        assert_eq!(stats.injected, 30);
+        // Storm copies carry distinct, strictly later timestamps.
+        for group in out.chunks(4) {
+            assert!(group.windows(2).all(|w| w[1].time_s > w[0].time_s));
+        }
+    }
+
+    #[test]
+    fn clock_skew_is_deterministic_and_affine() {
+        let plan = FaultPlan::new(10).with(FaultKind::ClockSkew {
+            offset_s: 2.0,
+            drift_per_s: 0.01,
+        });
+        let (out, stats) = run(plan, 10);
+        for (o, i) in out.iter().zip(&stream(10)) {
+            let expect = i.time_s + 2.0 + 0.01 * i.time_s;
+            assert_eq!(o.time_s.to_bits(), expect.to_bits());
+        }
+        assert!(stats.corrupted > 0);
+    }
+
+    #[test]
+    fn dropped_beacons_do_not_leak_storm_copies() {
+        // Storm runs before burst loss in plan order: a dropped beacon
+        // must take its storm copies down with it.
+        let plan = FaultPlan::new(11)
+            .with(FaultKind::BeaconStorm {
+                probability: 1.0,
+                extra_copies: 2,
+            })
+            .with(FaultKind::BurstLoss {
+                probability: 1.0,
+                burst_len: 1,
+            });
+        let (out, stats) = run(plan, 10);
+        assert!(out.is_empty());
+        assert_eq!(stats.injected, 0);
+        assert_eq!(stats.dropped, 30);
+    }
+}

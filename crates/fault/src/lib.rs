@@ -1,0 +1,135 @@
+//! Fault injection and input hardening for the Voiceprint pipeline.
+//!
+//! Voiceprint's premise (paper §IV) is that every receiver runs detection
+//! *independently* on whatever its radio hands it. A real radio hands it
+//! garbage: corrupted payloads decode to non-finite floats, GPS glitches
+//! produce far-future or backwards timestamps, attackers replay beacons
+//! under colliding identities or flood one identity with a beacon storm.
+//! A detector that panics (or silently reports "clean") on such input
+//! fails exactly when it matters.
+//!
+//! This crate is the vocabulary and test harness for that failure mode:
+//!
+//! * [`Beacon`] — the minimal ingest record (`identity`, `time_s`,
+//!   `rssi_dbm`) shared by the collector and the simulator's observer
+//!   logs, with [`Beacon::validate`] as the single ingest gate.
+//! * [`VpError`] — structured errors for rejected input, replacing
+//!   library-path panics throughout the workspace.
+//! * [`DegradationCounters`] — per-phase accounting (samples rejected at
+//!   ingest, identities quarantined before comparison, pairs skipped at
+//!   confirmation) so degraded operation is *visible*, never silent.
+//! * [`FaultKind`] / [`FaultPlan`] / [`FaultInjector`] — a deterministic,
+//!   seedable fault injector that wraps a beacon stream and applies
+//!   configurable corruptions: non-finite RSSI/timestamps, duplicated and
+//!   colliding identities, out-of-order and far-future timestamps, burst
+//!   packet loss, beacon storms, and clock skew.
+//!
+//! The injector is pure stream-in/stream-out: feed it each beacon as it
+//! would have been ingested and it returns zero or more (possibly
+//! corrupted) beacons to ingest instead. With an empty plan it is the
+//! identity function, and the hardened pipeline is bit-identical to the
+//! unhardened one on finite input.
+//!
+//! # Example
+//!
+//! ```
+//! use vp_fault::{Beacon, FaultInjector, FaultKind, FaultPlan};
+//!
+//! let plan = FaultPlan::new(7).with(FaultKind::NonFiniteRssi { probability: 1.0 });
+//! let mut inj = FaultInjector::new(&plan);
+//! let out = inj.inject(Beacon::new(42, 1.0, -70.0));
+//! assert_eq!(out.len(), 1);
+//! assert!(!out[0].rssi_dbm.is_finite()); // corrupted, and counted
+//! assert_eq!(inj.stats().corrupted, 1);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod injector;
+pub mod plan;
+
+pub use error::{DegradationCounters, VpError};
+pub use injector::{FaultInjector, FaultStats};
+pub use plan::{FaultKind, FaultPlan};
+
+/// Identity identifier, numerically identical to `vp_mac::IdentityId` /
+/// `vp_sim::IdentityId` (kept as a plain `u64` here so the fault layer
+/// stays at the bottom of the dependency graph).
+pub type IdentityId = u64;
+
+/// One received beacon as seen by an observer at ingest time: who sent
+/// it, when it arrived, and how strong it was.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beacon {
+    /// Claimed sender identity.
+    pub identity: IdentityId,
+    /// Receive timestamp, seconds.
+    pub time_s: f64,
+    /// Received signal strength, dBm.
+    pub rssi_dbm: f64,
+}
+
+impl Beacon {
+    /// Convenience constructor.
+    pub fn new(identity: IdentityId, time_s: f64, rssi_dbm: f64) -> Self {
+        Self {
+            identity,
+            time_s,
+            rssi_dbm,
+        }
+    }
+
+    /// The ingest gate: a beacon is admissible iff both floating-point
+    /// fields are finite. Everything downstream (sorting, windowing,
+    /// z-score, DTW) assumes finite samples; this is the single point
+    /// where that assumption is established.
+    pub fn validate(&self) -> Result<(), VpError> {
+        if !self.time_s.is_finite() {
+            return Err(VpError::NonFiniteTime {
+                identity: self.identity,
+                time_s: self.time_s,
+            });
+        }
+        if !self.rssi_dbm.is_finite() {
+            return Err(VpError::NonFiniteRssi {
+                identity: self.identity,
+                rssi_dbm: self.rssi_dbm,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_beacon_validates() {
+        assert!(Beacon::new(1, 0.0, -70.0).validate().is_ok());
+    }
+
+    #[test]
+    fn non_finite_time_is_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = Beacon::new(3, bad, -70.0).validate().unwrap_err();
+            assert!(matches!(err, VpError::NonFiniteTime { identity: 3, .. }));
+        }
+    }
+
+    #[test]
+    fn non_finite_rssi_is_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = Beacon::new(4, 1.0, bad).validate().unwrap_err();
+            assert!(matches!(err, VpError::NonFiniteRssi { identity: 4, .. }));
+        }
+    }
+
+    #[test]
+    fn time_is_checked_before_rssi() {
+        let err = Beacon::new(5, f64::NAN, f64::NAN).validate().unwrap_err();
+        assert!(matches!(err, VpError::NonFiniteTime { .. }));
+    }
+}

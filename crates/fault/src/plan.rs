@@ -1,0 +1,264 @@
+//! Declarative fault plans: which corruptions to apply, how often.
+//!
+//! A [`FaultPlan`] is a seed plus a list of [`FaultKind`]s. Plans are
+//! plain data — `Clone + PartialEq`, embeddable in a scenario config —
+//! and are validated up front so a malformed plan (NaN probability,
+//! negative burst length) is a configuration error, not a runtime
+//! surprise inside the injector.
+
+/// One configurable fault family applied to a beacon stream.
+///
+/// Probabilities are per-beacon and must lie in `[0, 1]`; all `f64`
+/// parameters must be finite ([`FaultPlan::validate`] enforces both).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Replace the RSSI field with NaN or ±∞.
+    NonFiniteRssi {
+        /// Per-beacon corruption probability.
+        probability: f64,
+    },
+    /// Replace the timestamp field with NaN or ±∞.
+    NonFiniteTime {
+        /// Per-beacon corruption probability.
+        probability: f64,
+    },
+    /// Re-deliver the beacon verbatim (duplicate identity + payload), as
+    /// a replaying attacker or a buggy MAC retransmit would.
+    DuplicateBeacon {
+        /// Per-beacon duplication probability.
+        probability: f64,
+    },
+    /// Relabel the beacon with another identity already heard on this
+    /// stream — two physical senders colliding on one claimed ID.
+    IdentityCollision {
+        /// Per-beacon relabelling probability.
+        probability: f64,
+    },
+    /// Shift the timestamp backwards by up to `max_delay_s`, delivering
+    /// beacons out of arrival order.
+    OutOfOrder {
+        /// Per-beacon reordering probability.
+        probability: f64,
+        /// Maximum backwards shift, seconds (must be ≥ 0).
+        max_delay_s: f64,
+    },
+    /// Jump the timestamp far into the future (GPS glitch, integer
+    /// overflow upstream).
+    FarFuture {
+        /// Per-beacon corruption probability.
+        probability: f64,
+        /// Offset added to the timestamp, seconds (must be ≥ 0).
+        offset_s: f64,
+    },
+    /// Drop `burst_len` consecutive beacons once a burst starts.
+    BurstLoss {
+        /// Per-beacon probability that a new burst begins.
+        probability: f64,
+        /// Number of consecutive beacons each burst swallows (≥ 1).
+        burst_len: u32,
+    },
+    /// Flood: emit `extra_copies` additional copies of the beacon, each
+    /// nudged slightly forward in time — one identity shouting over
+    /// everyone else.
+    BeaconStorm {
+        /// Per-beacon storm probability.
+        probability: f64,
+        /// Extra copies emitted per stormed beacon (≥ 1).
+        extra_copies: u32,
+    },
+    /// Deterministic clock error: every timestamp becomes
+    /// `t + offset_s + drift_per_s · t`.
+    ClockSkew {
+        /// Constant clock offset, seconds.
+        offset_s: f64,
+        /// Linear drift rate, seconds per second.
+        drift_per_s: f64,
+    },
+}
+
+impl FaultKind {
+    fn validate(&self) -> Result<(), &'static str> {
+        let check_p = |p: f64| -> Result<(), &'static str> {
+            if !(0.0..=1.0).contains(&p) {
+                return Err("fault probability must lie in [0, 1]");
+            }
+            Ok(())
+        };
+        let check_finite = |v: f64, what: &'static str| -> Result<(), &'static str> {
+            if !v.is_finite() {
+                return Err(what);
+            }
+            Ok(())
+        };
+        match *self {
+            FaultKind::NonFiniteRssi { probability }
+            | FaultKind::NonFiniteTime { probability }
+            | FaultKind::DuplicateBeacon { probability }
+            | FaultKind::IdentityCollision { probability } => check_p(probability),
+            FaultKind::OutOfOrder {
+                probability,
+                max_delay_s,
+            } => {
+                check_p(probability)?;
+                check_finite(max_delay_s, "out-of-order delay must be finite")?;
+                if max_delay_s < 0.0 {
+                    return Err("out-of-order delay must be non-negative");
+                }
+                Ok(())
+            }
+            FaultKind::FarFuture {
+                probability,
+                offset_s,
+            } => {
+                check_p(probability)?;
+                check_finite(offset_s, "far-future offset must be finite")?;
+                if offset_s < 0.0 {
+                    return Err("far-future offset must be non-negative");
+                }
+                Ok(())
+            }
+            FaultKind::BurstLoss {
+                probability,
+                burst_len,
+            } => {
+                check_p(probability)?;
+                if burst_len == 0 {
+                    return Err("burst length must be at least 1");
+                }
+                Ok(())
+            }
+            FaultKind::BeaconStorm {
+                probability,
+                extra_copies,
+            } => {
+                check_p(probability)?;
+                if extra_copies == 0 {
+                    return Err("beacon storm must emit at least one extra copy");
+                }
+                Ok(())
+            }
+            FaultKind::ClockSkew {
+                offset_s,
+                drift_per_s,
+            } => {
+                check_finite(offset_s, "clock offset must be finite")?;
+                check_finite(drift_per_s, "clock drift must be finite")
+            }
+        }
+    }
+}
+
+/// A seedable, declarative list of faults to inject into a beacon stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// RNG seed; two injectors built from equal plans produce identical
+    /// fault sequences.
+    pub seed: u64,
+    /// Faults to apply, in order, to every beacon.
+    pub faults: Vec<FaultKind>,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults yet.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// An empty plan: the injector becomes the identity function.
+    pub fn none() -> Self {
+        Self::new(0)
+    }
+
+    /// Builder-style: append one fault.
+    #[must_use]
+    pub fn with(mut self, fault: FaultKind) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Check every fault's parameters; `Err` carries the first problem.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        for fault in &self.faults {
+            fault.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_valid_and_empty() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn valid_plan_passes() {
+        let plan = FaultPlan::new(1)
+            .with(FaultKind::NonFiniteRssi { probability: 0.5 })
+            .with(FaultKind::OutOfOrder {
+                probability: 0.1,
+                max_delay_s: 2.0,
+            })
+            .with(FaultKind::ClockSkew {
+                offset_s: -0.5,
+                drift_per_s: 1e-4,
+            });
+        assert!(!plan.is_empty());
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn bad_probabilities_are_rejected() {
+        for p in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let plan = FaultPlan::new(0).with(FaultKind::DuplicateBeacon { probability: p });
+            assert!(plan.validate().is_err(), "probability {p} accepted");
+        }
+    }
+
+    #[test]
+    fn bad_parameters_are_rejected() {
+        let cases = [
+            FaultKind::OutOfOrder {
+                probability: 0.5,
+                max_delay_s: -1.0,
+            },
+            FaultKind::OutOfOrder {
+                probability: 0.5,
+                max_delay_s: f64::NAN,
+            },
+            FaultKind::FarFuture {
+                probability: 0.5,
+                offset_s: f64::INFINITY,
+            },
+            FaultKind::BurstLoss {
+                probability: 0.5,
+                burst_len: 0,
+            },
+            FaultKind::BeaconStorm {
+                probability: 0.5,
+                extra_copies: 0,
+            },
+            FaultKind::ClockSkew {
+                offset_s: f64::NAN,
+                drift_per_s: 0.0,
+            },
+        ];
+        for kind in cases {
+            let plan = FaultPlan::new(0).with(kind.clone());
+            assert!(plan.validate().is_err(), "{kind:?} accepted");
+        }
+    }
+}

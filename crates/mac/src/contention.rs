@@ -15,6 +15,7 @@ use std::collections::BinaryHeap;
 
 use rand::Rng;
 
+use crate::error::MacError;
 use crate::params::MacParams;
 use crate::{IdentityId, RadioId};
 
@@ -122,28 +123,40 @@ impl Ord for Attempt {
 ///
 /// The returned packets are sorted by start time.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `params` fail validation or a request expires before it is
-/// requested.
+/// Returns [`MacError::InvalidParams`] when `params` fail validation and
+/// [`MacError::InvalidRequest`] when a request carries non-finite times
+/// or power, or expires before it is requested. These are input errors
+/// (in deployment, attacker-controlled ones), never panics: the attempt
+/// heap orders times by IEEE-754 bit pattern, which is only sound for
+/// non-negative finite values, so the gate here is what makes the whole
+/// resolver total.
 pub fn resolve_contention<R, F>(
     requests: &[BeaconRequest],
     params: &MacParams,
     mut mean_power_dbm: F,
     rng: &mut R,
-) -> ContentionResult
+) -> Result<ContentionResult, MacError>
 where
     R: Rng + ?Sized,
     F: FnMut(RadioId, f64, RadioId) -> f64,
 {
-    params.validate().expect("invalid MAC parameters");
+    params.validate().map_err(MacError::InvalidParams)?;
     let airtime = params.airtime_s();
     let mut heap: BinaryHeap<Reverse<Attempt>> = BinaryHeap::with_capacity(requests.len());
     for (seq, &request) in requests.iter().enumerate() {
-        assert!(
-            request.expires_at_s >= request.requested_at_s,
-            "beacon expires before it is requested"
-        );
+        if !request.requested_at_s.is_finite() || !request.expires_at_s.is_finite() {
+            return Err(MacError::InvalidRequest("non-finite beacon request time"));
+        }
+        if !request.eirp_dbm.is_finite() {
+            return Err(MacError::InvalidRequest("non-finite beacon request power"));
+        }
+        if request.expires_at_s < request.requested_at_s {
+            return Err(MacError::InvalidRequest(
+                "beacon expires before it is requested",
+            ));
+        }
         heap.push(Reverse(Attempt {
             time_bits: order_key(request.requested_at_s.max(0.0)),
             seq,
@@ -219,7 +232,7 @@ where
         debug_assert!(on_air.windows(2).all(|w| w[0].start_s <= w[1].start_s));
     }
 
-    ContentionResult { on_air, expired }
+    Ok(ContentionResult { on_air, expired })
 }
 
 #[cfg(test)]
@@ -252,7 +265,7 @@ mod tests {
     fn single_request_transmits_immediately() {
         let mut rng = StdRng::seed_from_u64(0);
         let p = MacParams::paper_default();
-        let res = resolve_contention(&[request(1, 1, 0.005)], &p, all_hear, &mut rng);
+        let res = resolve_contention(&[request(1, 1, 0.005)], &p, all_hear, &mut rng).unwrap();
         assert_eq!(res.on_air.len(), 1);
         assert_eq!(res.on_air[0].start_s, 0.005);
         assert!((res.on_air[0].end_s - 0.005 - p.airtime_s()).abs() < 1e-12);
@@ -264,7 +277,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let p = MacParams::paper_default();
         let reqs = [request(1, 1, 0.000), request(2, 2, 0.0005)];
-        let res = resolve_contention(&reqs, &p, all_hear, &mut rng);
+        let res = resolve_contention(&reqs, &p, all_hear, &mut rng).unwrap();
         assert_eq!(res.on_air.len(), 2);
         let (a, b) = (&res.on_air[0], &res.on_air[1]);
         assert!(!a.overlaps(b), "CSMA should serialise in-range packets");
@@ -276,7 +289,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let p = MacParams::paper_default();
         let reqs = [request(1, 1, 0.000), request(2, 2, 0.0005)];
-        let res = resolve_contention(&reqs, &p, none_hear, &mut rng);
+        let res = resolve_contention(&reqs, &p, none_hear, &mut rng).unwrap();
         assert_eq!(res.on_air.len(), 2);
         assert!(res.on_air[0].overlaps(&res.on_air[1]));
     }
@@ -292,7 +305,7 @@ mod tests {
             request(7, 101, 0.0002),
             request(7, 102, 0.0004),
         ];
-        let res = resolve_contention(&reqs, &p, none_hear, &mut rng);
+        let res = resolve_contention(&reqs, &p, none_hear, &mut rng).unwrap();
         assert_eq!(res.on_air.len(), 3);
         for w in res.on_air.windows(2) {
             assert!(!w[0].overlaps(&w[1]));
@@ -306,7 +319,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let p = MacParams::paper_default();
         let reqs = [request(1, 1, 0.01), request(2, 2, 0.01)];
-        let res = resolve_contention(&reqs, &p, all_hear, &mut rng);
+        let res = resolve_contention(&reqs, &p, all_hear, &mut rng).unwrap();
         assert_eq!(res.on_air.len(), 2);
         assert!(res.on_air[0].overlaps(&res.on_air[1]));
     }
@@ -319,7 +332,7 @@ mod tests {
         let reqs: Vec<BeaconRequest> = (0..200)
             .map(|i| request(i as RadioId, i as IdentityId, (i as f64) * 0.0004))
             .collect();
-        let res = resolve_contention(&reqs, &p, all_hear, &mut rng);
+        let res = resolve_contention(&reqs, &p, all_hear, &mut rng).unwrap();
         // Requests arrive staggered over 80 ms and expire 100 ms after
         // their request, so the airtime budget is ~180 ms / 1.45 ms ≈ 124
         // serialised packets; the rest must expire.
@@ -352,7 +365,7 @@ mod tests {
         let reqs: Vec<BeaconRequest> = (0..20)
             .map(|i| request(i as RadioId, i as IdentityId, (i as f64) * 0.005))
             .collect();
-        let res = resolve_contention(&reqs, &p, all_hear, &mut rng);
+        let res = resolve_contention(&reqs, &p, all_hear, &mut rng).unwrap();
         assert_eq!(res.on_air.len(), 20);
         assert_eq!(res.expiry_rate(), 0.0);
     }
@@ -370,8 +383,42 @@ mod tests {
                 )
             })
             .collect();
-        let res = resolve_contention(&reqs, &p, all_hear, &mut rng);
+        let res = resolve_contention(&reqs, &p, all_hear, &mut rng).unwrap();
         assert!(res.on_air.windows(2).all(|w| w[0].start_s <= w[1].start_s));
+    }
+
+    #[test]
+    fn malformed_requests_are_errors_not_panics() {
+        let p = MacParams::paper_default();
+        let mut rng = StdRng::seed_from_u64(9);
+        // Non-finite request time (previously: debug_assert / heap-order UB).
+        let mut bad = request(1, 1, 0.0);
+        bad.requested_at_s = f64::NAN;
+        assert!(matches!(
+            resolve_contention(&[bad], &p, all_hear, &mut rng).unwrap_err(),
+            MacError::InvalidRequest(_)
+        ));
+        // Non-finite power.
+        let mut bad = request(1, 1, 0.0);
+        bad.eirp_dbm = f64::INFINITY;
+        assert!(matches!(
+            resolve_contention(&[bad], &p, all_hear, &mut rng).unwrap_err(),
+            MacError::InvalidRequest(_)
+        ));
+        // Expiry before request (previously: assert! panic).
+        let mut bad = request(1, 1, 1.0);
+        bad.expires_at_s = 0.5;
+        assert!(matches!(
+            resolve_contention(&[bad], &p, all_hear, &mut rng).unwrap_err(),
+            MacError::InvalidRequest(_)
+        ));
+        // Invalid parameters.
+        let mut broken = MacParams::paper_default();
+        broken.slot_time_s = f64::NAN;
+        assert!(matches!(
+            resolve_contention(&[request(1, 1, 0.0)], &broken, all_hear, &mut rng).unwrap_err(),
+            MacError::InvalidParams(_)
+        ));
     }
 
     #[test]
@@ -382,8 +429,8 @@ mod tests {
             .collect();
         let mut rng_a = StdRng::seed_from_u64(8);
         let mut rng_b = StdRng::seed_from_u64(8);
-        let a = resolve_contention(&reqs, &p, all_hear, &mut rng_a);
-        let b = resolve_contention(&reqs, &p, all_hear, &mut rng_b);
+        let a = resolve_contention(&reqs, &p, all_hear, &mut rng_a).unwrap();
+        let b = resolve_contention(&reqs, &p, all_hear, &mut rng_b).unwrap();
         assert_eq!(a, b);
     }
 }

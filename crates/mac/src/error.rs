@@ -1,0 +1,57 @@
+//! Structured MAC-layer input errors.
+//!
+//! The contention and reception resolvers sit on the pipeline's data
+//! path: in a live deployment their inputs derive from received frames,
+//! which an attacker controls. Malformed batches are therefore reported
+//! as [`MacError`] values rather than panics, and the simulation engine
+//! threads them upward as quarantinable failures.
+
+use core::fmt;
+
+/// Why a MAC resolver rejected its inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MacError {
+    /// The [`crate::MacParams`] failed validation.
+    InvalidParams(&'static str),
+    /// A beacon request carried non-finite fields or an expiry before its
+    /// request time.
+    InvalidRequest(&'static str),
+    /// An on-air packet batch was not sorted by start time (or contained
+    /// non-finite times, which defeat any ordering).
+    UnsortedOnAir,
+}
+
+impl MacError {
+    /// Short static description, for embedding in higher-level errors.
+    pub fn what(&self) -> &'static str {
+        match self {
+            MacError::InvalidParams(why) | MacError::InvalidRequest(why) => why,
+            MacError::UnsortedOnAir => "on-air packets must be sorted by start time",
+        }
+    }
+}
+
+impl fmt::Display for MacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MacError::InvalidParams(why) => write!(f, "invalid MAC parameters: {why}"),
+            MacError::InvalidRequest(why) => write!(f, "invalid beacon request: {why}"),
+            MacError::UnsortedOnAir => write!(f, "{}", self.what()),
+        }
+    }
+}
+
+impl std::error::Error for MacError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_what_agree_on_the_cause() {
+        let e = MacError::InvalidParams("slot time must be positive");
+        assert!(e.to_string().contains("slot time"));
+        assert_eq!(e.what(), "slot time must be positive");
+        assert!(MacError::UnsortedOnAir.to_string().contains("sorted"));
+    }
+}

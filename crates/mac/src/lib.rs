@@ -30,10 +30,12 @@
 #![forbid(unsafe_code)]
 
 pub mod contention;
+pub mod error;
 pub mod params;
 pub mod reception;
 
 pub use contention::{resolve_contention, BeaconRequest, ContentionResult, OnAirPacket};
+pub use error::MacError;
 pub use params::MacParams;
 pub use reception::{resolve_receptions, Reception, ReceptionOutcome};
 

@@ -1,6 +1,7 @@
 //! Per-receiver reception outcomes with SINR capture.
 
 use crate::contention::OnAirPacket;
+use crate::error::MacError;
 use crate::params::MacParams;
 use crate::RadioId;
 use vp_radio::units::{dbm_to_mw, mw_to_dbm};
@@ -58,25 +59,34 @@ pub struct Reception {
 /// The `on_air` slice must be sorted by `start_s` (as produced by
 /// [`crate::contention::resolve_contention`]).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `params` fail validation or `on_air` is unsorted.
+/// Returns [`MacError::InvalidParams`] when `params` fail validation,
+/// [`MacError::InvalidRequest`] when a packet carries non-finite times,
+/// and [`MacError::UnsortedOnAir`] when the batch is not start-sorted.
+/// Input problems are reported, not panicked on: the batch ultimately
+/// derives from received (attacker-influenced) traffic.
 pub fn resolve_receptions<F, G>(
     on_air: &[OnAirPacket],
     receivers: &[RadioId],
     params: &MacParams,
     mut mean_power_dbm: F,
     mut sample_power_dbm: G,
-) -> Vec<Reception>
+) -> Result<Vec<Reception>, MacError>
 where
     F: FnMut(RadioId, f64, RadioId) -> f64,
     G: FnMut(&OnAirPacket, RadioId) -> f64,
 {
-    params.validate().expect("invalid MAC parameters");
-    assert!(
-        on_air.windows(2).all(|w| w[0].start_s <= w[1].start_s),
-        "on_air packets must be sorted by start time"
-    );
+    params.validate().map_err(MacError::InvalidParams)?;
+    if on_air
+        .iter()
+        .any(|p| !p.start_s.is_finite() || !p.end_s.is_finite())
+    {
+        return Err(MacError::InvalidRequest("non-finite on-air packet time"));
+    }
+    if !on_air.windows(2).all(|w| w[0].start_s <= w[1].start_s) {
+        return Err(MacError::UnsortedOnAir);
+    }
     let mut out = Vec::new();
     for (idx, packet) in on_air.iter().enumerate() {
         // Find the overlap neighbourhood once per packet (sorted input).
@@ -147,7 +157,7 @@ where
             });
         }
     }
-    out
+    Ok(out)
 }
 
 /// Indices of packets that can overlap `on_air[idx]` in a start-sorted
@@ -190,7 +200,8 @@ mod tests {
         let params = MacParams::paper_default();
         let recs = resolve_receptions(&on_air, &[2, 3], &params, const_power(-70.0), |_, rx| {
             -70.0 - rx as f64
-        });
+        })
+        .unwrap();
         assert_eq!(recs.len(), 2);
         assert_eq!(
             recs[0].outcome,
@@ -206,7 +217,8 @@ mod tests {
     fn transmitter_does_not_receive_itself() {
         let on_air = [packet(1, 1, 0.0)];
         let params = MacParams::paper_default();
-        let recs = resolve_receptions(&on_air, &[1, 2], &params, const_power(-70.0), |_, _| -70.0);
+        let recs = resolve_receptions(&on_air, &[1, 2], &params, const_power(-70.0), |_, _| -70.0)
+            .unwrap();
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].rx_radio, 2);
     }
@@ -219,7 +231,8 @@ mod tests {
         let recs = resolve_receptions(&on_air, &[2], &params, const_power(-120.0), |_, _| {
             sampled += 1;
             -120.0
-        });
+        })
+        .unwrap();
         assert_eq!(recs[0].outcome, ReceptionOutcome::BelowSensitivity);
         assert_eq!(sampled, 0, "prefilter must avoid sampling");
     }
@@ -229,12 +242,14 @@ mod tests {
         // Mean just below sensitivity but above prefilter: sampling decides.
         let on_air = [packet(1, 1, 0.0)];
         let params = MacParams::paper_default();
-        let recs = resolve_receptions(&on_air, &[2], &params, const_power(-100.0), |_, _| -94.0);
+        let recs =
+            resolve_receptions(&on_air, &[2], &params, const_power(-100.0), |_, _| -94.0).unwrap();
         assert_eq!(
             recs[0].outcome,
             ReceptionOutcome::Received { rssi_dbm: -94.0 }
         );
-        let recs = resolve_receptions(&on_air, &[2], &params, const_power(-100.0), |_, _| -96.0);
+        let recs =
+            resolve_receptions(&on_air, &[2], &params, const_power(-100.0), |_, _| -96.0).unwrap();
         assert_eq!(recs[0].outcome, ReceptionOutcome::BelowSensitivity);
     }
 
@@ -242,7 +257,8 @@ mod tests {
     fn overlapping_equal_power_packets_collide() {
         let on_air = [packet(1, 1, 0.0), packet(2, 2, 0.0005)];
         let params = MacParams::paper_default();
-        let recs = resolve_receptions(&on_air, &[3], &params, const_power(-70.0), |_, _| -70.0);
+        let recs =
+            resolve_receptions(&on_air, &[3], &params, const_power(-70.0), |_, _| -70.0).unwrap();
         assert_eq!(recs.len(), 2);
         for r in &recs {
             assert_eq!(r.outcome, ReceptionOutcome::Collided);
@@ -260,7 +276,8 @@ mod tests {
             &params,
             |tx, _, _| if tx == 1 { -60.0 } else { -80.0 },
             |p, _| if p.tx_radio == 1 { -60.0 } else { -80.0 },
-        );
+        )
+        .unwrap();
         assert_eq!(
             recs[0].outcome,
             ReceptionOutcome::Received { rssi_dbm: -60.0 }
@@ -272,7 +289,8 @@ mod tests {
     fn receiver_busy_while_transmitting() {
         let on_air = [packet(1, 1, 0.0), packet(2, 2, 0.0005)];
         let params = MacParams::paper_default();
-        let recs = resolve_receptions(&on_air, &[2], &params, const_power(-70.0), |_, _| -70.0);
+        let recs =
+            resolve_receptions(&on_air, &[2], &params, const_power(-70.0), |_, _| -70.0).unwrap();
         // Radio 2 cannot decode packet 0 (it transmits during it).
         let r0 = recs.iter().find(|r| r.packet_index == 0).unwrap();
         assert_eq!(r0.outcome, ReceptionOutcome::ReceiverBusy);
@@ -282,7 +300,8 @@ mod tests {
     fn non_overlapping_packets_do_not_interfere() {
         let on_air = [packet(1, 1, 0.0), packet(2, 2, 0.01)];
         let params = MacParams::paper_default();
-        let recs = resolve_receptions(&on_air, &[3], &params, const_power(-70.0), |_, _| -70.0);
+        let recs =
+            resolve_receptions(&on_air, &[3], &params, const_power(-70.0), |_, _| -70.0).unwrap();
         for r in &recs {
             assert!(r.outcome.is_received());
         }
@@ -303,7 +322,8 @@ mod tests {
             &params,
             |tx, _, _| if tx == 1 { -70.0 } else { -78.0 },
             |p, _| if p.tx_radio == 1 { -70.0 } else { -78.0 },
-        );
+        )
+        .unwrap();
         let r0 = recs.iter().find(|r| r.packet_index == 0).unwrap();
         assert_eq!(r0.outcome, ReceptionOutcome::Collided);
     }
@@ -314,10 +334,38 @@ mod tests {
         // own-radio packets are excluded from interference.
         let on_air = [packet(1, 1, 0.0), packet(1, 2, 0.0005)];
         let params = MacParams::paper_default();
-        let recs = resolve_receptions(&on_air, &[3], &params, const_power(-70.0), |_, _| -70.0);
+        let recs =
+            resolve_receptions(&on_air, &[3], &params, const_power(-70.0), |_, _| -70.0).unwrap();
         for r in &recs {
             assert!(r.outcome.is_received(), "{:?}", r.outcome);
         }
+    }
+
+    #[test]
+    fn malformed_batches_are_errors_not_panics() {
+        let params = MacParams::paper_default();
+        // Unsorted input.
+        let unsorted = [packet(1, 1, 0.01), packet(2, 2, 0.0)];
+        assert_eq!(
+            resolve_receptions(&unsorted, &[3], &params, const_power(-70.0), |_, _| -70.0)
+                .unwrap_err(),
+            MacError::UnsortedOnAir
+        );
+        // Non-finite packet time.
+        let mut bad = [packet(1, 1, 0.0)];
+        bad[0].start_s = f64::NAN;
+        assert!(matches!(
+            resolve_receptions(&bad, &[3], &params, const_power(-70.0), |_, _| -70.0).unwrap_err(),
+            MacError::InvalidRequest(_)
+        ));
+        // Invalid parameters.
+        let mut broken = MacParams::paper_default();
+        broken.slot_time_s = -1.0;
+        let ok = [packet(1, 1, 0.0)];
+        assert!(matches!(
+            resolve_receptions(&ok, &[3], &broken, const_power(-70.0), |_, _| -70.0).unwrap_err(),
+            MacError::InvalidParams(_)
+        ));
     }
 
     #[test]

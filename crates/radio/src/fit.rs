@@ -43,8 +43,10 @@ impl std::error::Error for FitError {}
 ///
 /// # Errors
 ///
-/// Returns an error when fewer than 16 samples are provided or all
-/// distances fall below `d0_m` (nothing to regress on).
+/// Returns an error when fewer than 16 samples are provided, all
+/// distances fall below `d0_m` (nothing to regress on), or the
+/// measurements are too degenerate (e.g. NaN-laden or constant) for the
+/// underlying breakpoint regression to solve.
 pub fn fit_dual_slope_model(
     samples: &[RangeSample],
     d0_m: f64,
@@ -72,7 +74,12 @@ pub fn fit_dual_slope_model(
             what: "too few samples beyond the reference distance",
         });
     }
-    let fit = fit_dual_slope(&u, &y, 200, 0.05, 0.95);
+    let fit = fit_dual_slope(&u, &y, 200, 0.05, 0.95).map_err(|e| FitError {
+        what: match e {
+            vp_stats::RegressionError::EmptyBreakpointWindow => "degenerate distance spread",
+            vp_stats::RegressionError::NoSolvableFit => "no solvable breakpoint fit",
+        },
+    })?;
     Ok(DualSlopeParams {
         d0_m,
         dc_m: d0_m * 10f64.powf(fit.breakpoint),

@@ -1,5 +1,6 @@
 //! Scenario configuration (paper Table V).
 
+use vp_fault::FaultPlan;
 use vp_mac::MacParams;
 use vp_radio::channel::ChannelConfig;
 use vp_radio::propagation::DualSlopeParams;
@@ -80,6 +81,10 @@ pub struct ScenarioConfig {
     /// Keep per-detection inputs and ground truth in the outcome (for
     /// threshold training and offline analysis).
     pub collect_inputs: bool,
+    /// Fault-injection plan applied to every observer's ingest stream;
+    /// `None` (the default) runs the clean pipeline, bit-identical to a
+    /// build without the harness.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl ScenarioConfig {
@@ -136,6 +141,7 @@ impl ScenarioConfig {
             mac,
             seed: 1,
             collect_inputs: false,
+            fault_plan: None,
         }
     }
 
@@ -204,6 +210,9 @@ impl ScenarioConfig {
             if !(p > 0.0) {
                 return Err("model change period must be positive");
             }
+        }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate()?;
         }
         self.mac.validate()?;
         Ok(())
@@ -291,6 +300,10 @@ impl ScenarioConfigBuilder {
         /// Keeps per-detection inputs + ground truth in the outcome.
         collect_inputs: bool
     );
+    setter!(
+        /// Attaches a fault-injection plan to every observer's ingest.
+        fault_plan: Option<FaultPlan>
+    );
 
     /// Finishes the configuration.
     ///
@@ -349,6 +362,16 @@ mod tests {
     #[should_panic(expected = "invalid scenario configuration")]
     fn builder_rejects_invalid() {
         let _ = ScenarioConfig::builder().density_per_km(-1.0).build();
+    }
+
+    #[test]
+    fn fault_plan_is_validated_with_the_rest_of_the_config() {
+        use vp_fault::FaultKind;
+        let mut c = ScenarioConfig::paper_default(50.0);
+        c.fault_plan = Some(FaultPlan::new(1).with(FaultKind::NonFiniteRssi { probability: 2.0 }));
+        assert!(c.validate().is_err());
+        c.fault_plan = Some(FaultPlan::new(1).with(FaultKind::NonFiniteRssi { probability: 0.5 }));
+        assert!(c.validate().is_ok());
     }
 
     #[test]

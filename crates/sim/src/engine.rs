@@ -13,6 +13,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use vp_fault::{Beacon, FaultInjector, VpError};
 use vp_mac::contention::{resolve_contention, BeaconRequest};
 use vp_mac::reception::{resolve_receptions, ReceptionOutcome};
 use vp_mobility::fleet::Fleet;
@@ -25,7 +26,7 @@ use crate::attack::{build_roster, packet_eirp_dbm};
 use crate::config::ScenarioConfig;
 use crate::detector::{DetectionInput, Detector, PositionClaim, WitnessReport};
 use crate::identity::{GroundTruth, NodeKind};
-use crate::metrics::{score_detection, DetectorStats, PacketStats};
+use crate::metrics::{score_detection, DetectorStats, IngestStats, PacketStats};
 use crate::observations::{DensityEstimator, ObserverLog, WitnessAggregates};
 use crate::{IdentityId, RadioId};
 
@@ -45,19 +46,42 @@ pub struct SimulationOutcome {
     pub identity_count: usize,
     /// Number of Sybil identities.
     pub sybil_count: usize,
+    /// Ingest-level fault/quarantine accounting; all-zero on a clean run.
+    pub ingest: IngestStats,
 }
 
 /// Runs one scenario with the given detectors attached.
 ///
-/// Fully deterministic for a given `config.seed`.
+/// Fully deterministic for a given `config.seed`. Thin panicking wrapper
+/// over [`try_run_scenario`] for callers that validated their
+/// configuration up front (e.g. via [`ScenarioConfig::builder`]).
 ///
 /// # Panics
 ///
-/// Panics if the configuration fails validation.
+/// Panics if the configuration fails validation or a lower layer rejects
+/// the run.
 pub fn run_scenario(config: &ScenarioConfig, detectors: &[&dyn Detector]) -> SimulationOutcome {
-    if let Err(why) = config.validate() {
-        panic!("invalid scenario configuration: {why}");
+    match try_run_scenario(config, detectors) {
+        Ok(outcome) => outcome,
+        Err(VpError::InvalidConfig(why)) => panic!("invalid scenario configuration: {why}"),
+        Err(e) => panic!("scenario failed: {e}"),
     }
+}
+
+/// Fallible form of [`run_scenario`].
+///
+/// # Errors
+///
+/// Returns [`VpError::InvalidConfig`] when the configuration (including
+/// any attached fault plan) fails validation, and [`VpError::Layer`] when
+/// the MAC rejects a malformed batch — which cannot happen from this
+/// engine's own request generation, but keeps the contract honest for
+/// future callers that feed external traffic in.
+pub fn try_run_scenario(
+    config: &ScenarioConfig,
+    detectors: &[&dyn Detector],
+) -> Result<SimulationOutcome, VpError> {
+    config.validate().map_err(VpError::InvalidConfig)?;
     let mut rng = StdRng::seed_from_u64(config.seed);
     let highway = Highway::paper_default();
     let mut fleet = Fleet::spawn_uniform(highway, config.vehicle_count(), &mut rng);
@@ -91,6 +115,24 @@ pub fn run_scenario(config: &ScenarioConfig, detectors: &[&dyn Detector]) -> Sim
         .collect();
     let witness_set: std::collections::HashSet<RadioId> =
         witness_pool.iter().map(|&id| id as RadioId).collect();
+
+    // One deterministic fault injector per observer (seed offset by the
+    // observer index so streams are corrupted independently but
+    // reproducibly). `None` — the default — is the clean path, which
+    // stays bit-identical to the pipeline without the harness.
+    let mut injectors: Option<Vec<FaultInjector>> = config
+        .fault_plan
+        .as_ref()
+        .filter(|plan| !plan.is_empty())
+        .map(|plan| {
+            (0..observers.len())
+                .map(|obs_idx| {
+                    let mut per_observer = plan.clone();
+                    per_observer.seed = plan.seed.wrapping_add(obs_idx as u64);
+                    FaultInjector::new(&per_observer)
+                })
+                .collect()
+        });
 
     let mut logs: Vec<ObserverLog> = observers.iter().map(|_| ObserverLog::new()).collect();
     let mut density: Vec<DensityEstimator> = observers
@@ -163,7 +205,13 @@ pub fn run_scenario(config: &ScenarioConfig, detectors: &[&dyn Detector]) -> Sim
         let mean_power = |tx: RadioId, eirp: f64, rx: RadioId| {
             model.mean_rx_dbm(eirp, distance(&positions, tx, rx))
         };
-        let contention = resolve_contention(&requests, &config.mac, mean_power, &mut rng);
+        let contention =
+            resolve_contention(&requests, &config.mac, mean_power, &mut rng).map_err(|e| {
+                VpError::Layer {
+                    layer: "mac",
+                    what: e.what(),
+                }
+            })?;
         packet_stats.on_air += contention.on_air.len() as u64;
         packet_stats.expired += contention.expired.len() as u64;
 
@@ -210,7 +258,11 @@ pub fn run_scenario(config: &ScenarioConfig, detectors: &[&dyn Detector]) -> Sim
                     )
                 },
             )
-        };
+        }
+        .map_err(|e| VpError::Layer {
+            layer: "mac",
+            what: e.what(),
+        })?;
 
         for reception in &receptions {
             match reception.outcome {
@@ -218,8 +270,23 @@ pub fn run_scenario(config: &ScenarioConfig, detectors: &[&dyn Detector]) -> Sim
                     packet_stats.received += 1;
                     let packet = &contention.on_air[reception.packet_index];
                     if let Some(&obs_idx) = observer_set.get(&reception.rx_radio) {
-                        logs[obs_idx].record(packet.identity, packet.start_s, rssi_dbm);
-                        density[obs_idx].record(packet.identity, packet.start_s);
+                        let beacon = Beacon::new(packet.identity, packet.start_s, rssi_dbm);
+                        match injectors.as_mut() {
+                            Some(inj) => {
+                                for b in inj[obs_idx].inject(beacon) {
+                                    logs[obs_idx].record(b.identity, b.time_s, b.rssi_dbm);
+                                    density[obs_idx].record(b.identity, b.time_s);
+                                }
+                            }
+                            None => {
+                                logs[obs_idx].record(
+                                    beacon.identity,
+                                    beacon.time_s,
+                                    beacon.rssi_dbm,
+                                );
+                                density[obs_idx].record(beacon.identity, beacon.time_s);
+                            }
+                        }
                     }
                     if witness_set.contains(&reception.rx_radio) {
                         let (wx, wy) = positions[reception.rx_radio as usize];
@@ -294,14 +361,28 @@ pub fn run_scenario(config: &ScenarioConfig, detectors: &[&dyn Detector]) -> Sim
         }
     }
 
-    SimulationOutcome {
+    let mut ingest = IngestStats::default();
+    if let Some(inj) = &injectors {
+        for i in inj {
+            let s = i.stats();
+            ingest.corrupted += s.corrupted;
+            ingest.dropped += s.dropped;
+            ingest.injected += s.injected;
+        }
+    }
+    for log in &logs {
+        ingest.rejected += log.rejected_samples();
+    }
+
+    Ok(SimulationOutcome {
         detector_stats,
         packet_stats,
         ground_truth,
         collected,
         identity_count: roster.len(),
         sybil_count: roster.sybil_count(),
-    }
+        ingest,
+    })
 }
 
 fn distance(positions: &[(f64, f64)], a: RadioId, b: RadioId) -> f64 {
@@ -528,6 +609,83 @@ mod tests {
             out_lo.packet_stats.expiry_rate()
         );
         assert!(out_hi.packet_stats.collision_rate() > out_lo.packet_stats.collision_rate());
+    }
+
+    #[test]
+    fn clean_runs_report_clean_ingest() {
+        let outcome = run_scenario(&small_config(1), &[&Silent]);
+        assert!(outcome.ingest.is_clean(), "{:?}", outcome.ingest);
+    }
+
+    #[test]
+    fn faulty_runs_complete_and_account_for_the_damage() {
+        use vp_fault::{FaultKind, FaultPlan};
+        let plan = FaultPlan::new(99)
+            .with(FaultKind::NonFiniteRssi { probability: 0.05 })
+            .with(FaultKind::NonFiniteTime { probability: 0.05 })
+            .with(FaultKind::FarFuture {
+                probability: 0.01,
+                offset_s: 1e12,
+            })
+            .with(FaultKind::BurstLoss {
+                probability: 0.02,
+                burst_len: 5,
+            });
+        let mut config = small_config(1);
+        config.fault_plan = Some(plan);
+        let outcome = run_scenario(&config, &[&Silent, &Paranoid]);
+        assert!(outcome.ingest.corrupted > 0, "{:?}", outcome.ingest);
+        assert!(outcome.ingest.dropped > 0, "{:?}", outcome.ingest);
+        // Every non-finite corruption was caught at the ingest gate.
+        assert!(outcome.ingest.rejected > 0, "{:?}", outcome.ingest);
+        // The run still produced detections on the surviving samples.
+        assert!(outcome.packet_stats.received > 0);
+        for input in &outcome.collected {
+            for (_, series) in &input.series {
+                assert!(series.iter().all(|r| r.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic_under_seed() {
+        use vp_fault::{FaultKind, FaultPlan};
+        let plan = FaultPlan::new(5)
+            .with(FaultKind::IdentityCollision { probability: 0.02 })
+            .with(FaultKind::BeaconStorm {
+                probability: 0.01,
+                extra_copies: 3,
+            });
+        let mut config = small_config(8);
+        config.collect_inputs = true;
+        config.fault_plan = Some(plan);
+        let a = run_scenario(&config, &[&Silent]);
+        let b = run_scenario(&config, &[&Silent]);
+        assert_eq!(a.ingest, b.ingest);
+        assert_eq!(a.collected, b.collected);
+        assert!(a.ingest.injected > 0, "{:?}", a.ingest);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_no_plan() {
+        use vp_fault::FaultPlan;
+        let clean = run_scenario(&small_config(3), &[&Silent]);
+        let mut config = small_config(3);
+        config.fault_plan = Some(FaultPlan::none());
+        let gated = run_scenario(&config, &[&Silent]);
+        assert_eq!(clean.packet_stats, gated.packet_stats);
+        assert_eq!(clean.collected, gated.collected);
+        assert!(gated.ingest.is_clean());
+    }
+
+    #[test]
+    fn invalid_fault_plan_is_a_config_error() {
+        use vp_fault::{FaultKind, FaultPlan};
+        let mut config = small_config(1);
+        config.fault_plan =
+            Some(FaultPlan::new(0).with(FaultKind::NonFiniteRssi { probability: -1.0 }));
+        let err = try_run_scenario(&config, &[]).unwrap_err();
+        assert!(matches!(err, VpError::InvalidConfig(_)), "{err:?}");
     }
 
     #[test]

@@ -36,9 +36,10 @@ pub mod observations;
 
 pub use config::ScenarioConfig;
 pub use detector::{DetectionInput, Detector, PositionClaim, WitnessReport};
-pub use engine::{run_scenario, SimulationOutcome};
+pub use engine::{run_scenario, try_run_scenario, SimulationOutcome};
 pub use identity::{GroundTruth, NodeKind, Roster};
-pub use metrics::{DetectorStats, PacketStats};
+pub use metrics::{DetectorStats, IngestStats, PacketStats};
+pub use vp_fault::{FaultKind, FaultPlan, VpError};
 
 /// Identifier of a physical radio.
 pub type RadioId = vp_radio::channel::RadioId;

@@ -180,6 +180,34 @@ impl PacketStats {
     }
 }
 
+/// Ingest-level degradation accounting over a run: what the fault
+/// injectors did to the observer streams and how much of it the ingest
+/// gates quarantined.
+///
+/// With fault injection disabled and finite channel output, every field
+/// is zero ([`IngestStats::is_clean`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestStats {
+    /// Beacons whose fields were corrupted in flight by the fault
+    /// injectors (non-finite values, identity rewrites, time shifts).
+    pub corrupted: u64,
+    /// Beacons the fault injectors swallowed (burst loss).
+    pub dropped: u64,
+    /// Extra beacons the fault injectors fabricated (duplicates, storms).
+    pub injected: u64,
+    /// Beacons the observer ingest gates quarantined (non-finite
+    /// timestamp or RSSI).
+    pub rejected: u64,
+}
+
+impl IngestStats {
+    /// `true` when no fault touched any observer stream and nothing was
+    /// quarantined.
+    pub fn is_clean(&self) -> bool {
+        *self == IngestStats::default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,6 +341,16 @@ mod tests {
         let s = DetectorStats::new("x");
         assert!(s.mean_detection_rate().is_nan());
         assert!(s.mean_false_positive_rate().is_nan());
+    }
+
+    #[test]
+    fn ingest_stats_cleanliness() {
+        assert!(IngestStats::default().is_clean());
+        let s = IngestStats {
+            rejected: 1,
+            ..Default::default()
+        };
+        assert!(!s.is_clean());
     }
 
     #[test]

@@ -7,9 +7,14 @@ use crate::IdentityId;
 
 /// Rolling RSSI log of one observer: per heard identity, the timestamped
 /// samples within the observation window.
+///
+/// The log is an ingest gate: beacons carrying a non-finite timestamp or
+/// RSSI are quarantined (dropped and counted) so they can neither poison
+/// the extracted series nor panic the window sort.
 #[derive(Debug, Clone, Default)]
 pub struct ObserverLog {
     samples: HashMap<IdentityId, Vec<(f64, f64)>>,
+    rejected: u64,
 }
 
 impl ObserverLog {
@@ -18,12 +23,23 @@ impl ObserverLog {
         ObserverLog::default()
     }
 
-    /// Records one decoded beacon.
+    /// Records one decoded beacon. Non-finite `time_s` or `rssi_dbm` is
+    /// quarantined: the sample is dropped and
+    /// [`ObserverLog::rejected_samples`] bumped.
     pub fn record(&mut self, identity: IdentityId, time_s: f64, rssi_dbm: f64) {
+        if !time_s.is_finite() || !rssi_dbm.is_finite() {
+            self.rejected += 1;
+            return;
+        }
         self.samples
             .entry(identity)
             .or_default()
             .push((time_s, rssi_dbm));
+    }
+
+    /// Number of beacons quarantined at ingest so far.
+    pub fn rejected_samples(&self) -> u64 {
+        self.rejected
     }
 
     /// Drops samples older than `horizon_s` before `now_s` and forgets
@@ -63,7 +79,10 @@ impl ObserverLog {
                 if values.len() < min_samples.max(1) {
                     return None;
                 }
-                values.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+                // Ingest quarantines non-finite times, but the sort is
+                // total anyway so a violated invariant degrades instead of
+                // panicking.
+                values.sort_by(|a, b| a.0.total_cmp(&b.0));
                 Some((id, values.into_iter().map(|(_, r)| r).collect()))
             })
             .collect();
@@ -108,7 +127,27 @@ impl DensityEstimator {
 
     /// Records a decoded identity at `time_s`, rolling the estimation
     /// bucket when the period elapses.
+    ///
+    /// Non-finite timestamps are ignored (the identity is not counted).
+    /// Far-future timestamps fast-forward the bucket clock in closed form:
+    /// the roll-per-period loop below would otherwise spin once per
+    /// elapsed period, which for an adversarial `time_s` of e.g. `1e15`
+    /// means ~1e14 iterations — an effective hang.
     pub fn record(&mut self, identity: IdentityId, time_s: f64) {
+        if !time_s.is_finite() {
+            return;
+        }
+        if time_s - self.bucket_start_s >= self.period_s * 1e4 {
+            // Capture the running bucket once (what the first roll would
+            // have published), then jump: every intermediate bucket is
+            // empty, so the last completed one estimates zero density.
+            self.roll();
+            let skipped = ((time_s - self.bucket_start_s) / self.period_s).floor();
+            if skipped >= 1.0 {
+                self.latest_estimate = Some(self.estimate_from(0));
+                self.bucket_start_s += skipped * self.period_s;
+            }
+        }
         while time_s >= self.bucket_start_s + self.period_s {
             self.roll();
         }
@@ -264,6 +303,46 @@ mod tests {
             est.record(42, 1.0);
         }
         assert!((est.density_per_km() - 1.0 / 1.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_quarantines_non_finite_samples() {
+        let mut log = ObserverLog::new();
+        log.record(1, 0.0, -70.0);
+        log.record(1, f64::NAN, -70.0);
+        log.record(1, f64::INFINITY, -70.0);
+        log.record(1, 1.0, f64::NAN);
+        log.record(1, 2.0, f64::NEG_INFINITY);
+        log.record(1, 1.0, -71.0);
+        assert_eq!(log.rejected_samples(), 4);
+        let series = log.series_in_window(1.0, 10.0, 1);
+        assert_eq!(series[0].1, vec![-70.0, -71.0]);
+    }
+
+    #[test]
+    fn density_ignores_non_finite_times() {
+        let mut est = DensityEstimator::new(10.0, 700.0);
+        est.record(1, 0.5);
+        est.record(2, f64::NAN);
+        est.record(3, f64::NEG_INFINITY);
+        est.record(4, f64::INFINITY);
+        assert!((est.density_per_km() - 1.0 / 1.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn density_fast_forwards_far_future_times_without_hanging() {
+        let mut est = DensityEstimator::new(10.0, 700.0);
+        for id in 0..14 {
+            est.record(id, 0.5);
+        }
+        // Adversarial far-future timestamp: must return promptly and roll
+        // the running bucket out (every bucket since is empty → 0).
+        est.record(99, 1e15);
+        assert_eq!(est.density_per_km(), 0.0);
+        // The estimator keeps working from the new epoch.
+        est.record(99, 1e15 + 11.0);
+        est.record(98, 1e15 + 12.0);
+        assert!(est.density_per_km() < 1.0);
     }
 
     #[test]

@@ -194,18 +194,22 @@ pub fn variance(values: &[f64]) -> f64 {
 
 /// Linear-interpolation quantile (`q` in `[0, 1]`) of a slice.
 ///
-/// Returns `NaN` for an empty slice.
+/// Returns `NaN` for an empty slice. Values are ordered with
+/// [`f64::total_cmp`], so `NaN` inputs do not panic: they sort after
+/// `+∞` and therefore only influence the upper quantiles (a `NaN` that
+/// lands on the interpolation window yields a `NaN` quantile, which
+/// callers treat as "no usable answer" rather than a crash).
 ///
 /// # Panics
 ///
-/// Panics if `q` is outside `[0, 1]` or any value is `NaN`.
+/// Panics if `q` is outside `[0, 1]`.
 pub fn quantile(values: &[f64], q: f64) -> f64 {
     assert!((0.0..=1.0).contains(&q), "quantile q must lie in [0, 1]");
     if values.is_empty() {
         return f64::NAN;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -323,6 +327,17 @@ mod tests {
     #[should_panic(expected = "quantile q must lie in [0, 1]")]
     fn quantile_rejects_out_of_range() {
         quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn quantile_tolerates_nan_without_panicking() {
+        // Regression: this used to panic via partial_cmp().expect().
+        // total_cmp sorts NaN after +inf, so low quantiles stay usable
+        // and the NaN only contaminates the top of the distribution.
+        let v = [3.0, f64::NAN, 1.0, 2.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(median(&v), 2.5);
+        assert!(quantile(&v, 1.0).is_nan());
     }
 
     #[test]

@@ -43,4 +43,4 @@ pub use descriptive::Summary;
 pub use distributions::{Exponential, Normal, TruncatedNormal};
 pub use histogram::Histogram;
 pub use matrix::Matrix;
-pub use regression::{DualSlopeFit, LinearFit};
+pub use regression::{DualSlopeFit, LinearFit, RegressionError};

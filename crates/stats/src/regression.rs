@@ -13,6 +13,36 @@
 //! reduces to a breakpoint scan with an anchored two-segment least-squares
 //! solve at each candidate. [`fit_dual_slope`] performs exactly that.
 
+/// Why a segmented fit could not be produced.
+///
+/// These are *data* failures, not programming errors, so the breakpoint
+/// fit reports them as a `Result` instead of panicking: a detector
+/// calibrating its path-loss model from live (possibly adversarial)
+/// measurements must survive a degenerate batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegressionError {
+    /// The quantile window collapsed (e.g. duplicated or NaN `x` values
+    /// left no room between the low and high quantiles).
+    EmptyBreakpointWindow,
+    /// No candidate breakpoint produced a solvable least-squares system.
+    NoSolvableFit,
+}
+
+impl core::fmt::Display for RegressionError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RegressionError::EmptyBreakpointWindow => {
+                write!(f, "breakpoint search window is empty")
+            }
+            RegressionError::NoSolvableFit => {
+                write!(f, "no valid breakpoint produced a solvable fit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegressionError {}
+
 /// Result of an ordinary least-squares line fit `y ≈ slope · x + intercept`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearFit {
@@ -119,17 +149,23 @@ impl DualSlopeFit {
 /// is linear in `(a, b1, b2)` and solved in closed form via the normal
 /// equations; the candidate with minimal residual sum of squares wins.
 ///
+/// Degenerate *data* (an empty quantile window, no solvable candidate —
+/// both reachable from NaN-laden or constant measurements) is reported
+/// as a [`RegressionError`] rather than a panic.
+///
 /// # Panics
 ///
-/// Panics if slices differ in length, fewer than four points are supplied,
-/// or the quantile window is empty.
+/// Panics if slices differ in length, fewer than four points are
+/// supplied, or fewer than two candidates are requested — those are
+/// caller bugs, not data conditions.
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // negated compare is the NaN guard
 pub fn fit_dual_slope(
     x: &[f64],
     y: &[f64],
     candidates: usize,
     lo_quantile: f64,
     hi_quantile: f64,
-) -> DualSlopeFit {
+) -> Result<DualSlopeFit, RegressionError> {
     assert_eq!(
         x.len(),
         y.len(),
@@ -139,18 +175,24 @@ pub fn fit_dual_slope(
     assert!(candidates >= 2, "need at least two breakpoint candidates");
     let lo = crate::descriptive::quantile(x, lo_quantile);
     let hi = crate::descriptive::quantile(x, hi_quantile);
-    assert!(lo < hi, "breakpoint search window is empty");
+    // Negated comparison so NaN quantiles (from NaN-laden x) also fail
+    // into the error path instead of sneaking through.
+    if !(lo < hi) {
+        return Err(RegressionError::EmptyBreakpointWindow);
+    }
 
     let mut best: Option<DualSlopeFit> = None;
     for i in 0..candidates {
         let c = lo + (hi - lo) * i as f64 / (candidates - 1) as f64;
         if let Some(fit) = fit_with_breakpoint(x, y, c) {
-            if best.as_ref().is_none_or(|b| fit.rss < b.rss) {
+            // Only finite-RSS candidates compete: a NaN/∞ residual (from
+            // non-finite measurements) must not shadow a solvable one.
+            if fit.rss.is_finite() && best.as_ref().is_none_or(|b| fit.rss < b.rss) {
                 best = Some(fit);
             }
         }
     }
-    best.expect("no valid breakpoint produced a solvable fit")
+    best.ok_or(RegressionError::NoSolvableFit)
 }
 
 /// Fits the continuous two-segment model for one fixed breakpoint `c`.
@@ -211,8 +253,8 @@ pub fn fit_with_breakpoint(x: &[f64], y: &[f64], c: f64) -> Option<DualSlopeFit>
 fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
     for col in 0..3 {
         let pivot = (col..3)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
-            .unwrap();
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty pivot range");
         if a[pivot][col].abs() < 1e-12 {
             return None;
         }
@@ -294,7 +336,7 @@ mod tests {
         };
         let x: Vec<f64> = (0..80).map(|i| i as f64 * 0.05).collect();
         let y: Vec<f64> = x.iter().map(|&v| truth.predict(v)).collect();
-        let fit = fit_dual_slope(&x, &y, 161, 0.05, 0.95);
+        let fit = fit_dual_slope(&x, &y, 161, 0.05, 0.95).expect("solvable fit");
         assert!(
             (fit.intercept - 10.0).abs() < 0.05,
             "intercept {}",
@@ -316,11 +358,54 @@ mod tests {
             .iter()
             .map(|&v| if v < 2.0 { -v } else { -2.0 - 3.0 * (v - 2.0) })
             .collect();
-        let fit = fit_dual_slope(&x, &y, 101, 0.1, 0.9);
+        let fit = fit_dual_slope(&x, &y, 101, 0.1, 0.9).expect("solvable fit");
         let eps = 1e-9;
         let below = fit.predict(fit.breakpoint - eps);
         let above = fit.predict(fit.breakpoint + eps);
         assert!((below - above).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dual_slope_degenerate_x_is_an_error_not_a_panic() {
+        // All x equal: the quantile window is empty. Used to assert.
+        let x = [2.0, 2.0, 2.0, 2.0, 2.0];
+        let y = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(
+            fit_dual_slope(&x, &y, 10, 0.05, 0.95),
+            Err(RegressionError::EmptyBreakpointWindow)
+        );
+    }
+
+    #[test]
+    fn dual_slope_nan_x_is_an_error_not_a_panic() {
+        // NaN x values poison the quantile window; previously this
+        // panicked inside quantile's partial_cmp.
+        let x = [f64::NAN, f64::NAN, f64::NAN, f64::NAN];
+        let y = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(
+            fit_dual_slope(&x, &y, 10, 0.05, 0.95),
+            Err(RegressionError::EmptyBreakpointWindow)
+        );
+    }
+
+    #[test]
+    fn dual_slope_nan_y_is_an_error_not_a_panic() {
+        // Finite x, NaN y: every candidate fit has NaN residuals, so no
+        // candidate is selectable.
+        let x: Vec<f64> = (0..20).map(|i| i as f64 * 0.5).collect();
+        let y = vec![f64::NAN; 20];
+        assert_eq!(
+            fit_dual_slope(&x, &y, 10, 0.05, 0.95),
+            Err(RegressionError::NoSolvableFit)
+        );
+    }
+
+    #[test]
+    fn regression_errors_display() {
+        assert!(RegressionError::EmptyBreakpointWindow
+            .to_string()
+            .contains("window"));
+        assert!(RegressionError::NoSolvableFit.to_string().contains("fit"));
     }
 
     #[test]

@@ -200,10 +200,15 @@ fn windowed_dp(
         } else {
             f64::INFINITY
         };
-        if diag <= up && diag <= left {
+        // NaN cell costs make every comparison false, so each branch is
+        // additionally guarded by legality: the walk must always take a
+        // move that exists, or backtracking would underflow at an edge.
+        // For finite costs the guards never change the chosen move —
+        // illegal directions read as infinity and lose the comparisons.
+        if i > 0 && j > 0 && diag <= up && diag <= left {
             i -= 1;
             j -= 1;
-        } else if up <= left {
+        } else if i > 0 && (up <= left || j == 0) {
             i -= 1;
         } else {
             j -= 1;
@@ -639,5 +644,46 @@ mod tests {
         assert!(!is_valid_warp_path(&[(0, 0), (1, 1), (0, 1), (1, 1)], 2, 2)); // backwards
         assert!(!is_valid_warp_path(&[(0, 0), (0, 0), (1, 1)], 2, 2)); // stall
         assert!(is_valid_warp_path(&[(0, 0), (1, 1)], 2, 2));
+    }
+
+    #[test]
+    fn kernels_never_panic_on_non_finite_input() {
+        // The hardening contract: DTW kernels contain no float-ordering
+        // panics, so non-finite samples flow through as non-finite
+        // distances the comparator can quarantine. (Ingest filtering
+        // should prevent such input, but the kernels must not be the
+        // layer that dies if it slips through.)
+        let clean: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).sin()).collect();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut dirty = clean.clone();
+            dirty[7] = bad;
+            assert!(!dtw(&clean, &dirty).is_finite(), "bad={bad}");
+            assert!(!dtw_banded(&clean, &dirty, 3).is_finite(), "bad={bad}");
+            let (d, path) = dtw_with_path(&clean, &dirty);
+            assert!(!d.is_finite());
+            assert!(is_valid_warp_path(&path, clean.len(), dirty.len()));
+            // Prunable variant must terminate and stay sound: either the
+            // exact (non-finite) distance or an abandonment.
+            let mut scratch = DtwScratch::new();
+            let _ = dtw_banded_prunable_with_scratch(&clean, &dirty, 3, 1.0, &mut scratch);
+        }
+        // Worst case: every DP cell is NaN, so every backtracking
+        // comparison is false. Regression for a subtraction underflow in
+        // the path walk when it ran off the j == 0 edge.
+        let all_nan = vec![f64::NAN; 32];
+        let (d, path) = dtw_with_path(&clean, &all_nan);
+        assert!(d.is_nan());
+        assert!(is_valid_warp_path(&path, clean.len(), all_nan.len()));
+        let (d, path) = dtw_with_path(&all_nan, &clean);
+        assert!(d.is_nan());
+        assert!(is_valid_warp_path(&path, all_nan.len(), clean.len()));
+    }
+
+    #[test]
+    fn finite_distance_for_clean_series_is_unaffected_by_hardening() {
+        let a: Vec<f64> = (0..40).map(|i| (i as f64 * 0.2).cos()).collect();
+        let b: Vec<f64> = (0..40).map(|i| (i as f64 * 0.2 + 0.4).cos()).collect();
+        assert!(dtw(&a, &b).is_finite());
+        assert!(dtw_banded(&a, &b, 2).is_finite());
     }
 }

@@ -61,16 +61,52 @@ fn scale_by_sigma(values: &[f64], sigma_factor: f64) -> Vec<f64> {
 /// the detector this is the conservative choice, because an
 /// all-equal-distance neighbourhood carries no separability information and
 /// zero distances are then resolved by the threshold rule alone.
+///
+/// Non-finite entries are *isolated*, not contagious: the min/max are
+/// taken over the finite values only, finite values are normalised
+/// against that range, and NaN/±∞ entries pass through unchanged so the
+/// caller can quarantine exactly the offending pairs. (Previously a
+/// single NaN poisoned the extrema and every output became NaN — for a
+/// Sybil detector that silent degradation reads as "clean", which is the
+/// attacker's preferred outcome.) An all-non-finite input is returned
+/// unchanged.
 pub fn min_max_normalize(values: &[f64]) -> Vec<f64> {
     if values.is_empty() {
         return Vec::new();
     }
-    let s = Summary::of(values);
-    let (lo, hi) = (s.min(), s.max());
-    if hi == lo {
-        return vec![0.0; values.len()];
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    let mut any_finite = false;
+    for &v in values {
+        if v.is_finite() {
+            any_finite = true;
+            if v < lo {
+                lo = v;
+            }
+            if v > hi {
+                hi = v;
+            }
+        }
     }
-    values.iter().map(|&x| (x - lo) / (hi - lo)).collect()
+    if !any_finite {
+        return values.to_vec();
+    }
+    if hi == lo {
+        return values
+            .iter()
+            .map(|&x| if x.is_finite() { 0.0 } else { x })
+            .collect();
+    }
+    values
+        .iter()
+        .map(|&x| {
+            if x.is_finite() {
+                (x - lo) / (hi - lo)
+            } else {
+                x
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -140,6 +176,45 @@ mod tests {
     #[test]
     fn min_max_constant_input_is_zero() {
         assert_eq!(min_max_normalize(&[2.0, 2.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn min_max_isolates_non_finite_entries() {
+        // Regression: one NaN used to poison the extrema and turn EVERY
+        // output into NaN, silently erasing all pairwise separability.
+        let out = min_max_normalize(&[3.0, f64::NAN, 9.0, f64::INFINITY, 6.0]);
+        assert_eq!(out[0], 0.0);
+        assert!(out[1].is_nan());
+        assert_eq!(out[2], 1.0);
+        assert_eq!(out[3], f64::INFINITY);
+        assert_eq!(out[4], 0.5);
+    }
+
+    #[test]
+    fn min_max_all_non_finite_passes_through() {
+        let out = min_max_normalize(&[f64::NAN, f64::NEG_INFINITY]);
+        assert!(out[0].is_nan());
+        assert_eq!(out[1], f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn min_max_constant_finite_with_nan_keeps_nan() {
+        let out = min_max_normalize(&[2.0, f64::NAN, 2.0]);
+        assert_eq!(out[0], 0.0);
+        assert!(out[1].is_nan());
+        assert_eq!(out[2], 0.0);
+    }
+
+    #[test]
+    fn min_max_matches_old_behaviour_on_finite_input() {
+        // Bit-identity guard for the hardened implementation.
+        let v = [0.31, 7.5, -2.25, 4.125, 0.0, 9.875];
+        let lo = -2.25;
+        let hi = 9.875;
+        let out = min_max_normalize(&v);
+        for (x, o) in v.iter().zip(&out) {
+            assert_eq!(o.to_bits(), ((x - lo) / (hi - lo)).to_bits());
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! vp-timeseries, vp-classify and voiceprint.
 
 use proptest::prelude::*;
+use voiceprint::collector::Collector;
 use voiceprint::comparator::{compare, compare_sequential, ComparisonConfig, DistanceMeasure};
 use voiceprint::confirm::confirm;
 use voiceprint::threshold::ThresholdPolicy;
@@ -13,6 +14,13 @@ use vp_timeseries::scratch::DtwScratch;
 
 fn series_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-95.0..-40.0f64, 2..max_len)
+}
+
+/// Raw `u64` words reinterpreted as `f64` bit patterns downstream: every
+/// NaN payload, both infinities, subnormals, zeros — the full adversarial
+/// surface, not just "nice" floats.
+fn raw_bits_strategy(max_words: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..u64::MAX, 0..max_words)
 }
 
 proptest! {
@@ -188,6 +196,79 @@ proptest! {
         prop_assert_eq!(b.to_bits(), dtw_banded(&x, &y, radius).to_bits());
         let f = vp_timeseries::fastdtw::fast_dtw_with_scratch(&x, &y, 1, &mut scratch);
         prop_assert_eq!(f.to_bits(), fast_dtw(&x, &y, 1).to_bits());
+    }
+
+    #[test]
+    fn full_pipeline_never_panics_on_arbitrary_beacon_streams(
+        raw in raw_bits_strategy(240),
+    ) {
+        // Interpret the words as a beacon stream of (identity, time bits,
+        // RSSI bits) triples — the exact shape a hostile or broken radio
+        // hands the collector — and run collection → comparison →
+        // confirmation end to end. The property: no panic, ever, and the
+        // collector stores only finite samples.
+        let mut collector = Collector::new(20.0);
+        for chunk in raw.chunks(3) {
+            if chunk.len() < 3 {
+                break;
+            }
+            collector.record(chunk[0] % 6, f64::from_bits(chunk[1]), f64::from_bits(chunk[2]));
+        }
+        let series = collector.series_at(10.0, 1);
+        for (_, s) in &series {
+            prop_assert!(s.iter().all(|v| v.is_finite()), "ingest gate leaked");
+        }
+        let cfg = ComparisonConfig {
+            min_series_len: 1,
+            ..ComparisonConfig::default()
+        };
+        let distances = compare(&series, &cfg);
+        prop_assert!(distances.quarantined_ids().is_empty(), "gated input cannot need quarantine");
+        let verdict = confirm(&distances, 10.0, &ThresholdPolicy::paper_simulation());
+        for id in verdict.suspects() {
+            prop_assert!(series.iter().any(|(sid, _)| sid == id));
+        }
+    }
+
+    #[test]
+    fn ungated_series_degrade_to_an_explicit_quarantine_verdict(
+        raw in raw_bits_strategy(200),
+        density_bits in 0u64..u64::MAX,
+    ) {
+        // A hostile source that bypasses the ingest gate entirely and
+        // feeds raw bit patterns straight into comparison: the pipeline
+        // must quarantine exactly the identities with non-finite samples,
+        // never flag them, and never panic — even when the density (and
+        // hence the threshold) is itself garbage.
+        let n_ids = 5usize;
+        let mut series: Vec<(u64, Vec<f64>)> = (0..n_ids as u64).map(|id| (id, Vec::new())).collect();
+        for (k, w) in raw.iter().enumerate() {
+            series[k % n_ids].1.push(f64::from_bits(*w));
+        }
+        series.retain(|(_, s)| !s.is_empty());
+        let cfg = ComparisonConfig {
+            min_series_len: 1,
+            ..ComparisonConfig::default()
+        };
+        let distances = compare(&series, &cfg);
+        let dirty: Vec<u64> = series
+            .iter()
+            .filter(|(_, s)| !s.iter().all(|v| v.is_finite()))
+            .map(|(id, _)| *id)
+            .collect();
+        prop_assert_eq!(distances.quarantined_ids(), &dirty[..]);
+        let verdict = confirm(
+            &distances,
+            f64::from_bits(density_bits),
+            &ThresholdPolicy::paper_simulation(),
+        );
+        prop_assert_eq!(
+            verdict.degradation().identities_quarantined,
+            dirty.len() as u64
+        );
+        for id in &dirty {
+            prop_assert!(!verdict.suspects().contains(id), "flagged a quarantined identity");
+        }
     }
 
     #[test]
