@@ -3,12 +3,17 @@
 //! the comparison phase; 200 samples ≈ 20 s observation at 10 Hz).
 //!
 //! Writes `results/BENCH_compare.json` with per-size wall-clock medians
-//! and the parallel speedup. Thread count follows `VP_NUM_THREADS` /
-//! `RAYON_NUM_THREADS` (default: all cores).
+//! and the parallel speedup, and `results/BENCH_runtime.json` with the
+//! streaming runtime's sustained ingest throughput (beacons/sec) at a
+//! fixed, deterministic deadline-miss rate. Thread count follows
+//! `VP_NUM_THREADS` / `RAYON_NUM_THREADS` (default: all cores).
 
 use std::time::Instant;
 
 use voiceprint::comparator::{compare, compare_sequential, ComparisonConfig};
+use voiceprint::threshold::ThresholdPolicy;
+use vp_fault::Beacon;
+use vp_runtime::{DeadlinePolicy, RuntimeConfig, StreamingRuntime};
 
 fn neighbourhood(n: usize, samples: usize) -> Vec<(u64, Vec<f64>)> {
     (0..n as u64)
@@ -37,6 +42,96 @@ fn median_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
         .collect();
     times.sort_by(f64::total_cmp);
     times[times.len() / 2]
+}
+
+/// One timed streaming run: `n` identities beaconing at 10 Hz for
+/// `windows` full 20 s detection windows, fed in arrival order through a
+/// fresh [`StreamingRuntime`]. Returns (elapsed seconds, beacons fed,
+/// deadline misses, rounds run).
+fn feed_streaming(n: usize, windows: usize, deadline: DeadlinePolicy) -> (f64, u64, u64, u64) {
+    let mut config = RuntimeConfig::paper_default(ThresholdPolicy::paper_simulation());
+    config.deadline = deadline;
+    // Size the queue above one full window's volume so the measurement
+    // isolates ingest + sweep cost from overload shedding.
+    config.queue_capacity = n * windows * 220;
+    let mut rt = StreamingRuntime::new(config).expect("valid bench config");
+    let duration_s = windows as f64 * 20.0;
+    let ticks = (duration_s * 10.0) as usize;
+    let mut fed = 0u64;
+    let t0 = Instant::now();
+    for k in 0..ticks {
+        let t = k as f64 * 0.1;
+        rt.advance_to(t);
+        for id in 0..n as u64 {
+            let rssi =
+                ((t * (0.07 + id as f64 * 0.002)).sin() + (t * 0.19 + id as f64 * 1.3).cos()) * 4.0
+                    - 72.0;
+            rt.offer(t, Beacon::new(id, t, rssi));
+            fed += 1;
+        }
+    }
+    rt.advance_to(duration_s);
+    let elapsed = t0.elapsed().as_secs_f64();
+    let counters = rt.counters();
+    (elapsed, fed, counters.deadline_misses, rt.rounds_run())
+}
+
+/// Streaming-runtime ingest throughput at a fixed deadline-miss rate.
+///
+/// The miss rate is pinned deterministically with a pair-count budget
+/// rather than a wall-clock one: a budget of half the round's pairwise
+/// comparisons forces a miss every round (rate 1.0, the degraded steady
+/// state), while the unbounded policy pins rate 0.0 (the batch-parity
+/// steady state). Machine speed moves only the beacons/sec column.
+fn bench_streaming() {
+    println!();
+    println!("streaming runtime ingest, 10 Hz per identity, 2 windows of 20 s");
+    println!(
+        "{:>4} {:>12} {:>14} {:>10} {:>10}",
+        "n", "deadline", "beacons/s", "miss rate", "rounds"
+    );
+    let mut rows = Vec::new();
+    for n in [16usize, 48, 96] {
+        let pairs = (n * (n - 1) / 2) as u64;
+        for (label, deadline, target_rate) in [
+            ("unbounded", DeadlinePolicy::Unbounded, 0.0),
+            ("pairs/2", DeadlinePolicy::PairBudget(pairs / 2), 1.0),
+        ] {
+            let reps = if n >= 96 { 3 } else { 5 };
+            let mut best = f64::INFINITY;
+            let mut fed = 0;
+            let mut misses = 0;
+            let mut rounds = 0;
+            for _ in 0..reps {
+                let (elapsed, f, m, r) = feed_streaming(n, 2, deadline);
+                best = best.min(elapsed);
+                fed = f;
+                misses = m;
+                rounds = r;
+            }
+            let rate = misses as f64 / rounds as f64;
+            assert_eq!(
+                rate, target_rate,
+                "{label}: pair budget no longer pins the miss rate"
+            );
+            let throughput = fed as f64 / best;
+            println!("{n:>4} {label:>12} {throughput:>14.0} {rate:>10.2} {rounds:>10}");
+            rows.push(format!(
+                concat!(
+                    "    {{\"identities\": {}, \"deadline\": \"{}\", ",
+                    "\"beacons_per_sec\": {:.0}, \"deadline_miss_rate\": {:.2}, ",
+                    "\"rounds\": {}}}"
+                ),
+                n, label, throughput, rate, rounds
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"beacon_rate_hz\": 10,\n  \"windows\": 2,\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("results/BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
+    println!("wrote results/BENCH_runtime.json");
 }
 
 fn main() {
@@ -105,4 +200,6 @@ fn main() {
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write("results/BENCH_compare.json", &json).expect("write BENCH_compare.json");
     println!("wrote results/BENCH_compare.json");
+
+    bench_streaming();
 }

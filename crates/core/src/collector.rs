@@ -17,6 +17,10 @@ use vp_fault::{Beacon, VpError};
 
 use crate::IdentityId;
 
+/// Per-identity `(time_s, rssi_dbm)` samples in canonical order — the
+/// payload of [`Collector::snapshot`] and input of [`Collector::restore`].
+pub type IdentitySamples = Vec<(IdentityId, Vec<(f64, f64)>)>;
+
 /// Rolling per-identity RSSI collector with a fixed observation window.
 ///
 /// # Example
@@ -112,6 +116,68 @@ impl Collector {
             v.retain(|&(t, _)| t >= cutoff);
             !v.is_empty()
         });
+    }
+
+    /// Number of stored samples for `identity` (0 when unheard). The
+    /// streaming runtime's shedding policy uses this to find the densest
+    /// identities.
+    pub fn sample_count(&self, identity: IdentityId) -> usize {
+        self.samples.get(&identity).map_or(0, Vec::len)
+    }
+
+    /// Drops the oldest `n` samples of `identity`, returning how many
+    /// were actually dropped. "Oldest" is by timestamp ([`f64::total_cmp`]
+    /// order), not arrival order, so shedding under out-of-order delivery
+    /// still removes the stalest data first.
+    pub fn shed_oldest(&mut self, identity: IdentityId, n: usize) -> usize {
+        let Some(samples) = self.samples.get_mut(&identity) else {
+            return 0;
+        };
+        let n = n.min(samples.len());
+        if n == 0 {
+            return 0;
+        }
+        samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+        samples.drain(..n);
+        if samples.is_empty() {
+            self.samples.remove(&identity);
+        }
+        n
+    }
+
+    /// Serializable view of the collector's entire state: `(window,
+    /// rejected, per-identity samples sorted by identity then time)`.
+    /// The ordering is canonical, so two collectors with the same logical
+    /// content snapshot identically regardless of insertion history.
+    pub fn snapshot(&self) -> (f64, u64, IdentitySamples) {
+        let mut per_id: IdentitySamples = self
+            .samples
+            .iter()
+            .map(|(&id, v)| {
+                let mut v = v.clone();
+                v.sort_by(|a, b| a.0.total_cmp(&b.0));
+                (id, v)
+            })
+            .collect();
+        per_id.sort_by_key(|(id, _)| *id);
+        (self.window_s, self.rejected, per_id)
+    }
+
+    /// Rebuilds a collector from a [`Collector::snapshot`]. The restored
+    /// collector produces bit-identical [`Collector::series_at`] output:
+    /// `series_at` sorts by timestamp with a stable sort, so the
+    /// canonicalised snapshot order and the original insertion order
+    /// yield the same series (timestamp ties keep no observable
+    /// insertion-order dependence after the canonical sort).
+    pub fn restore(window_s: f64, rejected: u64, per_id: IdentitySamples) -> Self {
+        let mut c = Collector::new(window_s);
+        c.rejected = rejected;
+        for (id, samples) in per_id {
+            if !samples.is_empty() {
+                c.samples.insert(id, samples);
+            }
+        }
+        c
     }
 
     /// Extracts the RSSI series of every identity with at least
@@ -218,6 +284,62 @@ mod tests {
         assert_eq!(c.rejected_samples(), 4);
         let series = c.series_at(1.0, 1);
         assert_eq!(series[0].1, vec![-70.0, -71.0]);
+    }
+
+    #[test]
+    fn shed_oldest_removes_stalest_samples_first() {
+        let mut c = Collector::new(20.0);
+        // Deliberately out of arrival order.
+        c.record(1, 3.0, -73.0);
+        c.record(1, 1.0, -71.0);
+        c.record(1, 2.0, -72.0);
+        assert_eq!(c.sample_count(1), 3);
+        assert_eq!(c.shed_oldest(1, 2), 2);
+        assert_eq!(c.series_at(3.0, 1)[0].1, vec![-73.0]);
+        // Shedding more than exists drops what's there and forgets the id.
+        assert_eq!(c.shed_oldest(1, 10), 1);
+        assert_eq!(c.sample_count(1), 0);
+        assert_eq!(c.heard_identities(), 0);
+        assert_eq!(c.shed_oldest(99, 5), 0);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_bitwise() {
+        let mut c = Collector::new(20.0);
+        for k in 0..50 {
+            // Out-of-order and multi-identity on purpose.
+            c.record(
+                (k % 3) as IdentityId,
+                (49 - k) as f64 * 0.37,
+                -70.0 - k as f64 * 0.1,
+            );
+        }
+        c.record(7, f64::NAN, -70.0); // rejected, must survive in count
+        let (w, rej, per_id) = c.snapshot();
+        let restored = Collector::restore(w, rej, per_id);
+        assert_eq!(restored.rejected_samples(), c.rejected_samples());
+        assert_eq!(restored.heard_identities(), c.heard_identities());
+        let a = c.series_at(20.0, 1);
+        let b = restored.series_at(20.0, 1);
+        assert_eq!(a.len(), b.len());
+        for ((id_a, s_a), (id_b, s_b)) in a.iter().zip(&b) {
+            assert_eq!(id_a, id_b);
+            assert!(s_a.iter().zip(s_b).all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
+    }
+
+    #[test]
+    fn snapshot_is_canonical_across_insertion_orders() {
+        let mut a = Collector::new(10.0);
+        let mut b = Collector::new(10.0);
+        let beacons = [(2u64, 1.0, -71.0), (1u64, 0.5, -70.0), (2u64, 0.2, -72.0)];
+        for &(id, t, r) in &beacons {
+            a.record(id, t, r);
+        }
+        for &(id, t, r) in beacons.iter().rev() {
+            b.record(id, t, r);
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use std::borrow::Cow;
 
 use vp_fault::DegradationCounters;
-use vp_par::par_fill_with_threads;
+use vp_par::{par_fill_with_cancel, par_fill_with_threads, CancelToken};
 use vp_timeseries::distance::squared_euclidean;
 use vp_timeseries::dtw::{
     dtw_banded_prunable_with_scratch, dtw_banded_with_scratch, dtw_with_scratch,
@@ -178,12 +178,13 @@ impl PairwiseDistances {
 
     /// Degradation tally for this comparison: identities quarantined and
     /// non-finite pairs that confirmation will skip. Ingest-level sample
-    /// rejections live in the collector, not here.
+    /// rejections live in the collector, not here; shed/deadline counters
+    /// belong to the streaming runtime.
     pub fn degradation(&self) -> DegradationCounters {
         DegradationCounters {
-            samples_rejected: 0,
             identities_quarantined: self.quarantined.len() as u64,
             pairs_skipped: self.pairs_skipped,
+            ..DegradationCounters::default()
         }
     }
 
@@ -261,11 +262,51 @@ pub fn compare_sequential(
     compare_with_threads(series, config, 1)
 }
 
+/// Deadline-aware form of [`compare`]: workers stop claiming pairs once
+/// `token` fires, and the second return value reports whether the sweep
+/// ran to completion.
+///
+/// With a token that never fires the result is bit-identical to
+/// [`compare`] and the flag is `true`. After a cancellation, uncomputed
+/// pairs hold a NaN sentinel and are tallied in `pairs_skipped`, so the
+/// degraded verdict is visibly flagged through [`DegradationCounters`];
+/// a partial sweep also skips Eq. 8 min–max normalisation (the window
+/// maximum is unknowable when pairs are missing), reporting raw
+/// distances instead. Callers must treat a `false` flag as "partial,
+/// degraded output" — never diff it bitwise against a full sweep.
+pub fn compare_cancellable(
+    series: &[(IdentityId, Vec<f64>)],
+    config: &ComparisonConfig,
+    token: &CancelToken,
+) -> (PairwiseDistances, bool) {
+    compare_cancellable_with_threads(series, config, vp_par::max_threads(), token)
+}
+
+/// [`compare_cancellable`] with an explicit thread budget (tests pin
+/// `threads = 1` so the computed prefix is deterministic).
+pub fn compare_cancellable_with_threads(
+    series: &[(IdentityId, Vec<f64>)],
+    config: &ComparisonConfig,
+    threads: usize,
+    token: &CancelToken,
+) -> (PairwiseDistances, bool) {
+    compare_impl(series, config, threads, Some(token))
+}
+
 fn compare_with_threads(
     series: &[(IdentityId, Vec<f64>)],
     config: &ComparisonConfig,
     threads: usize,
 ) -> PairwiseDistances {
+    compare_impl(series, config, threads, None).0
+}
+
+fn compare_impl(
+    series: &[(IdentityId, Vec<f64>)],
+    config: &ComparisonConfig,
+    threads: usize,
+    token: Option<&CancelToken>,
+) -> (PairwiseDistances, bool) {
     let mut kept: Vec<(IdentityId, &[f64])> = series
         .iter()
         .filter(|(_, s)| s.len() >= config.min_series_len.max(1))
@@ -287,13 +328,16 @@ fn compare_with_threads(
     kept.sort_by_key(|(id, _)| *id);
     quarantined.sort_unstable();
     if kept.len() < 2 {
-        return PairwiseDistances {
-            ids: kept.into_iter().map(|(id, _)| id).collect(),
-            normalized: Vec::new(),
-            raw: Vec::new(),
-            quarantined,
-            pairs_skipped: 0,
-        };
+        return (
+            PairwiseDistances {
+                ids: kept.into_iter().map(|(id, _)| id).collect(),
+                normalized: Vec::new(),
+                raw: Vec::new(),
+                quarantined,
+                pairs_skipped: 0,
+            },
+            true,
+        );
     }
 
     // Without Eq. 7 the series go into the kernels as-is — borrow them
@@ -316,36 +360,38 @@ fn compare_with_threads(
             pairs.push((i as u32, j as u32));
         }
     }
-    let mut raw = vec![0.0f64; pairs.len()];
+    // A cancellable sweep pre-fills with NaN so abandoned pairs are
+    // visibly skipped; the uncancellable path keeps its historical zero
+    // prefill (every slot is written anyway).
+    let prefill = if token.is_some() { f64::NAN } else { 0.0 };
+    let mut raw = vec![prefill; pairs.len()];
 
     // The measure is dispatched once, outside the pair loop; each arm
     // hands a monomorphised kernel to the branch-free fill below.
-    match config.measure {
-        DistanceMeasure::FastDtw { radius } => {
-            fill_pairs(
-                &mut raw,
-                &pairs,
-                &prepared,
-                config,
-                threads,
-                |a, b, _, s| fast_dtw_with_scratch(a, b, radius, s),
-            );
-        }
+    let completed = match config.measure {
+        DistanceMeasure::FastDtw { radius } => fill_pairs(
+            &mut raw,
+            &pairs,
+            &prepared,
+            config,
+            threads,
+            token,
+            |a, b, _, s| fast_dtw_with_scratch(a, b, radius, s),
+        ),
         DistanceMeasure::BandedDtw { band_fraction } => {
             match config.effective_prune_threshold() {
-                None => {
-                    fill_pairs(
-                        &mut raw,
-                        &pairs,
-                        &prepared,
-                        config,
-                        threads,
-                        |a, b, max_len, s| {
-                            let band = band_width(max_len, band_fraction);
-                            dtw_banded_with_scratch(a, b, band, s)
-                        },
-                    );
-                }
+                None => fill_pairs(
+                    &mut raw,
+                    &pairs,
+                    &prepared,
+                    config,
+                    threads,
+                    token,
+                    |a, b, max_len, s| {
+                        let band = band_width(max_len, band_fraction);
+                        dtw_banded_with_scratch(a, b, band, s)
+                    },
+                ),
                 Some(t) => {
                     let per_step = config.per_step_cost;
                     fill_pairs(
@@ -354,6 +400,7 @@ fn compare_with_threads(
                         &prepared,
                         config,
                         threads,
+                        token,
                         move |a, b, max_len, s| {
                             let band = band_width(max_len, band_fraction);
                             // The threshold is in reported-distance units;
@@ -367,51 +414,57 @@ fn compare_with_threads(
                                 dtw_banded_prunable_with_scratch(a, b, band, t_raw, s).value()
                             }
                         },
-                    );
+                    )
                 }
             }
         }
-        DistanceMeasure::ExactDtw => {
-            fill_pairs(
-                &mut raw,
-                &pairs,
-                &prepared,
-                config,
-                threads,
-                |a, b, _, s| dtw_with_scratch(a, b, s),
-            );
-        }
-        DistanceMeasure::TruncatedEuclidean => {
-            fill_pairs(
-                &mut raw,
-                &pairs,
-                &prepared,
-                config,
-                threads,
-                |a, b, _, _| {
-                    let m = a.len().min(b.len());
-                    squared_euclidean(&a[..m], &b[..m])
-                },
-            );
-        }
-    }
+        DistanceMeasure::ExactDtw => fill_pairs(
+            &mut raw,
+            &pairs,
+            &prepared,
+            config,
+            threads,
+            token,
+            |a, b, _, s| dtw_with_scratch(a, b, s),
+        ),
+        DistanceMeasure::TruncatedEuclidean => fill_pairs(
+            &mut raw,
+            &pairs,
+            &prepared,
+            config,
+            threads,
+            token,
+            |a, b, _, _| {
+                let m = a.len().min(b.len());
+                squared_euclidean(&a[..m], &b[..m])
+            },
+        ),
+    };
+    let complete = completed == pairs.len();
 
-    let normalized = if config.min_max_normalize {
+    let normalized = if config.min_max_normalize && complete {
         min_max_normalize(&raw)
     } else {
+        // Partial sweeps skip Eq. 8: the window maximum is unknowable
+        // with pairs missing, and one NaN sentinel would poison every
+        // normalised distance.
         raw.clone()
     };
     // Finite input series can still overflow to a non-finite distance
-    // (e.g. z-score on values near f64::MAX); count those pairs so the
-    // verdict reports the skip instead of silently ignoring it.
+    // (e.g. z-score on values near f64::MAX); count those pairs — and
+    // any NaN sentinels a cancelled sweep left behind — so the verdict
+    // reports the skip instead of silently ignoring it.
     let pairs_skipped = normalized.iter().filter(|d| !d.is_finite()).count() as u64;
-    PairwiseDistances {
-        ids: kept.into_iter().map(|(id, _)| id).collect(),
-        normalized,
-        raw,
-        quarantined,
-        pairs_skipped,
-    }
+    (
+        PairwiseDistances {
+            ids: kept.into_iter().map(|(id, _)| id).collect(),
+            normalized,
+            raw,
+            quarantined,
+            pairs_skipped,
+        },
+        complete,
+    )
 }
 
 /// Sakoe–Chiba half-width for a pair whose longer series has `max_len`
@@ -425,19 +478,23 @@ fn band_width(max_len: usize, band_fraction: f64) -> usize {
 /// Fills the upper-triangle `raw` slots by evaluating `kernel` on every
 /// pair, in parallel over `threads` workers with one [`DtwScratch`] per
 /// worker. Slot `k` depends only on pair `k`, so results are bit-identical
-/// to the `threads == 1` sequential loop.
+/// to the `threads == 1` sequential loop. With a cancellation token the
+/// workers stop claiming pairs once it fires; the return value is the
+/// number of pairs actually computed (always `pairs.len()` without one).
 fn fill_pairs<K>(
     raw: &mut [f64],
     pairs: &[(u32, u32)],
     prepared: &[Cow<'_, [f64]>],
     config: &ComparisonConfig,
     threads: usize,
+    token: Option<&CancelToken>,
     kernel: K,
-) where
+) -> usize
+where
     K: Fn(&[f64], &[f64], usize, &mut DtwScratch) -> f64 + Sync,
 {
     let per_step = config.per_step_cost;
-    par_fill_with_threads(raw, threads, DtwScratch::new, |k, slot, scratch| {
+    let item = |k: usize, slot: &mut f64, scratch: &mut DtwScratch| {
         let (i, j) = pairs[k];
         let a = prepared[i as usize].as_ref();
         let b = prepared[j as usize].as_ref();
@@ -447,7 +504,14 @@ fn fill_pairs<K>(
             d /= max_len as f64;
         }
         *slot = d;
-    });
+    };
+    match token {
+        None => {
+            par_fill_with_threads(raw, threads, DtwScratch::new, item);
+            pairs.len()
+        }
+        Some(token) => par_fill_with_cancel(raw, threads, token, DtwScratch::new, item),
+    }
 }
 
 #[cfg(test)]
@@ -696,6 +760,86 @@ mod tests {
             );
             assert_eq!(without, with, "pruning leaked into {base:?}");
         }
+    }
+
+    #[test]
+    fn unfired_token_matches_plain_compare_bitwise() {
+        let series = population(16);
+        for config in [
+            ComparisonConfig::default(),
+            ComparisonConfig::paper_strict(),
+            ComparisonConfig {
+                prune_threshold: Some(0.05),
+                ..ComparisonConfig::default()
+            },
+        ] {
+            let plain = compare(&series, &config);
+            let (cancellable, complete) =
+                compare_cancellable(&series, &config, &CancelToken::manual());
+            assert!(complete);
+            assert!(cancellable.degradation().deadline_misses == 0);
+            assert_eq!(plain, cancellable, "unfired token changed results");
+        }
+    }
+
+    #[test]
+    fn cancelled_sweep_flags_partial_output() {
+        let series = population(16); // 120 pairs
+        let token = CancelToken::after_items(30);
+        let (pd, complete) =
+            compare_cancellable_with_threads(&series, &ComparisonConfig::default(), 1, &token);
+        assert!(!complete);
+        assert!(token.is_cancelled());
+        // 120 - 30 abandoned pairs, all accounted as skipped.
+        assert_eq!(pd.degradation().pairs_skipped, 90);
+        // Single-threaded: the computed prefix is exact and matches the
+        // full sweep bit-for-bit; the rest is the NaN sentinel.
+        let full = compare(&series, &ComparisonConfig::default());
+        let mut k = 0;
+        for i in 0..pd.len() {
+            for j in (i + 1)..pd.len() {
+                if k < 30 {
+                    assert_eq!(
+                        pd.raw_between(i, j).to_bits(),
+                        full.raw_between(i, j).to_bits()
+                    );
+                } else {
+                    assert!(pd.raw_between(i, j).is_nan());
+                }
+                k += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_sweep_skips_min_max() {
+        // With pairs missing, Eq. 8 cannot run: a partial paper-strict
+        // sweep reports raw distances instead of poisoning the window.
+        let series = population(12); // 66 pairs
+        let token = CancelToken::after_items(10);
+        let (pd, complete) =
+            compare_cancellable_with_threads(&series, &ComparisonConfig::paper_strict(), 1, &token);
+        assert!(!complete);
+        let computed: Vec<f64> = pd
+            .iter()
+            .map(|(_, _, d)| d)
+            .filter(|d| d.is_finite())
+            .collect();
+        assert_eq!(computed.len(), 10);
+        // Raw DTW costs, not min–max — nothing is pinned to [0, 1]'s
+        // endpoints the way a 66-pair min–max window would be.
+        assert!(computed.iter().all(|&d| d >= 0.0));
+    }
+
+    #[test]
+    fn pre_cancelled_sweep_skips_everything() {
+        let series = population(8); // 28 pairs
+        let token = CancelToken::manual();
+        token.cancel();
+        let (pd, complete) = compare_cancellable(&series, &ComparisonConfig::default(), &token);
+        assert!(!complete);
+        assert_eq!(pd.degradation().pairs_skipped, 28);
+        assert_eq!(pd.len(), 8, "identities still listed");
     }
 
     #[test]

@@ -67,7 +67,8 @@ pub mod training;
 
 pub use collector::Collector;
 pub use comparator::{
-    compare, compare_sequential, ComparisonConfig, DistanceMeasure, PairwiseDistances,
+    compare, compare_cancellable, compare_cancellable_with_threads, compare_sequential,
+    ComparisonConfig, DistanceMeasure, PairwiseDistances,
 };
 pub use confirm::{confirm, SybilVerdict};
 pub use detector::VoiceprintDetector;

@@ -13,8 +13,13 @@ use core::fmt;
 use crate::IdentityId;
 
 /// Structured error for rejected input anywhere in the collection →
-/// comparison → confirmation → simulation pipeline.
+/// comparison → confirmation → simulation → streaming-runtime pipeline.
+///
+/// Marked `#[non_exhaustive]`: new operational-failure variants (runtime
+/// checkpointing, circuit breaking) are added as the pipeline grows, so
+/// downstream matches must carry a wildcard arm.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub enum VpError {
     /// A beacon carried a non-finite timestamp.
     NonFiniteTime {
@@ -39,6 +44,27 @@ pub enum VpError {
         /// What the layer objected to.
         what: &'static str,
     },
+    /// A checkpoint snapshot failed structural validation (bad magic,
+    /// truncated payload, checksum mismatch).
+    CheckpointCorrupt {
+        /// What the decoder objected to.
+        reason: &'static str,
+    },
+    /// A checkpoint snapshot was written by an incompatible format
+    /// version.
+    CheckpointVersion {
+        /// Version found in the snapshot header.
+        found: u16,
+        /// Version this build reads and writes.
+        expected: u16,
+    },
+    /// The streaming runtime's circuit breaker is open: too many
+    /// consecutive detection rounds panicked, so the runtime refuses
+    /// further rounds until it is explicitly reset.
+    CircuitOpen {
+        /// Consecutive failures that tripped the breaker.
+        failures: u32,
+    },
 }
 
 impl fmt::Display for VpError {
@@ -52,6 +78,21 @@ impl fmt::Display for VpError {
             }
             VpError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
             VpError::Layer { layer, what } => write!(f, "{layer} layer rejected input: {what}"),
+            VpError::CheckpointCorrupt { reason } => {
+                write!(f, "corrupt checkpoint: {reason}")
+            }
+            VpError::CheckpointVersion { found, expected } => {
+                write!(
+                    f,
+                    "checkpoint version {found} unsupported (expected {expected})"
+                )
+            }
+            VpError::CircuitOpen { failures } => {
+                write!(
+                    f,
+                    "circuit breaker open after {failures} consecutive failures"
+                )
+            }
         }
     }
 }
@@ -66,11 +107,16 @@ impl std::error::Error for VpError {}
 ///   comparison because their collected series contained non-finite
 ///   values despite ingest filtering (e.g. a caller bypassed the gate,
 ///   or normalisation overflowed on extreme finite input).
-/// * `pairs_skipped` — pairwise distances that came out non-finite and
-///   were therefore excluded from threshold confirmation.
+/// * `pairs_skipped` — pairwise distances that came out non-finite (or
+///   were abandoned by a deadline-cancelled sweep) and were therefore
+///   excluded from threshold confirmation.
+/// * `samples_shed` — beacons dropped by the streaming runtime's bounded
+///   ingest queue under overload (backpressure load shedding).
+/// * `deadline_misses` — comparison sweeps that exceeded their time
+///   budget and returned a partial verdict.
 ///
 /// All-zero counters (see [`DegradationCounters::is_clean`]) mean the
-/// verdict was computed on pristine input.
+/// verdict was computed on pristine input at full fidelity.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct DegradationCounters {
     /// Beacons rejected at ingest.
@@ -79,12 +125,17 @@ pub struct DegradationCounters {
     pub identities_quarantined: u64,
     /// Pairwise distances excluded from confirmation.
     pub pairs_skipped: u64,
+    /// Beacons shed by the bounded ingest queue under overload.
+    pub samples_shed: u64,
+    /// Comparison sweeps cut short by their deadline budget.
+    pub deadline_misses: u64,
 }
 
 impl DegradationCounters {
-    /// True when nothing was rejected, quarantined, or skipped.
+    /// True when nothing was rejected, quarantined, skipped, shed, or cut
+    /// short by a deadline.
     pub fn is_clean(&self) -> bool {
-        self.samples_rejected == 0 && self.identities_quarantined == 0 && self.pairs_skipped == 0
+        *self == DegradationCounters::default()
     }
 
     /// Accumulate another set of counters into this one.
@@ -92,6 +143,8 @@ impl DegradationCounters {
         self.samples_rejected += other.samples_rejected;
         self.identities_quarantined += other.identities_quarantined;
         self.pairs_skipped += other.pairs_skipped;
+        self.samples_shed += other.samples_shed;
+        self.deadline_misses += other.deadline_misses;
     }
 }
 
@@ -99,8 +152,13 @@ impl fmt::Display for DegradationCounters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} samples rejected, {} identities quarantined, {} pairs skipped",
-            self.samples_rejected, self.identities_quarantined, self.pairs_skipped
+            "{} samples rejected, {} identities quarantined, {} pairs skipped, \
+             {} samples shed, {} deadline misses",
+            self.samples_rejected,
+            self.identities_quarantined,
+            self.pairs_skipped,
+            self.samples_shed,
+            self.deadline_misses
         )
     }
 }
@@ -129,6 +187,14 @@ mod tests {
                 pairs_skipped: 1,
                 ..Default::default()
             },
+            DegradationCounters {
+                samples_shed: 1,
+                ..Default::default()
+            },
+            DegradationCounters {
+                deadline_misses: 1,
+                ..Default::default()
+            },
         ] {
             assert!(!c.is_clean(), "{c}");
         }
@@ -140,11 +206,15 @@ mod tests {
             samples_rejected: 1,
             identities_quarantined: 2,
             pairs_skipped: 3,
+            samples_shed: 4,
+            deadline_misses: 5,
         };
         a.merge(&DegradationCounters {
             samples_rejected: 10,
             identities_quarantined: 20,
             pairs_skipped: 30,
+            samples_shed: 40,
+            deadline_misses: 50,
         });
         assert_eq!(
             a,
@@ -152,6 +222,8 @@ mod tests {
                 samples_rejected: 11,
                 identities_quarantined: 22,
                 pairs_skipped: 33,
+                samples_shed: 44,
+                deadline_misses: 55,
             }
         );
     }
@@ -169,5 +241,60 @@ mod tests {
             what: "unsorted packets",
         };
         assert!(e.to_string().contains("mac"));
+    }
+
+    #[test]
+    fn every_variant_displays_its_payload_distinctly() {
+        // Round-trip contract: each variant's Display carries enough of
+        // its payload that operators (and log-based tests) can tell the
+        // variants apart without matching on the enum — which, with
+        // `#[non_exhaustive]`, downstream crates cannot do exhaustively.
+        let variants: Vec<(VpError, &[&str])> = vec![
+            (
+                VpError::NonFiniteTime {
+                    identity: 11,
+                    time_s: f64::INFINITY,
+                },
+                &["11", "inf"],
+            ),
+            (
+                VpError::NonFiniteRssi {
+                    identity: 12,
+                    rssi_dbm: f64::NAN,
+                },
+                &["12", "NaN"],
+            ),
+            (VpError::InvalidConfig("bad density"), &["bad density"]),
+            (
+                VpError::Layer {
+                    layer: "mac",
+                    what: "empty batch",
+                },
+                &["mac", "empty batch"],
+            ),
+            (
+                VpError::CheckpointCorrupt {
+                    reason: "checksum mismatch",
+                },
+                &["checksum mismatch"],
+            ),
+            (
+                VpError::CheckpointVersion {
+                    found: 9,
+                    expected: 1,
+                },
+                &["9", "1"],
+            ),
+            (VpError::CircuitOpen { failures: 5 }, &["5"]),
+        ];
+        let mut rendered: Vec<String> = Vec::new();
+        for (e, needles) in &variants {
+            let s = e.to_string();
+            for needle in *needles {
+                assert!(s.contains(needle), "{e:?} display {s:?} lacks {needle:?}");
+            }
+            assert!(!rendered.contains(&s), "duplicate display {s:?}");
+            rendered.push(s);
+        }
     }
 }

@@ -28,6 +28,9 @@
 #![forbid(unsafe_code)]
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 thread_local! {
     /// `true` while the current thread is a worker inside a parallel
@@ -59,6 +62,110 @@ pub fn max_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Cooperative cancellation for parallel sweeps.
+///
+/// A token is shared (cheaply, via `Arc`) between the party that imposes
+/// a budget and the workers that honour it. Workers call
+/// [`CancelToken::should_stop`] between work items; once it reports
+/// `true` they finish nothing further. Three budget shapes cover the
+/// runtime's needs:
+///
+/// * [`CancelToken::manual`] — never fires until [`CancelToken::cancel`]
+///   is called (external abort).
+/// * [`CancelToken::deadline`] — fires once the wall clock passes the
+///   deadline (production sweep budgets).
+/// * [`CancelToken::after_items`] — fires after `n` work items have been
+///   claimed across all workers (a deterministic compute budget, used by
+///   tests and by throughput benchmarks that must not depend on machine
+///   speed).
+///
+/// Cancellation is *cooperative and monotonic*: once fired, the token
+/// stays fired. Which in-flight items complete after the trigger is
+/// scheduling-dependent — callers must treat a cancelled sweep's output
+/// as partial and flag it, never diff it bitwise.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Debug)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+    /// Remaining item budget; `u64::MAX` means unlimited.
+    items_left: AtomicU64,
+}
+
+impl CancelToken {
+    fn with(deadline: Option<Instant>, items: u64) -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                deadline,
+                items_left: AtomicU64::new(items),
+            }),
+        }
+    }
+
+    /// A token that only fires on an explicit [`CancelToken::cancel`].
+    pub fn manual() -> Self {
+        Self::with(None, u64::MAX)
+    }
+
+    /// A token that fires once `budget` wall-clock time has elapsed from
+    /// now (checked lazily, at each [`CancelToken::should_stop`] call).
+    pub fn deadline(budget: Duration) -> Self {
+        Self::with(Instant::now().checked_add(budget), u64::MAX)
+    }
+
+    /// A token that fires after `n` work items have been claimed, total,
+    /// across every worker consulting it. Deterministic: independent of
+    /// machine speed (though *which* items land inside the budget still
+    /// depends on scheduling unless the sweep is single-threaded).
+    pub fn after_items(n: u64) -> Self {
+        Self::with(None, n)
+    }
+
+    /// Fires the token; idempotent.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True once the token has fired. Does not consume item budget.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Claims one work item against the budget; returns `true` when the
+    /// caller must stop *instead of* processing the item.
+    pub fn should_stop(&self) -> bool {
+        if self.is_cancelled() {
+            return true;
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                self.cancel();
+                return true;
+            }
+        }
+        if self.inner.items_left.load(Ordering::Relaxed) != u64::MAX {
+            // `fetch_update` keeps the budget exact under contention.
+            let claimed = self
+                .inner
+                .items_left
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |left| {
+                    left.checked_sub(1)
+                })
+                .is_ok();
+            if !claimed {
+                self.cancel();
+                return true;
+            }
+        }
+        false
+    }
 }
 
 /// Fills every slot of `slots` by calling `f(k, &mut slots[k], &mut
@@ -123,6 +230,39 @@ pub fn par_fill_with_min_fanout<T, S, FI, F>(
         return;
     }
     backend::fill(slots, threads, &init, &f);
+}
+
+/// Cancellable form of [`par_fill_with_threads`]: before each item, every
+/// worker consults `token` and stops claiming new items once it fires.
+/// Returns the number of slots actually computed; slots that were never
+/// reached keep whatever value they held on entry (callers pre-fill with
+/// a sentinel and treat the sweep as partial when the count is short).
+///
+/// With a token that never fires the result — values *and* count — is
+/// identical to [`par_fill_with_threads`]. A fired token leaves a
+/// scheduling-dependent subset computed; only the single-threaded path
+/// guarantees the computed prefix is `0..count`.
+pub fn par_fill_with_cancel<T, S, FI, F>(
+    slots: &mut [T],
+    threads: usize,
+    token: &CancelToken,
+    init: FI,
+    f: F,
+) -> usize
+where
+    T: Send,
+    FI: Fn() -> S + Sync,
+    F: Fn(usize, &mut T, &mut S) + Sync,
+{
+    let completed = AtomicUsize::new(0);
+    par_fill_with_threads(slots, threads, &init, |k, slot, scratch| {
+        if token.should_stop() {
+            return;
+        }
+        f(k, slot, scratch);
+        completed.fetch_add(1, Ordering::Relaxed);
+    });
+    completed.into_inner()
 }
 
 #[cfg(not(feature = "rayon"))]
@@ -360,6 +500,93 @@ mod tests {
     #[test]
     fn max_threads_is_positive() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn unfired_token_is_invisible() {
+        // A manual token that never fires must leave the cancellable fill
+        // bit-identical to the plain one, with a full completion count.
+        let f = |k: usize| ((k as f64) * 0.311).cos() * (k as f64 + 1.0);
+        let mut plain = vec![0.0f64; 257];
+        par_fill_with_threads(&mut plain, 4, || (), |k, s, ()| *s = f(k));
+        for threads in [1, 4] {
+            let token = CancelToken::manual();
+            let mut cancellable = vec![0.0f64; 257];
+            let done = par_fill_with_cancel(
+                &mut cancellable,
+                threads,
+                &token,
+                || (),
+                |k, s, ()| *s = f(k),
+            );
+            assert_eq!(done, 257);
+            assert!(!token.is_cancelled());
+            assert!(plain
+                .iter()
+                .zip(&cancellable)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+    }
+
+    #[test]
+    fn item_budget_is_exact() {
+        // `after_items(n)` claims exactly n items, across any fan-out.
+        for threads in [1, 3, 8] {
+            let token = CancelToken::after_items(40);
+            let mut slots = vec![u32::MAX; 200];
+            let done =
+                par_fill_with_cancel(&mut slots, threads, &token, || (), |k, s, ()| *s = k as u32);
+            assert_eq!(done, 40, "threads={threads}");
+            assert!(token.is_cancelled());
+            // Exactly the computed slots lost their sentinel.
+            let touched = slots.iter().filter(|&&v| v != u32::MAX).count();
+            assert_eq!(touched, 40, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn single_threaded_cancel_leaves_a_clean_prefix() {
+        let token = CancelToken::after_items(10);
+        let mut slots = vec![u32::MAX; 64];
+        let done = par_fill_with_cancel(&mut slots, 1, &token, || (), |k, s, ()| *s = k as u32);
+        assert_eq!(done, 10);
+        for (k, &v) in slots.iter().enumerate() {
+            if k < 10 {
+                assert_eq!(v, k as u32);
+            } else {
+                assert_eq!(v, u32::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_computes_nothing() {
+        let token = CancelToken::manual();
+        token.cancel();
+        let mut slots = vec![u32::MAX; 64];
+        let done = par_fill_with_cancel(&mut slots, 4, &token, || (), |k, s, ()| *s = k as u32);
+        assert_eq!(done, 0);
+        assert!(slots.iter().all(|&v| v == u32::MAX));
+    }
+
+    #[test]
+    fn elapsed_deadline_fires() {
+        // A zero budget has already expired by the first check; a
+        // generous one never fires within the test.
+        let expired = CancelToken::deadline(Duration::ZERO);
+        assert!(expired.should_stop());
+        assert!(expired.is_cancelled());
+        let generous = CancelToken::deadline(Duration::from_secs(3600));
+        assert!(!generous.should_stop());
+    }
+
+    #[test]
+    fn cancelled_clone_is_shared() {
+        let token = CancelToken::after_items(1);
+        let clone = token.clone();
+        assert!(!token.should_stop()); // claims the single item
+        assert!(clone.should_stop());
+        assert!(token.is_cancelled() && clone.is_cancelled());
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Versioned, checksummed checkpoint codec.
+//!
+//! Checkpoints are the runtime's crash-recovery substrate, so the format
+//! is deliberately boring: a fixed magic, a little-endian version, the
+//! payload, and an FNV-1a-64 checksum over everything before it. No
+//! external serialization crate — the runtime writes primitive fields
+//! through [`Writer`] and reads them back through [`Reader`], with `f64`
+//! round-tripped through [`f64::to_bits`] so restored state is
+//! *bit-identical*, not merely approximately equal.
+//!
+//! Decode failures surface as [`VpError::CheckpointCorrupt`] (bad magic,
+//! truncation, checksum mismatch) or [`VpError::CheckpointVersion`]
+//! (format written by an incompatible build), never as a panic: a
+//! corrupted snapshot on disk must not take down the restarted process
+//! that tries to read it.
+
+use vp_fault::VpError;
+
+/// Leading magic bytes of every checkpoint.
+pub const MAGIC: [u8; 4] = *b"VPCK";
+
+/// Checkpoint format version written (and required) by this build.
+pub const VERSION: u16 = 1;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Append-only primitive encoder for checkpoint payloads.
+#[derive(Debug, Default)]
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub(crate) fn new() -> Self {
+        Writer::default()
+    }
+
+    pub(crate) fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    pub(crate) fn into_payload(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor over a checkpoint payload; every underrun is a structured
+/// corruption error, never a slice panic.
+#[derive(Debug)]
+pub(crate) struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], VpError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let s = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(VpError::CheckpointCorrupt {
+                reason: "truncated payload",
+            }),
+        }
+    }
+
+    pub(crate) fn get_u8(&mut self) -> Result<u8, VpError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn get_u32(&mut self) -> Result<u32, VpError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    pub(crate) fn get_u64(&mut self) -> Result<u64, VpError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    pub(crate) fn get_f64(&mut self) -> Result<f64, VpError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Fails unless every payload byte was consumed — catches payloads
+    /// whose length fields disagree with their actual content.
+    pub(crate) fn finish(self) -> Result<(), VpError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(VpError::CheckpointCorrupt {
+                reason: "trailing bytes after payload",
+            })
+        }
+    }
+}
+
+/// Frames a payload as `MAGIC ∥ VERSION ∥ payload ∥ fnv1a(prefix)`.
+pub(crate) fn seal(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 2 + payload.len() + 8);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(payload);
+    let sum = fnv1a(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Validates framing and returns the payload slice.
+///
+/// # Errors
+///
+/// [`VpError::CheckpointCorrupt`] on bad magic, truncation, or checksum
+/// mismatch; [`VpError::CheckpointVersion`] when the header names a
+/// version this build does not read.
+pub(crate) fn open(bytes: &[u8]) -> Result<&[u8], VpError> {
+    const HEADER: usize = 4 + 2;
+    const TRAILER: usize = 8;
+    if bytes.len() < HEADER + TRAILER {
+        return Err(VpError::CheckpointCorrupt {
+            reason: "shorter than header + checksum",
+        });
+    }
+    if bytes[..4] != MAGIC {
+        return Err(VpError::CheckpointCorrupt {
+            reason: "bad magic",
+        });
+    }
+    let found = u16::from_le_bytes(bytes[4..6].try_into().expect("len 2"));
+    if found != VERSION {
+        return Err(VpError::CheckpointVersion {
+            found,
+            expected: VERSION,
+        });
+    }
+    let (prefix, trailer) = bytes.split_at(bytes.len() - TRAILER);
+    let stored = u64::from_le_bytes(trailer.try_into().expect("len 8"));
+    if fnv1a(prefix) != stored {
+        return Err(VpError::CheckpointCorrupt {
+            reason: "checksum mismatch",
+        });
+    }
+    Ok(&prefix[HEADER..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xDEADBEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_f64(-72.5);
+        w.put_f64(f64::NAN);
+        seal(&w.into_payload())
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let framed = sample();
+        let payload = open(&framed).expect("valid frame");
+        let mut r = Reader::new(payload);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-72.5f64).to_bits());
+        // Even NaN survives with its exact bit pattern.
+        assert_eq!(r.get_f64().unwrap().to_bits(), f64::NAN.to_bits());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn any_flipped_byte_is_detected() {
+        let framed = sample();
+        for k in 0..framed.len() {
+            let mut bad = framed.clone();
+            bad[k] ^= 0x01;
+            let err = open(&bad).expect_err("flip must be caught");
+            assert!(
+                matches!(
+                    err,
+                    VpError::CheckpointCorrupt { .. } | VpError::CheckpointVersion { .. }
+                ),
+                "byte {k}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn version_bump_is_a_distinct_error() {
+        let mut framed = sample();
+        framed[4..6].copy_from_slice(&2u16.to_le_bytes());
+        // Re-seal the checksum so only the version differs.
+        let len = framed.len();
+        let sum = fnv1a(&framed[..len - 8]);
+        framed[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            open(&framed).unwrap_err(),
+            VpError::CheckpointVersion {
+                found: 2,
+                expected: VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn truncation_and_underrun_are_structured_errors() {
+        let framed = sample();
+        for cut in 0..framed.len() {
+            assert!(open(&framed[..cut]).is_err(), "cut at {cut}");
+        }
+        let payload = open(&framed).unwrap();
+        let mut r = Reader::new(payload);
+        let _ = r.get_u8().unwrap();
+        // Skip to near the end, then over-read.
+        let _ = r.get_u32().unwrap();
+        let _ = r.get_u64().unwrap();
+        let _ = r.get_f64().unwrap();
+        let _ = r.get_f64().unwrap();
+        assert_eq!(
+            r.get_u64().unwrap_err(),
+            VpError::CheckpointCorrupt {
+                reason: "truncated payload"
+            }
+        );
+    }
+
+    #[test]
+    fn unconsumed_payload_fails_finish() {
+        let mut w = Writer::new();
+        w.put_u64(1);
+        w.put_u64(2);
+        let framed = seal(&w.into_payload());
+        let mut r = Reader::new(open(&framed).unwrap());
+        let _ = r.get_u64().unwrap();
+        assert!(r.finish().is_err());
+    }
+}

@@ -1,0 +1,236 @@
+//! Streaming-runtime configuration: window cadence, queue bounds,
+//! deadline budgets, degradation and supervision policies.
+
+use std::time::Duration;
+
+use voiceprint::{ComparisonConfig, ThresholdPolicy};
+use vp_fault::VpError;
+use vp_sim::ScenarioConfig;
+
+/// Per-round budget for the comparison sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeadlinePolicy {
+    /// No budget: every sweep runs to completion (the batch-parity mode).
+    Unbounded,
+    /// Wall-clock budget per round (production setting).
+    WallClock(Duration),
+    /// Deterministic budget: at most this many pairwise distances per
+    /// round. Independent of machine speed, so tests and benchmarks can
+    /// provoke misses reproducibly.
+    PairBudget(u64),
+}
+
+/// How the runtime trades accuracy for latency under repeated deadline
+/// misses, and how it recovers.
+///
+/// Each degradation level halves the banded-DTW band fraction and enables
+/// threshold-driven lower-bound pruning; every on-time round steps one
+/// level back up (hysteresis), so a runtime pushed to `max_level` regains
+/// full band-width within `max_level` on-time windows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradeConfig {
+    /// Consecutive deadline misses required to step one level down.
+    pub miss_threshold: u32,
+    /// Deepest degradation level (band fraction scaled by `2^-level`).
+    pub max_level: u8,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        // max_level 2 keeps worst-case recovery at two windows — the
+        // overload contract pinned by the storm tests.
+        DegradeConfig {
+            miss_threshold: 1,
+            max_level: 2,
+        }
+    }
+}
+
+/// Supervisor policy for rounds that panic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// Consecutive failed rounds after which the circuit breaker opens
+    /// (no further rounds run until [`crate::StreamingRuntime::reset_circuit`]).
+    pub circuit_breaker_after: u32,
+    /// Cap on the exponential backoff, in detection rounds.
+    pub max_backoff_rounds: u32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            circuit_breaker_after: 3,
+            max_backoff_rounds: 4,
+        }
+    }
+}
+
+/// Full configuration of one [`crate::StreamingRuntime`].
+///
+/// The cadence fields mirror [`ScenarioConfig`] (Table V defaults); use
+/// [`RuntimeConfig::from_scenario`] to guarantee the streaming runtime
+/// evaluates at exactly the batch engine's boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeConfig {
+    /// RSSI collection window, seconds (Table V: 20 s).
+    pub window_s: f64,
+    /// Interval between detection rounds, seconds (Table V: 20 s).
+    pub detection_period_s: f64,
+    /// Time of the first detection round, seconds (the batch engine's
+    /// first boundary is at `observation_time_s`).
+    pub first_detection_s: f64,
+    /// Minimum samples for an identity's series to enter comparison.
+    pub min_samples_per_series: usize,
+    /// Density estimation period, seconds (Eq. 9 bucketing).
+    pub density_period_s: f64,
+    /// `Dist_max` assumed by the density estimate, metres.
+    pub assumed_max_range_m: f64,
+    /// Bounded ingest-queue capacity, beacons. When full, the oldest
+    /// sample of the densest queued identity is shed per arrival.
+    pub queue_capacity: usize,
+    /// Seed for the shedding tie-break and restart jitter hashes. Pure
+    /// hashing — no RNG state — so checkpoints need not serialize a
+    /// generator.
+    pub seed: u64,
+    /// Per-round comparison budget.
+    pub deadline: DeadlinePolicy,
+    /// Degradation/recovery policy under repeated deadline misses.
+    pub degrade: DegradeConfig,
+    /// Panic isolation, backoff and circuit-breaker policy.
+    pub supervisor: SupervisorConfig,
+    /// Comparison-phase configuration (level-0 settings; degradation
+    /// narrows the band on top of this).
+    pub comparison: ComparisonConfig,
+    /// Confirmation threshold policy.
+    pub policy: ThresholdPolicy,
+}
+
+impl RuntimeConfig {
+    /// Paper-default cadence (20 s window and period, first round at
+    /// 20 s) with the reproduction's calibrated comparison pipeline, an
+    /// unbounded deadline, and a queue sized for a nominal window.
+    pub fn paper_default(policy: ThresholdPolicy) -> Self {
+        RuntimeConfig {
+            window_s: 20.0,
+            detection_period_s: 20.0,
+            first_detection_s: 20.0,
+            min_samples_per_series: 100,
+            density_period_s: 10.0,
+            assumed_max_range_m: 400.0,
+            queue_capacity: 16 * 1024,
+            seed: 1,
+            deadline: DeadlinePolicy::Unbounded,
+            degrade: DegradeConfig::default(),
+            supervisor: SupervisorConfig::default(),
+            comparison: ComparisonConfig::default(),
+            policy,
+        }
+    }
+
+    /// A runtime whose boundaries, window and density bucketing match the
+    /// given scenario exactly — the configuration under which streaming
+    /// verdicts are bit-identical to the batch engine's.
+    pub fn from_scenario(scenario: &ScenarioConfig, policy: ThresholdPolicy) -> Self {
+        RuntimeConfig {
+            window_s: scenario.observation_time_s,
+            detection_period_s: scenario.detection_period_s,
+            first_detection_s: scenario.observation_time_s,
+            min_samples_per_series: scenario.min_samples_per_series,
+            density_period_s: scenario.density_estimate_period_s,
+            assumed_max_range_m: scenario.assumed_max_range_m,
+            seed: scenario.seed,
+            ..RuntimeConfig::paper_default(policy)
+        }
+    }
+
+    /// Validates cross-parameter constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VpError::InvalidConfig`] naming the first violation.
+    // Negated comparisons are deliberate: NaN must fail every check.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn validate(&self) -> Result<(), VpError> {
+        if !(self.window_s > 0.0) {
+            return Err(VpError::InvalidConfig("window must be positive"));
+        }
+        if !(self.detection_period_s > 0.0) {
+            return Err(VpError::InvalidConfig("detection period must be positive"));
+        }
+        if !(self.first_detection_s > 0.0) {
+            return Err(VpError::InvalidConfig("first detection must be positive"));
+        }
+        if !(self.density_period_s > 0.0) {
+            return Err(VpError::InvalidConfig("density period must be positive"));
+        }
+        if !(self.assumed_max_range_m > 0.0) {
+            return Err(VpError::InvalidConfig("max range must be positive"));
+        }
+        if self.queue_capacity == 0 {
+            return Err(VpError::InvalidConfig("queue capacity must be nonzero"));
+        }
+        if self.supervisor.circuit_breaker_after == 0 {
+            return Err(VpError::InvalidConfig(
+                "circuit breaker threshold must be nonzero",
+            ));
+        }
+        match self.deadline {
+            DeadlinePolicy::WallClock(d) if d.is_zero() => {
+                Err(VpError::InvalidConfig("wall-clock budget must be nonzero"))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid_and_matches_table_v_cadence() {
+        let c = RuntimeConfig::paper_default(ThresholdPolicy::paper_simulation());
+        assert!(c.validate().is_ok());
+        assert_eq!(c.window_s, 20.0);
+        assert_eq!(c.detection_period_s, 20.0);
+        assert_eq!(c.first_detection_s, 20.0);
+        assert_eq!(c.min_samples_per_series, 100);
+    }
+
+    #[test]
+    fn from_scenario_copies_the_cadence() {
+        let sc = ScenarioConfig::builder()
+            .observation_time_s(10.0)
+            .detection_period_s(5.0)
+            .min_samples_per_series(20)
+            .seed(77)
+            .build();
+        let c = RuntimeConfig::from_scenario(&sc, ThresholdPolicy::Constant(0.05));
+        assert_eq!(c.window_s, 10.0);
+        assert_eq!(c.detection_period_s, 5.0);
+        assert_eq!(c.first_detection_s, 10.0);
+        assert_eq!(c.min_samples_per_series, 20);
+        assert_eq!(c.density_period_s, sc.density_estimate_period_s);
+        assert_eq!(c.seed, 77);
+    }
+
+    #[test]
+    fn validation_rejects_each_degenerate_field() {
+        let good = RuntimeConfig::paper_default(ThresholdPolicy::Constant(0.05));
+        let mut c = good.clone();
+        c.window_s = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = good.clone();
+        c.detection_period_s = f64::NAN;
+        assert!(c.validate().is_err());
+        let mut c = good.clone();
+        c.queue_capacity = 0;
+        assert!(c.validate().is_err());
+        let mut c = good.clone();
+        c.supervisor.circuit_breaker_after = 0;
+        assert!(c.validate().is_err());
+        let mut c = good;
+        c.deadline = DeadlinePolicy::WallClock(Duration::ZERO);
+        assert!(c.validate().is_err());
+    }
+}

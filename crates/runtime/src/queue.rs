@@ -1,0 +1,278 @@
+//! Bounded beacon ingest queue with priority-aware load shedding.
+//!
+//! The queue sits between the radio and the detection loop. Its capacity
+//! is a hard bound: when a beacon arrives at a full queue, one already-
+//! queued beacon is shed to make room — the **oldest sample of the
+//! densest identity**. A Sybil storm inflates exactly the identities it
+//! fabricates, so densest-first shedding pushes overload damage onto the
+//! attacker's series first while honest neighbours keep their samples.
+//! Ties between equally dense identities break by a seeded hash (then by
+//! id), so shedding is deterministic per seed without any RNG state to
+//! checkpoint.
+
+use std::collections::{HashMap, VecDeque};
+
+use vp_fault::Beacon;
+
+/// One queued beacon: the beacon as decoded plus its true arrival time
+/// (which drives window boundaries; the two differ under clock skew).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueuedBeacon {
+    /// Arrival time at the radio, seconds.
+    pub arrival_s: f64,
+    /// The decoded beacon (possibly carrying a corrupted timestamp).
+    pub beacon: Beacon,
+}
+
+/// Bounded FIFO of decoded beacons with densest-first shedding.
+#[derive(Debug, Clone)]
+pub struct BeaconQueue {
+    capacity: usize,
+    seed: u64,
+    items: VecDeque<QueuedBeacon>,
+    counts: HashMap<u64, usize>,
+    shed: u64,
+}
+
+/// FNV-1a over the id bytes, keyed by the queue seed: the deterministic
+/// tie-break between equally dense identities.
+fn tie_break(seed: u64, id: u64) -> u64 {
+    let mut h = 0xcbf29ce484222325u64 ^ seed;
+    for byte in id.to_le_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl BeaconQueue {
+    /// Creates a queue holding at most `capacity` beacons (floored at 1).
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        BeaconQueue {
+            capacity: capacity.max(1),
+            seed,
+            items: VecDeque::new(),
+            counts: HashMap::new(),
+            shed: 0,
+        }
+    }
+
+    /// Number of queued beacons.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total beacons shed since construction (or restore).
+    pub fn shed_count(&self) -> u64 {
+        self.shed
+    }
+
+    /// Enqueues a beacon, shedding one queued beacon first if the queue
+    /// is full. Returns `true` when the beacon was absorbed without
+    /// shedding, `false` when a shed was required (the new beacon is
+    /// still queued either way).
+    ///
+    /// Arrivals are expected in nondecreasing `arrival_s` order; a beacon
+    /// offered out of order is still kept but only drains once the queue
+    /// head passes it.
+    pub fn offer(&mut self, qb: QueuedBeacon) -> bool {
+        let clean = if self.items.len() >= self.capacity {
+            self.shed_one();
+            false
+        } else {
+            true
+        };
+        *self.counts.entry(qb.beacon.identity).or_insert(0) += 1;
+        self.items.push_back(qb);
+        clean
+    }
+
+    /// Sheds the oldest queued beacon of the densest identity.
+    fn shed_one(&mut self) {
+        let Some((&victim, _)) = self
+            .counts
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .max_by_key(|(&id, &c)| (c, tie_break(self.seed, id), id))
+        else {
+            return;
+        };
+        if let Some(pos) = self.items.iter().position(|q| q.beacon.identity == victim) {
+            self.items.remove(pos);
+            self.decrement(victim);
+            self.shed += 1;
+        }
+    }
+
+    fn decrement(&mut self, id: u64) {
+        if let Some(c) = self.counts.get_mut(&id) {
+            *c -= 1;
+            if *c == 0 {
+                self.counts.remove(&id);
+            }
+        }
+    }
+
+    /// Pops every queued beacon that arrived strictly before `t_s`, in
+    /// queue order. Strict: a beacon arriving exactly at a detection
+    /// boundary belongs to the *next* window, matching the batch engine's
+    /// interval bookkeeping.
+    pub fn drain_until(&mut self, t_s: f64) -> Vec<QueuedBeacon> {
+        let mut out = Vec::new();
+        while let Some(front) = self.items.front() {
+            if front.arrival_s < t_s {
+                let qb = self.items.pop_front().expect("front exists");
+                self.decrement(qb.beacon.identity);
+                out.push(qb);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Serializable view: `(shed count, queued beacons in order)`.
+    pub fn snapshot(&self) -> (u64, Vec<QueuedBeacon>) {
+        (self.shed, self.items.iter().copied().collect())
+    }
+
+    /// Rebuilds a queue from a [`BeaconQueue::snapshot`], under a
+    /// possibly different capacity/seed (configuration is code, state is
+    /// data). Items beyond the new capacity are shed densest-first.
+    pub fn restore(capacity: usize, seed: u64, shed: u64, items: Vec<QueuedBeacon>) -> Self {
+        let mut q = BeaconQueue::new(capacity, seed);
+        q.shed = shed;
+        for qb in items {
+            q.offer(qb);
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qb(id: u64, arrival: f64) -> QueuedBeacon {
+        QueuedBeacon {
+            arrival_s: arrival,
+            beacon: Beacon::new(id, arrival, -70.0),
+        }
+    }
+
+    #[test]
+    fn fifo_below_capacity() {
+        let mut q = BeaconQueue::new(10, 0);
+        for k in 0..5 {
+            assert!(q.offer(qb(k, k as f64)));
+        }
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.shed_count(), 0);
+        let drained = q.drain_until(3.0);
+        assert_eq!(
+            drained
+                .iter()
+                .map(|b| b.beacon.identity)
+                .collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn drain_is_strictly_before_the_boundary() {
+        let mut q = BeaconQueue::new(10, 0);
+        q.offer(qb(1, 19.9));
+        q.offer(qb(2, 20.0));
+        let drained = q.drain_until(20.0);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].beacon.identity, 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn overflow_sheds_oldest_of_densest_identity() {
+        let mut q = BeaconQueue::new(6, 42);
+        // Identity 7 is densest (4 of 6 slots); 1 and 2 hold one each.
+        q.offer(qb(1, 0.0));
+        for k in 0..4 {
+            q.offer(qb(7, 1.0 + k as f64));
+        }
+        q.offer(qb(2, 5.0));
+        assert!(!q.offer(qb(3, 6.0)), "overflow must report the shed");
+        assert_eq!(q.shed_count(), 1);
+        assert_eq!(q.len(), 6);
+        let ids: Vec<u64> = q
+            .drain_until(100.0)
+            .iter()
+            .map(|b| b.beacon.identity)
+            .collect();
+        // 7's oldest sample (arrival 1.0) is gone; everything else intact.
+        assert_eq!(ids, vec![1, 7, 7, 7, 2, 3]);
+    }
+
+    #[test]
+    fn repeated_overflow_keeps_shedding_the_densest() {
+        let mut q = BeaconQueue::new(4, 0);
+        for k in 0..4 {
+            q.offer(qb(9, k as f64));
+        }
+        // Four honest arrivals displace 9's samples one by one.
+        for k in 0..3 {
+            q.offer(qb(k, 10.0 + k as f64));
+        }
+        assert_eq!(q.shed_count(), 3);
+        let remaining: Vec<u64> = q
+            .drain_until(100.0)
+            .iter()
+            .map(|b| b.beacon.identity)
+            .collect();
+        assert_eq!(remaining, vec![9, 0, 1, 2]);
+    }
+
+    #[test]
+    fn equal_density_tie_break_is_seeded_and_deterministic() {
+        let run = |seed: u64| {
+            let mut q = BeaconQueue::new(4, seed);
+            for id in [10, 11, 12, 13] {
+                q.offer(qb(id, id as f64));
+            }
+            q.offer(qb(99, 50.0));
+            q.drain_until(100.0)
+                .iter()
+                .map(|b| b.beacon.identity)
+                .collect::<Vec<_>>()
+        };
+        // Deterministic per seed…
+        assert_eq!(run(1), run(1));
+        assert_eq!(run(2), run(2));
+        // …and the victim actually depends on the seed for at least one
+        // of a handful of seeds (hash tie-break, not a fixed id bias).
+        let baseline = run(0);
+        assert!(
+            (1..8).any(|s| run(s) != baseline),
+            "tie-break ignores the seed"
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let mut q = BeaconQueue::new(4, 3);
+        for id in [5, 5, 6] {
+            q.offer(qb(id, id as f64));
+        }
+        for _ in 0..3 {
+            q.offer(qb(8, 40.0)); // one overflow once full
+        }
+        let (shed, items) = q.snapshot();
+        let mut restored = BeaconQueue::restore(4, 3, shed, items.clone());
+        assert_eq!(restored.shed_count(), q.shed_count());
+        assert_eq!(restored.len(), q.len());
+        assert_eq!(restored.drain_until(100.0), q.drain_until(100.0));
+    }
+}

@@ -1,0 +1,745 @@
+//! The streaming detection engine: bounded ingest, deadline-bounded
+//! sweeps with graceful degradation, supervised rounds, and
+//! checkpoint/restore.
+//!
+//! [`StreamingRuntime`] replays the paper's batch cadence incrementally:
+//! beacons are [`StreamingRuntime::offer`]ed as they arrive, and
+//! [`StreamingRuntime::advance_to`] runs every detection boundary the
+//! clock has passed. At each boundary the queue is drained *strictly
+//! before* the boundary time, the drained beacons feed the collector and
+//! the density estimator exactly as the batch engine feeds its observer
+//! log, and one supervised comparison round produces a
+//! [`RoundOutcome`]. With an [`crate::DeadlinePolicy::Unbounded`] budget
+//! and no overload, the verdict stream is bit-identical to running
+//! [`voiceprint::VoiceprintDetector`] over the batch engine's collected
+//! inputs.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use voiceprint::{
+    compare_cancellable, confirm, Collector, ComparisonConfig, DistanceMeasure, SybilVerdict,
+};
+use vp_fault::{Beacon, DegradationCounters, VpError};
+use vp_par::CancelToken;
+use vp_sim::observations::DensityEstimator;
+use vp_sim::IdentityId;
+
+use crate::checkpoint::{self, Reader, Writer};
+use crate::config::{DeadlinePolicy, RuntimeConfig};
+use crate::queue::{BeaconQueue, QueuedBeacon};
+
+/// One detection round's verdict, with the fidelity it was computed at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowReport {
+    /// Detection-boundary time, seconds.
+    pub time_s: f64,
+    /// The confirmation verdict for this window.
+    pub verdict: SybilVerdict,
+    /// `false` when the comparison sweep was cut short by its deadline
+    /// budget — the verdict covers only the pairs that finished in time.
+    pub complete: bool,
+    /// Degradation level the sweep ran at (0 = full band width).
+    pub degrade_level: u8,
+    /// Density estimate the threshold was evaluated at, vehicles per km.
+    pub density_per_km: f64,
+}
+
+/// What happened at one detection boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoundOutcome {
+    /// The round ran and produced a (possibly partial) verdict.
+    Verdict(WindowReport),
+    /// No identity had enough samples in the window; the batch engine
+    /// emits nothing for such a boundary and neither does the runtime.
+    Skipped {
+        /// Detection-boundary time, seconds.
+        time_s: f64,
+    },
+    /// The round's comparison panicked; the supervisor isolated it.
+    Panicked {
+        /// Detection-boundary time, seconds.
+        time_s: f64,
+        /// Consecutive failed rounds including this one.
+        consecutive_failures: u32,
+    },
+    /// The round was skipped while backing off after a panic.
+    BackedOff {
+        /// Detection-boundary time, seconds.
+        time_s: f64,
+        /// Backoff rounds still to go after this one.
+        remaining_rounds: u32,
+    },
+    /// The circuit breaker is open; no round was attempted.
+    CircuitOpen {
+        /// Detection-boundary time, seconds.
+        time_s: f64,
+        /// Consecutive failures that tripped the breaker.
+        failures: u32,
+    },
+}
+
+/// Long-running streaming Sybil detector (see the [crate docs](crate)).
+pub struct StreamingRuntime {
+    config: RuntimeConfig,
+    collector: Collector,
+    density: DensityEstimator,
+    queue: BeaconQueue,
+    next_detection_s: f64,
+    rounds_run: u64,
+    degrade_level: u8,
+    consecutive_misses: u32,
+    consecutive_failures: u32,
+    backoff_rounds: u32,
+    circuit_open: bool,
+    deadline_misses: u64,
+    quarantined_total: u64,
+    pairs_skipped_total: u64,
+    round_hook: Option<Box<dyn FnMut(u64) + Send>>,
+}
+
+impl std::fmt::Debug for StreamingRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingRuntime")
+            .field("next_detection_s", &self.next_detection_s)
+            .field("rounds_run", &self.rounds_run)
+            .field("degrade_level", &self.degrade_level)
+            .field("queue_len", &self.queue.len())
+            .field("circuit_open", &self.circuit_open)
+            .finish_non_exhaustive()
+    }
+}
+
+fn mix(seed: u64, round: u64) -> u64 {
+    let mut h = 0xcbf29ce484222325u64 ^ seed;
+    for byte in round.to_le_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl StreamingRuntime {
+    /// Creates a runtime from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VpError::InvalidConfig`] when
+    /// [`RuntimeConfig::validate`] rejects the configuration.
+    pub fn new(config: RuntimeConfig) -> Result<Self, VpError> {
+        config.validate()?;
+        Ok(StreamingRuntime {
+            collector: Collector::new(config.window_s),
+            density: DensityEstimator::new(config.density_period_s, config.assumed_max_range_m),
+            queue: BeaconQueue::new(config.queue_capacity, config.seed),
+            next_detection_s: config.first_detection_s,
+            rounds_run: 0,
+            degrade_level: 0,
+            consecutive_misses: 0,
+            consecutive_failures: 0,
+            backoff_rounds: 0,
+            circuit_open: false,
+            deadline_misses: 0,
+            quarantined_total: 0,
+            pairs_skipped_total: 0,
+            round_hook: None,
+            config,
+        })
+    }
+
+    /// Offers one decoded beacon that arrived at `arrival_s`. Returns
+    /// `false` when absorbing it forced the queue to shed a sample.
+    pub fn offer(&mut self, arrival_s: f64, beacon: Beacon) -> bool {
+        self.queue.offer(QueuedBeacon { arrival_s, beacon })
+    }
+
+    /// Advances the runtime clock to `now_s`, running every detection
+    /// boundary passed along the way and returning their outcomes in
+    /// order. Idempotent for a clock that has not moved past a boundary.
+    pub fn advance_to(&mut self, now_s: f64) -> Vec<RoundOutcome> {
+        let mut outcomes = Vec::new();
+        while self.next_detection_s <= now_s + 1e-9 {
+            let t_d = self.next_detection_s;
+            for qb in self.queue.drain_until(t_d) {
+                self.collector
+                    .record(qb.beacon.identity, qb.beacon.time_s, qb.beacon.rssi_dbm);
+                // The batch engine estimates density from every decoded
+                // beacon, even ones the log quarantines.
+                self.density.record(qb.beacon.identity, qb.beacon.time_s);
+            }
+            outcomes.push(self.run_round(t_d));
+            self.collector.prune(t_d);
+            self.next_detection_s += self.config.detection_period_s;
+        }
+        outcomes
+    }
+
+    fn run_round(&mut self, t_d: f64) -> RoundOutcome {
+        self.rounds_run += 1;
+        if self.circuit_open {
+            return RoundOutcome::CircuitOpen {
+                time_s: t_d,
+                failures: self.consecutive_failures,
+            };
+        }
+        if self.backoff_rounds > 0 {
+            self.backoff_rounds -= 1;
+            return RoundOutcome::BackedOff {
+                time_s: t_d,
+                remaining_rounds: self.backoff_rounds,
+            };
+        }
+        let series = self
+            .collector
+            .series_at(t_d, self.config.min_samples_per_series);
+        if series.is_empty() {
+            return RoundOutcome::Skipped { time_s: t_d };
+        }
+        let density = self.density.density_per_km();
+        let ran_level = self.degrade_level;
+        let comparison = self.round_comparison(density);
+        let policy = self.config.policy;
+        let token = match self.config.deadline {
+            DeadlinePolicy::Unbounded => CancelToken::manual(),
+            DeadlinePolicy::WallClock(budget) => CancelToken::deadline(budget),
+            DeadlinePolicy::PairBudget(n) => CancelToken::after_items(n),
+        };
+        let hook = self.round_hook.as_mut();
+        let round_idx = self.rounds_run;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(h) = hook {
+                h(round_idx);
+            }
+            let (distances, complete) = compare_cancellable(&series, &comparison, &token);
+            (confirm(&distances, density, &policy), complete)
+        }));
+        match result {
+            Ok((verdict, complete)) => {
+                self.consecutive_failures = 0;
+                let deg = verdict.degradation();
+                self.quarantined_total += deg.identities_quarantined;
+                self.pairs_skipped_total += deg.pairs_skipped;
+                if complete {
+                    self.consecutive_misses = 0;
+                    self.degrade_level = self.degrade_level.saturating_sub(1);
+                } else {
+                    self.deadline_misses += 1;
+                    self.consecutive_misses += 1;
+                    if self.consecutive_misses >= self.config.degrade.miss_threshold {
+                        self.degrade_level =
+                            (self.degrade_level + 1).min(self.config.degrade.max_level);
+                        self.consecutive_misses = 0;
+                    }
+                }
+                RoundOutcome::Verdict(WindowReport {
+                    time_s: t_d,
+                    verdict,
+                    complete,
+                    degrade_level: ran_level,
+                    density_per_km: density,
+                })
+            }
+            Err(_) => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.supervisor.circuit_breaker_after {
+                    self.circuit_open = true;
+                } else {
+                    let exp = 1u32 << (self.consecutive_failures - 1).min(31);
+                    let jitter = (mix(self.config.seed, self.rounds_run) & 1) as u32;
+                    self.backoff_rounds = (exp.min(self.config.supervisor.max_backoff_rounds) - 1
+                        + jitter)
+                        .min(self.config.supervisor.max_backoff_rounds);
+                }
+                RoundOutcome::Panicked {
+                    time_s: t_d,
+                    consecutive_failures: self.consecutive_failures,
+                }
+            }
+        }
+    }
+
+    /// The comparison configuration for the current degradation level:
+    /// level `L` halves the banded-DTW band fraction `L` times and turns
+    /// on threshold-driven lower-bound pruning, trading alignment slack
+    /// for per-pair cost so an overloaded round fits its budget.
+    fn round_comparison(&self, density: f64) -> ComparisonConfig {
+        let mut comparison = self.config.comparison;
+        if self.degrade_level == 0 {
+            return comparison;
+        }
+        if let DistanceMeasure::BandedDtw { band_fraction } = comparison.measure {
+            comparison.measure = DistanceMeasure::BandedDtw {
+                band_fraction: band_fraction / f64::from(1u32 << self.degrade_level),
+            };
+            if comparison.prune_threshold.is_none() {
+                comparison.prune_threshold = Some(self.config.policy.threshold_at(density));
+            }
+        }
+        comparison
+    }
+
+    /// Aggregated degradation accounting since construction (or across a
+    /// checkpoint/restore, whose counters are merged in).
+    pub fn counters(&self) -> DegradationCounters {
+        DegradationCounters {
+            samples_rejected: self.collector.rejected_samples(),
+            identities_quarantined: self.quarantined_total,
+            pairs_skipped: self.pairs_skipped_total,
+            samples_shed: self.queue.shed_count(),
+            deadline_misses: self.deadline_misses,
+        }
+    }
+
+    /// Time of the next detection boundary, seconds.
+    pub fn next_detection_s(&self) -> f64 {
+        self.next_detection_s
+    }
+
+    /// Detection boundaries processed so far (including skipped and
+    /// backed-off ones).
+    pub fn rounds_run(&self) -> u64 {
+        self.rounds_run
+    }
+
+    /// Current degradation level (0 = full fidelity).
+    pub fn degrade_level(&self) -> u8 {
+        self.degrade_level
+    }
+
+    /// `true` when the circuit breaker has tripped and rounds are refused.
+    pub fn is_circuit_open(&self) -> bool {
+        self.circuit_open
+    }
+
+    /// Beacons currently queued for the next boundary.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Closes the breaker and clears failure/backoff state so rounds run
+    /// again — the operator's explicit "I fixed it" acknowledgement.
+    pub fn reset_circuit(&mut self) {
+        self.circuit_open = false;
+        self.consecutive_failures = 0;
+        self.backoff_rounds = 0;
+    }
+
+    /// Installs a hook called with the round index at the start of every
+    /// attempted round, *inside* the supervised section — a panic in the
+    /// hook exercises the exact recovery path a panicking comparison
+    /// would. Test/fault-injection instrumentation.
+    pub fn set_round_hook(&mut self, hook: Box<dyn FnMut(u64) + Send>) {
+        self.round_hook = Some(hook);
+    }
+
+    /// Serializes the complete detection state — window samples, density
+    /// buckets, queued beacons, cadence and supervisor state — into a
+    /// versioned, checksummed snapshot (format
+    /// [`crate::checkpoint::VERSION`]).
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_f64(self.next_detection_s);
+        w.put_u64(self.rounds_run);
+        w.put_u8(self.degrade_level);
+        w.put_u32(self.consecutive_misses);
+        w.put_u32(self.consecutive_failures);
+        w.put_u32(self.backoff_rounds);
+        w.put_u8(u8::from(self.circuit_open));
+        w.put_u64(self.deadline_misses);
+        w.put_u64(self.quarantined_total);
+        w.put_u64(self.pairs_skipped_total);
+
+        let (window_s, rejected, per_id) = self.collector.snapshot();
+        w.put_f64(window_s);
+        w.put_u64(rejected);
+        w.put_u32(per_id.len() as u32);
+        for (id, samples) in &per_id {
+            w.put_u64(*id);
+            w.put_u32(samples.len() as u32);
+            for &(t, r) in samples {
+                w.put_f64(t);
+                w.put_f64(r);
+            }
+        }
+
+        let (period_s, range_m, bucket_start_s, heard, latest) = self.density.snapshot();
+        w.put_f64(period_s);
+        w.put_f64(range_m);
+        w.put_f64(bucket_start_s);
+        w.put_u32(heard.len() as u32);
+        for id in &heard {
+            w.put_u64(*id);
+        }
+        match latest {
+            Some(v) => {
+                w.put_u8(1);
+                w.put_f64(v);
+            }
+            None => w.put_u8(0),
+        }
+
+        let (shed, items) = self.queue.snapshot();
+        w.put_u64(shed);
+        w.put_u32(items.len() as u32);
+        for qb in &items {
+            w.put_f64(qb.arrival_s);
+            w.put_u64(qb.beacon.identity);
+            w.put_f64(qb.beacon.time_s);
+            w.put_f64(qb.beacon.rssi_dbm);
+        }
+
+        checkpoint::seal(&w.into_payload())
+    }
+
+    /// Rebuilds a runtime from a [`StreamingRuntime::checkpoint`] under
+    /// the given configuration. State (samples, counters, cadence) comes
+    /// from the snapshot; policy (budgets, capacity, thresholds) comes
+    /// from `config`, so an operator can restart with adjusted limits.
+    /// Future verdicts are bit-identical to the original runtime's when
+    /// the configuration matches.
+    ///
+    /// # Errors
+    ///
+    /// [`VpError::InvalidConfig`] for a bad `config`;
+    /// [`VpError::CheckpointCorrupt`] / [`VpError::CheckpointVersion`]
+    /// for a snapshot that fails structural validation.
+    // Negated comparisons are deliberate: NaN must fail every check.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn restore(config: RuntimeConfig, bytes: &[u8]) -> Result<Self, VpError> {
+        config.validate()?;
+        let payload = checkpoint::open(bytes)?;
+        let mut r = Reader::new(payload);
+
+        let next_detection_s = r.get_f64()?;
+        let rounds_run = r.get_u64()?;
+        let degrade_level = r.get_u8()?;
+        let consecutive_misses = r.get_u32()?;
+        let consecutive_failures = r.get_u32()?;
+        let backoff_rounds = r.get_u32()?;
+        let circuit_open = match r.get_u8()? {
+            0 => false,
+            1 => true,
+            _ => {
+                return Err(VpError::CheckpointCorrupt {
+                    reason: "invalid flag byte",
+                })
+            }
+        };
+        let deadline_misses = r.get_u64()?;
+        let quarantined_total = r.get_u64()?;
+        let pairs_skipped_total = r.get_u64()?;
+
+        let window_s = r.get_f64()?;
+        if !(window_s > 0.0) {
+            return Err(VpError::CheckpointCorrupt {
+                reason: "non-positive collector window",
+            });
+        }
+        let rejected = r.get_u64()?;
+        let id_count = r.get_u32()? as usize;
+        let mut per_id = Vec::with_capacity(id_count.min(1024));
+        for _ in 0..id_count {
+            let id: IdentityId = r.get_u64()?;
+            let n = r.get_u32()? as usize;
+            let mut samples = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let t = r.get_f64()?;
+                let rssi = r.get_f64()?;
+                samples.push((t, rssi));
+            }
+            per_id.push((id, samples));
+        }
+        let collector = Collector::restore(window_s, rejected, per_id);
+
+        let period_s = r.get_f64()?;
+        let range_m = r.get_f64()?;
+        if !(period_s > 0.0) || !(range_m > 0.0) {
+            return Err(VpError::CheckpointCorrupt {
+                reason: "non-positive density parameters",
+            });
+        }
+        let bucket_start_s = r.get_f64()?;
+        let heard_count = r.get_u32()? as usize;
+        let mut heard = Vec::with_capacity(heard_count.min(4096));
+        for _ in 0..heard_count {
+            heard.push(r.get_u64()?);
+        }
+        let latest = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_f64()?),
+            _ => {
+                return Err(VpError::CheckpointCorrupt {
+                    reason: "invalid flag byte",
+                })
+            }
+        };
+        let density = DensityEstimator::restore(period_s, range_m, bucket_start_s, heard, latest);
+
+        let shed = r.get_u64()?;
+        let item_count = r.get_u32()? as usize;
+        let mut items = Vec::with_capacity(item_count.min(4096));
+        for _ in 0..item_count {
+            let arrival_s = r.get_f64()?;
+            let identity = r.get_u64()?;
+            let time_s = r.get_f64()?;
+            let rssi_dbm = r.get_f64()?;
+            items.push(QueuedBeacon {
+                arrival_s,
+                beacon: Beacon::new(identity, time_s, rssi_dbm),
+            });
+        }
+        let queue = BeaconQueue::restore(config.queue_capacity, config.seed, shed, items);
+        r.finish()?;
+
+        Ok(StreamingRuntime {
+            collector,
+            density,
+            queue,
+            next_detection_s,
+            rounds_run,
+            degrade_level,
+            consecutive_misses,
+            consecutive_failures,
+            backoff_rounds,
+            circuit_open,
+            deadline_misses,
+            quarantined_total,
+            pairs_skipped_total,
+            round_hook: None,
+            config,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voiceprint::{ThresholdPolicy, VoiceprintDetector};
+
+    fn test_config() -> RuntimeConfig {
+        let mut c = RuntimeConfig::paper_default(ThresholdPolicy::paper_simulation());
+        c.min_samples_per_series = 100;
+        c
+    }
+
+    /// RSSI of honest neighbour `h` at window offset `u`: distinct
+    /// two-component mixtures so no honest pair resembles another under
+    /// warping.
+    fn honest_rssi(h: u64, u: f64) -> f64 {
+        let (a, b) = [(0.45, 2.1), (0.83, 2.9), (0.31, 1.7), (0.63, 2.45)][h as usize];
+        -72.0 - h as f64 + ((u * a).sin() + (u * b).cos()) * 3.5
+    }
+
+    /// Two Sybil identities sharing one shape plus `honest` dissimilar
+    /// neighbours, 150 samples each at 10 Hz starting at `t0`.
+    fn feed_window(rt: &mut StreamingRuntime, t0: f64, honest: u64) {
+        for k in 0..150 {
+            let t = t0 + 0.05 + k as f64 * 0.1;
+            let u = t - t0;
+            let shape = (u * 1.3).sin() * 4.0 + (u * 0.37).cos() * 2.0;
+            rt.offer(t, Beacon::new(100, t, -70.0 + shape));
+            rt.offer(t, Beacon::new(101, t, -64.5 + shape));
+            for h in 0..honest {
+                rt.offer(t, Beacon::new(h + 1, t, honest_rssi(h, u)));
+            }
+        }
+    }
+
+    fn verdict_of(outcome: &RoundOutcome) -> &WindowReport {
+        match outcome {
+            RoundOutcome::Verdict(report) => report,
+            other => panic!("expected a verdict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_the_sybil_pair_and_matches_the_batch_detector() {
+        let mut rt = StreamingRuntime::new(test_config()).unwrap();
+        feed_window(&mut rt, 0.0, 3);
+        let outcomes = rt.advance_to(20.0);
+        assert_eq!(outcomes.len(), 1);
+        let report = verdict_of(&outcomes[0]);
+        assert!(report.complete);
+        assert_eq!(report.degrade_level, 0);
+        assert_eq!(report.verdict.suspects(), &[100, 101]);
+
+        // Bit-identical to the batch detector fed the same collection.
+        let mut collector = Collector::new(20.0);
+        let mut density = DensityEstimator::new(10.0, 400.0);
+        for k in 0..150 {
+            let t = 0.05 + k as f64 * 0.1;
+            let shape = (t * 1.3).sin() * 4.0 + (t * 0.37).cos() * 2.0;
+            for (id, rssi) in [
+                (100u64, -70.0 + shape),
+                (101, -64.5 + shape),
+                (1, honest_rssi(0, t)),
+                (2, honest_rssi(1, t)),
+                (3, honest_rssi(2, t)),
+            ] {
+                collector.record(id, t, rssi);
+                density.record(id, t);
+            }
+        }
+        let series = collector.series_at(20.0, 100);
+        let batch = VoiceprintDetector::new(ThresholdPolicy::paper_simulation())
+            .verdict(&series, density.density_per_km());
+        assert_eq!(report.verdict, batch);
+        assert_eq!(
+            report.verdict.threshold().to_bits(),
+            batch.threshold().to_bits()
+        );
+    }
+
+    #[test]
+    fn empty_window_is_skipped_like_the_batch_engine() {
+        let mut rt = StreamingRuntime::new(test_config()).unwrap();
+        let outcomes = rt.advance_to(20.0);
+        assert_eq!(outcomes, vec![RoundOutcome::Skipped { time_s: 20.0 }]);
+        assert!(rt.counters().is_clean());
+    }
+
+    #[test]
+    fn boundary_at_exact_arrival_excludes_that_beacon() {
+        // A beacon arriving exactly at the boundary belongs to the next
+        // window, matching the batch engine's interval bookkeeping.
+        let mut rt = StreamingRuntime::new(test_config()).unwrap();
+        rt.offer(20.0, Beacon::new(1, 20.0, -70.0));
+        let outcomes = rt.advance_to(20.0);
+        assert_eq!(outcomes, vec![RoundOutcome::Skipped { time_s: 20.0 }]);
+        assert_eq!(rt.queue_len(), 1);
+    }
+
+    #[test]
+    fn pair_budget_miss_degrades_then_recovers_with_hysteresis() {
+        let mut config = test_config();
+        // Six identities → 15 pairs in the storm window; one pair fits.
+        config.deadline = DeadlinePolicy::PairBudget(10);
+        let mut rt = StreamingRuntime::new(config).unwrap();
+        feed_window(&mut rt, 0.0, 4); // 6 ids → 15 pairs > 10
+        let report = verdict_of(&rt.advance_to(20.0)[0]).clone();
+        assert!(!report.complete);
+        assert_eq!(report.degrade_level, 0, "the miss itself ran at full width");
+        assert_eq!(rt.degrade_level(), 1, "…and stepped the runtime down");
+        assert_eq!(rt.counters().deadline_misses, 1);
+        assert!(rt.counters().pairs_skipped > 0);
+
+        feed_window(&mut rt, 20.0, 2); // 4 ids → 6 pairs ≤ 10: on time
+        let report = verdict_of(&rt.advance_to(40.0)[0]).clone();
+        assert!(report.complete);
+        assert_eq!(report.degrade_level, 1, "ran at the degraded width");
+        assert_eq!(rt.degrade_level(), 0, "one on-time round recovers");
+        assert_eq!(rt.counters().deadline_misses, 1);
+    }
+
+    #[test]
+    fn repeated_misses_saturate_at_max_level() {
+        let mut config = test_config();
+        config.deadline = DeadlinePolicy::PairBudget(1);
+        let mut rt = StreamingRuntime::new(config).unwrap();
+        for round in 0..4 {
+            let t0 = round as f64 * 20.0;
+            feed_window(&mut rt, t0, 4);
+            let report = verdict_of(&rt.advance_to(t0 + 20.0)[0]).clone();
+            assert!(!report.complete);
+        }
+        assert_eq!(rt.degrade_level(), 2, "saturates at max_level");
+        assert_eq!(rt.counters().deadline_misses, 4);
+    }
+
+    #[test]
+    fn supervisor_backs_off_then_opens_the_circuit() {
+        let mut rt = StreamingRuntime::new(test_config()).unwrap();
+        rt.set_round_hook(Box::new(|_| panic!("injected fault")));
+        let mut panicked = 0;
+        let mut backed_off = 0;
+        let mut circuit = 0;
+        for round in 0..8 {
+            let t0 = round as f64 * 20.0;
+            feed_window(&mut rt, t0, 2);
+            match &rt.advance_to(t0 + 20.0)[0] {
+                RoundOutcome::Panicked { .. } => panicked += 1,
+                RoundOutcome::BackedOff { .. } => backed_off += 1,
+                RoundOutcome::CircuitOpen { .. } => circuit += 1,
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert_eq!(panicked, 3, "breaker trips after 3 consecutive failures");
+        assert!(circuit >= 1, "breaker stays open");
+        assert!(rt.is_circuit_open());
+        assert_eq!(panicked + backed_off + circuit, 8);
+
+        // Reset closes the breaker; a healthy round then succeeds.
+        rt.reset_circuit();
+        rt.round_hook = None;
+        feed_window(&mut rt, 160.0, 2);
+        let outcomes = rt.advance_to(180.0);
+        assert!(
+            matches!(outcomes.last(), Some(RoundOutcome::Verdict(_))),
+            "{outcomes:?}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_restore_mid_window_reproduces_the_verdict() {
+        let mut a = StreamingRuntime::new(test_config()).unwrap();
+        feed_window(&mut a, 0.0, 3);
+        a.advance_to(20.0);
+        // Mid-window: half the second window ingested, none drained yet.
+        for k in 0..80 {
+            let t = 20.05 + k as f64 * 0.1;
+            a.offer(t, Beacon::new(7, t, -71.0 + (t * 0.8).sin()));
+        }
+        let snapshot = a.checkpoint();
+        let mut b = StreamingRuntime::restore(test_config(), &snapshot).unwrap();
+        assert_eq!(b.next_detection_s(), a.next_detection_s());
+        assert_eq!(b.rounds_run(), a.rounds_run());
+        assert_eq!(b.queue_len(), a.queue_len());
+        assert_eq!(b.counters(), a.counters());
+
+        // Identical future input ⇒ bit-identical future verdicts.
+        feed_window(&mut a, 22.0, 3);
+        feed_window(&mut b, 22.0, 3);
+        let ra = verdict_of(&a.advance_to(40.0)[0]).clone();
+        let rb = verdict_of(&b.advance_to(40.0)[0]).clone();
+        assert_eq!(ra, rb);
+        assert_eq!(
+            ra.verdict.threshold().to_bits(),
+            rb.verdict.threshold().to_bits()
+        );
+    }
+
+    #[test]
+    fn corrupt_and_versioned_snapshots_are_rejected() {
+        let rt = StreamingRuntime::new(test_config()).unwrap();
+        let good = rt.checkpoint();
+        assert!(StreamingRuntime::restore(test_config(), &good).is_ok());
+
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0xFF;
+        assert!(matches!(
+            StreamingRuntime::restore(test_config(), &flipped),
+            Err(VpError::CheckpointCorrupt { .. })
+        ));
+
+        let mut versioned = good;
+        versioned[4..6].copy_from_slice(&7u16.to_le_bytes());
+        // (Checksum now also mismatches, but the version gate comes first.)
+        assert!(matches!(
+            StreamingRuntime::restore(test_config(), &versioned),
+            Err(VpError::CheckpointVersion { found: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn shedding_surfaces_in_counters_and_never_panics() {
+        let mut config = test_config();
+        config.queue_capacity = 200;
+        let mut rt = StreamingRuntime::new(config).unwrap();
+        feed_window(&mut rt, 0.0, 3); // 5 ids × 150 = 750 offers into 200 slots
+        let outcomes = rt.advance_to(20.0);
+        assert_eq!(outcomes.len(), 1);
+        let shed = rt.counters().samples_shed;
+        assert_eq!(shed, 750 - 200);
+        assert!(rt.queue_len() <= 200);
+    }
+}

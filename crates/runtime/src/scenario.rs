@@ -1,0 +1,140 @@
+//! Driving a [`StreamingRuntime`] from the simulator's beacon tap.
+//!
+//! The batch engine ([`vp_sim::try_run_scenario`]) can record every beacon
+//! each observer ingested — post fault injection, arrival-ordered — when
+//! [`vp_sim::ScenarioConfig::collect_beacons`] is set. This module replays
+//! that tap through one streaming runtime per observer: each beacon first
+//! advances the runtime clock to its arrival (running any detection
+//! boundary the clock passed), then enters the bounded queue. That is
+//! exactly the ordering the batch engine uses — beacons of the interval
+//! ending at a boundary are recorded before the boundary runs, beacons
+//! arriving at or after it land in the next window — so a clean,
+//! unbounded-deadline streaming run produces bit-identical verdicts to
+//! the batch detector on the same scenario.
+
+use vp_fault::{DegradationCounters, VpError};
+use vp_sim::{try_run_scenario, ScenarioConfig, SimulationOutcome};
+
+use crate::config::RuntimeConfig;
+use crate::runtime::{RoundOutcome, StreamingRuntime, WindowReport};
+
+/// One observer's streaming run: every boundary outcome plus the final
+/// degradation accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObserverStream {
+    /// Outcome of every detection boundary, in time order.
+    pub rounds: Vec<RoundOutcome>,
+    /// Aggregated degradation counters at the end of the run.
+    pub counters: DegradationCounters,
+    /// Degradation level the runtime ended at (0 = fully recovered).
+    pub final_degrade_level: u8,
+}
+
+impl ObserverStream {
+    /// The window reports among [`ObserverStream::rounds`] (skipped,
+    /// backed-off and circuit-open boundaries produce no report).
+    pub fn reports(&self) -> Vec<&WindowReport> {
+        self.rounds
+            .iter()
+            .filter_map(|r| match r {
+                RoundOutcome::Verdict(report) => Some(report),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Result of [`run_scenario_streaming`]: the batch simulation outcome
+/// (tap included) plus one [`ObserverStream`] per observer.
+#[derive(Debug, Clone)]
+pub struct StreamingOutcome {
+    /// The underlying simulation outcome, with `beacon_tap` populated.
+    pub sim: SimulationOutcome,
+    /// Per-observer streaming results, indexed like `sim.beacon_tap`.
+    pub streams: Vec<ObserverStream>,
+}
+
+/// Runs the scenario once through the batch engine (with the beacon tap
+/// forced on), then replays each observer's tap through a fresh
+/// [`StreamingRuntime`] configured by `runtime_config`.
+///
+/// # Errors
+///
+/// Returns [`VpError::InvalidConfig`] when either configuration fails
+/// validation, or any error the batch engine reports.
+pub fn run_scenario_streaming(
+    scenario: &ScenarioConfig,
+    runtime_config: &RuntimeConfig,
+) -> Result<StreamingOutcome, VpError> {
+    runtime_config.validate()?;
+    let mut scenario = scenario.clone();
+    scenario.collect_beacons = true;
+    let sim = try_run_scenario(&scenario, &[])?;
+    let mut streams = Vec::with_capacity(sim.beacon_tap.len());
+    for tap in &sim.beacon_tap {
+        let mut rt = StreamingRuntime::new(runtime_config.clone())?;
+        let mut rounds = Vec::new();
+        for tb in tap {
+            rounds.extend(rt.advance_to(tb.arrival_s));
+            rt.offer(tb.arrival_s, tb.beacon);
+        }
+        rounds.extend(rt.advance_to(scenario.simulation_time_s));
+        streams.push(ObserverStream {
+            counters: rt.counters(),
+            final_degrade_level: rt.degrade_level(),
+            rounds,
+        });
+    }
+    Ok(StreamingOutcome { sim, streams })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voiceprint::ThresholdPolicy;
+
+    fn golden_scenario(seed: u64) -> ScenarioConfig {
+        ScenarioConfig::builder()
+            .density_per_km(15.0)
+            .simulation_time_s(45.0)
+            .observer_count(2)
+            .witness_pool_size(6)
+            .malicious_fraction(0.1)
+            .seed(seed)
+            .collect_inputs(true)
+            .build()
+    }
+
+    #[test]
+    fn clean_run_emits_one_outcome_per_boundary_per_observer() {
+        let scenario = golden_scenario(42);
+        let policy = ThresholdPolicy::paper_simulation();
+        let outcome =
+            run_scenario_streaming(&scenario, &RuntimeConfig::from_scenario(&scenario, policy))
+                .expect("valid configs");
+        assert_eq!(outcome.streams.len(), 2);
+        for stream in &outcome.streams {
+            // 45 s sim, first boundary 20 s, period 20 s → boundaries at 20, 40.
+            assert_eq!(stream.rounds.len(), 2);
+            assert_eq!(stream.final_degrade_level, 0);
+            // Clean scenario under default capacity: nothing shed, nothing
+            // missed; ingest-side counters match the batch observer log.
+            assert_eq!(stream.counters.samples_shed, 0);
+            assert_eq!(stream.counters.deadline_misses, 0);
+            for report in stream.reports() {
+                assert!(report.complete);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_runtime_config_is_rejected_before_simulating() {
+        let scenario = golden_scenario(1);
+        let mut rc = RuntimeConfig::from_scenario(&scenario, ThresholdPolicy::paper_simulation());
+        rc.queue_capacity = 0;
+        assert!(matches!(
+            run_scenario_streaming(&scenario, &rc),
+            Err(VpError::InvalidConfig(_))
+        ));
+    }
+}

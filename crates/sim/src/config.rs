@@ -81,6 +81,11 @@ pub struct ScenarioConfig {
     /// Keep per-detection inputs and ground truth in the outcome (for
     /// threshold training and offline analysis).
     pub collect_inputs: bool,
+    /// Keep every observer-decoded beacon (post fault injection) in the
+    /// outcome, stamped with its arrival time. This is the replay feed
+    /// for the streaming runtime: driving `vp-runtime` from the tap
+    /// reproduces exactly what the batch pipeline ingested.
+    pub collect_beacons: bool,
     /// Fault-injection plan applied to every observer's ingest stream;
     /// `None` (the default) runs the clean pipeline, bit-identical to a
     /// build without the harness.
@@ -141,6 +146,7 @@ impl ScenarioConfig {
             mac,
             seed: 1,
             collect_inputs: false,
+            collect_beacons: false,
             fault_plan: None,
         }
     }
@@ -299,6 +305,10 @@ impl ScenarioConfigBuilder {
     setter!(
         /// Keeps per-detection inputs + ground truth in the outcome.
         collect_inputs: bool
+    );
+    setter!(
+        /// Keeps the per-observer beacon tap (streaming replay feed).
+        collect_beacons: bool
     );
     setter!(
         /// Attaches a fault-injection plan to every observer's ingest.

@@ -30,6 +30,21 @@ use crate::metrics::{score_detection, DetectorStats, IngestStats, PacketStats};
 use crate::observations::{DensityEstimator, ObserverLog, WitnessAggregates};
 use crate::{IdentityId, RadioId};
 
+/// One observer-decoded beacon captured by the tap (see
+/// [`crate::ScenarioConfig::collect_beacons`]): the beacon exactly as the
+/// observer's collector ingested it — *after* any fault injection — plus
+/// the wall-clock arrival time that drives streaming window boundaries.
+/// `arrival_s` and `beacon.time_s` differ under clock-skew faults, where
+/// the beacon carries a corrupted timestamp but still arrives on the true
+/// schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TapBeacon {
+    /// True arrival time at the observer's radio, seconds.
+    pub arrival_s: f64,
+    /// The beacon as ingested (identity/time/RSSI possibly faulted).
+    pub beacon: Beacon,
+}
+
 /// Result of one scenario run.
 #[derive(Debug, Clone)]
 pub struct SimulationOutcome {
@@ -48,6 +63,9 @@ pub struct SimulationOutcome {
     pub sybil_count: usize,
     /// Ingest-level fault/quarantine accounting; all-zero on a clean run.
     pub ingest: IngestStats,
+    /// Per-observer beacon tap, arrival-ordered, retained when
+    /// `config.collect_beacons` is set (empty inner vectors otherwise).
+    pub beacon_tap: Vec<Vec<TapBeacon>>,
 }
 
 /// Runs one scenario with the given detectors attached.
@@ -151,6 +169,7 @@ pub fn try_run_scenario(
         .collect();
     let mut packet_stats = PacketStats::default();
     let mut collected = Vec::new();
+    let mut beacon_tap: Vec<Vec<TapBeacon>> = observers.iter().map(|_| Vec::new()).collect();
 
     let interval = config.beacon_interval_s();
     let intervals = (config.simulation_time_s / interval).round() as usize;
@@ -276,6 +295,12 @@ pub fn try_run_scenario(
                                 for b in inj[obs_idx].inject(beacon) {
                                     logs[obs_idx].record(b.identity, b.time_s, b.rssi_dbm);
                                     density[obs_idx].record(b.identity, b.time_s);
+                                    if config.collect_beacons {
+                                        beacon_tap[obs_idx].push(TapBeacon {
+                                            arrival_s: packet.start_s,
+                                            beacon: b,
+                                        });
+                                    }
                                 }
                             }
                             None => {
@@ -285,6 +310,12 @@ pub fn try_run_scenario(
                                     beacon.rssi_dbm,
                                 );
                                 density[obs_idx].record(beacon.identity, beacon.time_s);
+                                if config.collect_beacons {
+                                    beacon_tap[obs_idx].push(TapBeacon {
+                                        arrival_s: packet.start_s,
+                                        beacon,
+                                    });
+                                }
                             }
                         }
                     }
@@ -382,6 +413,7 @@ pub fn try_run_scenario(
         identity_count: roster.len(),
         sybil_count: roster.sybil_count(),
         ingest,
+        beacon_tap,
     })
 }
 
@@ -686,6 +718,69 @@ mod tests {
             Some(FaultPlan::new(0).with(FaultKind::NonFiniteRssi { probability: -1.0 }));
         let err = try_run_scenario(&config, &[]).unwrap_err();
         assert!(matches!(err, VpError::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn run_scenario_and_try_run_scenario_are_the_same_entry_point() {
+        // Satellite contract: the panicking wrapper must route through
+        // the fallible path with nothing added or lost — IngestStats
+        // included — on both clean and faulted runs.
+        use vp_fault::{FaultKind, FaultPlan};
+        let mut faulted = small_config(9);
+        faulted.fault_plan = Some(FaultPlan::new(3).with(FaultKind::BeaconStorm {
+            probability: 0.05,
+            extra_copies: 4,
+        }));
+        for config in [small_config(9), faulted] {
+            let a = run_scenario(&config, &[&Silent]);
+            let b = try_run_scenario(&config, &[&Silent]).expect("valid config");
+            assert_eq!(a.packet_stats, b.packet_stats);
+            assert_eq!(a.ingest, b.ingest);
+            assert_eq!(a.collected, b.collected);
+            assert_eq!(a.identity_count, b.identity_count);
+            assert_eq!(a.sybil_count, b.sybil_count);
+        }
+    }
+
+    #[test]
+    fn beacon_tap_replays_into_identical_series() {
+        // The tap must capture exactly what the observer logs ingested:
+        // replaying it through a fresh ObserverLog reproduces the batch
+        // pipeline's series bit-for-bit, faults included.
+        use vp_fault::{FaultKind, FaultPlan};
+        let mut config = small_config(4);
+        config.collect_beacons = true;
+        config.fault_plan = Some(FaultPlan::new(11).with(FaultKind::ClockSkew {
+            offset_s: -1.0,
+            drift_per_s: 0.005,
+        }));
+        let outcome = run_scenario(&config, &[&Silent]);
+        assert_eq!(outcome.beacon_tap.len(), 2);
+        assert!(outcome.beacon_tap.iter().all(|t| !t.is_empty()));
+        for tap in &outcome.beacon_tap {
+            // Arrival-ordered.
+            assert!(tap.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+            let mut log = ObserverLog::new();
+            let mut replayed_density =
+                DensityEstimator::new(config.density_estimate_period_s, config.assumed_max_range_m);
+            for tb in tap {
+                log.record(tb.beacon.identity, tb.beacon.time_s, tb.beacon.rssi_dbm);
+                replayed_density.record(tb.beacon.identity, tb.beacon.time_s);
+            }
+            let series = log.series_in_window(
+                20.0,
+                config.observation_time_s,
+                config.min_samples_per_series,
+            );
+            assert!(!series.is_empty());
+        }
+        // Without the flag, the tap stays empty (no memory cost).
+        config.collect_beacons = false;
+        let lean = run_scenario(&config, &[&Silent]);
+        assert!(lean.beacon_tap.iter().all(|t| t.is_empty()));
+        // And the tap itself never perturbs the simulation.
+        assert_eq!(lean.packet_stats, outcome.packet_stats);
+        assert_eq!(lean.ingest, outcome.ingest);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod observations;
 
 pub use config::ScenarioConfig;
 pub use detector::{DetectionInput, Detector, PositionClaim, WitnessReport};
-pub use engine::{run_scenario, try_run_scenario, SimulationOutcome};
+pub use engine::{run_scenario, try_run_scenario, SimulationOutcome, TapBeacon};
 pub use identity::{GroundTruth, NodeKind, Roster};
 pub use metrics::{DetectorStats, IngestStats, PacketStats};
 pub use vp_fault::{FaultKind, FaultPlan, VpError};

@@ -170,6 +170,40 @@ impl DensityEstimator {
         self.latest_estimate
             .unwrap_or_else(|| self.estimate_from(self.heard.len()))
     }
+
+    /// Serializable view of the estimator's full state: `(period,
+    /// Dist_max, bucket start, running-bucket identities sorted
+    /// ascending, last completed estimate)`. Canonical ordering, so equal
+    /// logical state snapshots identically.
+    pub fn snapshot(&self) -> (f64, f64, f64, Vec<IdentityId>, Option<f64>) {
+        let mut heard: Vec<IdentityId> = self.heard.iter().copied().collect();
+        heard.sort_unstable();
+        (
+            self.period_s,
+            self.max_range_m,
+            self.bucket_start_s,
+            heard,
+            self.latest_estimate,
+        )
+    }
+
+    /// Rebuilds an estimator from a [`DensityEstimator::snapshot`]. The
+    /// restored estimator's future estimates are bit-identical to the
+    /// original's (the state is a set plus scalars — nothing
+    /// order-dependent survives).
+    pub fn restore(
+        period_s: f64,
+        max_range_m: f64,
+        bucket_start_s: f64,
+        heard: Vec<IdentityId>,
+        latest_estimate: Option<f64>,
+    ) -> Self {
+        let mut est = DensityEstimator::new(period_s, max_range_m);
+        est.bucket_start_s = bucket_start_s;
+        est.heard = heard.into_iter().collect();
+        est.latest_estimate = latest_estimate;
+        est
+    }
 }
 
 /// Per-window witness aggregates: per `(witness, claimer)` pair, the mean
@@ -343,6 +377,34 @@ mod tests {
         est.record(99, 1e15 + 11.0);
         est.record(98, 1e15 + 12.0);
         assert!(est.density_per_km() < 1.0);
+    }
+
+    #[test]
+    fn density_snapshot_restore_round_trips() {
+        let mut est = DensityEstimator::new(10.0, 700.0);
+        for id in 0..30 {
+            est.record(id, 3.0);
+        }
+        est.record(0, 12.0); // roll one bucket
+        for id in 0..7 {
+            est.record(id, 13.0);
+        }
+        let (p, r, b, heard, latest) = est.snapshot();
+        let restored = DensityEstimator::restore(p, r, b, heard, latest);
+        // Identical now…
+        assert_eq!(
+            est.density_per_km().to_bits(),
+            restored.density_per_km().to_bits()
+        );
+        // …and identical after identical future input (running bucket and
+        // bucket clock both survived).
+        let mut a = est.clone();
+        let mut b = restored;
+        for (id, t) in [(50, 14.0), (51, 22.0), (52, 23.0)] {
+            a.record(id, t);
+            b.record(id, t);
+        }
+        assert_eq!(a.density_per_km().to_bits(), b.density_per_km().to_bits());
     }
 
     #[test]

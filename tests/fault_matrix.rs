@@ -7,6 +7,7 @@ use voiceprint::comparator::{compare, ComparisonConfig};
 use voiceprint::threshold::ThresholdPolicy;
 use voiceprint::VoiceprintDetector;
 use vp_fault::{FaultKind, FaultPlan};
+use vp_runtime::{run_scenario_streaming, RuntimeConfig};
 use vp_sim::engine::run_scenario;
 use vp_sim::ScenarioConfig;
 
@@ -209,6 +210,99 @@ fn every_fault_kind_degrades_gracefully() {
             _ => {
                 assert!(outcome.ingest.corrupted > 0, "{name}: nothing corrupted");
             }
+        }
+    }
+}
+
+/// The same fault matrix driven through the streaming runtime: every
+/// fault kind must leave the long-running engine standing — boundaries
+/// keep firing, any overload damage is visible in the stream's
+/// degradation counters, and no fault escalates to a panic.
+#[test]
+fn every_fault_kind_survives_the_streaming_runtime() {
+    let matrix: Vec<(&str, FaultKind)> = vec![
+        ("nan-rssi", FaultKind::NonFiniteRssi { probability: 0.2 }),
+        ("nan-time", FaultKind::NonFiniteTime { probability: 0.2 }),
+        ("dup", FaultKind::DuplicateBeacon { probability: 0.2 }),
+        (
+            "collision",
+            FaultKind::IdentityCollision { probability: 0.2 },
+        ),
+        (
+            "out-of-order",
+            FaultKind::OutOfOrder {
+                probability: 0.2,
+                max_delay_s: 5.0,
+            },
+        ),
+        (
+            "far-future",
+            FaultKind::FarFuture {
+                probability: 0.05,
+                offset_s: 1e9,
+            },
+        ),
+        (
+            "burst-loss",
+            FaultKind::BurstLoss {
+                probability: 0.05,
+                burst_len: 20,
+            },
+        ),
+        (
+            "storm",
+            FaultKind::BeaconStorm {
+                probability: 0.05,
+                extra_copies: 10,
+            },
+        ),
+        (
+            "clock-skew",
+            FaultKind::ClockSkew {
+                offset_s: -3.0,
+                drift_per_s: 0.01,
+            },
+        ),
+    ];
+    for (name, fault) in matrix {
+        let mut config = scenario();
+        config.fault_plan = Some(FaultPlan::new(1234).with(fault.clone()));
+        // A bounded queue sized below a storm window's volume, so the
+        // overload path actually runs when the fault inflates traffic.
+        let mut rc = RuntimeConfig::from_scenario(&config, ThresholdPolicy::paper_simulation());
+        rc.queue_capacity = 4096;
+        let outcome = run_scenario_streaming(&config, &rc)
+            .unwrap_or_else(|e| panic!("{name}: streaming run failed: {e}"));
+        for stream in &outcome.streams {
+            // Both boundaries produced an outcome — the cadence never
+            // stalls, whatever the fault does to the traffic.
+            assert_eq!(stream.rounds.len(), 2, "{name}: boundary missing");
+            assert_eq!(stream.final_degrade_level, 0, "{name}: left degraded");
+            for report in stream.reports() {
+                assert!(report.complete, "{name}: no deadline pressure here");
+                assert!(
+                    report.density_per_km.is_finite(),
+                    "{name}: density poisoned"
+                );
+            }
+        }
+        if matches!(fault, FaultKind::BeaconStorm { .. }) {
+            assert!(
+                outcome.streams.iter().any(|s| s.counters.samples_shed > 0),
+                "storm: bounded queue never shed"
+            );
+        }
+        if matches!(
+            fault,
+            FaultKind::NonFiniteRssi { .. } | FaultKind::NonFiniteTime { .. }
+        ) {
+            assert!(
+                outcome
+                    .streams
+                    .iter()
+                    .all(|s| s.counters.samples_rejected > 0),
+                "{name}: ingest gate silent"
+            );
         }
     }
 }

@@ -1,0 +1,204 @@
+//! Cross-crate contract tests for the streaming detection runtime:
+//! batch/streaming verdict parity on the golden scenario (pinned),
+//! checkpoint kill-and-restore equivalence, and overload behaviour under
+//! a beacon storm.
+
+use voiceprint::{ThresholdPolicy, VoiceprintDetector};
+use vp_fault::{FaultKind, FaultPlan};
+use vp_runtime::{
+    run_scenario_streaming, RoundOutcome, RuntimeConfig, StreamingRuntime, WindowReport,
+};
+use vp_sim::ScenarioConfig;
+
+fn golden_scenario() -> ScenarioConfig {
+    ScenarioConfig::builder()
+        .density_per_km(15.0)
+        .simulation_time_s(45.0)
+        .observer_count(2)
+        .witness_pool_size(6)
+        .malicious_fraction(0.1)
+        .seed(42)
+        .collect_inputs(true)
+        .build()
+}
+
+fn policy() -> ThresholdPolicy {
+    ThresholdPolicy::paper_simulation()
+}
+
+fn fnv_mix(h: &mut u64, bits: u64) {
+    *h ^= bits;
+    *h = h.wrapping_mul(0x100000001b3);
+}
+
+/// FNV-1a-style digest over every report's boundary time, suspect list
+/// and threshold bits — one number that moves if any verdict moves.
+fn digest_reports(reports: &[&WindowReport]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for report in reports {
+        fnv_mix(&mut h, report.time_s.to_bits());
+        fnv_mix(&mut h, report.verdict.suspects().len() as u64);
+        for &id in report.verdict.suspects() {
+            fnv_mix(&mut h, id);
+        }
+        fnv_mix(&mut h, report.verdict.threshold().to_bits());
+    }
+    h
+}
+
+#[test]
+fn streaming_verdicts_are_bit_identical_to_the_batch_detector() {
+    let scenario = golden_scenario();
+    let outcome = run_scenario_streaming(
+        &scenario,
+        &RuntimeConfig::from_scenario(&scenario, policy()),
+    )
+    .expect("golden scenario runs");
+    // 2 observers × boundaries at 20 s and 40 s.
+    assert_eq!(outcome.streams.len(), 2);
+    assert_eq!(outcome.sim.collected.len(), 4);
+
+    let detector = VoiceprintDetector::new(policy());
+    for (obs_idx, stream) in outcome.streams.iter().enumerate() {
+        assert!(stream.counters.is_clean(), "{:?}", stream.counters);
+        let reports = stream.reports();
+        assert_eq!(reports.len(), 2);
+        for (b_idx, report) in reports.iter().enumerate() {
+            assert!(report.complete);
+            assert_eq!(report.degrade_level, 0);
+            // collected is ordered boundary-major: [w20 obs0, w20 obs1,
+            // w40 obs0, w40 obs1].
+            let input = &outcome.sim.collected[b_idx * 2 + obs_idx];
+            assert_eq!(report.time_s, input.time_s);
+            assert_eq!(
+                report.density_per_km.to_bits(),
+                input.estimated_density_per_km.to_bits(),
+                "observer {obs_idx} boundary {b_idx}: density diverged"
+            );
+            let batch = detector.verdict(&input.series, input.estimated_density_per_km);
+            assert_eq!(report.verdict, batch, "observer {obs_idx} boundary {b_idx}");
+            assert_eq!(
+                report.verdict.threshold().to_bits(),
+                batch.threshold().to_bits()
+            );
+        }
+    }
+
+    // Pinned digest: any change to collection order, window filtering,
+    // normalisation, DTW or thresholding moves this number.
+    let all_reports: Vec<&WindowReport> =
+        outcome.streams.iter().flat_map(|s| s.reports()).collect();
+    assert_eq!(digest_reports(&all_reports), 0x1ef7c5c6d0e2e15c);
+}
+
+#[test]
+fn kill_and_restore_mid_window_reproduces_the_batch_verdict() {
+    let scenario = golden_scenario();
+    let config = RuntimeConfig::from_scenario(&scenario, policy());
+    let outcome = run_scenario_streaming(&scenario, &config).expect("golden scenario runs");
+    let tap = &outcome.sim.beacon_tap[0];
+    assert!(!tap.is_empty());
+
+    // Uninterrupted reference run over the same tap.
+    let reference = outcome.streams[0]
+        .reports()
+        .last()
+        .cloned()
+        .cloned()
+        .unwrap();
+
+    // Run until mid-second-window (t = 30 s), then "crash".
+    let mut rt = StreamingRuntime::new(config.clone()).unwrap();
+    let mut consumed = 0;
+    for tb in tap {
+        if tb.arrival_s >= 30.0 {
+            break;
+        }
+        rt.advance_to(tb.arrival_s);
+        rt.offer(tb.arrival_s, tb.beacon);
+        consumed += 1;
+    }
+    assert!(consumed > 0 && consumed < tap.len(), "mid-stream split");
+    let snapshot = rt.checkpoint();
+    drop(rt);
+
+    // Restart from the snapshot and replay only the not-yet-consumed tail.
+    let mut restored = StreamingRuntime::restore(config, &snapshot).expect("valid snapshot");
+    let mut rounds = Vec::new();
+    for tb in &tap[consumed..] {
+        rounds.extend(restored.advance_to(tb.arrival_s));
+        restored.offer(tb.arrival_s, tb.beacon);
+    }
+    rounds.extend(restored.advance_to(scenario.simulation_time_s));
+    let report = rounds
+        .iter()
+        .filter_map(|r| match r {
+            RoundOutcome::Verdict(report) => Some(report),
+            _ => None,
+        })
+        .next_back()
+        .expect("the 40 s boundary ran after restore");
+    assert_eq!(report.time_s, 40.0);
+    assert_eq!(*report, reference);
+    assert_eq!(
+        report.verdict.threshold().to_bits(),
+        reference.verdict.threshold().to_bits()
+    );
+}
+
+#[test]
+fn beacon_storm_sheds_without_panicking_and_reports_the_damage() {
+    let mut scenario = golden_scenario();
+    scenario.fault_plan = Some(FaultPlan::new(7).with(FaultKind::BeaconStorm {
+        probability: 0.05,
+        extra_copies: 4,
+    }));
+    let mut config = RuntimeConfig::from_scenario(&scenario, policy());
+    // A queue smaller than a storm window's beacon volume (~3400–3800
+    // per observer): the storm must be absorbed by shedding, not by
+    // growth. Densest-first shedding trims the inflated identities
+    // toward equalisation, so most identities still clear the
+    // min-samples bar and boundaries keep producing verdicts.
+    config.queue_capacity = 3072;
+    let outcome = run_scenario_streaming(&scenario, &config).expect("storm scenario runs");
+    for stream in &outcome.streams {
+        assert_eq!(stream.rounds.len(), 2);
+        assert!(
+            stream.counters.samples_shed > 0,
+            "storm over a 4096-slot queue must shed: {:?}",
+            stream.counters
+        );
+        // Boundaries still produced verdicts on the surviving samples.
+        assert!(!stream.reports().is_empty());
+        for report in stream.reports() {
+            assert!(report.complete, "no deadline pressure in this run");
+        }
+    }
+}
+
+#[test]
+fn streaming_and_batch_agree_under_clock_skew_faults() {
+    // Fault injection corrupts timestamps, not arrivals; the tap replay
+    // must still match the batch pipeline beacon-for-beacon.
+    let mut scenario = golden_scenario();
+    scenario.fault_plan = Some(FaultPlan::new(11).with(FaultKind::ClockSkew {
+        offset_s: -1.0,
+        drift_per_s: 0.005,
+    }));
+    let outcome = run_scenario_streaming(
+        &scenario,
+        &RuntimeConfig::from_scenario(&scenario, policy()),
+    )
+    .expect("skewed scenario runs");
+    let detector = VoiceprintDetector::new(policy());
+    let mut compared = 0;
+    for (obs_idx, stream) in outcome.streams.iter().enumerate() {
+        for (b_idx, report) in stream.reports().iter().enumerate() {
+            let input = &outcome.sim.collected[b_idx * 2 + obs_idx];
+            let batch = detector.verdict(&input.series, input.estimated_density_per_km);
+            assert_eq!(report.verdict, batch, "observer {obs_idx} boundary {b_idx}");
+            compared += 1;
+        }
+    }
+    assert!(compared >= 2, "skew run produced too few verdicts");
+}
