@@ -7,6 +7,11 @@
 //! streaming runtime's sustained ingest throughput (beacons/sec) at a
 //! fixed, deterministic deadline-miss rate. Thread count follows
 //! `VP_NUM_THREADS` / `RAYON_NUM_THREADS` (default: all cores).
+//!
+//! Also writes `results/BENCH_obs.json` with the observability layer's
+//! overhead: build with `-p vp-bench --features obs` for the
+//! instrumented numbers (no sink / memory sink / JSON-lines sink) and
+//! without the feature for the compiled-out baseline.
 
 use std::time::Instant;
 
@@ -134,6 +139,117 @@ fn bench_streaming() {
     println!("wrote results/BENCH_runtime.json");
 }
 
+/// Observability overhead at a paper-scale neighbourhood: one full
+/// compare + confirm round, timed with the instrumentation compiled in
+/// but inactive (no sink), with an in-memory sink, and with a JSON-lines
+/// sink draining to a null writer. Run the same binary without
+/// `--features obs` to get the compiled-out baseline in the same file
+/// (`obs_compiled: false`); comparing the two runs gives the
+/// enabled-vs-disabled overhead.
+#[cfg(feature = "obs")]
+fn bench_obs() {
+    use std::sync::Arc;
+    use voiceprint::confirm;
+    use vp_obs::{JsonLinesSink, MemorySink, ScopedSink};
+
+    let n = 48;
+    let samples = 200;
+    let series = neighbourhood(n, samples);
+    let cfg = ComparisonConfig::default();
+    let policy = ThresholdPolicy::paper_simulation();
+    let reps = 9;
+    let round = |series: &Vec<(u64, Vec<f64>)>| {
+        let pd = compare(std::hint::black_box(series), &cfg);
+        std::hint::black_box(confirm(&pd, 15.0, &policy));
+    };
+
+    // Warm-up, and a correctness guard: verdicts must not depend on the
+    // sink state.
+    let base_verdict = confirm(&compare(&series, &cfg), 15.0, &policy);
+    {
+        let _guard = ScopedSink::install(Arc::new(MemorySink::new()));
+        assert_eq!(
+            confirm(&compare(&series, &cfg), 15.0, &policy),
+            base_verdict,
+            "observation changed a verdict"
+        );
+    }
+
+    let no_sink = median_secs(reps, || round(&series));
+    let memory = {
+        let _guard = ScopedSink::install(Arc::new(MemorySink::new()));
+        median_secs(reps, || round(&series))
+    };
+    let jsonl = {
+        let _guard = ScopedSink::install(Arc::new(JsonLinesSink::new(std::io::sink())));
+        median_secs(reps, || round(&series))
+    };
+
+    println!();
+    println!("observability overhead, {n} identities, {samples}-sample series");
+    println!("{:>14} {:>12} | overhead vs no sink", "sink", "round ms");
+    for (label, t) in [("none", no_sink), ("memory", memory), ("jsonl", jsonl)] {
+        println!(
+            "{:>14} {:>12.3} | {:+.1}%",
+            label,
+            t * 1e3,
+            (t / no_sink - 1.0) * 100.0
+        );
+    }
+    let json = format!(
+        concat!(
+            "{{\n  \"obs_compiled\": true,\n  \"identities\": {},\n",
+            "  \"samples_per_series\": {},\n  \"no_sink_ms\": {:.4},\n",
+            "  \"memory_sink_ms\": {:.4},\n  \"jsonl_sink_ms\": {:.4},\n",
+            "  \"memory_overhead_pct\": {:.2},\n  \"jsonl_overhead_pct\": {:.2}\n}}\n"
+        ),
+        n,
+        samples,
+        no_sink * 1e3,
+        memory * 1e3,
+        jsonl * 1e3,
+        (memory / no_sink - 1.0) * 100.0,
+        (jsonl / no_sink - 1.0) * 100.0,
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    println!("wrote results/BENCH_obs.json");
+}
+
+/// Compiled-out baseline: same compare + confirm round with the
+/// instrumentation absent entirely.
+#[cfg(not(feature = "obs"))]
+fn bench_obs() {
+    use voiceprint::confirm;
+
+    let n = 48;
+    let samples = 200;
+    let series = neighbourhood(n, samples);
+    let cfg = ComparisonConfig::default();
+    let policy = ThresholdPolicy::paper_simulation();
+    let disabled = median_secs(9, || {
+        let pd = compare(std::hint::black_box(&series), &cfg);
+        std::hint::black_box(confirm(&pd, 15.0, &policy));
+    });
+    println!();
+    println!(
+        "observability disabled (not compiled), {n} identities: round {:.3} ms",
+        disabled * 1e3
+    );
+    let json = format!(
+        concat!(
+            "{{\n  \"obs_compiled\": false,\n  \"identities\": {},\n",
+            "  \"samples_per_series\": {},\n  \"disabled_ms\": {:.4}\n}}\n"
+        ),
+        n,
+        samples,
+        disabled * 1e3,
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    println!("wrote results/BENCH_obs.json");
+}
+
 fn main() {
     let samples = 200;
     let cfg = ComparisonConfig::default();
@@ -202,4 +318,5 @@ fn main() {
     println!("wrote results/BENCH_compare.json");
 
     bench_streaming();
+    bench_obs();
 }

@@ -7,6 +7,7 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 /// `true` when `VP_QUICK=1` is set: binaries shrink their sweeps for a
 /// fast smoke run.

@@ -89,6 +89,14 @@ impl Collector {
     ) -> Result<(), VpError> {
         if let Err(e) = Beacon::new(identity, time_s, rssi_dbm).validate() {
             self.rejected += 1;
+            crate::trace::collector_rejected(
+                identity,
+                match e {
+                    VpError::NonFiniteTime { .. } => "non_finite_time",
+                    VpError::NonFiniteRssi { .. } => "non_finite_rssi",
+                    _ => "invalid",
+                },
+            );
             return Err(e);
         }
         self.samples

@@ -11,6 +11,7 @@ use std::borrow::Cow;
 use vp_fault::DegradationCounters;
 use vp_par::{par_fill_with_cancel, par_fill_with_threads, CancelToken};
 use vp_timeseries::distance::squared_euclidean;
+use vp_timeseries::dtw::BoundedDistance;
 use vp_timeseries::dtw::{
     dtw_banded_prunable_with_scratch, dtw_banded_with_scratch, dtw_with_scratch,
 };
@@ -19,6 +20,7 @@ use vp_timeseries::lowerbound::lb_keogh_banded_with_scratch;
 use vp_timeseries::normalize::{min_max_normalize, z_score_enhanced};
 use vp_timeseries::scratch::DtwScratch;
 
+use crate::trace;
 use crate::IdentityId;
 
 /// Which series-distance to use in the comparison phase.
@@ -159,6 +161,13 @@ pub struct PairwiseDistances {
     /// Pairs whose distance came out non-finite (and which confirmation
     /// must therefore skip).
     pairs_skipped: u64,
+    /// Identities whose compared series was constant, ascending. Under
+    /// Eq. 7 a constant series normalises to all zeros (σ = 0), so its
+    /// distances carry no voiceprint shape information.
+    degenerate_ids: Vec<IdentityId>,
+    /// `true` when Eq. 8 ran over an all-equal finite distance window
+    /// (`max == min`), mapping every finite distance to `0.0`.
+    min_max_degenerate: bool,
 }
 
 impl PairwiseDistances {
@@ -186,6 +195,27 @@ impl PairwiseDistances {
             pairs_skipped: self.pairs_skipped,
             ..DegradationCounters::default()
         }
+    }
+
+    /// Identities whose compared series was *constant*, ascending (only
+    /// populated when Eq. 7 z-score normalisation is enabled). A constant
+    /// series maps to all zeros under Eq. 7 — σ = 0 removes every scale —
+    /// so any two constant series look identical regardless of their
+    /// actual RSSI levels. The distances are still reported (the
+    /// conservative, documented behaviour), but confirmation marks pairs
+    /// touching these identities as `DegenerateScale` in the audit trail.
+    pub fn degenerate_ids(&self) -> &[IdentityId] {
+        &self.degenerate_ids
+    }
+
+    /// `true` when Eq. 8 min–max normalisation ran over an all-equal
+    /// finite window: `max == min` maps every finite distance to `0.0`,
+    /// so every pair satisfies `0 ≤ threshold` and will be flagged. This
+    /// is the documented conservative choice for a window with no
+    /// separability information; confirmation surfaces it per pair as
+    /// `DegenerateScale` in the audit trail.
+    pub fn is_min_max_degenerate(&self) -> bool {
+        self.min_max_degenerate
     }
 
     /// Number of compared identities.
@@ -327,6 +357,17 @@ fn compare_impl(
     });
     kept.sort_by_key(|(id, _)| *id);
     quarantined.sort_unstable();
+    // A constant series hits Eq. 7's σ = 0 edge (normalises to all
+    // zeros). Detection is audit-only: the distances are computed and
+    // reported exactly as before.
+    let degenerate_ids: Vec<IdentityId> = if config.z_score_normalize {
+        kept.iter()
+            .filter(|(_, s)| s.windows(2).all(|w| w[0] == w[1]))
+            .map(|(id, _)| *id)
+            .collect()
+    } else {
+        Vec::new()
+    };
     if kept.len() < 2 {
         return (
             PairwiseDistances {
@@ -335,6 +376,8 @@ fn compare_impl(
                 raw: Vec::new(),
                 quarantined,
                 pairs_skipped: 0,
+                degenerate_ids,
+                min_max_degenerate: false,
             },
             true,
         );
@@ -366,6 +409,11 @@ fn compare_impl(
     let prefill = if token.is_some() { f64::NAN } else { 0.0 };
     let mut raw = vec![prefill; pairs.len()];
 
+    // Sweep-level instrumentation (no-op without the `obs` feature; one
+    // relaxed load per hook when the feature is on but no sink is set).
+    let stats = trace::SweepStats::new();
+    let stats_ref = &stats;
+
     // The measure is dispatched once, outside the pair loop; each arm
     // hands a monomorphised kernel to the branch-free fill below.
     let completed = match config.measure {
@@ -376,6 +424,7 @@ fn compare_impl(
             config,
             threads,
             token,
+            &stats,
             |a, b, _, s| fast_dtw_with_scratch(a, b, radius, s),
         ),
         DistanceMeasure::BandedDtw { band_fraction } => {
@@ -387,6 +436,7 @@ fn compare_impl(
                     config,
                     threads,
                     token,
+                    &stats,
                     |a, b, max_len, s| {
                         let band = band_width(max_len, band_fraction);
                         dtw_banded_with_scratch(a, b, band, s)
@@ -401,6 +451,7 @@ fn compare_impl(
                         config,
                         threads,
                         token,
+                        &stats,
                         move |a, b, max_len, s| {
                             let band = band_width(max_len, band_fraction);
                             // The threshold is in reported-distance units;
@@ -409,9 +460,16 @@ fn compare_impl(
                             let t_raw = if per_step { t * max_len as f64 } else { t };
                             let lb = lb_keogh_banded_with_scratch(a, b, band, s);
                             if lb > t_raw {
+                                stats_ref.prune_lb_hit();
                                 lb
                             } else {
-                                dtw_banded_prunable_with_scratch(a, b, band, t_raw, s).value()
+                                match dtw_banded_prunable_with_scratch(a, b, band, t_raw, s) {
+                                    BoundedDistance::Exact(v) => v,
+                                    BoundedDistance::AboveThreshold(v) => {
+                                        stats_ref.prune_abandon_hit();
+                                        v
+                                    }
+                                }
                             }
                         },
                     )
@@ -425,6 +483,7 @@ fn compare_impl(
             config,
             threads,
             token,
+            &stats,
             |a, b, _, s| dtw_with_scratch(a, b, s),
         ),
         DistanceMeasure::TruncatedEuclidean => fill_pairs(
@@ -434,6 +493,7 @@ fn compare_impl(
             config,
             threads,
             token,
+            &stats,
             |a, b, _, _| {
                 let m = a.len().min(b.len());
                 squared_euclidean(&a[..m], &b[..m])
@@ -441,6 +501,7 @@ fn compare_impl(
         ),
     };
     let complete = completed == pairs.len();
+    stats.finish(n, pairs.len(), completed, quarantined.len());
 
     let normalized = if config.min_max_normalize && complete {
         min_max_normalize(&raw)
@@ -455,6 +516,23 @@ fn compare_impl(
     // any NaN sentinels a cancelled sweep left behind — so the verdict
     // reports the skip instead of silently ignoring it.
     let pairs_skipped = normalized.iter().filter(|d| !d.is_finite()).count() as u64;
+    // Eq. 8's `max == min` edge maps every finite distance to 0.0 — the
+    // documented conservative behaviour. Record the fact (audit-only) by
+    // recomputing the extrema the same way `min_max_normalize` does:
+    // over the finite values only.
+    let min_max_degenerate = if config.min_max_normalize && complete {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in &raw {
+            if v.is_finite() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        lo.is_finite() && lo == hi
+    } else {
+        false
+    };
     (
         PairwiseDistances {
             ids: kept.into_iter().map(|(id, _)| id).collect(),
@@ -462,6 +540,8 @@ fn compare_impl(
             raw,
             quarantined,
             pairs_skipped,
+            degenerate_ids,
+            min_max_degenerate,
         },
         complete,
     )
@@ -481,6 +561,7 @@ fn band_width(max_len: usize, band_fraction: f64) -> usize {
 /// to the `threads == 1` sequential loop. With a cancellation token the
 /// workers stop claiming pairs once it fires; the return value is the
 /// number of pairs actually computed (always `pairs.len()` without one).
+#[allow(clippy::too_many_arguments)]
 fn fill_pairs<K>(
     raw: &mut [f64],
     pairs: &[(u32, u32)],
@@ -488,6 +569,7 @@ fn fill_pairs<K>(
     config: &ComparisonConfig,
     threads: usize,
     token: Option<&CancelToken>,
+    stats: &trace::SweepStats,
     kernel: K,
 ) -> usize
 where
@@ -495,6 +577,7 @@ where
 {
     let per_step = config.per_step_cost;
     let item = |k: usize, slot: &mut f64, scratch: &mut DtwScratch| {
+        let started = stats.pair_start();
         let (i, j) = pairs[k];
         let a = prepared[i as usize].as_ref();
         let b = prepared[j as usize].as_ref();
@@ -504,6 +587,7 @@ where
             d /= max_len as f64;
         }
         *slot = d;
+        stats.pair_end(started);
     };
     match token {
         None => {

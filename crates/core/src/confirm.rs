@@ -12,7 +12,60 @@ use vp_fault::DegradationCounters;
 
 use crate::comparator::PairwiseDistances;
 use crate::threshold::ThresholdPolicy;
+use crate::trace;
 use crate::IdentityId;
+
+/// Why the evidence behind an audited pair is tainted.
+///
+/// A tainted pair may still be flagged — both taints resolve
+/// *conservatively* (towards flagging) by design — but a consumer of the
+/// verdict can see that the decision rests on degraded evidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QuarantineReason {
+    /// The pair's distance came out non-finite (arithmetic overflow on
+    /// extreme inputs, or the NaN sentinel of a deadline-cancelled
+    /// sweep). Confirmation never flags such a pair; it is counted in
+    /// [`DegradationCounters::pairs_skipped`].
+    NonFiniteDistance,
+    /// The pair's distance went through a degenerate normalisation: a
+    /// constant input series under Eq. 7 (σ = 0 maps it to all zeros) or
+    /// an all-equal distance window under Eq. 8 (`max == min` maps every
+    /// distance to 0.0, so every pair satisfies `0 ≤ threshold`). The
+    /// documented behaviour is conservative — the pair can be flagged on
+    /// scale-free evidence — and this taint is how the audit trail
+    /// records it.
+    DegenerateScale,
+}
+
+/// Per-pair verdict audit record: everything the confirmation rule
+/// `D′(i,j) ≤ k·den + b` saw when it decided this pair.
+///
+/// One record exists for **every** compared pair (flagged or not), in
+/// upper-triangle order, so "why was (i, j) called Sybil?" — and equally
+/// "why was it *not*?" — can be answered after the fact without re-running
+/// the pipeline. Records are plain data derived from values the pipeline
+/// computes anyway; producing them does not alter any verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairAudit {
+    /// Smaller identity of the pair.
+    pub id_i: IdentityId,
+    /// Larger identity of the pair.
+    pub id_j: IdentityId,
+    /// Raw DTW distance, before Eq. 8 min–max normalisation.
+    pub dtw_raw: f64,
+    /// The distance actually compared against the threshold (after
+    /// Eq. 8 when enabled, otherwise equal to `dtw_raw`).
+    pub dtw_normalized: f64,
+    /// Density estimate (vehicles/km) the threshold was derived from.
+    pub density: f64,
+    /// Threshold in force for this round (`k·den + b`).
+    pub threshold: f64,
+    /// Whether the pair was flagged as a Sybil pair.
+    pub flagged: bool,
+    /// Taint on the evidence, if any.
+    pub quarantined_reason: Option<QuarantineReason>,
+}
 
 /// The confirmation phase's verdict.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +76,7 @@ pub struct SybilVerdict {
     threshold: f64,
     quarantined: Vec<IdentityId>,
     degradation: DegradationCounters,
+    audit: Vec<PairAudit>,
 }
 
 impl SybilVerdict {
@@ -65,6 +119,20 @@ impl SybilVerdict {
     pub fn degradation(&self) -> DegradationCounters {
         self.degradation
     }
+
+    /// Per-pair audit records for every compared pair, in upper-triangle
+    /// order over the sorted identities. Every flagged pair has a record
+    /// with `flagged == true` carrying the exact distance, density and
+    /// threshold that produced the decision.
+    pub fn audit_records(&self) -> &[PairAudit] {
+        &self.audit
+    }
+
+    /// The audit record for one pair, order-free.
+    pub fn audit_for(&self, a: IdentityId, b: IdentityId) -> Option<&PairAudit> {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        self.audit.iter().find(|r| r.id_i == lo && r.id_j == hi)
+    }
 }
 
 /// Runs the confirmation phase.
@@ -80,50 +148,81 @@ pub fn confirm(
     policy: &ThresholdPolicy,
 ) -> SybilVerdict {
     let threshold = policy.threshold_at(density_per_km);
-    if distances.len() < 3 {
-        return SybilVerdict {
-            suspects: Vec::new(),
-            groups: Vec::new(),
-            flagged_pairs: Vec::new(),
-            threshold,
-            quarantined: distances.quarantined_ids().to_vec(),
-            degradation: distances.degradation(),
-        };
-    }
-    let mut flagged = Vec::new();
-    let mut uf = UnionFind::new(distances.len());
+    let n = distances.len();
+    // Tiny neighbourhoods are never flagged (doc comment above), but
+    // their pairs still get audit records — "too few identities to
+    // threshold" is itself evidence worth surfacing.
+    let tiny = n < 3;
     let ids = distances.ids();
-    let index_of: HashMap<IdentityId, usize> =
-        ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
-    for (a, b, d) in distances.iter() {
-        // A NaN distance would fail `d <= threshold` anyway, but the
-        // explicit guard documents that non-finite pairs are skipped — the
-        // comparator already counted them in `pairs_skipped`.
-        if d.is_finite() && d <= threshold {
-            flagged.push((a, b, d));
-            uf.union(index_of[&a], index_of[&b]);
-        }
-    }
-    let mut groups_map: HashMap<usize, Vec<IdentityId>> = HashMap::new();
-    for (a, b, _) in &flagged {
-        for id in [a, b] {
-            let root = uf.find(index_of[id]);
-            let group = groups_map.entry(root).or_default();
-            if !group.contains(id) {
-                group.push(*id);
+    let degenerate_ids = distances.degenerate_ids();
+    let min_max_degenerate = distances.is_min_max_degenerate();
+    let mut audit = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+    let mut flagged: Vec<(IdentityId, IdentityId, f64)> = Vec::new();
+    let mut in_flagged = vec![false; n];
+    let mut uf = UnionFind::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = distances.normalized_between(i, j);
+            // A NaN distance would fail `d <= threshold` anyway, but the
+            // explicit guard documents that non-finite pairs are skipped —
+            // the comparator already counted them in `pairs_skipped`.
+            let is_flagged = !tiny && d.is_finite() && d <= threshold;
+            let reason = if !d.is_finite() {
+                Some(QuarantineReason::NonFiniteDistance)
+            } else if min_max_degenerate
+                || degenerate_ids.binary_search(&ids[i]).is_ok()
+                || degenerate_ids.binary_search(&ids[j]).is_ok()
+            {
+                Some(QuarantineReason::DegenerateScale)
+            } else {
+                None
+            };
+            audit.push(PairAudit {
+                id_i: ids[i],
+                id_j: ids[j],
+                dtw_raw: distances.raw_between(i, j),
+                dtw_normalized: d,
+                density: density_per_km,
+                threshold,
+                flagged: is_flagged,
+                quarantined_reason: reason,
+            });
+            if is_flagged {
+                flagged.push((ids[i], ids[j], d));
+                in_flagged[i] = true;
+                in_flagged[j] = true;
+                uf.union(i, j);
+                trace::confirm_flagged(
+                    ids[i],
+                    ids[j],
+                    d,
+                    distances.raw_between(i, j),
+                    threshold,
+                    density_per_km,
+                    reason == Some(QuarantineReason::DegenerateScale),
+                );
             }
         }
     }
-    let mut groups: Vec<Vec<IdentityId>> = groups_map
-        .into_values()
-        .map(|mut g| {
-            g.sort_unstable();
-            g
-        })
-        .collect();
+    let mut groups_map: HashMap<usize, Vec<IdentityId>> = HashMap::new();
+    // Ascending index order + sorted ids ⇒ each group comes out sorted.
+    for i in 0..n {
+        if in_flagged[i] {
+            groups_map.entry(uf.find(i)).or_default().push(ids[i]);
+        }
+    }
+    let mut groups: Vec<Vec<IdentityId>> = groups_map.into_values().collect();
     groups.sort_by_key(|g| g[0]);
     let mut suspects: Vec<IdentityId> = groups.iter().flatten().copied().collect();
     suspects.sort_unstable();
+    trace::confirm_round(
+        n,
+        density_per_km,
+        threshold,
+        flagged.len(),
+        suspects.len(),
+        distances.quarantined_ids().len(),
+    );
     SybilVerdict {
         suspects,
         groups,
@@ -131,6 +230,7 @@ pub fn confirm(
         threshold,
         quarantined: distances.quarantined_ids().to_vec(),
         degradation: distances.degradation(),
+        audit,
     }
 }
 
@@ -288,6 +388,126 @@ mod tests {
         let verdict = confirm(&pd, 10.0, &ThresholdPolicy::Constant(0.02));
         assert!(verdict.quarantined().is_empty());
         assert!(verdict.degradation().is_clean());
+    }
+
+    #[test]
+    fn every_pair_gets_an_audit_record_consistent_with_the_verdict() {
+        let pd = distances_with_two_sybil_clusters();
+        let verdict = confirm(&pd, 10.0, &ThresholdPolicy::Constant(0.02));
+        let n = pd.len();
+        assert_eq!(verdict.audit_records().len(), n * (n - 1) / 2);
+        for rec in verdict.audit_records() {
+            assert!(rec.id_i < rec.id_j);
+            assert_eq!(rec.density, 10.0);
+            assert_eq!(rec.threshold, verdict.threshold());
+            assert_eq!(
+                rec.flagged,
+                rec.dtw_normalized.is_finite() && rec.dtw_normalized <= rec.threshold
+            );
+        }
+        // Every flagged pair is backed by a record carrying the exact
+        // distance that produced the decision.
+        for &(a, b, d) in verdict.flagged_pairs() {
+            let rec = verdict.audit_for(a, b).expect("flagged pair has a record");
+            assert!(rec.flagged);
+            assert_eq!(rec.dtw_normalized, d);
+            assert_eq!(rec.quarantined_reason, None);
+        }
+        // `audit_for` is order-free.
+        let (a, b, _) = verdict.flagged_pairs()[0];
+        assert_eq!(verdict.audit_for(a, b), verdict.audit_for(b, a));
+    }
+
+    #[test]
+    fn constant_series_is_audited_as_degenerate_scale() {
+        // A constant series has σ = 0, so Eq. 7 maps it to all zeros —
+        // its distance to every other z-scored series is scale-free
+        // evidence. The verdict is unchanged (conservative flagging), but
+        // every pair touching the constant identity carries the taint.
+        let series = vec![
+            (1, (0..100).map(|k| (k as f64 * 0.1).sin() - 70.0).collect()),
+            (
+                2,
+                (0..100).map(|k| (k as f64 * 0.23).cos() - 72.0).collect(),
+            ),
+            (7, vec![-70.0; 100]),
+        ];
+        let pd = compare(&series, &ComparisonConfig::default());
+        let verdict = confirm(&pd, 10.0, &ThresholdPolicy::Constant(0.5));
+        for rec in verdict.audit_records() {
+            let touches_constant = rec.id_i == 7 || rec.id_j == 7;
+            assert_eq!(
+                rec.quarantined_reason,
+                touches_constant.then_some(QuarantineReason::DegenerateScale),
+                "pair ({}, {})",
+                rec.id_i,
+                rec.id_j
+            );
+        }
+    }
+
+    #[test]
+    fn all_equal_window_under_min_max_flags_everyone_as_degenerate() {
+        // Three identical series under the paper-strict config: every raw
+        // DTW distance is 0, so the Eq. 8 window has max == min and
+        // min–max maps every distance to 0.0 — below any threshold. The
+        // documented conservative behaviour flags every pair; the audit
+        // trail must say the scale was degenerate.
+        let shape: Vec<f64> = (0..100).map(|k| (k as f64 * 0.17).sin() - 71.0).collect();
+        let series = vec![(1, shape.clone()), (2, shape.clone()), (3, shape)];
+        let pd = compare(&series, &ComparisonConfig::paper_strict());
+        let verdict = confirm(&pd, 10.0, &ThresholdPolicy::Constant(0.02));
+        assert_eq!(verdict.suspects(), &[1, 2, 3]);
+        assert_eq!(verdict.audit_records().len(), 3);
+        for rec in verdict.audit_records() {
+            assert!(rec.flagged);
+            assert_eq!(rec.dtw_normalized, 0.0);
+            assert_eq!(
+                rec.quarantined_reason,
+                Some(QuarantineReason::DegenerateScale)
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_distance_is_audited_and_never_flagged() {
+        // Finite-but-extreme inputs overflow the DTW accumulation to
+        // +∞ without tripping the collector's finite-sample validation;
+        // the pair must be audited as NonFiniteDistance and never
+        // flagged, no matter how loose the threshold.
+        let series = vec![
+            (1, vec![1e308; 100]),
+            (2, vec![-1e308; 100]),
+            (3, (0..100).map(|k| (k as f64 * 0.2).sin() - 70.0).collect()),
+        ];
+        let config = ComparisonConfig {
+            z_score_normalize: false,
+            ..ComparisonConfig::default()
+        };
+        let pd = compare(&series, &config);
+        let verdict = confirm(&pd, 10.0, &ThresholdPolicy::Constant(f64::MAX));
+        let rec = verdict.audit_for(1, 2).expect("pair compared");
+        assert!(!rec.dtw_normalized.is_finite());
+        assert!(!rec.flagged);
+        assert_eq!(
+            rec.quarantined_reason,
+            Some(QuarantineReason::NonFiniteDistance)
+        );
+        assert!(!verdict.suspects().contains(&1) || !verdict.suspects().contains(&2));
+    }
+
+    #[test]
+    fn tiny_neighbourhood_still_produces_audit_records() {
+        let shape: Vec<f64> = (0..100).map(|k| (k as f64 * 0.2).sin() - 70.0).collect();
+        let series = vec![
+            (1, shape.clone()),
+            (2, shape.iter().map(|v| v + 3.0).collect()),
+        ];
+        let pd = compare(&series, &ComparisonConfig::default());
+        let verdict = confirm(&pd, 10.0, &ThresholdPolicy::Constant(0.5));
+        assert!(verdict.is_clean());
+        assert_eq!(verdict.audit_records().len(), 1);
+        assert!(!verdict.audit_records()[0].flagged);
     }
 
     #[test]

@@ -55,6 +55,7 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod algorithm;
 pub mod collector;
@@ -63,6 +64,7 @@ pub mod confirm;
 pub mod detector;
 pub mod multi_period;
 pub mod threshold;
+pub(crate) mod trace;
 pub mod training;
 
 pub use collector::Collector;
@@ -70,7 +72,7 @@ pub use comparator::{
     compare, compare_cancellable, compare_cancellable_with_threads, compare_sequential,
     ComparisonConfig, DistanceMeasure, PairwiseDistances,
 };
-pub use confirm::{confirm, SybilVerdict};
+pub use confirm::{confirm, PairAudit, QuarantineReason, SybilVerdict};
 pub use detector::VoiceprintDetector;
 pub use multi_period::MultiPeriodDetector;
 pub use threshold::ThresholdPolicy;

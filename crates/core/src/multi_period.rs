@@ -61,7 +61,17 @@ impl<D: Detector> MultiPeriodDetector<D> {
 
     /// Clears all remembered history (e.g. between simulation runs).
     pub fn reset(&self) {
-        self.history.lock().expect("history lock").clear();
+        lock_history(&self.history).clear();
+    }
+}
+
+/// Acquires the vote-history lock, recovering from poisoning: the map
+/// only accumulates per-observer vote sets, so state left by a panicked
+/// holder is still internally consistent.
+fn lock_history<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
     }
 }
 
@@ -72,7 +82,7 @@ impl<D: Detector> Detector for MultiPeriodDetector<D> {
 
     fn detect(&self, input: &DetectionInput) -> Vec<IdentityId> {
         let raw: HashSet<IdentityId> = self.inner.detect(input).into_iter().collect();
-        let mut history = self.history.lock().expect("history lock");
+        let mut history = lock_history(&self.history);
         let periods = history.entry(input.observer).or_default();
         periods.push_back(raw);
         while periods.len() > self.window {

@@ -105,14 +105,21 @@ impl FaultInjector {
         match *fault {
             FaultKind::NonFiniteRssi { probability } => {
                 if self.rng.gen_bool(probability) {
-                    primary.rssi_dbm = *NON_FINITE.choose(&mut self.rng).expect("non-empty");
-                    self.stats.corrupted += 1;
+                    // `choose` on a non-empty const array is always `Some`;
+                    // the `if let` keeps the rng stream identical while
+                    // avoiding a panic path in library code.
+                    if let Some(&v) = NON_FINITE.choose(&mut self.rng) {
+                        primary.rssi_dbm = v;
+                        self.stats.corrupted += 1;
+                    }
                 }
             }
             FaultKind::NonFiniteTime { probability } => {
                 if self.rng.gen_bool(probability) {
-                    primary.time_s = *NON_FINITE.choose(&mut self.rng).expect("non-empty");
-                    self.stats.corrupted += 1;
+                    if let Some(&v) = NON_FINITE.choose(&mut self.rng) {
+                        primary.time_s = v;
+                        self.stats.corrupted += 1;
+                    }
                 }
             }
             FaultKind::DuplicateBeacon { probability } => {

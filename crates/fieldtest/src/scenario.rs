@@ -296,18 +296,18 @@ impl FieldScenario {
                 // Motion-gated multipath flicker (small residual when
                 // stationary: pedestrians, other traffic).
                 let sigma = fast_sigma_db * motion + 0.05;
-                rssi += Normal::new(0.0, sigma)
-                    .expect("valid sigma")
-                    .sample(&mut rng);
+                // Sigma has a +0.05 floor so `Normal::new` cannot fail;
+                // the guard keeps library code panic-free regardless.
+                if let Ok(n) = Normal::new(0.0, sigma) {
+                    rssi += n.sample(&mut rng);
+                }
                 if channel.is_receivable(rssi) {
                     // Whole-dBm reporting, clipped at the sensitivity
                     // floor.
                     let reported = rssi.round().max(-95.0);
-                    let series = out
-                        .iter_mut()
-                        .find(|(id, _)| *id == node.identity)
-                        .expect("initialised above");
-                    series.1.push((t + slot, reported));
+                    if let Some(series) = out.iter_mut().find(|(id, _)| *id == node.identity) {
+                        series.1.push((t + slot, reported));
+                    }
                 }
             }
         }

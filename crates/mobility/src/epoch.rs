@@ -84,7 +84,10 @@ impl EpochMobility {
     /// The paper's Table V parameters: `λ_e = 0.2 s⁻¹`, `μ_v = 25 m/s`,
     /// `σ_v = 5 m/s`.
     pub fn paper_default<R: Rng + ?Sized>(rng: &mut R) -> Self {
-        EpochMobility::new(0.2, 25.0, 5.0, rng).expect("paper parameters are valid")
+        match EpochMobility::new(0.2, 25.0, 5.0, rng) {
+            Ok(m) => m,
+            Err(_) => unreachable!("paper parameters are valid"),
+        }
     }
 
     fn new_epoch<R: Rng + ?Sized>(&mut self, rng: &mut R) {

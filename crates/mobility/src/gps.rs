@@ -57,8 +57,13 @@ impl GpsError {
         if self.sigma_m == 0.0 {
             return (x_m, y_m);
         }
-        let n = Normal::new(0.0, self.sigma_m).expect("validated sigma");
-        (x_m + n.sample(rng), y_m + n.sample(rng))
+        // `sigma_m` is validated finite and non-negative at construction;
+        // if that invariant ever broke, degrade to the true position
+        // rather than panicking mid-simulation.
+        match Normal::new(0.0, self.sigma_m) {
+            Ok(n) => (x_m + n.sample(rng), y_m + n.sample(rng)),
+            Err(_) => (x_m, y_m),
+        }
     }
 }
 

@@ -47,7 +47,9 @@ impl Trajectory {
 
     /// Total scripted duration in seconds.
     pub fn duration_s(&self) -> f64 {
-        self.keyframes.last().expect("non-empty by construction").0
+        // Keyframes are non-empty by construction (builder seeds one, and
+        // `stationary` writes one); an empty script maps to zero duration.
+        self.keyframes.last().map_or(0.0, |kf| kf.0)
     }
 
     /// Position at time `t_s`, clamped to the script's endpoints.
@@ -117,7 +119,9 @@ impl TrajectoryBuilder {
     /// Panics if `duration_s` is not strictly positive.
     pub fn travel_to(mut self, x_m: f64, y_m: f64, duration_s: f64) -> Self {
         assert!(duration_s > 0.0, "travel duration must be positive");
-        let (t, _, _) = *self.keyframes.last().expect("non-empty");
+        // The builder seeds a keyframe at construction, so `last` is
+        // always present; the origin fallback keeps this panic-free.
+        let (t, _, _) = self.keyframes.last().copied().unwrap_or_default();
         self.keyframes.push((t + duration_s, x_m, y_m));
         self
     }
@@ -130,7 +134,7 @@ impl TrajectoryBuilder {
     /// equals the current position.
     pub fn travel_to_at(self, x_m: f64, y_m: f64, speed_mps: f64) -> Self {
         assert!(speed_mps > 0.0, "speed must be positive");
-        let (_, cx, cy) = *self.keyframes.last().expect("non-empty");
+        let (_, cx, cy) = self.keyframes.last().copied().unwrap_or_default();
         let dist = ((x_m - cx).powi(2) + (y_m - cy).powi(2)).sqrt();
         assert!(dist > 0.0, "destination equals current position");
         self.travel_to(x_m, y_m, dist / speed_mps)
@@ -144,7 +148,7 @@ impl TrajectoryBuilder {
     /// Panics if `duration_s` is not strictly positive.
     pub fn hold(mut self, duration_s: f64) -> Self {
         assert!(duration_s > 0.0, "hold duration must be positive");
-        let (t, x, y) = *self.keyframes.last().expect("non-empty");
+        let (t, x, y) = self.keyframes.last().copied().unwrap_or_default();
         self.keyframes.push((t + duration_s, x, y));
         self
     }

@@ -26,6 +26,7 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -222,14 +223,25 @@ pub fn par_fill_with_min_fanout<T, S, FI, F>(
 {
     let n = slots.len();
     let threads = threads.max(1).min(n.max(1));
-    if threads == 1 || n < min_fanout.max(2) || in_parallel_region() {
+    let inline = threads == 1 || n < min_fanout.max(2) || in_parallel_region();
+    // Span around the whole region (only with the `obs` feature; a
+    // no-sink emit is one relaxed load). Timing wraps the fan-out, so
+    // spawn/join overhead is part of the reported duration.
+    #[cfg(feature = "obs")]
+    let span = vp_obs::span("par.region")
+        .field("slots", n)
+        .field("threads", if inline { 1usize } else { threads })
+        .field("inline", inline);
+    if inline {
         let mut scratch = init();
         for (k, slot) in slots.iter_mut().enumerate() {
             f(k, slot, &mut scratch);
         }
-        return;
+    } else {
+        backend::fill(slots, threads, &init, &f);
     }
-    backend::fill(slots, threads, &init, &f);
+    #[cfg(feature = "obs")]
+    span.finish();
 }
 
 /// Cancellable form of [`par_fill_with_threads`]: before each item, every
@@ -359,7 +371,7 @@ where
 {
     let mut out: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
     par_fill_with(&mut out, || (), |k, slot, ()| *slot = Some(f(&items[k])));
-    out.into_iter().map(|v| v.expect("slot filled")).collect()
+    collect_filled(out)
 }
 
 /// [`par_map`] for *coarse* items: fans out from two items upward instead
@@ -380,7 +392,7 @@ where
         || (),
         |k, slot, ()| *slot = Some(f(&items[k])),
     );
-    out.into_iter().map(|v| v.expect("slot filled")).collect()
+    collect_filled(out)
 }
 
 /// Maps `f` over `items` in parallel with per-worker scratch state,
@@ -396,7 +408,20 @@ where
     par_fill_with(&mut out, init, |k, slot, scratch| {
         *slot = Some(f(scratch, &items[k]))
     });
-    out.into_iter().map(|v| v.expect("slot filled")).collect()
+    collect_filled(out)
+}
+
+/// Unwraps the slots of a completed (uncancellable) fill. `par_fill_with`
+/// visits every index exactly once, so an empty slot is unreachable by
+/// construction; the `unreachable!` keeps that invariant loud instead of
+/// hiding it behind a silent default.
+fn collect_filled<U>(out: Vec<Option<U>>) -> Vec<U> {
+    out.into_iter()
+        .map(|v| match v {
+            Some(v) => v,
+            None => unreachable!("par_fill_with writes every slot"),
+        })
+        .collect()
 }
 
 #[cfg(test)]

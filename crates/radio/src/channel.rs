@@ -148,8 +148,10 @@ impl<M: PathLoss> Channel<M> {
             .links
             .entry((tx_radio, rx_radio))
             .or_insert_with(|| LinkState {
-                process: GaussMarkov::new(self.config.shadow_correlation_time_s, rng)
-                    .expect("config validated at construction"),
+                process: match GaussMarkov::new(self.config.shadow_correlation_time_s, rng) {
+                    Ok(p) => p,
+                    Err(_) => unreachable!("config validated at construction"),
+                },
                 last_time_s: time_s,
             });
         let dt = time_s - link.last_time_s;
@@ -158,9 +160,12 @@ impl<M: PathLoss> Channel<M> {
         let fast = if self.config.rayleigh_fast_fading {
             Rayleigh::new().sample_db(rng)
         } else {
-            Normal::new(0.0, self.config.fast_fading_sigma_db)
-                .expect("non-negative sigma")
-                .sample(rng)
+            // Sigma is validated non-negative at construction; a broken
+            // invariant degrades to no fast fading instead of a panic.
+            match Normal::new(0.0, self.config.fast_fading_sigma_db) {
+                Ok(n) => n.sample(rng),
+                Err(_) => 0.0,
+            }
         };
         mean + shadow + fast
     }

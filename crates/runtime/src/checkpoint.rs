@@ -22,6 +22,10 @@ pub const MAGIC: [u8; 4] = *b"VPCK";
 /// Checkpoint format version written (and required) by this build.
 pub const VERSION: u16 = 1;
 
+const TRUNCATED: VpError = VpError::CheckpointCorrupt {
+    reason: "truncated payload",
+};
+
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf29ce484222325u64;
     for &b in bytes {
@@ -95,11 +99,16 @@ impl<'a> Reader<'a> {
     }
 
     pub(crate) fn get_u32(&mut self) -> Result<u32, VpError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+        // `take` already guarantees the length; a width mismatch is still
+        // reported as corruption rather than a panic — this path is fed
+        // external bytes.
+        let bytes: [u8; 4] = self.take(4)?.try_into().map_err(|_| TRUNCATED)?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     pub(crate) fn get_u64(&mut self) -> Result<u64, VpError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        let bytes: [u8; 8] = self.take(8)?.try_into().map_err(|_| TRUNCATED)?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     pub(crate) fn get_f64(&mut self) -> Result<f64, VpError> {
@@ -150,7 +159,9 @@ pub(crate) fn open(bytes: &[u8]) -> Result<&[u8], VpError> {
             reason: "bad magic",
         });
     }
-    let found = u16::from_le_bytes(bytes[4..6].try_into().expect("len 2"));
+    // Length-checked above; indexing the two bytes directly avoids a
+    // fallible slice-to-array conversion on externally supplied input.
+    let found = u16::from_le_bytes([bytes[4], bytes[5]]);
     if found != VERSION {
         return Err(VpError::CheckpointVersion {
             found,
@@ -158,7 +169,10 @@ pub(crate) fn open(bytes: &[u8]) -> Result<&[u8], VpError> {
         });
     }
     let (prefix, trailer) = bytes.split_at(bytes.len() - TRAILER);
-    let stored = u64::from_le_bytes(trailer.try_into().expect("len 8"));
+    let trailer: [u8; 8] = trailer.try_into().map_err(|_| VpError::CheckpointCorrupt {
+        reason: "truncated checksum",
+    })?;
+    let stored = u64::from_le_bytes(trailer);
     if fnv1a(prefix) != stored {
         return Err(VpError::CheckpointCorrupt {
             reason: "checksum mismatch",

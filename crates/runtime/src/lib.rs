@@ -36,9 +36,11 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod checkpoint;
 pub mod config;
+pub(crate) mod obs;
 pub mod queue;
 pub mod runtime;
 pub mod scenario;

@@ -124,14 +124,16 @@ impl BeaconQueue {
     /// interval bookkeeping.
     pub fn drain_until(&mut self, t_s: f64) -> Vec<QueuedBeacon> {
         let mut out = Vec::new();
-        while let Some(front) = self.items.front() {
-            if front.arrival_s < t_s {
-                let qb = self.items.pop_front().expect("front exists");
-                self.decrement(qb.beacon.identity);
-                out.push(qb);
-            } else {
+        while self
+            .items
+            .front()
+            .is_some_and(|front| front.arrival_s < t_s)
+        {
+            let Some(qb) = self.items.pop_front() else {
                 break;
-            }
+            };
+            self.decrement(qb.beacon.identity);
+            out.push(qb);
         }
         out
     }

@@ -26,6 +26,7 @@ use vp_sim::IdentityId;
 
 use crate::checkpoint::{self, Reader, Writer};
 use crate::config::{DeadlinePolicy, RuntimeConfig};
+use crate::obs;
 use crate::queue::{BeaconQueue, QueuedBeacon};
 
 /// One detection round's verdict, with the fidelity it was computed at.
@@ -159,14 +160,29 @@ impl StreamingRuntime {
         let mut outcomes = Vec::new();
         while self.next_detection_s <= now_s + 1e-9 {
             let t_d = self.next_detection_s;
+            let started = obs::round_start();
+            let queue_depth = self.queue.len();
+            let mut drained = 0usize;
             for qb in self.queue.drain_until(t_d) {
+                drained += 1;
                 self.collector
                     .record(qb.beacon.identity, qb.beacon.time_s, qb.beacon.rssi_dbm);
                 // The batch engine estimates density from every decoded
                 // beacon, even ones the log quarantines.
                 self.density.record(qb.beacon.identity, qb.beacon.time_s);
             }
-            outcomes.push(self.run_round(t_d));
+            let outcome = self.run_round(t_d);
+            obs::round_end(
+                started,
+                t_d,
+                &outcome,
+                queue_depth,
+                drained,
+                self.queue.shed_count(),
+                self.degrade_level,
+                &self.config.deadline,
+            );
+            outcomes.push(outcome);
             self.collector.prune(t_d);
             self.next_detection_s += self.config.detection_period_s;
         }
@@ -230,6 +246,7 @@ impl StreamingRuntime {
                         self.consecutive_misses = 0;
                     }
                 }
+                obs::degrade_transition(ran_level, self.degrade_level);
                 RoundOutcome::Verdict(WindowReport {
                     time_s: t_d,
                     verdict,
@@ -242,12 +259,14 @@ impl StreamingRuntime {
                 self.consecutive_failures += 1;
                 if self.consecutive_failures >= self.config.supervisor.circuit_breaker_after {
                     self.circuit_open = true;
+                    obs::circuit_open(self.consecutive_failures);
                 } else {
                     let exp = 1u32 << (self.consecutive_failures - 1).min(31);
                     let jitter = (mix(self.config.seed, self.rounds_run) & 1) as u32;
                     self.backoff_rounds = (exp.min(self.config.supervisor.max_backoff_rounds) - 1
                         + jitter)
                         .min(self.config.supervisor.max_backoff_rounds);
+                    obs::backoff(self.backoff_rounds, self.consecutive_failures);
                 }
                 RoundOutcome::Panicked {
                     time_s: t_d,
@@ -387,7 +406,9 @@ impl StreamingRuntime {
             w.put_f64(qb.beacon.rssi_dbm);
         }
 
-        checkpoint::seal(&w.into_payload())
+        let sealed = checkpoint::seal(&w.into_payload());
+        obs::checkpoint_save(sealed.len());
+        sealed
     }
 
     /// Rebuilds a runtime from a [`StreamingRuntime::checkpoint`] under
@@ -489,6 +510,7 @@ impl StreamingRuntime {
         }
         let queue = BeaconQueue::restore(config.queue_capacity, config.seed, shed, items);
         r.finish()?;
+        obs::checkpoint_restore(bytes.len(), queue.len());
 
         Ok(StreamingRuntime {
             collector,

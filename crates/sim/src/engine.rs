@@ -193,15 +193,16 @@ pub fn try_run_scenario(
         }
 
         // Periodic propagation-model parameter change (Section V-A).
-        if let Some(switch_at) = next_model_switch {
+        // `next_model_switch` is only ever `Some` when a change period is
+        // configured, so requiring both here cannot skip a real switch.
+        if let (Some(switch_at), Some(period)) = (next_model_switch, config.model_change_period_s) {
             if t0 + 1e-9 >= switch_at {
                 let u = [(); 5].map(|_| rng.gen_range(-1.0..=1.0));
                 let params = config
                     .base_params
                     .perturbed(u, config.model_change_magnitude);
                 channel.set_model(DualSlope::dsrc(params));
-                next_model_switch =
-                    Some(switch_at + config.model_change_period_s.expect("switch enabled"));
+                next_model_switch = Some(switch_at + period);
             }
         }
         let model = *channel.model(); // copy for the pure-mean closures
@@ -238,7 +239,13 @@ pub fn try_run_scenario(
         // remembering each packet's claimed position for witness records.
         let mut packet_claims: Vec<(f64, f64)> = Vec::with_capacity(contention.on_air.len());
         for packet in &contention.on_air {
-            let node = roster.get(packet.identity).expect("roster identity");
+            // Every on-air packet came from a roster request in this very
+            // round; `packet_claims` must stay index-aligned with
+            // `contention.on_air`, so a miss is a hard invariant breach,
+            // not something to skip past.
+            let Some(node) = roster.get(packet.identity) else {
+                unreachable!("on-air packet has a roster identity");
+            };
             let (px, py) = positions[node.vehicle_index];
             let forward = forwards[node.vehicle_index];
             let sign = if forward { 1.0 } else { -1.0 };
@@ -359,10 +366,12 @@ pub fn try_run_scenario(
                     .iter()
                     .filter_map(|id| latest_claims.get(id).copied())
                     .collect();
-                let vehicle_index = roster
-                    .get(observer)
-                    .expect("observer in roster")
-                    .vehicle_index;
+                // Observers are drawn from the roster, so a miss should be
+                // impossible — but an observer without a vehicle can only
+                // be skipped, not detected from.
+                let Some(vehicle_index) = roster.get(observer).map(|n| n.vehicle_index) else {
+                    continue;
+                };
                 let input = DetectionInput {
                     observer,
                     time_s: t_d,

@@ -31,9 +31,11 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod descriptive;
 pub mod distributions;
+pub mod envcheck;
 pub mod histogram;
 pub mod matrix;
 pub mod regression;
@@ -41,6 +43,7 @@ pub mod special;
 
 pub use descriptive::Summary;
 pub use distributions::{Exponential, Normal, TruncatedNormal};
+pub use envcheck::using_stub_rand;
 pub use histogram::Histogram;
 pub use matrix::Matrix;
 pub use regression::{DualSlopeFit, LinearFit, RegressionError};

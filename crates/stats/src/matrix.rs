@@ -228,15 +228,18 @@ impl Matrix {
         let mut a = self.data.clone();
         let mut x = b.data.clone();
         for col in 0..n {
-            let pivot = (col..n)
-                .max_by(|&i, &j| {
-                    a[i * n + col]
-                        .abs()
-                        .partial_cmp(&a[j * n + col].abs())
-                        .unwrap()
-                })
-                .unwrap();
-            if a[pivot * n + col].abs() < 1e-12 {
+            // `total_cmp` keeps the same last-max tie choice as the old
+            // `partial_cmp` path but cannot panic on NaN pivots — those
+            // now fall through to the singularity check instead.
+            let Some(pivot) =
+                (col..n).max_by(|&i, &j| a[i * n + col].abs().total_cmp(&a[j * n + col].abs()))
+            else {
+                return Err(SingularMatrixError);
+            };
+            let p = a[pivot * n + col].abs();
+            if p.is_nan() || p < 1e-12 {
+                // A NaN column is treated as singular, so corrupt input
+                // degrades to a structured error instead of NaN results.
                 return Err(SingularMatrixError);
             }
             if pivot != col {

@@ -252,10 +252,10 @@ pub fn fit_with_breakpoint(x: &[f64], y: &[f64], c: f64) -> Option<DualSlopeFit>
 /// pivoting. Returns `None` for a singular system.
 fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
     for col in 0..3 {
-        let pivot = (col..3)
-            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
-            .expect("non-empty pivot range");
-        if a[pivot][col].abs() < 1e-12 {
+        let pivot = (col..3).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        let p = a[pivot][col].abs();
+        if p.is_nan() || p < 1e-12 {
+            // A NaN pivot is treated as singular rather than propagated.
             return None;
         }
         a.swap(col, pivot);

@@ -117,8 +117,10 @@ pub fn dtw_windowed_with_path(
     y: &[f64],
     window: &SearchWindow,
 ) -> (f64, Vec<(usize, usize)>) {
-    let (dist, path) = windowed_dp(x, y, window, true);
-    (dist, path.expect("path requested"))
+    match windowed_dp(x, y, window, true) {
+        (dist, Some(path)) => (dist, path),
+        (_, None) => unreachable!("windowed_dp returns a path when want_path is set"),
+    }
 }
 
 /// Shared windowed dynamic program. When `want_path` is set, the full DP
@@ -427,7 +429,13 @@ fn rolling_windowed_dp(
 /// and `m`: starts at `(0,0)`, ends at `(n−1,m−1)`, and each step advances
 /// every index by at most one without moving backwards (paper Eq. 5).
 pub fn is_valid_warp_path(path: &[(usize, usize)], n: usize, m: usize) -> bool {
-    if path.is_empty() || path[0] != (0, 0) || *path.last().unwrap() != (n - 1, m - 1) {
+    // Zero-length series have no legal path at all; checked subtraction
+    // also avoids the index underflow the old `n - 1` hit when callers
+    // passed `n == 0` alongside a non-empty path.
+    let (Some(end_i), Some(end_j)) = (n.checked_sub(1), m.checked_sub(1)) else {
+        return false;
+    };
+    if path.first() != Some(&(0, 0)) || path.last() != Some(&(end_i, end_j)) {
         return false;
     }
     path.windows(2).all(|w| {

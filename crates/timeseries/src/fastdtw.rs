@@ -131,7 +131,10 @@ fn window_from_path(path: &[(usize, usize)], cols: usize) -> SearchWindow {
     }
     // A warp path visits every row, so all ranges are initialised; the
     // path's endpoints guarantee the corner anchoring `from_ranges` checks.
-    SearchWindow::from_ranges(cols, ranges).expect("warp path always forms a valid window")
+    match SearchWindow::from_ranges(cols, ranges) {
+        Ok(w) => w,
+        Err(_) => unreachable!("warp path always forms a valid window"),
+    }
 }
 
 #[cfg(test)]

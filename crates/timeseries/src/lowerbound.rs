@@ -82,8 +82,14 @@ pub fn lb_keogh_banded_with_scratch(
         while deq_min.front().is_some_and(|&f| f < lo) {
             deq_min.pop_front();
         }
-        let upper = y[*deq_max.front().expect("band is non-empty")];
-        let lower = y[*deq_min.front().expect("band is non-empty")];
+        // The band `[lo, hi]` always contains at least one column, so the
+        // deques are never empty here; skipping the row (contributing no
+        // cost) keeps this a valid lower bound even if that ever changed.
+        let (Some(&hi_idx), Some(&lo_idx)) = (deq_max.front(), deq_min.front()) else {
+            continue;
+        };
+        let upper = y[hi_idx];
+        let lower = y[lo_idx];
         if xi > upper {
             sum += point_cost(xi, upper);
         } else if xi < lower {

@@ -25,6 +25,10 @@ pub fn z_score(values: &[f64]) -> Vec<f64> {
 ///
 /// Maps ~99.7% of a Gaussian series into `(−1, 1)`. A constant series
 /// (σ = 0) maps to all zeros: its shape carries no voiceprint information.
+/// The detection pipeline still compares such a series (the conservative
+/// choice) but records every pair touching it as `DegenerateScale` in the
+/// verdict's audit trail — this zero-mapping is a documented contract,
+/// not an accident.
 ///
 /// # Example
 ///
@@ -60,7 +64,10 @@ fn scale_by_sigma(values: &[f64], sigma_factor: f64) -> Vec<f64> {
 /// When all values coincide (`max == min`) every value maps to `0.0`; for
 /// the detector this is the conservative choice, because an
 /// all-equal-distance neighbourhood carries no separability information and
-/// zero distances are then resolved by the threshold rule alone.
+/// zero distances are then resolved by the threshold rule alone — every
+/// pair then satisfies `0 ≤ threshold` and is flagged. The confirmation
+/// phase surfaces this in the verdict's audit trail by marking every pair
+/// of such a window as `DegenerateScale`.
 ///
 /// Non-finite entries are *isolated*, not contagious: the min/max are
 /// taken over the finite values only, finite values are normalised

@@ -1,0 +1,185 @@
+//! Observability contract tests (DESIGN.md §12), compiled only with the
+//! `obs` feature.
+//!
+//! The central property: installing a sink changes *what is recorded*,
+//! never *what is decided*. The golden digests pinned by
+//! `tests/fault_matrix.rs` must hold bit-for-bit while events stream into
+//! a sink, and every verdict must equal its unobserved twin.
+
+#![cfg(feature = "obs")]
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use voiceprint::comparator::{compare, ComparisonConfig};
+use voiceprint::threshold::ThresholdPolicy;
+use voiceprint::{confirm, VoiceprintDetector};
+use vp_obs::{MemorySink, ScopedSink};
+
+/// FNV-1a-style accumulator over raw f64 bit patterns (same as
+/// `tests/fault_matrix.rs`).
+fn mix(h: &mut u64, bits: u64) {
+    *h ^= bits;
+    *h = h.wrapping_mul(0x100000001b3);
+}
+
+fn population(n_ids: usize) -> Vec<(u64, Vec<f64>)> {
+    (0..n_ids)
+        .map(|v| {
+            let len = 110 + (v * 7) % 30;
+            let series = (0..len)
+                .map(|k| {
+                    let t = k as f64 * 0.1;
+                    (t * (1.0 + v as f64 * 0.13)).sin() * 4.0 - 70.0 - v as f64
+                })
+                .collect();
+            (v as u64, series)
+        })
+        .collect()
+}
+
+/// The fault-matrix golden digests must survive an *active* sink: the
+/// instrumented sweep records timings and prune counters, but the
+/// distances it stores are the same bits.
+#[test]
+fn golden_digests_hold_with_a_sink_installed() {
+    let sink = Arc::new(MemorySink::new());
+    let _guard = ScopedSink::install(sink.clone());
+    let series = population(10);
+    for (cfg, golden) in [
+        (ComparisonConfig::default(), 0xede4b7d5dd5936f9u64),
+        (ComparisonConfig::paper_strict(), 0x03b149d5278c3f1cu64),
+    ] {
+        let pd = compare(&series, &cfg);
+        let mut h: u64 = 0xcbf29ce484222325;
+        for i in 0..pd.len() {
+            for j in (i + 1)..pd.len() {
+                mix(&mut h, pd.raw_between(i, j).to_bits());
+                mix(&mut h, pd.normalized_between(i, j).to_bits());
+            }
+        }
+        assert_eq!(h, golden, "comparison output drifted under obs: {h:#018x}");
+    }
+    // And the sweeps were actually observed — one event per compare call.
+    assert_eq!(sink.count("compare.sweep"), 2);
+}
+
+/// Full detection round with a sink: verdict identical to the unobserved
+/// run, every flagged pair backed by both an audit record and a
+/// `confirm.flagged` event.
+#[test]
+fn verdicts_are_identical_and_fully_audited_under_observation() {
+    let series = population(10);
+    let det = VoiceprintDetector::new(ThresholdPolicy::paper_simulation());
+    let unobserved = det.verdict(&series, 15.0);
+
+    let sink = Arc::new(MemorySink::new());
+    let observed = {
+        let _guard = ScopedSink::install(sink.clone());
+        det.verdict(&series, 15.0)
+    };
+    assert_eq!(observed, unobserved);
+
+    assert_eq!(
+        sink.count("confirm.flagged"),
+        observed.flagged_pairs().len()
+    );
+    assert_eq!(sink.count("confirm.round"), 1);
+    assert_eq!(sink.count("compare.sweep"), 1);
+    for &(a, b, d) in observed.flagged_pairs() {
+        let rec = observed.audit_for(a, b).expect("flagged pair is audited");
+        assert!(rec.flagged);
+        assert_eq!(rec.dtw_normalized, d);
+        assert_eq!(rec.threshold, observed.threshold());
+    }
+}
+
+/// Ingest-side rejection shows up as `collector.quarantine` events.
+#[test]
+fn collector_rejections_are_observed() {
+    use voiceprint::Collector;
+    let sink = Arc::new(MemorySink::new());
+    let _guard = ScopedSink::install(sink.clone());
+    let mut c = Collector::new(20.0);
+    c.record(7, 0.0, -70.0);
+    c.record(7, 0.1, f64::NAN);
+    c.record(8, f64::INFINITY, -72.0);
+    assert_eq!(sink.count("collector.quarantine"), 2);
+}
+
+/// The streaming runtime's round lifecycle is observable end to end:
+/// every detection boundary emits one `runtime.round`, and checkpoints
+/// emit save/restore events.
+#[test]
+fn runtime_rounds_and_checkpoints_are_observed() {
+    use vp_runtime::{run_scenario_streaming, RuntimeConfig, StreamingRuntime};
+    use vp_sim::ScenarioConfig;
+
+    let scenario = ScenarioConfig::builder()
+        .density_per_km(15.0)
+        .simulation_time_s(45.0)
+        .observer_count(1)
+        .witness_pool_size(6)
+        .malicious_fraction(0.1)
+        .seed(42)
+        .collect_inputs(true)
+        .build();
+    let config = RuntimeConfig::from_scenario(&scenario, ThresholdPolicy::paper_simulation());
+
+    let sink = Arc::new(MemorySink::new());
+    let _guard = ScopedSink::install(sink.clone());
+    let outcome = run_scenario_streaming(&scenario, &config).expect("valid configs");
+    let rounds: usize = outcome.streams.iter().map(|s| s.rounds.len()).sum();
+    assert!(rounds > 0);
+    assert_eq!(sink.count("runtime.round"), rounds);
+
+    let rt = StreamingRuntime::new(config.clone()).expect("valid config");
+    let snapshot = rt.checkpoint();
+    assert_eq!(sink.count("runtime.checkpoint.save"), 1);
+    let _restored = StreamingRuntime::restore(config, &snapshot).expect("round-trip");
+    assert_eq!(sink.count("runtime.checkpoint.restore"), 1);
+}
+
+// Observation never changes a verdict, for arbitrary series and either
+// comparison config. (Comment, not a doc comment: the offline proptest
+// stub's macro does not accept attributes before `#[test]`.)
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn observation_never_changes_verdicts(
+        seeds in prop::collection::vec(0u64..1000, 3..8),
+        strict_sel in 0u64..2,
+        density in 1.0f64..150.0,
+    ) {
+        let strict = strict_sel == 1;
+        let series: Vec<(u64, Vec<f64>)> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let v = (0..110)
+                    .map(|k| {
+                        let t = k as f64 * 0.1;
+                        (t * (1.0 + (s % 17) as f64 * 0.07)).sin() * 4.0
+                            - 70.0
+                            - (s % 11) as f64
+                    })
+                    .collect();
+                (i as u64, v)
+            })
+            .collect();
+        let cfg = if strict {
+            ComparisonConfig::paper_strict()
+        } else {
+            ComparisonConfig::default()
+        };
+        let policy = ThresholdPolicy::paper_simulation();
+
+        let base = confirm(&compare(&series, &cfg), density, &policy);
+        let observed = {
+            let _guard = ScopedSink::install(Arc::new(MemorySink::new()));
+            confirm(&compare(&series, &cfg), density, &policy)
+        };
+        prop_assert_eq!(base, observed);
+    }
+}
