@@ -194,7 +194,12 @@ impl Detector for CpvsadDetector {
         // incriminating (vehicles are routinely closer than the
         // estimation resolution in dense traffic).
         let caught: Vec<IdentityId> = suspects.clone();
-        let ids: Vec<IdentityId> = estimates.keys().copied().collect();
+        // Sorted so the grouping pass visits identities in a
+        // hasher-independent order (suspicion only propagates from the
+        // fixed `caught` set, so order cannot change the outcome — the
+        // sort makes that evident without chasing the data flow).
+        let mut ids: Vec<IdentityId> = estimates.keys().copied().collect();
+        ids.sort_unstable();
         for &id in &ids {
             if suspects.contains(&id) {
                 continue;

@@ -120,6 +120,7 @@ impl Collector {
     /// and forgets silent identities. Call periodically to bound memory.
     pub fn prune(&mut self, now_s: f64) {
         let cutoff = now_s - self.window_s;
+        // vp-lint: allow(nondeterministic-iteration) — pure per-entry predicate; no visit-order effect
         self.samples.retain(|_, v| {
             v.retain(|&(t, _)| t >= cutoff);
             !v.is_empty()
@@ -138,16 +139,16 @@ impl Collector {
     /// order), not arrival order, so shedding under out-of-order delivery
     /// still removes the stalest data first.
     pub fn shed_oldest(&mut self, identity: IdentityId, n: usize) -> usize {
-        let Some(samples) = self.samples.get_mut(&identity) else {
+        let Some(entries) = self.samples.get_mut(&identity) else {
             return 0;
         };
-        let n = n.min(samples.len());
+        let n = n.min(entries.len());
         if n == 0 {
             return 0;
         }
-        samples.sort_by(|a, b| a.0.total_cmp(&b.0));
-        samples.drain(..n);
-        if samples.is_empty() {
+        entries.sort_by(|a, b| a.0.total_cmp(&b.0));
+        entries.drain(..n);
+        if entries.is_empty() {
             self.samples.remove(&identity);
         }
         n

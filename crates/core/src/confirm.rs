@@ -6,7 +6,7 @@
 //! union–find, since all identities of one attacker are mutually similar.
 //! The union of all flagged identities is the suspect set.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use vp_fault::DegradationCounters;
 
@@ -204,13 +204,16 @@ pub fn confirm(
             }
         }
     }
-    let mut groups_map: HashMap<usize, Vec<IdentityId>> = HashMap::new();
-    // Ascending index order + sorted ids ⇒ each group comes out sorted.
+    // A BTreeMap keyed by union-find root makes the assembly order
+    // statically hasher-free; ascending index order + sorted ids ⇒ each
+    // group comes out sorted.
+    let mut groups_map: BTreeMap<usize, Vec<IdentityId>> = BTreeMap::new();
     for i in 0..n {
         if in_flagged[i] {
             groups_map.entry(uf.find(i)).or_default().push(ids[i]);
         }
     }
+    // Root order is not smallest-member order, so the sort stays.
     let mut groups: Vec<Vec<IdentityId>> = groups_map.into_values().collect();
     groups.sort_by_key(|g| g[0]);
     let mut suspects: Vec<IdentityId> = groups.iter().flatten().copied().collect();

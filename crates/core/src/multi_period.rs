@@ -10,7 +10,7 @@
 //! test false positive) rarely stay similar across periods, while a real
 //! Sybil group is similar in every period.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::Mutex;
 
 use vp_sim::detector::{DetectionInput, Detector};
@@ -31,7 +31,11 @@ pub struct MultiPeriodDetector<D> {
     min_votes: usize,
     window: usize,
     name: String,
-    history: Mutex<HashMap<IdentityId, VecDeque<HashSet<IdentityId>>>>,
+    // Per-period suspect sets are BTreeSets and the vote tally below is a
+    // BTreeMap, so every iteration here is statically order-stable; the
+    // outer history map is fine as a HashMap because it is only ever
+    // indexed by observer, never iterated.
+    history: Mutex<HashMap<IdentityId, VecDeque<BTreeSet<IdentityId>>>>,
 }
 
 impl<D: Detector> MultiPeriodDetector<D> {
@@ -81,7 +85,7 @@ impl<D: Detector> Detector for MultiPeriodDetector<D> {
     }
 
     fn detect(&self, input: &DetectionInput) -> Vec<IdentityId> {
-        let raw: HashSet<IdentityId> = self.inner.detect(input).into_iter().collect();
+        let raw: BTreeSet<IdentityId> = self.inner.detect(input).into_iter().collect();
         let mut history = lock_history(&self.history);
         let periods = history.entry(input.observer).or_default();
         periods.push_back(raw);
@@ -89,7 +93,7 @@ impl<D: Detector> Detector for MultiPeriodDetector<D> {
             periods.pop_front();
         }
         // Count votes per identity over the retained periods.
-        let mut votes: HashMap<IdentityId, usize> = HashMap::new();
+        let mut votes: BTreeMap<IdentityId, usize> = BTreeMap::new();
         for period in periods.iter() {
             for &id in period {
                 *votes.entry(id).or_insert(0) += 1;

@@ -37,6 +37,7 @@ mod imp {
             let active = is_active();
             SweepStats {
                 active,
+                // vp-lint: allow(wall-clock) — obs-gated sweep timing; events never feed verdicts (DESIGN.md §12)
                 start: active.then(Instant::now),
                 // 1 µs … ~260 ms geometric ladder: DTW pair kernels run in
                 // the µs–ms range at paper-scale series lengths.
@@ -49,6 +50,7 @@ mod imp {
         #[inline]
         pub(crate) fn pair_start(&self) -> Option<Instant> {
             if self.active {
+                // vp-lint: allow(wall-clock) — obs-gated per-pair timing; never feeds verdicts
                 Some(Instant::now())
             } else {
                 None

@@ -1,0 +1,412 @@
+//! A hand-rolled, panic-free Rust lexer.
+//!
+//! The lexer tokenises arbitrary bytes — it must never panic, even on
+//! garbage input (a property pinned by the proptest suite). It is *not* a
+//! full Rust lexer: its job is to separate identifiers, punctuation and
+//! literals well enough that the rule engine can match token patterns
+//! without being fooled by the contents of strings or comments. Known,
+//! accepted approximations:
+//!
+//! * numeric literals are lexed loosely (`1.0e-3` may come out as more
+//!   than one token) — no rule inspects numbers;
+//! * non-UTF-8 bytes and bytes ≥ `0x80` are treated as identifier
+//!   characters, so mangled input degrades to odd identifiers instead of
+//!   an error;
+//! * unterminated strings/comments run to end of input.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `r#async`, …).
+    Ident,
+    /// Numeric literal (loosely lexed).
+    Number,
+    /// String literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Character or byte literal: `'a'`, `'\n'`, `b'x'`.
+    Char,
+    /// Lifetime: `'a`, `'static`.
+    Lifetime,
+    /// `// …` comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */` comment, nesting-aware.
+    BlockComment,
+    /// Any single other byte (`.`, `{`, `#`, …).
+    Punct,
+}
+
+/// One lexed token: kind plus byte span and 1-based position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based byte column of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's bytes within `src`.
+    pub fn bytes<'a>(&self, src: &'a [u8]) -> &'a [u8] {
+        src.get(self.start..self.end).unwrap_or(&[])
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Cursor over the source with line/column bookkeeping.
+struct Cursor<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.i + ahead).copied()
+    }
+
+    /// Advances one byte, updating line/col. Does nothing at EOF.
+    fn bump(&mut self) {
+        if let Some(&b) = self.src.get(self.i) {
+            self.i += 1;
+            if b == b'\n' {
+                self.line = self.line.saturating_add(1);
+                self.col = 1;
+            } else {
+                self.col = self.col.saturating_add(1);
+            }
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    /// Consumes bytes while `pred` holds.
+    fn eat_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while let Some(b) = self.peek(0) {
+            if pred(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Tokenises `src`. Comments are kept (markers live in them); whitespace
+/// is dropped. Never panics, for any byte sequence.
+pub fn lex(src: &[u8]) -> Vec<Token> {
+    let mut c = Cursor {
+        src,
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = c.peek(0) {
+        let (start, line, col) = (c.i, c.line, c.col);
+        let kind = match b {
+            _ if b.is_ascii_whitespace() => {
+                c.bump();
+                continue;
+            }
+            b'/' if c.peek(1) == Some(b'/') => {
+                c.eat_while(|b| b != b'\n');
+                TokenKind::LineComment
+            }
+            b'/' if c.peek(1) == Some(b'*') => {
+                lex_block_comment(&mut c);
+                TokenKind::BlockComment
+            }
+            b'r' | b'b' if raw_or_byte_string_len(src, c.i).is_some() => {
+                // Length of the prefix (`r`, `b`, `br` + hashes) up to and
+                // including the opening quote, then the body.
+                if let Some((prefix, hashes, is_char)) = raw_or_byte_string_len(src, c.i) {
+                    c.bump_n(prefix);
+                    if is_char {
+                        lex_char_body(&mut c);
+                        TokenKind::Char
+                    } else if hashes > 0 {
+                        lex_raw_string_body(&mut c, hashes);
+                        TokenKind::Str
+                    } else {
+                        lex_string_body(&mut c);
+                        TokenKind::Str
+                    }
+                } else {
+                    c.bump();
+                    TokenKind::Punct
+                }
+            }
+            _ if is_ident_start(b) => {
+                c.eat_while(is_ident_continue);
+                TokenKind::Ident
+            }
+            _ if b.is_ascii_digit() => {
+                c.eat_while(is_ident_continue);
+                // One decimal point followed by a digit keeps the literal
+                // together (`1.5`); `1..3` and `1.max(…)` split here.
+                if c.peek(0) == Some(b'.') && c.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                    c.bump();
+                    c.eat_while(is_ident_continue);
+                }
+                TokenKind::Number
+            }
+            b'\'' => lex_quote(&mut c),
+            b'"' => {
+                c.bump();
+                lex_string_body(&mut c);
+                TokenKind::Str
+            }
+            _ => {
+                c.bump();
+                TokenKind::Punct
+            }
+        };
+        // Every branch above consumes at least one byte, so this loop
+        // always terminates; the debug assert keeps that invariant loud.
+        debug_assert!(c.i > start);
+        if c.i == start {
+            c.bump();
+        }
+        out.push(Token {
+            kind,
+            start,
+            end: c.i,
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Detects `r"`, `r#"`, `b"`, `br#"`, `b'` prefixes at `i`. Returns
+/// `(prefix_len_including_quote, raw_hashes, is_char_literal)`.
+fn raw_or_byte_string_len(src: &[u8], i: usize) -> Option<(usize, usize, bool)> {
+    let rest = src.get(i..)?;
+    let (mut k, _saw_b) = match rest {
+        [b'b', b'r', ..] => (2, true),
+        [b'r', b'b', ..] => (2, false), // not real Rust; lex leniently
+        [b'b', ..] => (1, true),
+        [b'r', ..] => (1, false),
+        _ => return None,
+    };
+    if rest.first() == Some(&b'b') && rest.get(1) == Some(&b'\'') {
+        return Some((2, 0, true)); // b'x'
+    }
+    let mut hashes = 0usize;
+    while rest.get(k) == Some(&b'#') {
+        hashes += 1;
+        k += 1;
+    }
+    if rest.get(k) == Some(&b'"') {
+        Some((k + 1, hashes, false))
+    } else {
+        None
+    }
+}
+
+/// Consumes a `"…"` body after the opening quote: backslash escapes the
+/// next byte; runs to EOF when unterminated.
+fn lex_string_body(c: &mut Cursor<'_>) {
+    while let Some(b) = c.peek(0) {
+        c.bump();
+        match b {
+            b'"' => return,
+            b'\\' => c.bump(),
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a raw-string body after `r#…"`: ends at `"` followed by
+/// `hashes` `#`s; no escapes; runs to EOF when unterminated.
+fn lex_raw_string_body(c: &mut Cursor<'_>, hashes: usize) {
+    while let Some(b) = c.peek(0) {
+        c.bump();
+        if b == b'"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if c.peek(k) != Some(b'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                c.bump_n(hashes);
+                return;
+            }
+        }
+    }
+}
+
+/// Consumes a char-literal body after the opening `'`.
+fn lex_char_body(c: &mut Cursor<'_>) {
+    while let Some(b) = c.peek(0) {
+        c.bump();
+        match b {
+            b'\'' => return,
+            b'\\' => c.bump(),
+            _ => {}
+        }
+    }
+}
+
+/// Disambiguates `'a` (lifetime) from `'a'` / `'\n'` (char literal) at a
+/// `'`. Heuristic: ident-char run directly followed by another `'` is a
+/// char; otherwise a lifetime. A backslash after the quote is always a
+/// char literal.
+fn lex_quote(c: &mut Cursor<'_>) -> TokenKind {
+    c.bump(); // the opening '
+    match c.peek(0) {
+        Some(b'\\') => {
+            lex_char_body(c);
+            TokenKind::Char
+        }
+        Some(b) if is_ident_start(b) || b.is_ascii_digit() => {
+            // Find the run length without consuming, then look at the
+            // byte just past it.
+            let mut k = 0usize;
+            while c.peek(k).is_some_and(is_ident_continue) {
+                k += 1;
+            }
+            if c.peek(k) == Some(b'\'') {
+                c.bump_n(k + 1);
+                TokenKind::Char
+            } else {
+                c.eat_while(is_ident_continue);
+                TokenKind::Lifetime
+            }
+        }
+        Some(b'\'') => {
+            // `''` — empty char literal (invalid Rust, lexed leniently).
+            c.bump();
+            TokenKind::Char
+        }
+        _ => {
+            // A char literal of one arbitrary byte, e.g. `'('` — consume
+            // the byte and its closing quote if present.
+            c.bump();
+            if c.peek(0) == Some(b'\'') {
+                c.bump();
+            }
+            TokenKind::Char
+        }
+    }
+}
+
+/// Consumes a `/* … */` block comment with nesting.
+fn lex_block_comment(c: &mut Cursor<'_>) {
+    c.bump_n(2); // `/*`
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (c.peek(0), c.peek(1)) {
+            (Some(b'*'), Some(b'/')) => {
+                depth -= 1;
+                c.bump_n(2);
+            }
+            (Some(b'/'), Some(b'*')) => {
+                depth += 1;
+                c.bump_n(2);
+            }
+            (Some(_), _) => c.bump(),
+            (None, _) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src.as_bytes()).iter().map(|t| t.kind).collect()
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src.as_bytes())
+            .iter()
+            .map(|t| String::from_utf8_lossy(t.bytes(src.as_bytes())).into_owned())
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        assert_eq!(
+            texts("let x = map.iter();"),
+            vec!["let", "x", "=", "map", ".", "iter", "(", ")", ";"]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = lex(br#"let s = "thread_rng inside";"#);
+        assert!(toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .all(|t| t.bytes(br#"let s = "thread_rng inside";"#) != b"thread_rng"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let src = br##"r#"a "quoted" b"# x"##;
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::Str);
+        assert_eq!(toks[1].kind, TokenKind::Ident);
+        assert_eq!(toks[1].bytes(src), b"x");
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        assert_eq!(
+            kinds("'a 'static 'x' '\\n' b'z'"),
+            vec![
+                TokenKind::Lifetime,
+                TokenKind::Lifetime,
+                TokenKind::Char,
+                TokenKind::Char,
+                TokenKind::Char
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(
+            kinds("/* outer /* inner */ still */ x"),
+            vec![TokenKind::BlockComment, TokenKind::Ident]
+        );
+    }
+
+    #[test]
+    fn line_and_col_are_one_based() {
+        let toks = lex(b"a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_inputs_run_to_eof() {
+        for src in ["\"abc", "/* abc", "r#\"abc", "'"] {
+            let toks = lex(src.as_bytes());
+            assert!(!toks.is_empty());
+            assert_eq!(toks.last().map(|t| t.end), Some(src.len()));
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! `vp-lint` — the workspace's determinism & soundness linter.
+//!
+//! The reproduction's evidence is bit-identity: golden digests pin that
+//! the parallel sweep, fault quarantine, streaming runtime and
+//! observability layer never change a verdict. Those digests rest on
+//! invariants nothing used to check *statically*: seeded RNG only, no
+//! wall-clock reads in the pipeline, order-stable iteration, NaN-total
+//! float ordering, no aborts in library paths. This crate machine-checks
+//! them (DESIGN.md §13) with a hand-rolled lexer ([`lexer`]) and a
+//! token-pattern rule engine ([`rules`]) — zero external dependencies, in
+//! the same spirit as `vp-obs`.
+//!
+//! # Running
+//!
+//! ```text
+//! cargo run -p vp-lint -- --workspace              # human diagnostics
+//! cargo run -p vp-lint -- --workspace --format json
+//! cargo run -p vp-lint -- --workspace --summary-out results/BENCH_lint.json
+//! ```
+//!
+//! Exit code 0 means every finding is either fixed or carries a justified
+//! `// vp-lint: allow(<rule>) — <reason>` marker; 1 means active
+//! findings; 2 means a usage or I/O error.
+//!
+//! # Determinism of the linter itself
+//!
+//! The scan is deterministic by construction: directory entries are
+//! sorted, internal state lives in `BTreeMap`/`BTreeSet`, and the library
+//! never reads the clock (the CLI stamps wall time around the call).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod context;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use report::Summary;
+pub use rules::{lint_source, Diagnostic, RuleId, ALL_RULES};
+
+/// Marker file whose presence exempts a directory (and everything below
+/// it) from the scan — the fixture corpus is deliberately bad code.
+pub const SKIP_MARKER: &str = ".vp-lint-fixtures";
+
+/// A full scan's outcome.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Every diagnostic, allowed ones included, sorted by path/line/col.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings not suppressed by a marker.
+    pub fn active(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| !d.allowed)
+    }
+
+    /// The run summary (wall time left at 0; the CLI fills it in).
+    pub fn summary(&self) -> Summary {
+        Summary::tally(self.files_scanned, &self.diagnostics)
+    }
+}
+
+/// Collects every `.rs` file under `root`, sorted, skipping `target`,
+/// hidden directories, and directories carrying a [`SKIP_MARKER`] file.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    walk(root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if dir.join(SKIP_MARKER).exists() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every `.rs` file under `root` (the workspace root). Paths in the
+/// returned diagnostics are workspace-relative with forward slashes.
+pub fn scan_workspace(root: &Path) -> io::Result<Report> {
+    let files = collect_rs_files(root)?;
+    let mut diagnostics = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read(path)?;
+        diagnostics.extend(lint_source(&rel, &src));
+    }
+    diagnostics.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(Report {
+        diagnostics,
+        files_scanned: files.len(),
+    })
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_is_found_from_this_crate() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("inside the workspace");
+        assert!(root.join("crates").is_dir());
+    }
+
+    #[test]
+    fn fixture_directories_are_skipped() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let files = collect_rs_files(here).expect("readable crate dir");
+        assert!(
+            files
+                .iter()
+                .all(|f| !f.to_string_lossy().contains("fixtures")),
+            "fixture corpus must not be scanned: {files:?}"
+        );
+        assert!(files.iter().any(|f| f.ends_with("src/lib.rs")));
+    }
+}

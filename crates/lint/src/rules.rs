@@ -1,0 +1,682 @@
+//! The rule catalog and the token-pattern engine that applies it.
+//!
+//! Every rule guards one clause of the repository's determinism contract
+//! (DESIGN.md §13). Rules are lexical: they match token patterns, never
+//! types, so each has a documented approximation and an escape hatch —
+//! the `// vp-lint: allow(<rule>) — <reason>` marker ([`crate::context`]).
+
+use std::collections::BTreeSet;
+
+use crate::context::{classify_path, is_crate_root, parse_markers, test_regions, FileKind, Marker};
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Identifies one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Iterating a default-hasher `HashMap`/`HashSet` in pipeline code
+    /// without sorting in the same (or immediately following) statement.
+    NondeterministicIteration,
+    /// `thread_rng` / `from_entropy` / `rand::random` / `OsRng` outside
+    /// tests and benches: RNG state the seed does not control.
+    UnseededRng,
+    /// `SystemTime::now` / `Instant::now` in pipeline crates: verdicts
+    /// must be a function of simulated time, never of the host clock.
+    WallClock,
+    /// `partial_cmp` on floats where `total_cmp` is required: NaN makes
+    /// the comparison fallible and the fallback branch order-dependent.
+    FloatOrdering,
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!` in library
+    /// code: hot paths must degrade, not abort.
+    ForbiddenPanic,
+    /// `unsafe` usage, or a crate root missing `#![forbid(unsafe_code)]`.
+    UnsafeCode,
+    /// A malformed suppression marker: unknown rule name or missing
+    /// justification. Never suppressible.
+    BadMarker,
+}
+
+/// Every rule, in stable (report) order.
+pub const ALL_RULES: [RuleId; 7] = [
+    RuleId::NondeterministicIteration,
+    RuleId::UnseededRng,
+    RuleId::WallClock,
+    RuleId::FloatOrdering,
+    RuleId::ForbiddenPanic,
+    RuleId::UnsafeCode,
+    RuleId::BadMarker,
+];
+
+impl RuleId {
+    /// Kebab-case rule name, as used in markers and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::NondeterministicIteration => "nondeterministic-iteration",
+            RuleId::UnseededRng => "unseeded-rng",
+            RuleId::WallClock => "wall-clock",
+            RuleId::FloatOrdering => "float-ordering",
+            RuleId::ForbiddenPanic => "forbidden-panic",
+            RuleId::UnsafeCode => "unsafe-code",
+            RuleId::BadMarker => "bad-marker",
+        }
+    }
+
+    /// Parses a rule name (as written in a marker).
+    pub fn from_name(name: &str) -> Option<RuleId> {
+        ALL_RULES.into_iter().find(|r| r.name() == name)
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The violated rule.
+    pub rule: RuleId,
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// Human explanation of this occurrence.
+    pub message: String,
+    /// `true` when a valid marker suppresses it (still reported, still
+    /// counted — just not fatal).
+    pub allowed: bool,
+    /// The marker's justification, when allowed.
+    pub reason: Option<String>,
+}
+
+/// Lints one file's source. `rel_path` decides which rules apply (see
+/// [`classify_path`]); the returned diagnostics carry it verbatim.
+/// Never panics, for any byte sequence.
+pub fn lint_source(rel_path: &str, src: &[u8]) -> Vec<Diagnostic> {
+    let kind = classify_path(rel_path);
+    let tokens = lex(src);
+    let markers = parse_markers(&tokens, src);
+    let mut diags = Vec::new();
+
+    // Marker hygiene is checked everywhere, even in tests: a marker that
+    // names an unknown rule or carries no justification is dead weight.
+    for m in &markers {
+        check_marker(m, rel_path, &mut diags);
+    }
+
+    if kind == FileKind::Library {
+        let in_test = test_regions(&tokens, src);
+        let f = FileScan::new(rel_path, src, &tokens, &in_test);
+        f.nondeterministic_iteration(&mut diags);
+        f.unseeded_rng(&mut diags);
+        f.wall_clock(&mut diags);
+        f.float_ordering(&mut diags);
+        f.forbidden_panic(&mut diags);
+        f.unsafe_code(&mut diags);
+        if is_crate_root(rel_path) {
+            f.require_forbid_unsafe(&mut diags);
+        }
+    }
+
+    apply_markers(&mut diags, &markers);
+    diags.sort_by_key(|d| (d.line, d.col, d.rule));
+    diags
+}
+
+fn check_marker(m: &Marker, rel_path: &str, diags: &mut Vec<Diagnostic>) {
+    let mut problems = Vec::new();
+    if m.rules.is_empty() {
+        problems.push("names no rule".to_string());
+    }
+    for r in &m.rules {
+        if RuleId::from_name(r).is_none() {
+            problems.push(format!("names unknown rule `{r}`"));
+        } else if r == RuleId::BadMarker.name() {
+            problems.push("bad-marker cannot be allowed".to_string());
+        }
+    }
+    if m.reason.is_none() {
+        problems.push("has no justification after the rule list".to_string());
+    }
+    if !problems.is_empty() {
+        diags.push(Diagnostic {
+            rule: RuleId::BadMarker,
+            path: rel_path.to_string(),
+            line: m.line,
+            col: 1,
+            message: format!(
+                "malformed vp-lint marker: {}; expected `// vp-lint: allow(<rule>) — <reason>`",
+                problems.join(", ")
+            ),
+            allowed: false,
+            reason: None,
+        });
+    }
+}
+
+/// Marks findings covered by a valid marker on the same line or the line
+/// directly above as allowed. `bad-marker` findings are never allowed.
+fn apply_markers(diags: &mut [Diagnostic], markers: &[Marker]) {
+    for d in diags.iter_mut() {
+        if d.rule == RuleId::BadMarker {
+            continue;
+        }
+        let covering = markers.iter().find(|m| {
+            (m.line == d.line || m.line + 1 == d.line)
+                && m.reason.is_some()
+                && m.rules.iter().any(|r| r == d.rule.name())
+        });
+        if let Some(m) = covering {
+            d.allowed = true;
+            d.reason.clone_from(&m.reason);
+        }
+    }
+}
+
+/// Per-file scan state shared by the rule passes.
+struct FileScan<'a> {
+    rel_path: &'a str,
+    src: &'a [u8],
+    tokens: &'a [Token],
+    /// Meaningful (non-comment) token indices.
+    meaningful: Vec<usize>,
+    /// Per-token in-test flag.
+    in_test: &'a [bool],
+    /// Identifiers declared (or assigned) with a `HashMap`/`HashSet` type
+    /// in this file — the receivers the iteration rule watches.
+    hash_idents: BTreeSet<Vec<u8>>,
+}
+
+/// Methods whose call on a hash collection observes iteration order.
+const ITER_METHODS: [&[u8]; 10] = [
+    b"iter",
+    b"iter_mut",
+    b"keys",
+    b"values",
+    b"values_mut",
+    b"into_iter",
+    b"into_keys",
+    b"into_values",
+    b"drain",
+    b"retain",
+];
+
+/// Sort-family calls that canonicalise an iteration's output.
+const SORT_METHODS: [&[u8]; 6] = [
+    b"sort",
+    b"sort_by",
+    b"sort_by_key",
+    b"sort_unstable",
+    b"sort_unstable_by",
+    b"sort_unstable_by_key",
+];
+
+/// Wrapper tokens skipped when walking back from `HashMap`/`HashSet` to
+/// the declared name (`counts: Mutex<HashMap<…>>` declares `counts`).
+const TYPE_WRAPPERS: [&[u8]; 16] = [
+    b"std",
+    b"collections",
+    b"core",
+    b"alloc",
+    b"Option",
+    b"Mutex",
+    b"RwLock",
+    b"Arc",
+    b"Rc",
+    b"Box",
+    b"RefCell",
+    b"Cell",
+    b"VecDeque",
+    b"<",
+    b"&",
+    b"mut",
+];
+
+impl<'a> FileScan<'a> {
+    fn new(
+        rel_path: &'a str,
+        src: &'a [u8],
+        tokens: &'a [Token],
+        in_test: &'a [bool],
+    ) -> FileScan<'a> {
+        let meaningful: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        let mut f = FileScan {
+            rel_path,
+            src,
+            tokens,
+            meaningful,
+            in_test,
+            hash_idents: BTreeSet::new(),
+        };
+        f.collect_hash_idents();
+        f
+    }
+
+    /// Text of the `mi`-th meaningful token (empty slice past the end).
+    fn text(&self, mi: usize) -> &'a [u8] {
+        self.tok(mi).map(|t| t.bytes(self.src)).unwrap_or(&[])
+    }
+
+    fn tok(&self, mi: usize) -> Option<&'a Token> {
+        self.meaningful.get(mi).and_then(|&i| self.tokens.get(i))
+    }
+
+    fn is_test(&self, mi: usize) -> bool {
+        self.meaningful
+            .get(mi)
+            .and_then(|&i| self.in_test.get(i))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    fn push(&self, diags: &mut Vec<Diagnostic>, rule: RuleId, mi: usize, message: String) {
+        let (line, col) = self.tok(mi).map(|t| (t.line, t.col)).unwrap_or((1, 1));
+        diags.push(Diagnostic {
+            rule,
+            path: self.rel_path.to_string(),
+            line,
+            col,
+            message,
+            allowed: false,
+            reason: None,
+        });
+    }
+
+    /// Finds every identifier declared with a hash-collection type:
+    /// `name: …HashMap<…>` (let bindings, fields, params) and
+    /// `name = HashMap::new()` / `name = HashSet::with_capacity(…)`.
+    fn collect_hash_idents(&mut self) {
+        for mi in 0..self.meaningful.len() {
+            let t = self.text(mi);
+            if t != b"HashMap" && t != b"HashSet" {
+                continue;
+            }
+            // Walk back over wrapper tokens and `::` path segments to the
+            // token that introduced the type position.
+            let mut k = mi;
+            while k > 0 {
+                let prev = self.text(k - 1);
+                if prev == b":" && k >= 2 && self.text(k - 2) == b":" {
+                    k -= 2; // a `::` path separator
+                } else if TYPE_WRAPPERS.contains(&prev) {
+                    k -= 1;
+                } else {
+                    break;
+                }
+            }
+            if k == 0 {
+                continue;
+            }
+            let intro = self.text(k - 1);
+            if intro == b":" && !(k >= 2 && self.text(k - 2) == b":") {
+                // `name : <type>` — field, binding or parameter.
+                if k >= 2 && self.tok(k - 2).is_some_and(|t| t.kind == TokenKind::Ident) {
+                    self.hash_idents.insert(self.text(k - 2).to_vec());
+                }
+            } else if intro == b"=" {
+                // `name = HashMap::new()` / `self.name = HashMap::…`.
+                if k >= 2 && self.tok(k - 2).is_some_and(|t| t.kind == TokenKind::Ident) {
+                    self.hash_idents.insert(self.text(k - 2).to_vec());
+                }
+            }
+        }
+    }
+
+    /// `nondeterministic-iteration`: order-observing method call on a
+    /// hash-typed receiver, or `for _ in [&[mut]] <hash>`. A sort-family
+    /// call within the same or the immediately following statement counts
+    /// as canonicalisation and suppresses the finding, as does collecting
+    /// into a `BTreeMap`/`BTreeSet`.
+    fn nondeterministic_iteration(&self, diags: &mut Vec<Diagnostic>) {
+        for mi in 0..self.meaningful.len() {
+            if self.is_test(mi) {
+                continue;
+            }
+            let t = self.text(mi);
+            let flagged = if ITER_METHODS.contains(&t) {
+                // `<hash> . method` (also matches the tail of
+                // `self.<hash>.method`).
+                self.text(mi.wrapping_sub(1)) == b"."
+                    && self.hash_idents.contains(self.text(mi.wrapping_sub(2)))
+                    && self.text(mi + 1) == b"("
+            } else if t == b"in" {
+                // `for pat in [&][mut] <hash> {`
+                let mut k = mi + 1;
+                while self.text(k) == b"&" || self.text(k) == b"mut" {
+                    k += 1;
+                }
+                self.hash_idents.contains(self.text(k)) && self.text(k + 1) == b"{"
+            } else {
+                false
+            };
+            if !flagged || self.sorted_nearby(mi) {
+                continue;
+            }
+            let receiver = if t == b"in" {
+                b"<loop target>".as_slice()
+            } else {
+                self.text(mi.wrapping_sub(2))
+            };
+            self.push(
+                diags,
+                RuleId::NondeterministicIteration,
+                mi,
+                format!(
+                    "iteration over default-hasher collection `{}` observes hasher order; \
+                     sort the result, use a BTree collection, or justify with an allow marker",
+                    String::from_utf8_lossy(receiver)
+                ),
+            );
+        }
+    }
+
+    /// Looks for canonicalisation evidence around the iteration at `mi`:
+    /// backward to the start of the statement for a BTree type annotation
+    /// (`let x: BTreeMap<…> = m.iter()…collect()`), and forward for a
+    /// sort-family call or BTree turbofish within the current statement
+    /// or the one after it (two `;` at the statement's own bracket
+    /// depth), capped at 250 tokens.
+    fn sorted_nearby(&self, mi: usize) -> bool {
+        for k in (mi.saturating_sub(60)..mi).rev() {
+            match self.text(k) {
+                b";" | b"{" | b"}" => break,
+                b"BTreeMap" | b"BTreeSet" => return true,
+                _ => {}
+            }
+        }
+        let mut depth = 0i64;
+        let mut semis = 0;
+        for k in mi..(mi + 250).min(self.meaningful.len()) {
+            let t = self.text(k);
+            match t {
+                b"(" | b"[" | b"{" => depth += 1,
+                b")" | b"]" | b"}" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return false;
+                    }
+                }
+                b";" if depth == 0 => {
+                    semis += 1;
+                    if semis >= 2 {
+                        return false;
+                    }
+                }
+                _ => {
+                    if SORT_METHODS.contains(&t) || t == b"BTreeMap" || t == b"BTreeSet" {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// `unseeded-rng`: entropy-seeded RNG constructors in pipeline code.
+    fn unseeded_rng(&self, diags: &mut Vec<Diagnostic>) {
+        for mi in 0..self.meaningful.len() {
+            if self.is_test(mi) {
+                continue;
+            }
+            let t = self.text(mi);
+            let hit = match t {
+                b"thread_rng" | b"from_entropy" | b"OsRng" | b"getrandom" => true,
+                b"random" => {
+                    // `rand::random` — bare `random` idents (a field or
+                    // method of that name) are not the rand crate's.
+                    self.text(mi.wrapping_sub(1)) == b":"
+                        && self.text(mi.wrapping_sub(2)) == b":"
+                        && self.text(mi.wrapping_sub(3)) == b"rand"
+                }
+                _ => false,
+            };
+            if hit {
+                self.push(
+                    diags,
+                    RuleId::UnseededRng,
+                    mi,
+                    format!(
+                        "`{}` draws entropy outside the scenario seed; thread an explicit \
+                         seeded RNG (e.g. `StdRng::seed_from_u64`) through instead",
+                        String::from_utf8_lossy(t)
+                    ),
+                );
+            }
+        }
+    }
+
+    /// `wall-clock`: `SystemTime::now` / `Instant::now` in pipeline code.
+    fn wall_clock(&self, diags: &mut Vec<Diagnostic>) {
+        for mi in 0..self.meaningful.len() {
+            if self.is_test(mi) {
+                continue;
+            }
+            let t = self.text(mi);
+            if (t == b"SystemTime" || t == b"Instant")
+                && self.text(mi + 1) == b":"
+                && self.text(mi + 2) == b":"
+                && self.text(mi + 3) == b"now"
+            {
+                self.push(
+                    diags,
+                    RuleId::WallClock,
+                    mi,
+                    format!(
+                        "`{}::now()` reads the host clock; pipeline results must depend on \
+                         simulated time only (deadline/observability code may justify this \
+                         with an allow marker)",
+                        String::from_utf8_lossy(t)
+                    ),
+                );
+            }
+        }
+    }
+
+    /// `float-ordering`: `partial_cmp` call sites (definitions of the
+    /// `PartialOrd` trait method are exempt).
+    fn float_ordering(&self, diags: &mut Vec<Diagnostic>) {
+        for mi in 0..self.meaningful.len() {
+            if self.is_test(mi) {
+                continue;
+            }
+            if self.text(mi) == b"partial_cmp" && self.text(mi.wrapping_sub(1)) != b"fn" {
+                self.push(
+                    diags,
+                    RuleId::FloatOrdering,
+                    mi,
+                    "`partial_cmp` is fallible on NaN and its fallback branch breaks total \
+                     ordering; use `f64::total_cmp` (or justify with an allow marker)"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    /// `forbidden-panic`: aborting macros in library code.
+    fn forbidden_panic(&self, diags: &mut Vec<Diagnostic>) {
+        for mi in 0..self.meaningful.len() {
+            if self.is_test(mi) {
+                continue;
+            }
+            let t = self.text(mi);
+            if matches!(t, b"panic" | b"unreachable" | b"todo" | b"unimplemented")
+                && self.text(mi + 1) == b"!"
+            {
+                self.push(
+                    diags,
+                    RuleId::ForbiddenPanic,
+                    mi,
+                    format!(
+                        "`{}!` aborts the pipeline; return a `VpError`/degrade instead, or \
+                         justify the invariant with an allow marker",
+                        String::from_utf8_lossy(t)
+                    ),
+                );
+            }
+        }
+    }
+
+    /// `unsafe-code` (usage half): any `unsafe` keyword in library code.
+    fn unsafe_code(&self, diags: &mut Vec<Diagnostic>) {
+        for mi in 0..self.meaningful.len() {
+            if self.is_test(mi) {
+                continue;
+            }
+            if self.text(mi) == b"unsafe" {
+                self.push(
+                    diags,
+                    RuleId::UnsafeCode,
+                    mi,
+                    "`unsafe` is forbidden workspace-wide (#![forbid(unsafe_code)])".to_string(),
+                );
+            }
+        }
+    }
+
+    /// `unsafe-code` (attribute half): a crate root must carry
+    /// `#![forbid(unsafe_code)]` (or `deny` where forbid is impossible).
+    fn require_forbid_unsafe(&self, diags: &mut Vec<Diagnostic>) {
+        for mi in 0..self.meaningful.len() {
+            if (self.text(mi) == b"forbid" || self.text(mi) == b"deny")
+                && self.text(mi + 1) == b"("
+                && self.text(mi + 2) == b"unsafe_code"
+            {
+                return;
+            }
+        }
+        diags.push(Diagnostic {
+            rule: RuleId::UnsafeCode,
+            path: self.rel_path.to_string(),
+            line: 1,
+            col: 1,
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            allowed: false,
+            reason: None,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: &str = "crates/demo/src/engine.rs";
+
+    fn active(src: &str) -> Vec<(RuleId, u32)> {
+        lint_source(LIB, src.as_bytes())
+            .into_iter()
+            .filter(|d| !d.allowed)
+            .map(|d| (d.rule, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn hash_iteration_is_flagged() {
+        let src = "fn f(m: std::collections::HashMap<u64, u64>) -> Vec<u64> {\n    m.keys().copied().collect()\n}";
+        assert_eq!(active(src), vec![(RuleId::NondeterministicIteration, 2)]);
+    }
+
+    #[test]
+    fn sorted_iteration_is_clean() {
+        let src = "fn f(m: std::collections::HashMap<u64, u64>) -> Vec<u64> {\n    let mut v: Vec<u64> = m.keys().copied().collect();\n    v.sort_unstable();\n    v\n}";
+        assert_eq!(active(src), vec![]);
+    }
+
+    #[test]
+    fn btree_collect_is_clean() {
+        let src = "fn f(m: std::collections::HashMap<u64, u64>) {\n    let _b: std::collections::BTreeMap<u64, u64> = m.iter().map(|(k, v)| (*k, *v)).collect();\n}";
+        assert_eq!(active(src), vec![]);
+    }
+
+    #[test]
+    fn for_loop_over_hash_set_is_flagged() {
+        let src = "fn f(s: std::collections::HashSet<u64>) {\n    for x in &s {\n        drop(x);\n    }\n}";
+        assert_eq!(active(src), vec![(RuleId::NondeterministicIteration, 2)]);
+    }
+
+    #[test]
+    fn lookup_only_maps_are_clean() {
+        let src = "fn f(m: std::collections::HashMap<u64, u64>) -> Option<u64> {\n    m.get(&1).copied()\n}";
+        assert_eq!(active(src), vec![]);
+    }
+
+    #[test]
+    fn marker_suppresses_but_still_reports() {
+        let src = "fn f(m: std::collections::HashMap<u64, u64>) -> usize {\n    // vp-lint: allow(nondeterministic-iteration) — consumer folds order-free\n    m.values().sum::<u64>() as usize\n}";
+        let all = lint_source(LIB, src.as_bytes());
+        assert_eq!(active(src), vec![]);
+        assert!(all.iter().any(|d| d.allowed
+            && d.rule == RuleId::NondeterministicIteration
+            && d.reason.is_some()));
+    }
+
+    #[test]
+    fn marker_without_reason_is_bad_and_suppresses_nothing() {
+        let src = "fn f(m: std::collections::HashMap<u64, u64>) -> usize {\n    // vp-lint: allow(nondeterministic-iteration)\n    m.values().count()\n}";
+        let rules: Vec<RuleId> = active(src).into_iter().map(|(r, _)| r).collect();
+        assert!(rules.contains(&RuleId::BadMarker));
+        assert!(rules.contains(&RuleId::NondeterministicIteration));
+    }
+
+    #[test]
+    fn rng_wall_clock_float_panic() {
+        let src = "fn f() {\n    let r = rand::thread_rng();\n    let t = std::time::Instant::now();\n    let o = 1.0_f64.partial_cmp(&2.0);\n    panic!(\"no\");\n}";
+        let rules: Vec<RuleId> = active(src).into_iter().map(|(r, _)| r).collect();
+        assert_eq!(
+            rules,
+            vec![
+                RuleId::UnseededRng,
+                RuleId::WallClock,
+                RuleId::FloatOrdering,
+                RuleId::ForbiddenPanic
+            ]
+        );
+    }
+
+    #[test]
+    fn partial_cmp_definition_is_exempt() {
+        let src = "impl PartialOrd for X {\n    fn partial_cmp(&self, o: &X) -> Option<core::cmp::Ordering> {\n        None\n    }\n}";
+        assert_eq!(active(src), vec![]);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let r = rand::thread_rng();\n        panic!(\"fine in tests\");\n    }\n}";
+        assert_eq!(active(src), vec![]);
+    }
+
+    #[test]
+    fn crate_root_requires_forbid() {
+        let with = "#![forbid(unsafe_code)]\npub fn f() {}\n";
+        let without = "pub fn f() {}\n";
+        assert_eq!(
+            lint_source("crates/demo/src/lib.rs", with.as_bytes()),
+            vec![]
+        );
+        let d = lint_source("crates/demo/src/lib.rs", without.as_bytes());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RuleId::UnsafeCode);
+    }
+
+    #[test]
+    fn unsafe_usage_is_flagged() {
+        let src = "pub fn f() {\n    let p = unsafe { *(0 as *const u8) };\n    drop(p);\n}";
+        assert_eq!(active(src), vec![(RuleId::UnsafeCode, 2)]);
+    }
+
+    #[test]
+    fn strings_and_comments_never_trigger() {
+        let src = "pub fn f() -> &'static str {\n    // thread_rng, Instant::now, panic! in a comment\n    \"thread_rng Instant::now panic! unsafe\"\n}";
+        assert_eq!(active(src), vec![]);
+    }
+
+    #[test]
+    fn non_library_paths_get_marker_hygiene_only() {
+        let src = "fn t() { let r = rand::thread_rng(); }\n// vp-lint: allow(unknown-rule) — x\n";
+        let d = lint_source("tests/integration.rs", src.as_bytes());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RuleId::BadMarker);
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: a well-formed marker — known rule, separator, justification —
+// is hygienic and suppresses exactly its rule.
+use std::time::Instant;
+
+pub fn deadline() -> Instant {
+    // vp-lint: allow(wall-clock) — deadline enforcement only; verdicts never read it
+    Instant::now()
+}

@@ -1,0 +1,7 @@
+// Fixture: the justification is mandatory; a bare allow is a finding
+// and suppresses nothing.
+pub fn boom() {
+    // vp-lint: allow(forbidden-panic)
+    //~^ bad-marker
+    panic!("unjustified") //~ forbidden-panic
+}

@@ -1,0 +1,9 @@
+// Fixture: a marker naming a nonexistent rule suppresses nothing and is
+// itself a finding (the caret form expects the diagnostic one line up).
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    // vp-lint: allow(wall-time) — meant wall-clock
+    //~^ bad-marker
+    Instant::now() //~ wall-clock
+}

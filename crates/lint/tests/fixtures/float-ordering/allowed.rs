@@ -1,0 +1,27 @@
+// Fixture: total_cmp is the house style; a PartialOrd implementation is
+// a definition, not a call, and needs no marker.
+use std::cmp::Ordering;
+
+pub fn rank(mut distances: Vec<f64>) -> Vec<f64> {
+    distances.sort_by(|a, b| a.total_cmp(b));
+    distances
+}
+
+pub struct Scored(pub f64);
+
+impl PartialEq for Scored {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+
+impl PartialOrd for Scored {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.0.total_cmp(&other.0))
+    }
+}
+
+pub fn legacy_compare(a: f64, b: f64) -> Option<Ordering> {
+    // vp-lint: allow(float-ordering) — inputs are ingest-validated finite; kept for API compatibility
+    a.partial_cmp(&b)
+}

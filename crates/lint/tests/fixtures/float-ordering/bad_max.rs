@@ -1,0 +1,10 @@
+// Fixture: a partial_cmp max with a NaN fallback branch quietly changes
+// which element wins depending on input order.
+use std::cmp::Ordering;
+
+pub fn max_rssi(series: &[f64]) -> Option<f64> {
+    series
+        .iter()
+        .copied()
+        .max_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal)) //~ float-ordering
+}

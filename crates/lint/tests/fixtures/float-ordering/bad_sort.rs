@@ -1,0 +1,6 @@
+// Fixture: partial_cmp-based sort panics (or reorders arbitrarily, under
+// a tolerant comparator) the moment a NaN reaches it.
+pub fn rank(mut distances: Vec<f64>) -> Vec<f64> {
+    distances.sort_by(|a, b| a.partial_cmp(b).unwrap()); //~ float-ordering
+    distances
+}

@@ -1,0 +1,16 @@
+// Fixture: errors degrade instead of aborting; a loud invariant guard
+// carries its justification.
+pub fn normalize(series: &[f64]) -> Result<Vec<f64>, &'static str> {
+    if series.is_empty() {
+        return Err("empty series");
+    }
+    Ok(series.iter().map(|v| v / series.len() as f64).collect())
+}
+
+pub fn lookup(slots: &[Option<u64>], i: usize) -> u64 {
+    match slots.get(i).copied().flatten() {
+        Some(v) => v,
+        // vp-lint: allow(forbidden-panic) — loud invariant guard: every slot is written before lookup
+        None => unreachable!("slot {i} written by construction"),
+    }
+}

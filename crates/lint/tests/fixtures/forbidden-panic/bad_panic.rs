@@ -1,0 +1,7 @@
+// Fixture: a panic in a library hot path aborts the whole round.
+pub fn normalize(series: &[f64]) -> Vec<f64> {
+    if series.is_empty() {
+        panic!("empty series"); //~ forbidden-panic
+    }
+    series.iter().map(|v| v / series.len() as f64).collect()
+}

@@ -1,0 +1,8 @@
+// Fixture: todo!/unimplemented!/unreachable! are aborts too.
+pub fn degrade(pairs: usize) -> usize {
+    if pairs == 0 {
+        todo!("decide the degraded path") //~ forbidden-panic
+    } else {
+        unreachable!("pairs is always zero here") //~ forbidden-panic
+    }
+}

@@ -1,0 +1,19 @@
+// Fixture: the same iteration patterns, made acceptable three ways —
+// a sort in the same statement chain, a BTree collect, and a justified
+// marker.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn sorted_ids(votes: HashMap<u64, usize>) -> Vec<u64> {
+    let mut ids: Vec<u64> = votes.keys().copied().collect();
+    ids.sort_unstable();
+    ids
+}
+
+pub fn canonical(votes: HashMap<u64, usize>) -> BTreeMap<u64, usize> {
+    votes.into_iter().collect::<BTreeMap<u64, usize>>()
+}
+
+pub fn count(votes: HashMap<u64, usize>) -> usize {
+    // vp-lint: allow(nondeterministic-iteration) — counting is order-free
+    votes.values().filter(|&&v| v > 0).count()
+}

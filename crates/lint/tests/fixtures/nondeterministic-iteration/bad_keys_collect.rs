@@ -1,0 +1,7 @@
+// Fixture: collecting HashMap keys without sorting leaks hasher order.
+// Trailing tilde expectation comments mark the lines the linter must flag.
+use std::collections::HashMap;
+
+pub fn suspect_ids(votes: HashMap<u64, usize>) -> Vec<u64> {
+    votes.keys().copied().collect() //~ nondeterministic-iteration
+}

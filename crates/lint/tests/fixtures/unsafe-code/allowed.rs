@@ -1,0 +1,7 @@
+// Fixture: an audited FFI shim may carry unsafe with a justification;
+// nothing reachable from the detection pipeline may.
+pub fn len_via_ffi(p: *const u8, n: usize) -> usize {
+    // vp-lint: allow(unsafe-code) — audited FFI boundary; unreachable from detection code
+    let _ = unsafe { core::slice::from_raw_parts(p, n) };
+    n
+}

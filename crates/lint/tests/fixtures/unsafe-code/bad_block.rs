@@ -1,0 +1,5 @@
+// Fixture: any unsafe usage in library code is a finding, independent
+// of the crate-root attribute check.
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p } //~ unsafe-code
+}

@@ -1,0 +1,5 @@
+// Fixture: a crate root without `#![forbid(unsafe_code)]`. //~ unsafe-code
+//! Demo crate with no unsafe anywhere — the attribute is still required.
+
+/// Does nothing.
+pub fn noop() {}

@@ -1,0 +1,13 @@
+// Fixture: seeded construction is the house style; an entropy draw is
+// possible only with a justified marker (e.g. key material, never
+// pipeline state).
+use rand::{rngs::StdRng, SeedableRng};
+
+pub fn scenario_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+pub fn session_nonce_rng() -> StdRng {
+    // vp-lint: allow(unseeded-rng) — nonce generation only; never touches detection state
+    StdRng::from_entropy()
+}

@@ -1,0 +1,10 @@
+// Fixture: from_entropy and rand::random are unseeded too.
+use rand::{rngs::StdRng, SeedableRng};
+
+pub fn fresh_rng() -> StdRng {
+    StdRng::from_entropy() //~ unseeded-rng
+}
+
+pub fn coin() -> bool {
+    rand::random() //~ unseeded-rng
+}

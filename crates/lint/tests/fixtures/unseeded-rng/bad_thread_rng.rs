@@ -1,0 +1,5 @@
+// Fixture: thread_rng draws entropy the scenario seed does not control.
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng(); //~ unseeded-rng
+    rand::Rng::gen::<f64>(&mut rng)
+}

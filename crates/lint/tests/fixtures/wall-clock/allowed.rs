@@ -1,0 +1,8 @@
+// Fixture: deadline code may read the clock with a justification, the
+// way vp-par's CancelToken does.
+use std::time::{Duration, Instant};
+
+pub fn deadline_from(budget: Duration) -> Option<Instant> {
+    // vp-lint: allow(wall-clock) — deadline budget enforcement; cancelled work is flagged, not silently different
+    Instant::now().checked_add(budget)
+}

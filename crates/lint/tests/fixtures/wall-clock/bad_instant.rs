@@ -1,0 +1,6 @@
+// Fixture: reading the host clock inside pipeline code.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now() //~ wall-clock
+}

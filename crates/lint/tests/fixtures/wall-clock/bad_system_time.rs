@@ -1,0 +1,10 @@
+// Fixture: SystemTime::now in what pretends to be a detection window
+// boundary — the classic way wall-clock sneaks into a verdict.
+use std::time::{SystemTime, UNIX_EPOCH};
+
+pub fn window_boundary_s() -> f64 {
+    let now = SystemTime::now(); //~ wall-clock
+    now.duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0)
+}

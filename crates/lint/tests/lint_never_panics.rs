@@ -1,0 +1,51 @@
+//! The linter runs over every byte of the workspace on every CI push, so
+//! it must be total: no panic, for any input. Two generators — raw words
+//! (all byte values, invalid UTF-8 included) and a syntax-heavy alphabet
+//! biased toward quote/comment openers that stress the string, raw-string
+//! and nested-comment lexer paths.
+
+use proptest::prelude::*;
+use vp_lint::lexer::lex;
+use vp_lint::lint_source;
+
+fn raw_words(max: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..u64::MAX, 0..max)
+}
+
+/// Bytes the lexer treats specially, over-represented on purpose.
+const SPICY: &[u8] = b"\"'/*rb#!\\{}();n \n\r0azA_=<>&.:~-";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn lexing_and_linting_arbitrary_bytes_never_panics(
+        words in raw_words(192),
+        cut in 0usize..8,
+    ) {
+        let mut bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let len = bytes.len().saturating_sub(cut);
+        bytes.truncate(len);
+        for t in lex(&bytes) {
+            prop_assert!(t.start <= t.end && t.end <= bytes.len());
+        }
+        let _ = lint_source("crates/demo/src/lib.rs", &bytes);
+    }
+
+    #[test]
+    fn lexing_syntax_heavy_soup_never_panics(words in raw_words(192)) {
+        let bytes: Vec<u8> = words
+            .iter()
+            .flat_map(|w| w.to_le_bytes())
+            .map(|b| SPICY[b as usize % SPICY.len()])
+            .collect();
+        let tokens = lex(&bytes);
+        // Spans are in bounds, non-overlapping and in order.
+        let mut prev_end = 0usize;
+        for t in &tokens {
+            prop_assert!(t.start >= prev_end && t.start <= t.end && t.end <= bytes.len());
+            prev_end = t.end;
+        }
+        let _ = lint_source("crates/demo/src/engine.rs", &bytes);
+    }
+}

@@ -1,0 +1,47 @@
+//! The linter's own acceptance gate: the workspace it ships in must scan
+//! clean. This is the same check CI runs via `cargo run -p vp-lint --
+//! --workspace`, kept as a test so `cargo test` alone catches a
+//! determinism-contract regression.
+
+use std::path::Path;
+
+use vp_lint::{find_workspace_root, scan_workspace};
+
+#[test]
+fn workspace_has_no_active_findings() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("test runs inside the workspace");
+    let report = scan_workspace(&root).expect("workspace tree is readable");
+
+    let active: Vec<String> = report
+        .active()
+        .map(|d| {
+            format!(
+                "{}:{}:{} [{}] {}",
+                d.path,
+                d.line,
+                d.col,
+                d.rule.name(),
+                d.message
+            )
+        })
+        .collect();
+    assert!(
+        active.is_empty(),
+        "vp-lint found {} active finding(s):\n{}",
+        active.len(),
+        active.join("\n")
+    );
+
+    // Sanity: the scan actually covered the tree (15 crates + root), and
+    // the sweep's justified markers are visible in the report.
+    assert!(
+        report.files_scanned >= 100,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    assert!(
+        report.diagnostics.iter().any(|d| d.allowed),
+        "expected at least one marker-allowed diagnostic in the workspace"
+    );
+}

@@ -86,6 +86,7 @@ impl EpochMobility {
     pub fn paper_default<R: Rng + ?Sized>(rng: &mut R) -> Self {
         match EpochMobility::new(0.2, 25.0, 5.0, rng) {
             Ok(m) => m,
+            // vp-lint: allow(forbidden-panic) — constants validated at compile review; loud invariant guard
             Err(_) => unreachable!("paper parameters are valid"),
         }
     }

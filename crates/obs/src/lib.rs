@@ -369,6 +369,7 @@ pub struct Span {
 pub fn span(name: &'static str) -> Span {
     Span {
         name,
+        // vp-lint: allow(wall-clock) — spans time the pipeline for sinks; events never feed back into it
         start: is_active().then(Instant::now),
         fields: Vec::new(),
     }

@@ -118,6 +118,7 @@ impl CancelToken {
     /// A token that fires once `budget` wall-clock time has elapsed from
     /// now (checked lazily, at each [`CancelToken::should_stop`] call).
     pub fn deadline(budget: Duration) -> Self {
+        // vp-lint: allow(wall-clock) — deadline cancellation is wall-clock by contract (DESIGN.md §11); cancelled sweeps yield flagged-partial verdicts, never silently different ones
         Self::with(Instant::now().checked_add(budget), u64::MAX)
     }
 
@@ -146,6 +147,7 @@ impl CancelToken {
             return true;
         }
         if let Some(deadline) = self.inner.deadline {
+            // vp-lint: allow(wall-clock) — lazy deadline check of the WallClock budget (DESIGN.md §11)
             if Instant::now() >= deadline {
                 self.cancel();
                 return true;
@@ -419,6 +421,7 @@ fn collect_filled<U>(out: Vec<Option<U>>) -> Vec<U> {
     out.into_iter()
         .map(|v| match v {
             Some(v) => v,
+            // vp-lint: allow(forbidden-panic) — loud invariant guard, unreachable by construction (doc above)
             None => unreachable!("par_fill_with writes every slot"),
         })
         .collect()

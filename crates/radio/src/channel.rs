@@ -119,6 +119,7 @@ impl<M: PathLoss> Channel<M> {
     /// Drops the shadowing state of links involving radio `id` (e.g. a
     /// vehicle that left the simulation).
     pub fn forget_radio(&mut self, id: RadioId) {
+        // vp-lint: allow(nondeterministic-iteration) — pure per-entry predicate; no visit-order effect
         self.links.retain(|&(tx, rx), _| tx != id && rx != id);
     }
 
@@ -150,6 +151,7 @@ impl<M: PathLoss> Channel<M> {
             .or_insert_with(|| LinkState {
                 process: match GaussMarkov::new(self.config.shadow_correlation_time_s, rng) {
                     Ok(p) => p,
+                    // vp-lint: allow(forbidden-panic) — loud invariant guard; config was validated at construction
                     Err(_) => unreachable!("config validated at construction"),
                 },
                 last_time_s: time_s,

@@ -16,6 +16,7 @@ mod imp {
 
     pub(crate) fn round_start() -> Option<Instant> {
         if is_active() {
+            // vp-lint: allow(wall-clock) — obs-gated round timing; reports carry it as metadata only
             Some(Instant::now())
         } else {
             None

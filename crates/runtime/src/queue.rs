@@ -96,6 +96,7 @@ impl BeaconQueue {
     fn shed_one(&mut self) {
         let Some((&victim, _)) = self
             .counts
+            // vp-lint: allow(nondeterministic-iteration) — max_by_key key (count, seeded hash, unique id) is a total order, so the victim is hasher-independent (pinned by tests/determinism_hasher.rs)
             .iter()
             .filter(|(_, &c)| c > 0)
             .max_by_key(|(&id, &c)| (c, tie_break(self.seed, id), id))

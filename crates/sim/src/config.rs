@@ -322,6 +322,7 @@ impl ScenarioConfigBuilder {
     /// Panics if the configuration fails [`ScenarioConfig::validate`].
     pub fn build(self) -> ScenarioConfig {
         if let Err(why) = self.config.validate() {
+            // vp-lint: allow(forbidden-panic) — documented builder contract ("# Panics" above); fallible callers use validate() directly
             panic!("invalid scenario configuration: {why}");
         }
         self.config

@@ -81,7 +81,9 @@ pub struct SimulationOutcome {
 pub fn run_scenario(config: &ScenarioConfig, detectors: &[&dyn Detector]) -> SimulationOutcome {
     match try_run_scenario(config, detectors) {
         Ok(outcome) => outcome,
+        // vp-lint: allow(forbidden-panic) — documented infallible wrapper ("# Panics" above); use try_run_scenario to handle errors
         Err(VpError::InvalidConfig(why)) => panic!("invalid scenario configuration: {why}"),
+        // vp-lint: allow(forbidden-panic) — same documented wrapper contract as the arm above
         Err(e) => panic!("scenario failed: {e}"),
     }
 }
@@ -244,6 +246,7 @@ pub fn try_run_scenario(
             // `contention.on_air`, so a miss is a hard invariant breach,
             // not something to skip past.
             let Some(node) = roster.get(packet.identity) else {
+                // vp-lint: allow(forbidden-panic) — index-alignment invariant breach (comment above); skipping would corrupt claims silently
                 unreachable!("on-air packet has a roster identity");
             };
             let (px, py) = positions[node.vehicle_index];

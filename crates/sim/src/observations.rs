@@ -46,6 +46,7 @@ impl ObserverLog {
     /// identities that fall silent entirely.
     pub fn prune(&mut self, now_s: f64, horizon_s: f64) {
         let cutoff = now_s - horizon_s;
+        // vp-lint: allow(nondeterministic-iteration) — pure per-entry predicate; no visit-order effect
         self.samples.retain(|_, v| {
             v.retain(|&(t, _)| t >= cutoff);
             !v.is_empty()
@@ -195,12 +196,12 @@ impl DensityEstimator {
         period_s: f64,
         max_range_m: f64,
         bucket_start_s: f64,
-        heard: Vec<IdentityId>,
+        heard_ids: Vec<IdentityId>,
         latest_estimate: Option<f64>,
     ) -> Self {
         let mut est = DensityEstimator::new(period_s, max_range_m);
         est.bucket_start_s = bucket_start_s;
-        est.heard = heard.into_iter().collect();
+        est.heard = heard_ids.into_iter().collect();
         est.latest_estimate = latest_estimate;
         est
     }
@@ -253,6 +254,7 @@ impl WitnessAggregates {
     /// samples)`.
     pub fn iter(&self) -> impl Iterator<Item = (IdentityId, IdentityId, f64, f64, u32)> + '_ {
         self.sums
+            // vp-lint: allow(nondeterministic-iteration) — sole consumer (engine::build_witness_reports) sorts by (witness, claimer) before use
             .iter()
             .map(|(&(w, c), &(rssi, dist, n))| (w, c, rssi / n as f64, dist / n as f64, n))
     }

@@ -119,6 +119,7 @@ pub fn dtw_windowed_with_path(
 ) -> (f64, Vec<(usize, usize)>) {
     match windowed_dp(x, y, window, true) {
         (dist, Some(path)) => (dist, path),
+        // vp-lint: allow(forbidden-panic) — loud invariant guard; want_path=true always yields a path
         (_, None) => unreachable!("windowed_dp returns a path when want_path is set"),
     }
 }
@@ -308,6 +309,7 @@ pub fn dtw_windowed_with_scratch(
     assert_eq!(window.cols(), y.len(), "window column count must match y");
     match rolling_windowed_dp(x, y, |i| window.range(i), None, scratch) {
         BoundedDistance::Exact(d) => d,
+        // vp-lint: allow(forbidden-panic) — loud invariant guard; threshold-free calls cannot abandon
         BoundedDistance::AboveThreshold(_) => unreachable!("no threshold given"),
     }
 }
@@ -329,6 +331,7 @@ pub fn dtw_banded_with_scratch(
     assert!(n > 0 && m > 0, "dtw requires non-empty series");
     match rolling_windowed_dp(x, y, |i| sakoe_chiba_range(n, m, radius, i), None, scratch) {
         BoundedDistance::Exact(d) => d,
+        // vp-lint: allow(forbidden-panic) — loud invariant guard; threshold-free calls cannot abandon
         BoundedDistance::AboveThreshold(_) => unreachable!("no threshold given"),
     }
 }

@@ -133,6 +133,7 @@ fn window_from_path(path: &[(usize, usize)], cols: usize) -> SearchWindow {
     // path's endpoints guarantee the corner anchoring `from_ranges` checks.
     match SearchWindow::from_ranges(cols, ranges) {
         Ok(w) => w,
+        // vp-lint: allow(forbidden-panic) — loud invariant guard; see comment above the match
         Err(_) => unreachable!("warp path always forms a valid window"),
     }
 }

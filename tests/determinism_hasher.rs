@@ -1,0 +1,99 @@
+//! Hasher-independence regression test (DESIGN.md §13).
+//!
+//! `std::collections::HashMap`'s `RandomState` draws fresh keys per
+//! thread, so running the full pipeline on two separate threads is the
+//! cheapest way to vary every hash-iteration order the code could be
+//! leaking. If any verdict, boundary or shedding decision observed
+//! hasher order, the two digests would differ; they must be bit-equal —
+//! and, for the clean golden scenario, equal to the digest pinned in
+//! `tests/streaming_runtime.rs`.
+
+use std::thread;
+
+use voiceprint::ThresholdPolicy;
+use vp_fault::{FaultKind, FaultPlan};
+use vp_runtime::{run_scenario_streaming, RuntimeConfig, WindowReport};
+use vp_sim::ScenarioConfig;
+
+fn golden_scenario() -> ScenarioConfig {
+    ScenarioConfig::builder()
+        .density_per_km(15.0)
+        .simulation_time_s(45.0)
+        .observer_count(2)
+        .witness_pool_size(6)
+        .malicious_fraction(0.1)
+        .seed(42)
+        .collect_inputs(true)
+        .build()
+}
+
+fn fnv_mix(h: &mut u64, bits: u64) {
+    *h ^= bits;
+    *h = h.wrapping_mul(0x100000001b3);
+}
+
+fn digest_reports<'a>(h: &mut u64, reports: impl Iterator<Item = &'a WindowReport>) {
+    for report in reports {
+        fnv_mix(h, report.time_s.to_bits());
+        fnv_mix(h, report.verdict.suspects().len() as u64);
+        for &id in report.verdict.suspects() {
+            fnv_mix(h, id);
+        }
+        fnv_mix(h, report.verdict.threshold().to_bits());
+    }
+}
+
+/// The clean golden run: every window verdict, boundary and threshold.
+fn clean_digest() -> u64 {
+    let scenario = golden_scenario();
+    let config = RuntimeConfig::from_scenario(&scenario, ThresholdPolicy::paper_simulation());
+    let outcome = run_scenario_streaming(&scenario, &config).expect("golden scenario runs");
+    let mut h = 0xcbf29ce484222325u64;
+    digest_reports(
+        &mut h,
+        outcome.streams.iter().flat_map(|s| s.reports().into_iter()),
+    );
+    h
+}
+
+/// A beacon storm over an undersized queue: exercises the shedding
+/// victim choice in `vp-runtime`'s queue, whose tie-break must be a
+/// total order for this digest to hold across hasher states.
+fn storm_digest() -> u64 {
+    let mut scenario = golden_scenario();
+    scenario.fault_plan = Some(FaultPlan::new(7).with(FaultKind::BeaconStorm {
+        probability: 0.05,
+        extra_copies: 4,
+    }));
+    let mut config = RuntimeConfig::from_scenario(&scenario, ThresholdPolicy::paper_simulation());
+    config.queue_capacity = 3072;
+    let outcome = run_scenario_streaming(&scenario, &config).expect("storm scenario runs");
+    let mut h = 0xcbf29ce484222325u64;
+    for stream in &outcome.streams {
+        fnv_mix(&mut h, stream.counters.samples_shed);
+        digest_reports(&mut h, stream.reports().into_iter());
+    }
+    h
+}
+
+#[test]
+fn verdicts_are_identical_across_hasher_states() {
+    let runs: Vec<(u64, u64)> = (0..2)
+        .map(|_| {
+            // A fresh thread gets fresh per-thread RandomState keys, so
+            // the two runs see different HashMap iteration orders.
+            thread::spawn(|| (clean_digest(), storm_digest()))
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|handle| handle.join().expect("pipeline thread panicked"))
+        .collect();
+
+    assert_eq!(
+        runs[0], runs[1],
+        "pipeline output moved with the HashMap hasher state"
+    );
+    // And the clean digest is the one streaming_runtime.rs pins, so this
+    // test cannot silently drift onto a different scenario.
+    assert_eq!(runs[0].0, 0x1ef7c5c6d0e2e15c);
+}
