@@ -1,12 +1,20 @@
 //! Pairwise-comparison engine benchmark — sequential vs parallel vs
-//! lower-bound-pruned, at paper-scale neighbourhoods (Section VI measures
-//! the comparison phase; 200 samples ≈ 20 s observation at 10 Hz).
+//! lower-bound-pruned vs the full cascade (sketch triage + LB_Keogh +
+//! early-abandon DTW), at paper-scale and beyond (16–1024 identities;
+//! 200 samples ≈ 20 s observation at 10 Hz).
 //!
-//! Writes `results/BENCH_compare.json` with per-size wall-clock medians
-//! and the parallel speedup, and `results/BENCH_runtime.json` with the
-//! streaming runtime's sustained ingest throughput (beacons/sec) at a
-//! fixed, deterministic deadline-miss rate. Thread count follows
-//! `VP_NUM_THREADS` / `RAYON_NUM_THREADS` (default: all cores).
+//! Writes `results/BENCH_compare.json` with per-size wall-clock medians,
+//! the parallel speedup, and a sliding-window section reporting the
+//! cross-window cache's steady-state hit rate, the sketch triage
+//! rejection rate and the speedup over the exact sweep; plus
+//! `results/BENCH_runtime.json` with the streaming runtime's sustained
+//! ingest throughput (beacons/sec) at a fixed, deterministic
+//! deadline-miss rate. Thread count follows `VP_NUM_THREADS` /
+//! `RAYON_NUM_THREADS` (default: all cores).
+//!
+//! `--smoke` runs the CI correctness gate instead: a small sliding
+//! sweep asserting cascade results equal the exact sweep (no files
+//! written).
 //!
 //! Also writes `results/BENCH_obs.json` with the observability layer's
 //! overhead: build with `-p vp-bench --features obs` for the
@@ -15,8 +23,10 @@
 
 use std::time::Instant;
 
-use voiceprint::comparator::{compare, compare_sequential, ComparisonConfig};
+use voiceprint::comparator::{compare, compare_sequential, compare_with_cache, ComparisonConfig};
+use voiceprint::confirm::confirm;
 use voiceprint::threshold::ThresholdPolicy;
+use voiceprint::ComparisonCache;
 use vp_fault::Beacon;
 use vp_runtime::{DeadlinePolicy, RuntimeConfig, StreamingRuntime};
 
@@ -27,6 +37,28 @@ fn neighbourhood(n: usize, samples: usize) -> Vec<(u64, Vec<f64>)> {
                 .map(|k| {
                     ((k as f64 * 0.07 + id as f64 * 0.41).sin()
                         + (k as f64 * 0.019 + id as f64 * 1.3).cos())
+                        * 4.0
+                        - 72.0
+                })
+                .collect();
+            (id, series)
+        })
+        .collect()
+}
+
+/// One sliding observation window: identity `id`'s series depends only
+/// on `id` unless the identity is in `round`'s rotating dirty set, whose
+/// members get a round-dependent phase — so consecutive rounds re-present
+/// all but ~`dirty` series bit-identically, the workload shape the
+/// cross-window cache exists for.
+fn sliding_window(n: usize, samples: usize, round: u64, dirty: usize) -> Vec<(u64, Vec<f64>)> {
+    (0..n as u64)
+        .map(|id| {
+            let is_dirty = (id + round) % (n as u64) < dirty as u64;
+            let phase = id as f64 * 0.41 + if is_dirty { round as f64 * 0.23 } else { 0.0 };
+            let series: Vec<f64> = (0..samples)
+                .map(|k| {
+                    ((k as f64 * 0.07 + phase).sin() + (k as f64 * 0.019 + id as f64 * 1.3).cos())
                         * 4.0
                         - 72.0
                 })
@@ -250,10 +282,168 @@ fn bench_obs() {
     println!("wrote results/BENCH_obs.json");
 }
 
+/// Sliding-window benchmark: `rounds` successive windows over `n`
+/// identities with a rotating set of ~`dirty` changed series per round,
+/// compared through the full cascade (cache → sketch triage → LB_Keogh
+/// → early-abandon DTW). Returns one JSON row.
+fn bench_sliding_row(
+    n: usize,
+    samples: usize,
+    dirty: usize,
+    rounds: u64,
+    exact_reps: usize,
+) -> String {
+    let cfg = ComparisonConfig {
+        prune_threshold: Some(0.05),
+        ..ComparisonConfig::default()
+    };
+    let exact_cfg = ComparisonConfig::default();
+    let pairs = n * (n - 1) / 2;
+    let mut cache = ComparisonCache::new(pairs);
+
+    // Exact (uncached, unpruned) sequential reference for the speedup
+    // column — the cost a sliding-window caller paid before the cascade.
+    let reference = sliding_window(n, samples, 0, dirty);
+    let exact = median_secs(exact_reps, || {
+        std::hint::black_box(compare_sequential(
+            std::hint::black_box(&reference),
+            &exact_cfg,
+        ));
+    });
+
+    let mut warm_ms = 0.0;
+    let mut steady: Vec<f64> = Vec::new();
+    let mut hits = 0u64;
+    let mut probes = 0u64;
+    let mut triage = 0u64;
+    let mut misses = 0u64;
+    for round in 0..rounds {
+        let series = sliding_window(n, samples, round, dirty);
+        let t0 = Instant::now();
+        let (result, counters) = compare_with_cache(&series, &cfg, &mut cache);
+        let elapsed = t0.elapsed().as_secs_f64();
+        std::hint::black_box(result);
+        if round == 0 {
+            // Cold cache: every pair misses; not part of the steady state.
+            warm_ms = elapsed * 1e3;
+        } else {
+            steady.push(elapsed);
+            hits += counters.cache_hits;
+            probes += counters.pairs;
+            misses += counters.cache_misses;
+            triage += counters.triage_rejected;
+        }
+    }
+    steady.sort_by(f64::total_cmp);
+    let steady_ms = steady[steady.len() / 2] * 1e3;
+    let hit_rate = hits as f64 / probes as f64;
+    let triage_rate = if misses == 0 {
+        0.0
+    } else {
+        triage as f64 / misses as f64
+    };
+    let speedup = exact / (steady_ms / 1e3);
+    println!(
+        "{:>5} {:>12.3} {:>12.3} {:>12.3} {:>9.3} {:>11.3} {:>9.1}x",
+        n,
+        exact * 1e3,
+        warm_ms,
+        steady_ms,
+        hit_rate,
+        triage_rate,
+        speedup
+    );
+    format!(
+        concat!(
+            "    {{\"identities\": {}, \"pairs\": {}, \"dirty_identities\": {}, ",
+            "\"exact_sequential_ms\": {:.4}, \"cold_window_ms\": {:.4}, ",
+            "\"steady_window_ms\": {:.4}, \"cache_hit_rate\": {:.4}, ",
+            "\"triage_rejection_rate\": {:.4}, \"speedup_vs_exact\": {:.2}}}"
+        ),
+        n,
+        pairs,
+        dirty,
+        exact * 1e3,
+        warm_ms,
+        steady_ms,
+        hit_rate,
+        triage_rate,
+        speedup
+    )
+}
+
+/// CI smoke mode (`--smoke`): a small sliding-window sweep asserting the
+/// cascade's correctness contracts — cached results bit-identical to the
+/// uncached sweep under the same configuration, and cascade verdicts
+/// identical to the exact sweep's — then exits without writing results.
+fn smoke() {
+    let samples = 200;
+    let dirty = 2;
+    let density = 15.0;
+    let policy = ThresholdPolicy::paper_simulation();
+    let exact_cfg = ComparisonConfig::default();
+    // Verdict identity holds when the prune threshold equals the confirm
+    // threshold (the `VoiceprintDetector::with_pruning` coupling): every
+    // pruned pair's stored lower bound then sits strictly above the very
+    // threshold confirmation classifies against.
+    let cascade_cfg = ComparisonConfig {
+        prune_threshold: Some(policy.threshold_at(density)),
+        ..exact_cfg
+    };
+    let mut cascade_cache = ComparisonCache::new(1024);
+    let mut exact_cache = ComparisonCache::new(1024);
+    for round in 0..3u64 {
+        let series = sliding_window(16, samples, round, dirty);
+        // Cache on vs cache off: bit-identical distances, same config.
+        let exact = compare_sequential(&series, &exact_cfg);
+        let (exact_cached, _) = compare_with_cache(&series, &exact_cfg, &mut exact_cache);
+        assert_eq!(exact_cached, exact, "round {round}: cache changed a result");
+        // Full cascade vs exact sweep: identical verdicts (pruned pairs
+        // store lower bounds above the threshold, so classification —
+        // and every flagged pair — must match).
+        let (cascade, counters) = compare_with_cache(&series, &cascade_cfg, &mut cascade_cache);
+        let v_exact = confirm(&exact, density, &policy);
+        let v_cascade = confirm(&cascade, density, &policy);
+        assert_eq!(
+            v_cascade.suspects(),
+            v_exact.suspects(),
+            "round {round}: cascade changed the suspect set"
+        );
+        assert_eq!(
+            v_cascade.groups(),
+            v_exact.groups(),
+            "round {round}: cascade changed the grouping"
+        );
+        assert_eq!(
+            counters.cache_hits + counters.cache_misses,
+            counters.pairs,
+            "round {round}: counters do not partition the pair set"
+        );
+        if round > 0 {
+            assert!(
+                counters.cache_hits > 0,
+                "round {round}: sliding window produced no cache hits"
+            );
+        }
+    }
+    println!("smoke ok: cascade matches the exact sweep across sliding windows");
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
     let samples = 200;
     let cfg = ComparisonConfig::default();
-    let pruned_cfg = ComparisonConfig {
+    // Lower-bound pruning alone (sketch triage ablated) vs the full
+    // cascade (sketch → LB_Keogh → early-abandon DTW).
+    let lb_cfg = ComparisonConfig {
+        prune_threshold: Some(0.05),
+        sketch_triage: false,
+        ..cfg
+    };
+    let cascade_cfg = ComparisonConfig {
         prune_threshold: Some(0.05),
         ..cfg
     };
@@ -262,16 +452,26 @@ fn main() {
     let mut rows = Vec::new();
     println!("pairwise comparison, {samples}-sample series, {threads} worker thread(s)");
     println!(
-        "{:>4} {:>12} {:>12} {:>12} {:>8}",
-        "n", "seq ms", "par ms", "pruned ms", "speedup"
+        "{:>5} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "n", "seq ms", "par ms", "pruned ms", "cascade ms", "speedup"
     );
-    for n in [16usize, 48, 96] {
+    for n in [16usize, 48, 96, 256, 1024] {
         let series = neighbourhood(n, samples);
-        // Warm-up: fault in the pages and spin up the thread pool once.
-        let baseline = compare_sequential(&series, &cfg);
-        assert_eq!(compare(&series, &cfg), baseline, "parallel result diverged");
+        if n <= 96 {
+            // Warm-up + correctness guard: fault in the pages, spin up the
+            // thread pool, and pin parallel == sequential. Skipped for the
+            // large rows, where two extra full sweeps dominate the run and
+            // the equality is already pinned by tests.
+            let baseline = compare_sequential(&series, &cfg);
+            assert_eq!(compare(&series, &cfg), baseline, "parallel result diverged");
+        }
 
-        let reps = if n >= 96 { 5 } else { 9 };
+        let reps = match n {
+            0..=48 => 9,
+            49..=96 => 5,
+            97..=256 => 3,
+            _ => 1,
+        };
         let seq = median_secs(reps, || {
             std::hint::black_box(compare_sequential(std::hint::black_box(&series), &cfg));
         });
@@ -279,39 +479,70 @@ fn main() {
             std::hint::black_box(compare(std::hint::black_box(&series), &cfg));
         });
         let pru = median_secs(reps, || {
-            std::hint::black_box(compare(std::hint::black_box(&series), &pruned_cfg));
+            std::hint::black_box(compare(std::hint::black_box(&series), &lb_cfg));
+        });
+        let cas = median_secs(reps, || {
+            std::hint::black_box(compare(std::hint::black_box(&series), &cascade_cfg));
         });
         let speedup = seq / par;
         println!(
-            "{:>4} {:>12.3} {:>12.3} {:>12.3} {:>7.2}x",
+            "{:>5} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>7.2}x",
             n,
             seq * 1e3,
             par * 1e3,
             pru * 1e3,
+            cas * 1e3,
             speedup
         );
         rows.push(format!(
             concat!(
                 "    {{\"identities\": {}, \"pairs\": {}, \"sequential_ms\": {:.4}, ",
-                "\"parallel_ms\": {:.4}, \"parallel_pruned_ms\": {:.4}, \"speedup\": {:.3}}}"
+                "\"parallel_ms\": {:.4}, \"parallel_pruned_ms\": {:.4}, ",
+                "\"cascade_ms\": {:.4}, \"speedup\": {:.3}}}"
             ),
             n,
             n * (n - 1) / 2,
             seq * 1e3,
             par * 1e3,
             pru * 1e3,
+            cas * 1e3,
             speedup
         ));
     }
 
+    // Sliding-window cascade: the cross-window cache's home turf. ~4
+    // identities change per round; the rest re-present bit-identical
+    // series and must be answered from the cache.
+    println!();
+    println!("sliding-window cascade, {samples}-sample series, ~4 dirty identities per round");
+    println!(
+        "{:>5} {:>12} {:>12} {:>12} {:>9} {:>11} {:>9}",
+        "n", "exact ms", "cold ms", "steady ms", "hit rate", "triage rate", "speedup"
+    );
+    let sliding_rows = [
+        bench_sliding_row(96, samples, 4, 6, 3),
+        bench_sliding_row(256, samples, 4, 6, 2),
+        bench_sliding_row(1024, samples, 4, 4, 1),
+    ];
+
     let note = if threads == 1 {
-        "\n  \"note\": \"single worker thread (1 CPU or *_NUM_THREADS=1): parallel speedup is bounded at 1x on this machine; the pruned column shows the lower-bound gain\","
+        "\n  \"note\": \"single worker thread (1 CPU or *_NUM_THREADS=1): parallel speedup is bounded at 1x on this machine; the pruned/cascade columns show the per-pair cascade gain\","
     } else {
         ""
     };
     let json = format!(
-        "{{\n  \"samples_per_series\": {samples},\n  \"threads\": {threads},{note}\n  \"rows\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+        concat!(
+            "{{\n  \"samples_per_series\": {samples},\n  \"threads\": {threads},{note}\n",
+            "  \"rows\": [\n{rows}\n  ],\n",
+            "  \"sliding_window\": {{\n",
+            "    \"description\": \"successive windows, rotating dirty set; cascade = cache + sketch triage + LB_Keogh + early-abandon DTW\",\n",
+            "    \"rows\": [\n{sliding}\n    ]\n  }}\n}}\n"
+        ),
+        samples = samples,
+        threads = threads,
+        note = note,
+        rows = rows.join(",\n"),
+        sliding = sliding_rows.join(",\n")
     );
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write("results/BENCH_compare.json", &json).expect("write BENCH_compare.json");

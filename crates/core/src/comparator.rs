@@ -7,19 +7,23 @@
 //! experiments can quantify what each step buys.
 
 use std::borrow::Cow;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use vp_fault::DegradationCounters;
 use vp_par::{par_fill_with_cancel, par_fill_with_threads, CancelToken};
 use vp_timeseries::distance::squared_euclidean;
 use vp_timeseries::dtw::BoundedDistance;
 use vp_timeseries::dtw::{
-    dtw_banded_prunable_with_scratch, dtw_banded_with_scratch, dtw_with_scratch,
+    dtw_banded_prunable_with_scratch, dtw_banded_prunable_x4_with_scratch, dtw_banded_with_scratch,
+    dtw_banded_x4_with_scratch, dtw_with_scratch,
 };
 use vp_timeseries::fastdtw::fast_dtw_with_scratch;
-use vp_timeseries::lowerbound::lb_keogh_banded_with_scratch;
+use vp_timeseries::lowerbound::{lb_keogh_banded_with_scratch, lb_keogh_banded_x4_with_scratch};
 use vp_timeseries::normalize::{min_max_normalize, z_score_enhanced};
 use vp_timeseries::scratch::DtwScratch;
+use vp_timeseries::sketch::{sketch_lower_bound, SeriesSketch};
 
+use crate::cache::{series_fingerprint, ComparisonCache};
 use crate::trace;
 use crate::IdentityId;
 
@@ -103,6 +107,18 @@ pub struct ComparisonConfig {
     /// `min_max_normalize` is on (Eq. 8 rescales by the window maximum,
     /// which a pruned lower bound would distort for every pair).
     pub prune_threshold: Option<f64>,
+    /// Reject pairs with a constant-cost envelope-sketch lower bound
+    /// before LB_Keogh runs (DESIGN.md §14). Only active alongside an
+    /// effective [`ComparisonConfig::prune_threshold`]; a rejected
+    /// pair's stored distance is the sketch bound — admissible and
+    /// strictly above the threshold, so classification by
+    /// `distance <= prune_threshold` is unchanged, exactly like the
+    /// LB_Keogh prune it short-circuits.
+    pub sketch_triage: bool,
+    /// Use the 4-lane unrolled banded-DTW and LB_Keogh kernels. Results
+    /// are bit-identical to the scalar kernels (pinned by proptests);
+    /// the switch exists for ablation and perf bisection only.
+    pub simd_unroll: bool,
 }
 
 impl Default for ComparisonConfig {
@@ -114,6 +130,8 @@ impl Default for ComparisonConfig {
             per_step_cost: true,
             min_series_len: 100,
             prune_threshold: None,
+            sketch_triage: true,
+            simd_unroll: true,
         }
     }
 }
@@ -130,6 +148,8 @@ impl ComparisonConfig {
             per_step_cost: false,
             min_series_len: 10,
             prune_threshold: None,
+            sketch_triage: true,
+            simd_unroll: true,
         }
     }
 
@@ -143,6 +163,76 @@ impl ComparisonConfig {
             _ => None,
         }
     }
+
+    /// FNV-1a fingerprint of every field that can change a *stored*
+    /// pair distance, used as the cache-key configuration component.
+    /// `simd_unroll` is deliberately excluded: the unrolled kernels are
+    /// bit-identical to the scalar ones (that contract is pinned by
+    /// proptests), so results cached under either setting are
+    /// interchangeable.
+    fn fingerprint(&self) -> u64 {
+        let mut words = [0u64; 9];
+        match self.measure {
+            DistanceMeasure::FastDtw { radius } => {
+                words[0] = 1;
+                words[1] = radius as u64;
+            }
+            DistanceMeasure::BandedDtw { band_fraction } => {
+                words[0] = 2;
+                words[1] = band_fraction.to_bits();
+            }
+            DistanceMeasure::ExactDtw => words[0] = 3,
+            DistanceMeasure::TruncatedEuclidean => words[0] = 4,
+        }
+        words[2] = u64::from(self.z_score_normalize);
+        words[3] = u64::from(self.min_max_normalize);
+        words[4] = u64::from(self.per_step_cost);
+        words[5] = self.min_series_len as u64;
+        // Presence flag and payload are separate words so `Some(0.0)`
+        // cannot collide with `None`.
+        words[6] = u64::from(self.prune_threshold.is_some());
+        words[7] = self.prune_threshold.map_or(0, f64::to_bits);
+        words[8] = u64::from(self.sketch_triage);
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for w in words {
+            hash = (hash ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+}
+
+/// Always-on counters of one comparison sweep, returned by the
+/// cache-aware entry points and mirrored into the `compare.sweep`
+/// observability event. All counts are deterministic for a given input,
+/// configuration and cache state (the cascade's decisions are pure
+/// per-pair functions, so scheduling cannot change them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepCounters {
+    /// Upper-triangle pairs in the sweep.
+    pub pairs: u64,
+    /// Pairs with a stored result (cache hits + kernel computations);
+    /// below `pairs` only for cancelled sweeps.
+    pub computed: u64,
+    /// Pairs answered by the cross-window cache.
+    pub cache_hits: u64,
+    /// Pairs the cache could not answer (always `pairs` without one).
+    pub cache_misses: u64,
+    /// Pairs rejected by the envelope-sketch bound before LB_Keogh.
+    pub triage_rejected: u64,
+    /// Pairs resolved by the LB_Keogh lower bound alone.
+    pub pruned_lb: u64,
+    /// Pairs abandoned mid-DP by the row-minimum bound.
+    pub pruned_abandon: u64,
+}
+
+/// Shared relaxed tally the parallel kernels write their cascade
+/// decisions into; totals are order-independent, so the counters stay
+/// deterministic under any scheduling.
+#[derive(Default)]
+struct KernelTally {
+    triage_rejected: AtomicU64,
+    pruned_lb: AtomicU64,
+    pruned_abandon: AtomicU64,
 }
 
 /// The comparison phase's output: pairwise distances over the compared
@@ -283,6 +373,39 @@ pub fn compare(series: &[(IdentityId, Vec<f64>)], config: &ComparisonConfig) -> 
     compare_with_threads(series, config, vp_par::max_threads())
 }
 
+/// [`compare`] with a cross-window result cache: pairs whose prepared
+/// series are unchanged since an earlier sweep (same content hash, same
+/// configuration fingerprint) reuse their stored distance instead of
+/// re-entering the kernels. The result is **bit-identical** to
+/// [`compare`] for any cache state — a hit returns exactly the bits the
+/// kernel stored — so sliding-window callers get sub-quadratic kernel
+/// work per window for free. The second return value reports the
+/// sweep's cascade counters (see [`SweepCounters`]).
+pub fn compare_with_cache(
+    series: &[(IdentityId, Vec<f64>)],
+    config: &ComparisonConfig,
+    cache: &mut ComparisonCache,
+) -> (PairwiseDistances, SweepCounters) {
+    let (distances, _, counters) =
+        compare_impl(series, config, vp_par::max_threads(), None, Some(cache));
+    (distances, counters)
+}
+
+/// [`compare_cancellable_with_threads`] with a cross-window result
+/// cache (the streaming runtime's configuration): cache semantics as in
+/// [`compare_with_cache`], cancellation semantics as in
+/// [`compare_cancellable`]. Pairs left uncomputed by a cancellation are
+/// never inserted into the cache.
+pub fn compare_cancellable_with_cache(
+    series: &[(IdentityId, Vec<f64>)],
+    config: &ComparisonConfig,
+    threads: usize,
+    token: &CancelToken,
+    cache: &mut ComparisonCache,
+) -> (PairwiseDistances, bool, SweepCounters) {
+    compare_impl(series, config, threads, Some(token), Some(cache))
+}
+
 /// Single-threaded reference form of [`compare`]: same results,
 /// bit-for-bit, computed on the calling thread only.
 pub fn compare_sequential(
@@ -320,7 +443,8 @@ pub fn compare_cancellable_with_threads(
     threads: usize,
     token: &CancelToken,
 ) -> (PairwiseDistances, bool) {
-    compare_impl(series, config, threads, Some(token))
+    let (distances, complete, _) = compare_impl(series, config, threads, Some(token), None);
+    (distances, complete)
 }
 
 fn compare_with_threads(
@@ -328,7 +452,7 @@ fn compare_with_threads(
     config: &ComparisonConfig,
     threads: usize,
 ) -> PairwiseDistances {
-    compare_impl(series, config, threads, None).0
+    compare_impl(series, config, threads, None, None).0
 }
 
 fn compare_impl(
@@ -336,7 +460,8 @@ fn compare_impl(
     config: &ComparisonConfig,
     threads: usize,
     token: Option<&CancelToken>,
-) -> (PairwiseDistances, bool) {
+    cache: Option<&mut ComparisonCache>,
+) -> (PairwiseDistances, bool, SweepCounters) {
     let mut kept: Vec<(IdentityId, &[f64])> = series
         .iter()
         .filter(|(_, s)| s.len() >= config.min_series_len.max(1))
@@ -380,6 +505,7 @@ fn compare_impl(
                 min_max_degenerate: false,
             },
             true,
+            SweepCounters::default(),
         );
     }
 
@@ -412,96 +538,192 @@ fn compare_impl(
     // Sweep-level instrumentation (no-op without the `obs` feature; one
     // relaxed load per hook when the feature is on but no sink is set).
     let stats = trace::SweepStats::new();
-    let stats_ref = &stats;
+    // Always-on cascade tally the kernels report their per-pair
+    // decisions into.
+    let tally = KernelTally::default();
+    let tally_ref = &tally;
+
+    // Sketches for the triage stage of the cascade: built once per
+    // sweep, and only when an active prune threshold can consume them.
+    let sketches: Option<Vec<SeriesSketch>> =
+        (config.sketch_triage && config.effective_prune_threshold().is_some()).then(|| {
+            prepared
+                .iter()
+                .map(|s| SeriesSketch::build(s.as_ref()))
+                .collect()
+        });
+    let sketches = sketches.as_deref();
 
     // The measure is dispatched once, outside the pair loop; each arm
-    // hands a monomorphised kernel to the branch-free fill below.
-    let completed = match config.measure {
-        DistanceMeasure::FastDtw { radius } => fill_pairs(
-            &mut raw,
-            &pairs,
-            &prepared,
-            config,
-            threads,
-            token,
-            &stats,
-            |a, b, _, s| fast_dtw_with_scratch(a, b, radius, s),
-        ),
-        DistanceMeasure::BandedDtw { band_fraction } => {
-            match config.effective_prune_threshold() {
-                None => fill_pairs(
-                    &mut raw,
-                    &pairs,
-                    &prepared,
-                    config,
-                    threads,
-                    token,
-                    &stats,
-                    |a, b, max_len, s| {
-                        let band = band_width(max_len, band_fraction);
-                        dtw_banded_with_scratch(a, b, band, s)
-                    },
-                ),
-                Some(t) => {
-                    let per_step = config.per_step_cost;
-                    fill_pairs(
-                        &mut raw,
-                        &pairs,
+    // hands a monomorphised kernel to the branch-free fill below. `run`
+    // is handed either the full pair list or — with a cache — only the
+    // misses, over a compacted slot array.
+    let run = |slots: &mut [f64], todo: &[(u32, u32)]| -> usize {
+        match config.measure {
+            DistanceMeasure::FastDtw { radius } => fill_pairs(
+                slots,
+                todo,
+                &prepared,
+                config,
+                threads,
+                token,
+                &stats,
+                |_, _, a, b, _, s| fast_dtw_with_scratch(a, b, radius, s),
+            ),
+            DistanceMeasure::BandedDtw { band_fraction } => {
+                let simd = config.simd_unroll;
+                match config.effective_prune_threshold() {
+                    None => fill_pairs(
+                        slots,
+                        todo,
                         &prepared,
                         config,
                         threads,
                         token,
                         &stats,
-                        move |a, b, max_len, s| {
+                        |_, _, a, b, max_len, s| {
                             let band = band_width(max_len, band_fraction);
-                            // The threshold is in reported-distance units;
-                            // undo the per-step division for the raw-cost
-                            // kernels.
-                            let t_raw = if per_step { t * max_len as f64 } else { t };
-                            let lb = lb_keogh_banded_with_scratch(a, b, band, s);
-                            if lb > t_raw {
-                                stats_ref.prune_lb_hit();
-                                lb
+                            if simd {
+                                dtw_banded_x4_with_scratch(a, b, band, s)
                             } else {
-                                match dtw_banded_prunable_with_scratch(a, b, band, t_raw, s) {
-                                    BoundedDistance::Exact(v) => v,
-                                    BoundedDistance::AboveThreshold(v) => {
-                                        stats_ref.prune_abandon_hit();
-                                        v
-                                    }
-                                }
+                                dtw_banded_with_scratch(a, b, band, s)
                             }
                         },
-                    )
+                    ),
+                    Some(t) => {
+                        let per_step = config.per_step_cost;
+                        fill_pairs(
+                            slots,
+                            todo,
+                            &prepared,
+                            config,
+                            threads,
+                            token,
+                            &stats,
+                            move |i, j, a, b, max_len, s| {
+                                let band = band_width(max_len, band_fraction);
+                                // The threshold is in reported-distance units;
+                                // undo the per-step division for the raw-cost
+                                // kernels.
+                                let t_raw = if per_step { t * max_len as f64 } else { t };
+                                // Stage 1: constant-cost sketch triage.
+                                if let Some(sk) = sketches {
+                                    let slb = sketch_lower_bound(&sk[i], &sk[j], band);
+                                    if slb > t_raw {
+                                        tally_ref.triage_rejected.fetch_add(1, Ordering::Relaxed);
+                                        return slb;
+                                    }
+                                }
+                                // Stage 2: linear-cost LB_Keogh.
+                                let lb = if simd {
+                                    lb_keogh_banded_x4_with_scratch(a, b, band, s)
+                                } else {
+                                    lb_keogh_banded_with_scratch(a, b, band, s)
+                                };
+                                if lb > t_raw {
+                                    tally_ref.pruned_lb.fetch_add(1, Ordering::Relaxed);
+                                    lb
+                                } else {
+                                    // Stage 3: banded DP with early abandon.
+                                    let bounded = if simd {
+                                        dtw_banded_prunable_x4_with_scratch(a, b, band, t_raw, s)
+                                    } else {
+                                        dtw_banded_prunable_with_scratch(a, b, band, t_raw, s)
+                                    };
+                                    match bounded {
+                                        BoundedDistance::Exact(v) => v,
+                                        BoundedDistance::AboveThreshold(v) => {
+                                            tally_ref
+                                                .pruned_abandon
+                                                .fetch_add(1, Ordering::Relaxed);
+                                            v
+                                        }
+                                    }
+                                }
+                            },
+                        )
+                    }
                 }
             }
+            DistanceMeasure::ExactDtw => fill_pairs(
+                slots,
+                todo,
+                &prepared,
+                config,
+                threads,
+                token,
+                &stats,
+                |_, _, a, b, _, s| dtw_with_scratch(a, b, s),
+            ),
+            DistanceMeasure::TruncatedEuclidean => fill_pairs(
+                slots,
+                todo,
+                &prepared,
+                config,
+                threads,
+                token,
+                &stats,
+                |_, _, a, b, _, _| {
+                    let m = a.len().min(b.len());
+                    squared_euclidean(&a[..m], &b[..m])
+                },
+            ),
         }
-        DistanceMeasure::ExactDtw => fill_pairs(
-            &mut raw,
-            &pairs,
-            &prepared,
-            config,
-            threads,
-            token,
-            &stats,
-            |a, b, _, s| dtw_with_scratch(a, b, s),
-        ),
-        DistanceMeasure::TruncatedEuclidean => fill_pairs(
-            &mut raw,
-            &pairs,
-            &prepared,
-            config,
-            threads,
-            token,
-            &stats,
-            |a, b, _, _| {
-                let m = a.len().min(b.len());
-                squared_euclidean(&a[..m], &b[..m])
-            },
-        ),
+    };
+
+    let mut counters = SweepCounters {
+        pairs: pairs.len() as u64,
+        ..SweepCounters::default()
+    };
+    let completed = match cache {
+        Some(cache) => {
+            // Stage 0 of the cascade: the cross-window cache. Probes run
+            // sequentially (they are a hash lookup, far cheaper than any
+            // kernel); only the misses fan out to the workers.
+            let cfg_hash = config.fingerprint();
+            let hashes: Vec<u64> = prepared
+                .iter()
+                .map(|s| series_fingerprint(s.as_ref()))
+                .collect();
+            cache.begin_sweep();
+            let mut missing_slots: Vec<usize> = Vec::new();
+            for (k, &(i, j)) in pairs.iter().enumerate() {
+                let key = (cfg_hash, hashes[i as usize], hashes[j as usize]);
+                match cache.probe(key) {
+                    Some(v) => {
+                        raw[k] = v;
+                        counters.cache_hits += 1;
+                    }
+                    None => {
+                        missing_slots.push(k);
+                        counters.cache_misses += 1;
+                    }
+                }
+            }
+            let missing_pairs: Vec<(u32, u32)> = missing_slots.iter().map(|&k| pairs[k]).collect();
+            let mut missing_raw = vec![prefill; missing_pairs.len()];
+            let computed = run(&mut missing_raw, &missing_pairs);
+            for (&k, &v) in missing_slots.iter().zip(missing_raw.iter()) {
+                raw[k] = v;
+                // NaN covers both "cancelled before computation" and a
+                // legitimately NaN distance; neither is cached, so both
+                // recompute (identically) on the next window.
+                if !v.is_nan() {
+                    let (i, j) = pairs[k];
+                    cache.insert((cfg_hash, hashes[i as usize], hashes[j as usize]), v);
+                }
+            }
+            cache.end_sweep();
+            counters.cache_hits as usize + computed
+        }
+        None => run(&mut raw, &pairs),
     };
     let complete = completed == pairs.len();
-    stats.finish(n, pairs.len(), completed, quarantined.len());
+    counters.computed = completed as u64;
+    counters.triage_rejected = tally.triage_rejected.load(Ordering::Relaxed);
+    counters.pruned_lb = tally.pruned_lb.load(Ordering::Relaxed);
+    counters.pruned_abandon = tally.pruned_abandon.load(Ordering::Relaxed);
+    stats.finish(n, quarantined.len(), &counters);
 
     let normalized = if config.min_max_normalize && complete {
         min_max_normalize(&raw)
@@ -544,6 +766,7 @@ fn compare_impl(
             min_max_degenerate,
         },
         complete,
+        counters,
     )
 }
 
@@ -573,7 +796,7 @@ fn fill_pairs<K>(
     kernel: K,
 ) -> usize
 where
-    K: Fn(&[f64], &[f64], usize, &mut DtwScratch) -> f64 + Sync,
+    K: Fn(usize, usize, &[f64], &[f64], usize, &mut DtwScratch) -> f64 + Sync,
 {
     let per_step = config.per_step_cost;
     let item = |k: usize, slot: &mut f64, scratch: &mut DtwScratch| {
@@ -582,7 +805,7 @@ where
         let a = prepared[i as usize].as_ref();
         let b = prepared[j as usize].as_ref();
         let max_len = a.len().max(b.len());
-        let mut d = kernel(a, b, max_len, scratch);
+        let mut d = kernel(i as usize, j as usize, a, b, max_len, scratch);
         if per_step {
             d /= max_len as f64;
         }

@@ -58,6 +58,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod algorithm;
+pub mod cache;
 pub mod collector;
 pub mod comparator;
 pub mod confirm;
@@ -67,10 +68,12 @@ pub mod threshold;
 pub(crate) mod trace;
 pub mod training;
 
+pub use cache::{CacheStats, ComparisonCache};
 pub use collector::Collector;
 pub use comparator::{
-    compare, compare_cancellable, compare_cancellable_with_threads, compare_sequential,
-    ComparisonConfig, DistanceMeasure, PairwiseDistances,
+    compare, compare_cancellable, compare_cancellable_with_cache, compare_cancellable_with_threads,
+    compare_sequential, compare_with_cache, ComparisonConfig, DistanceMeasure, PairwiseDistances,
+    SweepCounters,
 };
 pub use confirm::{confirm, PairAudit, QuarantineReason, SybilVerdict};
 pub use detector::VoiceprintDetector;

@@ -11,25 +11,24 @@
 
 #[cfg(feature = "obs")]
 mod imp {
-    use std::sync::atomic::{AtomicU64, Ordering};
     use std::time::Instant;
 
     use vp_obs::{emit, is_active, Event, Histogram};
 
+    use crate::comparator::SweepCounters;
     use crate::IdentityId;
 
     /// Per-sweep aggregation of comparator instrumentation: the whole-sweep
-    /// wall clock, a histogram of per-pair kernel timings, and the
-    /// `prune_threshold` hit counters. Everything is recorded into atomics
-    /// so the parallel workers share one instance without locking, and a
-    /// single `compare.sweep` event is emitted per sweep — never one per
-    /// pair.
+    /// wall clock and a histogram of per-pair kernel timings, recorded into
+    /// atomics so the parallel workers share one instance without locking.
+    /// Cascade counters (cache hits, triage rejections, prune hits) are
+    /// tallied unconditionally by the comparator itself and handed to
+    /// [`SweepStats::finish`], so one `compare.sweep` event is emitted per
+    /// sweep — never one per pair.
     pub(crate) struct SweepStats {
         active: bool,
         start: Option<Instant>,
         pair_ns: Histogram,
-        pruned_lb: AtomicU64,
-        pruned_abandon: AtomicU64,
     }
 
     impl SweepStats {
@@ -42,8 +41,6 @@ mod imp {
                 // 1 µs … ~260 ms geometric ladder: DTW pair kernels run in
                 // the µs–ms range at paper-scale series lengths.
                 pair_ns: Histogram::exponential(1_000, 4, 10),
-                pruned_lb: AtomicU64::new(0),
-                pruned_abandon: AtomicU64::new(0),
             }
         }
 
@@ -65,24 +62,7 @@ mod imp {
             }
         }
 
-        /// The cheap LB_Keogh lower bound alone resolved a pair.
-        #[inline]
-        pub(crate) fn prune_lb_hit(&self) {
-            if self.active {
-                self.pruned_lb.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-
-        /// The banded DP abandoned a pair early (distance provably above
-        /// the prune threshold).
-        #[inline]
-        pub(crate) fn prune_abandon_hit(&self) {
-            if self.active {
-                self.pruned_abandon.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-
-        pub(crate) fn finish(&self, ids: usize, pairs: usize, computed: usize, quarantined: usize) {
+        pub(crate) fn finish(&self, ids: usize, quarantined: usize, counters: &SweepCounters) {
             if !self.active {
                 return;
             }
@@ -90,16 +70,17 @@ mod imp {
                 .start
                 .map(|t0| u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX))
                 .unwrap_or(0);
-            let pruned_lb = self.pruned_lb.load(Ordering::Relaxed);
-            let pruned_abandon = self.pruned_abandon.load(Ordering::Relaxed);
             emit(|| {
                 self.pair_ns.attach_to(
                     Event::new("compare.sweep")
                         .with("ids", ids)
-                        .with("pairs", pairs)
-                        .with("computed", computed)
-                        .with("pruned_lb", pruned_lb)
-                        .with("pruned_abandon", pruned_abandon)
+                        .with("pairs", counters.pairs)
+                        .with("computed", counters.computed)
+                        .with("cache_hit", counters.cache_hits)
+                        .with("cache_miss", counters.cache_misses)
+                        .with("triage_rejected", counters.triage_rejected)
+                        .with("pruned_lb", counters.pruned_lb)
+                        .with("pruned_abandon", counters.pruned_abandon)
                         .with("quarantined", quarantined)
                         .with("duration_ns", duration_ns),
                 )
@@ -158,6 +139,7 @@ mod imp {
 
 #[cfg(not(feature = "obs"))]
 mod imp {
+    use crate::comparator::SweepCounters;
     use crate::IdentityId;
 
     /// No-op stand-in: every method inlines to nothing, so the disabled
@@ -181,20 +163,7 @@ mod imp {
         pub(crate) fn pair_end(&self, _started: Option<std::time::Instant>) {}
 
         #[inline(always)]
-        pub(crate) fn prune_lb_hit(&self) {}
-
-        #[inline(always)]
-        pub(crate) fn prune_abandon_hit(&self) {}
-
-        #[inline(always)]
-        pub(crate) fn finish(
-            &self,
-            _ids: usize,
-            _pairs: usize,
-            _computed: usize,
-            _quarantined: usize,
-        ) {
-        }
+        pub(crate) fn finish(&self, _ids: usize, _quarantined: usize, _counters: &SweepCounters) {}
     }
 
     #[inline(always)]

@@ -256,6 +256,12 @@ pub fn par_fill_with_min_fanout<T, S, FI, F>(
 /// identical to [`par_fill_with_threads`]. A fired token leaves a
 /// scheduling-dependent subset computed; only the single-threaded path
 /// guarantees the computed prefix is `0..count`.
+///
+/// When the effective worker count is one (a one-thread budget, a nested
+/// region, or fewer slots than the fan-out floor would ever split), the
+/// fill bypasses the fork-join entirely: a plain loop with a local
+/// counter, no shared atomic, no closure indirection. The token is still
+/// consulted before every item, so budget semantics are unchanged.
 pub fn par_fill_with_cancel<T, S, FI, F>(
     slots: &mut [T],
     threads: usize,
@@ -268,6 +274,20 @@ where
     FI: Fn() -> S + Sync,
     F: Fn(usize, &mut T, &mut S) + Sync,
 {
+    let single_worker =
+        threads.max(1).min(slots.len().max(1)) == 1 || slots.len() < 8 || in_parallel_region();
+    if single_worker {
+        let mut scratch = init();
+        let mut completed = 0usize;
+        for (k, slot) in slots.iter_mut().enumerate() {
+            if token.should_stop() {
+                break;
+            }
+            f(k, slot, &mut scratch);
+            completed += 1;
+        }
+        return completed;
+    }
     let completed = AtomicUsize::new(0);
     par_fill_with_threads(slots, threads, &init, |k, slot, scratch| {
         if token.should_stop() {
@@ -336,9 +356,14 @@ mod backend {
     use super::IN_PARALLEL;
     use rayon::prelude::*;
 
-    /// Rayon backend: same block decomposition, scheduled on the shared
-    /// rayon pool. Still bit-identical — slot `k` is still written by a
-    /// pure function of `k`.
+    /// Rayon backend: one contiguous block per worker, scheduled on the
+    /// shared rayon pool. Still bit-identical — slot `k` is still written
+    /// by a pure function of `k`.
+    ///
+    /// The block size is `ceil(n / threads)` so at most `threads` tasks
+    /// exist and `init` runs at most once per worker, preserving the
+    /// crate's per-worker scratch contract (finer chunking would re-init
+    /// the scratch once per chunk, defeating allocation reuse).
     pub(super) fn fill<T, S, FI, F>(slots: &mut [T], threads: usize, init: &FI, f: &F)
     where
         T: Send,
@@ -346,7 +371,7 @@ mod backend {
         F: Fn(usize, &mut T, &mut S) + Sync,
     {
         let n = slots.len();
-        let block = (n / (threads * 8)).max(1);
+        let block = n.div_ceil(threads).max(1);
         slots
             .par_chunks_mut(block)
             .enumerate()
@@ -585,6 +610,26 @@ mod tests {
                 assert_eq!(v, u32::MAX);
             }
         }
+    }
+
+    #[test]
+    fn single_worker_cancel_bypasses_fork_join() {
+        // With a one-thread budget the cancellable fill must run on the
+        // calling thread itself (no spawned workers — observable because
+        // the worker flag stays unset), and still honour the token.
+        let token = CancelToken::manual();
+        let mut slots = vec![false; 100];
+        let done = par_fill_with_cancel(
+            &mut slots,
+            1,
+            &token,
+            || (),
+            |_, slot, ()| {
+                *slot = !in_parallel_region();
+            },
+        );
+        assert_eq!(done, 100);
+        assert!(slots.iter().all(|&on_caller| on_caller));
     }
 
     #[test]

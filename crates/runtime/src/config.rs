@@ -101,6 +101,14 @@ pub struct RuntimeConfig {
     /// Comparison-phase configuration (level-0 settings; degradation
     /// narrows the band on top of this).
     pub comparison: ComparisonConfig,
+    /// Capacity of the cross-window comparison result cache, in pair
+    /// results; `0` disables caching. A sliding window re-presents most
+    /// pairs with unchanged series, and cached sweeps are bit-identical
+    /// to uncached ones (see [`voiceprint::ComparisonCache`]), so this
+    /// is purely a throughput knob. The cache is not serialized into
+    /// checkpoints — restore rebuilds it empty, which only turns hits
+    /// back into recomputations of the same bits.
+    pub comparison_cache_capacity: usize,
     /// Confirmation threshold policy.
     pub policy: ThresholdPolicy,
 }
@@ -123,6 +131,9 @@ impl RuntimeConfig {
             degrade: DegradeConfig::default(),
             supervisor: SupervisorConfig::default(),
             comparison: ComparisonConfig::default(),
+            // Room for a ~90-identity neighbourhood's full pair set —
+            // far beyond paper-scale densities — at ~100 KiB.
+            comparison_cache_capacity: 4096,
             policy,
         }
     }

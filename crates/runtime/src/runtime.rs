@@ -17,7 +17,8 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use voiceprint::{
-    compare_cancellable, confirm, Collector, ComparisonConfig, DistanceMeasure, SybilVerdict,
+    compare_cancellable, compare_cancellable_with_cache, confirm, CacheStats, Collector,
+    ComparisonCache, ComparisonConfig, DistanceMeasure, SybilVerdict,
 };
 use vp_fault::{Beacon, DegradationCounters, VpError};
 use vp_par::CancelToken;
@@ -95,6 +96,10 @@ pub struct StreamingRuntime {
     deadline_misses: u64,
     quarantined_total: u64,
     pairs_skipped_total: u64,
+    /// Cross-window comparison result cache
+    /// ([`RuntimeConfig::comparison_cache_capacity`]); never part of a
+    /// checkpoint — restore rebuilds it empty, bit-identically.
+    cache: Option<ComparisonCache>,
     round_hook: Option<Box<dyn FnMut(u64) + Send>>,
 }
 
@@ -142,6 +147,8 @@ impl StreamingRuntime {
             deadline_misses: 0,
             quarantined_total: 0,
             pairs_skipped_total: 0,
+            cache: (config.comparison_cache_capacity > 0)
+                .then(|| ComparisonCache::new(config.comparison_cache_capacity)),
             round_hook: None,
             config,
         })
@@ -220,12 +227,29 @@ impl StreamingRuntime {
             DeadlinePolicy::PairBudget(n) => CancelToken::after_items(n),
         };
         let hook = self.round_hook.as_mut();
+        let cache = self.cache.as_mut();
         let round_idx = self.rounds_run;
         let result = catch_unwind(AssertUnwindSafe(|| {
             if let Some(h) = hook {
                 h(round_idx);
             }
-            let (distances, complete) = compare_cancellable(&series, &comparison, &token);
+            // The cached sweep is bit-identical to the plain one (see
+            // `ComparisonCache`); a panic mid-sweep can only leave the
+            // cache with fewer entries, never wrong ones, so it is safe
+            // to keep across supervised failures.
+            let (distances, complete) = match cache {
+                Some(cache) => {
+                    let (distances, complete, _) = compare_cancellable_with_cache(
+                        &series,
+                        &comparison,
+                        vp_par::max_threads(),
+                        &token,
+                        cache,
+                    );
+                    (distances, complete)
+                }
+                None => compare_cancellable(&series, &comparison, &token),
+            };
             (confirm(&distances, density, &policy), complete)
         }));
         match result {
@@ -327,6 +351,12 @@ impl StreamingRuntime {
     /// `true` when the circuit breaker has tripped and rounds are refused.
     pub fn is_circuit_open(&self) -> bool {
         self.circuit_open
+    }
+
+    /// Counters of the cross-window comparison cache, or `None` when
+    /// [`RuntimeConfig::comparison_cache_capacity`] is zero.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(ComparisonCache::stats)
     }
 
     /// Beacons currently queued for the next boundary.
@@ -526,6 +556,12 @@ impl StreamingRuntime {
             deadline_misses,
             quarantined_total,
             pairs_skipped_total,
+            // Deliberately rebuilt empty rather than serialized: a hit
+            // returns exactly the bits a recomputation would produce, so
+            // the restored runtime's verdict stream is bit-identical —
+            // only the first post-restore window runs at miss speed.
+            cache: (config.comparison_cache_capacity > 0)
+                .then(|| ComparisonCache::new(config.comparison_cache_capacity)),
             round_hook: None,
             config,
         })
@@ -553,10 +589,15 @@ mod tests {
 
     /// Two Sybil identities sharing one shape plus `honest` dissimilar
     /// neighbours, 150 samples each at 10 Hz starting at `t0`.
+    ///
+    /// The window offset `u` is computed directly from `k` (not as
+    /// `t - t0`, which would pick up rounding from the absolute clock),
+    /// so every window carries bit-identical RSSI sequences — the shape
+    /// the cross-window cache is designed for.
     fn feed_window(rt: &mut StreamingRuntime, t0: f64, honest: u64) {
         for k in 0..150 {
-            let t = t0 + 0.05 + k as f64 * 0.1;
-            let u = t - t0;
+            let u = 0.05 + k as f64 * 0.1;
+            let t = t0 + u;
             let shape = (u * 1.3).sin() * 4.0 + (u * 0.37).cos() * 2.0;
             rt.offer(t, Beacon::new(100, t, -70.0 + shape));
             rt.offer(t, Beacon::new(101, t, -64.5 + shape));
@@ -727,6 +768,57 @@ mod tests {
             ra.verdict.threshold().to_bits(),
             rb.verdict.threshold().to_bits()
         );
+    }
+
+    #[test]
+    fn cached_rounds_are_bit_identical_to_uncached_and_actually_hit() {
+        // `feed_window` regenerates the same RSSI sequences relative to
+        // each window start, so from round 2 on every pair is a cache
+        // hit — and the verdict stream must still match the cache-free
+        // runtime bit for bit.
+        let mut cached = StreamingRuntime::new(test_config()).unwrap();
+        let mut plain_config = test_config();
+        plain_config.comparison_cache_capacity = 0;
+        let mut plain = StreamingRuntime::new(plain_config).unwrap();
+        assert!(plain.cache_stats().is_none());
+        for round in 0..3 {
+            let t0 = round as f64 * 20.0;
+            feed_window(&mut cached, t0, 3);
+            feed_window(&mut plain, t0, 3);
+            let rc = verdict_of(&cached.advance_to(t0 + 20.0)[0]).clone();
+            let rp = verdict_of(&plain.advance_to(t0 + 20.0)[0]).clone();
+            assert_eq!(rc, rp, "round {round}");
+            assert_eq!(
+                rc.verdict.threshold().to_bits(),
+                rp.verdict.threshold().to_bits()
+            );
+        }
+        let stats = cached.cache_stats().unwrap();
+        // 5 ids → 10 pairs per round: round 1 misses, rounds 2–3 hit.
+        assert_eq!(stats.misses, 10);
+        assert_eq!(stats.hits, 20);
+    }
+
+    #[test]
+    fn restore_rebuilds_the_cache_empty_without_changing_verdicts() {
+        let mut a = StreamingRuntime::new(test_config()).unwrap();
+        feed_window(&mut a, 0.0, 3);
+        a.advance_to(20.0);
+        assert!(a.cache_stats().unwrap().entries > 0, "cache is warm");
+        let snapshot = a.checkpoint();
+        let mut b = StreamingRuntime::restore(test_config(), &snapshot).unwrap();
+        let fresh = b.cache_stats().unwrap();
+        assert_eq!(fresh.entries, 0, "cache is not checkpointed");
+        assert_eq!(fresh.hits + fresh.misses, 0);
+        // Warm-cache original vs cold-cache restoree: identical future
+        // input must still produce bit-identical verdicts.
+        feed_window(&mut a, 20.0, 3);
+        feed_window(&mut b, 20.0, 3);
+        let ra = verdict_of(&a.advance_to(40.0)[0]).clone();
+        let rb = verdict_of(&b.advance_to(40.0)[0]).clone();
+        assert_eq!(ra, rb);
+        assert!(a.cache_stats().unwrap().hits > 0, "original ran on hits");
+        assert_eq!(b.cache_stats().unwrap().hits, 0, "restoree recomputed");
     }
 
     #[test]

@@ -428,6 +428,210 @@ fn rolling_windowed_dp(
     BoundedDistance::Exact(prev[m - 1])
 }
 
+/// 4-lane unrolled form of [`dtw_banded_with_scratch`]; the result is
+/// bit-identical (see [`rolling_banded_dp_x4`] for why).
+///
+/// # Panics
+///
+/// Panics if either series is empty.
+pub fn dtw_banded_x4_with_scratch(
+    x: &[f64],
+    y: &[f64],
+    radius: usize,
+    scratch: &mut DtwScratch,
+) -> f64 {
+    let (n, m) = (x.len(), y.len());
+    assert!(n > 0 && m > 0, "dtw requires non-empty series");
+    match rolling_banded_dp_x4(x, y, |i| sakoe_chiba_range(n, m, radius, i), None, scratch) {
+        BoundedDistance::Exact(d) => d,
+        // vp-lint: allow(forbidden-panic) — loud invariant guard; threshold-free calls cannot abandon
+        BoundedDistance::AboveThreshold(_) => unreachable!("no threshold given"),
+    }
+}
+
+/// 4-lane unrolled form of [`dtw_banded_prunable_with_scratch`]; the
+/// result — exact value, abandonment decision, and carried bound — is
+/// bit-identical (see [`rolling_banded_dp_x4`] for why).
+///
+/// # Panics
+///
+/// Panics if either series is empty.
+pub fn dtw_banded_prunable_x4_with_scratch(
+    x: &[f64],
+    y: &[f64],
+    radius: usize,
+    threshold: f64,
+    scratch: &mut DtwScratch,
+) -> BoundedDistance {
+    let (n, m) = (x.len(), y.len());
+    assert!(n > 0 && m > 0, "dtw requires non-empty series");
+    rolling_banded_dp_x4(
+        x,
+        y,
+        |i| sakoe_chiba_range(n, m, radius, i),
+        Some(threshold),
+        scratch,
+    )
+}
+
+/// [`rolling_windowed_dp`] with the row recurrence unrolled four cells
+/// wide, so the cost lookups and the `up.min(diag)` half of the
+/// recurrence vectorise; only the short `left`-chain stays sequential.
+///
+/// # Bit-identity to the scalar kernel
+///
+/// The scalar per-cell value is `fl(c + min(up, diag, left))`; here the
+/// independent half is hoisted as `t = fl(c + min(up, diag))` and the
+/// cell becomes `min(t, fl(c + left))`. These are bit-equal for every
+/// input the DP can produce: rounded addition of a constant is monotone,
+/// so it commutes with `min`; `f64::min` ignores `NaN` identically on
+/// both shapes; and the `+∞ + −∞` case that could break the exchange
+/// cannot occur because squared point costs and their running sums are
+/// never negative (so `−∞` never enters the table). Row minima are
+/// folded in the same left-to-right order as the scalar loop, making
+/// the early-abandon decision identical too.
+///
+/// `range_at(i)` must obey the [`SearchWindow`] invariants, as in
+/// [`rolling_windowed_dp`]; rows that violate the band-monotonicity
+/// fast path fall back to the fully guarded scalar cell.
+fn rolling_banded_dp_x4(
+    x: &[f64],
+    y: &[f64],
+    range_at: impl Fn(usize) -> (usize, usize),
+    abandon_above: Option<f64>,
+    scratch: &mut DtwScratch,
+) -> BoundedDistance {
+    assert!(
+        !x.is_empty() && !y.is_empty(),
+        "dtw requires non-empty series"
+    );
+    let m = y.len();
+    let (prev, curr) = scratch.rows(m);
+    let mut prev_range = (0usize, 0usize);
+    for (i, &xi) in x.iter().enumerate() {
+        let (lo, hi) = range_at(i);
+        let mut row_min = f64::INFINITY;
+        if i == 0 {
+            // First row: no previous row, plain left-chain.
+            for j in lo..=hi {
+                let c = point_cost(xi, y[j]);
+                let cell = if j == 0 {
+                    c + 0.0
+                } else if j > lo {
+                    c + f64::INFINITY.min(curr[j - 1])
+                } else {
+                    c + f64::INFINITY
+                };
+                curr[j] = cell;
+                row_min = row_min.min(cell);
+            }
+        } else {
+            let (plo, phi) = prev_range;
+            // Head cell: `left` is infinite; the explicit trailing
+            // `.min(f64::INFINITY)` keeps NaN handling identical to the
+            // scalar three-way min.
+            let c = point_cost(xi, y[lo]);
+            let up = if lo >= plo && lo <= phi {
+                prev[lo]
+            } else {
+                f64::INFINITY
+            };
+            let diag = if lo > plo && lo - 1 <= phi {
+                prev[lo - 1]
+            } else {
+                f64::INFINITY
+            };
+            let mut left = c + up.min(diag).min(f64::INFINITY);
+            curr[lo] = left;
+            row_min = row_min.min(left);
+
+            // Columns where both `prev[j]` and `prev[j-1]` are in the
+            // previous band — unguarded reads are safe there.
+            let a_lo = (lo + 1).max(plo + 1);
+            let a_hi = hi.min(phi);
+            let mut j = lo + 1;
+            // Guarded prefix; empty whenever band edges are monotone.
+            while j < a_lo && j <= hi {
+                let c = point_cost(xi, y[j]);
+                let up = if j >= plo && j <= phi {
+                    prev[j]
+                } else {
+                    f64::INFINITY
+                };
+                let diag = if j > plo && j - 1 <= phi {
+                    prev[j - 1]
+                } else {
+                    f64::INFINITY
+                };
+                let cell = c + up.min(diag).min(left);
+                curr[j] = cell;
+                row_min = row_min.min(cell);
+                left = cell;
+                j += 1;
+            }
+            // 4-wide main segment: costs and the up/diag half are
+            // independent across lanes; only the cheap left-chain is
+            // sequential.
+            while j + 3 <= a_hi {
+                let c0 = point_cost(xi, y[j]);
+                let c1 = point_cost(xi, y[j + 1]);
+                let c2 = point_cost(xi, y[j + 2]);
+                let c3 = point_cost(xi, y[j + 3]);
+                let t0 = c0 + prev[j].min(prev[j - 1]);
+                let t1 = c1 + prev[j + 1].min(prev[j]);
+                let t2 = c2 + prev[j + 2].min(prev[j + 1]);
+                let t3 = c3 + prev[j + 3].min(prev[j + 2]);
+                let e0 = t0.min(c0 + left);
+                let e1 = t1.min(c1 + e0);
+                let e2 = t2.min(c2 + e1);
+                let e3 = t3.min(c3 + e2);
+                curr[j] = e0;
+                curr[j + 1] = e1;
+                curr[j + 2] = e2;
+                curr[j + 3] = e3;
+                row_min = row_min.min(e0).min(e1).min(e2).min(e3);
+                left = e3;
+                j += 4;
+            }
+            while j <= a_hi {
+                let c = point_cost(xi, y[j]);
+                let cell = (c + prev[j].min(prev[j - 1])).min(c + left);
+                curr[j] = cell;
+                row_min = row_min.min(cell);
+                left = cell;
+                j += 1;
+            }
+            // One column past the previous band: `up` left the band,
+            // `diag = prev[phi]` is still inside it.
+            if j <= hi && j == phi + 1 {
+                let c = point_cost(xi, y[j]);
+                let cell = c + f64::INFINITY.min(prev[j - 1]).min(left);
+                curr[j] = cell;
+                row_min = row_min.min(cell);
+                left = cell;
+                j += 1;
+            }
+            // Tail beyond the previous band: pure left-chain.
+            while j <= hi {
+                let c = point_cost(xi, y[j]);
+                let cell = c + f64::INFINITY.min(left);
+                curr[j] = cell;
+                row_min = row_min.min(cell);
+                left = cell;
+                j += 1;
+            }
+        }
+        if let Some(t) = abandon_above {
+            if row_min > t {
+                return BoundedDistance::AboveThreshold(row_min);
+            }
+        }
+        std::mem::swap(prev, curr);
+        prev_range = (lo, hi);
+    }
+    BoundedDistance::Exact(prev[m - 1])
+}
+
 /// Validates that `path` is a legal warp path for series of lengths `n`
 /// and `m`: starts at `(0,0)`, ends at `(n−1,m−1)`, and each step advances
 /// every index by at most one without moving backwards (paper Eq. 5).
@@ -696,5 +900,113 @@ mod tests {
         let b: Vec<f64> = (0..40).map(|i| (i as f64 * 0.2 + 0.4).cos()).collect();
         assert!(dtw(&a, &b).is_finite());
         assert!(dtw_banded(&a, &b, 2).is_finite());
+    }
+
+    #[test]
+    fn x4_kernel_bit_identical_to_scalar() {
+        let mut seed = 13u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / u32::MAX as f64) * 10.0 - 5.0
+        };
+        let mut scratch = DtwScratch::new();
+        for (n, m) in [
+            (1, 1),
+            (1, 9),
+            (9, 1),
+            (2, 2),
+            (5, 160),
+            (160, 5),
+            (12, 12),
+            (40, 31),
+            (31, 40),
+            (97, 101),
+            (128, 128),
+        ] {
+            let x: Vec<f64> = (0..n).map(|_| next()).collect();
+            let y: Vec<f64> = (0..m).map(|_| next()).collect();
+            for radius in [0usize, 1, 2, 3, 7, 10, 64, 500] {
+                assert_eq!(
+                    dtw_banded_x4_with_scratch(&x, &y, radius, &mut scratch).to_bits(),
+                    dtw_banded_with_scratch(&x, &y, radius, &mut scratch).to_bits(),
+                    "x4 banded mismatch at {n}x{m} r={radius}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn x4_prunable_matches_scalar_decision_and_bits() {
+        let mut seed = 99u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / u32::MAX as f64) * 10.0 - 5.0
+        };
+        let mut scratch = DtwScratch::new();
+        for (n, m) in [(3, 3), (20, 26), (26, 20), (75, 75), (120, 111)] {
+            let x: Vec<f64> = (0..n).map(|_| next()).collect();
+            let y: Vec<f64> = (0..m).map(|_| next() + 6.0).collect();
+            let exact = dtw_banded(&x, &y, 4);
+            // Thresholds straddling the distance exercise both the exact
+            // and the abandoning path, plus the equality edge.
+            for threshold in [exact / 16.0, exact / 2.0, exact, exact * 2.0] {
+                let scalar = dtw_banded_prunable_with_scratch(&x, &y, 4, threshold, &mut scratch);
+                let x4 = dtw_banded_prunable_x4_with_scratch(&x, &y, 4, threshold, &mut scratch);
+                assert_eq!(
+                    scalar.is_pruned(),
+                    x4.is_pruned(),
+                    "pruning decision diverged at {n}x{m} t={threshold}"
+                );
+                assert_eq!(
+                    scalar.value().to_bits(),
+                    x4.value().to_bits(),
+                    "pruned value diverged at {n}x{m} t={threshold}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn x4_kernel_matches_scalar_on_non_finite_input() {
+        let clean: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut scratch = DtwScratch::new();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            for at in [0usize, 7, 31, 63] {
+                let mut dirty = clean.clone();
+                dirty[at] = bad;
+                for radius in [1usize, 5, 100] {
+                    assert_eq!(
+                        dtw_banded_x4_with_scratch(&clean, &dirty, radius, &mut scratch).to_bits(),
+                        dtw_banded_with_scratch(&clean, &dirty, radius, &mut scratch).to_bits(),
+                        "x4 non-finite mismatch bad={bad} at={at} r={radius}"
+                    );
+                    let scalar =
+                        dtw_banded_prunable_with_scratch(&dirty, &clean, radius, 1.0, &mut scratch);
+                    let x4 = dtw_banded_prunable_x4_with_scratch(
+                        &dirty,
+                        &clean,
+                        radius,
+                        1.0,
+                        &mut scratch,
+                    );
+                    assert_eq!(scalar.is_pruned(), x4.is_pruned(), "bad={bad} at={at}");
+                    assert_eq!(
+                        scalar.value().to_bits(),
+                        x4.value().to_bits(),
+                        "bad={bad} at={at} r={radius}"
+                    );
+                }
+            }
+        }
+        // All-NaN worst case.
+        let all_nan = vec![f64::NAN; 48];
+        assert_eq!(
+            dtw_banded_x4_with_scratch(&clean, &all_nan, 3, &mut scratch).to_bits(),
+            dtw_banded_with_scratch(&clean, &all_nan, 3, &mut scratch).to_bits(),
+        );
     }
 }

@@ -17,6 +17,8 @@
 //!   allocation-free `*_with_scratch` kernel variants.
 //! * [`lowerbound`] — LB_Keogh-style lower bounds that let a comparison
 //!   engine skip or abandon provably above-threshold DTW evaluations.
+//! * [`sketch`] — constant-cost piecewise envelope sketches whose
+//!   admissible pair bound triages the N² sweep before LB_Keogh runs.
 //!
 //! # Example
 //!
@@ -41,6 +43,7 @@ pub mod lowerbound;
 pub mod normalize;
 pub mod scratch;
 pub mod series;
+pub mod sketch;
 pub mod window;
 
 pub use dtw::{dtw, dtw_with_path, dtw_with_scratch, BoundedDistance};
@@ -49,4 +52,5 @@ pub use lowerbound::lb_keogh_banded;
 pub use normalize::{min_max_normalize, z_score_enhanced};
 pub use scratch::DtwScratch;
 pub use series::Series;
+pub use sketch::{sketch_lower_bound, SeriesSketch, SKETCH_SEGMENTS};
 pub use window::SearchWindow;

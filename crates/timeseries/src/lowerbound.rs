@@ -99,6 +99,105 @@ pub fn lb_keogh_banded_with_scratch(
     sum
 }
 
+/// 4-lane unrolled form of [`lb_keogh_banded_with_scratch`]; the result
+/// is bit-identical.
+///
+/// The deque sweep first materialises the per-row envelope into scratch
+/// buffers; the accumulation pass then uses a branchless clamped-gap
+/// cost — `over = max(xᵢ − Uᵢ, 0)`, `under = max(Lᵢ − xᵢ, 0)`,
+/// `over² + under²` — whose lanes are independent, leaving only the
+/// running sum sequential (in the same row order as the scalar loop).
+///
+/// # Bit-identity to the scalar form
+///
+/// At most one of `over`/`under` is non-zero (`Lᵢ ≤ Uᵢ` always), so the
+/// cost reduces to the scalar branch's single `point_cost` plus `+0.0`
+/// — a bitwise identity for the non-negative values involved. `NaN`
+/// envelopes or samples clamp both terms to zero, matching the scalar
+/// branches (comparisons against `NaN` are false) and the skipped-row
+/// `continue`, which the envelope pass encodes as a `NaN` envelope.
+///
+/// # Panics
+///
+/// Panics if either series is empty.
+pub fn lb_keogh_banded_x4_with_scratch(
+    x: &[f64],
+    y: &[f64],
+    radius: usize,
+    scratch: &mut DtwScratch,
+) -> f64 {
+    let n = x.len();
+    let m = y.len();
+    assert!(n > 0 && m > 0, "lb_keogh requires non-empty series");
+    let deq_max = &mut scratch.deq_max;
+    let deq_min = &mut scratch.deq_min;
+    let env_hi = &mut scratch.env_hi;
+    let env_lo = &mut scratch.env_lo;
+    deq_max.clear();
+    deq_min.clear();
+    if env_hi.len() < n {
+        env_hi.resize(n, f64::NAN);
+    }
+    if env_lo.len() < n {
+        env_lo.resize(n, f64::NAN);
+    }
+
+    let mut next = 0usize;
+    for i in 0..n {
+        let (lo, hi) = sakoe_chiba_range(n, m, radius, i);
+        while next <= hi {
+            while deq_max.back().is_some_and(|&b| y[b] <= y[next]) {
+                deq_max.pop_back();
+            }
+            deq_max.push_back(next);
+            while deq_min.back().is_some_and(|&b| y[b] >= y[next]) {
+                deq_min.pop_back();
+            }
+            deq_min.push_back(next);
+            next += 1;
+        }
+        while deq_max.front().is_some_and(|&f| f < lo) {
+            deq_max.pop_front();
+        }
+        while deq_min.front().is_some_and(|&f| f < lo) {
+            deq_min.pop_front();
+        }
+        // A NaN envelope clamps the row's cost to zero below, matching
+        // the scalar kernel's skipped-row `continue`.
+        let (hi_v, lo_v) = match (deq_max.front(), deq_min.front()) {
+            (Some(&h), Some(&l)) => (y[h], y[l]),
+            _ => (f64::NAN, f64::NAN),
+        };
+        env_hi[i] = hi_v;
+        env_lo[i] = lo_v;
+    }
+
+    let mut sum = 0.0;
+    let mut i = 0usize;
+    while i + 3 < n {
+        let mut cost = [0.0f64; 4];
+        for (k, c) in cost.iter_mut().enumerate() {
+            let xi = x[i + k];
+            let over = (xi - env_hi[i + k]).max(0.0);
+            let under = (env_lo[i + k] - xi).max(0.0);
+            *c = over * over + under * under;
+        }
+        sum += cost[0];
+        sum += cost[1];
+        sum += cost[2];
+        sum += cost[3];
+        i += 4;
+    }
+    while i < n {
+        let xi = x[i];
+        let over = (xi - env_hi[i]).max(0.0);
+        let under = (env_lo[i] - xi).max(0.0);
+        sum += over * over + under * under;
+        i += 1;
+    }
+    sum
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +271,59 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_input_panics() {
         lb_keogh_banded(&[], &[1.0], 1);
+    }
+
+    #[test]
+    fn x4_form_bit_identical_to_scalar() {
+        let mut scratch = DtwScratch::new();
+        for (n, m, radius) in [
+            (1usize, 1usize, 0usize),
+            (1, 20, 2),
+            (20, 1, 2),
+            (3, 3, 1),
+            (4, 4, 0),
+            (5, 160, 4),
+            (50, 50, 3),
+            (80, 61, 5),
+            (61, 80, 1),
+            (97, 101, 7),
+            (33, 200, 400),
+        ] {
+            let x = pseudo_random(n as u64 * 131 + m as u64, n, 14.0);
+            let y = pseudo_random(m as u64 * 71 + 3, m, 14.0);
+            assert_eq!(
+                lb_keogh_banded_x4_with_scratch(&x, &y, radius, &mut scratch).to_bits(),
+                lb_keogh_banded_with_scratch(&x, &y, radius, &mut scratch).to_bits(),
+                "x4 lb mismatch for ({n},{m},r={radius})"
+            );
+        }
+    }
+
+    #[test]
+    fn x4_form_matches_scalar_on_non_finite_input() {
+        let clean = pseudo_random(21, 70, 9.0);
+        let mut scratch = DtwScratch::new();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            for at in [0usize, 17, 69] {
+                let mut dirty = clean.clone();
+                dirty[at] = bad;
+                for radius in [0usize, 2, 9] {
+                    assert_eq!(
+                        lb_keogh_banded_x4_with_scratch(&dirty, &clean, radius, &mut scratch)
+                            .to_bits(),
+                        lb_keogh_banded_with_scratch(&dirty, &clean, radius, &mut scratch)
+                            .to_bits(),
+                        "x side bad={bad} at={at} r={radius}"
+                    );
+                    assert_eq!(
+                        lb_keogh_banded_x4_with_scratch(&clean, &dirty, radius, &mut scratch)
+                            .to_bits(),
+                        lb_keogh_banded_with_scratch(&clean, &dirty, radius, &mut scratch)
+                            .to_bits(),
+                        "y side bad={bad} at={at} r={radius}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -39,6 +39,10 @@ pub struct DtwScratch {
     pub(crate) coarse_x: Vec<f64>,
     /// FastDTW coarsened copy of the second series.
     pub(crate) coarse_y: Vec<f64>,
+    /// Materialised per-row envelope maxima for the unrolled LB_Keogh.
+    pub(crate) env_hi: Vec<f64>,
+    /// Materialised per-row envelope minima for the unrolled LB_Keogh.
+    pub(crate) env_lo: Vec<f64>,
 }
 
 impl DtwScratch {
@@ -57,6 +61,8 @@ impl DtwScratch {
             deq_max: VecDeque::with_capacity(max_len),
             coarse_x: Vec::with_capacity(max_len / 2 + 1),
             coarse_y: Vec::with_capacity(max_len / 2 + 1),
+            env_hi: Vec::with_capacity(max_len),
+            env_lo: Vec::with_capacity(max_len),
         }
     }
 

@@ -1,0 +1,250 @@
+//! Piecewise envelope sketches for cheap pre-DTW triage.
+//!
+//! A [`SeriesSketch`] summarises a series by the min/max envelope of
+//! [`SKETCH_SEGMENTS`] equal-width segments (a piecewise aggregate
+//! approximation of the series' range). Building one costs a single
+//! O(n) pass; comparing two costs O([`SKETCH_SEGMENTS`]²) — constant,
+//! and far below even one LB_Keogh envelope sweep.
+//!
+//! [`sketch_lower_bound`] turns a pair of sketches into an *admissible*
+//! lower bound on the banded DTW distance with squared point costs: it
+//! never exceeds `dtw_banded(x, y, radius)` for the series the sketches
+//! were built from. A comparison cascade can therefore reject a pair
+//! whenever the sketch bound already clears the pruning threshold,
+//! without touching the full series at all — the dominant win on the
+//! N² pair sweep, where most pairs are nowhere near the threshold.
+//!
+//! # Why the bound is admissible
+//!
+//! Any (banded) warping path visits at least one in-band cell in every
+//! row `i`. For the rows of x-segment `s` the band columns all fall in
+//! `[lo(ra), hi(rb−1)]` (Sakoe–Chiba band edges are monotone in `i`),
+//! and the y-segments overlapping that column interval cover it, so
+//! every candidate `y[j]` lies inside their combined envelope. The cost
+//! of any in-band cell in those rows is therefore at least the squared
+//! gap between the x-segment envelope and that y-envelope, and the path
+//! pays it once per row: `rows(s) · gap(s)²` summed over segments never
+//! exceeds the true path cost. Sketches are radius-agnostic — the band
+//! radius only enters the pair bound, so one sketch per series serves
+//! every comparison configuration.
+//!
+//! Non-finite samples poison a sketch (`finite = false`), collapsing
+//! the pair bound to `0.0`: the bound stays trivially admissible and
+//! never rejects a pair the exact kernels would have scored.
+
+use crate::window::sakoe_chiba_range;
+
+/// Number of envelope segments per sketch. 16 keeps a sketch at two
+/// cache lines while still resolving the RSSI shape differences the
+/// detector thresholds on.
+pub const SKETCH_SEGMENTS: usize = 16;
+
+/// Min/max envelope sketch of one series; see the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSketch {
+    /// Length of the source series.
+    len: usize,
+    /// Whether every source sample was finite; if not, the pair bound
+    /// degrades to `0.0` (never rejects).
+    finite: bool,
+    /// Per-segment minima (`+∞` for empty segments).
+    seg_min: [f64; SKETCH_SEGMENTS],
+    /// Per-segment maxima (`−∞` for empty segments).
+    seg_max: [f64; SKETCH_SEGMENTS],
+}
+
+impl SeriesSketch {
+    /// Builds the sketch of `series` in one O(n) pass. Empty series
+    /// yield an empty sketch whose pair bounds are all `0.0`.
+    pub fn build(series: &[f64]) -> Self {
+        let len = series.len();
+        let mut seg_min = [f64::INFINITY; SKETCH_SEGMENTS];
+        let mut seg_max = [f64::NEG_INFINITY; SKETCH_SEGMENTS];
+        let mut finite = true;
+        for (s, (mn, mx)) in seg_min.iter_mut().zip(seg_max.iter_mut()).enumerate() {
+            let start = s * len / SKETCH_SEGMENTS;
+            let end = (s + 1) * len / SKETCH_SEGMENTS;
+            for &v in &series[start..end] {
+                finite &= v.is_finite();
+                *mn = mn.min(v);
+                *mx = mx.max(v);
+            }
+        }
+        SeriesSketch {
+            len,
+            finite,
+            seg_min,
+            seg_max,
+        }
+    }
+
+    /// Length of the series this sketch was built from.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the sketch covers no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Row interval `[start, end)` covered by segment `s`.
+    fn rows(&self, s: usize) -> (usize, usize) {
+        (
+            s * self.len / SKETCH_SEGMENTS,
+            (s + 1) * self.len / SKETCH_SEGMENTS,
+        )
+    }
+}
+
+/// Admissible lower bound on `dtw_banded(x, y, radius)` computed from
+/// the sketches of `x` and `y` alone: the result never exceeds the
+/// banded DTW distance (squared point costs, band of the same
+/// `radius`). Returns `0.0` — a vacuous but safe bound — when either
+/// series was empty or contained non-finite samples.
+pub fn sketch_lower_bound(x: &SeriesSketch, y: &SeriesSketch, radius: usize) -> f64 {
+    if x.len == 0 || y.len == 0 || !x.finite || !y.finite {
+        return 0.0;
+    }
+    let (n, m) = (x.len, y.len);
+    let mut sum = 0.0;
+    for s in 0..SKETCH_SEGMENTS {
+        let (ra, rb) = x.rows(s);
+        if ra == rb {
+            continue;
+        }
+        // Band edges are monotone in the row index, so the in-band
+        // columns of every row in [ra, rb) fall inside this interval.
+        let col_lo = sakoe_chiba_range(n, m, radius, ra).0;
+        let col_hi = sakoe_chiba_range(n, m, radius, rb - 1).1;
+        let mut env_min = f64::INFINITY;
+        let mut env_max = f64::NEG_INFINITY;
+        for t in 0..SKETCH_SEGMENTS {
+            let (ca, cb) = y.rows(t);
+            if ca == cb || cb <= col_lo || ca > col_hi {
+                continue;
+            }
+            env_min = env_min.min(y.seg_min[t]);
+            env_max = env_max.max(y.seg_max[t]);
+        }
+        if env_min > env_max {
+            // Defensive: no overlapping y-segment (cannot happen for a
+            // well-formed band, but a zero contribution stays sound).
+            continue;
+        }
+        let gap = if x.seg_min[s] > env_max {
+            x.seg_min[s] - env_max
+        } else if x.seg_max[s] < env_min {
+            env_min - x.seg_max[s]
+        } else {
+            0.0
+        };
+        sum += (rb - ra) as f64 * (gap * gap);
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtw::dtw_banded;
+
+    /// Deterministic pseudo-random series in a dBm-like range.
+    fn lcg_series(seed: u64, len: usize, spread: f64) -> Vec<f64> {
+        let mut state = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                -90.0 + (state >> 11) as f64 / (1u64 << 53) as f64 * spread
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bound_is_admissible_on_random_series() {
+        for seed in 0..40u64 {
+            let n = 8 + (seed as usize * 13) % 150;
+            let m = 8 + (seed as usize * 29) % 150;
+            let x = lcg_series(seed, n, 30.0);
+            // Shift half the pairs far away so both gap branches fire.
+            let mut y = lcg_series(seed.wrapping_add(1000), m, 30.0);
+            if seed % 2 == 0 {
+                for v in &mut y {
+                    *v += 45.0;
+                }
+            }
+            for radius in [1usize, 3, 8, 200] {
+                let lb =
+                    sketch_lower_bound(&SeriesSketch::build(&x), &SeriesSketch::build(&y), radius);
+                let exact = dtw_banded(&x, &y, radius);
+                assert!(
+                    lb <= exact,
+                    "sketch bound {lb} exceeds dtw_banded {exact} (seed {seed}, radius {radius})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_series_bound_is_zero() {
+        let x = lcg_series(7, 96, 25.0);
+        let sk = SeriesSketch::build(&x);
+        assert_eq!(sketch_lower_bound(&sk, &sk, 5).to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn separated_series_get_a_positive_bound() {
+        let x = vec![-80.0; 120];
+        let y = vec![-50.0; 120];
+        let lb = sketch_lower_bound(&SeriesSketch::build(&x), &SeriesSketch::build(&y), 4);
+        // Gap is 30 dB per row over 120 rows.
+        assert!(lb > 100_000.0 - 1e-6, "expected a strong bound, got {lb}");
+        assert!(lb <= dtw_banded(&x, &y, 4));
+    }
+
+    #[test]
+    fn non_finite_samples_collapse_the_bound() {
+        let mut x = lcg_series(3, 64, 20.0);
+        x[10] = f64::NAN;
+        let y = lcg_series(4, 64, 20.0);
+        let lb = sketch_lower_bound(&SeriesSketch::build(&x), &SeriesSketch::build(&y), 3);
+        assert_eq!(lb.to_bits(), 0.0f64.to_bits());
+        let lb = sketch_lower_bound(&SeriesSketch::build(&y), &SeriesSketch::build(&x), 3);
+        assert_eq!(lb.to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn degenerate_lengths_are_total() {
+        let empty = SeriesSketch::build(&[]);
+        let one = SeriesSketch::build(&[-70.0]);
+        let short = SeriesSketch::build(&[-70.0, -71.0, -69.0]);
+        assert!(empty.is_empty());
+        assert_eq!(
+            sketch_lower_bound(&empty, &one, 2).to_bits(),
+            0.0f64.to_bits()
+        );
+        assert_eq!(
+            sketch_lower_bound(&one, &empty, 2).to_bits(),
+            0.0f64.to_bits()
+        );
+        // Shorter than the segment count: most segments are empty, the
+        // bound must still be admissible.
+        let far = SeriesSketch::build(&[-20.0, -21.0, -19.0]);
+        let lb = sketch_lower_bound(&short, &far, 1);
+        assert!(lb <= dtw_banded(&[-70.0, -71.0, -69.0], &[-20.0, -21.0, -19.0], 1));
+        assert!(lb > 0.0);
+    }
+
+    #[test]
+    fn bound_is_deterministic() {
+        let x = lcg_series(11, 130, 40.0);
+        let y = lcg_series(12, 125, 40.0);
+        let a = sketch_lower_bound(&SeriesSketch::build(&x), &SeriesSketch::build(&y), 6);
+        let b = sketch_lower_bound(&SeriesSketch::build(&x), &SeriesSketch::build(&y), 6);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

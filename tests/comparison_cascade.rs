@@ -1,0 +1,163 @@
+//! Property tests for the sub-quadratic comparison cascade: the
+//! cross-window result cache, the sketch triage lower bound, and the
+//! SIMD-width (4-lane-unrolled) kernels. The contracts under test are
+//! the ones DESIGN.md §14 pins:
+//!
+//! 1. Cached sweeps are **bit-identical** to cache-off sweeps, for any
+//!    cache state a sliding-window workload can produce.
+//! 2. The sketch lower bound is **admissible**: it never exceeds the
+//!    banded DTW distance it gates.
+//! 3. The unrolled kernels match the scalar kernels **bit for bit**,
+//!    including on non-finite inputs.
+
+use proptest::prelude::*;
+use voiceprint::comparator::{compare, compare_with_cache, ComparisonConfig};
+use voiceprint::ComparisonCache;
+use vp_timeseries::dtw::{
+    dtw_banded, dtw_banded_prunable_with_scratch, dtw_banded_prunable_x4_with_scratch,
+    dtw_banded_with_scratch, dtw_banded_x4_with_scratch,
+};
+use vp_timeseries::lowerbound::{lb_keogh_banded_with_scratch, lb_keogh_banded_x4_with_scratch};
+use vp_timeseries::scratch::DtwScratch;
+use vp_timeseries::sketch::{sketch_lower_bound, SeriesSketch};
+
+fn series_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-95.0..-40.0f64, 2..max_len)
+}
+
+/// Raw `u64` words reinterpreted as `f64` bit patterns: NaN payloads,
+/// infinities, subnormals — the adversarial surface the kernels must
+/// stay bit-identical on.
+fn raw_bits_strategy(max_words: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..u64::MAX, 1..max_words)
+}
+
+/// One sliding window's neighbourhood: identity `id`'s series depends on
+/// `seed` and, for identities in the dirty rotation of `round`, on the
+/// round too — so successive rounds re-present most series unchanged,
+/// exactly the shape the cache is designed for.
+fn window_series(seed: u64, round: u64, n_ids: u64) -> Vec<(u64, Vec<f64>)> {
+    (0..n_ids)
+        .map(|id| {
+            let dirty = (id + round) % n_ids < 2;
+            let phase = seed as f64 * 0.13
+                + id as f64 * 1.7
+                + if dirty { round as f64 * 0.31 } else { 0.0 };
+            let s: Vec<f64> = (0..110)
+                .map(|k| (k as f64 * 0.09 + phase).sin() * 4.5 - 71.0)
+                .collect();
+            (id, s)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cached_sweeps_are_bit_identical_across_sliding_windows(
+        seed in 0u64..500,
+        n_ids in 4u64..9,
+        threshold in 0.001..0.5f64,
+    ) {
+        // Both with the full cascade armed (prune threshold present ⇒
+        // sketch triage active) and with the plain exact sweep.
+        for prune in [None, Some(threshold)] {
+            let cfg = ComparisonConfig {
+                prune_threshold: prune,
+                ..ComparisonConfig::default()
+            };
+            let mut cache = ComparisonCache::new(256);
+            for round in 0..4u64 {
+                let series = window_series(seed, round, n_ids);
+                let plain = compare(&series, &cfg);
+                let (cached, counters) = compare_with_cache(&series, &cfg, &mut cache);
+                prop_assert_eq!(&cached, &plain, "round {}", round);
+                // Distances bitwise, not just PartialEq (ruling out
+                // 0.0/-0.0 conflation).
+                for ((a1, b1, da), (a2, b2, db)) in cached.iter().zip(plain.iter()) {
+                    prop_assert_eq!((a1, b1), (a2, b2));
+                    prop_assert_eq!(da.to_bits(), db.to_bits());
+                }
+                prop_assert_eq!(
+                    counters.cache_hits + counters.cache_misses,
+                    counters.pairs,
+                    "every pair is either a hit or a miss"
+                );
+                if round > 0 {
+                    // At most 2 dirty identities per round: every pair of
+                    // two clean identities must be answered from the cache.
+                    let clean = n_ids - 2;
+                    prop_assert!(
+                        counters.cache_hits >= clean * (clean - 1) / 2,
+                        "round {}: only {} hits over {} pairs",
+                        round, counters.cache_hits, counters.pairs
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sketch_lower_bound_is_admissible(
+        x in series_strategy(60),
+        y in series_strategy(60),
+        radius in 0usize..8,
+    ) {
+        let d = dtw_banded(&x, &y, radius);
+        let sx = SeriesSketch::build(&x);
+        let sy = SeriesSketch::build(&y);
+        let slb = sketch_lower_bound(&sx, &sy, radius);
+        prop_assert!(slb >= 0.0);
+        prop_assert!(slb.is_finite());
+        // Admissibility with a relative float-summation allowance (the
+        // two sums associate differently).
+        prop_assert!(
+            slb <= d * (1.0 + 1e-9) + 1e-9,
+            "sketch bound {} exceeds banded DTW {}",
+            slb, d
+        );
+    }
+
+    #[test]
+    fn unrolled_kernels_match_scalar_bit_for_bit(
+        x in series_strategy(70),
+        y in series_strategy(70),
+        radius in 0usize..8,
+        threshold in 0.0..500.0f64,
+    ) {
+        let mut s1 = DtwScratch::new();
+        let mut s2 = DtwScratch::new();
+        let d_scalar = dtw_banded_with_scratch(&x, &y, radius, &mut s1);
+        let d_x4 = dtw_banded_x4_with_scratch(&x, &y, radius, &mut s2);
+        prop_assert_eq!(d_scalar.to_bits(), d_x4.to_bits());
+        let p_scalar = dtw_banded_prunable_with_scratch(&x, &y, radius, threshold, &mut s1);
+        let p_x4 = dtw_banded_prunable_x4_with_scratch(&x, &y, radius, threshold, &mut s2);
+        prop_assert_eq!(p_scalar.is_pruned(), p_x4.is_pruned());
+        prop_assert_eq!(p_scalar.value().to_bits(), p_x4.value().to_bits());
+        let lb_scalar = lb_keogh_banded_with_scratch(&x, &y, radius, &mut s1);
+        let lb_x4 = lb_keogh_banded_x4_with_scratch(&x, &y, radius, &mut s2);
+        prop_assert_eq!(lb_scalar.to_bits(), lb_x4.to_bits());
+    }
+
+    #[test]
+    fn unrolled_kernels_match_scalar_on_arbitrary_bit_patterns(
+        xw in raw_bits_strategy(40),
+        yw in raw_bits_strategy(40),
+        radius in 0usize..6,
+    ) {
+        // Hostile inputs: every NaN payload, infinities, subnormals. The
+        // unrolled kernels must still track the scalar ones bit for bit
+        // (NaN vs NaN compares equal through to_bits).
+        let x: Vec<f64> = xw.iter().map(|&w| f64::from_bits(w)).collect();
+        let y: Vec<f64> = yw.iter().map(|&w| f64::from_bits(w)).collect();
+        let mut s1 = DtwScratch::new();
+        let mut s2 = DtwScratch::new();
+        let d_scalar = dtw_banded_with_scratch(&x, &y, radius, &mut s1);
+        let d_x4 = dtw_banded_x4_with_scratch(&x, &y, radius, &mut s2);
+        prop_assert_eq!(d_scalar.to_bits(), d_x4.to_bits());
+        let lb_scalar = lb_keogh_banded_with_scratch(&x, &y, radius, &mut s1);
+        let lb_x4 = lb_keogh_banded_x4_with_scratch(&x, &y, radius, &mut s2);
+        prop_assert_eq!(lb_scalar.to_bits(), lb_x4.to_bits());
+    }
+}
