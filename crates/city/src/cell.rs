@@ -1,0 +1,135 @@
+//! Spatial cell partitioning.
+//!
+//! A city deployment assigns each observer to the cell containing its
+//! position; all shards in a cell vote on the same local traffic. The
+//! grid is one-dimensional along the road axis — the same axis
+//! [`vp_mobility::Highway`] models — because cross-road distance is
+//! bounded by lane count and irrelevant to partitioning.
+
+use vp_fault::VpError;
+use vp_mobility::Highway;
+
+/// Identifier of one spatial cell: the zero-based index along the road.
+pub type CellId = u64;
+
+/// Equal-width partition of a road interval `[origin_m, origin_m + length_m)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellGrid {
+    origin_m: f64,
+    length_m: f64,
+    cells: u64,
+}
+
+impl CellGrid {
+    /// Builds a grid of `cells` equal-width cells over
+    /// `[origin_m, origin_m + length_m)`.
+    ///
+    /// # Errors
+    ///
+    /// [`VpError::InvalidConfig`] when `origin_m` is non-finite,
+    /// `length_m` is non-finite or non-positive, or `cells` is zero.
+    pub fn new(origin_m: f64, length_m: f64, cells: u64) -> Result<Self, VpError> {
+        if !origin_m.is_finite() {
+            return Err(VpError::InvalidConfig("cell grid origin must be finite"));
+        }
+        if !length_m.is_finite() || length_m <= 0.0 {
+            return Err(VpError::InvalidConfig(
+                "cell grid length must be finite and positive",
+            ));
+        }
+        if cells == 0 {
+            return Err(VpError::InvalidConfig("cell grid needs at least one cell"));
+        }
+        Ok(CellGrid {
+            origin_m,
+            length_m,
+            cells,
+        })
+    }
+
+    /// Grid spanning the given highway from position 0, e.g.
+    /// [`Highway::paper_default`]'s 2 km segment.
+    ///
+    /// # Errors
+    ///
+    /// [`VpError::InvalidConfig`] when `cells` is zero (the highway's own
+    /// validation guarantees a positive finite length).
+    pub fn from_highway(highway: &Highway, cells: u64) -> Result<Self, VpError> {
+        CellGrid::new(0.0, highway.length_m(), cells)
+    }
+
+    /// Number of cells in the grid.
+    pub fn cells(&self) -> u64 {
+        self.cells
+    }
+
+    /// Width of one cell, metres.
+    pub fn cell_width_m(&self) -> f64 {
+        self.length_m / self.cells as f64
+    }
+
+    /// Cell containing road position `x_m`.
+    ///
+    /// Positions outside the grid clamp to the nearest boundary cell and
+    /// a non-finite position maps to cell 0: partitioning must be total —
+    /// an observer with a garbage GPS fix still needs *a* shard, and the
+    /// detector downstream judges RSSI, not the claimed position.
+    pub fn cell_of(&self, x_m: f64) -> CellId {
+        if !x_m.is_finite() {
+            return 0;
+        }
+        let frac = (x_m - self.origin_m) / self.length_m;
+        if frac <= 0.0 {
+            return 0;
+        }
+        // `frac * cells` is finite and positive here; the cast saturates
+        // on overflow, so the min() clamp keeps the result in range.
+        let idx = (frac * self.cells as f64) as u64;
+        idx.min(self.cells - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_the_paper_highway_evenly() {
+        let grid = CellGrid::from_highway(&Highway::paper_default(), 4).unwrap();
+        assert_eq!(grid.cells(), 4);
+        assert_eq!(grid.cell_width_m(), 500.0);
+        assert_eq!(grid.cell_of(0.0), 0);
+        assert_eq!(grid.cell_of(499.9), 0);
+        assert_eq!(grid.cell_of(500.0), 1);
+        assert_eq!(grid.cell_of(1999.9), 3);
+    }
+
+    #[test]
+    fn out_of_range_positions_clamp_and_non_finite_maps_to_zero() {
+        let grid = CellGrid::new(100.0, 1000.0, 10).unwrap();
+        assert_eq!(grid.cell_of(-5000.0), 0);
+        assert_eq!(grid.cell_of(99.9), 0);
+        assert_eq!(grid.cell_of(1100.0), 9); // exactly at the far edge
+        assert_eq!(grid.cell_of(1.0e12), 9);
+        assert_eq!(grid.cell_of(f64::NAN), 0);
+        assert_eq!(grid.cell_of(f64::INFINITY), 0);
+        assert_eq!(grid.cell_of(f64::NEG_INFINITY), 0);
+    }
+
+    #[test]
+    fn invalid_grids_are_rejected() {
+        assert!(CellGrid::new(f64::NAN, 1000.0, 4).is_err());
+        assert!(CellGrid::new(0.0, 0.0, 4).is_err());
+        assert!(CellGrid::new(0.0, -10.0, 4).is_err());
+        assert!(CellGrid::new(0.0, f64::INFINITY, 4).is_err());
+        assert!(CellGrid::new(0.0, 1000.0, 0).is_err());
+    }
+
+    #[test]
+    fn single_cell_grid_maps_everything_to_zero() {
+        let grid = CellGrid::new(0.0, 2000.0, 1).unwrap();
+        for x in [-1.0, 0.0, 1999.0, 2001.0] {
+            assert_eq!(grid.cell_of(x), 0);
+        }
+    }
+}

@@ -1,0 +1,501 @@
+//! The city driver: sharded execution plus fusion.
+//!
+//! Execution model: feeds are processed in waves of `worker_threads`
+//! shards. Within a wave each shard gets a dedicated scoped thread and a
+//! bounded `sync_channel` lane; a round-robin dispatcher pushes beacon
+//! batches into the lanes so every worker streams concurrently while a
+//! full lane throttles only its own shard (node-local backpressure). A
+//! worker never serves two live lanes at once — that shape can deadlock
+//! when its second lane fills while it blocks on the first — which is
+//! why the wave, not a thread pool, is the unit of concurrency.
+//!
+//! Determinism: each shard's output depends only on its own feed (the
+//! channel preserves the feed's order; thread interleaving can change
+//! *when* a shard computes, never *what*), and fusion sorts shards by
+//! `(cell, observer)` before voting. `worker_threads = 1` therefore
+//! produces bit-identical output to `worker_threads = N` — pinned in
+//! `tests/city_runtime.rs` with a golden digest.
+
+use std::sync::mpsc::sync_channel;
+
+use vp_fault::VpError;
+use vp_mobility::Highway;
+use vp_runtime::RuntimeConfig;
+use vp_sim::{try_run_scenario, ScenarioConfig, SimulationOutcome};
+
+use crate::cell::{CellGrid, CellId};
+use crate::fusion::{self, FusedRound, FusionConfig};
+use crate::obs;
+use crate::shard::{run_shard, ObserverFeed, ShardOutcome};
+use crate::snapshot::{CitySnapshot, ShardSnapshot};
+use vp_sim::IdentityId;
+
+/// Beacons handed to a shard lane per dispatcher visit. Large enough to
+/// amortize channel synchronization, small enough that the round-robin
+/// keeps every lane busy.
+const DISPATCH_BATCH: usize = 64;
+
+/// Configuration of a city run.
+#[derive(Debug, Clone)]
+pub struct CityConfig {
+    /// Per-shard runtime configuration (every shard runs the same one).
+    pub runtime: RuntimeConfig,
+    /// Verdict-fusion policy.
+    pub fusion: FusionConfig,
+    /// Shards executed concurrently per wave; `0` means
+    /// [`vp_par::max_threads`].
+    pub worker_threads: usize,
+    /// Capacity of each shard's beacon lane, in beacons.
+    pub channel_capacity: usize,
+}
+
+impl CityConfig {
+    /// Majority fusion, auto-sized workers, and a 1024-beacon lane.
+    pub fn new(runtime: RuntimeConfig) -> Self {
+        CityConfig {
+            runtime,
+            fusion: FusionConfig::majority(),
+            worker_threads: 0,
+            channel_capacity: 1024,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`VpError::InvalidConfig`] when the lane capacity is zero or the
+    /// shard runtime configuration fails its own validation.
+    pub fn validate(&self) -> Result<(), VpError> {
+        if self.channel_capacity == 0 {
+            return Err(VpError::InvalidConfig(
+                "city channel capacity must be positive",
+            ));
+        }
+        self.runtime.validate()
+    }
+
+    fn workers(&self) -> usize {
+        if self.worker_threads == 0 {
+            vp_par::max_threads()
+        } else {
+            self.worker_threads
+        }
+    }
+}
+
+/// Result of a city run: every shard's outcome plus the fused verdicts.
+#[derive(Debug, Clone)]
+pub struct CityOutcome {
+    /// Per-shard outcomes, ascending by `(cell, observer)`.
+    pub shards: Vec<ShardOutcome>,
+    /// City-wide fused verdict per detection boundary, in time order.
+    pub fused: Vec<FusedRound>,
+}
+
+impl CityOutcome {
+    /// One shard's outcome, if present.
+    pub fn shard(&self, cell: CellId, observer: IdentityId) -> Option<&ShardOutcome> {
+        self.shards
+            .binary_search_by_key(&(cell, observer), |s| (s.cell, s.observer))
+            .ok()
+            .map(|k| &self.shards[k])
+    }
+
+    /// Composes every shard's final checkpoint into one restorable city
+    /// snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`VpError::InvalidConfig`] only if shard coordinates collide,
+    /// which [`run_city`] already rejects at ingress.
+    pub fn snapshot(&self) -> Result<CitySnapshot, VpError> {
+        CitySnapshot::new(
+            self.shards
+                .iter()
+                .map(|s| ShardSnapshot {
+                    cell: s.cell,
+                    observer: s.observer,
+                    frame: s.checkpoint.clone(),
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Runs every feed through its own runtime shard and fuses the verdicts.
+///
+/// # Errors
+///
+/// [`VpError::InvalidConfig`] on an invalid configuration, a non-finite
+/// `end_s`, or duplicate `(cell, observer)` feeds; any error a shard
+/// runtime reports (e.g. a corrupt resume frame) is propagated.
+pub fn run_city(
+    feeds: &[ObserverFeed],
+    end_s: f64,
+    config: &CityConfig,
+) -> Result<CityOutcome, VpError> {
+    run_city_inner(feeds, end_s, config, None)
+}
+
+/// [`run_city`] resuming every shard from a prior [`CitySnapshot`].
+///
+/// Feeds with no frame in the snapshot start fresh; frames with no feed
+/// are ignored (their shards simply see no further traffic).
+///
+/// # Errors
+///
+/// As [`run_city`], plus any checkpoint-restore error from a shard whose
+/// frame is corrupt or version-incompatible.
+pub fn resume_city(
+    feeds: &[ObserverFeed],
+    end_s: f64,
+    config: &CityConfig,
+    snapshot: &CitySnapshot,
+) -> Result<CityOutcome, VpError> {
+    run_city_inner(feeds, end_s, config, Some(snapshot))
+}
+
+fn run_city_inner(
+    feeds: &[ObserverFeed],
+    end_s: f64,
+    config: &CityConfig,
+    snapshot: Option<&CitySnapshot>,
+) -> Result<CityOutcome, VpError> {
+    config.validate()?;
+    if !end_s.is_finite() {
+        return Err(VpError::InvalidConfig("city end time must be finite"));
+    }
+    let mut keys: Vec<(CellId, IdentityId)> = feeds.iter().map(|f| (f.cell, f.observer)).collect();
+    keys.sort_unstable();
+    if keys.windows(2).any(|w| w[0] == w[1]) {
+        return Err(VpError::InvalidConfig(
+            "duplicate (cell, observer) observer feed",
+        ));
+    }
+
+    let workers = config.workers().max(1);
+    let mut shards: Vec<ShardOutcome> = Vec::with_capacity(feeds.len());
+    for wave in feeds.chunks(workers) {
+        let mut wave_outcomes = run_wave(wave, end_s, config, snapshot)?;
+        shards.append(&mut wave_outcomes);
+    }
+    shards.sort_by_key(|s| (s.cell, s.observer));
+    let fused = fusion::fuse(&shards, &config.fusion);
+    obs::fused(&fused, shards.len());
+    Ok(CityOutcome { shards, fused })
+}
+
+/// Runs one wave of shards: a dedicated worker thread and bounded lane
+/// per feed, one dispatcher (the calling thread) feeding all lanes
+/// round-robin.
+fn run_wave(
+    wave: &[ObserverFeed],
+    end_s: f64,
+    config: &CityConfig,
+    snapshot: Option<&CitySnapshot>,
+) -> Result<Vec<ShardOutcome>, VpError> {
+    std::thread::scope(|scope| {
+        let mut lanes = Vec::with_capacity(wave.len());
+        let mut handles = Vec::with_capacity(wave.len());
+        for feed in wave {
+            let (tx, rx) = sync_channel(config.channel_capacity);
+            let runtime = config.runtime.clone();
+            let resume = snapshot
+                .and_then(|snap| snap.shard(feed.cell, feed.observer))
+                .map(|s| s.frame.clone());
+            let (observer, cell) = (feed.observer, feed.cell);
+            handles
+                .push(scope.spawn(move || run_shard(observer, cell, runtime, resume, end_s, rx)));
+            lanes.push((tx, feed.beacons.iter(), false));
+        }
+
+        // Round-robin dispatcher: visit each live lane, push one batch,
+        // move on. A full lane blocks only while its own worker drains —
+        // every other worker keeps streaming its already-queued batchs.
+        let mut live = lanes.len();
+        while live > 0 {
+            for (tx, beacons, done) in &mut lanes {
+                if *done {
+                    continue;
+                }
+                for _ in 0..DISPATCH_BATCH {
+                    match beacons.next() {
+                        // A send fails only when the worker already
+                        // exited (its config was invalid); the error
+                        // surfaces from join below, so just retire the
+                        // lane here.
+                        Some(tb) => {
+                            if tx.send(*tb).is_err() {
+                                *done = true;
+                                break;
+                            }
+                        }
+                        None => {
+                            *done = true;
+                            break;
+                        }
+                    }
+                }
+                if *done {
+                    live -= 1;
+                }
+            }
+        }
+        drop(lanes); // close every channel so workers finish their drain
+
+        let mut outcomes = Vec::with_capacity(handles.len());
+        for handle in handles {
+            // A shard panic is a bug in the runtime's own supervisor
+            // (it catches round panics itself); re-raise it.
+            match handle.join() {
+                Ok(result) => outcomes.push(result?),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        Ok(outcomes)
+    })
+}
+
+/// Outcome of [`run_scenario_city`]: the batch simulation (tap included)
+/// plus the sharded city run over that tap.
+#[derive(Debug, Clone)]
+pub struct CityScenarioOutcome {
+    /// The underlying simulation outcome, with `beacon_tap` populated.
+    pub sim: SimulationOutcome,
+    /// The city run over the per-observer taps.
+    pub city: CityOutcome,
+}
+
+/// Runs a simulator scenario, partitions its observers into `cells`
+/// equal-width cells of the paper's highway by their first recorded
+/// position, and replays each observer's beacon tap through the sharded
+/// city runtime.
+///
+/// # Errors
+///
+/// Any simulator, configuration, or shard error, as [`run_city`].
+pub fn run_scenario_city(
+    scenario: &ScenarioConfig,
+    config: &CityConfig,
+    cells: u64,
+) -> Result<CityScenarioOutcome, VpError> {
+    let mut scenario = scenario.clone();
+    scenario.collect_beacons = true;
+    scenario.collect_inputs = true; // observer positions for cell mapping
+    let sim = try_run_scenario(&scenario, &[])?;
+    let grid = CellGrid::from_highway(&Highway::paper_default(), cells)?;
+    let observer_count = sim.beacon_tap.len();
+    let feeds: Vec<ObserverFeed> = sim
+        .beacon_tap
+        .iter()
+        .enumerate()
+        .map(|(idx, tap)| {
+            // `collected` is boundary-major: entry `idx` of the first
+            // boundary is observer `idx`'s first detection input.
+            let (observer, cell) = match sim.collected.get(idx) {
+                Some(input) if observer_count > 0 => {
+                    (input.observer, grid.cell_of(input.observer_position_m.0))
+                }
+                _ => (idx as IdentityId, 0),
+            };
+            ObserverFeed {
+                observer,
+                cell,
+                beacons: tap.clone(),
+            }
+        })
+        .collect();
+    let city = run_city(&feeds, scenario.simulation_time_s, config)?;
+    Ok(CityScenarioOutcome { sim, city })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voiceprint::ThresholdPolicy;
+    use vp_fault::Beacon;
+    use vp_sim::engine::TapBeacon;
+
+    fn runtime_config() -> RuntimeConfig {
+        let mut c = RuntimeConfig::paper_default(ThresholdPolicy::paper_simulation());
+        c.min_samples_per_series = 20;
+        c
+    }
+
+    /// A feed whose identities `base` and `base+1` are a Sybil pair when
+    /// `sybil`, plus an always-honest `base+2` (the confirm layer never
+    /// flags neighbourhoods of fewer than three identities), over ~24 s
+    /// so one detection boundary fires.
+    fn feed(observer: IdentityId, cell: CellId, base: IdentityId, sybil: bool) -> ObserverFeed {
+        let beacons = (0..240u32)
+            .flat_map(|k| {
+                let t = 0.1 * k as f64;
+                let a = -61.0 + (0.21 * k as f64).sin() * 5.5;
+                let b = if sybil {
+                    a + 0.35
+                } else {
+                    -61.0 + (0.13 * k as f64).cos() * 8.0 + (k % 5) as f64
+                };
+                [
+                    TapBeacon {
+                        arrival_s: t,
+                        beacon: Beacon::new(base, t, a),
+                    },
+                    TapBeacon {
+                        arrival_s: t,
+                        beacon: Beacon::new(base + 1, t + 0.001, b),
+                    },
+                    TapBeacon {
+                        arrival_s: t,
+                        beacon: Beacon::new(base + 2, t + 0.002, -74.0 + 0.04 * k as f64),
+                    },
+                ]
+            })
+            .collect();
+        ObserverFeed {
+            observer,
+            cell,
+            beacons,
+        }
+    }
+
+    fn city_config(workers: usize) -> CityConfig {
+        let mut c = CityConfig::new(runtime_config());
+        c.worker_threads = workers;
+        c
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_output() {
+        let feeds = vec![
+            feed(1, 0, 100, true),
+            feed(2, 0, 100, true),
+            feed(3, 1, 100, false),
+            feed(4, 2, 200, true),
+            feed(5, 2, 200, false),
+        ];
+        let one = run_city(&feeds, 25.0, &city_config(1)).unwrap();
+        let four = run_city(&feeds, 25.0, &city_config(4)).unwrap();
+        let many = run_city(&feeds, 25.0, &city_config(0)).unwrap();
+        assert_eq!(one.shards, four.shards);
+        assert_eq!(one.fused, four.fused);
+        assert_eq!(one.shards, many.shards);
+        assert_eq!(one.fused, many.fused);
+        assert!(!one.fused.is_empty());
+        assert!(one.fused[0].suspects.contains(&100));
+    }
+
+    #[test]
+    fn tiny_lanes_only_throttle_never_corrupt() {
+        let feeds = vec![feed(1, 0, 100, true), feed(2, 1, 200, false)];
+        let mut tight = city_config(2);
+        tight.channel_capacity = 1;
+        let roomy = run_city(&feeds, 25.0, &city_config(2)).unwrap();
+        let squeezed = run_city(&feeds, 25.0, &tight).unwrap();
+        assert_eq!(roomy.shards, squeezed.shards);
+        assert_eq!(roomy.fused, squeezed.fused);
+    }
+
+    #[test]
+    fn waves_cover_more_shards_than_workers() {
+        // 5 feeds, 2 workers → 3 waves; all five shards must report.
+        let feeds: Vec<ObserverFeed> = (0..5)
+            .map(|k| feed(k + 1, k, 100 + 10 * k, k % 2 == 0))
+            .collect();
+        let out = run_city(&feeds, 25.0, &city_config(2)).unwrap();
+        assert_eq!(out.shards.len(), 5);
+        for (s, f) in out.shards.iter().zip(&feeds) {
+            assert_eq!((s.cell, s.observer), (f.cell, f.observer));
+            assert!(!s.reports().is_empty());
+        }
+    }
+
+    #[test]
+    fn snapshot_resume_matches_an_uninterrupted_run() {
+        let full = vec![feed(1, 0, 100, true), feed(2, 1, 200, false)];
+        let config = city_config(2);
+        let uninterrupted = run_city(&full, 50.0, &config).unwrap();
+
+        // Split each feed at arrival 25 s, run the first half, snapshot,
+        // then resume the rest from the decoded snapshot.
+        let first: Vec<ObserverFeed> = full
+            .iter()
+            .map(|f| ObserverFeed {
+                beacons: f
+                    .beacons
+                    .iter()
+                    .filter(|tb| tb.arrival_s < 25.0)
+                    .copied()
+                    .collect(),
+                ..f.clone()
+            })
+            .collect();
+        let rest: Vec<ObserverFeed> = full
+            .iter()
+            .map(|f| ObserverFeed {
+                beacons: f
+                    .beacons
+                    .iter()
+                    .filter(|tb| tb.arrival_s >= 25.0)
+                    .copied()
+                    .collect(),
+                ..f.clone()
+            })
+            .collect();
+        // End the first leg at the last pre-cut arrival so no boundary
+        // at/after the cut runs twice.
+        let half = run_city(&first, 23.9, &config).unwrap();
+        let encoded = half.snapshot().unwrap().encode();
+        let snapshot = CitySnapshot::decode(&encoded).unwrap();
+        let resumed = resume_city(&rest, 50.0, &config, &snapshot).unwrap();
+
+        for shard in &uninterrupted.shards {
+            let a = half.shard(shard.cell, shard.observer).unwrap();
+            let b = resumed.shard(shard.cell, shard.observer).unwrap();
+            let stitched: Vec<_> = a.rounds.iter().chain(&b.rounds).cloned().collect();
+            assert_eq!(stitched, shard.rounds);
+            assert_eq!(b.checkpoint, shard.checkpoint);
+        }
+    }
+
+    #[test]
+    fn duplicate_feeds_and_bad_configs_are_rejected() {
+        let feeds = vec![feed(1, 0, 100, true), feed(1, 0, 200, false)];
+        assert!(matches!(
+            run_city(&feeds, 25.0, &city_config(1)).unwrap_err(),
+            VpError::InvalidConfig(_)
+        ));
+
+        let ok = vec![feed(1, 0, 100, true)];
+        assert!(run_city(&ok, f64::NAN, &city_config(1)).is_err());
+
+        let mut bad = city_config(1);
+        bad.channel_capacity = 0;
+        assert!(run_city(&ok, 25.0, &bad).is_err());
+
+        let mut bad = city_config(1);
+        bad.runtime.queue_capacity = 0;
+        assert!(run_city(&ok, 25.0, &bad).is_err());
+    }
+
+    #[test]
+    fn scenario_glue_partitions_every_observer() {
+        let scenario = ScenarioConfig::builder()
+            .density_per_km(10.0)
+            .simulation_time_s(45.0)
+            .observer_count(3)
+            .witness_pool_size(6)
+            .malicious_fraction(0.1)
+            .seed(7)
+            .build();
+        let config = CityConfig::new(RuntimeConfig::from_scenario(
+            &scenario,
+            ThresholdPolicy::paper_simulation(),
+        ));
+        let out = run_scenario_city(&scenario, &config, 4).unwrap();
+        assert_eq!(out.city.shards.len(), 3);
+        assert!(out.city.shards.iter().all(|s| s.cell < 4));
+        assert!(!out.city.fused.is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! One runtime shard: a single observer's streaming detector running on
+//! its own worker thread behind a bounded channel.
+//!
+//! The replay loop is *exactly* the one
+//! [`vp_runtime::scenario::run_scenario_streaming`] uses — advance the
+//! runtime clock to each beacon's arrival (running any detection
+//! boundary the clock passed), then offer the beacon — so a one-shard
+//! city run is bit-identical to the single-observer reference, shedding
+//! and deadline behaviour included. `tests/city_runtime.rs` pins that.
+
+use std::sync::mpsc::Receiver;
+
+use voiceprint::CacheStats;
+use vp_fault::{DegradationCounters, VpError};
+use vp_runtime::{RoundOutcome, RuntimeConfig, StreamingRuntime, WindowReport};
+use vp_sim::engine::TapBeacon;
+use vp_sim::IdentityId;
+
+use crate::cell::CellId;
+use crate::obs;
+
+/// The beacons destined for one shard: one observer in one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObserverFeed {
+    /// Observer identity the shard runs for.
+    pub observer: IdentityId,
+    /// Spatial cell the observer sits in.
+    pub cell: CellId,
+    /// Arrival-ordered beacons this observer ingests.
+    pub beacons: Vec<TapBeacon>,
+}
+
+/// Everything one shard produced: boundary outcomes, degradation
+/// accounting, and its final checkpoint frame for the city snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardOutcome {
+    /// Observer identity the shard ran for.
+    pub observer: IdentityId,
+    /// Spatial cell the observer sits in.
+    pub cell: CellId,
+    /// Outcome of every detection boundary, in time order.
+    pub rounds: Vec<RoundOutcome>,
+    /// Aggregated degradation counters at the end of the run.
+    pub counters: DegradationCounters,
+    /// Degradation level the runtime ended at (0 = fully recovered).
+    pub final_degrade_level: u8,
+    /// Comparison-cache statistics, when the runtime had a cache.
+    pub cache_stats: Option<CacheStats>,
+    /// The shard runtime's final `VPCK` checkpoint frame.
+    pub checkpoint: Vec<u8>,
+}
+
+impl ShardOutcome {
+    /// The window reports among [`ShardOutcome::rounds`] (skipped,
+    /// backed-off and circuit-open boundaries produce no report).
+    pub fn reports(&self) -> Vec<&WindowReport> {
+        self.rounds
+            .iter()
+            .filter_map(|r| match r {
+                RoundOutcome::Verdict(report) => Some(report),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Runs one shard to completion on the calling thread, draining `rx`.
+///
+/// `resume` restores the runtime from a prior checkpoint frame instead
+/// of starting fresh. The channel is the backpressure boundary: the
+/// dispatcher blocks on a full lane, which throttles only this shard's
+/// producer, never a sibling's.
+pub(crate) fn run_shard(
+    observer: IdentityId,
+    cell: CellId,
+    config: RuntimeConfig,
+    resume: Option<Vec<u8>>,
+    end_s: f64,
+    rx: Receiver<TapBeacon>,
+) -> Result<ShardOutcome, VpError> {
+    // Tags every event this worker thread emits (rounds, sweeps,
+    // checkpoints) with the shard's coordinates; detached on return.
+    let _labels = obs::shard_labels(observer, cell);
+    let mut rt = match resume {
+        Some(frame) => StreamingRuntime::restore(config, &frame)?,
+        None => StreamingRuntime::new(config)?,
+    };
+    let mut rounds = Vec::new();
+    for tb in rx {
+        rounds.extend(rt.advance_to(tb.arrival_s));
+        rt.offer(tb.arrival_s, tb.beacon);
+    }
+    rounds.extend(rt.advance_to(end_s));
+    let outcome = ShardOutcome {
+        observer,
+        cell,
+        counters: rt.counters(),
+        final_degrade_level: rt.degrade_level(),
+        cache_stats: rt.cache_stats(),
+        checkpoint: rt.checkpoint(),
+        rounds,
+    };
+    obs::shard_done(&outcome);
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::sync_channel;
+    use voiceprint::ThresholdPolicy;
+    use vp_fault::Beacon;
+
+    #[test]
+    fn shard_replay_matches_a_direct_runtime_run() {
+        let config = RuntimeConfig::paper_default(ThresholdPolicy::paper_simulation());
+        let beacons: Vec<TapBeacon> = (0..300u32)
+            .flat_map(|k| {
+                let t = 0.08 * k as f64;
+                let base = -58.0 + (0.25 * k as f64).sin() * 5.0;
+                [
+                    TapBeacon {
+                        arrival_s: t,
+                        beacon: Beacon::new(11, t, base),
+                    },
+                    TapBeacon {
+                        arrival_s: t,
+                        beacon: Beacon::new(12, t + 0.002, base + 0.3),
+                    },
+                ]
+            })
+            .collect();
+
+        // Reference: the scenario driver's replay loop, inline.
+        let mut rt = StreamingRuntime::new(config.clone()).unwrap();
+        let mut want = Vec::new();
+        for tb in &beacons {
+            want.extend(rt.advance_to(tb.arrival_s));
+            rt.offer(tb.arrival_s, tb.beacon);
+        }
+        want.extend(rt.advance_to(30.0));
+
+        // Shard: same beacons through the channel.
+        let (tx, rx) = sync_channel(8);
+        let got = std::thread::scope(|scope| {
+            let handle = scope.spawn(move || run_shard(11, 0, config, None, 30.0, rx));
+            for tb in &beacons {
+                tx.send(*tb).unwrap();
+            }
+            drop(tx);
+            handle.join().unwrap()
+        })
+        .unwrap();
+
+        assert_eq!(got.rounds, want);
+        assert_eq!(got.counters, rt.counters());
+        assert_eq!(got.checkpoint, rt.checkpoint());
+        assert!(!got.reports().is_empty());
+    }
+
+    #[test]
+    fn invalid_config_surfaces_from_the_worker() {
+        let mut config = RuntimeConfig::paper_default(ThresholdPolicy::paper_simulation());
+        config.queue_capacity = 0;
+        let (tx, rx) = sync_channel::<TapBeacon>(1);
+        drop(tx);
+        assert!(run_shard(1, 0, config, None, 10.0, rx).is_err());
+    }
+}

@@ -1,0 +1,335 @@
+//! Composable city snapshots.
+//!
+//! One city process supervises many runtime shards; crash recovery must
+//! restore *all* of them to the same instant. A [`CitySnapshot`] wraps
+//! each shard's own versioned runtime checkpoint (opaque `VPCK` frame,
+//! already checksummed by [`vp_runtime::checkpoint`]) in an outer `VPCY`
+//! frame with its own FNV-1a-64 checksum, so damage to the composition
+//! layer and damage to an individual shard frame are both detected, each
+//! at its own layer.
+//!
+//! Wire format (all integers little-endian):
+//!
+//! ```text
+//! "VPCY" ∥ u16 version ∥ u32 shard_count
+//!     ∥ [ u64 cell ∥ u64 observer ∥ u32 frame_len ∥ frame ]*
+//!     ∥ u64 fnv1a(everything before the checksum)
+//! ```
+//!
+//! Decoding applies the same discipline as the runtime's checkpoint
+//! reader: every length prefix is validated against the bytes actually
+//! remaining *before* any allocation or element read, so a corrupt count
+//! fails up front as [`VpError::CheckpointCorrupt`] instead of driving a
+//! huge allocation or a slice panic.
+
+use vp_fault::VpError;
+use vp_sim::IdentityId;
+
+use crate::cell::CellId;
+
+/// Leading magic bytes of a city snapshot.
+pub const MAGIC: [u8; 4] = *b"VPCY";
+
+/// City snapshot format version written (and required) by this build.
+pub const VERSION: u16 = 1;
+
+/// Fixed bytes per shard record before its variable-length frame.
+const SHARD_HEADER: usize = 8 + 8 + 4;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// One shard's checkpoint plus the coordinates that identify it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Spatial cell the shard serves.
+    pub cell: CellId,
+    /// Observer identity the shard runs for.
+    pub observer: IdentityId,
+    /// The shard runtime's own `VPCK` checkpoint frame, opaque here.
+    pub frame: Vec<u8>,
+}
+
+/// A restorable snapshot of every shard in a city run, sorted by
+/// `(cell, observer)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CitySnapshot {
+    shards: Vec<ShardSnapshot>,
+}
+
+impl CitySnapshot {
+    /// Builds a snapshot from per-shard checkpoints, sorting by
+    /// `(cell, observer)` so encoding is canonical.
+    ///
+    /// # Errors
+    ///
+    /// [`VpError::InvalidConfig`] when two shards share a
+    /// `(cell, observer)` coordinate — a restore could not tell which
+    /// frame owns the shard.
+    pub fn new(mut shards: Vec<ShardSnapshot>) -> Result<Self, VpError> {
+        shards.sort_by_key(|s| (s.cell, s.observer));
+        if shards
+            .windows(2)
+            .any(|w| (w[0].cell, w[0].observer) == (w[1].cell, w[1].observer))
+        {
+            return Err(VpError::InvalidConfig(
+                "duplicate (cell, observer) in city snapshot",
+            ));
+        }
+        Ok(CitySnapshot { shards })
+    }
+
+    /// All shard snapshots, ascending by `(cell, observer)`.
+    pub fn shards(&self) -> &[ShardSnapshot] {
+        &self.shards
+    }
+
+    /// The frame for one shard, if present.
+    pub fn shard(&self, cell: CellId, observer: IdentityId) -> Option<&ShardSnapshot> {
+        self.shards
+            .binary_search_by_key(&(cell, observer), |s| (s.cell, s.observer))
+            .ok()
+            .map(|k| &self.shards[k])
+    }
+
+    /// Serializes the snapshot to the `VPCY` wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let body: usize = self
+            .shards
+            .iter()
+            .map(|s| SHARD_HEADER + s.frame.len())
+            .sum();
+        let mut out = Vec::with_capacity(4 + 2 + 4 + body + 8);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.shards.len() as u32).to_le_bytes());
+        for s in &self.shards {
+            out.extend_from_slice(&s.cell.to_le_bytes());
+            out.extend_from_slice(&s.observer.to_le_bytes());
+            out.extend_from_slice(&(s.frame.len() as u32).to_le_bytes());
+            out.extend_from_slice(&s.frame);
+        }
+        let sum = fnv1a(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Decodes and validates a `VPCY` frame.
+    ///
+    /// # Errors
+    ///
+    /// [`VpError::CheckpointCorrupt`] on bad magic, truncation, checksum
+    /// mismatch, count/length prefixes exceeding the available bytes,
+    /// trailing garbage, or duplicate shard coordinates;
+    /// [`VpError::CheckpointVersion`] on a version this build does not
+    /// read. Individual shard frames are *not* opened here — the runtime
+    /// validates each on restore.
+    pub fn decode(bytes: &[u8]) -> Result<Self, VpError> {
+        const HEADER: usize = 4 + 2 + 4;
+        const TRAILER: usize = 8;
+        let corrupt = |reason: &'static str| VpError::CheckpointCorrupt { reason };
+        if bytes.len() < HEADER + TRAILER {
+            return Err(corrupt("shorter than header + checksum"));
+        }
+        if bytes[..4] != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let found = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if found != VERSION {
+            return Err(VpError::CheckpointVersion {
+                found,
+                expected: VERSION,
+            });
+        }
+        let (prefix, trailer) = bytes.split_at(bytes.len() - TRAILER);
+        let trailer: [u8; 8] = trailer
+            .try_into()
+            .map_err(|_| corrupt("truncated checksum"))?;
+        if fnv1a(prefix) != u64::from_le_bytes(trailer) {
+            return Err(corrupt("checksum mismatch"));
+        }
+        let count = u32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]) as usize;
+        let mut pos = HEADER;
+        let end = prefix.len();
+        // Validate the count against the minimum possible record size
+        // before trusting it for the allocation below.
+        match count.checked_mul(SHARD_HEADER) {
+            Some(need) if need <= end - pos => {}
+            _ => return Err(corrupt("shard count exceeds payload")),
+        }
+        let mut shards = Vec::with_capacity(count);
+        for _ in 0..count {
+            if end - pos < SHARD_HEADER {
+                return Err(corrupt("truncated shard header"));
+            }
+            let take_u64 = |at: usize| -> u64 {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&prefix[at..at + 8]);
+                u64::from_le_bytes(b)
+            };
+            let cell = take_u64(pos);
+            let observer = take_u64(pos + 8);
+            let mut len_bytes = [0u8; 4];
+            len_bytes.copy_from_slice(&prefix[pos + 16..pos + 20]);
+            let frame_len = u32::from_le_bytes(len_bytes) as usize;
+            pos += SHARD_HEADER;
+            if frame_len > end - pos {
+                return Err(corrupt("shard frame length exceeds payload"));
+            }
+            let frame = prefix[pos..pos + frame_len].to_vec();
+            pos += frame_len;
+            shards.push(ShardSnapshot {
+                cell,
+                observer,
+                frame,
+            });
+        }
+        if pos != end {
+            return Err(corrupt("trailing bytes after payload"));
+        }
+        // `new` re-sorts and rejects duplicates; map its InvalidConfig to
+        // corruption — duplicates in a decoded frame mean damaged bytes,
+        // not a caller mistake.
+        CitySnapshot::new(shards).map_err(|_| corrupt("duplicate shard coordinates"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CitySnapshot {
+        CitySnapshot::new(vec![
+            ShardSnapshot {
+                cell: 1,
+                observer: 7,
+                frame: vec![0xAA; 37],
+            },
+            ShardSnapshot {
+                cell: 0,
+                observer: 9,
+                frame: Vec::new(),
+            },
+            ShardSnapshot {
+                cell: 1,
+                observer: 3,
+                frame: vec![1, 2, 3],
+            },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trips_and_sorts_canonically() {
+        let snap = sample();
+        let keys: Vec<_> = snap.shards().iter().map(|s| (s.cell, s.observer)).collect();
+        assert_eq!(keys, vec![(0, 9), (1, 3), (1, 7)]);
+        let decoded = CitySnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+        assert_eq!(snap.shard(1, 7).unwrap().frame, vec![0xAA; 37]);
+        assert!(snap.shard(2, 7).is_none());
+    }
+
+    #[test]
+    fn duplicate_coordinates_are_rejected() {
+        let dup = vec![
+            ShardSnapshot {
+                cell: 0,
+                observer: 1,
+                frame: Vec::new(),
+            },
+            ShardSnapshot {
+                cell: 0,
+                observer: 1,
+                frame: vec![9],
+            },
+        ];
+        assert!(matches!(
+            CitySnapshot::new(dup).unwrap_err(),
+            VpError::InvalidConfig(_)
+        ));
+    }
+
+    #[test]
+    fn any_flipped_byte_is_detected() {
+        let encoded = sample().encode();
+        for k in 0..encoded.len() {
+            let mut bad = encoded.clone();
+            bad[k] ^= 0x01;
+            assert!(
+                matches!(
+                    CitySnapshot::decode(&bad),
+                    Err(VpError::CheckpointCorrupt { .. }) | Err(VpError::CheckpointVersion { .. })
+                ),
+                "flip at byte {k} must be caught"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_cut_is_a_structured_error() {
+        let encoded = sample().encode();
+        for cut in 0..encoded.len() {
+            assert!(CitySnapshot::decode(&encoded[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn inflated_count_and_length_prefixes_fail_up_front() {
+        // Count inflated to u32::MAX: rejected by the checked_mul guard
+        // before the Vec::with_capacity allocation.
+        let mut encoded = sample().encode();
+        encoded[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        let len = encoded.len();
+        let sum = fnv1a(&encoded[..len - 8]);
+        encoded[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            CitySnapshot::decode(&encoded).unwrap_err(),
+            VpError::CheckpointCorrupt {
+                reason: "shard count exceeds payload"
+            }
+        );
+
+        // First shard's frame length inflated past the payload.
+        let mut encoded = sample().encode();
+        let first_len_at = 4 + 2 + 4 + 16;
+        encoded[first_len_at..first_len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let len = encoded.len();
+        let sum = fnv1a(&encoded[..len - 8]);
+        encoded[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            CitySnapshot::decode(&encoded).unwrap_err(),
+            VpError::CheckpointCorrupt {
+                reason: "shard frame length exceeds payload"
+            }
+        );
+    }
+
+    #[test]
+    fn future_version_is_a_distinct_error() {
+        let mut encoded = sample().encode();
+        encoded[4..6].copy_from_slice(&3u16.to_le_bytes());
+        let len = encoded.len();
+        let sum = fnv1a(&encoded[..len - 8]);
+        encoded[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            CitySnapshot::decode(&encoded).unwrap_err(),
+            VpError::CheckpointVersion {
+                found: 3,
+                expected: VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = CitySnapshot::new(Vec::new()).unwrap();
+        assert_eq!(CitySnapshot::decode(&snap.encode()).unwrap(), snap);
+    }
+}

@@ -92,10 +92,20 @@ struct Attempt {
 }
 
 fn order_key(t: f64) -> u64 {
-    // All attempt times are non-negative finite, so the IEEE-754 bit
-    // pattern orders them correctly.
+    // The IEEE-754 bit pattern only orders non-negative finite values
+    // correctly (negative floats compare *descending* as bits, and NaN
+    // bits land above every time). The ingress gate in
+    // `resolve_contention` rejects anything else before it reaches the
+    // heap, and retry times are derived from accepted ones (end + SIFS +
+    // backoff), so this precondition holds for every heap entry.
     debug_assert!(t >= 0.0 && t.is_finite());
-    t.to_bits()
+    // -0.0 satisfies `>= 0.0` but carries the sign bit, which would
+    // sort it above every positive time; normalise to +0.0 first.
+    if t == 0.0 {
+        0
+    } else {
+        t.to_bits()
+    }
 }
 
 impl PartialEq for Attempt {
@@ -126,12 +136,12 @@ impl Ord for Attempt {
 /// # Errors
 ///
 /// Returns [`MacError::InvalidParams`] when `params` fail validation and
-/// [`MacError::InvalidRequest`] when a request carries non-finite times
-/// or power, or expires before it is requested. These are input errors
-/// (in deployment, attacker-controlled ones), never panics: the attempt
-/// heap orders times by IEEE-754 bit pattern, which is only sound for
-/// non-negative finite values, so the gate here is what makes the whole
-/// resolver total.
+/// [`MacError::InvalidRequest`] when a request carries non-finite or
+/// negative times, non-finite power, or expires before it is requested.
+/// These are input errors (in deployment, attacker-controlled ones),
+/// never panics or silent reorderings: the attempt heap orders times by
+/// IEEE-754 bit pattern, which is only sound for non-negative finite
+/// values, so the gate here is what makes the whole resolver total.
 pub fn resolve_contention<R, F>(
     requests: &[BeaconRequest],
     params: &MacParams,
@@ -152,13 +162,20 @@ where
         if !request.eirp_dbm.is_finite() {
             return Err(MacError::InvalidRequest("non-finite beacon request power"));
         }
+        // Negative times would silently mis-sort the heap in release
+        // (bit-pattern ordering is only total on non-negative finite
+        // floats), so they are input errors like non-finite ones — never
+        // clamped, never reordered.
+        if request.requested_at_s < 0.0 {
+            return Err(MacError::InvalidRequest("negative beacon request time"));
+        }
         if request.expires_at_s < request.requested_at_s {
             return Err(MacError::InvalidRequest(
                 "beacon expires before it is requested",
             ));
         }
         heap.push(Reverse(Attempt {
-            time_bits: order_key(request.requested_at_s.max(0.0)),
+            time_bits: order_key(request.requested_at_s),
             seq,
             retries: 0,
             request,
@@ -419,6 +436,54 @@ mod tests {
             resolve_contention(&[request(1, 1, 0.0)], &broken, all_hear, &mut rng).unwrap_err(),
             MacError::InvalidParams(_)
         ));
+    }
+
+    #[test]
+    fn negative_times_error_instead_of_reordering() {
+        // Regression: a negative requested_at_s used to be clamped to 0
+        // at ingress, silently *reordering* the contention queue in
+        // release builds (IEEE-754 bit ordering is descending for
+        // negative floats, and the only guard was a debug_assert). Both
+        // negative and NaN attempt times must now be structured errors.
+        let p = MacParams::paper_default();
+        let mut rng = StdRng::seed_from_u64(10);
+
+        let mut bad = request(1, 1, 0.0);
+        bad.requested_at_s = -0.25;
+        bad.expires_at_s = 0.1;
+        let mixed = [request(2, 2, 0.001), bad, request(3, 3, 0.002)];
+        assert_eq!(
+            resolve_contention(&mixed, &p, all_hear, &mut rng).unwrap_err(),
+            MacError::InvalidRequest("negative beacon request time")
+        );
+
+        // Negative expiry alone (with a non-negative request time) is
+        // already an expires-before-request error; it must stay one.
+        let mut bad = request(1, 1, 0.5);
+        bad.expires_at_s = -1.0;
+        assert!(matches!(
+            resolve_contention(&[bad], &p, all_hear, &mut rng).unwrap_err(),
+            MacError::InvalidRequest(_)
+        ));
+
+        // NaN request time is an error, not a mis-sorted heap entry.
+        let mut bad = request(1, 1, 0.0);
+        bad.requested_at_s = f64::NAN;
+        bad.expires_at_s = f64::NAN;
+        assert!(matches!(
+            resolve_contention(&[bad], &p, all_hear, &mut rng).unwrap_err(),
+            MacError::InvalidRequest(_)
+        ));
+
+        // -0.0 passes the `< 0.0` gate (IEEE-754: -0.0 < 0.0 is false)
+        // but carries the sign bit; `order_key` normalises it to +0.0,
+        // so it must transmit first, not sort after later attempts.
+        let zero = request(1, 1, -0.0);
+        let later = request(2, 2, 0.003);
+        let res = resolve_contention(&[later, zero], &p, all_hear, &mut rng).unwrap();
+        assert_eq!(res.on_air.len(), 2);
+        assert_eq!(res.on_air[0].identity, 1, "-0.0 attempt goes first");
+        assert_eq!(res.on_air[0].start_s, 0.0);
     }
 
     #[test]

@@ -314,14 +314,86 @@ pub fn is_active() -> bool {
 /// Emit an event to the installed sink, if any.
 ///
 /// The closure is only invoked when a sink is active, so callers pay
-/// nothing to *construct* events on the disabled path.
+/// nothing to *construct* events on the disabled path. Any
+/// [`ScopedLabels`] active on the emitting thread are appended to the
+/// event's fields before it reaches the sink.
 #[inline]
 pub fn emit(build: impl FnOnce() -> Event) {
     if !is_active() {
         return;
     }
     if let Some(sink) = sink_slot().as_ref() {
-        sink.record(&build());
+        let mut event = build();
+        LABELS.with(|labels| {
+            let labels = labels.borrow();
+            if !labels.is_empty() {
+                event.fields.extend(labels.iter().cloned());
+            }
+        });
+        sink.record(&event);
+    }
+}
+
+// --- scoped labels ---------------------------------------------------------
+
+thread_local! {
+    static LABELS: std::cell::RefCell<Vec<(Cow<'static, str>, FieldValue)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// RAII guard that appends fixed labels to **every event emitted from
+/// the current thread** while it lives — the fleet-labelling primitive
+/// for multi-shard deployments, where each shard's worker thread tags
+/// its events with `observer` / `cell` so one sink can answer both
+/// per-node and fleet-level queries without any call-site changes.
+///
+/// Guards nest: labels accumulate in attachment order and each guard
+/// removes exactly the labels it added. Labels are thread-local, so
+/// parallel shards never see each other's tags.
+///
+/// ```
+/// use std::sync::Arc;
+/// let mem = Arc::new(vp_obs::MemorySink::new());
+/// let _sink = vp_obs::ScopedSink::install(mem.clone());
+/// {
+///     let _tags = vp_obs::ScopedLabels::attach([("observer", 7u64), ("cell", 3u64)]);
+///     vp_obs::emit(|| vp_obs::Event::new("runtime.round"));
+/// }
+/// assert_eq!(
+///     mem.events()[0].field("cell"),
+///     Some(&vp_obs::FieldValue::U64(3))
+/// );
+/// ```
+#[derive(Debug)]
+pub struct ScopedLabels {
+    added: usize,
+}
+
+impl ScopedLabels {
+    /// Attach `labels` to every event emitted from this thread until the
+    /// returned guard is dropped.
+    pub fn attach<K, V>(labels: impl IntoIterator<Item = (K, V)>) -> Self
+    where
+        K: Into<Cow<'static, str>>,
+        V: Into<FieldValue>,
+    {
+        let added = LABELS.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            let before = slot.len();
+            slot.extend(labels.into_iter().map(|(k, v)| (k.into(), v.into())));
+            slot.len() - before
+        });
+        ScopedLabels { added }
+    }
+}
+
+impl Drop for ScopedLabels {
+    fn drop(&mut self) {
+        LABELS.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            let keep = slot.len().saturating_sub(self.added);
+            slot.truncate(keep);
+        });
     }
 }
 
@@ -663,6 +735,50 @@ mod tests {
         assert!(!ran, "emit closure must not run without a sink");
         assert_eq!(mem.count("inside"), 1);
         assert_eq!(mem.count("outside"), 0);
+    }
+
+    #[test]
+    fn scoped_labels_tag_events_nest_and_detach() {
+        let mem = Arc::new(MemorySink::new());
+        let _guard = ScopedSink::install(mem.clone());
+        {
+            let _outer = ScopedLabels::attach([("observer", 7u64), ("cell", 3u64)]);
+            emit(|| Event::new("tagged").with("k", 1u64));
+            {
+                let _inner = ScopedLabels::attach([("shard", 2u64)]);
+                emit(|| Event::new("nested"));
+            }
+            emit(|| Event::new("after_inner"));
+        }
+        emit(|| Event::new("untagged"));
+
+        let events = mem.events();
+        assert_eq!(events[0].field("observer"), Some(&FieldValue::U64(7)));
+        assert_eq!(events[0].field("cell"), Some(&FieldValue::U64(3)));
+        assert_eq!(events[0].field("k"), Some(&FieldValue::U64(1)));
+        assert_eq!(events[1].field("shard"), Some(&FieldValue::U64(2)));
+        assert_eq!(events[1].field("observer"), Some(&FieldValue::U64(7)));
+        assert_eq!(events[2].field("shard"), None, "inner guard detached");
+        assert_eq!(events[2].field("cell"), Some(&FieldValue::U64(3)));
+        assert_eq!(events[3].field("observer"), None, "outer guard detached");
+    }
+
+    #[test]
+    fn scoped_labels_are_thread_local() {
+        let mem = Arc::new(MemorySink::new());
+        let _guard = ScopedSink::install(mem.clone());
+        let _here = ScopedLabels::attach([("observer", 1u64)]);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _there = ScopedLabels::attach([("observer", 2u64)]);
+                emit(|| Event::new("from_worker"));
+            });
+        });
+        emit(|| Event::new("from_main"));
+        let events = mem.events();
+        assert_eq!(events[0].name, "from_worker");
+        assert_eq!(events[0].field("observer"), Some(&FieldValue::U64(2)));
+        assert_eq!(events[1].field("observer"), Some(&FieldValue::U64(1)));
     }
 
     #[test]

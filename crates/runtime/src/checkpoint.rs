@@ -115,6 +115,29 @@ impl<'a> Reader<'a> {
         Ok(f64::from_bits(self.get_u64()?))
     }
 
+    /// Payload bytes not yet consumed.
+    pub(crate) fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Reads a `u32` element-count prefix whose elements each occupy at
+    /// least `min_elem_bytes`, rejecting any count that could not
+    /// possibly fit in the remaining payload. A corrupt prefix (e.g.
+    /// `0xFFFFFFFF`) must fail *here*, up front, with the caller's
+    /// `reason` — not after driving billions of element reads into EOF
+    /// or a `Vec::with_capacity` sized by attacker-controlled bytes.
+    pub(crate) fn get_count(
+        &mut self,
+        min_elem_bytes: usize,
+        reason: &'static str,
+    ) -> Result<usize, VpError> {
+        let count = self.get_u32()? as usize;
+        match count.checked_mul(min_elem_bytes) {
+            Some(need) if need <= self.remaining() => Ok(count),
+            _ => Err(VpError::CheckpointCorrupt { reason }),
+        }
+    }
+
     /// Fails unless every payload byte was consumed — catches payloads
     /// whose length fields disagree with their actual content.
     pub(crate) fn finish(self) -> Result<(), VpError> {
@@ -263,6 +286,58 @@ mod tests {
                 reason: "truncated payload"
             }
         );
+    }
+
+    #[test]
+    fn count_prefix_is_validated_against_remaining_bytes() {
+        // 3 elements of 8 bytes actually present.
+        let mut w = Writer::new();
+        w.put_u32(3);
+        for v in [1u64, 2, 3] {
+            w.put_u64(v);
+        }
+        let framed = seal(&w.into_payload());
+        let mut r = Reader::new(open(&framed).unwrap());
+        assert_eq!(r.get_count(8, "count too large").unwrap(), 3);
+
+        // A count claiming more elements than the payload can hold is
+        // rejected before any element read.
+        let mut w = Writer::new();
+        w.put_u32(4); // claims 4 × 8 = 32 bytes; only 24 follow
+        for v in [1u64, 2, 3] {
+            w.put_u64(v);
+        }
+        let framed = seal(&w.into_payload());
+        let mut r = Reader::new(open(&framed).unwrap());
+        assert_eq!(
+            r.get_count(8, "count too large").unwrap_err(),
+            VpError::CheckpointCorrupt {
+                reason: "count too large"
+            }
+        );
+
+        // The classic attack value: 0xFFFFFFFF would overflow a naive
+        // `count * size` on 32-bit targets; checked_mul keeps it an error.
+        let mut w = Writer::new();
+        w.put_u32(u32::MAX);
+        let framed = seal(&w.into_payload());
+        let mut r = Reader::new(open(&framed).unwrap());
+        assert!(r.get_count(16, "count too large").is_err());
+    }
+
+    #[test]
+    fn remaining_tracks_the_cursor() {
+        let mut w = Writer::new();
+        w.put_u64(7);
+        w.put_u8(1);
+        let framed = seal(&w.into_payload());
+        let payload = open(&framed).unwrap();
+        let mut r = Reader::new(payload);
+        assert_eq!(r.remaining(), 9);
+        let _ = r.get_u64().unwrap();
+        assert_eq!(r.remaining(), 1);
+        let _ = r.get_u8().unwrap();
+        assert_eq!(r.remaining(), 0);
     }
 
     #[test]

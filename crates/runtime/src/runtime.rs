@@ -486,12 +486,17 @@ impl StreamingRuntime {
             });
         }
         let rejected = r.get_u64()?;
-        let id_count = r.get_u32()? as usize;
-        let mut per_id = Vec::with_capacity(id_count.min(1024));
+        // Every count prefix below is validated against the bytes that
+        // actually remain (count × minimum element size) before its read
+        // loop starts, so a corrupt prefix is rejected up front instead
+        // of driving up to 2³² element reads into EOF — and allocation
+        // is bounded by the real snapshot size, never by corrupt bytes.
+        let id_count = r.get_count(8 + 4, "identity count exceeds payload")?;
+        let mut per_id = Vec::with_capacity(id_count);
         for _ in 0..id_count {
             let id: IdentityId = r.get_u64()?;
-            let n = r.get_u32()? as usize;
-            let mut samples = Vec::with_capacity(n.min(4096));
+            let n = r.get_count(16, "sample count exceeds payload")?;
+            let mut samples = Vec::with_capacity(n);
             for _ in 0..n {
                 let t = r.get_f64()?;
                 let rssi = r.get_f64()?;
@@ -509,8 +514,8 @@ impl StreamingRuntime {
             });
         }
         let bucket_start_s = r.get_f64()?;
-        let heard_count = r.get_u32()? as usize;
-        let mut heard = Vec::with_capacity(heard_count.min(4096));
+        let heard_count = r.get_count(8, "heard-identity count exceeds payload")?;
+        let mut heard = Vec::with_capacity(heard_count);
         for _ in 0..heard_count {
             heard.push(r.get_u64()?);
         }
@@ -526,8 +531,8 @@ impl StreamingRuntime {
         let density = DensityEstimator::restore(period_s, range_m, bucket_start_s, heard, latest);
 
         let shed = r.get_u64()?;
-        let item_count = r.get_u32()? as usize;
-        let mut items = Vec::with_capacity(item_count.min(4096));
+        let item_count = r.get_count(32, "queued-beacon count exceeds payload")?;
+        let mut items = Vec::with_capacity(item_count);
         for _ in 0..item_count {
             let arrival_s = r.get_f64()?;
             let identity = r.get_u64()?;
@@ -842,6 +847,109 @@ mod tests {
             StreamingRuntime::restore(test_config(), &versioned),
             Err(VpError::CheckpointVersion { found: 7, .. })
         ));
+    }
+
+    /// Re-frames `good` with its payload rewritten by `patch` — the
+    /// checksum is recomputed, so the *structural* validators (not the
+    /// checksum) must catch the damage.
+    fn reseal_with(good: &[u8], patch: impl FnOnce(&mut Vec<u8>)) -> Vec<u8> {
+        let mut payload = checkpoint::open(good).unwrap().to_vec();
+        patch(&mut payload);
+        checkpoint::seal(&payload)
+    }
+
+    // Fixed payload offsets of the checkpoint layout (see `checkpoint()`):
+    // supervisor header 54 B (f64 + u64 + u8 + 3×u32 + u8 + 3×u64), then
+    // collector window f64 + rejected u64, putting `id_count` at 70. On
+    // an *empty* runtime the density section follows immediately:
+    // 3×f64 at 74, `heard_count` at 98, the `latest` flag byte at 102,
+    // shed u64 at 103, `item_count` at 111.
+    const CIRCUIT_FLAG: usize = 29;
+    const ID_COUNT: usize = 70;
+    const HEARD_COUNT: usize = 98;
+    const LATEST_FLAG: usize = 102;
+    const ITEM_COUNT: usize = 111;
+
+    #[test]
+    fn count_inflated_checkpoints_are_rejected_up_front() {
+        // Regression: the u32 count prefixes used to drive read loops
+        // unchecked, so 0xFFFFFFFF spun up to 4B element reads before
+        // hitting EOF. Each count must now be validated against the
+        // remaining payload before its loop starts.
+        let empty = StreamingRuntime::new(test_config()).unwrap().checkpoint();
+        for (offset, name) in [
+            (ID_COUNT, "id_count"),
+            (HEARD_COUNT, "heard_count"),
+            (ITEM_COUNT, "item_count"),
+        ] {
+            let bad = reseal_with(&empty, |p| {
+                p[offset..offset + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+            });
+            let err = StreamingRuntime::restore(test_config(), &bad)
+                .expect_err(&format!("inflated {name} must be rejected"));
+            assert!(
+                matches!(err, VpError::CheckpointCorrupt { reason } if reason.contains("count")),
+                "{name}: {err:?}"
+            );
+        }
+
+        // The nested per-identity sample count: feed one window so the
+        // collector holds at least one identity, then inflate the first
+        // identity's `n` (payload offset 70 + 4 + 8 = 82).
+        let mut rt = StreamingRuntime::new(test_config()).unwrap();
+        feed_window(&mut rt, 0.0, 1);
+        rt.advance_to(20.0);
+        let warm = rt.checkpoint();
+        let bad = reseal_with(&warm, |p| {
+            p[82..86].copy_from_slice(&u32::MAX.to_le_bytes());
+        });
+        assert!(matches!(
+            StreamingRuntime::restore(test_config(), &bad),
+            Err(VpError::CheckpointCorrupt {
+                reason: "sample count exceeds payload"
+            })
+        ));
+    }
+
+    #[test]
+    fn truncated_payloads_are_structured_errors_at_every_cut() {
+        // Truncation *inside* a valid frame (checksum recomputed): every
+        // cut must surface as CheckpointCorrupt from the structural
+        // validators, never a panic or a wild allocation.
+        let mut rt = StreamingRuntime::new(test_config()).unwrap();
+        feed_window(&mut rt, 0.0, 1);
+        rt.advance_to(20.0);
+        let good = rt.checkpoint();
+        let full_len = checkpoint::open(&good).unwrap().len();
+        for cut in 0..full_len {
+            let bad = reseal_with(&good, |p| p.truncate(cut));
+            assert!(
+                matches!(
+                    StreamingRuntime::restore(test_config(), &bad),
+                    Err(VpError::CheckpointCorrupt { .. })
+                ),
+                "cut at {cut} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn fuzzed_flag_bytes_are_rejected() {
+        let empty = StreamingRuntime::new(test_config()).unwrap().checkpoint();
+        for flag_offset in [CIRCUIT_FLAG, LATEST_FLAG] {
+            for value in [2u8, 7, 0xFF] {
+                let bad = reseal_with(&empty, |p| p[flag_offset] = value);
+                assert!(
+                    matches!(
+                        StreamingRuntime::restore(test_config(), &bad),
+                        Err(VpError::CheckpointCorrupt {
+                            reason: "invalid flag byte"
+                        })
+                    ),
+                    "flag at {flag_offset} = {value:#x} must be rejected"
+                );
+            }
+        }
     }
 
     #[test]

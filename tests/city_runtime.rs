@@ -1,0 +1,304 @@
+//! Cross-crate contract tests for the city-scale sharded runtime:
+//! single-shard parity with the single-observer streaming driver (clean,
+//! under storm shedding, and under a pair-budget deadline), fusion
+//! invariance over worker-thread count and shard scheduling order
+//! (pinned by a golden digest), and kill-one-shard restore equivalence
+//! from a composed city snapshot.
+
+use proptest::prelude::*;
+use voiceprint::ThresholdPolicy;
+use vp_city::{
+    resume_city, run_city, run_scenario_city, CityConfig, CitySnapshot, FusedRound, ObserverFeed,
+};
+use vp_fault::{FaultKind, FaultPlan};
+use vp_runtime::{run_scenario_streaming, DeadlinePolicy, RuntimeConfig};
+use vp_sim::ScenarioConfig;
+
+fn golden_scenario() -> ScenarioConfig {
+    ScenarioConfig::builder()
+        .density_per_km(15.0)
+        .simulation_time_s(45.0)
+        .observer_count(2)
+        .witness_pool_size(6)
+        .malicious_fraction(0.1)
+        .seed(42)
+        .collect_inputs(true)
+        .build()
+}
+
+fn policy() -> ThresholdPolicy {
+    ThresholdPolicy::paper_simulation()
+}
+
+fn fnv_mix(h: &mut u64, bits: u64) {
+    *h ^= bits;
+    *h = h.wrapping_mul(0x100000001b3);
+}
+
+/// FNV-1a-style digest over every fused round's boundary time, suspect
+/// list and full vote tally — one number that moves if any fused verdict
+/// or any vote count moves.
+fn digest_fused(rounds: &[FusedRound]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for round in rounds {
+        fnv_mix(&mut h, round.time_s.to_bits());
+        fnv_mix(&mut h, round.suspects.len() as u64);
+        for &id in &round.suspects {
+            fnv_mix(&mut h, id);
+        }
+        for t in &round.tally {
+            fnv_mix(&mut h, t.identity);
+            fnv_mix(&mut h, t.votes_for);
+            fnv_mix(&mut h, t.weight_evaluated);
+            fnv_mix(&mut h, t.flagged as u64);
+        }
+    }
+    h
+}
+
+/// Replays a streaming outcome's per-observer taps as city feeds (one
+/// shard per observer, all in cell 0) so shard output can be compared
+/// round-for-round against the single-observer reference driver.
+fn feeds_from_tap(outcome: &vp_runtime::StreamingOutcome) -> Vec<ObserverFeed> {
+    outcome
+        .sim
+        .beacon_tap
+        .iter()
+        .enumerate()
+        .map(|(idx, tap)| ObserverFeed {
+            observer: idx as u64,
+            cell: 0,
+            beacons: tap.clone(),
+        })
+        .collect()
+}
+
+/// Asserts a city run over the reference driver's own taps reproduces
+/// its rounds and counters bit-for-bit, shard by shard.
+fn assert_city_matches_streaming(scenario: &ScenarioConfig, runtime: RuntimeConfig) {
+    let reference = run_scenario_streaming(scenario, &runtime).expect("scenario runs");
+    let feeds = feeds_from_tap(&reference);
+    let mut config = CityConfig::new(runtime);
+    config.worker_threads = 1;
+    let city = run_city(&feeds, scenario.simulation_time_s, &config).expect("city runs");
+    assert_eq!(city.shards.len(), reference.streams.len());
+    for (idx, stream) in reference.streams.iter().enumerate() {
+        let shard = city.shard(0, idx as u64).expect("shard present");
+        // Compare via Debug (exact round-trip float formatting), not
+        // PartialEq: deadline-truncated sweeps audit skipped pairs with
+        // NaN distances, and NaN != NaN would fail equality on runs that
+        // are in fact identical.
+        assert_eq!(
+            format!("{:?}", shard.rounds),
+            format!("{:?}", stream.rounds),
+            "observer {idx}: rounds diverged"
+        );
+        assert_eq!(shard.counters, stream.counters);
+        assert_eq!(shard.final_degrade_level, stream.final_degrade_level);
+    }
+}
+
+#[test]
+fn single_shard_city_is_bit_identical_to_the_streaming_driver() {
+    let scenario = golden_scenario();
+    assert_city_matches_streaming(&scenario, RuntimeConfig::from_scenario(&scenario, policy()));
+}
+
+#[test]
+fn parity_holds_under_storm_shedding() {
+    let mut scenario = golden_scenario();
+    scenario.fault_plan = Some(FaultPlan::new(7).with(FaultKind::BeaconStorm {
+        probability: 0.05,
+        extra_copies: 4,
+    }));
+    let mut runtime = RuntimeConfig::from_scenario(&scenario, policy());
+    // Small enough that the storm forces densest-first shedding (see
+    // tests/streaming_runtime.rs) — the city shard must shed the exact
+    // same beacons in the exact same order.
+    runtime.queue_capacity = 3072;
+    let reference = run_scenario_streaming(&scenario, &runtime).expect("storm runs");
+    assert!(reference
+        .streams
+        .iter()
+        .all(|s| s.counters.samples_shed > 0));
+    assert_city_matches_streaming(&scenario, runtime);
+}
+
+#[test]
+fn parity_holds_under_a_pair_budget_deadline() {
+    let scenario = golden_scenario();
+    let mut runtime = RuntimeConfig::from_scenario(&scenario, policy());
+    // A budget tight enough to truncate sweeps (paper-density windows
+    // compare hundreds of pairs) but deterministic, unlike wall-clock.
+    runtime.deadline = DeadlinePolicy::PairBudget(40);
+    let reference = run_scenario_streaming(&scenario, &runtime).expect("budget runs");
+    assert!(
+        reference
+            .streams
+            .iter()
+            .flat_map(|s| s.reports())
+            .any(|r| !r.complete),
+        "budget must actually bite for this test to mean anything"
+    );
+    assert_city_matches_streaming(&scenario, runtime);
+}
+
+#[test]
+fn fused_city_verdicts_are_invariant_over_worker_threads_and_pinned() {
+    let scenario = golden_scenario();
+    let runtime = RuntimeConfig::from_scenario(&scenario, policy());
+    let mut digests = Vec::new();
+    for workers in [1, 2, 0] {
+        let mut config = CityConfig::new(runtime.clone());
+        config.worker_threads = workers;
+        let out = run_scenario_city(&scenario, &config, 4).expect("city scenario runs");
+        assert_eq!(out.city.shards.len(), 2);
+        digests.push(digest_fused(&out.city.fused));
+    }
+    assert_eq!(digests[0], digests[1]);
+    assert_eq!(digests[0], digests[2]);
+    // Pinned: any change to cell partitioning, shard replay, fusion
+    // grouping or vote arithmetic moves this number.
+    assert_eq!(digests[0], 0x676d94e69f4f40d3);
+}
+
+#[test]
+fn killing_one_shard_and_restoring_from_the_city_snapshot_is_lossless() {
+    let scenario = golden_scenario();
+    let runtime = RuntimeConfig::from_scenario(&scenario, policy());
+    let reference = run_scenario_streaming(&scenario, &runtime).expect("scenario runs");
+    let feeds = feeds_from_tap(&reference);
+    let config = CityConfig::new(runtime);
+    let uninterrupted = run_city(&feeds, scenario.simulation_time_s, &config).expect("city runs");
+
+    // "Crash" the whole city mid-second-window: run every shard to just
+    // before t = 30 s, snapshot, then resume the tails — round-tripping
+    // the snapshot through its wire encoding on the way.
+    let split = |f: &ObserverFeed, keep_early: bool| ObserverFeed {
+        beacons: f
+            .beacons
+            .iter()
+            .filter(|tb| (tb.arrival_s < 30.0) == keep_early)
+            .copied()
+            .collect(),
+        ..f.clone()
+    };
+    let first: Vec<ObserverFeed> = feeds.iter().map(|f| split(f, true)).collect();
+    let rest: Vec<ObserverFeed> = feeds.iter().map(|f| split(f, false)).collect();
+    assert!(
+        rest.iter().all(|f| !f.beacons.is_empty()),
+        "mid-stream split"
+    );
+    let last_early = first
+        .iter()
+        .flat_map(|f| f.beacons.iter())
+        .map(|tb| tb.arrival_s)
+        .fold(0.0f64, f64::max);
+    let half = run_city(&first, last_early, &config).expect("first leg runs");
+    let snapshot = CitySnapshot::decode(&half.snapshot().unwrap().encode()).unwrap();
+    let resumed =
+        resume_city(&rest, scenario.simulation_time_s, &config, &snapshot).expect("resume runs");
+
+    for shard in &uninterrupted.shards {
+        let a = half.shard(shard.cell, shard.observer).unwrap();
+        let b = resumed.shard(shard.cell, shard.observer).unwrap();
+        let stitched: Vec<_> = a.rounds.iter().chain(&b.rounds).cloned().collect();
+        assert_eq!(
+            stitched, shard.rounds,
+            "observer {}: restore diverged",
+            shard.observer
+        );
+        assert_eq!(b.checkpoint, shard.checkpoint);
+    }
+}
+
+/// Small synthetic fleet for the proptest: cheap enough to run dozens of
+/// city executions, rich enough that fusion has real votes to merge
+/// (three identities per shard; two form a Sybil pair on even shards).
+fn synthetic_fleet() -> Vec<ObserverFeed> {
+    (0..6u64)
+        .map(|k| {
+            let base = 100 + 10 * k;
+            let beacons = (0..240u32)
+                .flat_map(|i| {
+                    let t = 0.1 * i as f64;
+                    let a = -61.0 + (0.21 * i as f64 + k as f64).sin() * 5.5;
+                    let b = if k % 2 == 0 {
+                        a + 0.35
+                    } else {
+                        -61.0 + (0.13 * i as f64).cos() * 8.0 + (i % 5) as f64
+                    };
+                    [
+                        vp_sim::engine::TapBeacon {
+                            arrival_s: t,
+                            beacon: vp_fault::Beacon::new(base, t, a),
+                        },
+                        vp_sim::engine::TapBeacon {
+                            arrival_s: t,
+                            beacon: vp_fault::Beacon::new(base + 1, t + 0.001, b),
+                        },
+                        vp_sim::engine::TapBeacon {
+                            arrival_s: t,
+                            beacon: vp_fault::Beacon::new(
+                                base + 2,
+                                t + 0.002,
+                                -74.0 + 0.04 * i as f64,
+                            ),
+                        },
+                    ]
+                })
+                .collect();
+            ObserverFeed {
+                observer: k,
+                cell: k / 2,
+                beacons,
+            }
+        })
+        .collect()
+}
+
+fn synthetic_config(workers: usize) -> CityConfig {
+    let mut runtime = RuntimeConfig::paper_default(policy());
+    runtime.min_samples_per_series = 20;
+    let mut config = CityConfig::new(runtime);
+    config.worker_threads = workers;
+    config
+}
+
+/// Deterministic Fisher–Yates permutation of `0..n` from a drawn seed
+/// (splitmix64 steps; no RNG crate, bit-stable across platforms).
+fn permutation(n: usize, mut seed: u64) -> Vec<usize> {
+    let mut next = move || {
+        seed = seed.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    };
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Fusion must not care how shards are scheduled: any permutation of
+    /// the feed list under any worker count fuses to the canonical result.
+    #[test]
+    fn fusion_is_invariant_under_shard_scheduling_order(
+        perm_seed in 0u64..1_000_000,
+        workers in 1usize..5,
+    ) {
+        let fleet = synthetic_fleet();
+        let canonical = run_city(&fleet, 25.0, &synthetic_config(1)).unwrap();
+        let perm = permutation(fleet.len(), perm_seed);
+        let shuffled: Vec<ObserverFeed> = perm.iter().map(|&i| fleet[i].clone()).collect();
+        let out = run_city(&shuffled, 25.0, &synthetic_config(workers)).unwrap();
+        prop_assert_eq!(out.fused, canonical.fused);
+        prop_assert_eq!(out.shards, canonical.shards);
+    }
+}
