@@ -1,0 +1,312 @@
+//! Mixed-attack campaign generation.
+//!
+//! A campaign is a seeded, labelled sequence of scenario episodes in the
+//! style of the synthetic VANET datasets used to train attack
+//! classifiers (SNIPPETS.md Snippet 3): each episode draws one label
+//! from a weighted mix — plain Sybil, a Sybil attacker with an active
+//! evasion strategy, a GPS-spoofing-flavoured replay/framing episode, a
+//! blackhole-flavoured loss episode, or fully normal traffic — and
+//! carries the machine-readable plans ([`AttackPlan`] plus an optional
+//! `vp_fault::FaultPlan`) that make the episode reproducible. The bench
+//! harness turns each episode into a full simulated scenario; the labels
+//! are the ground truth an evaluation table is scored against.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vp_fault::{FaultKind, FaultPlan};
+
+use crate::plan::{AttackKind, AttackPlan};
+
+/// Ground-truth label of one campaign episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CampaignLabel {
+    /// Honest traffic only; no Sybil identities, no faults.
+    Normal,
+    /// The paper's baseline Sybil attacker: fabricated identities on one
+    /// radio with a fixed power profile.
+    Sybil,
+    /// Sybil attacker shaping TX power (ramp and/or dither) to defeat
+    /// RSSI-similarity normalisation.
+    PowerShapedSybil,
+    /// Sybil attacker announcing/retiring identities mid-window.
+    ChurnSybil,
+    /// Colluding multi-radio attackers splitting one Sybil set.
+    CollusionSybil,
+    /// Replayed victim traces framing honest vehicles — the RSSI-level
+    /// cousin of a GPS-spoofing episode (claimed and observed positions
+    /// disagree).
+    ReplaySpoofing,
+    /// Blackhole-flavoured episode: a Sybil attacker behind heavy bursty
+    /// packet loss swallowing traffic.
+    Blackhole,
+}
+
+impl CampaignLabel {
+    /// Stable lower-snake name for reports and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            CampaignLabel::Normal => "normal",
+            CampaignLabel::Sybil => "sybil",
+            CampaignLabel::PowerShapedSybil => "power_shaped_sybil",
+            CampaignLabel::ChurnSybil => "churn_sybil",
+            CampaignLabel::CollusionSybil => "collusion_sybil",
+            CampaignLabel::ReplaySpoofing => "replay_spoofing",
+            CampaignLabel::Blackhole => "blackhole",
+        }
+    }
+
+    /// True when the episode contains Sybil identities a detector is
+    /// expected to flag.
+    pub fn has_sybils(self) -> bool {
+        !matches!(self, CampaignLabel::Normal)
+    }
+}
+
+/// One labelled, reproducible campaign episode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignEpisode {
+    /// Position in the campaign, `0..episodes`.
+    pub index: u32,
+    /// Ground-truth label.
+    pub label: CampaignLabel,
+    /// Scenario seed for the simulator (distinct per episode).
+    pub scenario_seed: u64,
+    /// Attacker strategy for the episode; empty for `Normal`/`Sybil`.
+    pub attack: AttackPlan,
+    /// Transport-level faults accompanying the episode (blackhole loss);
+    /// `None` for most labels.
+    pub fault: Option<FaultPlan>,
+}
+
+/// Configuration for [`generate_campaign`]: episode count plus mix
+/// weights. Weights are relative, not probabilities; they are
+/// normalised over their sum (which must be positive).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignConfig {
+    /// Master seed; drives both the label mix and every per-episode plan.
+    pub seed: u64,
+    /// Number of episodes to generate (≥ 1).
+    pub episodes: u32,
+    /// Relative weight of each label, in [`CampaignLabel`] declaration
+    /// order: normal, sybil, power-shaped, churn, collusion, replay,
+    /// blackhole.
+    pub weights: [f64; 7],
+}
+
+impl Default for CampaignConfig {
+    /// The Snippet-3-style default mix: a majority of plain episodes
+    /// with every attack family represented.
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 42,
+            episodes: 16,
+            weights: [3.0, 3.0, 2.0, 2.0, 2.0, 2.0, 2.0],
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// Check the configuration; `Err` carries the first problem.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.episodes == 0 {
+            return Err("campaign needs at least one episode");
+        }
+        let mut sum = 0.0;
+        for &w in &self.weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err("campaign weights must be finite and non-negative");
+            }
+            sum += w;
+        }
+        if sum <= 0.0 {
+            return Err("campaign weights must sum to a positive value");
+        }
+        Ok(())
+    }
+}
+
+const LABELS: [CampaignLabel; 7] = [
+    CampaignLabel::Normal,
+    CampaignLabel::Sybil,
+    CampaignLabel::PowerShapedSybil,
+    CampaignLabel::ChurnSybil,
+    CampaignLabel::CollusionSybil,
+    CampaignLabel::ReplaySpoofing,
+    CampaignLabel::Blackhole,
+];
+
+fn draw_label(rng: &mut StdRng, weights: &[f64; 7]) -> CampaignLabel {
+    let total: f64 = weights.iter().sum();
+    let mut point = rng.gen_range(0.0..total);
+    for (label, &w) in LABELS.iter().zip(weights.iter()) {
+        if point < w {
+            return *label;
+        }
+        point -= w;
+    }
+    CampaignLabel::Normal
+}
+
+fn plan_for(rng: &mut StdRng, label: CampaignLabel, plan_seed: u64) -> AttackPlan {
+    let plan = AttackPlan::new(plan_seed);
+    match label {
+        CampaignLabel::Normal | CampaignLabel::Sybil | CampaignLabel::Blackhole => plan,
+        CampaignLabel::PowerShapedSybil => {
+            // Half the episodes ramp, half dither, some do both.
+            let mut p = plan;
+            let pick = rng.gen_range(0u8..3);
+            if pick != 1 {
+                p = p.with(AttackKind::PowerRamp {
+                    ramp_db_per_s: rng.gen_range(0.05..0.4) * if rng.gen() { 1.0 } else { -1.0 },
+                    max_swing_db: rng.gen_range(3.0..9.0),
+                });
+            }
+            if pick != 0 {
+                p = p.with(AttackKind::PowerDither {
+                    amplitude_db: rng.gen_range(1.5..5.0),
+                });
+            }
+            p
+        }
+        CampaignLabel::ChurnSybil => plan.with(AttackKind::IdentityChurn {
+            period_s: rng.gen_range(4.0..12.0),
+            duty: rng.gen_range(0.35..0.75),
+        }),
+        CampaignLabel::CollusionSybil => plan.with(AttackKind::Collusion {
+            radios: rng.gen_range(2u32..=4),
+        }),
+        CampaignLabel::ReplaySpoofing => plan.with(AttackKind::TraceReplay {
+            victims: rng.gen_range(1u32..=3),
+            delay_s: rng.gen_range(0.8..3.0),
+        }),
+    }
+}
+
+fn fault_for(rng: &mut StdRng, label: CampaignLabel, fault_seed: u64) -> Option<FaultPlan> {
+    match label {
+        CampaignLabel::Blackhole => Some(FaultPlan::new(fault_seed).with(FaultKind::BurstLoss {
+            probability: rng.gen_range(0.05..0.15),
+            burst_len: rng.gen_range(3u32..=8),
+        })),
+        _ => None,
+    }
+}
+
+/// Generates a labelled mixed-attack campaign. Deterministic per
+/// config: equal configs produce identical episode lists. Returns `Err`
+/// when the config is invalid.
+pub fn generate_campaign(config: &CampaignConfig) -> Result<Vec<CampaignEpisode>, &'static str> {
+    config.validate()?;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut episodes = Vec::with_capacity(config.episodes as usize);
+    for index in 0..config.episodes {
+        let label = draw_label(&mut rng, &config.weights);
+        // Decorrelate the per-episode seeds from the label draw stream.
+        let scenario_seed = config
+            .seed
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(u64::from(index));
+        let attack = plan_for(&mut rng, label, scenario_seed ^ 0xa11ac);
+        let fault = fault_for(&mut rng, label, scenario_seed ^ 0xfa017);
+        debug_assert!(attack.validate().is_ok());
+        episodes.push(CampaignEpisode {
+            index,
+            label,
+            scenario_seed,
+            attack,
+            fault,
+        });
+    }
+    Ok(episodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(CampaignConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let c = CampaignConfig {
+            episodes: 0,
+            ..CampaignConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let mut c = CampaignConfig::default();
+        c.weights[2] = f64::NAN;
+        assert!(c.validate().is_err());
+        let c = CampaignConfig {
+            weights: [0.0; 7],
+            ..CampaignConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn campaign_is_deterministic_per_seed() {
+        let config = CampaignConfig::default();
+        let a = generate_campaign(&config).unwrap();
+        let b = generate_campaign(&config).unwrap();
+        assert_eq!(a, b);
+        let mut other = config;
+        other.seed = 7;
+        assert_ne!(generate_campaign(&other).unwrap(), a);
+    }
+
+    #[test]
+    fn every_label_family_appears_in_a_long_campaign() {
+        let config = CampaignConfig {
+            episodes: 200,
+            ..CampaignConfig::default()
+        };
+        let episodes = generate_campaign(&config).unwrap();
+        let seen: HashSet<CampaignLabel> = episodes.iter().map(|e| e.label).collect();
+        assert_eq!(seen.len(), LABELS.len(), "missing labels: {seen:?}");
+    }
+
+    #[test]
+    fn plans_match_labels() {
+        let config = CampaignConfig {
+            episodes: 200,
+            ..CampaignConfig::default()
+        };
+        for ep in generate_campaign(&config).unwrap() {
+            assert!(ep.attack.validate().is_ok());
+            if let Some(fault) = &ep.fault {
+                assert!(fault.validate().is_ok());
+            }
+            match ep.label {
+                CampaignLabel::Normal | CampaignLabel::Sybil => {
+                    assert!(ep.attack.is_empty());
+                    assert!(ep.fault.is_none());
+                }
+                CampaignLabel::PowerShapedSybil => {
+                    assert!(ep.attack.power_ramp().is_some() || ep.attack.power_dither().is_some());
+                }
+                CampaignLabel::ChurnSybil => assert!(ep.attack.churn().is_some()),
+                CampaignLabel::CollusionSybil => assert!(ep.attack.collusion().is_some()),
+                CampaignLabel::ReplaySpoofing => assert!(ep.attack.replay().is_some()),
+                CampaignLabel::Blackhole => {
+                    assert!(ep.attack.is_empty());
+                    assert!(ep.fault.is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_seeds_are_distinct() {
+        let config = CampaignConfig {
+            episodes: 64,
+            ..CampaignConfig::default()
+        };
+        let episodes = generate_campaign(&config).unwrap();
+        let seeds: HashSet<u64> = episodes.iter().map(|e| e.scenario_seed).collect();
+        assert_eq!(seeds.len(), episodes.len());
+    }
+}

@@ -1,0 +1,345 @@
+//! Stream-level attack injection.
+//!
+//! [`AttackInjector`] applies an [`AttackPlan`] to a beacon stream the
+//! way `vp_fault::FaultInjector` applies a fault plan: feed it each
+//! beacon as it would have been ingested and it returns zero or more
+//! beacons (with arrival times) to ingest instead. It models the
+//! *receiver-side image* of each transmitter strategy — a TX-power change
+//! moves RSSI dB-for-dB, churn suppresses transmissions, collusion moves
+//! identities onto different physical channels, replay re-delivers a
+//! victim's trace later from the attacker's channel — so streaming and
+//! city runtimes can be driven through attack scenarios without a full
+//! simulator in the loop. The full-physics path (propagation, MAC
+//! contention, witness reports) lives in `vp_sim`'s attack wiring; both
+//! share [`AttackPlan`] and the [`churn_active`] slot rule.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vp_fault::{Beacon, IdentityId};
+
+use crate::plan::{churn_active, AttackPlan};
+
+/// Counters describing what an attack layer actually did — the attack
+/// analogue of `vp_fault::FaultStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AttackStats {
+    /// Beacons whose effective power was shaped (ramp, dither, or a
+    /// collusion channel shift).
+    pub power_shaped: u64,
+    /// Beacons suppressed because their identity was churned out.
+    pub suppressed: u64,
+    /// Replayed beacons emitted on top of the original stream.
+    pub replayed: u64,
+    /// Beacons whose identity was re-dealt to a colluding radio.
+    pub reassigned: u64,
+}
+
+impl AttackStats {
+    /// True when the attack layer has not touched the stream.
+    pub fn is_clean(&self) -> bool {
+        *self == AttackStats::default()
+    }
+}
+
+/// One output of [`AttackInjector::inject`]: the beacon plus its arrival
+/// time at the radio (replayed copies arrive later than the original).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackedBeacon {
+    /// Arrival time at the receiving radio, seconds.
+    pub arrival_s: f64,
+    /// The beacon to ingest.
+    pub beacon: Beacon,
+}
+
+/// FNV-1a over `(seed, id)`, the shared deterministic hash for
+/// per-identity attack assignments.
+fn id_hash(seed: u64, id: u64) -> u64 {
+    let mut h = 0xcbf29ce484222325u64 ^ seed;
+    for byte in id.to_le_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Deterministic, seedable stream-level attacker (see the module docs).
+#[derive(Debug, Clone)]
+pub struct AttackInjector {
+    plan: AttackPlan,
+    rng: StdRng,
+    targets: BTreeSet<IdentityId>,
+    victims: BTreeSet<IdentityId>,
+    stats: AttackStats,
+}
+
+impl AttackInjector {
+    /// Creates an injector for `plan`. `targets` are the identities the
+    /// attacker controls (its Sybil set — power shaping, churn and
+    /// collusion apply to them); `victims` are the honest identities a
+    /// `TraceReplay` strategy re-broadcasts.
+    ///
+    /// An empty plan makes the injector the identity function.
+    pub fn new(plan: &AttackPlan, targets: &[IdentityId], victims: &[IdentityId]) -> Self {
+        let victim_cap = plan.replay().map_or(0, |(v, _)| v as usize);
+        AttackInjector {
+            plan: plan.clone(),
+            rng: StdRng::seed_from_u64(plan.seed),
+            targets: targets.iter().copied().collect(),
+            victims: victims.iter().take(victim_cap).copied().collect(),
+            stats: AttackStats::default(),
+        }
+    }
+
+    /// What the attacker has done to the stream so far.
+    pub fn stats(&self) -> AttackStats {
+        self.stats
+    }
+
+    /// Applies the plan to one received beacon. Returns the beacons to
+    /// ingest instead: empty when the identity is churned out, the
+    /// (possibly power-shaped) original otherwise, plus a delayed replay
+    /// copy when the identity is a replay victim.
+    pub fn inject(&mut self, arrival_s: f64, beacon: Beacon) -> Vec<AttackedBeacon> {
+        let mut out = Vec::with_capacity(2);
+        let is_target = self.targets.contains(&beacon.identity);
+
+        if is_target {
+            if let Some((period_s, duty)) = self.plan.churn() {
+                if !churn_active(
+                    self.plan.seed,
+                    beacon.identity,
+                    beacon.time_s,
+                    period_s,
+                    duty,
+                ) {
+                    self.stats.suppressed += 1;
+                    return out;
+                }
+            }
+        }
+
+        let mut shaped = beacon;
+        if is_target {
+            let mut touched = false;
+            if let Some((ramp, swing)) = self.plan.power_ramp() {
+                shaped.rssi_dbm += (ramp * shaped.time_s).clamp(-swing, swing);
+                touched = true;
+            }
+            if let Some(amplitude) = self.plan.power_dither() {
+                if amplitude > 0.0 {
+                    shaped.rssi_dbm += self.rng.gen_range(-amplitude..=amplitude);
+                    touched = true;
+                }
+            }
+            if let Some(radios) = self.plan.collusion() {
+                // Re-deal the identity across `radios` colluding
+                // channels: every non-primary channel sits at a different
+                // mean level and adds its own (seeded) fast fading, so
+                // one attacker's identities stop sharing a channel.
+                let group = id_hash(self.plan.seed, beacon.identity) % u64::from(radios);
+                if group != 0 {
+                    let frac = (id_hash(self.plan.seed ^ 0x5eed, group) >> 11) as f64
+                        / (1u64 << 53) as f64;
+                    shaped.rssi_dbm += (frac * 2.0 - 1.0) * 4.0;
+                    shaped.rssi_dbm += self.rng.gen_range(-1.5..=1.5);
+                    self.stats.reassigned += 1;
+                    touched = true;
+                }
+            }
+            if touched {
+                self.stats.power_shaped += 1;
+            }
+        }
+        out.push(AttackedBeacon {
+            arrival_s,
+            beacon: shaped,
+        });
+
+        if self.victims.contains(&beacon.identity) {
+            if let Some((_, delay_s)) = self.plan.replay() {
+                // The attacker's copy travels the attacker's channel: a
+                // per-victim constant offset (it sits somewhere else on
+                // the road) plus per-packet noise.
+                let frac = (id_hash(self.plan.seed ^ 0x5e71a7, beacon.identity) >> 11) as f64
+                    / (1u64 << 53) as f64;
+                let channel_offset = -2.0 - frac * 6.0;
+                let replayed = Beacon::new(
+                    beacon.identity,
+                    beacon.time_s + delay_s,
+                    beacon.rssi_dbm + channel_offset + self.rng.gen_range(-1.0..=1.0),
+                );
+                self.stats.replayed += 1;
+                out.push(AttackedBeacon {
+                    arrival_s: arrival_s + delay_s,
+                    beacon: replayed,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::AttackKind;
+
+    fn beacon(id: u64, t: f64) -> Beacon {
+        Beacon::new(id, t, -70.0)
+    }
+
+    #[test]
+    fn empty_plan_is_the_identity_function() {
+        let mut inj = AttackInjector::new(&AttackPlan::none(), &[1, 2], &[]);
+        let out = inj.inject(1.0, beacon(1, 1.0));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].arrival_s, 1.0);
+        assert_eq!(out[0].beacon, beacon(1, 1.0));
+        assert!(inj.stats().is_clean());
+    }
+
+    #[test]
+    fn non_targets_pass_untouched_under_power_attacks() {
+        let plan = AttackPlan::new(1)
+            .with(AttackKind::PowerRamp {
+                ramp_db_per_s: 1.0,
+                max_swing_db: 10.0,
+            })
+            .with(AttackKind::PowerDither { amplitude_db: 3.0 });
+        let mut inj = AttackInjector::new(&plan, &[100], &[]);
+        let out = inj.inject(5.0, beacon(1, 5.0));
+        assert_eq!(out[0].beacon.rssi_dbm, -70.0);
+        let out = inj.inject(5.0, beacon(100, 5.0));
+        assert_ne!(out[0].beacon.rssi_dbm, -70.0);
+        assert_eq!(inj.stats().power_shaped, 1);
+    }
+
+    #[test]
+    fn power_ramp_is_clamped_to_the_swing() {
+        let plan = AttackPlan::new(1).with(AttackKind::PowerRamp {
+            ramp_db_per_s: 1.0,
+            max_swing_db: 4.0,
+        });
+        let mut inj = AttackInjector::new(&plan, &[7], &[]);
+        let out = inj.inject(100.0, beacon(7, 100.0));
+        assert_eq!(out[0].beacon.rssi_dbm, -66.0); // -70 + clamp(100, ±4)
+    }
+
+    #[test]
+    fn churn_suppresses_some_target_slots_only() {
+        let plan = AttackPlan::new(5).with(AttackKind::IdentityChurn {
+            period_s: 5.0,
+            duty: 0.5,
+        });
+        let mut inj = AttackInjector::new(&plan, &[10, 11, 12, 13], &[]);
+        let mut kept = 0usize;
+        let mut total = 0usize;
+        for slot in 0..20 {
+            for id in 10..14u64 {
+                total += 1;
+                let t = slot as f64 * 5.0 + 0.5;
+                kept += inj.inject(t, beacon(id, t)).len();
+            }
+        }
+        let dropped = total - kept;
+        assert!(dropped > 0, "churn never retired an identity");
+        assert!(kept > 0, "churn retired everything");
+        assert_eq!(inj.stats().suppressed as usize, dropped);
+        // Non-target identities are never suppressed.
+        assert_eq!(inj.inject(2.0, beacon(1, 2.0)).len(), 1);
+    }
+
+    #[test]
+    fn replay_emits_a_delayed_copy_for_victims_only() {
+        let plan = AttackPlan::new(2).with(AttackKind::TraceReplay {
+            victims: 1,
+            delay_s: 3.0,
+        });
+        // Victim cap: only the first `victims` ids from the list replay.
+        let mut inj = AttackInjector::new(&plan, &[], &[4, 5]);
+        let out = inj.inject(10.0, beacon(4, 10.0));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].arrival_s, 13.0);
+        assert_eq!(out[1].beacon.time_s, 13.0);
+        assert_eq!(out[1].beacon.identity, 4);
+        assert!(out[1].beacon.rssi_dbm < out[0].beacon.rssi_dbm);
+        let out = inj.inject(10.0, beacon(5, 10.0));
+        assert_eq!(out.len(), 1, "capped victim list");
+        assert_eq!(inj.stats().replayed, 1);
+    }
+
+    #[test]
+    fn collusion_reassigns_part_of_the_sybil_set() {
+        let plan = AttackPlan::new(3).with(AttackKind::Collusion { radios: 3 });
+        let targets: Vec<u64> = (100..120).collect();
+        let mut inj = AttackInjector::new(&plan, &targets, &[]);
+        for &id in &targets {
+            inj.inject(1.0, beacon(id, 1.0));
+        }
+        let moved = inj.stats().reassigned;
+        assert!(moved > 0, "no identity moved to a colluding radio");
+        assert!((moved as usize) < targets.len(), "primary radio kept none");
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let plan = AttackPlan::new(11)
+            .with(AttackKind::PowerDither { amplitude_db: 2.0 })
+            .with(AttackKind::IdentityChurn {
+                period_s: 4.0,
+                duty: 0.6,
+            })
+            .with(AttackKind::TraceReplay {
+                victims: 1,
+                delay_s: 2.0,
+            });
+        let run = || {
+            let mut inj = AttackInjector::new(&plan, &[100, 101], &[3]);
+            let mut all = Vec::new();
+            for k in 0..40 {
+                let t = k as f64 * 0.5;
+                for id in [3u64, 100, 101] {
+                    all.extend(inj.inject(t, beacon(id, t)));
+                }
+            }
+            (all, inj.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn finite_input_stays_finite_under_any_single_strategy() {
+        let strategies = [
+            AttackKind::PowerRamp {
+                ramp_db_per_s: -0.7,
+                max_swing_db: 9.0,
+            },
+            AttackKind::PowerDither { amplitude_db: 5.0 },
+            AttackKind::IdentityChurn {
+                period_s: 2.0,
+                duty: 0.3,
+            },
+            AttackKind::Collusion { radios: 4 },
+            AttackKind::TraceReplay {
+                victims: 2,
+                delay_s: 1.0,
+            },
+        ];
+        for s in strategies {
+            let plan = AttackPlan::new(1).with(s);
+            let mut inj = AttackInjector::new(&plan, &[50, 51, 52], &[1, 2]);
+            for k in 0..100 {
+                let t = k as f64 * 0.3;
+                for id in [1u64, 2, 50, 51, 52] {
+                    for ab in inj.inject(t, beacon(id, t)) {
+                        assert!(ab.arrival_s.is_finite());
+                        assert!(ab.beacon.time_s.is_finite());
+                        assert!(ab.beacon.rssi_dbm.is_finite());
+                    }
+                }
+            }
+        }
+    }
+}

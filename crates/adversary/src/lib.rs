@@ -1,0 +1,52 @@
+//! Adversarial strategy layer for the Voiceprint pipeline.
+//!
+//! `vp_fault` models *malformed input* — corrupted fields, loss, skew —
+//! from a buggy or lossy transport. This crate models the other half of
+//! the robustness story: a *rational attacker* shaping what it transmits
+//! to evade an RSSI-similarity Sybil detector. The strategy space
+//! ([`AttackKind`]) covers the evasions the paper's threat model leaves
+//! open:
+//!
+//! * **TX-power ramps and dithering** ([`AttackKind::PowerRamp`],
+//!   [`AttackKind::PowerDither`]) — attack the enhanced Z-score
+//!   normalisation assumption that one radio's power profile is stable.
+//! * **Identity churn** ([`AttackKind::IdentityChurn`]) — announce and
+//!   retire Sybil identities mid-window to starve per-identity series
+//!   and stress identity lifecycle handling in stateful layers.
+//! * **Multi-radio collusion** ([`AttackKind::Collusion`]) — split one
+//!   Sybil set across transmitters so its RSSI series decorrelate,
+//!   attacking the paper's Observation 3 directly.
+//! * **Trace replay** ([`AttackKind::TraceReplay`]) — re-broadcast
+//!   recorded honest traces to frame victims and pollute the pairwise
+//!   comparison matrix.
+//!
+//! An [`AttackPlan`] is plain validated data (the `FaultPlan` idiom);
+//! [`AttackInjector`] applies one to a beacon stream for runtime-level
+//! testing, while `vp_sim` consumes the same plan inside its physical
+//! pipeline (propagation, MAC, witness reports). [`generate_campaign`]
+//! builds labelled mixed-attack campaigns — Sybil, spoofing-flavoured
+//! replay, blackhole episodes at scale — for benchmark matrices.
+//!
+//! ```
+//! use vp_adversary::{AttackInjector, AttackKind, AttackPlan};
+//! use vp_fault::Beacon;
+//!
+//! let plan = AttackPlan::new(7).with(AttackKind::PowerDither { amplitude_db: 3.0 });
+//! assert!(plan.validate().is_ok());
+//! let mut injector = AttackInjector::new(&plan, &[1_000_000], &[]);
+//! let out = injector.inject(1.0, Beacon::new(1_000_000, 1.0, -70.0));
+//! assert_eq!(out.len(), 1);
+//! assert!(out[0].beacon.rssi_dbm != -70.0 || injector.stats().is_clean());
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod campaign;
+pub mod injector;
+pub mod plan;
+
+pub use campaign::{generate_campaign, CampaignConfig, CampaignEpisode, CampaignLabel};
+pub use injector::{AttackInjector, AttackStats, AttackedBeacon};
+pub use plan::{churn_active, AttackKind, AttackPlan};

@@ -1,0 +1,347 @@
+//! Declarative attack plans: which attacker strategies are active, with
+//! what parameters.
+//!
+//! An [`AttackPlan`] is a seed plus a list of [`AttackKind`]s — plain
+//! data, `Clone + PartialEq`, embeddable in a scenario configuration and
+//! validated up front, exactly like `vp_fault::FaultPlan`. Where a fault
+//! plan models *malformed input* (corrupted fields, loss, skew), an
+//! attack plan models *malicious strategy*: a rational adversary shaping
+//! what it transmits to evade an RSSI-similarity detector.
+
+/// One attacker strategy. Strategies compose: a plan may ramp power *and*
+/// churn identities *and* replay a victim at once.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackKind {
+    /// Malicious radios ramp their TX power linearly over time, bounded
+    /// to a symmetric swing. A slow ramp drags every identity of the
+    /// radio through the same power trajectory — the enhanced Z-score
+    /// normalisation is supposed to cancel it, and this strategy is the
+    /// test of that assumption.
+    PowerRamp {
+        /// Power slope, dB per second (may be negative).
+        ramp_db_per_s: f64,
+        /// Maximum absolute deviation from the nominal EIRP, dB (≥ 0).
+        max_swing_db: f64,
+    },
+    /// Malicious radios add an independent uniform dither in
+    /// `[-amplitude, +amplitude]` dB to every packet — the paper's
+    /// Section VII "power control" attacker, parameterised.
+    PowerDither {
+        /// Half-width of the per-packet power dither, dB (≥ 0).
+        amplitude_db: f64,
+    },
+    /// Sybil identities are announced and retired mid-window: each
+    /// fabricated identity only transmits during a seeded, per-identity
+    /// subset of `period_s`-long slots. Churn starves the per-identity
+    /// series below the sample floor and exercises identity lifecycle
+    /// handling in every stateful layer (collector, queue, cell grid).
+    IdentityChurn {
+        /// Length of one announce/retire slot, seconds (> 0).
+        period_s: f64,
+        /// Fraction of slots each Sybil identity is active in, `(0, 1]`.
+        duty: f64,
+    },
+    /// Colluding multi-radio attack: the Sybil identity sets of the
+    /// malicious vehicles are pooled and re-dealt across up to `radios`
+    /// distinct malicious transmitters. Identities of "one attacker" no
+    /// longer share a physical radio, so their RSSI series decorrelate —
+    /// a direct attack on the paper's Observation 3.
+    Collusion {
+        /// Number of colluding radios the pooled Sybil set is split
+        /// across (≥ 2; capped at the number of malicious vehicles).
+        radios: u32,
+    },
+    /// Replay of victims' recorded traces: attacker radios re-broadcast
+    /// beacons under the identities of `victims` honest vehicles,
+    /// `delay_s` seconds after the originals. The victim's observed RSSI
+    /// series becomes a mixture of two physical channels — a framing
+    /// attack that inflates false positives and masks real Sybils.
+    TraceReplay {
+        /// Number of distinct honest identities replayed (≥ 1).
+        victims: u32,
+        /// Replay delay behind the original transmission, seconds (> 0).
+        delay_s: f64,
+    },
+}
+
+impl AttackKind {
+    fn validate(&self) -> Result<(), &'static str> {
+        match *self {
+            AttackKind::PowerRamp {
+                ramp_db_per_s,
+                max_swing_db,
+            } => {
+                if !ramp_db_per_s.is_finite() {
+                    return Err("power ramp slope must be finite");
+                }
+                if !max_swing_db.is_finite() || max_swing_db < 0.0 {
+                    return Err("power ramp swing must be finite and non-negative");
+                }
+                Ok(())
+            }
+            AttackKind::PowerDither { amplitude_db } => {
+                if !amplitude_db.is_finite() || amplitude_db < 0.0 {
+                    return Err("power dither amplitude must be finite and non-negative");
+                }
+                Ok(())
+            }
+            AttackKind::IdentityChurn { period_s, duty } => {
+                if !period_s.is_finite() || period_s <= 0.0 {
+                    return Err("churn period must be finite and positive");
+                }
+                if !duty.is_finite() || duty <= 0.0 || duty > 1.0 {
+                    return Err("churn duty must lie in (0, 1]");
+                }
+                Ok(())
+            }
+            AttackKind::Collusion { radios } => {
+                if radios < 2 {
+                    return Err("collusion needs at least two radios");
+                }
+                Ok(())
+            }
+            AttackKind::TraceReplay { victims, delay_s } => {
+                if victims == 0 {
+                    return Err("trace replay needs at least one victim");
+                }
+                if !delay_s.is_finite() || delay_s <= 0.0 {
+                    return Err("replay delay must be finite and positive");
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A seedable, declarative list of attacker strategies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackPlan {
+    /// RNG seed; two runs of equal plans produce identical attacker
+    /// behaviour.
+    pub seed: u64,
+    /// Active strategies, in order.
+    pub attacks: Vec<AttackKind>,
+}
+
+impl AttackPlan {
+    /// A plan with the given seed and no strategies yet.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            attacks: Vec::new(),
+        }
+    }
+
+    /// An empty plan: the attacker behaves exactly like the baseline
+    /// Sybil attacker the paper models.
+    pub fn none() -> Self {
+        Self::new(0)
+    }
+
+    /// Builder-style: append one strategy.
+    #[must_use]
+    pub fn with(mut self, attack: AttackKind) -> Self {
+        self.attacks.push(attack);
+        self
+    }
+
+    /// True when the plan adds no strategy on top of the baseline.
+    pub fn is_empty(&self) -> bool {
+        self.attacks.is_empty()
+    }
+
+    /// Check every strategy's parameters; `Err` carries the first
+    /// problem.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        for attack in &self.attacks {
+            attack.validate()?;
+        }
+        Ok(())
+    }
+
+    /// The active power-ramp parameters, if any (last one wins).
+    pub fn power_ramp(&self) -> Option<(f64, f64)> {
+        self.attacks.iter().rev().find_map(|a| match *a {
+            AttackKind::PowerRamp {
+                ramp_db_per_s,
+                max_swing_db,
+            } => Some((ramp_db_per_s, max_swing_db)),
+            _ => None,
+        })
+    }
+
+    /// The active power-dither amplitude, if any (last one wins).
+    pub fn power_dither(&self) -> Option<f64> {
+        self.attacks.iter().rev().find_map(|a| match *a {
+            AttackKind::PowerDither { amplitude_db } => Some(amplitude_db),
+            _ => None,
+        })
+    }
+
+    /// The active churn parameters `(period_s, duty)`, if any.
+    pub fn churn(&self) -> Option<(f64, f64)> {
+        self.attacks.iter().rev().find_map(|a| match *a {
+            AttackKind::IdentityChurn { period_s, duty } => Some((period_s, duty)),
+            _ => None,
+        })
+    }
+
+    /// The active collusion radio count, if any.
+    pub fn collusion(&self) -> Option<u32> {
+        self.attacks.iter().rev().find_map(|a| match *a {
+            AttackKind::Collusion { radios } => Some(radios),
+            _ => None,
+        })
+    }
+
+    /// The active replay parameters `(victims, delay_s)`, if any.
+    pub fn replay(&self) -> Option<(u32, f64)> {
+        self.attacks.iter().rev().find_map(|a| match *a {
+            AttackKind::TraceReplay { victims, delay_s } => Some((victims, delay_s)),
+            _ => None,
+        })
+    }
+}
+
+/// Seeded slot-activity decision shared by every layer that models
+/// churn: identity `id` is active in the churn slot containing `time_s`
+/// iff a per-`(seed, id, slot)` hash, mapped to `[0, 1)`, falls below
+/// `duty`. Pure and deterministic — the simulator's transmit gate and a
+/// stream-level injector agree on activity without sharing state.
+pub fn churn_active(seed: u64, id: u64, time_s: f64, period_s: f64, duty: f64) -> bool {
+    if !time_s.is_finite() || period_s <= 0.0 {
+        return true;
+    }
+    let slot = (time_s / period_s).floor() as i64 as u64;
+    let mut h = 0xcbf29ce484222325u64 ^ seed;
+    for byte in id.to_le_bytes().into_iter().chain(slot.to_le_bytes()) {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    // Upper 53 bits → uniform in [0, 1).
+    let frac = (h >> 11) as f64 / (1u64 << 53) as f64;
+    frac < duty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_valid_and_empty() {
+        let plan = AttackPlan::none();
+        assert!(plan.is_empty());
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan.power_ramp(), None);
+        assert_eq!(plan.churn(), None);
+        assert_eq!(plan.collusion(), None);
+        assert_eq!(plan.replay(), None);
+    }
+
+    #[test]
+    fn valid_plan_passes_and_exposes_parameters() {
+        let plan = AttackPlan::new(9)
+            .with(AttackKind::PowerRamp {
+                ramp_db_per_s: 0.2,
+                max_swing_db: 6.0,
+            })
+            .with(AttackKind::PowerDither { amplitude_db: 3.0 })
+            .with(AttackKind::IdentityChurn {
+                period_s: 5.0,
+                duty: 0.5,
+            })
+            .with(AttackKind::Collusion { radios: 3 })
+            .with(AttackKind::TraceReplay {
+                victims: 2,
+                delay_s: 1.5,
+            });
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan.power_ramp(), Some((0.2, 6.0)));
+        assert_eq!(plan.power_dither(), Some(3.0));
+        assert_eq!(plan.churn(), Some((5.0, 0.5)));
+        assert_eq!(plan.collusion(), Some(3));
+        assert_eq!(plan.replay(), Some((2, 1.5)));
+    }
+
+    #[test]
+    fn bad_parameters_are_rejected() {
+        let cases = [
+            AttackKind::PowerRamp {
+                ramp_db_per_s: f64::NAN,
+                max_swing_db: 6.0,
+            },
+            AttackKind::PowerRamp {
+                ramp_db_per_s: 0.1,
+                max_swing_db: -1.0,
+            },
+            AttackKind::PowerDither {
+                amplitude_db: f64::INFINITY,
+            },
+            AttackKind::IdentityChurn {
+                period_s: 0.0,
+                duty: 0.5,
+            },
+            AttackKind::IdentityChurn {
+                period_s: 5.0,
+                duty: 0.0,
+            },
+            AttackKind::IdentityChurn {
+                period_s: 5.0,
+                duty: 1.5,
+            },
+            AttackKind::Collusion { radios: 1 },
+            AttackKind::TraceReplay {
+                victims: 0,
+                delay_s: 1.0,
+            },
+            AttackKind::TraceReplay {
+                victims: 1,
+                delay_s: 0.0,
+            },
+        ];
+        for kind in cases {
+            let plan = AttackPlan::new(0).with(kind.clone());
+            assert!(plan.validate().is_err(), "{kind:?} accepted");
+        }
+    }
+
+    #[test]
+    fn last_strategy_of_a_kind_wins() {
+        let plan = AttackPlan::new(0)
+            .with(AttackKind::PowerDither { amplitude_db: 1.0 })
+            .with(AttackKind::PowerDither { amplitude_db: 4.0 });
+        assert_eq!(plan.power_dither(), Some(4.0));
+    }
+
+    #[test]
+    fn churn_activity_is_deterministic_and_respects_duty() {
+        // Full duty: always active.
+        assert!(churn_active(1, 7, 3.0, 5.0, 1.0));
+        // Deterministic per (seed, id, slot)…
+        for id in 0..50u64 {
+            for slot in 0..10 {
+                let t = slot as f64 * 5.0 + 0.1;
+                assert_eq!(
+                    churn_active(3, id, t, 5.0, 0.4),
+                    churn_active(3, id, t, 5.0, 0.4)
+                );
+                // …and constant within a slot.
+                assert_eq!(
+                    churn_active(3, id, t, 5.0, 0.4),
+                    churn_active(3, id, t + 4.8, 5.0, 0.4)
+                );
+            }
+        }
+        // Aggregate activity tracks the duty cycle roughly.
+        let active = (0..2000u64)
+            .filter(|&k| churn_active(9, k % 100, (k / 100) as f64 * 5.0, 5.0, 0.4))
+            .count();
+        let frac = active as f64 / 2000.0;
+        assert!((0.3..0.5).contains(&frac), "duty 0.4 gave {frac}");
+    }
+
+    #[test]
+    fn non_finite_time_defaults_to_active() {
+        assert!(churn_active(0, 1, f64::NAN, 5.0, 0.01));
+    }
+}

@@ -1,6 +1,10 @@
-//! CPVSAD — the Cooperative Position Verification based Sybil Attack
-//! Detection baseline (Yu, Xu & Xiao, reference [19] of the Voiceprint
-//! paper; compared against in Section V-C).
+//! Baseline Sybil detectors the Voiceprint reproduction is scored
+//! against. The flagship is CPVSAD — the Cooperative Position
+//! Verification based Sybil Attack Detection scheme (Yu, Xu & Xiao,
+//! reference [19] of the Voiceprint paper; compared against in Section
+//! V-C) — joined by two detectors from neighbouring defence families:
+//! [`trust_aware`] (continuous witness-corroboration trust scoring) and
+//! [`proof_of_location`] (spatially diverse attestation counting).
 //!
 //! CPVSAD is everything Voiceprint is not: **cooperative** (it consumes
 //! RSSI reports from witness vehicles), **model-dependent** (it tests
@@ -31,5 +35,9 @@
 
 pub mod certification;
 pub mod cpvsad;
+pub mod proof_of_location;
+pub mod trust_aware;
 
 pub use cpvsad::{CpvsadConfig, CpvsadDetector};
+pub use proof_of_location::{ProofOfLocationConfig, ProofOfLocationDetector};
+pub use trust_aware::{TrustAwareConfig, TrustAwareDetector};

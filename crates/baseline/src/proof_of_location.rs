@@ -1,0 +1,324 @@
+//! Proof-of-location attestation baseline.
+//!
+//! Models the proof-of-location family of Sybil defences (e.g. arXiv
+//! 1904.05845): a position claim is accepted only when enough *spatially
+//! diverse* witnesses attest to it, where a witness attests iff the
+//! distance implied by its received signal strength (inverting the
+//! assumed propagation model at the nominal EIRP) matches the claimed
+//! witness→claimer distance within tolerance. Identities that fail to
+//! gather the required attestations — despite enough witnesses being in
+//! range to judge them — are flagged as unprovable, i.e. Sybil.
+//!
+//! The spatial-diversity requirement (attestors must occupy distinct
+//! road segments) is the scheme's defence against a single colluding
+//! cluster vouching for a ghost. Its known weakness, exercised by the
+//! adversary harness, is the nominal-EIRP assumption: a power-shaping
+//! attacker biases every implied distance coherently, and a TX-power
+//! ramp can walk a fabricated position into the attestation tolerance.
+
+use std::collections::BTreeSet;
+
+use vp_radio::propagation::{DualSlope, DualSlopeParams, PathLoss};
+use vp_sim::detector::{DetectionInput, Detector, WitnessReport};
+use vp_sim::IdentityId;
+
+/// Configuration of the proof-of-location baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProofOfLocationConfig {
+    /// The propagation model inverted to turn RSSI into distance.
+    pub assumed_model: DualSlopeParams,
+    /// Nominal claimer EIRP assumed during inversion, dBm. Unlike the
+    /// residual-based baselines there is no mean cancellation here —
+    /// the implied distance depends on this directly.
+    pub assumed_eirp_dbm: f64,
+    /// Absolute slack on the implied-vs-claimed distance match, metres.
+    pub distance_tolerance_m: f64,
+    /// Fractional slack added on top, as a share of the claimed
+    /// distance (shadowing error grows with range).
+    pub tolerance_fraction: f64,
+    /// Attestations required, each from a distinct diversity bucket.
+    pub min_attestations: usize,
+    /// Width of a spatial diversity bucket along the road, metres; two
+    /// attestors in the same bucket count once.
+    pub diversity_bucket_m: f64,
+    /// Minimum usable witnesses before a claim is judged at all; with
+    /// fewer the detector abstains (no proof demanded, none checked).
+    pub min_witnesses: usize,
+    /// Minimum beacons a witness must have decoded from the claimer.
+    pub min_witness_samples: u32,
+    /// Upper bound of the distance inversion search, metres.
+    pub max_range_m: f64,
+}
+
+impl ProofOfLocationConfig {
+    /// Defaults for the highway scenario against a given assumed model.
+    pub fn paper_default(assumed_model: DualSlopeParams) -> Self {
+        ProofOfLocationConfig {
+            assumed_model,
+            assumed_eirp_dbm: 20.0,
+            distance_tolerance_m: 40.0,
+            tolerance_fraction: 0.35,
+            min_attestations: 3,
+            diversity_bucket_m: 60.0,
+            min_witnesses: 4,
+            min_witness_samples: 20,
+            max_range_m: 3_000.0,
+        }
+    }
+}
+
+/// The proof-of-location detector (see the module docs for the scheme).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProofOfLocationDetector {
+    config: ProofOfLocationConfig,
+    model: DualSlope,
+    name: String,
+}
+
+impl ProofOfLocationDetector {
+    /// Creates the detector with defaults against an assumed model.
+    pub fn new(assumed_model: DualSlopeParams) -> Self {
+        ProofOfLocationDetector::with_config(ProofOfLocationConfig::paper_default(assumed_model))
+    }
+
+    /// Creates the detector with an explicit configuration.
+    pub fn with_config(config: ProofOfLocationConfig) -> Self {
+        ProofOfLocationDetector {
+            config,
+            model: DualSlope::dsrc(config.assumed_model),
+            name: "ProofOfLocation".to_owned(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ProofOfLocationConfig {
+        &self.config
+    }
+
+    /// Certified witnesses with enough samples for a claimer.
+    fn usable_witnesses<'a>(
+        &self,
+        input: &'a DetectionInput,
+        claimer: IdentityId,
+    ) -> Vec<&'a WitnessReport> {
+        input
+            .witness_reports
+            .iter()
+            .filter(|r| {
+                r.claimer == claimer
+                    && r.witness != claimer
+                    && r.witness != input.observer
+                    && r.certified
+                    && r.samples >= self.config.min_witness_samples
+            })
+            .collect()
+    }
+
+    /// Distance at which the assumed model predicts `rssi_dbm` at the
+    /// nominal EIRP, by bisection (mean received power is monotone
+    /// decreasing in distance). Saturates at the search bounds.
+    pub fn implied_distance_m(&self, rssi_dbm: f64) -> f64 {
+        let eirp = self.config.assumed_eirp_dbm;
+        let (mut lo, mut hi) = (1.0_f64, self.config.max_range_m);
+        if rssi_dbm >= self.model.mean_rx_dbm(eirp, lo) {
+            return lo;
+        }
+        if rssi_dbm <= self.model.mean_rx_dbm(eirp, hi) {
+            return hi;
+        }
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if self.model.mean_rx_dbm(eirp, mid) > rssi_dbm {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Whether a single witness report attests the claimed position.
+    fn attests(&self, report: &WitnessReport) -> bool {
+        let implied = self.implied_distance_m(report.mean_rssi_dbm);
+        let slack = self.config.distance_tolerance_m
+            + self.config.tolerance_fraction * report.mean_claimed_distance_m;
+        (implied - report.mean_claimed_distance_m).abs() <= slack
+    }
+
+    /// Number of distinct diversity buckets whose witnesses attest the
+    /// claim, or `None` (abstain) with fewer than `min_witnesses` usable
+    /// reports.
+    pub fn attestation_count(&self, input: &DetectionInput, claimer: IdentityId) -> Option<usize> {
+        let witnesses = self.usable_witnesses(input, claimer);
+        if witnesses.len() < self.config.min_witnesses {
+            return None;
+        }
+        let buckets: BTreeSet<i64> = witnesses
+            .iter()
+            .filter(|w| self.attests(w))
+            .map(|w| (w.witness_position_m.0 / self.config.diversity_bucket_m).floor() as i64)
+            .collect();
+        Some(buckets.len())
+    }
+}
+
+impl Detector for ProofOfLocationDetector {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn detect(&self, input: &DetectionInput) -> Vec<IdentityId> {
+        let mut suspects: Vec<IdentityId> = Vec::new();
+        for (claimer, _) in &input.series {
+            if input.claim_of(*claimer).is_none() {
+                continue;
+            }
+            if let Some(attestations) = self.attestation_count(input, *claimer) {
+                if attestations < self.config.min_attestations {
+                    suspects.push(*claimer);
+                }
+            }
+        }
+        suspects.sort_unstable();
+        suspects.dedup();
+        suspects
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_sim::detector::PositionClaim;
+
+    fn model() -> DualSlopeParams {
+        let mut p = DualSlopeParams::campus();
+        p.sigma1_db = 3.9;
+        p.sigma2_db = 3.9;
+        p
+    }
+
+    fn synthetic_input(lying_offset_m: f64, noise: &[f64]) -> DetectionInput {
+        let m = DualSlope::dsrc(model());
+        let witness_xs = [0.0f64, 80.0, 160.0, 240.0, 320.0, 400.0];
+        let mut reports = Vec::new();
+        for (w, &wx) in witness_xs.iter().enumerate() {
+            let witness = 100 + w as IdentityId;
+            for (claimer, true_x, claim_x) in
+                [(1, 200.0, 200.0), (2, 200.0, 200.0 + lying_offset_m)]
+            {
+                let true_d = (wx - true_x).abs().max(1.0);
+                let claimed_d = (wx - claim_x).abs().max(1.0);
+                reports.push(WitnessReport {
+                    witness,
+                    witness_position_m: (wx, -1.8),
+                    witness_forward: false,
+                    certified: true,
+                    claimer,
+                    mean_rssi_dbm: m.mean_rx_dbm(20.0, true_d) + noise[w % noise.len()],
+                    mean_claimed_distance_m: claimed_d,
+                    samples: 50,
+                });
+            }
+        }
+        DetectionInput {
+            observer: 0,
+            time_s: 20.0,
+            observer_position_m: (100.0, 1.8),
+            observer_forward: true,
+            series: vec![(1, vec![-70.0; 150]), (2, vec![-70.0; 150])],
+            estimated_density_per_km: 30.0,
+            claims: vec![
+                PositionClaim {
+                    identity: 1,
+                    position_m: (200.0, 1.8),
+                    forward: true,
+                    time_s: 19.9,
+                },
+                PositionClaim {
+                    identity: 2,
+                    position_m: (200.0 + lying_offset_m, 1.8),
+                    forward: true,
+                    time_s: 19.9,
+                },
+            ],
+            witness_reports: reports,
+        }
+    }
+
+    #[test]
+    fn implied_distance_inverts_the_model() {
+        let detector = ProofOfLocationDetector::new(model());
+        let m = DualSlope::dsrc(model());
+        for d in [5.0, 40.0, 150.0, 600.0] {
+            let implied = detector.implied_distance_m(m.mean_rx_dbm(20.0, d));
+            assert!(
+                (implied - d).abs() < 0.5,
+                "round-trip at {d} m gave {implied} m"
+            );
+        }
+    }
+
+    #[test]
+    fn honest_claim_is_attested_fabricated_claim_is_not() {
+        let detector = ProofOfLocationDetector::new(model());
+        let noise = [0.4, -0.6, 0.2, -0.3, 0.5, -0.2];
+        let input = synthetic_input(400.0, &noise);
+        let honest = detector
+            .attestation_count(&input, 1)
+            .expect("enough witnesses");
+        let liar = detector
+            .attestation_count(&input, 2)
+            .expect("enough witnesses");
+        assert!(honest >= 3, "honest attestations {honest}");
+        assert!(liar < 3, "liar attestations {liar}");
+        assert_eq!(detector.detect(&input), vec![2]);
+    }
+
+    #[test]
+    fn too_few_witnesses_means_no_verdict() {
+        let detector = ProofOfLocationDetector::new(model());
+        let noise = [0.0];
+        let mut input = synthetic_input(400.0, &noise);
+        input.witness_reports.truncate(6); // 3 witnesses × 2 claimers
+        assert_eq!(detector.attestation_count(&input, 2), None);
+        assert!(detector.detect(&input).is_empty());
+    }
+
+    #[test]
+    fn co_located_attestors_count_as_one() {
+        let detector = ProofOfLocationDetector::new(model());
+        let noise = [0.2, -0.2, 0.1, -0.1, 0.15, -0.15];
+        let mut input = synthetic_input(400.0, &noise);
+        // Squeeze every witness into one 60 m bucket: diversity collapses
+        // to a single attestation, so even the honest claim is unproven.
+        for r in &mut input.witness_reports {
+            r.witness_position_m.0 = 180.0 + (r.witness % 6) as f64;
+        }
+        let honest = detector
+            .attestation_count(&input, 1)
+            .expect("enough witnesses");
+        assert!(honest <= 1, "clustered attestors gave {honest} buckets");
+    }
+
+    #[test]
+    fn spoofed_tx_power_biases_the_proof() {
+        // +9 dB of spoofed TX power pulls every implied distance short:
+        // the honest-position claim stops matching — the nominal-EIRP
+        // weakness the adversary harness exploits.
+        let detector = ProofOfLocationDetector::new(model());
+        let noise = [0.4, -0.6, 0.2, -0.3, 0.5, -0.2];
+        let mut input = synthetic_input(400.0, &noise);
+        for r in &mut input.witness_reports {
+            if r.claimer == 1 {
+                r.mean_rssi_dbm += 9.0;
+            }
+        }
+        let honest = detector
+            .attestation_count(&input, 1)
+            .expect("enough witnesses");
+        assert!(
+            honest < 3,
+            "power spoof should break attestation, got {honest}"
+        );
+    }
+}

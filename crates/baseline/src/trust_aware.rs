@@ -1,0 +1,302 @@
+//! Trust-aware witness-corroboration baseline.
+//!
+//! Models the trust-management family of VANET Sybil defences (e.g.
+//! arXiv 2411.07520): instead of a hard statistical test, every witness
+//! report contributes a *continuous corroboration score* for the claimer,
+//! and the claimer's trust is the weighted average of those scores —
+//! RSU-certified witnesses count double. An identity whose trust falls
+//! below a threshold is flagged.
+//!
+//! The published schemes accumulate trust across encounters; the
+//! [`vp_sim::Detector`] contract is one window at a time, so this
+//! reproduction scores each detection window independently (the
+//! per-window score is exactly the increment those schemes would fold
+//! into their running trust state).
+//!
+//! Like CPVSAD the scheme is cooperative and model-dependent: the
+//! corroboration kernel compares witness RSSI against a predefined
+//! propagation model at the *claimed* distance, after cancelling the
+//! claimer's unknown TX power via the mean residual. Unlike CPVSAD there
+//! is no co-location grouping — trust is per-identity, which is why the
+//! scheme misses the truthful parent identity of a Sybil cluster.
+
+use vp_radio::propagation::{DualSlope, DualSlopeParams, PathLoss};
+use vp_sim::detector::{DetectionInput, Detector, WitnessReport};
+use vp_sim::IdentityId;
+
+/// Configuration of the trust-aware baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrustAwareConfig {
+    /// The propagation model the trust kernel assumes.
+    pub assumed_model: DualSlopeParams,
+    /// Nominal claimer EIRP, dBm (mean-residual cancellation makes the
+    /// score insensitive to a constant offset; only the spread matters).
+    pub assumed_eirp_dbm: f64,
+    /// Residual magnitude (dB, after mean removal) at which a witness's
+    /// corroboration decays to `exp(-1) ≈ 0.37`.
+    pub residual_scale_db: f64,
+    /// Evidence weight of an RSU-certified witness report.
+    pub certified_weight: f64,
+    /// Evidence weight of an uncertified witness report.
+    pub uncertified_weight: f64,
+    /// Identities with trust strictly below this are flagged.
+    pub trust_threshold: f64,
+    /// Minimum total evidence weight before a verdict is attempted; with
+    /// less corroborating mass the detector abstains.
+    pub min_weight: f64,
+    /// Minimum beacons a witness must have decoded from the claimer.
+    pub min_witness_samples: u32,
+}
+
+impl TrustAwareConfig {
+    /// Defaults matching the dense-highway operating point of the trust
+    /// schemes against a given assumed model.
+    pub fn paper_default(assumed_model: DualSlopeParams) -> Self {
+        TrustAwareConfig {
+            assumed_model,
+            assumed_eirp_dbm: 20.0,
+            residual_scale_db: 4.0,
+            certified_weight: 2.0,
+            uncertified_weight: 1.0,
+            trust_threshold: 0.5,
+            min_weight: 6.0,
+            min_witness_samples: 20,
+        }
+    }
+}
+
+/// The trust-aware detector (see the module docs for the scheme).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrustAwareDetector {
+    config: TrustAwareConfig,
+    model: DualSlope,
+    name: String,
+}
+
+impl TrustAwareDetector {
+    /// Creates the detector with defaults against an assumed model.
+    pub fn new(assumed_model: DualSlopeParams) -> Self {
+        TrustAwareDetector::with_config(TrustAwareConfig::paper_default(assumed_model))
+    }
+
+    /// Creates the detector with an explicit configuration.
+    pub fn with_config(config: TrustAwareConfig) -> Self {
+        TrustAwareDetector {
+            config,
+            model: DualSlope::dsrc(config.assumed_model),
+            name: "TrustAware".to_owned(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &TrustAwareConfig {
+        &self.config
+    }
+
+    /// Witness reports this scheme accepts for a claimer: anyone but the
+    /// claimer and the verifier with enough samples — certification
+    /// raises the weight instead of gating admission.
+    fn usable_witnesses<'a>(
+        &self,
+        input: &'a DetectionInput,
+        claimer: IdentityId,
+    ) -> Vec<&'a WitnessReport> {
+        input
+            .witness_reports
+            .iter()
+            .filter(|r| {
+                r.claimer == claimer
+                    && r.witness != claimer
+                    && r.witness != input.observer
+                    && r.samples >= self.config.min_witness_samples
+            })
+            .collect()
+    }
+
+    /// Windowed trust score for a claimer: weighted mean of per-witness
+    /// corroborations, or `None` (abstain) when the evidence mass is
+    /// below `min_weight`. The corroboration kernel is
+    /// `exp(-((r - r̄)/scale)²)` on model residuals at claimed distances.
+    pub fn trust_score(&self, input: &DetectionInput, claimer: IdentityId) -> Option<f64> {
+        let witnesses = self.usable_witnesses(input, claimer);
+        let residuals: Vec<(f64, f64)> = witnesses
+            .iter()
+            .map(|w| {
+                let weight = if w.certified {
+                    self.config.certified_weight
+                } else {
+                    self.config.uncertified_weight
+                };
+                let predicted = self
+                    .model
+                    .mean_rx_dbm(self.config.assumed_eirp_dbm, w.mean_claimed_distance_m);
+                (weight, w.mean_rssi_dbm - predicted)
+            })
+            .collect();
+        let total_weight: f64 = residuals.iter().map(|(w, _)| w).sum();
+        if total_weight < self.config.min_weight || residuals.len() < 2 {
+            return None;
+        }
+        let mean = residuals.iter().map(|(w, r)| w * r).sum::<f64>() / total_weight;
+        let trust = residuals
+            .iter()
+            .map(|(w, r)| {
+                let z = (r - mean) / self.config.residual_scale_db;
+                w * (-z * z).exp()
+            })
+            .sum::<f64>()
+            / total_weight;
+        Some(trust)
+    }
+}
+
+impl Detector for TrustAwareDetector {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn detect(&self, input: &DetectionInput) -> Vec<IdentityId> {
+        let mut suspects: Vec<IdentityId> = Vec::new();
+        for (claimer, _) in &input.series {
+            if input.claim_of(*claimer).is_none() {
+                continue;
+            }
+            if let Some(trust) = self.trust_score(input, *claimer) {
+                if trust < self.config.trust_threshold {
+                    suspects.push(*claimer);
+                }
+            }
+        }
+        suspects.sort_unstable();
+        suspects.dedup();
+        suspects
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_sim::detector::PositionClaim;
+
+    fn model() -> DualSlopeParams {
+        let mut p = DualSlopeParams::campus();
+        p.sigma1_db = 3.9;
+        p.sigma2_db = 3.9;
+        p
+    }
+
+    /// One truthful claimer (id 1) and one claimer lying by
+    /// `lying_offset_m` (id 2), both physically at x = 200.
+    fn synthetic_input(lying_offset_m: f64, noise: &[f64]) -> DetectionInput {
+        let m = DualSlope::dsrc(model());
+        let witness_xs = [0.0f64, 80.0, 160.0, 240.0, 320.0, 400.0];
+        let mut reports = Vec::new();
+        for (w, &wx) in witness_xs.iter().enumerate() {
+            let witness = 100 + w as IdentityId;
+            for (claimer, true_x, claim_x) in
+                [(1, 200.0, 200.0), (2, 200.0, 200.0 + lying_offset_m)]
+            {
+                let true_d = (wx - true_x).abs().max(1.0);
+                let claimed_d = (wx - claim_x).abs().max(1.0);
+                reports.push(WitnessReport {
+                    witness,
+                    witness_position_m: (wx, -1.8),
+                    witness_forward: false,
+                    certified: w % 2 == 0,
+                    claimer,
+                    mean_rssi_dbm: m.mean_rx_dbm(20.0, true_d) + noise[w % noise.len()],
+                    mean_claimed_distance_m: claimed_d,
+                    samples: 50,
+                });
+            }
+        }
+        DetectionInput {
+            observer: 0,
+            time_s: 20.0,
+            observer_position_m: (100.0, 1.8),
+            observer_forward: true,
+            series: vec![(1, vec![-70.0; 150]), (2, vec![-70.0; 150])],
+            estimated_density_per_km: 30.0,
+            claims: vec![
+                PositionClaim {
+                    identity: 1,
+                    position_m: (200.0, 1.8),
+                    forward: true,
+                    time_s: 19.9,
+                },
+                PositionClaim {
+                    identity: 2,
+                    position_m: (200.0 + lying_offset_m, 1.8),
+                    forward: true,
+                    time_s: 19.9,
+                },
+            ],
+            witness_reports: reports,
+        }
+    }
+
+    #[test]
+    fn truthful_claimer_keeps_trust_liar_loses_it() {
+        let detector = TrustAwareDetector::new(model());
+        let noise = [0.4, -0.6, 0.2, -0.3, 0.5, -0.2];
+        let input = synthetic_input(150.0, &noise);
+        let honest = detector.trust_score(&input, 1).expect("evidence mass");
+        let liar = detector.trust_score(&input, 2).expect("evidence mass");
+        assert!(honest > 0.8, "honest trust {honest}");
+        assert!(liar < 0.5, "liar trust {liar}");
+        assert_eq!(detector.detect(&input), vec![2]);
+    }
+
+    #[test]
+    fn spoofed_tx_power_alone_does_not_sink_trust() {
+        // A constant TX-power offset shifts every residual equally; the
+        // mean cancellation keeps the honest-position claimer trusted.
+        let detector = TrustAwareDetector::new(model());
+        let noise = [0.4, -0.6, 0.2, -0.3, 0.5, -0.2];
+        let mut input = synthetic_input(150.0, &noise);
+        for r in &mut input.witness_reports {
+            if r.claimer == 1 {
+                r.mean_rssi_dbm += 7.0;
+            }
+        }
+        let honest = detector.trust_score(&input, 1).expect("evidence mass");
+        assert!(honest > 0.8, "offset-shifted honest trust {honest}");
+    }
+
+    #[test]
+    fn insufficient_evidence_means_abstention() {
+        let detector = TrustAwareDetector::new(model());
+        let noise = [0.0];
+        let mut input = synthetic_input(150.0, &noise);
+        input.witness_reports.truncate(4);
+        assert_eq!(detector.trust_score(&input, 2), None);
+        assert!(detector.detect(&input).is_empty());
+    }
+
+    #[test]
+    fn certified_witnesses_carry_double_weight() {
+        let detector = TrustAwareDetector::new(model());
+        let noise = [0.2, -0.2, 0.1, -0.1, 0.15, -0.15];
+        let mut input = synthetic_input(150.0, &noise);
+        // All-uncertified evidence mass: 6 × 1.0 = 6.0, exactly at the
+        // floor; dropping one report sinks below it.
+        for r in &mut input.witness_reports {
+            r.certified = false;
+        }
+        assert!(detector.trust_score(&input, 2).is_some());
+        let keep: Vec<_> = input
+            .witness_reports
+            .iter()
+            .filter(|r| !(r.claimer == 2 && r.witness == 105))
+            .cloned()
+            .collect();
+        input.witness_reports = keep;
+        assert_eq!(detector.trust_score(&input, 2), None);
+        // Certifying the remaining five lifts the mass back over the
+        // floor (5 × 2.0 = 10.0).
+        for r in &mut input.witness_reports {
+            r.certified = true;
+        }
+        assert!(detector.trust_score(&input, 2).is_some());
+    }
+}

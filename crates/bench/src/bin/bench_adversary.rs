@@ -1,0 +1,628 @@
+//! Adversarial robustness benchmark: the attacker-strategy matrix and
+//! the mixed-attack campaign, scored across the full detector set.
+//!
+//! Part 1 — **strategy matrix**: each named attacker strategy (baseline
+//! Sybil plus every `vp_adversary::AttackKind`) runs on the same seeded
+//! scenario set; every detector scores every heard identity against
+//! ground truth, giving a per-(strategy × detector) ROC operating point
+//! (TPR/FPR), an ROC sweep over each detector's decision parameter, and
+//! window-level accuracy. The detector set spans the repo's families:
+//! Voiceprint exact (the paper's Algorithm 1), the calibrated banded-DTW
+//! cascade configuration (verdict-identical to the pruned/sketched
+//! execution path by construction), the streaming runtime, the
+//! city-fused verdict, and the three cooperative baselines (CPVSAD,
+//! trust-aware, proof-of-location).
+//!
+//! Part 2 — **miss triage**: every false negative of a verdict-bearing
+//! detector is attributed to a named audit cause via
+//! `voiceprint::triage_misses`; the bench *asserts* 100% coverage — an
+//! unexplained miss is a bench failure, not a statistic.
+//!
+//! Part 3 — **campaign**: a `generate_campaign` mixed-attack episode
+//! list (Sybil, power-shaped, churn, collusion, replay, blackhole,
+//! normal) is classified episode-by-episode; each detector's
+//! attack-present alarm is scored against the episode label.
+//!
+//! Writes `results/BENCH_adversary.json` (also in `--smoke` mode, with
+//! a reduced matrix, so CI can upload the artifact).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use voiceprint::comparator::{compare, ComparisonConfig};
+use voiceprint::confirm::{confirm, SybilVerdict};
+use voiceprint::threshold::ThresholdPolicy;
+use voiceprint::triage_misses;
+use vp_adversary::{generate_campaign, CampaignConfig, CampaignLabel};
+use vp_baseline::{
+    CpvsadConfig, CpvsadDetector, ProofOfLocationConfig, ProofOfLocationDetector, TrustAwareConfig,
+    TrustAwareDetector,
+};
+use vp_city::{run_scenario_city, CityConfig};
+use vp_classify::boundary::DecisionLine;
+use vp_runtime::{RoundOutcome, RuntimeConfig};
+use vp_sim::{
+    AttackKind, AttackPlan, DetectionInput, Detector, GroundTruth, IdentityId, ScenarioConfig,
+};
+
+/// Identity-level confusion counts over observer-windows.
+#[derive(Debug, Clone, Copy, Default)]
+struct Counts {
+    tp: u64,
+    fp: u64,
+    tn: u64,
+    fnc: u64,
+}
+
+impl Counts {
+    fn add(&mut self, suspect: bool, illegitimate: bool) {
+        match (illegitimate, suspect) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fnc += 1,
+            (false, true) => self.fp += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    fn score(&mut self, suspects: &[IdentityId], neighbours: &[IdentityId], truth: &GroundTruth) {
+        let set: BTreeSet<IdentityId> = suspects.iter().copied().collect();
+        for &id in neighbours {
+            self.add(set.contains(&id), truth.is_illegitimate(id));
+        }
+    }
+
+    fn tpr(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fnc)
+    }
+
+    fn fpr(&self) -> f64 {
+        ratio(self.fp, self.fp + self.tn)
+    }
+
+    fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.tp + self.fp + self.tn + self.fnc)
+    }
+}
+
+/// `num / den`, or NaN when the denominator is empty (JSON: null).
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        f64::NAN
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// One detector's accumulated evaluation for one strategy.
+#[derive(Debug, Clone, Default)]
+struct DetEval {
+    /// Headline operating point (the detector's default parameter).
+    counts: Counts,
+    /// Windows whose verdict carried `degraded_confidence` (verdict-
+    /// bearing detectors only).
+    degraded_windows: u64,
+    /// Scored windows.
+    windows: u64,
+    /// ROC sweep: (parameter, counts at that parameter).
+    roc: Vec<(f64, Counts)>,
+}
+
+impl DetEval {
+    fn with_params(params: &[f64]) -> Self {
+        DetEval {
+            roc: params.iter().map(|&p| (p, Counts::default())).collect(),
+            ..DetEval::default()
+        }
+    }
+}
+
+const DETECTORS: [&str; 7] = [
+    "voiceprint_exact",
+    "voiceprint_cascade",
+    "streaming",
+    "city_fused",
+    "cpvsad",
+    "trust_aware",
+    "proof_of_location",
+];
+
+/// Indices into the per-strategy `Vec<DetEval>`.
+const VP_EXACT: usize = 0;
+const VP_CASCADE: usize = 1;
+const STREAMING: usize = 2;
+const CITY_FUSED: usize = 3;
+const CPVSAD: usize = 4;
+const TRUST: usize = 5;
+const POL: usize = 6;
+
+/// The attacker-strategy matrix: the paper's baseline Sybil attacker
+/// plus one entry per adversary strategy, at the rates the golden
+/// attack-matrix test pins.
+fn strategies() -> Vec<(&'static str, Option<AttackKind>)> {
+    vec![
+        ("baseline_sybil", None),
+        (
+            "power_ramp",
+            Some(AttackKind::PowerRamp {
+                ramp_db_per_s: 0.5,
+                max_swing_db: 10.0,
+            }),
+        ),
+        (
+            "power_dither",
+            Some(AttackKind::PowerDither { amplitude_db: 3.0 }),
+        ),
+        (
+            "identity_churn",
+            Some(AttackKind::IdentityChurn {
+                period_s: 5.0,
+                duty: 0.6,
+            }),
+        ),
+        ("collusion", Some(AttackKind::Collusion { radios: 3 })),
+        (
+            "trace_replay",
+            Some(AttackKind::TraceReplay {
+                victims: 2,
+                delay_s: 1.5,
+            }),
+        ),
+    ]
+}
+
+/// The shared seeded scenario every matrix cell runs on (the golden
+/// fault/attack-matrix scenario family).
+fn scenario(seed: u64, time_s: f64) -> ScenarioConfig {
+    ScenarioConfig::builder()
+        .density_per_km(15.0)
+        .simulation_time_s(time_s)
+        .observer_count(2)
+        // Wider than the golden-test pool (6): the cooperative baselines
+        // need enough certified opposite-flow witnesses to pass their
+        // min-witness gates, or the matrix degenerates to abstention.
+        .witness_pool_size(16)
+        .malicious_fraction(0.1)
+        .seed(seed)
+        .collect_inputs(true)
+        .build()
+}
+
+/// Scales a threshold policy for the ROC sweep: the decision line (or
+/// constant) is multiplied by `scale`, moving the operating point along
+/// the conservative↔aggressive axis.
+fn scaled_policy(base: &ThresholdPolicy, scale: f64) -> ThresholdPolicy {
+    match *base {
+        ThresholdPolicy::Constant(t) => ThresholdPolicy::Constant(t * scale),
+        ThresholdPolicy::Linear(line) => ThresholdPolicy::Linear(DecisionLine {
+            k: line.k * scale,
+            b: line.b * scale,
+        }),
+    }
+}
+
+/// Illegitimate identities among the heard neighbours — the set a
+/// perfect detector would flag in this window.
+fn expected_in(neighbours: &[IdentityId], truth: &GroundTruth) -> Vec<IdentityId> {
+    neighbours
+        .iter()
+        .copied()
+        .filter(|&id| truth.is_illegitimate(id))
+        .collect()
+}
+
+/// Triages one verdict's false negatives and tallies them by cause
+/// name, asserting total coverage (the bench's central proof
+/// obligation: no unexplained miss).
+fn triage_into(
+    verdict: &SybilVerdict,
+    expected: &[IdentityId],
+    tally: &mut BTreeMap<&'static str, u64>,
+    total: &mut u64,
+) {
+    let suspects: BTreeSet<IdentityId> = verdict.suspects().iter().copied().collect();
+    let missed = expected.iter().filter(|id| !suspects.contains(id)).count();
+    let misses = triage_misses(verdict, expected);
+    assert_eq!(
+        misses.len(),
+        missed,
+        "miss triage must explain every false negative"
+    );
+    for miss in &misses {
+        *tally.entry(miss.cause.name()).or_insert(0) += 1;
+    }
+    *total += misses.len() as u64;
+}
+
+struct BenchConfig {
+    seeds: Vec<u64>,
+    time_s: f64,
+    vp_scales: Vec<f64>,
+    cpvsad_sig: Vec<f64>,
+    trust_thresholds: Vec<f64>,
+    pol_attestations: Vec<f64>,
+    campaign_episodes: u32,
+    smoke: bool,
+}
+
+impl BenchConfig {
+    fn full() -> Self {
+        BenchConfig {
+            seeds: vec![42, 43],
+            time_s: 45.0,
+            vp_scales: vec![0.25, 0.5, 1.0, 2.0, 4.0],
+            cpvsad_sig: vec![0.005, 0.02, 0.05, 0.15, 0.4],
+            trust_thresholds: vec![0.2, 0.35, 0.5, 0.65, 0.8],
+            pol_attestations: vec![1.0, 2.0, 3.0, 4.0],
+            campaign_episodes: 16,
+            smoke: false,
+        }
+    }
+
+    fn smoke() -> Self {
+        BenchConfig {
+            seeds: vec![42],
+            time_s: 25.0, // one detection boundary per observer
+            vp_scales: vec![1.0],
+            cpvsad_sig: vec![0.05],
+            trust_thresholds: vec![0.5],
+            pol_attestations: vec![3.0],
+            campaign_episodes: 5,
+            smoke: true,
+        }
+    }
+}
+
+fn main() {
+    let cfg = if std::env::args().any(|a| a == "--smoke") {
+        BenchConfig::smoke()
+    } else {
+        BenchConfig::full()
+    };
+
+    let strategies = strategies();
+    assert!(strategies.len() >= 4 && DETECTORS.len() >= 4);
+
+    // Verdict-bearing comparison pipelines, evaluated offline on the
+    // collected inputs: DTW runs once per (input, pipeline); each ROC
+    // point reuses the distances through `confirm` alone.
+    let exact_cmp = ComparisonConfig::paper_strict();
+    let exact_policy = ThresholdPolicy::paper_simulation();
+    let cascade_cmp = ComparisonConfig::default();
+    let cascade_policy = ThresholdPolicy::calibrated_simulation();
+
+    let mut matrix: Vec<(&str, Vec<DetEval>)> = Vec::new();
+    let mut triage_tally: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut triage_total: u64 = 0;
+
+    for (name, kind) in &strategies {
+        let mut evals = vec![
+            DetEval::with_params(&cfg.vp_scales),
+            DetEval::with_params(&cfg.vp_scales),
+            DetEval::with_params(&[1.0]),
+            DetEval::with_params(&[1.0]),
+            DetEval::with_params(&cfg.cpvsad_sig),
+            DetEval::with_params(&cfg.trust_thresholds),
+            DetEval::with_params(&cfg.pol_attestations),
+        ];
+
+        for &seed in &cfg.seeds {
+            let mut sc = scenario(seed, cfg.time_s);
+            if let Some(kind) = kind {
+                sc.attack_plan = Some(AttackPlan::new(1234 + seed).with(kind.clone()));
+            }
+            let runtime = RuntimeConfig::from_scenario(&sc, cascade_policy);
+            let out =
+                run_scenario_city(&sc, &CityConfig::new(runtime), 3).expect("matrix scenario runs");
+            let truth = &out.sim.ground_truth;
+
+            // Offline detectors over the collected inputs.
+            for input in &out.sim.collected {
+                let neighbours: Vec<IdentityId> = input.series.iter().map(|(id, _)| *id).collect();
+                let expected = expected_in(&neighbours, truth);
+
+                for (idx, cmp_cfg, policy) in [
+                    (VP_EXACT, &exact_cmp, &exact_policy),
+                    (VP_CASCADE, &cascade_cmp, &cascade_policy),
+                ] {
+                    let distances = compare(&input.series, cmp_cfg);
+                    for pi in 0..cfg.vp_scales.len() {
+                        let scale = cfg.vp_scales[pi];
+                        let verdict = confirm(
+                            &distances,
+                            input.estimated_density_per_km,
+                            &scaled_policy(policy, scale),
+                        );
+                        evals[idx].roc[pi]
+                            .1
+                            .score(verdict.suspects(), &neighbours, truth);
+                        if scale == 1.0 {
+                            evals[idx]
+                                .counts
+                                .score(verdict.suspects(), &neighbours, truth);
+                            evals[idx].windows += 1;
+                            if verdict.degraded_confidence() {
+                                evals[idx].degraded_windows += 1;
+                            }
+                            triage_into(&verdict, &expected, &mut triage_tally, &mut triage_total);
+                        }
+                    }
+                }
+
+                score_baselines(&cfg, &mut evals, input, &neighbours, truth, &sc);
+            }
+
+            // Streaming: the per-observer shard runtimes of the city run.
+            for shard in &out.city.shards {
+                for round in &shard.rounds {
+                    let report = match round {
+                        RoundOutcome::Verdict(report) => report,
+                        _ => continue,
+                    };
+                    let Some(input) = out.sim.collected.iter().find(|input| {
+                        input.observer == shard.observer && input.time_s == report.time_s
+                    }) else {
+                        continue;
+                    };
+                    let neighbours: Vec<IdentityId> =
+                        input.series.iter().map(|(id, _)| *id).collect();
+                    let expected = expected_in(&neighbours, truth);
+                    let ev = &mut evals[STREAMING];
+                    ev.counts
+                        .score(report.verdict.suspects(), &neighbours, truth);
+                    ev.roc[0]
+                        .1
+                        .score(report.verdict.suspects(), &neighbours, truth);
+                    ev.windows += 1;
+                    if report.verdict.degraded_confidence() {
+                        ev.degraded_windows += 1;
+                    }
+                    triage_into(
+                        &report.verdict,
+                        &expected,
+                        &mut triage_tally,
+                        &mut triage_total,
+                    );
+                }
+            }
+
+            // City-fused: majority verdict per boundary, scored over the
+            // union of identities heard by any observer at that boundary.
+            for round in &out.city.fused {
+                let neighbours: Vec<IdentityId> = out
+                    .sim
+                    .collected
+                    .iter()
+                    .filter(|input| input.time_s == round.time_s)
+                    .flat_map(|input| input.series.iter().map(|(id, _)| *id))
+                    .collect::<BTreeSet<_>>()
+                    .into_iter()
+                    .collect();
+                if neighbours.is_empty() {
+                    continue;
+                }
+                let ev = &mut evals[CITY_FUSED];
+                ev.counts.score(&round.suspects, &neighbours, truth);
+                ev.roc[0].1.score(&round.suspects, &neighbours, truth);
+                ev.windows += 1;
+            }
+        }
+
+        for (idx, det) in DETECTORS.iter().enumerate() {
+            assert!(
+                evals[idx].windows > 0,
+                "{name}/{det}: no windows were scored"
+            );
+        }
+        matrix.push((name, evals));
+        eprintln!("  strategy {name} done");
+    }
+
+    // Part 3: the mixed-attack campaign, classified episode-by-episode.
+    let campaign_cfg = CampaignConfig {
+        seed: 4242,
+        episodes: cfg.campaign_episodes,
+        ..CampaignConfig::default()
+    };
+    let episodes = generate_campaign(&campaign_cfg).expect("valid campaign");
+    let mut label_counts: BTreeMap<&'static str, u32> = BTreeMap::new();
+    // Episode-level confusion per offline detector: alarm vs label.
+    let mut campaign_counts = [Counts::default(); 5];
+    const CAMPAIGN_DETECTORS: [&str; 5] = [
+        "voiceprint_exact",
+        "voiceprint_cascade",
+        "cpvsad",
+        "trust_aware",
+        "proof_of_location",
+    ];
+    for ep in &episodes {
+        *label_counts.entry(ep.label.name()).or_insert(0) += 1;
+        let mut sc = scenario(ep.scenario_seed, cfg.time_s);
+        if ep.label == CampaignLabel::Normal {
+            sc.malicious_fraction = 0.0;
+        }
+        if !ep.attack.is_empty() {
+            sc.attack_plan = Some(ep.attack.clone());
+        }
+        sc.fault_plan = ep.fault.clone();
+        let out = vp_sim::run_scenario(&sc, &[]);
+        let attack_present = ep.label.has_sybils();
+        let mut alarms = [false; 5];
+        for input in &out.collected {
+            let exact = confirm(
+                &compare(&input.series, &exact_cmp),
+                input.estimated_density_per_km,
+                &exact_policy,
+            );
+            alarms[0] |= !exact.suspects().is_empty();
+            let cascade = confirm(
+                &compare(&input.series, &cascade_cmp),
+                input.estimated_density_per_km,
+                &cascade_policy,
+            );
+            alarms[1] |= !cascade.suspects().is_empty();
+            alarms[2] |= !CpvsadDetector::new(sc.base_params).detect(input).is_empty();
+            alarms[3] |= !TrustAwareDetector::new(sc.base_params)
+                .detect(input)
+                .is_empty();
+            alarms[4] |= !ProofOfLocationDetector::new(sc.base_params)
+                .detect(input)
+                .is_empty();
+        }
+        for (d, &alarm) in alarms.iter().enumerate() {
+            campaign_counts[d].add(alarm, attack_present);
+        }
+    }
+    eprintln!("  campaign of {} episodes done", episodes.len());
+
+    // ---- JSON emission -------------------------------------------------
+    let mut strategy_rows = Vec::new();
+    for (name, evals) in &matrix {
+        let mut det_rows = Vec::new();
+        for (idx, det) in DETECTORS.iter().enumerate() {
+            let ev = &evals[idx];
+            let roc: Vec<String> = ev
+                .roc
+                .iter()
+                .map(|(p, c)| {
+                    format!(
+                        "{{\"param\": {p}, \"tpr\": {}, \"fpr\": {}}}",
+                        json_num(c.tpr()),
+                        json_num(c.fpr())
+                    )
+                })
+                .collect();
+            det_rows.push(format!(
+                "        {{\"detector\": \"{det}\", \"windows\": {}, \
+                 \"tp\": {}, \"fp\": {}, \"tn\": {}, \"fn\": {}, \
+                 \"tpr\": {}, \"fpr\": {}, \"accuracy\": {}, \
+                 \"degraded_windows\": {}, \"roc\": [{}]}}",
+                ev.windows,
+                ev.counts.tp,
+                ev.counts.fp,
+                ev.counts.tn,
+                ev.counts.fnc,
+                json_num(ev.counts.tpr()),
+                json_num(ev.counts.fpr()),
+                json_num(ev.counts.accuracy()),
+                ev.degraded_windows,
+                roc.join(", ")
+            ));
+        }
+        strategy_rows.push(format!(
+            "    {{\"strategy\": \"{name}\", \"detectors\": [\n{}\n    ]}}",
+            det_rows.join(",\n")
+        ));
+    }
+
+    let triage_rows: Vec<String> = triage_tally
+        .iter()
+        .map(|(cause, n)| format!("      \"{cause}\": {n}"))
+        .collect();
+    let triaged: u64 = triage_tally.values().sum();
+    assert_eq!(
+        triaged, triage_total,
+        "every false negative must carry a named cause"
+    );
+
+    let label_rows: Vec<String> = label_counts
+        .iter()
+        .map(|(label, n)| format!("      \"{label}\": {n}"))
+        .collect();
+    let campaign_rows: Vec<String> = CAMPAIGN_DETECTORS
+        .iter()
+        .zip(campaign_counts.iter())
+        .map(|(det, c)| {
+            format!(
+                "      {{\"detector\": \"{det}\", \"tp\": {}, \"fp\": {}, \
+                 \"tn\": {}, \"fn\": {}, \"accuracy\": {}}}",
+                c.tp,
+                c.fp,
+                c.tn,
+                c.fnc,
+                json_num(c.accuracy())
+            )
+        })
+        .collect();
+
+    let json = format!(
+        "{{\n  \"smoke\": {},\n  \"scenario\": {{\"density_per_km\": 15.0, \
+         \"simulation_time_s\": {}, \"observers\": 2, \"malicious_fraction\": 0.1, \
+         \"seeds\": {:?}}},\n  \"strategy_matrix\": [\n{}\n  ],\n  \
+         \"miss_triage\": {{\n    \"false_negatives\": {},\n    \"triaged\": {},\n    \
+         \"coverage\": 1.0,\n    \"by_cause\": {{\n{}\n    }}\n  }},\n  \
+         \"campaign\": {{\n    \"episodes\": {},\n    \"labels\": {{\n{}\n    }},\n    \
+         \"episode_classification\": [\n{}\n    ]\n  }}\n}}\n",
+        cfg.smoke,
+        cfg.time_s,
+        cfg.seeds,
+        strategy_rows.join(",\n"),
+        triage_total,
+        triaged,
+        triage_rows.join(",\n"),
+        episodes.len(),
+        label_rows.join(",\n"),
+        campaign_rows.join(",\n"),
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_adversary.json", &json).expect("write BENCH_adversary.json");
+
+    println!(
+        "adversary bench OK: {} strategies x {} detectors, {} false negatives all triaged, \
+         {}-episode campaign",
+        matrix.len(),
+        DETECTORS.len(),
+        triage_total,
+        episodes.len()
+    );
+    println!("wrote results/BENCH_adversary.json");
+}
+
+/// Scores the three cooperative baselines on one collected input, one
+/// detector instance per ROC parameter (their detection is cheap — no
+/// DTW — so re-running per point is fine).
+fn score_baselines(
+    cfg: &BenchConfig,
+    evals: &mut [DetEval],
+    input: &DetectionInput,
+    neighbours: &[IdentityId],
+    truth: &GroundTruth,
+    sc: &ScenarioConfig,
+) {
+    for (pi, &sig) in cfg.cpvsad_sig.iter().enumerate() {
+        let mut c = CpvsadConfig::paper_default(sc.base_params);
+        c.significance = sig;
+        let suspects = CpvsadDetector::with_config(c).detect(input);
+        evals[CPVSAD].roc[pi].1.score(&suspects, neighbours, truth);
+        if sig == 0.05 {
+            evals[CPVSAD].counts.score(&suspects, neighbours, truth);
+            evals[CPVSAD].windows += 1;
+        }
+    }
+    for (pi, &threshold) in cfg.trust_thresholds.iter().enumerate() {
+        let mut c = TrustAwareConfig::paper_default(sc.base_params);
+        c.trust_threshold = threshold;
+        let suspects = TrustAwareDetector::with_config(c).detect(input);
+        evals[TRUST].roc[pi].1.score(&suspects, neighbours, truth);
+        if threshold == 0.5 {
+            evals[TRUST].counts.score(&suspects, neighbours, truth);
+            evals[TRUST].windows += 1;
+        }
+    }
+    for (pi, &min_att) in cfg.pol_attestations.iter().enumerate() {
+        let mut c = ProofOfLocationConfig::paper_default(sc.base_params);
+        c.min_attestations = min_att as usize;
+        let suspects = ProofOfLocationDetector::with_config(c).detect(input);
+        evals[POL].roc[pi].1.score(&suspects, neighbours, truth);
+        if min_att == 3.0 {
+            evals[POL].counts.score(&suspects, neighbours, truth);
+            evals[POL].windows += 1;
+        }
+    }
+}

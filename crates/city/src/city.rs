@@ -285,20 +285,26 @@ pub fn run_scenario_city(
     scenario.collect_inputs = true; // observer positions for cell mapping
     let sim = try_run_scenario(&scenario, &[])?;
     let grid = CellGrid::from_highway(&Highway::paper_default(), cells)?;
-    let observer_count = sim.beacon_tap.len();
     let feeds: Vec<ObserverFeed> = sim
         .beacon_tap
         .iter()
         .enumerate()
         .map(|(idx, tap)| {
-            // `collected` is boundary-major: entry `idx` of the first
-            // boundary is observer `idx`'s first detection input.
-            let (observer, cell) = match sim.collected.get(idx) {
-                Some(input) if observer_count > 0 => {
-                    (input.observer, grid.cell_of(input.observer_position_m.0))
-                }
-                _ => (idx as IdentityId, 0),
-            };
+            // `sim.observers[idx]` owns `beacon_tap[idx]`; the observer's
+            // position comes from its earliest retained detection input.
+            // Positional indexing into `collected` is NOT equivalent: an
+            // observer whose window held no qualifying series produces no
+            // input for that boundary, so entry `idx` can belong to a
+            // different observer entirely — under mid-window identity
+            // churn that mis-assigned every later observer to a stale
+            // cell.
+            let observer = sim.observers.get(idx).copied().unwrap_or(idx as IdentityId);
+            let cell = sim
+                .collected
+                .iter()
+                .find(|input| input.observer == observer)
+                .map(|input| grid.cell_of(input.observer_position_m.0))
+                .unwrap_or(0);
             ObserverFeed {
                 observer,
                 cell,
@@ -497,5 +503,41 @@ mod tests {
         assert_eq!(out.city.shards.len(), 3);
         assert!(out.city.shards.iter().all(|s| s.cell < 4));
         assert!(!out.city.fused.is_empty());
+    }
+
+    #[test]
+    fn cell_mapping_survives_skipped_detection_windows() {
+        // Regression: feeds used to read `collected[idx]` positionally,
+        // assuming one input per observer per boundary. A sample floor
+        // no observer can meet (as under mid-window identity churn)
+        // yields an empty `collected`, which mis-labelled every feed.
+        let scenario = ScenarioConfig::builder()
+            .density_per_km(10.0)
+            .simulation_time_s(45.0)
+            .observer_count(3)
+            .witness_pool_size(6)
+            .malicious_fraction(0.1)
+            .min_samples_per_series(100_000)
+            .seed(7)
+            .build();
+        let config = CityConfig::new(RuntimeConfig::from_scenario(
+            &scenario,
+            ThresholdPolicy::paper_simulation(),
+        ));
+        let out = run_scenario_city(&scenario, &config, 4).unwrap();
+        assert!(
+            out.sim.collected.is_empty(),
+            "floor must starve every window for this regression"
+        );
+        assert_eq!(out.city.shards.len(), 3);
+        let mut shard_observers: Vec<IdentityId> =
+            out.city.shards.iter().map(|s| s.observer).collect();
+        shard_observers.sort_unstable();
+        let mut expected = out.sim.observers.clone();
+        expected.sort_unstable();
+        assert_eq!(
+            shard_observers, expected,
+            "feeds must carry real observer ids"
+        );
     }
 }

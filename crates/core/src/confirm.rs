@@ -77,6 +77,7 @@ pub struct SybilVerdict {
     quarantined: Vec<IdentityId>,
     degradation: DegradationCounters,
     audit: Vec<PairAudit>,
+    degraded_confidence: bool,
 }
 
 impl SybilVerdict {
@@ -126,6 +127,27 @@ impl SybilVerdict {
     /// threshold that produced the decision.
     pub fn audit_records(&self) -> &[PairAudit] {
         &self.audit
+    }
+
+    /// `true` when this verdict rests on evidence outside the regime the
+    /// threshold was trained for, so its flags and non-flags deserve less
+    /// trust. Two things raise it:
+    ///
+    /// * **tainted evidence** — identities were quarantined, pairs were
+    ///   skipped as non-finite, or any audited pair went through a
+    ///   degenerate normalisation (see [`QuarantineReason`]);
+    /// * **mass similarity** — at least half of all compared pairs fell
+    ///   under the threshold. The `k·den + b` line is trained on sparse
+    ///   Sybil clusters inside an honest majority; when most of the
+    ///   neighbourhood looks like one radio, the observed distance
+    ///   distribution has left that regime (replay framing, degenerate
+    ///   scales, or a storm of near-identical series).
+    ///
+    /// The flag never alters the verdict itself — it is metadata for
+    /// consumers (fusion, quarantine-aware policies) deciding how much
+    /// weight the verdict deserves.
+    pub fn degraded_confidence(&self) -> bool {
+        self.degraded_confidence
     }
 
     /// The audit record for one pair, order-free.
@@ -226,6 +248,10 @@ pub fn confirm(
         suspects.len(),
         distances.quarantined_ids().len(),
     );
+    let evidence_tainted = !distances.quarantined_ids().is_empty()
+        || !distances.degradation().is_clean()
+        || audit.iter().any(|r| r.quarantined_reason.is_some());
+    let mass_similarity = !tiny && !audit.is_empty() && flagged.len() * 2 >= audit.len();
     SybilVerdict {
         suspects,
         groups,
@@ -234,6 +260,7 @@ pub fn confirm(
         quarantined: distances.quarantined_ids().to_vec(),
         degradation: distances.degradation(),
         audit,
+        degraded_confidence: evidence_tainted || mass_similarity,
     }
 }
 
@@ -511,6 +538,56 @@ mod tests {
         assert!(verdict.is_clean());
         assert_eq!(verdict.audit_records().len(), 1);
         assert!(!verdict.audit_records()[0].flagged);
+    }
+
+    #[test]
+    fn degraded_confidence_tracks_taint_and_mass_similarity() {
+        // Clean, sparse-cluster verdict: full confidence.
+        let pd = distances_with_two_sybil_clusters();
+        let clean = confirm(&pd, 10.0, &ThresholdPolicy::Constant(0.02));
+        assert!(!clean.degraded_confidence());
+        // A threshold loose enough to flag most of the neighbourhood is
+        // outside the trained regime: mass similarity degrades confidence
+        // even with pristine evidence.
+        let mass = confirm(&pd, 10.0, &ThresholdPolicy::Constant(0.95));
+        assert!(mass.flagged_pairs().len() * 2 >= mass.audit_records().len());
+        assert!(mass.degraded_confidence());
+        // Quarantined evidence degrades confidence regardless of flags.
+        let series = vec![
+            (1, (0..100).map(|k| (k as f64 * 0.1).sin() - 70.0).collect()),
+            (2, (0..100).map(|k| (k as f64 * 0.2).cos() - 72.0).collect()),
+            (3, (0..100).map(|k| (k as f64 * 0.3).sin() - 74.0).collect()),
+            (9, vec![f64::NAN; 100]),
+        ];
+        let pd = compare(&series, &ComparisonConfig::default());
+        let tainted = confirm(&pd, 10.0, &ThresholdPolicy::Constant(0.02));
+        assert!(tainted.degraded_confidence());
+        // Degenerate normalisation is a taint too.
+        let series = vec![
+            (1, (0..100).map(|k| (k as f64 * 0.1).sin() - 70.0).collect()),
+            (
+                2,
+                (0..100).map(|k| (k as f64 * 0.23).cos() - 72.0).collect(),
+            ),
+            (7, vec![-70.0; 100]),
+        ];
+        let pd = compare(&series, &ComparisonConfig::default());
+        assert!(confirm(&pd, 10.0, &ThresholdPolicy::Constant(0.02)).degraded_confidence());
+    }
+
+    #[test]
+    fn tiny_neighbourhoods_keep_full_confidence() {
+        // n < 3 never flags, and "too small to threshold" alone is not
+        // degraded evidence — the tiny case is the paper's documented
+        // blind spot, surfaced through triage instead.
+        let shape: Vec<f64> = (0..100).map(|k| (k as f64 * 0.2).sin() - 70.0).collect();
+        let series = vec![
+            (1, shape.clone()),
+            (2, shape.iter().map(|v| v + 3.0).collect()),
+        ];
+        let pd = compare(&series, &ComparisonConfig::default());
+        let verdict = confirm(&pd, 10.0, &ThresholdPolicy::Constant(0.5));
+        assert!(!verdict.degraded_confidence());
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub mod multi_period;
 pub mod threshold;
 pub(crate) mod trace;
 pub mod training;
+pub mod triage;
 
 pub use cache::{CacheStats, ComparisonCache};
 pub use collector::Collector;
@@ -79,6 +80,7 @@ pub use confirm::{confirm, PairAudit, QuarantineReason, SybilVerdict};
 pub use detector::VoiceprintDetector;
 pub use multi_period::MultiPeriodDetector;
 pub use threshold::ThresholdPolicy;
+pub use triage::{triage_misses, MissCause, MissTriage};
 pub use vp_fault::{DegradationCounters, VpError};
 
 /// Identity type shared with the simulator.

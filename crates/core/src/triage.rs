@@ -1,0 +1,337 @@
+//! Miss triage: attributing every false negative to an audited cause.
+//!
+//! The confirmation phase keeps a [`PairAudit`] record for every compared
+//! pair, and the comparison phase reports what it quarantined. Together
+//! they make every miss *explainable*: for any identity that should have
+//! been flagged but was not, [`triage_misses`] names the specific,
+//! machine-checkable reason — the identity never reached comparison, its
+//! neighbourhood was too small to threshold, its evidence was
+//! quarantined, or its pair distances genuinely sat above the threshold
+//! (the attacker pushed them out of the trained regime). The adversary
+//! benchmark's acceptance gate is built on this: 100% of false negatives
+//! must map to a named cause, or the audit trail has a hole.
+
+use std::collections::BTreeSet;
+
+use crate::confirm::{PairAudit, SybilVerdict};
+use crate::IdentityId;
+
+/// Why a truly-Sybil identity was not flagged, derived entirely from the
+/// verdict's audit trail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissCause {
+    /// The identity was quarantined at ingest/comparison (non-finite
+    /// series) and never entered the pairwise sweep.
+    QuarantinedIdentity,
+    /// Neither the identity nor any pair involving it appears in the
+    /// audit records: it never reached comparison in this window —
+    /// pruned from the observation window, below the sample floor, shed
+    /// from a bounded lane or queue, or churned off the air.
+    NotCompared,
+    /// The identity was compared, but fewer than three identities were —
+    /// tiny neighbourhoods are never flagged (the paper's documented
+    /// blind spot for n < 3).
+    TinyNeighbourhood,
+    /// The identity was compared, but none of its true siblings (other
+    /// identities in the expected set) were — there was no Sybil pair to
+    /// flag. The sibling's absence has its own triage entry.
+    SiblingNotCompared,
+    /// A sibling pair exists in the audit but its evidence is tainted
+    /// (non-finite distance or degenerate normalisation) and it was not
+    /// flagged.
+    QuarantinedPair,
+    /// Sibling pairs were compared on clean evidence and every one of
+    /// them sat above the threshold: the attack moved the observed
+    /// distance distribution out of the regime the threshold was trained
+    /// for.
+    OutOfRegimeDistance,
+}
+
+impl MissCause {
+    /// Stable lower-snake name for reports and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            MissCause::QuarantinedIdentity => "quarantined_identity",
+            MissCause::NotCompared => "not_compared",
+            MissCause::TinyNeighbourhood => "tiny_neighbourhood",
+            MissCause::SiblingNotCompared => "sibling_not_compared",
+            MissCause::QuarantinedPair => "quarantined_pair",
+            MissCause::OutOfRegimeDistance => "out_of_regime_distance",
+        }
+    }
+}
+
+/// One triaged false negative.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MissTriage {
+    /// The missed identity.
+    pub identity: IdentityId,
+    /// The attributed cause.
+    pub cause: MissCause,
+    /// The audit record backing the attribution, when one exists: the
+    /// closest sibling pair for distance/taint causes, any record
+    /// touching the identity for the tiny-neighbourhood case.
+    pub evidence: Option<PairAudit>,
+}
+
+/// Attributes every false negative to a [`MissCause`].
+///
+/// `expected` is the set of identities that should have been flagged
+/// (ground truth, never shown to the detector). The result has exactly
+/// one entry per expected identity absent from `verdict.suspects()` —
+/// by construction, 100% of misses receive a named cause.
+pub fn triage_misses(verdict: &SybilVerdict, expected: &[IdentityId]) -> Vec<MissTriage> {
+    let suspects: BTreeSet<IdentityId> = verdict.suspects().iter().copied().collect();
+    let expected_set: BTreeSet<IdentityId> = expected.iter().copied().collect();
+    let audit = verdict.audit_records();
+    let mut compared: BTreeSet<IdentityId> = BTreeSet::new();
+    for rec in audit {
+        compared.insert(rec.id_i);
+        compared.insert(rec.id_j);
+    }
+    let tiny = compared.len() < 3;
+
+    let mut out = Vec::new();
+    for &id in expected_set.iter() {
+        if suspects.contains(&id) {
+            continue;
+        }
+        let entry = if verdict.quarantined().contains(&id) {
+            MissTriage {
+                identity: id,
+                cause: MissCause::QuarantinedIdentity,
+                evidence: None,
+            }
+        } else if !compared.contains(&id) {
+            MissTriage {
+                identity: id,
+                cause: MissCause::NotCompared,
+                evidence: None,
+            }
+        } else if tiny {
+            let evidence = audit.iter().find(|r| r.id_i == id || r.id_j == id).copied();
+            MissTriage {
+                identity: id,
+                cause: MissCause::TinyNeighbourhood,
+                evidence,
+            }
+        } else {
+            // Pairs against true siblings — the pairs that *should* have
+            // fallen under the threshold.
+            let sibling_records: Vec<&PairAudit> = audit
+                .iter()
+                .filter(|r| {
+                    (r.id_i == id && expected_set.contains(&r.id_j))
+                        || (r.id_j == id && expected_set.contains(&r.id_i))
+                })
+                .collect();
+            if sibling_records.is_empty() {
+                MissTriage {
+                    identity: id,
+                    cause: MissCause::SiblingNotCompared,
+                    evidence: None,
+                }
+            } else if let Some(tainted) = sibling_records
+                .iter()
+                .find(|r| r.quarantined_reason.is_some())
+            {
+                MissTriage {
+                    identity: id,
+                    cause: MissCause::QuarantinedPair,
+                    evidence: Some(**tainted),
+                }
+            } else {
+                // All sibling evidence is clean and unflagged, so every
+                // distance exceeded the threshold; report the closest.
+                let closest = sibling_records
+                    .iter()
+                    .min_by(|a, b| a.dtw_normalized.total_cmp(&b.dtw_normalized))
+                    .copied()
+                    .copied();
+                MissTriage {
+                    identity: id,
+                    cause: MissCause::OutOfRegimeDistance,
+                    evidence: closest,
+                }
+            }
+        };
+        out.push(entry);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comparator::{compare, ComparisonConfig};
+    use crate::confirm::confirm;
+    use crate::threshold::ThresholdPolicy;
+
+    fn wave(freq: f64, level: f64) -> Vec<f64> {
+        (0..100)
+            .map(|k| (k as f64 * freq).sin() * 3.0 + level)
+            .collect()
+    }
+
+    #[test]
+    fn detected_identities_are_not_triaged() {
+        let series = vec![
+            (100, wave(0.2, -70.0)),
+            (101, wave(0.2, -65.0)),
+            (1, wave(0.07, -75.0)),
+            (2, wave(0.31, -68.0)),
+        ];
+        let pd = compare(&series, &ComparisonConfig::default());
+        let verdict = confirm(&pd, 10.0, &ThresholdPolicy::Constant(0.02));
+        assert!(verdict.suspects().contains(&100));
+        let misses = triage_misses(&verdict, &[100, 101]);
+        assert!(misses.is_empty(), "{misses:?}");
+    }
+
+    #[test]
+    fn absent_identity_is_not_compared() {
+        let series = vec![
+            (1, wave(0.07, -75.0)),
+            (2, wave(0.31, -68.0)),
+            (3, wave(0.13, -71.0)),
+        ];
+        let pd = compare(&series, &ComparisonConfig::default());
+        let verdict = confirm(&pd, 10.0, &ThresholdPolicy::Constant(0.0));
+        let misses = triage_misses(&verdict, &[500, 501]);
+        assert_eq!(misses.len(), 2);
+        for m in &misses {
+            assert_eq!(m.cause, MissCause::NotCompared);
+            assert_eq!(m.evidence, None);
+        }
+    }
+
+    #[test]
+    fn quarantined_identity_is_attributed() {
+        let series = vec![
+            (1, wave(0.07, -75.0)),
+            (2, wave(0.31, -68.0)),
+            (3, wave(0.13, -71.0)),
+            (100, vec![f64::NAN; 100]),
+        ];
+        let pd = compare(&series, &ComparisonConfig::default());
+        let verdict = confirm(&pd, 10.0, &ThresholdPolicy::Constant(0.0));
+        let misses = triage_misses(&verdict, &[100]);
+        assert_eq!(misses.len(), 1);
+        assert_eq!(misses[0].cause, MissCause::QuarantinedIdentity);
+    }
+
+    #[test]
+    fn tiny_neighbourhood_is_attributed_with_evidence() {
+        let series = vec![(100, wave(0.2, -70.0)), (101, wave(0.2, -65.0))];
+        let pd = compare(&series, &ComparisonConfig::default());
+        let verdict = confirm(&pd, 10.0, &ThresholdPolicy::Constant(0.5));
+        assert!(verdict.is_clean());
+        let misses = triage_misses(&verdict, &[100, 101]);
+        assert_eq!(misses.len(), 2);
+        for m in &misses {
+            assert_eq!(m.cause, MissCause::TinyNeighbourhood);
+            let rec = m.evidence.expect("tiny miss carries its pair record");
+            assert!(rec.id_i == m.identity || rec.id_j == m.identity);
+        }
+    }
+
+    #[test]
+    fn dissimilar_siblings_are_out_of_regime() {
+        // Two "siblings" whose series an attack decorrelated: compared,
+        // clean evidence, distance above threshold.
+        let series = vec![
+            (100, wave(0.2, -70.0)),
+            (101, wave(0.53, -65.0)),
+            (1, wave(0.07, -75.0)),
+            (2, wave(0.31, -68.0)),
+        ];
+        let pd = compare(&series, &ComparisonConfig::default());
+        let verdict = confirm(&pd, 10.0, &ThresholdPolicy::Constant(1e-6));
+        assert!(!verdict.suspects().contains(&100));
+        let misses = triage_misses(&verdict, &[100, 101]);
+        assert_eq!(misses.len(), 2);
+        for m in &misses {
+            assert_eq!(m.cause, MissCause::OutOfRegimeDistance, "{m:?}");
+            let rec = m.evidence.expect("distance miss carries evidence");
+            assert!(rec.dtw_normalized > rec.threshold);
+            assert!([rec.id_i, rec.id_j].contains(&m.identity));
+            assert!(
+                [rec.id_i, rec.id_j].iter().all(|i| [100, 101].contains(i)),
+                "evidence must be a sibling pair: {rec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sibling_absent_from_comparison_is_its_own_cause() {
+        // 100's sibling 101 is not in the window at all.
+        let series = vec![
+            (100, wave(0.2, -70.0)),
+            (1, wave(0.07, -75.0)),
+            (2, wave(0.31, -68.0)),
+        ];
+        let pd = compare(&series, &ComparisonConfig::default());
+        let verdict = confirm(&pd, 10.0, &ThresholdPolicy::Constant(1e-6));
+        let misses = triage_misses(&verdict, &[100, 101]);
+        assert_eq!(misses.len(), 2);
+        let by_id = |id: IdentityId| misses.iter().find(|m| m.identity == id).copied();
+        assert_eq!(
+            by_id(100).map(|m| m.cause),
+            Some(MissCause::SiblingNotCompared)
+        );
+        assert_eq!(by_id(101).map(|m| m.cause), Some(MissCause::NotCompared));
+    }
+
+    #[test]
+    fn tainted_sibling_pair_is_quarantined_pair() {
+        // Constant sibling series: degenerate z-score scale taints the
+        // pair; with a threshold below 0 nothing flags, so the miss must
+        // be attributed to the taint, not the distance.
+        let series = vec![
+            (100, vec![-70.0; 100]),
+            (101, vec![-65.0; 100]),
+            (1, wave(0.07, -75.0)),
+            (2, wave(0.31, -68.0)),
+        ];
+        let pd = compare(&series, &ComparisonConfig::default());
+        let verdict = confirm(&pd, 10.0, &ThresholdPolicy::Constant(-1.0));
+        assert!(verdict.is_clean());
+        let misses = triage_misses(&verdict, &[100, 101]);
+        assert_eq!(misses.len(), 2);
+        for m in &misses {
+            assert_eq!(m.cause, MissCause::QuarantinedPair, "{m:?}");
+            assert!(m
+                .evidence
+                .expect("taint evidence")
+                .quarantined_reason
+                .is_some());
+        }
+    }
+
+    #[test]
+    fn every_miss_gets_exactly_one_cause() {
+        // Mixed bag: detected, quarantined, absent, dissimilar.
+        let series = vec![
+            (100, wave(0.2, -70.0)),
+            (101, wave(0.2, -66.0)),
+            (200, wave(0.41, -70.0)),
+            (201, vec![f64::INFINITY; 100]),
+            (1, wave(0.07, -75.0)),
+            (2, wave(0.31, -68.0)),
+        ];
+        let pd = compare(&series, &ComparisonConfig::default());
+        let verdict = confirm(&pd, 10.0, &ThresholdPolicy::Constant(0.02));
+        let expected = [100, 101, 200, 201, 300];
+        let misses = triage_misses(&verdict, &expected);
+        let missed: Vec<IdentityId> = expected
+            .iter()
+            .copied()
+            .filter(|id| !verdict.suspects().contains(id))
+            .collect();
+        assert_eq!(
+            misses.iter().map(|m| m.identity).collect::<Vec<_>>(),
+            missed,
+            "one triage entry per miss, ascending"
+        );
+    }
+}

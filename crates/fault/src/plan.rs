@@ -23,7 +23,10 @@ pub enum FaultKind {
         probability: f64,
     },
     /// Re-deliver the beacon verbatim (duplicate identity + payload), as
-    /// a replaying attacker or a buggy MAC retransmit would.
+    /// a buggy MAC retransmit would: same arrival instant, zero delay.
+    /// This is a *fault*, not an adversary — a deliberate replay attack
+    /// (delayed, channel-shifted copies of a victim's beacons) is
+    /// modelled by `vp-adversary`'s `TraceReplay` strategy instead.
     DuplicateBeacon {
         /// Per-beacon duplication probability.
         probability: f64,

@@ -32,6 +32,7 @@ pub struct BeaconQueue {
     items: VecDeque<QueuedBeacon>,
     counts: HashMap<u64, usize>,
     shed: u64,
+    quarantined: u64,
 }
 
 /// FNV-1a over the id bytes, keyed by the queue seed: the deterministic
@@ -54,6 +55,7 @@ impl BeaconQueue {
             items: VecDeque::new(),
             counts: HashMap::new(),
             shed: 0,
+            quarantined: 0,
         }
     }
 
@@ -72,6 +74,12 @@ impl BeaconQueue {
         self.shed
     }
 
+    /// Beacons rejected at [`BeaconQueue::offer`] for a non-finite
+    /// arrival time. Diagnostic only — not part of a snapshot.
+    pub fn quarantined_count(&self) -> u64 {
+        self.quarantined
+    }
+
     /// Enqueues a beacon, shedding one queued beacon first if the queue
     /// is full. Returns `true` when the beacon was absorbed without
     /// shedding, `false` when a shed was required (the new beacon is
@@ -80,7 +88,18 @@ impl BeaconQueue {
     /// Arrivals are expected in nondecreasing `arrival_s` order; a beacon
     /// offered out of order is still kept but only drains once the queue
     /// head passes it.
+    ///
+    /// A beacon with a non-finite arrival time is quarantined instead of
+    /// queued (counted by [`BeaconQueue::quarantined_count`]): drain uses
+    /// `arrival_s < t_s`, which is false for NaN at *every* boundary, so
+    /// one poisoned entry at the head would wedge the queue and starve
+    /// every beacon behind it — exactly the opening a mid-window identity
+    /// churn attack needs to blind the observer.
     pub fn offer(&mut self, qb: QueuedBeacon) -> bool {
+        if !qb.arrival_s.is_finite() {
+            self.quarantined += 1;
+            return true;
+        }
         let clean = if self.items.len() >= self.capacity {
             self.shed_one();
             false
@@ -261,6 +280,35 @@ mod tests {
             (1..8).any(|s| run(s) != baseline),
             "tie-break ignores the seed"
         );
+    }
+
+    #[test]
+    fn non_finite_arrival_cannot_wedge_the_queue() {
+        // Regression: a NaN arrival at the head used to stall
+        // drain_until forever (`NaN < t` is always false), starving every
+        // beacon queued behind it.
+        let mut q = BeaconQueue::new(10, 0);
+        assert!(q.offer(qb(6, f64::NAN)));
+        assert!(q.offer(qb(6, f64::INFINITY)));
+        q.offer(qb(1, 1.0));
+        q.offer(qb(2, 2.0));
+        assert_eq!(q.quarantined_count(), 2);
+        assert_eq!(q.len(), 2, "poisoned entries must not occupy slots");
+        let drained: Vec<u64> = q
+            .drain_until(10.0)
+            .iter()
+            .map(|b| b.beacon.identity)
+            .collect();
+        assert_eq!(drained, vec![1, 2]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn restore_scrubs_poisoned_checkpoint_entries() {
+        let items = vec![qb(6, f64::NAN), qb(1, 1.0)];
+        let mut q = BeaconQueue::restore(10, 0, 0, items);
+        assert_eq!(q.quarantined_count(), 1);
+        assert_eq!(q.drain_until(10.0).len(), 1);
     }
 
     #[test]

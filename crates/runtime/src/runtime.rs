@@ -332,6 +332,13 @@ impl StreamingRuntime {
         }
     }
 
+    /// Beacons the ingest queue refused for a non-finite arrival time
+    /// (see [`BeaconQueue::quarantined_count`]); such a beacon at the
+    /// queue head would otherwise stall every drain behind it.
+    pub fn queue_quarantined(&self) -> u64 {
+        self.queue.quarantined_count()
+    }
+
     /// Time of the next detection boundary, seconds.
     pub fn next_detection_s(&self) -> f64 {
         self.next_detection_s

@@ -12,8 +12,13 @@
 //! *smart attacker* randomises power per packet instead (Section VII's
 //! stated limitation), which is exercised by the ablation experiments.
 
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+
+use vp_adversary::{churn_active, AttackPlan, AttackStats};
+use vp_mac::contention::BeaconRequest;
+use vp_mac::OnAirPacket;
 
 use crate::config::ScenarioConfig;
 use crate::identity::{NodeInfo, NodeKind, Roster};
@@ -135,6 +140,224 @@ pub fn packet_eirp_dbm<R: Rng + ?Sized>(
         }
     }
     node.eirp_dbm
+}
+
+/// FNV-1a over `(seed, value)` — the deterministic assignment hash shared
+/// with `vp_adversary` (same construction as its identity hash, local so
+/// the two layers cannot drift apart silently; pinned by tests).
+fn assign_hash(seed: u64, value: u64) -> u64 {
+    let mut h = 0xcbf29ce484222325u64 ^ seed;
+    for byte in value.to_le_bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A replayed transmission waiting for its scheduled air time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PendingGhost {
+    at_s: f64,
+    identity: IdentityId,
+    tx_radio: RadioId,
+    eirp_dbm: f64,
+}
+
+/// Physical-layer realisation of an [`AttackPlan`] inside the simulation
+/// loop (the stream-level image lives in `vp_adversary::AttackInjector`).
+///
+/// All attacker randomness comes from a private RNG seeded by
+/// `plan.seed`, so an active plan never perturbs the scenario's main RNG
+/// stream: the honest world (mobility, channel, MAC jitter of unaffected
+/// packets) evolves identically with and without the attack, and runs
+/// with `attack_plan: None` are bit-identical to builds without this
+/// layer.
+#[derive(Debug, Clone)]
+pub struct AttackRuntime {
+    plan: AttackPlan,
+    rng: StdRng,
+    stats: AttackStats,
+    /// Victim identity → its own radio (to recognise original
+    /// transmissions and ignore our own ghosts).
+    victims: Vec<(IdentityId, RadioId)>,
+    /// Malicious physical radios, ascending — the collusion/replay pool.
+    attacker_radios: Vec<(RadioId, usize, f64)>,
+    pending_ghosts: Vec<PendingGhost>,
+}
+
+impl AttackRuntime {
+    /// Builds the runtime for `config.attack_plan`. Returns `None` when
+    /// no plan is attached or the plan is empty — the clean path.
+    pub fn new(config: &ScenarioConfig, roster: &Roster) -> Option<Self> {
+        let plan = config.attack_plan.as_ref().filter(|p| !p.is_empty())?;
+        let mut attacker_radios: Vec<(RadioId, usize, f64)> = roster
+            .iter()
+            .filter(|n| n.kind == NodeKind::Malicious)
+            .map(|n| (n.radio, n.vehicle_index, n.beacon_phase_s))
+            .collect();
+        attacker_radios.sort_by_key(|a| a.0);
+        Some(AttackRuntime {
+            plan: plan.clone(),
+            rng: StdRng::seed_from_u64(plan.seed),
+            stats: AttackStats::default(),
+            victims: Vec::new(),
+            attacker_radios,
+            pending_ghosts: Vec::new(),
+        })
+    }
+
+    /// What the attacker has done so far.
+    pub fn stats(&self) -> AttackStats {
+        self.stats
+    }
+
+    /// Re-deals the pooled Sybil identity set across up to `radios`
+    /// colluding malicious transmitters (no-op without a collusion
+    /// strategy or with fewer than two attackers). Call before extracting
+    /// ground truth: the re-deal changes which physical radio transmits
+    /// each Sybil identity.
+    pub fn apply_collusion(&mut self, roster: &mut Roster) {
+        let Some(radios) = self.plan.collusion() else {
+            return;
+        };
+        let pool: Vec<(RadioId, usize, f64)> = self
+            .attacker_radios
+            .iter()
+            .copied()
+            .take(radios as usize)
+            .collect();
+        if pool.len() < 2 {
+            return;
+        }
+        let sybils: Vec<IdentityId> = roster
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Sybil { .. }))
+            .map(|n| n.identity)
+            .collect();
+        for identity in sybils {
+            let (radio, vehicle, phase) =
+                pool[(assign_hash(self.plan.seed, identity) % pool.len() as u64) as usize];
+            let already_there = roster.get(identity).is_some_and(|n| n.radio == radio);
+            if !already_there && roster.retarget(identity, radio, vehicle, phase) {
+                self.stats.reassigned += 1;
+            }
+        }
+    }
+
+    /// Picks the honest identities a `TraceReplay` strategy re-broadcasts:
+    /// normal vehicles that are not observers, lowest identities first
+    /// (deterministic irrespective of RNG state).
+    pub fn select_victims(&mut self, roster: &Roster, observers: &[IdentityId]) {
+        let Some((count, _)) = self.plan.replay() else {
+            return;
+        };
+        if self.attacker_radios.is_empty() {
+            return;
+        }
+        let mut candidates: Vec<(IdentityId, RadioId)> = roster
+            .iter()
+            .filter(|n| n.kind == NodeKind::Normal && !observers.contains(&n.identity))
+            .map(|n| (n.identity, n.radio))
+            .collect();
+        candidates.sort_by_key(|a| a.0);
+        candidates.truncate(count as usize);
+        self.victims = candidates;
+    }
+
+    /// Transmit gate for one beacon request: `false` suppresses the
+    /// request because the Sybil identity is churned out of its slot.
+    pub fn gate_request(&mut self, node: &NodeInfo, t0: f64) -> bool {
+        if !matches!(node.kind, NodeKind::Sybil { .. }) {
+            return true;
+        }
+        let Some((period_s, duty)) = self.plan.churn() else {
+            return true;
+        };
+        if churn_active(self.plan.seed, node.identity, t0, period_s, duty) {
+            true
+        } else {
+            self.stats.suppressed += 1;
+            false
+        }
+    }
+
+    /// Applies power-shaping strategies (ramp, dither) to the EIRP of one
+    /// attacker-transmitted packet. Honest nodes pass through untouched.
+    pub fn shape_eirp(&mut self, node: &NodeInfo, t0: f64, eirp_dbm: f64) -> f64 {
+        if node.kind == NodeKind::Normal {
+            return eirp_dbm;
+        }
+        let mut shaped = eirp_dbm;
+        let mut touched = false;
+        if let Some((ramp, swing)) = self.plan.power_ramp() {
+            shaped += (ramp * t0).clamp(-swing, swing);
+            touched = true;
+        }
+        if let Some(amplitude) = self.plan.power_dither() {
+            if amplitude > 0.0 {
+                shaped += self.rng.gen_range(-amplitude..=amplitude);
+                touched = true;
+            }
+        }
+        if touched {
+            self.stats.power_shaped += 1;
+        }
+        shaped
+    }
+
+    /// Observes one on-air packet; a victim's original transmission
+    /// schedules a ghost re-broadcast `delay_s` later from a colluding
+    /// radio (the attacker's own channel — the replayed series samples
+    /// different physics than the victim's).
+    pub fn observe_on_air(&mut self, packet: &OnAirPacket) {
+        let Some((_, delay_s)) = self.plan.replay() else {
+            return;
+        };
+        let Some(&(_, victim_radio)) = self.victims.iter().find(|&&(v, _)| v == packet.identity)
+        else {
+            return;
+        };
+        // Ignore our own ghosts (they transmit from an attacker radio).
+        if packet.tx_radio != victim_radio || self.attacker_radios.is_empty() {
+            return;
+        }
+        let pick = assign_hash(self.plan.seed ^ 0x9057, packet.identity)
+            % self.attacker_radios.len() as u64;
+        let (tx_radio, _, _) = self.attacker_radios[pick as usize];
+        self.pending_ghosts.push(PendingGhost {
+            at_s: packet.start_s + delay_s,
+            identity: packet.identity,
+            tx_radio,
+            eirp_dbm: packet.eirp_dbm,
+        });
+    }
+
+    /// Drains the ghost transmissions due in the beacon interval
+    /// `[t0, t0 + interval)` as extra beacon requests.
+    pub fn take_due_ghosts(&mut self, t0: f64, interval_s: f64) -> Vec<BeaconRequest> {
+        let deadline = t0 + interval_s;
+        let mut due = Vec::new();
+        self.pending_ghosts.retain(|g| {
+            if g.at_s < deadline {
+                due.push(*g);
+                false
+            } else {
+                true
+            }
+        });
+        // Deterministic emission order regardless of scheduling order.
+        due.sort_by(|a, b| a.at_s.total_cmp(&b.at_s).then(a.identity.cmp(&b.identity)));
+        self.stats.replayed += due.len() as u64;
+        due.into_iter()
+            .map(|g| BeaconRequest {
+                tx_radio: g.tx_radio,
+                identity: g.identity,
+                eirp_dbm: g.eirp_dbm,
+                requested_at_s: g.at_s.clamp(t0, deadline - 1e-6),
+                expires_at_s: deadline,
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -264,5 +487,168 @@ mod tests {
             build_roster(&config(), 50, &mut a),
             build_roster(&config(), 50, &mut b)
         );
+    }
+
+    mod runtime {
+        use super::*;
+        use vp_adversary::{AttackKind, AttackPlan};
+
+        fn attacked_config(plan: AttackPlan) -> ScenarioConfig {
+            let mut cfg = ScenarioConfig::paper_default(50.0);
+            cfg.malicious_fraction = 0.1;
+            cfg.attack_plan = Some(plan);
+            cfg
+        }
+
+        fn roster_for(cfg: &ScenarioConfig, seed: u64) -> Roster {
+            let mut rng = StdRng::seed_from_u64(seed);
+            build_roster(cfg, 100, &mut rng)
+        }
+
+        #[test]
+        fn absent_without_a_plan_or_with_an_empty_one() {
+            let cfg = ScenarioConfig::paper_default(50.0);
+            let roster = roster_for(&cfg, 1);
+            assert!(AttackRuntime::new(&cfg, &roster).is_none());
+            let cfg = attacked_config(AttackPlan::none());
+            assert!(AttackRuntime::new(&cfg, &roster).is_none());
+        }
+
+        #[test]
+        fn collusion_redeals_sybils_across_attacker_radios() {
+            let cfg = attacked_config(AttackPlan::new(3).with(AttackKind::Collusion { radios: 3 }));
+            let mut roster = roster_for(&cfg, 2);
+            let before: Vec<(IdentityId, RadioId)> = roster
+                .iter()
+                .filter(|n| matches!(n.kind, NodeKind::Sybil { .. }))
+                .map(|n| (n.identity, n.radio))
+                .collect();
+            let mut rt = AttackRuntime::new(&cfg, &roster).unwrap();
+            rt.apply_collusion(&mut roster);
+            let moved = rt.stats().reassigned;
+            assert!(moved > 0, "no sybil moved");
+            assert!((moved as usize) < before.len(), "every sybil moved");
+            // Moved identities land on other *malicious* radios, and the
+            // sybils of one original attacker no longer share a radio.
+            let gt = roster.ground_truth();
+            let mut radios_used = std::collections::HashSet::new();
+            for (id, _) in &before {
+                let node = roster.get(*id).unwrap();
+                assert_eq!(
+                    roster.get(node.radio as IdentityId).unwrap().kind,
+                    NodeKind::Malicious
+                );
+                assert!(gt.is_illegitimate(*id));
+                radios_used.insert(node.radio);
+            }
+            assert!(radios_used.len() >= 2);
+        }
+
+        #[test]
+        fn churn_gates_sybil_requests_only() {
+            let cfg = attacked_config(AttackPlan::new(7).with(AttackKind::IdentityChurn {
+                period_s: 5.0,
+                duty: 0.5,
+            }));
+            let roster = roster_for(&cfg, 3);
+            let mut rt = AttackRuntime::new(&cfg, &roster).unwrap();
+            let mut suppressed = 0u64;
+            for slot in 0..10 {
+                let t0 = slot as f64 * 5.0 + 0.1;
+                for node in roster.iter() {
+                    let pass = rt.gate_request(node, t0);
+                    if !matches!(node.kind, NodeKind::Sybil { .. }) {
+                        assert!(pass, "non-sybil gated");
+                    } else if !pass {
+                        suppressed += 1;
+                    }
+                }
+            }
+            assert!(suppressed > 0, "churn never suppressed");
+            assert_eq!(rt.stats().suppressed, suppressed);
+        }
+
+        #[test]
+        fn eirp_shaping_targets_attackers_and_stays_deterministic() {
+            let plan = AttackPlan::new(11)
+                .with(AttackKind::PowerRamp {
+                    ramp_db_per_s: 0.5,
+                    max_swing_db: 3.0,
+                })
+                .with(AttackKind::PowerDither { amplitude_db: 2.0 });
+            let cfg = attacked_config(plan);
+            let roster = roster_for(&cfg, 4);
+            let normal = roster
+                .iter()
+                .find(|n| n.kind == NodeKind::Normal)
+                .unwrap()
+                .clone();
+            let sybil = roster
+                .iter()
+                .find(|n| matches!(n.kind, NodeKind::Sybil { .. }))
+                .unwrap()
+                .clone();
+            let shape = |rt: &mut AttackRuntime| {
+                (
+                    rt.shape_eirp(&normal, 30.0, 20.0),
+                    rt.shape_eirp(&sybil, 30.0, 20.0),
+                )
+            };
+            let mut a = AttackRuntime::new(&cfg, &roster).unwrap();
+            let mut b = AttackRuntime::new(&cfg, &roster).unwrap();
+            let (normal_out, sybil_out) = shape(&mut a);
+            assert_eq!(normal_out, 20.0);
+            // Ramp clamped to +3 dB, dither within ±2 dB.
+            assert!((21.0..=25.0).contains(&sybil_out), "{sybil_out}");
+            assert_eq!(shape(&mut b), (normal_out, sybil_out));
+            assert_eq!(a.stats().power_shaped, 1);
+        }
+
+        #[test]
+        fn replay_ghosts_come_from_attacker_radios_after_the_delay() {
+            let cfg = attacked_config(AttackPlan::new(5).with(AttackKind::TraceReplay {
+                victims: 2,
+                delay_s: 1.0,
+            }));
+            let roster = roster_for(&cfg, 5);
+            let mut rt = AttackRuntime::new(&cfg, &roster).unwrap();
+            rt.select_victims(&roster, &[0]);
+            assert_eq!(rt.victims.len(), 2);
+            let (victim, victim_radio) = rt.victims[0];
+            assert_ne!(victim, 0, "observer must not be a victim");
+            rt.observe_on_air(&OnAirPacket {
+                tx_radio: victim_radio,
+                identity: victim,
+                eirp_dbm: 20.0,
+                start_s: 10.0,
+                end_s: 10.0005,
+            });
+            // Not due yet in the same interval.
+            assert!(rt.take_due_ghosts(10.0, 0.1).is_empty());
+            let ghosts = rt.take_due_ghosts(11.0, 0.1);
+            assert_eq!(ghosts.len(), 1);
+            let g = &ghosts[0];
+            assert_eq!(g.identity, victim);
+            assert_ne!(g.tx_radio, victim_radio);
+            assert_eq!(
+                roster.get(g.tx_radio as IdentityId).unwrap().kind,
+                NodeKind::Malicious
+            );
+            assert!(
+                (10.999..11.1).contains(&g.requested_at_s),
+                "{}",
+                g.requested_at_s
+            );
+            assert_eq!(rt.stats().replayed, 1);
+            // A ghost's own transmission never re-schedules.
+            rt.observe_on_air(&OnAirPacket {
+                tx_radio: g.tx_radio,
+                identity: victim,
+                eirp_dbm: 20.0,
+                start_s: 11.05,
+                end_s: 11.0505,
+            });
+            assert!(rt.take_due_ghosts(12.0, 0.1).is_empty());
+        }
     }
 }

@@ -1,5 +1,6 @@
 //! Scenario configuration (paper Table V).
 
+use vp_adversary::AttackPlan;
 use vp_fault::FaultPlan;
 use vp_mac::MacParams;
 use vp_radio::channel::ChannelConfig;
@@ -90,6 +91,11 @@ pub struct ScenarioConfig {
     /// `None` (the default) runs the clean pipeline, bit-identical to a
     /// build without the harness.
     pub fault_plan: Option<FaultPlan>,
+    /// Attacker-strategy plan shaping what malicious radios transmit
+    /// (power ramps/dither, identity churn, multi-radio collusion, trace
+    /// replay). `None` or an empty plan runs the paper's baseline Sybil
+    /// attacker, bit-identical to a build without the adversary layer.
+    pub attack_plan: Option<AttackPlan>,
 }
 
 impl ScenarioConfig {
@@ -148,6 +154,7 @@ impl ScenarioConfig {
             collect_inputs: false,
             collect_beacons: false,
             fault_plan: None,
+            attack_plan: None,
         }
     }
 
@@ -218,6 +225,9 @@ impl ScenarioConfig {
             }
         }
         if let Some(plan) = &self.fault_plan {
+            plan.validate()?;
+        }
+        if let Some(plan) = &self.attack_plan {
             plan.validate()?;
         }
         self.mac.validate()?;
@@ -314,6 +324,10 @@ impl ScenarioConfigBuilder {
         /// Attaches a fault-injection plan to every observer's ingest.
         fault_plan: Option<FaultPlan>
     );
+    setter!(
+        /// Attaches an attacker-strategy plan to the malicious radios.
+        attack_plan: Option<AttackPlan>
+    );
 
     /// Finishes the configuration.
     ///
@@ -382,6 +396,16 @@ mod tests {
         c.fault_plan = Some(FaultPlan::new(1).with(FaultKind::NonFiniteRssi { probability: 2.0 }));
         assert!(c.validate().is_err());
         c.fault_plan = Some(FaultPlan::new(1).with(FaultKind::NonFiniteRssi { probability: 0.5 }));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn attack_plan_is_validated_with_the_rest_of_the_config() {
+        use vp_adversary::AttackKind;
+        let mut c = ScenarioConfig::paper_default(50.0);
+        c.attack_plan = Some(AttackPlan::new(1).with(AttackKind::Collusion { radios: 1 }));
+        assert!(c.validate().is_err());
+        c.attack_plan = Some(AttackPlan::new(1).with(AttackKind::Collusion { radios: 2 }));
         assert!(c.validate().is_ok());
     }
 

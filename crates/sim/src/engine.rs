@@ -22,7 +22,7 @@ use vp_mobility::highway::{Direction, Highway};
 use vp_radio::channel::Channel;
 use vp_radio::propagation::{DualSlope, PathLoss};
 
-use crate::attack::{build_roster, packet_eirp_dbm};
+use crate::attack::{build_roster, packet_eirp_dbm, AttackRuntime};
 use crate::config::ScenarioConfig;
 use crate::detector::{DetectionInput, Detector, PositionClaim, WitnessReport};
 use crate::identity::{GroundTruth, NodeKind};
@@ -66,6 +66,14 @@ pub struct SimulationOutcome {
     /// Per-observer beacon tap, arrival-ordered, retained when
     /// `config.collect_beacons` is set (empty inner vectors otherwise).
     pub beacon_tap: Vec<Vec<TapBeacon>>,
+    /// The observer identities, in the engine's observer order — index
+    /// `i` here owns `beacon_tap[i]`. This is the authoritative mapping;
+    /// `collected` cannot stand in for it because boundaries where an
+    /// observer heard no qualifying series produce no input at all.
+    pub observers: Vec<IdentityId>,
+    /// Attacker-strategy accounting (suppressed/shaped/replayed/
+    /// reassigned); all-zero without an active attack plan.
+    pub attack: vp_adversary::AttackStats,
 }
 
 /// Runs one scenario with the given detectors attached.
@@ -105,7 +113,18 @@ pub fn try_run_scenario(
     let mut rng = StdRng::seed_from_u64(config.seed);
     let highway = Highway::paper_default();
     let mut fleet = Fleet::spawn_uniform(highway, config.vehicle_count(), &mut rng);
-    let roster = build_roster(config, fleet.len(), &mut rng);
+    let mut roster = build_roster(config, fleet.len(), &mut rng);
+    // The attack layer draws only from its own plan-seeded RNG, so an
+    // active plan never perturbs the honest world's random stream; with
+    // no (or an empty) plan this is `None` and the path below is
+    // bit-identical to a build without the adversary layer. Collusion
+    // re-deals Sybil identities across attacker radios *before* ground
+    // truth is extracted — the re-deal changes physical reality.
+    let mut attack = AttackRuntime::new(config, &roster);
+    if let Some(a) = attack.as_mut() {
+        a.apply_collusion(&mut roster);
+    }
+    let roster = roster;
     let ground_truth = roster.ground_truth();
     let mut channel = Channel::new(DualSlope::dsrc(config.base_params), config.channel);
     let gps = GpsError::paper_receiver();
@@ -135,6 +154,9 @@ pub fn try_run_scenario(
         .collect();
     let witness_set: std::collections::HashSet<RadioId> =
         witness_pool.iter().map(|&id| id as RadioId).collect();
+    if let Some(a) = attack.as_mut() {
+        a.select_victims(&roster, &observers);
+    }
 
     // One deterministic fault injector per observer (seed offset by the
     // observer index so streams are corrupted independently but
@@ -212,15 +234,27 @@ pub fn try_run_scenario(
         // Beacon requests for every identity.
         let mut requests: Vec<BeaconRequest> = Vec::with_capacity(roster.len());
         for node in roster.iter() {
+            if let Some(a) = attack.as_mut() {
+                if !a.gate_request(node, t0) {
+                    continue;
+                }
+            }
             let jitter = rng.gen_range(-0.0005..=0.0005);
             let at = (t0 + node.beacon_phase_s + jitter).clamp(t0, t0 + interval - 1e-6);
+            let mut eirp_dbm = packet_eirp_dbm(config, node, &mut rng);
+            if let Some(a) = attack.as_mut() {
+                eirp_dbm = a.shape_eirp(node, t0, eirp_dbm);
+            }
             requests.push(BeaconRequest {
                 tx_radio: node.radio,
                 identity: node.identity,
-                eirp_dbm: packet_eirp_dbm(config, node, &mut rng),
+                eirp_dbm,
                 requested_at_s: at,
                 expires_at_s: t0 + interval,
             });
+        }
+        if let Some(a) = attack.as_mut() {
+            requests.extend(a.take_due_ghosts(t0, interval));
         }
         packet_stats.offered += requests.len() as u64;
 
@@ -236,6 +270,11 @@ pub fn try_run_scenario(
             })?;
         packet_stats.on_air += contention.on_air.len() as u64;
         packet_stats.expired += contention.expired.len() as u64;
+        if let Some(a) = attack.as_mut() {
+            for packet in &contention.on_air {
+                a.observe_on_air(packet);
+            }
+        }
 
         // Update the claimed-position map from what actually went on air,
         // remembering each packet's claimed position for witness records.
@@ -426,6 +465,8 @@ pub fn try_run_scenario(
         sybil_count: roster.sybil_count(),
         ingest,
         beacon_tap,
+        observers,
+        attack: attack.map(|a| a.stats()).unwrap_or_default(),
     })
 }
 
@@ -793,6 +834,120 @@ mod tests {
         // And the tap itself never perturbs the simulation.
         assert_eq!(lean.packet_stats, outcome.packet_stats);
         assert_eq!(lean.ingest, outcome.ingest);
+    }
+
+    #[test]
+    fn empty_attack_plan_is_bit_identical_to_no_plan() {
+        use vp_adversary::AttackPlan;
+        let clean = run_scenario(&small_config(3), &[&Silent]);
+        let mut config = small_config(3);
+        config.attack_plan = Some(AttackPlan::none());
+        let gated = run_scenario(&config, &[&Silent]);
+        assert_eq!(clean.packet_stats, gated.packet_stats);
+        assert_eq!(clean.collected, gated.collected);
+        assert!(gated.attack.is_clean());
+    }
+
+    #[test]
+    fn attacked_runs_are_deterministic_and_accounted() {
+        use vp_adversary::{AttackKind, AttackPlan};
+        let plan = AttackPlan::new(21)
+            .with(AttackKind::PowerDither { amplitude_db: 3.0 })
+            .with(AttackKind::IdentityChurn {
+                period_s: 6.0,
+                duty: 0.5,
+            })
+            .with(AttackKind::TraceReplay {
+                victims: 2,
+                delay_s: 1.0,
+            });
+        let mut config = small_config(6);
+        config.attack_plan = Some(plan);
+        let a = run_scenario(&config, &[&Silent]);
+        let b = run_scenario(&config, &[&Silent]);
+        assert_eq!(a.packet_stats, b.packet_stats);
+        assert_eq!(a.collected, b.collected);
+        assert_eq!(a.attack, b.attack);
+        assert!(a.attack.suppressed > 0, "{:?}", a.attack);
+        assert!(a.attack.power_shaped > 0, "{:?}", a.attack);
+        assert!(a.attack.replayed > 0, "{:?}", a.attack);
+        // The attacked world still produces detections.
+        assert!(!a.collected.is_empty());
+    }
+
+    #[test]
+    fn collusion_decorrelates_the_redealt_sybils() {
+        use vp_adversary::{AttackKind, AttackPlan};
+        let mut config = small_config(4);
+        config.attack_plan = Some(AttackPlan::new(9).with(AttackKind::Collusion { radios: 3 }));
+        let outcome = run_scenario(&config, &[&Silent]);
+        assert!(outcome.attack.reassigned > 0, "{:?}", outcome.attack);
+        // Ground truth reflects the re-deal: at least two distinct radios
+        // transmit Sybil identities.
+        let truth = &outcome.ground_truth;
+        let mut radios = std::collections::HashSet::new();
+        for input in &outcome.collected {
+            for (id, _) in &input.series {
+                if matches!(truth.kind(*id), Some(NodeKind::Sybil { .. })) {
+                    radios.insert(truth.radio(*id));
+                }
+            }
+        }
+        // (At very low density a single attacker may exist; this seed has
+        // two malicious vehicles.)
+        assert!(radios.len() >= 2, "sybils still share a radio: {radios:?}");
+    }
+
+    #[test]
+    fn power_ramp_drags_attacker_rssi_over_time() {
+        use vp_adversary::{AttackKind, AttackPlan};
+        let mut config = small_config(2);
+        // More traffic and a quieter sample floor: the ramp experiment
+        // needs the same observer to hear the same identity in both
+        // windows, not a full paper-grade series.
+        config.density_per_km = 25.0;
+        config.observer_count = 4;
+        config.min_samples_per_series = 30;
+        config.attack_plan = Some(AttackPlan::new(17).with(AttackKind::PowerRamp {
+            ramp_db_per_s: 0.8,
+            max_swing_db: 16.0,
+        }));
+        let outcome = run_scenario(&config, &[&Silent]);
+        assert!(outcome.attack.power_shaped > 0);
+        // Between the first window (ramp ≤ 8 dB) and the second (ramp up
+        // to 16→clamped 12 dB) a Sybil's mean RSSI must climb; honest
+        // identities must not systematically climb with it.
+        // Geometry drifts every link between the two windows, so judge
+        // the ramp against the honest population's drift rather than an
+        // absolute change.
+        let truth = &outcome.ground_truth;
+        let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+        let mut early: std::collections::HashMap<(IdentityId, IdentityId), f64> =
+            Default::default();
+        let mut sybil_deltas = Vec::new();
+        let mut normal_deltas = Vec::new();
+        for input in &outcome.collected {
+            for (id, series) in &input.series {
+                let is_attacker = truth.kind(*id).is_some_and(|k| k != NodeKind::Normal);
+                match early.entry((input.observer, *id)) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(mean(series));
+                    }
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        let delta = mean(series) - e.get();
+                        if is_attacker {
+                            sybil_deltas.push(delta);
+                        } else {
+                            normal_deltas.push(delta);
+                        }
+                    }
+                }
+            }
+        }
+        assert!(!sybil_deltas.is_empty(), "no attacker heard in two windows");
+        assert!(!normal_deltas.is_empty(), "no honest link in two windows");
+        let lift = mean(&sybil_deltas) - mean(&normal_deltas);
+        assert!(lift > 2.0, "ramp did not show in RSSI: lift {lift:.2} dB");
     }
 
     #[test]

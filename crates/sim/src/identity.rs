@@ -108,6 +108,30 @@ impl Roster {
             .count()
     }
 
+    /// Moves an identity onto a different physical transmitter — the
+    /// multi-radio collusion re-deal. The identity keeps its kind (and
+    /// therefore its ground-truth label) but is transmitted by `radio`
+    /// from `vehicle_index` with the new transmitter's burst phase from
+    /// now on. Returns `false` when the identity does not exist.
+    pub fn retarget(
+        &mut self,
+        identity: IdentityId,
+        radio: RadioId,
+        vehicle_index: usize,
+        beacon_phase_s: f64,
+    ) -> bool {
+        match self.by_identity.get(&identity) {
+            Some(&i) => {
+                let node = &mut self.nodes[i];
+                node.radio = radio;
+                node.vehicle_index = vehicle_index;
+                node.beacon_phase_s = beacon_phase_s;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Extracts the scoring ground truth.
     pub fn ground_truth(&self) -> GroundTruth {
         GroundTruth {
@@ -206,6 +230,25 @@ mod tests {
         assert!(!gt.same_radio(0, 999));
         assert_eq!(gt.kind(100), Some(NodeKind::Sybil { parent: 1 }));
         assert_eq!(gt.kind(999), None);
+    }
+
+    #[test]
+    fn retarget_moves_transmitter_but_keeps_the_label() {
+        let mut r = Roster::new();
+        r.push(node(1, NodeKind::Malicious, 1));
+        r.push(node(2, NodeKind::Malicious, 2));
+        r.push(node(100, NodeKind::Sybil { parent: 1 }, 1));
+        assert!(r.retarget(100, 2, 2, 0.04));
+        let moved = r.get(100).unwrap();
+        assert_eq!(moved.radio, 2);
+        assert_eq!(moved.vehicle_index, 2);
+        assert_eq!(moved.beacon_phase_s, 0.04);
+        assert_eq!(moved.kind, NodeKind::Sybil { parent: 1 });
+        let gt = r.ground_truth();
+        assert!(gt.is_illegitimate(100));
+        assert!(gt.same_radio(2, 100));
+        assert!(!gt.same_radio(1, 100));
+        assert!(!r.retarget(999, 0, 0, 0.0));
     }
 
     #[test]

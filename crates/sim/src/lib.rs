@@ -35,11 +35,13 @@ pub mod identity;
 pub mod metrics;
 pub mod observations;
 
+pub use attack::AttackRuntime;
 pub use config::ScenarioConfig;
 pub use detector::{DetectionInput, Detector, PositionClaim, WitnessReport};
 pub use engine::{run_scenario, try_run_scenario, SimulationOutcome, TapBeacon};
 pub use identity::{GroundTruth, NodeKind, Roster};
 pub use metrics::{DetectorStats, IngestStats, PacketStats};
+pub use vp_adversary::{AttackKind, AttackPlan, AttackStats};
 pub use vp_fault::{FaultKind, FaultPlan, VpError};
 
 /// Identifier of a physical radio.

@@ -202,3 +202,84 @@ fn streaming_and_batch_agree_under_clock_skew_faults() {
     }
     assert!(compared >= 2, "skew run produced too few verdicts");
 }
+
+#[test]
+fn mid_window_identity_churn_cannot_wedge_the_runtime() {
+    // Announce/retire regression: Sybil identities 100/101 churn on and
+    // off the air mid-window through the adversary injector, identity 9
+    // announces too late to clear the sample floor, and one beacon
+    // arrives with a NaN arrival time (the historical queue wedge). The
+    // boundary must still fire, with the poisoned beacon quarantined and
+    // the churned pair judged on its surviving samples.
+    use vp_adversary::{AttackInjector, AttackKind, AttackPlan};
+    use vp_fault::Beacon;
+
+    let mut config = RuntimeConfig::from_scenario(&golden_scenario(), policy());
+    config.min_samples_per_series = 20;
+    // A 50%-duty churn leaves ~80 of 200 samples per Sybil; align the
+    // comparison floor with the ingest floor so the surviving series are
+    // judged rather than silently excluded.
+    config.comparison.min_series_len = 20;
+    let mut rt = StreamingRuntime::new(config).expect("valid config");
+
+    let plan = AttackPlan::new(9).with(AttackKind::IdentityChurn {
+        period_s: 3.0,
+        duty: 0.5,
+    });
+    let mut injector = AttackInjector::new(&plan, &[100, 101], &[]);
+    for k in 0..200u32 {
+        let t = f64::from(k) * 0.1;
+        let shape = (t * 1.3).sin() * 3.0;
+        for (id, level) in [(100u64, -70.0), (101, -64.0)] {
+            for ab in injector.inject(t, Beacon::new(id, t, level + shape)) {
+                rt.offer(ab.arrival_s, ab.beacon);
+            }
+        }
+        for h in 1..=3u64 {
+            let honest = -72.0 - h as f64 + (t * (0.5 + h as f64 * 0.3)).cos() * 2.5;
+            rt.offer(t, Beacon::new(h, t, honest));
+        }
+        if k == 120 {
+            rt.offer(f64::NAN, Beacon::new(100, f64::NAN, -70.0));
+        }
+        if k >= 190 {
+            rt.offer(t, Beacon::new(9, t, -80.0)); // late announcer
+        }
+    }
+    assert!(
+        injector.stats().suppressed > 0,
+        "churn plan must retire beacons mid-window: {:?}",
+        injector.stats()
+    );
+    assert_eq!(rt.queue_quarantined(), 1, "NaN arrival must be quarantined");
+
+    let outcomes = rt.advance_to(20.0);
+    assert_eq!(outcomes.len(), 1);
+    let report = match &outcomes[0] {
+        RoundOutcome::Verdict(report) => report,
+        other => panic!("boundary must produce a verdict, got {other:?}"),
+    };
+    assert!(report.complete);
+    let audited: Vec<u64> = report
+        .verdict
+        .audit_records()
+        .iter()
+        .flat_map(|r| [r.id_i, r.id_j])
+        .collect();
+    assert!(
+        audited.contains(&100) && audited.contains(&101),
+        "churned pair must survive to comparison on its remaining samples"
+    );
+    assert!(
+        !audited.contains(&9),
+        "a sub-floor late announcer must not reach comparison"
+    );
+    // The beacons queued behind the poisoned entry all drained: every
+    // honest identity has a full-window series in the audit.
+    for h in 1..=3u64 {
+        assert!(
+            audited.contains(&h),
+            "identity {h} starved behind the NaN entry"
+        );
+    }
+}
