@@ -9,9 +9,11 @@
 //! window-level accuracy. The detector set spans the repo's families:
 //! Voiceprint exact (the paper's Algorithm 1), the calibrated banded-DTW
 //! cascade configuration (verdict-identical to the pruned/sketched
-//! execution path by construction), the streaming runtime, the
-//! city-fused verdict, and the three cooperative baselines (CPVSAD,
-//! trust-aware, proof-of-location).
+//! execution path by construction), the drift-adaptive confirmation
+//! loop (a stateful `AdaptiveThreshold` per observer over the same
+//! inputs in time order), the streaming runtime, the city-fused
+//! verdict, and the three cooperative baselines (CPVSAD, trust-aware,
+//! proof-of-location).
 //!
 //! Part 2 — **miss triage**: every false negative of a verdict-bearing
 //! detector is attributed to a named audit cause via
@@ -31,7 +33,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use voiceprint::comparator::{compare, ComparisonConfig};
 use voiceprint::confirm::{confirm, SybilVerdict};
 use voiceprint::threshold::ThresholdPolicy;
-use voiceprint::triage_misses;
+use voiceprint::{triage_misses, AdaptiveConfig, AdaptiveThreshold};
 use vp_adversary::{generate_campaign, CampaignConfig, CampaignLabel};
 use vp_baseline::{
     CpvsadConfig, CpvsadDetector, ProofOfLocationConfig, ProofOfLocationDetector, TrustAwareConfig,
@@ -123,9 +125,10 @@ impl DetEval {
     }
 }
 
-const DETECTORS: [&str; 7] = [
+const DETECTORS: [&str; 8] = [
     "voiceprint_exact",
     "voiceprint_cascade",
+    "voiceprint_adaptive",
     "streaming",
     "city_fused",
     "cpvsad",
@@ -136,11 +139,12 @@ const DETECTORS: [&str; 7] = [
 /// Indices into the per-strategy `Vec<DetEval>`.
 const VP_EXACT: usize = 0;
 const VP_CASCADE: usize = 1;
-const STREAMING: usize = 2;
-const CITY_FUSED: usize = 3;
-const CPVSAD: usize = 4;
-const TRUST: usize = 5;
-const POL: usize = 6;
+const VP_ADAPTIVE: usize = 2;
+const STREAMING: usize = 3;
+const CITY_FUSED: usize = 4;
+const CPVSAD: usize = 5;
+const TRUST: usize = 6;
+const POL: usize = 7;
 
 /// The attacker-strategy matrix: the paper's baseline Sybil attacker
 /// plus one entry per adversary strategy, at the rates the golden
@@ -307,6 +311,7 @@ fn main() {
             DetEval::with_params(&cfg.vp_scales),
             DetEval::with_params(&[1.0]),
             DetEval::with_params(&[1.0]),
+            DetEval::with_params(&[1.0]),
             DetEval::with_params(&cfg.cpvsad_sig),
             DetEval::with_params(&cfg.trust_thresholds),
             DetEval::with_params(&cfg.pol_attestations),
@@ -356,6 +361,49 @@ fn main() {
                 }
 
                 score_baselines(&cfg, &mut evals, input, &neighbours, truth, &sc);
+            }
+
+            // Adaptive: one stateful `AdaptiveThreshold` per observer,
+            // fed the same collected inputs in time order. Round N's
+            // policy depends only on rounds < N (the drift-adaptation
+            // ordering contract), so this is exactly what the streaming
+            // runtime computes with `RuntimeConfig::adaptive` set.
+            let observer_ids: BTreeSet<IdentityId> =
+                out.sim.collected.iter().map(|i| i.observer).collect();
+            for obs in observer_ids {
+                // A 45 s scenario gives each observer two rounds, so the
+                // bench runs the aggressive-labelling profile — the
+                // conservative default never engages before the run ends.
+                let mut adaptive =
+                    AdaptiveThreshold::new(&cascade_policy, AdaptiveConfig::aggressive())
+                        .expect("bench adaptive config is valid");
+                let mut inputs: Vec<&DetectionInput> = out
+                    .sim
+                    .collected
+                    .iter()
+                    .filter(|i| i.observer == obs)
+                    .collect();
+                inputs.sort_by(|a, b| a.time_s.total_cmp(&b.time_s));
+                for input in inputs {
+                    let neighbours: Vec<IdentityId> =
+                        input.series.iter().map(|(id, _)| *id).collect();
+                    let expected = expected_in(&neighbours, truth);
+                    let distances = compare(&input.series, &cascade_cmp);
+                    let verdict = confirm(
+                        &distances,
+                        input.estimated_density_per_km,
+                        &adaptive.effective_policy(),
+                    );
+                    let verdict = adaptive.finish_round(verdict, input.estimated_density_per_km);
+                    let ev = &mut evals[VP_ADAPTIVE];
+                    ev.counts.score(verdict.suspects(), &neighbours, truth);
+                    ev.roc[0].1.score(verdict.suspects(), &neighbours, truth);
+                    ev.windows += 1;
+                    if verdict.degraded_confidence() {
+                        ev.degraded_windows += 1;
+                    }
+                    triage_into(&verdict, &expected, &mut triage_tally, &mut triage_total);
+                }
             }
 
             // Streaming: the per-observer shard runtimes of the city run.

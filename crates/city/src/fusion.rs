@@ -88,6 +88,12 @@ pub struct FusedRound {
     pub suspects: Vec<IdentityId>,
     /// Vote accounting for every evaluated identity, ascending by id.
     pub tally: Vec<IdentityTally>,
+    /// Whether any contributing shard's verdict carried
+    /// `degraded_confidence` — drift, deadline truncation or quarantine
+    /// lowered at least one vote's evidentiary standard, so downstream
+    /// consumers (revocation, rate-limiting) should treat the fused
+    /// round as advisory rather than authoritative.
+    pub degraded: bool,
 }
 
 /// Weight of one observer's vote under `config` at time `time_s`.
@@ -139,7 +145,9 @@ pub fn fuse(shards: &[ShardOutcome], config: &FusionConfig) -> Vec<FusedRound> {
         let time_s = f64::from_bits(time_bits);
         // identity → (votes_for, weight_evaluated)
         let mut tally: BTreeMap<IdentityId, (u64, u64)> = BTreeMap::new();
+        let mut degraded = false;
         for (shard, report) in votes {
+            degraded |= report.verdict.degraded_confidence();
             let weight = observer_weight(config, shard.observer, time_s);
             let flagged: BTreeSet<IdentityId> = report.verdict.suspects().iter().copied().collect();
             for id in evaluated_identities(report) {
@@ -168,6 +176,7 @@ pub fn fuse(shards: &[ShardOutcome], config: &FusionConfig) -> Vec<FusedRound> {
             time_s,
             suspects,
             tally,
+            degraded,
         });
     }
     fused

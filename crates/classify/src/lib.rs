@@ -14,6 +14,8 @@
 //! * [`dataset`] — labelled-sample container with train/test utilities.
 //! * [`boundary`] — conversion of any linear rule into the paper's
 //!   `(k, b)` line form plus classification metrics.
+//! * [`incremental`] — deterministic bounded-step online nudging of a
+//!   trained line under distribution shift (drift adaptation).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -21,12 +23,14 @@
 
 pub mod boundary;
 pub mod dataset;
+pub mod incremental;
 pub mod lda;
 pub mod logistic;
 pub mod perceptron;
 
 pub use boundary::{DecisionLine, LinearRule};
 pub use dataset::Dataset;
+pub use incremental::{IncrementalBoundary, LabelledPoint, NudgeConfig};
 pub use lda::LinearDiscriminant;
 pub use logistic::LogisticRegression;
 pub use perceptron::Perceptron;

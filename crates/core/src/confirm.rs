@@ -150,6 +150,15 @@ impl SybilVerdict {
         self.degraded_confidence
     }
 
+    /// Marks the verdict as resting on degraded evidence. Only the
+    /// drift-adaptation layer ([`crate::adaptive`]) calls this, when the
+    /// observed distance distribution is shifting away from the regime the
+    /// threshold was trained for — the same out-of-regime semantics as the
+    /// taints above, raised by a different witness.
+    pub(crate) fn mark_degraded(&mut self) {
+        self.degraded_confidence = true;
+    }
+
     /// The audit record for one pair, order-free.
     pub fn audit_for(&self, a: IdentityId, b: IdentityId) -> Option<&PairAudit> {
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };

@@ -57,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod adaptive;
 pub mod algorithm;
 pub mod cache;
 pub mod collector;
@@ -69,8 +70,12 @@ pub(crate) mod trace;
 pub mod training;
 pub mod triage;
 
+pub use adaptive::{
+    AdaptiveConfig, AdaptiveSnapshot, AdaptiveThreshold, EvidenceReservoir, ReservoirSample,
+    SampleLabel,
+};
 pub use cache::{CacheStats, ComparisonCache};
-pub use collector::Collector;
+pub use collector::{ChurnPolicy, Collector};
 pub use comparator::{
     compare, compare_cancellable, compare_cancellable_with_cache, compare_cancellable_with_threads,
     compare_sequential, compare_with_cache, ComparisonConfig, DistanceMeasure, PairwiseDistances,
@@ -81,6 +86,7 @@ pub use detector::VoiceprintDetector;
 pub use multi_period::MultiPeriodDetector;
 pub use threshold::ThresholdPolicy;
 pub use triage::{triage_misses, MissCause, MissTriage};
+pub use vp_classify::boundary::DecisionLine;
 pub use vp_fault::{DegradationCounters, VpError};
 
 /// Identity type shared with the simulator.

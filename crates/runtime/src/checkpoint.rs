@@ -20,7 +20,10 @@ use vp_fault::VpError;
 pub const MAGIC: [u8; 4] = *b"VPCK";
 
 /// Checkpoint format version written (and required) by this build.
-pub const VERSION: u16 = 1;
+/// v2 appended the drift-adaptive confirmation section (flag byte plus
+/// the adaptive snapshot) after the queue section; v1 frames are
+/// rejected with [`VpError::CheckpointVersion`] rather than guessed at.
+pub const VERSION: u16 = 2;
 
 const TRUNCATED: VpError = VpError::CheckpointCorrupt {
     reason: "truncated payload",
@@ -252,7 +255,7 @@ mod tests {
     #[test]
     fn version_bump_is_a_distinct_error() {
         let mut framed = sample();
-        framed[4..6].copy_from_slice(&2u16.to_le_bytes());
+        framed[4..6].copy_from_slice(&(VERSION + 1).to_le_bytes());
         // Re-seal the checksum so only the version differs.
         let len = framed.len();
         let sum = fnv1a(&framed[..len - 8]);
@@ -260,7 +263,7 @@ mod tests {
         assert_eq!(
             open(&framed).unwrap_err(),
             VpError::CheckpointVersion {
-                found: 2,
+                found: VERSION + 1,
                 expected: VERSION
             }
         );

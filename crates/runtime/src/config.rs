@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use voiceprint::{ComparisonConfig, ThresholdPolicy};
+use voiceprint::{AdaptiveConfig, ChurnPolicy, ComparisonConfig, ThresholdPolicy};
 use vp_fault::VpError;
 use vp_sim::ScenarioConfig;
 
@@ -111,6 +111,20 @@ pub struct RuntimeConfig {
     pub comparison_cache_capacity: usize,
     /// Confirmation threshold policy.
     pub policy: ThresholdPolicy,
+    /// Drift-adaptive confirmation (ROADMAP item 5). `None` — the
+    /// default — freezes `policy` exactly as trained, preserving batch
+    /// parity. `Some` wraps it in a [`voiceprint::AdaptiveThreshold`]:
+    /// the boundary nudges toward the observed evidence each round, the
+    /// band widens while the distance distribution drifts, and the
+    /// adaptive state rides along in VPCK checkpoints bit-exactly.
+    pub adaptive: Option<AdaptiveConfig>,
+    /// Churn-aware series extraction. `None` — the default — uses the
+    /// plain `min_samples_per_series` floor. `Some` additionally admits
+    /// identities matching the retire/announce churn signature at the
+    /// policy's reduced floor (see [`voiceprint::ChurnPolicy`]), so an
+    /// identity-churn attacker's short-lived identities reach the
+    /// comparator instead of surfacing as `NotCompared` misses.
+    pub churn: Option<ChurnPolicy>,
 }
 
 impl RuntimeConfig {
@@ -135,6 +149,8 @@ impl RuntimeConfig {
             // far beyond paper-scale densities — at ~100 KiB.
             comparison_cache_capacity: 4096,
             policy,
+            adaptive: None,
+            churn: None,
         }
     }
 
@@ -185,12 +201,18 @@ impl RuntimeConfig {
                 "circuit breaker threshold must be nonzero",
             ));
         }
-        match self.deadline {
-            DeadlinePolicy::WallClock(d) if d.is_zero() => {
-                Err(VpError::InvalidConfig("wall-clock budget must be nonzero"))
+        if let DeadlinePolicy::WallClock(d) = self.deadline {
+            if d.is_zero() {
+                return Err(VpError::InvalidConfig("wall-clock budget must be nonzero"));
             }
-            _ => Ok(()),
         }
+        if let Some(a) = &self.adaptive {
+            a.validate().map_err(VpError::InvalidConfig)?;
+        }
+        if let Some(c) = &self.churn {
+            c.validate().map_err(VpError::InvalidConfig)?;
+        }
+        Ok(())
     }
 }
 
@@ -240,8 +262,28 @@ mod tests {
         let mut c = good.clone();
         c.supervisor.circuit_breaker_after = 0;
         assert!(c.validate().is_err());
-        let mut c = good;
+        let mut c = good.clone();
         c.deadline = DeadlinePolicy::WallClock(Duration::ZERO);
         assert!(c.validate().is_err());
+        let mut c = good.clone();
+        c.adaptive = Some(AdaptiveConfig {
+            gap_ratio: 0.5,
+            ..AdaptiveConfig::default()
+        });
+        assert!(c.validate().is_err());
+        let mut c = good;
+        c.churn = Some(ChurnPolicy {
+            min_fraction: 0.0,
+            ..ChurnPolicy::default()
+        });
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn adaptive_and_churn_defaults_validate() {
+        let mut c = RuntimeConfig::paper_default(ThresholdPolicy::paper_simulation());
+        c.adaptive = Some(AdaptiveConfig::default());
+        c.churn = Some(ChurnPolicy::default());
+        assert!(c.validate().is_ok());
     }
 }

@@ -17,8 +17,9 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use voiceprint::{
-    compare_cancellable, compare_cancellable_with_cache, confirm, CacheStats, Collector,
-    ComparisonCache, ComparisonConfig, DistanceMeasure, SybilVerdict,
+    compare_cancellable, compare_cancellable_with_cache, confirm, AdaptiveSnapshot,
+    AdaptiveThreshold, CacheStats, Collector, ComparisonCache, ComparisonConfig, DecisionLine,
+    DistanceMeasure, ReservoirSample, SampleLabel, SybilVerdict, ThresholdPolicy,
 };
 use vp_fault::{Beacon, DegradationCounters, VpError};
 use vp_par::CancelToken;
@@ -100,6 +101,10 @@ pub struct StreamingRuntime {
     /// ([`RuntimeConfig::comparison_cache_capacity`]); never part of a
     /// checkpoint — restore rebuilds it empty, bit-identically.
     cache: Option<ComparisonCache>,
+    /// Drift-adaptive confirmation state ([`RuntimeConfig::adaptive`]);
+    /// fully checkpointed — round *N*'s policy depends only on rounds
+    /// `< N`, so a between-rounds snapshot restores bit-exactly.
+    adaptive: Option<AdaptiveThreshold>,
     round_hook: Option<Box<dyn FnMut(u64) + Send>>,
 }
 
@@ -133,6 +138,12 @@ impl StreamingRuntime {
     /// [`RuntimeConfig::validate`] rejects the configuration.
     pub fn new(config: RuntimeConfig) -> Result<Self, VpError> {
         config.validate()?;
+        let adaptive = match config.adaptive {
+            Some(ac) => {
+                Some(AdaptiveThreshold::new(&config.policy, ac).map_err(VpError::InvalidConfig)?)
+            }
+            None => None,
+        };
         Ok(StreamingRuntime {
             collector: Collector::new(config.window_s),
             density: DensityEstimator::new(config.density_period_s, config.assumed_max_range_m),
@@ -149,6 +160,7 @@ impl StreamingRuntime {
             pairs_skipped_total: 0,
             cache: (config.comparison_cache_capacity > 0)
                 .then(|| ComparisonCache::new(config.comparison_cache_capacity)),
+            adaptive,
             round_hook: None,
             config,
         })
@@ -211,16 +223,28 @@ impl StreamingRuntime {
                 remaining_rounds: self.backoff_rounds,
             };
         }
-        let series = self
-            .collector
-            .series_at(t_d, self.config.min_samples_per_series);
+        let series = match &self.config.churn {
+            Some(churn) => {
+                self.collector
+                    .series_at_churned(t_d, self.config.min_samples_per_series, churn)
+            }
+            None => self
+                .collector
+                .series_at(t_d, self.config.min_samples_per_series),
+        };
         if series.is_empty() {
             return RoundOutcome::Skipped { time_s: t_d };
         }
         let density = self.density.density_per_km();
         let ran_level = self.degrade_level;
-        let comparison = self.round_comparison(density);
-        let policy = self.config.policy;
+        // The round's policy: the adaptive effective line (from rounds
+        // < this one) when drift adaptation is on, the frozen trained
+        // policy otherwise.
+        let policy = match &self.adaptive {
+            Some(a) => a.effective_policy(),
+            None => self.config.policy,
+        };
+        let comparison = self.round_comparison(density, &policy);
         let token = match self.config.deadline {
             DeadlinePolicy::Unbounded => CancelToken::manual(),
             DeadlinePolicy::WallClock(budget) => CancelToken::deadline(budget),
@@ -254,6 +278,14 @@ impl StreamingRuntime {
         }));
         match result {
             Ok((verdict, complete)) => {
+                // Post-decision adaptive update: runs outside the
+                // supervised section (it cannot panic the round) and only
+                // on rounds that produced a verdict, so a panicked round
+                // leaves the adaptive state untouched.
+                let verdict = match self.adaptive.as_mut() {
+                    Some(a) => a.finish_round(verdict, density),
+                    None => verdict,
+                };
                 self.consecutive_failures = 0;
                 let deg = verdict.degradation();
                 self.quarantined_total += deg.identities_quarantined;
@@ -304,8 +336,16 @@ impl StreamingRuntime {
     /// level `L` halves the banded-DTW band fraction `L` times and turns
     /// on threshold-driven lower-bound pruning, trading alignment slack
     /// for per-pair cost so an overloaded round fits its budget.
-    fn round_comparison(&self, density: f64) -> ComparisonConfig {
+    fn round_comparison(&self, density: f64, policy: &ThresholdPolicy) -> ComparisonConfig {
         let mut comparison = self.config.comparison;
+        if let Some(churn) = &self.config.churn {
+            // The collector already enforces the full floor for
+            // non-churned identities, so the comparator's own floor only
+            // needs to stop re-dropping the rescued churned series.
+            comparison.min_series_len = comparison
+                .min_series_len
+                .min(churn.reduced_floor(self.config.min_samples_per_series));
+        }
         if self.degrade_level == 0 {
             return comparison;
         }
@@ -314,7 +354,10 @@ impl StreamingRuntime {
                 band_fraction: band_fraction / f64::from(1u32 << self.degrade_level),
             };
             if comparison.prune_threshold.is_none() {
-                comparison.prune_threshold = Some(self.config.policy.threshold_at(density));
+                // The prune bound must track the round's *effective*
+                // policy: pruning against a stale frozen threshold would
+                // discard pairs the adaptive line is about to flag.
+                comparison.prune_threshold = Some(policy.threshold_at(density));
             }
         }
         comparison
@@ -364,6 +407,31 @@ impl StreamingRuntime {
     /// [`RuntimeConfig::comparison_cache_capacity`] is zero.
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.cache.as_ref().map(ComparisonCache::stats)
+    }
+
+    /// The adapted decision line (before drift widening), or `None` when
+    /// [`RuntimeConfig::adaptive`] is off.
+    pub fn adaptive_line(&self) -> Option<DecisionLine> {
+        self.adaptive.as_ref().map(AdaptiveThreshold::line)
+    }
+
+    /// The policy the *next* round will confirm under: the adaptive
+    /// effective policy when drift adaptation is on, the frozen
+    /// configured policy otherwise.
+    pub fn effective_policy(&self) -> ThresholdPolicy {
+        match &self.adaptive {
+            Some(a) => a.effective_policy(),
+            None => self.config.policy,
+        }
+    }
+
+    /// `true` while the drift detector reports the distance distribution
+    /// shifting away from the trained regime (always `false` with
+    /// adaptation off).
+    pub fn is_drifting(&self) -> bool {
+        self.adaptive
+            .as_ref()
+            .is_some_and(AdaptiveThreshold::is_drifting)
     }
 
     /// Beacons currently queued for the next boundary.
@@ -441,6 +509,34 @@ impl StreamingRuntime {
             w.put_u64(qb.beacon.identity);
             w.put_f64(qb.beacon.time_s);
             w.put_f64(qb.beacon.rssi_dbm);
+        }
+
+        // Adaptive section (format v2, appended so every earlier offset
+        // is unchanged): flag byte, then the canonical-order snapshot.
+        match &self.adaptive {
+            None => w.put_u8(0),
+            Some(a) => {
+                w.put_u8(1);
+                let snap = a.snapshot();
+                w.put_f64(snap.line.k);
+                w.put_f64(snap.line.b);
+                w.put_u64(snap.updates);
+                w.put_u64(snap.rounds);
+                w.put_u32(snap.samples.len() as u32);
+                for s in &snap.samples {
+                    w.put_f64(s.density_per_km);
+                    w.put_f64(s.distance);
+                    w.put_u8(s.label.to_byte());
+                }
+                w.put_u32(snap.reference.len() as u32);
+                for d in &snap.reference {
+                    w.put_f64(*d);
+                }
+                w.put_u32(snap.recent.len() as u32);
+                for d in &snap.recent {
+                    w.put_f64(*d);
+                }
+            }
         }
 
         let sealed = checkpoint::seal(&w.into_payload());
@@ -551,6 +647,70 @@ impl StreamingRuntime {
             });
         }
         let queue = BeaconQueue::restore(config.queue_capacity, config.seed, shed, items);
+
+        // Adaptive section: the snapshot is parsed (and its bytes
+        // consumed) regardless of the current configuration, then applied
+        // only when adaptation is on — state comes from the checkpoint,
+        // policy from `config`, like every other section.
+        let stored_adaptive = match r.get_u8()? {
+            0 => None,
+            1 => {
+                let k = r.get_f64()?;
+                let b = r.get_f64()?;
+                let updates = r.get_u64()?;
+                let rounds = r.get_u64()?;
+                let sample_count = r.get_count(17, "reservoir count exceeds payload")?;
+                let mut samples = Vec::with_capacity(sample_count);
+                for _ in 0..sample_count {
+                    let density_per_km = r.get_f64()?;
+                    let distance = r.get_f64()?;
+                    let label =
+                        SampleLabel::from_byte(r.get_u8()?).ok_or(VpError::CheckpointCorrupt {
+                            reason: "invalid sample label",
+                        })?;
+                    samples.push(ReservoirSample {
+                        density_per_km,
+                        distance,
+                        label,
+                    });
+                }
+                let ref_count = r.get_count(8, "reference count exceeds payload")?;
+                let mut reference = Vec::with_capacity(ref_count);
+                for _ in 0..ref_count {
+                    reference.push(r.get_f64()?);
+                }
+                let recent_count = r.get_count(8, "recent count exceeds payload")?;
+                let mut recent = Vec::with_capacity(recent_count);
+                for _ in 0..recent_count {
+                    recent.push(r.get_f64()?);
+                }
+                Some(AdaptiveSnapshot {
+                    line: DecisionLine { k, b },
+                    updates,
+                    rounds,
+                    samples,
+                    reference,
+                    recent,
+                })
+            }
+            _ => {
+                return Err(VpError::CheckpointCorrupt {
+                    reason: "invalid flag byte",
+                })
+            }
+        };
+        let adaptive = match (config.adaptive, stored_adaptive) {
+            (Some(ac), Some(snap)) => Some(
+                AdaptiveThreshold::restore(&config.policy, ac, &snap)
+                    .map_err(|reason| VpError::CheckpointCorrupt { reason })?,
+            ),
+            // Adaptation newly enabled across the restart: start fresh.
+            (Some(ac), None) => {
+                Some(AdaptiveThreshold::new(&config.policy, ac).map_err(VpError::InvalidConfig)?)
+            }
+            // Adaptation disabled across the restart: drop the state.
+            (None, _) => None,
+        };
         r.finish()?;
         obs::checkpoint_restore(bytes.len(), queue.len());
 
@@ -574,6 +734,7 @@ impl StreamingRuntime {
             // only the first post-restore window runs at miss speed.
             cache: (config.comparison_cache_capacity > 0)
                 .then(|| ComparisonCache::new(config.comparison_cache_capacity)),
+            adaptive,
             round_hook: None,
             config,
         })
@@ -870,12 +1031,14 @@ mod tests {
     // collector window f64 + rejected u64, putting `id_count` at 70. On
     // an *empty* runtime the density section follows immediately:
     // 3×f64 at 74, `heard_count` at 98, the `latest` flag byte at 102,
-    // shed u64 at 103, `item_count` at 111.
+    // shed u64 at 103, `item_count` at 111, and the v2 adaptive flag
+    // byte at 115 (an empty queue holds no items).
     const CIRCUIT_FLAG: usize = 29;
     const ID_COUNT: usize = 70;
     const HEARD_COUNT: usize = 98;
     const LATEST_FLAG: usize = 102;
     const ITEM_COUNT: usize = 111;
+    const ADAPTIVE_FLAG: usize = 115;
 
     #[test]
     fn count_inflated_checkpoints_are_rejected_up_front() {
@@ -943,7 +1106,7 @@ mod tests {
     #[test]
     fn fuzzed_flag_bytes_are_rejected() {
         let empty = StreamingRuntime::new(test_config()).unwrap().checkpoint();
-        for flag_offset in [CIRCUIT_FLAG, LATEST_FLAG] {
+        for flag_offset in [CIRCUIT_FLAG, LATEST_FLAG, ADAPTIVE_FLAG] {
             for value in [2u8, 7, 0xFF] {
                 let bad = reseal_with(&empty, |p| p[flag_offset] = value);
                 assert!(
@@ -957,6 +1120,164 @@ mod tests {
                 );
             }
         }
+    }
+
+    fn adaptive_config() -> RuntimeConfig {
+        let mut c = test_config();
+        c.adaptive = Some(voiceprint::AdaptiveConfig::default());
+        c
+    }
+
+    #[test]
+    fn adaptive_first_round_matches_the_frozen_runtime() {
+        // Round 1 runs before any evidence has been folded in, so the
+        // adaptive runtime's first verdict is bit-identical to frozen —
+        // the no-same-round-feedback contract.
+        let mut a = StreamingRuntime::new(adaptive_config()).unwrap();
+        let mut f = StreamingRuntime::new(test_config()).unwrap();
+        feed_window(&mut a, 0.0, 3);
+        feed_window(&mut f, 0.0, 3);
+        let ra = verdict_of(&a.advance_to(20.0)[0]).clone();
+        let rf = verdict_of(&f.advance_to(20.0)[0]).clone();
+        assert_eq!(ra.verdict.suspects(), rf.verdict.suspects());
+        assert_eq!(
+            ra.verdict.threshold().to_bits(),
+            rf.verdict.threshold().to_bits()
+        );
+    }
+
+    #[test]
+    fn adaptive_state_round_trips_checkpoints_bit_exactly() {
+        let mut a = StreamingRuntime::new(adaptive_config()).unwrap();
+        for round in 0..3 {
+            let t0 = round as f64 * 20.0;
+            feed_window(&mut a, t0, 3);
+            a.advance_to(t0 + 20.0);
+        }
+        let line = a.adaptive_line().expect("adaptation is on");
+        let snap = a.checkpoint();
+        let mut b = StreamingRuntime::restore(adaptive_config(), &snap).unwrap();
+        // Re-serialising the restored runtime reproduces the snapshot
+        // byte for byte — the reservoir/window canonical order is stable
+        // across a round trip.
+        assert_eq!(b.checkpoint(), snap);
+        let restored = b.adaptive_line().unwrap();
+        assert_eq!(restored.k.to_bits(), line.k.to_bits());
+        assert_eq!(restored.b.to_bits(), line.b.to_bits());
+        // Identical future input ⇒ bit-identical future verdicts and
+        // bit-identical adaptive trajectories.
+        feed_window(&mut a, 60.0, 3);
+        feed_window(&mut b, 60.0, 3);
+        let ra = verdict_of(&a.advance_to(80.0)[0]).clone();
+        let rb = verdict_of(&b.advance_to(80.0)[0]).clone();
+        assert_eq!(ra, rb);
+        assert_eq!(
+            a.adaptive_line().unwrap().b.to_bits(),
+            b.adaptive_line().unwrap().b.to_bits()
+        );
+    }
+
+    #[test]
+    fn adaptive_can_be_toggled_across_a_restore() {
+        let mut a = StreamingRuntime::new(adaptive_config()).unwrap();
+        feed_window(&mut a, 0.0, 3);
+        a.advance_to(20.0);
+        let snap = a.checkpoint();
+        // Disabled across the restart: state dropped, runtime frozen.
+        let off = StreamingRuntime::restore(test_config(), &snap).unwrap();
+        assert!(off.adaptive_line().is_none());
+        assert_eq!(off.effective_policy(), test_config().policy);
+        // Enabled across the restart from a frozen checkpoint: fresh
+        // adaptive state anchored at the configured policy.
+        let mut f = StreamingRuntime::new(test_config()).unwrap();
+        feed_window(&mut f, 0.0, 3);
+        f.advance_to(20.0);
+        let on = StreamingRuntime::restore(adaptive_config(), &f.checkpoint()).unwrap();
+        let fresh = on.adaptive_line().unwrap();
+        let ThresholdPolicy::Linear(initial) = test_config().policy else {
+            panic!("test policy is linear");
+        };
+        assert_eq!(fresh.k.to_bits(), initial.k.to_bits());
+        assert_eq!(fresh.b.to_bits(), initial.b.to_bits());
+    }
+
+    #[test]
+    fn adaptive_truncations_are_structured_errors_at_every_cut() {
+        // Same guarantee as the main truncation sweep, over the v2
+        // adaptive section specifically: cut anywhere inside it and the
+        // restore must fail structurally, never panic.
+        let mut rt = StreamingRuntime::new(adaptive_config()).unwrap();
+        feed_window(&mut rt, 0.0, 1);
+        rt.advance_to(20.0);
+        let good = rt.checkpoint();
+        let full_len = checkpoint::open(&good).unwrap().len();
+        // The adaptive section of the frozen layout starts after the
+        // queue items; sweep the last 600 bytes, which covers it fully.
+        for cut in full_len.saturating_sub(600)..full_len {
+            let bad = reseal_with(&good, |p| p.truncate(cut));
+            assert!(
+                matches!(
+                    StreamingRuntime::restore(adaptive_config(), &bad),
+                    Err(VpError::CheckpointCorrupt { .. })
+                ),
+                "cut at {cut} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_reservoir_label_is_rejected() {
+        // One window, 5 clean identities → 10 audited pairs: reservoir
+        // holds 10 samples, the reference window 10 distances, recent 0.
+        // Working back from the payload end: recent count (4) + reference
+        // 10×8 + its count (4) + samples 10×17 gives the first sample at
+        // end−258; its label byte sits 16 bytes in.
+        let mut rt = StreamingRuntime::new(adaptive_config()).unwrap();
+        feed_window(&mut rt, 0.0, 3);
+        rt.advance_to(20.0);
+        let good = rt.checkpoint();
+        let len = checkpoint::open(&good).unwrap().len();
+        let label_at = len - 258 + 16;
+        let bad = reseal_with(&good, |p| {
+            assert!(p[label_at] <= 2, "offset arithmetic drifted");
+            p[label_at] = 9;
+        });
+        assert!(matches!(
+            StreamingRuntime::restore(adaptive_config(), &bad),
+            Err(VpError::CheckpointCorrupt {
+                reason: "invalid sample label"
+            })
+        ));
+    }
+
+    #[test]
+    fn churn_config_rescues_a_churned_identity() {
+        // Identity 55 mirrors the Sybil shape but transmits only the
+        // first and last 5 s of the window — below the 100-sample floor,
+        // with an unmistakable 10 s retire/announce gap.
+        let mut frozen = StreamingRuntime::new(test_config()).unwrap();
+        let mut churny_config = test_config();
+        churny_config.churn = Some(voiceprint::ChurnPolicy::default());
+        let mut churny = StreamingRuntime::new(churny_config).unwrap();
+        for rt in [&mut frozen, &mut churny] {
+            feed_window(rt, 0.0, 3);
+            for k in 0..90 {
+                let u = 0.05 + k as f64 * 0.1;
+                let t = if k < 45 { u } else { 10.0 + u };
+                let shape = ((0.05 + k as f64 * 0.1) * 1.3).sin() * 4.0;
+                rt.offer(t, Beacon::new(55, t, -67.0 + shape));
+            }
+        }
+        let rf = verdict_of(&frozen.advance_to(20.0)[0]).clone();
+        let rc = verdict_of(&churny.advance_to(20.0)[0]).clone();
+        assert!(
+            rf.verdict.audit_for(55, 100).is_none(),
+            "plain floor must drop the churned identity"
+        );
+        assert!(
+            rc.verdict.audit_for(55, 100).is_some(),
+            "churn-aware extraction must compare the churned identity"
+        );
     }
 
     #[test]

@@ -4,9 +4,12 @@
 //! property sweep checks that arbitrary valid attack plans can neither
 //! panic the pipeline nor poison its quarantine accounting.
 
+use std::collections::{BTreeMap, BTreeSet};
+
 use proptest::prelude::*;
 use voiceprint::threshold::ThresholdPolicy;
-use voiceprint::VoiceprintDetector;
+use voiceprint::{triage_misses, ChurnPolicy, MissCause, VoiceprintDetector};
+use vp_runtime::{run_scenario_streaming, RuntimeConfig};
 use vp_sim::engine::run_scenario;
 use vp_sim::{AttackKind, AttackPlan, ScenarioConfig};
 
@@ -196,6 +199,62 @@ fn stacked_strategies_compose() {
         );
         assert!(verdict.degradation().is_clean());
     }
+}
+
+/// Regression for the identity-churn evidence leak: a churned Sybil
+/// pseudonym active only in short bursts of a window used to fall under
+/// the plain `min_samples_per_series` floor and surface as
+/// [`MissCause::NotCompared`] — the attacker escapes by never being
+/// looked at. With a [`ChurnPolicy`], the collector admits the bursty
+/// series at its reduced floor, so the same identity reaches the
+/// comparator at the same detection boundary.
+#[test]
+fn churn_policy_converts_not_compared_misses_into_comparisons() {
+    let mut config = scenario();
+    config.attack_plan = Some(AttackPlan::new(1234).with(AttackKind::IdentityChurn {
+        period_s: 5.0,
+        duty: 0.6,
+    }));
+    let frozen_cfg = RuntimeConfig::from_scenario(&config, ThresholdPolicy::paper_simulation());
+    let mut churny_cfg = frozen_cfg.clone();
+    churny_cfg.churn = Some(ChurnPolicy::default());
+
+    let frozen = run_scenario_streaming(&config, &frozen_cfg).expect("frozen run");
+    let churny = run_scenario_streaming(&config, &churny_cfg).expect("churn-aware run");
+    let truth = &frozen.sim.ground_truth;
+
+    let mut converted = 0usize;
+    for (frozen_stream, churny_stream) in frozen.streams.iter().zip(&churny.streams) {
+        let frozen_reports: BTreeMap<u64, _> = frozen_stream
+            .reports()
+            .into_iter()
+            .map(|r| (r.time_s.to_bits(), r))
+            .collect();
+        for report in churny_stream.reports() {
+            let Some(frozen_report) = frozen_reports.get(&report.time_s.to_bits()) else {
+                continue;
+            };
+            let compared: BTreeSet<u64> = report
+                .verdict
+                .audit_records()
+                .iter()
+                .flat_map(|r| [r.id_i, r.id_j])
+                .collect();
+            for &id in compared.iter().filter(|&&id| truth.is_illegitimate(id)) {
+                let was_invisible = triage_misses(&frozen_report.verdict, &[id])
+                    .iter()
+                    .any(|m| m.cause == MissCause::NotCompared);
+                if was_invisible {
+                    converted += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        converted > 0,
+        "churn-aware collection must convert at least one NotCompared miss \
+         into a comparison"
+    );
 }
 
 /// Decodes one raw word into a valid attack strategy: the low bits pick

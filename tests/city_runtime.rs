@@ -42,6 +42,7 @@ fn digest_fused(rounds: &[FusedRound]) -> u64 {
     let mut h = 0xcbf29ce484222325u64;
     for round in rounds {
         fnv_mix(&mut h, round.time_s.to_bits());
+        fnv_mix(&mut h, round.degraded as u64);
         fnv_mix(&mut h, round.suspects.len() as u64);
         for &id in &round.suspects {
             fnv_mix(&mut h, id);
@@ -158,8 +159,9 @@ fn fused_city_verdicts_are_invariant_over_worker_threads_and_pinned() {
     assert_eq!(digests[0], digests[1]);
     assert_eq!(digests[0], digests[2]);
     // Pinned: any change to cell partitioning, shard replay, fusion
-    // grouping or vote arithmetic moves this number.
-    assert_eq!(digests[0], 0x676d94e69f4f40d3);
+    // grouping, vote arithmetic or degraded-confidence propagation moves
+    // this number. Re-pinned when the digest grew the `degraded` field.
+    assert_eq!(digests[0], 0x98c819f442139777);
 }
 
 #[test]
@@ -210,6 +212,88 @@ fn killing_one_shard_and_restoring_from_the_city_snapshot_is_lossless() {
         );
         assert_eq!(b.checkpoint, shard.checkpoint);
     }
+}
+
+/// Runs a real [`vp_runtime::StreamingRuntime`] over synthetic beacons so
+/// the degraded-confidence regression below votes on genuine verdicts.
+/// With `mass` set, three of the four identities are clones of one shape,
+/// which trips the confirm layer's mass-similarity taint (half the audit
+/// trail flagged) and degrades every verdict the shard casts; without it
+/// the shard sees one ordinary Sybil pair and stays full-confidence.
+fn shard_with_confidence(observer: u64, cell: u64, mass: bool) -> vp_city::ShardOutcome {
+    let mut config = RuntimeConfig::paper_default(policy());
+    config.min_samples_per_series = 20;
+    let mut rt = vp_runtime::StreamingRuntime::new(config).expect("valid config");
+    let mut rounds = Vec::new();
+    for k in 0..220u32 {
+        let t = 0.1 * k as f64;
+        rounds.extend(rt.advance_to(t));
+        let base = -60.0 + (0.3 * k as f64).sin() * 6.0;
+        rt.offer(t, vp_fault::Beacon::new(101, t, base));
+        rt.offer(t, vp_fault::Beacon::new(102, t + 0.001, base + 0.4));
+        rt.offer(
+            t,
+            vp_fault::Beacon::new(103, t + 0.002, -75.0 + 0.05 * k as f64),
+        );
+        if mass {
+            rt.offer(t, vp_fault::Beacon::new(104, t + 0.003, base + 0.9));
+        } else {
+            rt.offer(
+                t,
+                vp_fault::Beacon::new(104, t + 0.003, -62.0 + (0.11 * k as f64).cos() * 9.0),
+            );
+        }
+    }
+    rounds.extend(rt.advance_to(25.0));
+    vp_city::ShardOutcome {
+        observer,
+        cell,
+        rounds,
+        counters: Default::default(),
+        final_degrade_level: 0,
+        cache_stats: None,
+        checkpoint: Vec::new(),
+    }
+}
+
+/// Regression for the fusion confidence leak: `fuse` used to discard the
+/// per-shard `degraded_confidence` bit, so a city verdict built on
+/// tainted shard evidence reported full confidence.
+#[test]
+fn fused_rounds_propagate_any_shards_degraded_confidence() {
+    let clean_a = shard_with_confidence(1, 0, false);
+    let clean_b = shard_with_confidence(2, 0, false);
+    let tainted = shard_with_confidence(3, 0, true);
+    assert!(
+        clean_a
+            .reports()
+            .iter()
+            .all(|r| !r.verdict.degraded_confidence()),
+        "control shard must be full-confidence"
+    );
+    assert!(
+        tainted
+            .reports()
+            .iter()
+            .any(|r| r.verdict.degraded_confidence()),
+        "mass-similarity shard must degrade its verdicts"
+    );
+
+    let all_clean = vp_city::fuse(
+        &[clean_a.clone(), clean_b.clone()],
+        &vp_city::FusionConfig::majority(),
+    );
+    assert!(!all_clean.is_empty());
+    assert!(all_clean.iter().all(|r| !r.degraded));
+
+    let mixed = vp_city::fuse(
+        &[clean_a, clean_b, tainted],
+        &vp_city::FusionConfig::majority(),
+    );
+    assert!(
+        mixed.iter().any(|r| r.degraded),
+        "one tainted shard must degrade the fused round it voted in"
+    );
 }
 
 /// Small synthetic fleet for the proptest: cheap enough to run dozens of

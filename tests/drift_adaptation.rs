@@ -1,0 +1,261 @@
+//! Cross-crate contract tests for the drift-adaptive confirmation loop
+//! (ISSUE 9 / ROADMAP item 5): the fig11b model-parameter-switch
+//! regression — the adaptive runtime holds its detection rate after the
+//! propagation model changes while the frozen calibrated line collapses
+//! — plus property tests that the adaptation is bit-deterministic over
+//! city worker-thread counts and across checkpoint kill/restore at any
+//! beacon boundary.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use voiceprint::threshold::ThresholdPolicy;
+use voiceprint::{AdaptiveConfig, IdentityId};
+use vp_city::{run_city, CityConfig, ObserverFeed};
+use vp_fault::Beacon;
+use vp_runtime::{run_scenario_streaming, RuntimeConfig, StreamingOutcome, StreamingRuntime};
+use vp_sim::ScenarioConfig;
+
+/// The fig11b drift scenario: propagation-model parameters re-perturbed
+/// every 30 s at a magnitude that visibly shifts the distance scale the
+/// calibrated line was trained on (matches `bench_drift`'s smoke run).
+fn switch_scenario() -> ScenarioConfig {
+    ScenarioConfig::builder()
+        .density_per_km(15.0)
+        .simulation_time_s(100.0)
+        .observer_count(2)
+        .witness_pool_size(6)
+        .malicious_fraction(0.1)
+        .model_change_period_s(Some(30.0))
+        .model_change_magnitude(0.5)
+        .seed(42)
+        .collect_inputs(true)
+        .build()
+}
+
+fn runtime(sc: &ScenarioConfig, adaptive: bool) -> RuntimeConfig {
+    let mut rc = RuntimeConfig::from_scenario(sc, ThresholdPolicy::calibrated_simulation());
+    if adaptive {
+        rc.adaptive = Some(AdaptiveConfig::aggressive());
+    }
+    rc
+}
+
+/// Identity-level `(detection rate, false-positive rate)` over the
+/// post-switch windows (`time_s > 30`), scored against ground truth.
+fn post_switch_rates(out: &StreamingOutcome) -> (f64, f64) {
+    let truth = &out.sim.ground_truth;
+    let (mut tp, mut fnc, mut fp, mut tn) = (0u64, 0u64, 0u64, 0u64);
+    for (idx, stream) in out.streams.iter().enumerate() {
+        let observer = out.sim.observers[idx];
+        for report in stream.reports() {
+            if report.time_s <= 30.0 {
+                continue;
+            }
+            let Some(input) = out
+                .sim
+                .collected
+                .iter()
+                .find(|i| i.observer == observer && i.time_s == report.time_s)
+            else {
+                continue;
+            };
+            let suspects: BTreeSet<IdentityId> =
+                report.verdict.suspects().iter().copied().collect();
+            for (id, _) in &input.series {
+                match (truth.is_illegitimate(*id), suspects.contains(id)) {
+                    (true, true) => tp += 1,
+                    (true, false) => fnc += 1,
+                    (false, true) => fp += 1,
+                    (false, false) => tn += 1,
+                }
+            }
+        }
+    }
+    assert!(tp + fnc > 0, "no illegitimate identities were scored");
+    assert!(fp + tn > 0, "no honest identities were scored");
+    (tp as f64 / (tp + fnc) as f64, fp as f64 / (fp + tn) as f64)
+}
+
+/// The fig11b regression: after the model switch the frozen calibrated
+/// line loses recall while the adaptive boundary holds it, at a false-
+/// positive rate within the deployment gate. Under the container's
+/// deterministic stub rand the rates are pinned to tight bands; under a
+/// real RNG the ordering (the claim itself) must still hold.
+#[test]
+fn adaptive_holds_post_switch_detection_where_frozen_collapses() {
+    let sc = switch_scenario();
+    let frozen =
+        run_scenario_streaming(&sc, &runtime(&sc, false)).expect("frozen drift scenario runs");
+    let adaptive =
+        run_scenario_streaming(&sc, &runtime(&sc, true)).expect("adaptive drift scenario runs");
+    let (frozen_dr, frozen_fpr) = post_switch_rates(&frozen);
+    let (adaptive_dr, adaptive_fpr) = post_switch_rates(&adaptive);
+
+    assert!(
+        adaptive_dr >= frozen_dr,
+        "adaptive post-switch DR {adaptive_dr:.4} must hold at or above frozen {frozen_dr:.4}"
+    );
+    assert!(
+        adaptive_fpr <= 0.05,
+        "adaptive post-switch FPR {adaptive_fpr:.4} must stay at or under 0.05"
+    );
+    assert!(frozen_fpr <= 0.05, "frozen FPR {frozen_fpr:.4} regressed");
+
+    if vp_stats::using_stub_rand() {
+        // Deterministic container stream: pin the measured bands (the
+        // same numbers `bench_drift --smoke` gates on).
+        assert!(
+            (0.82..=0.92).contains(&adaptive_dr),
+            "adaptive post-switch DR {adaptive_dr:.4} left its pinned band [0.82, 0.92]"
+        );
+        assert!(
+            frozen_dr <= 0.78,
+            "frozen post-switch DR {frozen_dr:.4} should collapse below 0.78 — \
+             if the frozen line stopped collapsing, the regression scenario lost its teeth"
+        );
+        assert!(
+            adaptive_dr >= frozen_dr + 0.10,
+            "adaptive DR {adaptive_dr:.4} must beat frozen {frozen_dr:.4} by >= 0.10"
+        );
+    }
+}
+
+/// The adaptive runtime must report its state through the audit surface:
+/// by the end of the switch scenario the boundary has moved off the
+/// trained line, and drift-degraded verdicts carry
+/// `degraded_confidence`.
+#[test]
+fn adaptation_is_visible_in_the_audit_surface() {
+    let sc = switch_scenario();
+    let rc = runtime(&sc, true);
+    let out = run_scenario_streaming(&sc, &rc).expect("adaptive drift scenario runs");
+    // Replay one observer's tap directly so the final runtime state is
+    // inspectable (run_scenario_streaming only returns the rounds).
+    let mut rt = StreamingRuntime::new(rc).expect("valid config");
+    for tb in &out.sim.beacon_tap[0] {
+        rt.advance_to(tb.arrival_s);
+        rt.offer(tb.arrival_s, tb.beacon);
+    }
+    rt.advance_to(sc.simulation_time_s);
+    let line = rt.adaptive_line().expect("adaptive runtime exposes a line");
+    let initial = match ThresholdPolicy::calibrated_simulation() {
+        ThresholdPolicy::Linear(l) => l,
+        ThresholdPolicy::Constant(b) => panic!("calibrated policy is linear, got constant {b}"),
+    };
+    assert!(
+        line.k != initial.k || line.b != initial.b,
+        "a 100 s model-switch run must move the boundary off the trained line"
+    );
+}
+
+/// Synthetic three-identity beacon stream (Sybil pair + honest
+/// bystander) long enough for several detection rounds — cheap enough
+/// for proptest, rich enough that the adaptive loop has evidence.
+fn synthetic_beacons(rounds: u32) -> Vec<(f64, Beacon)> {
+    let steps = rounds * 200;
+    (0..steps)
+        .flat_map(|k| {
+            let t = 0.1 * k as f64;
+            let base = -60.0 + (0.3 * k as f64).sin() * 6.0;
+            [
+                (t, Beacon::new(101, t, base)),
+                (t, Beacon::new(102, t + 0.001, base + 0.4)),
+                (
+                    t,
+                    Beacon::new(103, t + 0.002, -72.0 + (0.09 * k as f64).cos() * 7.0),
+                ),
+            ]
+        })
+        .collect()
+}
+
+fn adaptive_runtime_config() -> RuntimeConfig {
+    let mut rc = RuntimeConfig::paper_default(ThresholdPolicy::calibrated_simulation());
+    rc.min_samples_per_series = 20;
+    rc.adaptive = Some(AdaptiveConfig::aggressive());
+    rc
+}
+
+proptest! {
+    // Each case replays tens of seconds of beacons; keep counts modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Killing the adaptive runtime at an arbitrary beacon boundary and
+    /// restoring from its checkpoint must reproduce the uninterrupted
+    /// run bit-exactly: identical remaining rounds, identical adaptive
+    /// line, identical final checkpoint bytes.
+    #[test]
+    fn checkpoint_kill_restore_is_bit_exact_at_any_boundary(
+        cut_fraction in 0.05f64..0.95,
+        rounds in 2u32..5,
+    ) {
+        let beacons = synthetic_beacons(rounds);
+        let config = adaptive_runtime_config();
+
+        let mut uninterrupted = StreamingRuntime::new(config.clone()).unwrap();
+        let mut reference_rounds = Vec::new();
+        for (t, b) in &beacons {
+            reference_rounds.extend(uninterrupted.advance_to(*t));
+            uninterrupted.offer(*t, *b);
+        }
+        reference_rounds.extend(uninterrupted.advance_to(0.1 + 20.0 * rounds as f64));
+
+        let cut = ((beacons.len() as f64) * cut_fraction) as usize;
+        let mut first = StreamingRuntime::new(config.clone()).unwrap();
+        let mut stitched = Vec::new();
+        for (t, b) in &beacons[..cut] {
+            stitched.extend(first.advance_to(*t));
+            first.offer(*t, *b);
+        }
+        let frame = first.checkpoint();
+        let mut resumed = StreamingRuntime::restore(config, &frame).unwrap();
+        prop_assert_eq!(resumed.adaptive_line(), first.adaptive_line());
+        for (t, b) in &beacons[cut..] {
+            stitched.extend(resumed.advance_to(*t));
+            resumed.offer(*t, *b);
+        }
+        stitched.extend(resumed.advance_to(0.1 + 20.0 * rounds as f64));
+
+        // Debug-format comparison sidesteps NaN != NaN in audit records.
+        prop_assert_eq!(
+            format!("{:?}", stitched),
+            format!("{:?}", reference_rounds),
+            "restore diverged from the uninterrupted run"
+        );
+        prop_assert_eq!(resumed.adaptive_line(), uninterrupted.adaptive_line());
+        prop_assert_eq!(resumed.checkpoint(), uninterrupted.checkpoint());
+    }
+
+    /// City fusion over adaptive shards is invariant under the worker
+    /// thread count: the adaptive state is per-shard and rounds depend
+    /// only on that shard's past, so scheduling cannot leak into
+    /// verdicts.
+    #[test]
+    fn adaptive_city_fusion_is_invariant_over_worker_threads(
+        workers in 1usize..5,
+    ) {
+        let beacons: Vec<vp_sim::engine::TapBeacon> = synthetic_beacons(3)
+            .into_iter()
+            .map(|(t, beacon)| vp_sim::engine::TapBeacon { arrival_s: t, beacon })
+            .collect();
+        let feeds: Vec<ObserverFeed> = (0..4u64)
+            .map(|k| ObserverFeed {
+                observer: k,
+                cell: k / 2,
+                beacons: beacons.clone(),
+            })
+            .collect();
+        let mut canonical_cfg = CityConfig::new(adaptive_runtime_config());
+        canonical_cfg.worker_threads = 1;
+        let canonical = run_city(&feeds, 61.0, &canonical_cfg).unwrap();
+        let mut cfg = CityConfig::new(adaptive_runtime_config());
+        cfg.worker_threads = workers;
+        let out = run_city(&feeds, 61.0, &cfg).unwrap();
+        prop_assert_eq!(out.fused, canonical.fused);
+        prop_assert_eq!(
+            format!("{:?}", out.shards),
+            format!("{:?}", canonical.shards)
+        );
+    }
+}
