@@ -151,6 +151,7 @@ impl CitySnapshot {
         let trailer: [u8; 8] = trailer
             .try_into()
             .map_err(|_| corrupt("truncated checksum"))?;
+        // vp-lint: allow(codec-symmetry) — the trailer checksum is verified before the body is read, by design
         if fnv1a(prefix) != u64::from_le_bytes(trailer) {
             return Err(corrupt("checksum mismatch"));
         }

@@ -1,0 +1,219 @@
+//! Decode-fuzz smoke for the `VPCY` city-snapshot format, mirroring the
+//! `VPCK` harness in `vp-runtime`: every input — committed seed,
+//! mutated frame, or random blob — must decode to `Ok` or a structured
+//! error, never a panic.
+
+use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use vp_city::{CitySnapshot, ShardSnapshot};
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn reseal(mut framed: Vec<u8>) -> Vec<u8> {
+    if framed.len() >= 8 {
+        let cut = framed.len() - 8;
+        let sum = fnv1a(&framed[..cut]);
+        framed[cut..].copy_from_slice(&sum.to_le_bytes());
+    }
+    framed
+}
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn hex_decode(s: &str) -> Vec<u8> {
+    let clean: String = s.chars().filter(|c| c.is_ascii_hexdigit()).collect();
+    clean
+        .as_bytes()
+        .chunks(2)
+        .map(|p| u8::from_str_radix(std::str::from_utf8(p).unwrap(), 16).unwrap())
+        .collect()
+}
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn try_decode(bytes: &[u8]) -> Option<bool> {
+    catch_unwind(AssertUnwindSafe(|| CitySnapshot::decode(bytes).is_ok())).ok()
+}
+
+/// A small two-shard snapshot; the shard frames are opaque at this
+/// layer, so short stand-in payloads keep the seeds readable.
+fn base_snapshot() -> Vec<u8> {
+    CitySnapshot::new(vec![
+        ShardSnapshot {
+            cell: 3,
+            observer: 7,
+            frame: b"shard-frame-a".to_vec(),
+        },
+        ShardSnapshot {
+            cell: 5,
+            observer: 2,
+            frame: b"shard-frame-b".to_vec(),
+        },
+    ])
+    .expect("distinct shard coordinates")
+    .encode()
+}
+
+fn corpus_entries() -> Vec<(&'static str, Vec<u8>)> {
+    let good = base_snapshot();
+    let truncated = good[..12.min(good.len())].to_vec();
+    let mut bad_magic = good.clone();
+    bad_magic[0] ^= 0xFF;
+    // Shard-length prefix of the first shard inflated past the payload,
+    // resealed so the checksum gate passes.
+    let mut bad_len = good.clone();
+    if bad_len.len() > 30 {
+        bad_len[26..30].copy_from_slice(&u32::MAX.to_le_bytes());
+    }
+    let bad_len = reseal(bad_len);
+    // Duplicate shard coordinates: rewrite shard 2's header to equal
+    // shard 1's, resealed — structurally valid, semantically rejected.
+    let mut dup = good.clone();
+    let second = 10 + 20 + b"shard-frame-a".len();
+    dup.copy_within(10..26, second);
+    let dup = reseal(dup);
+    let mut rng = Rng(0x5eed_c17e_u64);
+    let garbage: Vec<u8> = (0..48).map(|_| (rng.next() & 0xFF) as u8).collect();
+    vec![
+        ("good_two_shards.hex", good),
+        ("bad_truncated.hex", truncated),
+        ("bad_magic.hex", bad_magic),
+        ("bad_shard_len_resealed.hex", bad_len),
+        ("bad_duplicate_shard_resealed.hex", dup),
+        ("bad_garbage.hex", garbage),
+    ]
+}
+
+#[test]
+fn corpus_seeds_never_panic_and_bad_seeds_error() {
+    let dir = corpus_dir();
+    let mut files: Vec<_> = fs::read_dir(&dir)
+        .expect("committed corpus dir exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "hex"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 6, "corpus shrank: {files:?}");
+    for file in files {
+        let name = file.file_name().unwrap().to_string_lossy().into_owned();
+        let bytes = hex_decode(&fs::read_to_string(&file).expect("seed readable"));
+        let ok = try_decode(&bytes).unwrap_or_else(|| panic!("{name}: decode panicked"));
+        if name.starts_with("bad_") {
+            assert!(!ok, "{name}: corrupt seed decoded successfully");
+        } else {
+            assert!(ok, "{name}: valid seed failed to decode");
+        }
+    }
+}
+
+#[test]
+fn corpus_is_in_sync_with_its_generator() {
+    for (name, bytes) in corpus_entries() {
+        let on_disk = fs::read_to_string(corpus_dir().join(name))
+            .unwrap_or_else(|e| panic!("{name}: missing from committed corpus ({e})"));
+        assert_eq!(
+            hex_decode(&on_disk),
+            bytes,
+            "{name}: committed seed drifted from its generator; \
+             rerun `cargo test -p vp-city --test decode_fuzz -- --ignored`"
+        );
+    }
+}
+
+#[test]
+fn mutated_snapshots_error_but_never_panic() {
+    let base = base_snapshot();
+    let mut rng = Rng(0xfeed_face_dead_beef);
+    for round in 0..500u32 {
+        let mut mutant = base.clone();
+        match rng.below(4) {
+            0 => {
+                let cut = rng.below(mutant.len());
+                mutant.truncate(cut);
+            }
+            1 => {
+                let at = rng.below(mutant.len());
+                mutant[at] ^= 1 << rng.below(8);
+            }
+            2 => {
+                let at = rng.below(mutant.len());
+                let extra = (rng.next() & 0xFF) as u8;
+                mutant.insert(at, extra);
+            }
+            _ => {
+                let at = rng.below(mutant.len());
+                let word = rng.next().to_le_bytes();
+                for (k, b) in word.iter().enumerate() {
+                    if at + k < mutant.len() {
+                        mutant[at + k] = *b;
+                    }
+                }
+            }
+        }
+        if round % 2 == 0 {
+            mutant = reseal(mutant);
+        }
+        assert!(
+            try_decode(&mutant).is_some(),
+            "round {round}: mutated frame panicked the decoder"
+        );
+    }
+}
+
+#[test]
+fn random_blobs_error_but_never_panic() {
+    let mut rng = Rng(0xabad_1dea_0000_0001);
+    for round in 0..200u32 {
+        let len = rng.below(192);
+        let blob: Vec<u8> = (0..len).map(|_| (rng.next() & 0xFF) as u8).collect();
+        match try_decode(&blob) {
+            None => panic!("round {round}: random blob panicked the decoder"),
+            Some(ok) => assert!(!ok, "round {round}: random blob decoded successfully"),
+        }
+    }
+}
+
+/// Regenerates the committed seed corpus after a format change.
+#[test]
+#[ignore = "writes tests/corpus; run explicitly after a format change"]
+fn regenerate_corpus() {
+    let dir = corpus_dir();
+    fs::create_dir_all(&dir).expect("create corpus dir");
+    for (name, bytes) in corpus_entries() {
+        fs::write(dir.join(name), hex_encode(&bytes) + "\n").expect("write seed");
+    }
+}

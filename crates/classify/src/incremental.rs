@@ -121,6 +121,7 @@ pub struct IncrementalBoundary {
 
 /// Nearest-rank quantile over an unsorted slice (deterministic total
 /// order; the slice is copied and sorted internally).
+// vp-lint: allow(panic-reachability) — index is clamped to len-1 and both callers pass non-empty class vectors
 fn quantile(values: &[f64], q: f64) -> f64 {
     debug_assert!(!values.is_empty());
     let mut v = values.to_vec();
@@ -185,6 +186,7 @@ impl IncrementalBoundary {
     ///
     /// The caller must present `points` in a deterministic order; the
     /// update folds them in slice order.
+    // vp-lint: allow(panic-reachability) — early return unless both classes are non-empty keeps the median index in range
     pub fn observe_round(&mut self, points: &[LabelledPoint]) -> bool {
         let sybil: Vec<f64> = points
             .iter()

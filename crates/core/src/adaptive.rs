@@ -209,6 +209,7 @@ impl EvidenceReservoir {
     }
 
     /// Appends a sample, evicting the oldest once at capacity.
+    // vp-lint: allow(panic-reachability) — ring index `next` stays < capacity by the modulo update
     pub fn push(&mut self, sample: ReservoirSample) {
         if self.samples.len() < self.capacity {
             self.samples.push(sample);
@@ -229,6 +230,7 @@ impl EvidenceReservoir {
     }
 
     /// Samples in canonical oldest-to-newest order.
+    // vp-lint: allow(panic-reachability) — rotation slices split at `next` <= len, maintained by push
     pub fn ordered(&self) -> Vec<ReservoirSample> {
         let mut out = Vec::with_capacity(self.samples.len());
         if self.samples.len() == self.capacity {
@@ -285,6 +287,7 @@ fn mix(seed: u64, round: u64) -> u64 {
 }
 
 /// Nearest-rank quantile over already-sorted values.
+// vp-lint: allow(panic-reachability) — index is clamped to len-1; callers pass non-empty sorted slices
 fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     debug_assert!(!sorted.is_empty());
     let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
@@ -408,6 +411,7 @@ impl AdaptiveThreshold {
     /// per verdict produced under [`AdaptiveThreshold::effective_policy`];
     /// the mutation happens strictly after the decision so round *N*'s
     /// verdict never depends on round *N*'s own evidence.
+    // vp-lint: allow(panic-reachability) — ring index `recent_next` stays < recent_size by the modulo update
     pub fn finish_round(&mut self, mut verdict: SybilVerdict, density_per_km: f64) -> SybilVerdict {
         if self.is_drifting() {
             verdict.mark_degraded();
@@ -473,6 +477,7 @@ impl AdaptiveThreshold {
     }
 
     /// Captures the full adaptive state in canonical order.
+    // vp-lint: allow(panic-reachability) — rotation slices split at `recent_next` <= len, maintained by finish_round
     pub fn snapshot(&self) -> AdaptiveSnapshot {
         let mut recent = Vec::with_capacity(self.recent.len());
         if self.recent.len() == self.config.recent_size {
@@ -541,6 +546,7 @@ impl AdaptiveThreshold {
 /// gap Sybil-like and everything above honest-like. Rounds with fewer
 /// than four clean distances, or no qualifying gap, come back fully
 /// unlabelled. Returned labels are parallel to the input slice order.
+// vp-lint: allow(panic-reachability) — loop index i < n/2 keeps i and i+1 in range after the n >= 4 guard
 fn label_by_gap(distances: &[f64], gap_ratio: f64) -> Vec<SampleLabel> {
     let n = distances.len();
     if n < 4 {

@@ -349,6 +349,7 @@ impl PairwiseDistances {
 
     /// Iterates over `(identity_a, identity_b, normalized_distance)` for
     /// every unordered pair.
+    // vp-lint: allow(panic-reachability) — i < j < ids.len() by loop construction
     pub fn iter(&self) -> impl Iterator<Item = (IdentityId, IdentityId, f64)> + '_ {
         let n = self.ids.len();
         (0..n).flat_map(move |i| {
@@ -455,6 +456,7 @@ fn compare_with_threads(
     compare_impl(series, config, threads, None, None).0
 }
 
+// vp-lint: allow(panic-reachability) — all indices come from enumerate/loop positions over vectors built in this fn
 fn compare_impl(
     series: &[(IdentityId, Vec<f64>)],
     config: &ComparisonConfig,
@@ -785,6 +787,7 @@ fn band_width(max_len: usize, band_fraction: f64) -> usize {
 /// workers stop claiming pairs once it fires; the return value is the
 /// number of pairs actually computed (always `pairs.len()` without one).
 #[allow(clippy::too_many_arguments)]
+// vp-lint: allow(panic-reachability) — pair indices were built over prepared's range; k is bounded by the caller's split
 fn fill_pairs<K>(
     raw: &mut [f64],
     pairs: &[(u32, u32)],

@@ -221,6 +221,7 @@ pub struct Marker {
 }
 
 /// Extracts every marker from the comment tokens.
+// vp-lint: allow(panic-reachability) — `close` is the byte offset of an ASCII ')' inside the same str, so both slices are in range and on char boundaries
 pub fn parse_markers(tokens: &[Token], src: &[u8]) -> Vec<Marker> {
     let mut out = Vec::new();
     for t in tokens {

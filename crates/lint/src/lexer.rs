@@ -137,13 +137,15 @@ pub fn lex(src: &[u8]) -> Vec<Token> {
             b'r' | b'b' if raw_or_byte_string_len(src, c.i).is_some() => {
                 // Length of the prefix (`r`, `b`, `br` + hashes) up to and
                 // including the opening quote, then the body.
-                if let Some((prefix, hashes, is_char)) = raw_or_byte_string_len(src, c.i) {
-                    c.bump_n(prefix);
-                    if is_char {
+                if let Some(p) = raw_or_byte_string_len(src, c.i) {
+                    c.bump_n(p.prefix_len);
+                    if p.is_char {
                         lex_char_body(&mut c);
                         TokenKind::Char
-                    } else if hashes > 0 {
-                        lex_raw_string_body(&mut c, hashes);
+                    } else if p.raw {
+                        // Raw strings have no escapes at *any* hash count:
+                        // `r"a\"` is complete (backslash is literal).
+                        lex_raw_string_body(&mut c, p.hashes);
                         TokenKind::Str
                     } else {
                         lex_string_body(&mut c);
@@ -196,27 +198,52 @@ pub fn lex(src: &[u8]) -> Vec<Token> {
     out
 }
 
-/// Detects `r"`, `r#"`, `b"`, `br#"`, `b'` prefixes at `i`. Returns
-/// `(prefix_len_including_quote, raw_hashes, is_char_literal)`.
-fn raw_or_byte_string_len(src: &[u8], i: usize) -> Option<(usize, usize, bool)> {
+/// Shape of a raw/byte string (or byte char) prefix.
+struct StringPrefix {
+    /// Bytes up to and including the opening quote.
+    prefix_len: usize,
+    /// Number of `#`s (raw strings only).
+    hashes: usize,
+    /// `b'x'` byte-char literal.
+    is_char: bool,
+    /// `r…` present: no escape processing in the body.
+    raw: bool,
+}
+
+/// Detects `r"`, `r#"`, `b"`, `br"`, `br#"`, `b'` prefixes at `i`.
+fn raw_or_byte_string_len(src: &[u8], i: usize) -> Option<StringPrefix> {
     let rest = src.get(i..)?;
-    let (mut k, _saw_b) = match rest {
+    let (mut k, raw) = match rest {
         [b'b', b'r', ..] => (2, true),
-        [b'r', b'b', ..] => (2, false), // not real Rust; lex leniently
-        [b'b', ..] => (1, true),
-        [b'r', ..] => (1, false),
+        [b'r', b'b', ..] => (2, true), // not real Rust; lex leniently
+        [b'b', ..] => (1, false),
+        [b'r', ..] => (1, true),
         _ => return None,
     };
     if rest.first() == Some(&b'b') && rest.get(1) == Some(&b'\'') {
-        return Some((2, 0, true)); // b'x'
+        return Some(StringPrefix {
+            prefix_len: 2,
+            hashes: 0,
+            is_char: true,
+            raw: false,
+        }); // b'x'
     }
     let mut hashes = 0usize;
     while rest.get(k) == Some(&b'#') {
         hashes += 1;
         k += 1;
     }
+    // Hashes without a leading `r` (`b#"`) are not a string prefix.
+    if hashes > 0 && !raw {
+        return None;
+    }
     if rest.get(k) == Some(&b'"') {
-        Some((k + 1, hashes, false))
+        Some(StringPrefix {
+            prefix_len: k + 1,
+            hashes,
+            is_char: false,
+            raw,
+        })
     } else {
         None
     }
@@ -384,6 +411,66 @@ mod tests {
                 TokenKind::Char
             ]
         );
+    }
+
+    #[test]
+    fn zero_hash_raw_strings_have_no_escapes() {
+        // `r"a\"` is a complete raw string whose content is `a\`; with
+        // escape processing the lexer would swallow the closing quote
+        // and mis-tokenise everything after it.
+        let src = br#"r"a\" thread_rng()"#;
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::Str);
+        assert_eq!(toks[0].bytes(src), br#"r"a\""#);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.bytes(src) == b"thread_rng"));
+    }
+
+    #[test]
+    fn byte_strings_and_raw_byte_strings() {
+        // Byte strings keep escape processing; raw byte strings do not.
+        let src = br#"b"x\"y" z"#;
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::Str);
+        assert_eq!(toks[0].bytes(src), br#"b"x\"y""#);
+        assert_eq!(toks[1].bytes(src), b"z");
+
+        let src = br#"br"x\" w"#;
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::Str);
+        assert_eq!(toks[0].bytes(src), br#"br"x\""#);
+        assert_eq!(toks[1].bytes(src), b"w");
+
+        let src = br##"br#"a "q" b"# tail"##;
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::Str);
+        assert_eq!(toks[1].bytes(src), b"tail");
+    }
+
+    #[test]
+    fn raw_identifiers_do_not_start_strings() {
+        // `r#async` is a raw identifier, not a raw string opener; the
+        // lexer degrades it to `r`, `#`, `async` — never a Str token.
+        let toks = lex(b"r#async fn");
+        assert!(toks.iter().all(|t| t.kind != TokenKind::Str));
+    }
+
+    #[test]
+    fn deeply_nested_and_adjacent_block_comments() {
+        assert_eq!(
+            kinds("/* a /* b /* c */ d */ e */ x /* f */ y"),
+            vec![
+                TokenKind::BlockComment,
+                TokenKind::Ident,
+                TokenKind::BlockComment,
+                TokenKind::Ident
+            ]
+        );
+        // An unterminated nested comment runs to EOF without panicking.
+        let toks = lex(b"/* outer /* inner */ still-open");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
     }
 
     #[test]

@@ -8,14 +8,19 @@
 //! float ordering, no aborts in library paths. This crate machine-checks
 //! them (DESIGN.md §13) with a hand-rolled lexer ([`lexer`]) and a
 //! token-pattern rule engine ([`rules`]) — zero external dependencies, in
-//! the same spirit as `vp-obs`.
+//! the same spirit as `vp-obs`. A second, symbol-aware pass
+//! (DESIGN.md §18) builds a per-file item model ([`model`]) and runs
+//! four cross-file analyses ([`analyses`]): codec field symmetry, lock
+//! acquisition order, hash-order float accumulation, and panic
+//! reachability from public runtime entry points.
 //!
 //! # Running
 //!
 //! ```text
 //! cargo run -p vp-lint -- --workspace              # human diagnostics
+//! cargo run -p vp-lint -- --workspace --analyze    # + cross-file analyses
 //! cargo run -p vp-lint -- --workspace --format json
-//! cargo run -p vp-lint -- --workspace --summary-out results/BENCH_lint.json
+//! cargo run -p vp-lint -- --workspace --analyze --summary-out results/BENCH_lint.json
 //! ```
 //!
 //! Exit code 0 means every finding is either fixed or carries a justified
@@ -32,8 +37,10 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod analyses;
 pub mod context;
 pub mod lexer;
+pub mod model;
 pub mod report;
 pub mod rules;
 
@@ -41,8 +48,10 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+pub use analyses::{analyze_files, analyze_workspace, stale_markers, AnalysisRun, StaleMarker};
+pub use model::{FileModel, WorkspaceModel};
 pub use report::Summary;
-pub use rules::{lint_source, Diagnostic, RuleId, ALL_RULES};
+pub use rules::{lint_source, Diagnostic, RuleId, ALL_RULES, ANALYSIS_RULES};
 
 /// Marker file whose presence exempts a directory (and everything below
 /// it) from the scan — the fixture corpus is deliberately bad code.
@@ -103,26 +112,37 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Lints every `.rs` file under `root` (the workspace root). Paths in the
-/// returned diagnostics are workspace-relative with forward slashes.
-pub fn scan_workspace(root: &Path) -> io::Result<Report> {
+/// Reads every `.rs` file under `root` into `(rel_path, bytes)` pairs,
+/// workspace-relative with forward slashes — the shared input of the
+/// lexical scan and the cross-file analyses.
+pub fn load_workspace_sources(root: &Path) -> io::Result<Vec<(String, Vec<u8>)>> {
     let files = collect_rs_files(root)?;
-    let mut diagnostics = Vec::new();
+    let mut out = Vec::with_capacity(files.len());
     for path in &files {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
-        let src = fs::read(path)?;
-        diagnostics.extend(lint_source(&rel, &src));
+        out.push((rel, fs::read(path)?));
+    }
+    Ok(out)
+}
+
+/// Lints every `.rs` file under `root` (the workspace root). Paths in the
+/// returned diagnostics are workspace-relative with forward slashes.
+pub fn scan_workspace(root: &Path) -> io::Result<Report> {
+    let sources = load_workspace_sources(root)?;
+    let mut diagnostics = Vec::new();
+    for (rel, src) in &sources {
+        diagnostics.extend(lint_source(rel, src));
     }
     diagnostics.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
     });
     Ok(Report {
         diagnostics,
-        files_scanned: files.len(),
+        files_scanned: sources.len(),
     })
 }
 

@@ -7,6 +7,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use crate::analyses::{AnalysisRun, StaleMarker};
 use crate::rules::{Diagnostic, RuleId, ALL_RULES};
 
 /// Escapes a string for a JSON string literal.
@@ -28,6 +29,36 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+/// One cross-file analysis' slice of the summary document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisSummary {
+    /// The analysis rule's name (`codec-symmetry`, …).
+    pub name: &'static str,
+    /// Total findings, allowed ones included.
+    pub found: usize,
+    /// Findings suppressed by a justified marker.
+    pub allowed: usize,
+    /// Wall time of this analysis alone, milliseconds (CLI-stamped; the
+    /// library never reads the clock).
+    pub wall_time_ms: u128,
+    /// The analysis' coverage counters (`pairs_checked`, …).
+    pub meta: BTreeMap<&'static str, u64>,
+}
+
+impl AnalysisSummary {
+    /// Folds an [`AnalysisRun`] into its summary row; the CLI stamps
+    /// `wall_time_ms` afterwards.
+    pub fn from_run(run: &AnalysisRun) -> AnalysisSummary {
+        AnalysisSummary {
+            name: run.rule.name(),
+            found: run.diagnostics.len(),
+            allowed: run.diagnostics.iter().filter(|d| d.allowed).count(),
+            wall_time_ms: 0,
+            meta: run.meta.clone(),
+        }
+    }
+}
+
 /// Aggregate of one lint run.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Summary {
@@ -38,6 +69,12 @@ pub struct Summary {
     pub wall_time_ms: u128,
     /// Per rule: `(findings, of which allowed by marker)`.
     pub per_rule: BTreeMap<&'static str, (usize, usize)>,
+    /// One row per cross-file analysis; empty when `--analyze` did not
+    /// run.
+    pub analyses: Vec<AnalysisSummary>,
+    /// Markers that suppressed nothing anywhere — reported as warnings,
+    /// they never affect the exit code.
+    pub stale_markers: Vec<StaleMarker>,
 }
 
 impl Summary {
@@ -56,6 +93,8 @@ impl Summary {
             files_scanned,
             wall_time_ms: 0,
             per_rule,
+            analyses: Vec::new(),
+            stale_markers: Vec::new(),
         }
     }
 
@@ -83,10 +122,62 @@ impl Summary {
                 json_escape(name)
             );
         }
+        let mut analyses = String::new();
+        for (i, a) in self.analyses.iter().enumerate() {
+            if i > 0 {
+                analyses.push(',');
+            }
+            let mut meta = String::new();
+            for (j, (k, v)) in a.meta.iter().enumerate() {
+                if j > 0 {
+                    meta.push_str(", ");
+                }
+                let _ = write!(meta, "\"{}\": {v}", json_escape(k));
+            }
+            let _ = write!(
+                analyses,
+                "\n    \"{}\": {{\"found\": {}, \"allowed\": {}, \"wall_time_ms\": {}, \
+                 \"meta\": {{{meta}}}}}",
+                json_escape(a.name),
+                a.found,
+                a.allowed,
+                a.wall_time_ms,
+            );
+        }
+        let mut stale = String::new();
+        for (i, m) in self.stale_markers.iter().enumerate() {
+            if i > 0 {
+                stale.push(',');
+            }
+            let rules_list = m
+                .rules
+                .iter()
+                .map(|r| format!("\"{}\"", json_escape(r)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = write!(
+                stale,
+                "\n    {{\"file\": \"{}\", \"line\": {}, \"rules\": [{rules_list}]}}",
+                json_escape(&m.path),
+                m.line,
+            );
+        }
+        let stale_close = if self.stale_markers.is_empty() {
+            "]"
+        } else {
+            "\n  ]"
+        };
+        let analyses_close = if self.analyses.is_empty() {
+            "}"
+        } else {
+            "\n  }"
+        };
         format!(
-            "{{\n  \"schema\": \"vp-lint-summary/1\",\n  \"files_scanned\": {},\n  \
+            "{{\n  \"schema\": \"vp-lint-summary/2\",\n  \"files_scanned\": {},\n  \
              \"wall_time_ms\": {},\n  \"active\": {},\n  \"allowed\": {},\n  \
-             \"rules\": {{{rules}\n  }}\n}}\n",
+             \"rules\": {{{rules}\n  }},\n  \
+             \"analyses\": {{{analyses}{analyses_close},\n  \
+             \"stale_markers\": [{stale}{stale_close}\n}}\n",
             self.files_scanned,
             self.wall_time_ms,
             self.active(),
@@ -124,6 +215,15 @@ pub fn render_human(diags: &[Diagnostic], summary: &Summary, show_allowed: bool)
                 d.rule.name()
             );
         }
+    }
+    for m in &summary.stale_markers {
+        let _ = writeln!(
+            out,
+            "warning[stale-marker]: {}:{} — allow({}) suppresses nothing; remove the marker",
+            m.path,
+            m.line,
+            m.rules.join(", "),
+        );
     }
     let _ = writeln!(
         out,

@@ -33,10 +33,29 @@ pub enum RuleId {
     /// A malformed suppression marker: unknown rule name or missing
     /// justification. Never suppressible.
     BadMarker,
+    /// Cross-file analysis: an `encode_*`/`write_*` function whose paired
+    /// `decode_*`/`read_*` disagrees on field count, order or integer
+    /// width (VPCK/VPCY framing drift). See [`crate::analyses`].
+    CodecSymmetry,
+    /// Cross-file analysis: nested `Mutex`/`RwLock` guards acquired in
+    /// inconsistent orders, double-acquisition of one lock, or a channel
+    /// `send` while a guard is held. See [`crate::analyses`].
+    LockOrder,
+    /// Cross-file analysis: an f64/f32 accumulator folded over a
+    /// default-hasher container whose iteration order is not
+    /// BTree/slice-deterministic. See [`crate::analyses`].
+    FloatAccumulation,
+    /// Cross-file analysis: a panic-capable site (indexing, `unwrap`,
+    /// panic-family macro, slice-fitting op) reachable on the call graph
+    /// from a `StreamingRuntime` entry point without a justifying marker.
+    /// See [`crate::analyses`].
+    PanicReachability,
 }
 
-/// Every rule, in stable (report) order.
-pub const ALL_RULES: [RuleId; 7] = [
+/// Every rule, in stable (report) order. The last four are cross-file
+/// analyses: they only fire under `--analyze` / [`crate::analyses`], not
+/// in the per-file lexical pass.
+pub const ALL_RULES: [RuleId; 11] = [
     RuleId::NondeterministicIteration,
     RuleId::UnseededRng,
     RuleId::WallClock,
@@ -44,6 +63,18 @@ pub const ALL_RULES: [RuleId; 7] = [
     RuleId::ForbiddenPanic,
     RuleId::UnsafeCode,
     RuleId::BadMarker,
+    RuleId::CodecSymmetry,
+    RuleId::LockOrder,
+    RuleId::FloatAccumulation,
+    RuleId::PanicReachability,
+];
+
+/// The cross-file analysis rules, in stable (report) order.
+pub const ANALYSIS_RULES: [RuleId; 4] = [
+    RuleId::CodecSymmetry,
+    RuleId::LockOrder,
+    RuleId::FloatAccumulation,
+    RuleId::PanicReachability,
 ];
 
 impl RuleId {
@@ -57,6 +88,10 @@ impl RuleId {
             RuleId::ForbiddenPanic => "forbidden-panic",
             RuleId::UnsafeCode => "unsafe-code",
             RuleId::BadMarker => "bad-marker",
+            RuleId::CodecSymmetry => "codec-symmetry",
+            RuleId::LockOrder => "lock-order",
+            RuleId::FloatAccumulation => "float-accumulation",
+            RuleId::PanicReachability => "panic-reachability",
         }
     }
 
@@ -153,7 +188,9 @@ fn check_marker(m: &Marker, rel_path: &str, diags: &mut Vec<Diagnostic>) {
 
 /// Marks findings covered by a valid marker on the same line or the line
 /// directly above as allowed. `bad-marker` findings are never allowed.
-fn apply_markers(diags: &mut [Diagnostic], markers: &[Marker]) {
+/// Shared with the cross-file analyses, which apply the same coverage
+/// policy to their own diagnostics.
+pub(crate) fn apply_markers(diags: &mut [Diagnostic], markers: &[Marker]) {
     for d in diags.iter_mut() {
         if d.rule == RuleId::BadMarker {
             continue;

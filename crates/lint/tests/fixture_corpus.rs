@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::path::Path;
 
-use vp_lint::{lint_source, RuleId};
+use vp_lint::{analyze_files, lint_source, RuleId, ANALYSIS_RULES};
 
 /// Lint path assigned to a fixture: the crate-root attribute check only
 /// fires on `src/lib.rs` paths; everything else pretends to be a module
@@ -88,7 +88,21 @@ fn fixture_corpus_matches_expectations() {
                 .into_owned();
             let src = fs::read_to_string(&file).expect("fixture readable");
             let expected = expectations(&src);
-            let diags = lint_source(pretend_path(&file_name), src.as_bytes());
+            // Lexical rules run through `lint_source`; the cross-file
+            // analyses run their whole pass-1/pass-2 pipeline on the
+            // single fixture file.
+            let is_analysis = ANALYSIS_RULES.iter().any(|r| r.name() == rule_name);
+            let diags = if is_analysis {
+                analyze_files(&[(
+                    pretend_path(&file_name).to_string(),
+                    src.clone().into_bytes(),
+                )])
+                .into_iter()
+                .flat_map(|r| r.diagnostics)
+                .collect()
+            } else {
+                lint_source(pretend_path(&file_name), src.as_bytes())
+            };
             let mut active: Vec<(String, u32)> = diags
                 .iter()
                 .filter(|d| !d.allowed)

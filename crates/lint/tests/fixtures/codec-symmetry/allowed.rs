@@ -1,0 +1,24 @@
+//! A deliberate read-order asymmetry (trailer checksum validated before
+//! the body, as VPCY framing does) carrying its justification marker.
+
+pub struct Snapshot {
+    shards: u32,
+    checksum: u64,
+}
+
+impl Snapshot {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u32(self.shards);
+        w.put_u64(self.checksum);
+        w.into_payload()
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        // vp-lint: allow(codec-symmetry) — the trailer checksum is verified before the body, by design
+        let checksum = r.get_u64()?;
+        let shards = r.get_u32()?;
+        Ok(Snapshot { shards, checksum })
+    }
+}

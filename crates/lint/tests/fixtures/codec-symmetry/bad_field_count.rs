@@ -1,0 +1,17 @@
+//! Field-count drift: `write_state` emits three fields, `read_state`
+//! consumes only two, silently dropping the trailing one.
+
+pub fn write_state(s: &State) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u32(s.generation);
+    w.put_u32(s.rounds);
+    w.put_u32(s.misses);
+    w.into_payload()
+}
+
+pub fn read_state(bytes: &[u8]) -> Result<State, CodecError> { //~ codec-symmetry
+    let mut r = Reader::new(bytes);
+    let generation = r.get_u32()?;
+    let rounds = r.get_u32()?;
+    Ok(State { generation, rounds, misses: 0 })
+}

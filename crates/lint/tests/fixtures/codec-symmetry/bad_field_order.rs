@@ -1,0 +1,23 @@
+//! Seeded field-order mutation in a VPCK-style pair: `encode` writes
+//! `(u64 epoch, u32 rounds)`, `decode` reads them swapped.
+
+pub struct Checkpoint {
+    epoch: u64,
+    rounds: u32,
+}
+
+impl Checkpoint {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(self.epoch);
+        w.put_u32(self.rounds);
+        w.into_payload()
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        let rounds = r.get_u32()?; //~ codec-symmetry
+        let epoch = r.get_u64()?;
+        Ok(Checkpoint { epoch, rounds })
+    }
+}

@@ -1,0 +1,15 @@
+//! A deliberate same-lock re-acquire exercising the suppression path.
+
+pub struct Cache {
+    inner: Mutex<u64>,
+}
+
+impl Cache {
+    pub fn refresh(&self) {
+        let outer = self.inner.lock();
+        drop_in_background(outer);
+        // vp-lint: allow(lock-order) — fixture: the first guard was moved out on the line above
+        let inner = self.inner.lock();
+        consume(inner);
+    }
+}

@@ -1,0 +1,21 @@
+//! Opposite nested acquisition orders across two functions: a classic
+//! ABBA deadlock once the two paths race.
+
+pub struct Router {
+    routes: Mutex<Vec<u64>>,
+    peers: Mutex<Vec<u64>>,
+}
+
+impl Router {
+    pub fn publish(&self) {
+        let routes = self.routes.lock();
+        let peers = self.peers.lock(); //~ lock-order
+        peers.push(routes.len() as u64);
+    }
+
+    pub fn subscribe(&self) {
+        let peers = self.peers.lock();
+        let routes = self.routes.lock(); //~ lock-order
+        routes.push(peers.len() as u64);
+    }
+}

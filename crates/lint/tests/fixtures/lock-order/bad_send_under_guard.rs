@@ -1,0 +1,15 @@
+//! A bounded-channel send while holding a lock: when the channel is
+//! full, the sender blocks with the guard held — the wave hazard.
+
+pub struct Hub {
+    state: Mutex<u64>,
+}
+
+impl Hub {
+    pub fn broadcast(&self) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        let g = self.state.lock();
+        tx.send(*g); //~ lock-order
+        drop(rx);
+    }
+}

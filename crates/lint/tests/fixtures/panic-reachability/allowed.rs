@@ -1,0 +1,15 @@
+//! The same reachable-index shape, justified with a declaration-line
+//! marker covering every site in the helper.
+
+pub struct StreamingRuntime;
+
+impl StreamingRuntime {
+    pub fn advance_to(&mut self) {
+        kernel(&[1.0, 2.0], 0);
+    }
+}
+
+// vp-lint: allow(panic-reachability) — fixture: bounds pinned by the caller invariant
+fn kernel(xs: &[f64], i: usize) -> f64 {
+    xs[i] + xs[i + 1]
+}

@@ -1,0 +1,20 @@
+//! An unguarded data-dependent index two hops below a runtime entry
+//! point.
+
+pub struct StreamingRuntime;
+
+impl StreamingRuntime {
+    pub fn advance_to(&mut self, t: f64) {
+        step(t);
+    }
+}
+
+fn step(t: f64) -> u8 {
+    let buf = [0u8; 4];
+    let i = t as usize;
+    buf[i] //~ panic-reachability
+}
+
+fn unreached(buf: &[u8], i: usize) -> u8 {
+    buf[i]
+}

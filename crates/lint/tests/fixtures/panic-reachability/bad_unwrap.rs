@@ -1,0 +1,14 @@
+//! An `unwrap` on a possibly-empty slice, reachable from the runtime's
+//! round loop.
+
+pub struct StreamingRuntime;
+
+impl StreamingRuntime {
+    pub fn advance_to(&mut self) {
+        latest(&[]);
+    }
+}
+
+fn latest(xs: &[f64]) -> f64 {
+    *xs.last().unwrap() //~ panic-reachability
+}

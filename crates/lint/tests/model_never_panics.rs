@@ -1,0 +1,144 @@
+//! Totality of the pass-1 model and the pass-2 analyses: whatever bytes
+//! come in — raw garbage, printable soup, or adversarially Rust-shaped
+//! token salad — building the model and running every analysis must
+//! return normally. The linter runs on every file in the workspace; a
+//! panic here would take CI down with it.
+
+use proptest::prelude::*;
+use vp_lint::{analyze_files, FileModel, WorkspaceModel};
+
+const PATH: &str = "crates/demo/src/engine.rs";
+
+/// Builds the model and runs all four analyses; exercises the accessors
+/// that take token indices, including out-of-range ones.
+fn drive(src: &[u8]) {
+    let model = FileModel::parse(PATH, src);
+    for mi in 0..model.meaningful.len() + 2 {
+        let _ = model.text(mi);
+    }
+    let _ = analyze_files(&[(PATH.to_string(), src.to_vec())]);
+}
+
+fn raw_words(max: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..u64::MAX, 0..max)
+}
+
+fn words_to_bytes(words: &[u64]) -> Vec<u8> {
+    words.iter().flat_map(|w| w.to_le_bytes()).collect()
+}
+
+/// Fragments that steer random composition toward the constructs the
+/// model actually parses: items, impl blocks, codec calls, locks,
+/// folds, markers, and deliberately unbalanced delimiters.
+const FRAGMENTS: &[&str] = &[
+    "fn ",
+    "pub ",
+    "pub(crate) ",
+    "impl ",
+    "struct ",
+    "use ",
+    "mod tests ",
+    "#[cfg(test)]\n",
+    "self",
+    "Self",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    "<",
+    ">",
+    "::",
+    ".",
+    ",",
+    ";",
+    "->",
+    "=>",
+    "put_u32(",
+    "get_u64()?",
+    "to_le_bytes()",
+    "from_le_bytes(",
+    ".lock()",
+    ".read()",
+    "sync_channel(1)",
+    ".send(x)",
+    "HashMap<u64, f64>",
+    ".values()",
+    ".sum::<f64>()",
+    "for v in ",
+    "+= v",
+    "let mut ",
+    "unwrap()",
+    "expect(\"x\")",
+    "panic!(\"y\")",
+    "assert!(n < 4)",
+    "// vp-lint: allow(codec-symmetry) — r\n",
+    "//~ lock-order\n",
+    "r#\"",
+    "\"",
+    "r\"",
+    "'a",
+    "'x'",
+    "b\"",
+    "0x1f",
+    "1.5e3",
+    "\\u{1F600}",
+    "/*",
+    "*/",
+    "\n",
+    "StreamingRuntime",
+    "advance_to",
+    "Mutex<u8>",
+    "where T: Send",
+    "as usize",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn model_and_analyses_are_total_on_raw_bytes(words in raw_words(256)) {
+        drive(&words_to_bytes(&words));
+    }
+
+    #[test]
+    fn model_and_analyses_are_total_on_printable_text(words in raw_words(128)) {
+        // Fold every byte into the printable ASCII range plus newline/tab,
+        // so the text-heavy paths (markers, comments, strings) get dense
+        // coverage instead of bailing on control bytes.
+        let src: Vec<u8> = words_to_bytes(&words)
+            .into_iter()
+            .map(|b| match b % 97 {
+                95 => b'\n',
+                96 => b'\t',
+                p => b' ' + p,
+            })
+            .collect();
+        drive(&src);
+    }
+
+    #[test]
+    fn model_and_analyses_are_total_on_rust_shaped_soup(
+        picks in prop::collection::vec(0usize..FRAGMENTS.len(), 0..120)
+    ) {
+        let src: Vec<u8> = picks
+            .iter()
+            .flat_map(|&i| FRAGMENTS[i].bytes())
+            .collect();
+        drive(&src);
+    }
+
+    #[test]
+    fn workspace_build_is_total_on_many_garbage_files(
+        files in prop::collection::vec(raw_words(32), 0..8)
+    ) {
+        let inputs: Vec<(String, Vec<u8>)> = files
+            .iter()
+            .enumerate()
+            .map(|(i, words)| (format!("crates/demo/src/m{i}.rs"), words_to_bytes(words)))
+            .collect();
+        let model = WorkspaceModel::build(&inputs);
+        prop_assert_eq!(model.files.len(), inputs.len());
+    }
+}

@@ -1,0 +1,95 @@
+//! Self-scan of the pass-1 model against the real workspace: the
+//! panic-reachability analysis is only as good as the model's coverage,
+//! so every `pub fn` the runtime crates declare must surface in
+//! `WorkspaceModel`. Ground truth is a deliberately dumb line scan —
+//! independent of the lexer the model is built on.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use vp_lint::{find_workspace_root, load_workspace_sources, WorkspaceModel};
+
+/// `pub fn` names found by scanning source lines directly. The scan is
+/// intentionally naive (declarations are one-per-line in this codebase)
+/// so it cannot share a bug with the lexer-based model.
+fn pub_fns_by_line_scan(path: &str, src: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for line in src.lines() {
+        let t = line.trim_start();
+        let rest = ["pub fn ", "pub(crate) fn ", "pub(super) fn "]
+            .iter()
+            .find_map(|p| t.strip_prefix(p));
+        let Some(rest) = rest else { continue };
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() {
+            out.push((path.to_string(), name));
+        }
+    }
+    out
+}
+
+#[test]
+fn every_public_fn_in_runtime_and_city_appears_in_the_model() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("inside the workspace");
+    let sources = load_workspace_sources(&root).expect("workspace readable");
+    let model = WorkspaceModel::build(&sources);
+
+    let mut expected = Vec::new();
+    for (path, bytes) in &sources {
+        if !(path.starts_with("crates/runtime/src/") || path.starts_with("crates/city/src/")) {
+            continue;
+        }
+        let src = String::from_utf8_lossy(bytes);
+        expected.extend(pub_fns_by_line_scan(path, &src));
+    }
+    assert!(
+        expected.len() >= 50,
+        "line scan found only {} pub fns — the scan itself regressed",
+        expected.len()
+    );
+
+    let mut missing = Vec::new();
+    for (path, name) in &expected {
+        let found = model
+            .fns_named(name)
+            .iter()
+            .any(|r| model.files[r.file].path == *path);
+        if !found {
+            missing.push(format!("{path}: {name}"));
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "pub fns invisible to the pass-1 model (reachability would skip them):\n{}",
+        missing.join("\n")
+    );
+}
+
+#[test]
+fn runtime_entry_points_are_modelled() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("inside the workspace");
+    let sources = load_workspace_sources(&root).expect("workspace readable");
+    let model = WorkspaceModel::build(&sources);
+
+    // The panic-reachability entry set: public fns owned by
+    // `StreamingRuntime`. An empty set would silently disable the
+    // analysis workspace-wide.
+    let entries: BTreeSet<String> = model
+        .files
+        .iter()
+        .flat_map(|f| &f.fns)
+        .filter(|i| i.is_pub && i.owner.as_deref() == Some("StreamingRuntime"))
+        .map(|i| i.name.clone())
+        .collect();
+    for required in ["advance_to", "checkpoint", "restore", "offer"] {
+        assert!(
+            entries.contains(required),
+            "StreamingRuntime::{required} missing from the model's entry set: {entries:?}"
+        );
+    }
+}

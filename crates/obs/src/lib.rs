@@ -573,6 +573,7 @@ impl Histogram {
 
     /// Record one sample.
     #[inline]
+    // vp-lint: allow(panic-reachability) — partition_point returns <= bounds.len() and counts holds bounds.len()+1 slots
     pub fn record(&self, v: u64) {
         let idx = self.bounds.partition_point(|&b| b < v);
         self.counts[idx].fetch_add(1, Ordering::Relaxed);

@@ -306,6 +306,7 @@ mod backend {
     /// Scoped-thread backend: split `slots` into blocks, deal the blocks
     /// round-robin across `threads` workers (static, deterministic
     /// assignment), run one worker per scoped thread.
+    // vp-lint: allow(panic-reachability) — split_at_mut take is clamped to rest.len(); the round-robin index is b % threads
     pub(super) fn fill<T, S, FI, F>(slots: &mut [T], threads: usize, init: &FI, f: &F)
     where
         T: Send,

@@ -83,6 +83,7 @@ impl<'a> Reader<'a> {
         Reader { bytes, pos: 0 }
     }
 
+    // vp-lint: allow(panic-reachability) — start and end are checked against bytes.len() before the slice
     fn take(&mut self, n: usize) -> Result<&'a [u8], VpError> {
         let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
         match end {
@@ -172,6 +173,7 @@ pub(crate) fn seal(payload: &[u8]) -> Vec<u8> {
 /// [`VpError::CheckpointCorrupt`] on bad magic, truncation, or checksum
 /// mismatch; [`VpError::CheckpointVersion`] when the header names a
 /// version this build does not read.
+// vp-lint: allow(panic-reachability) — every offset is guarded by the up-front header+trailer length check
 pub(crate) fn open(bytes: &[u8]) -> Result<&[u8], VpError> {
     const HEADER: usize = 4 + 2;
     const TRAILER: usize = 8;

@@ -88,6 +88,7 @@ impl Roster {
     }
 
     /// Looks up an identity.
+    // vp-lint: allow(panic-reachability) — by_identity stores only indices of nodes pushed at insert time
     pub fn get(&self, identity: IdentityId) -> Option<&NodeInfo> {
         self.by_identity.get(&identity).map(|&i| &self.nodes[i])
     }

@@ -225,6 +225,7 @@ fn windowed_dp(
 /// Reads DP cell `j` from a stored row covering `range`, returning infinity
 /// outside the window (or when there is no previous row).
 #[inline]
+// vp-lint: allow(panic-reachability) — j is range-checked against the row's span before the offset index
 fn cell(row: &[f64], range: (usize, usize), j: usize, exists: bool) -> f64 {
     if !exists || j < range.0 || j > range.1 {
         f64::INFINITY

@@ -121,6 +121,7 @@ pub fn fast_dtw_with_scratch(x: &[f64], y: &[f64], radius: usize, scratch: &mut 
 
 /// Converts a coarse warp path into a per-row search window covering
 /// exactly the path's cells.
+// vp-lint: allow(panic-reachability) — warp-path row indices are <= the last row index that sized `ranges`
 fn window_from_path(path: &[(usize, usize)], cols: usize) -> SearchWindow {
     let rows = path.last().map(|&(i, _)| i + 1).unwrap_or(1);
     let mut ranges = vec![(usize::MAX, 0usize); rows];

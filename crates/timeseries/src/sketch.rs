@@ -56,6 +56,7 @@ pub struct SeriesSketch {
 impl SeriesSketch {
     /// Builds the sketch of `series` in one O(n) pass. Empty series
     /// yield an empty sketch whose pair bounds are all `0.0`.
+    // vp-lint: allow(panic-reachability) — segment bounds s*len/SEGMENTS <= len keep every slice range valid
     pub fn build(series: &[f64]) -> Self {
         let len = series.len();
         let mut seg_min = [f64::INFINITY; SKETCH_SEGMENTS];
@@ -102,6 +103,7 @@ impl SeriesSketch {
 /// banded DTW distance (squared point costs, band of the same
 /// `radius`). Returns `0.0` — a vacuous but safe bound — when either
 /// series was empty or contained non-finite samples.
+// vp-lint: allow(panic-reachability) — segment indices s, t < SKETCH_SEGMENTS index fixed-size arrays
 pub fn sketch_lower_bound(x: &SeriesSketch, y: &SeriesSketch, radius: usize) -> f64 {
     if x.len == 0 || y.len == 0 || !x.finite || !y.finite {
         return 0.0;

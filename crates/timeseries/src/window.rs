@@ -75,6 +75,7 @@ impl SearchWindow {
     ///
     /// Returns [`InvalidWindowError`] when the invariants documented on
     /// [`SearchWindow`] do not hold.
+    // vp-lint: allow(panic-reachability) — ranges[0] and ranges[len-1] follow the non-empty guard
     pub fn from_ranges(
         cols: usize,
         ranges: Vec<(usize, usize)>,
@@ -132,11 +133,13 @@ impl SearchWindow {
     /// # Panics
     ///
     /// Panics if `i` is out of bounds.
+    // vp-lint: allow(panic-reachability) — documented `# Panics` accessor; DTW callers pass rows < ranges.len()
     pub fn range(&self, i: usize) -> (usize, usize) {
         self.ranges[i]
     }
 
     /// `true` when cell `(i, j)` is inside the window.
+    // vp-lint: allow(panic-reachability) — short-circuit i < ranges.len() guards the index
     pub fn contains(&self, i: usize, j: usize) -> bool {
         i < self.ranges.len() && {
             let (lo, hi) = self.ranges[i];
